@@ -1,0 +1,129 @@
+// EXP-ABLATION: measurements behind three design choices DESIGN.md
+// calls out.
+//
+// (a) Hash join in the engine substrate: the paper's Q2-style join with
+//     an equality conjunct, hash join on vs off. Justifies shipping a
+//     real executor under the DataBlade rather than a toy.
+// (b) Index staleness policy: the interval index is rebuilt when the
+//     transaction time changes (NOW moves every tuple's grounded
+//     bounding period). Measures the per-query rebuild cost of
+//     alternating NOW versus a stable NOW.
+// (c) Eager canonicalization: Element::FromPeriods detects
+//     already-canonical input with one linear pass and skips the
+//     sort+coalesce; measures construction from canonical vs shuffled
+//     periods.
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "common/rng.h"
+
+int main() {
+  using namespace tip;
+
+  // -- (a) hash join ---------------------------------------------------------
+  std::printf("EXP-ABLATION (a): equality join, hash join on vs off\n");
+  std::printf("%8s %12s %12s %10s\n", "rows", "hash_ms", "nested_ms",
+              "speedup");
+  for (int64_t rows : {500, 2000, 8000}) {
+    std::unique_ptr<client::Connection> conn = bench::OpenTip();
+    engine::Database& db = conn->database();
+    workload::MedicalConfig config;
+    config.rows = rows;
+    config.num_patients = static_cast<int>(rows / 10) + 1;
+    bench::CheckResult(workload::SetUpPrescriptionTable(
+                           &db, conn->tip_types(), config, "rx"),
+                       "setup");
+    const char* join =
+        "SELECT count(*) FROM rx p1, rx p2 "
+        "WHERE p1.patient = p2.patient AND p1.drug = 'drug0001' "
+        "AND overlaps(p1.valid, p2.valid)";
+    bench::MustExec(&db, "SET interval_join off");
+    const double hash_ms =
+        bench::MedianTimeMs([&] { bench::MustExec(&db, join); });
+    bench::MustExec(&db, "SET hash_join off");
+    const double nl_ms =
+        bench::MedianTimeMs([&] { bench::MustExec(&db, join); });
+    std::printf("%8" PRId64 " %12.2f %12.2f %9.1fx\n", rows, hash_ms,
+                nl_ms, nl_ms / hash_ms);
+  }
+
+  // -- (b) index rebuild on NOW change ----------------------------------------
+  std::printf("\nEXP-ABLATION (b): interval index staleness under NOW "
+              "changes\n");
+  {
+    std::unique_ptr<client::Connection> conn = bench::OpenTip();
+    engine::Database& db = conn->database();
+    workload::MedicalConfig config;
+    config.rows = 20000;
+    config.now_relative_fraction = 0.2;
+    bench::CheckResult(workload::SetUpPrescriptionTable(
+                           &db, conn->tip_types(), config, "rx"),
+                       "setup");
+    bench::MustExec(&db,
+                    "CREATE INDEX rx_valid ON rx (valid) USING interval");
+    const char* query =
+        "SELECT count(*) FROM rx WHERE overlaps(valid, "
+        "'{[1994-06-01, 1994-06-08]}'::Element)";
+    bench::MustExec(&db, query);  // warm build
+
+    const double stable_ms =
+        bench::MedianTimeMs([&] { bench::MustExec(&db, query); });
+
+    Chronon base = *Chronon::Parse("1999-11-15");
+    int flip = 0;
+    const double moving_ms = bench::MedianTimeMs([&] {
+      // Alternate NOW so every query sees a stale index.
+      conn->SetNow(*base.Add(Span::FromSeconds(++flip % 2))) ;
+      bench::MustExec(&db, query);
+    });
+    std::printf("%24s %10.2f ms/query\n", "stable NOW (cached)",
+                stable_ms);
+    std::printf("%24s %10.2f ms/query (forced rebuild)\n",
+                "NOW changing", moving_ms);
+  }
+
+  // -- (c) canonical-input fast path -----------------------------------------
+  std::printf("\nEXP-ABLATION (c): Element construction, canonical vs "
+              "shuffled input\n");
+  std::printf("%10s %14s %14s\n", "periods", "canonical_ms",
+              "shuffled_ms");
+  for (size_t n : {1000u, 10000u, 100000u}) {
+    Rng rng(7);
+    std::vector<GroundedPeriod> canonical;
+    int64_t cursor = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t len = rng.Uniform(10, 1000);
+      canonical.push_back(*GroundedPeriod::Make(
+          *Chronon::FromSeconds(cursor),
+          *Chronon::FromSeconds(cursor + len)));
+      cursor += len + 2 + rng.Uniform(0, 500);
+    }
+    std::vector<GroundedPeriod> shuffled = canonical;
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1],
+                shuffled[static_cast<size_t>(
+                    rng.Uniform(0, static_cast<int64_t>(i) - 1))]);
+    }
+    const double canonical_ms = bench::MedianTimeMs([&] {
+      for (int rep = 0; rep < 10; ++rep) {
+        GroundedElement e = GroundedElement::FromPeriods(canonical);
+        if (e.size() != n) std::exit(1);
+      }
+    });
+    const double shuffled_ms = bench::MedianTimeMs([&] {
+      for (int rep = 0; rep < 10; ++rep) {
+        GroundedElement e = GroundedElement::FromPeriods(shuffled);
+        if (e.size() != n) std::exit(1);
+      }
+    });
+    std::printf("%10zu %14.2f %14.2f\n", n, canonical_ms, shuffled_ms);
+  }
+  std::printf(
+      "\nshape check: (a) hash join wins increasingly with scale;"
+      "\n(b) a moving NOW pays the full index rebuild per query — the"
+      "\ncost of correct NOW-relative indexing; (c) the canonical"
+      "\nfast path skips the sort entirely.\n");
+  return 0;
+}

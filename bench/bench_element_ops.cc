@@ -1,0 +1,170 @@
+// EXP-LINEAR: the paper's one explicit performance claim (Section 3):
+// "To implement operations on Elements such as union and intersect, we
+// use efficient algorithms that execute in time linear in the number of
+// periods."
+//
+// Sweeps the element size n and measures union / intersect / difference
+// / overlaps / contains; google-benchmark's complexity fitting reports
+// the growth order. The quadratic insert-and-renormalize baseline
+// (reference::QuadraticUnion) is measured alongside so the gap is
+// visible in one run.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/element.h"
+#include "core/element_reference.h"
+
+namespace {
+
+using tip::GroundedElement;
+using tip::Rng;
+
+// Two interleaved canonical elements of n periods each, ~50% mutual
+// overlap — the adversarial case for merge algorithms.
+std::pair<GroundedElement, GroundedElement> MakeOperands(int64_t n,
+                                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<tip::GroundedPeriod> a, b;
+  a.reserve(static_cast<size_t>(n));
+  b.reserve(static_cast<size_t>(n));
+  int64_t cursor_a = 0, cursor_b = 500;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t la = rng.Uniform(100, 900);
+    a.push_back(*tip::GroundedPeriod::Make(
+        *tip::Chronon::FromSeconds(cursor_a),
+        *tip::Chronon::FromSeconds(cursor_a + la)));
+    cursor_a += la + rng.Uniform(2, 600);
+    const int64_t lb = rng.Uniform(100, 900);
+    b.push_back(*tip::GroundedPeriod::Make(
+        *tip::Chronon::FromSeconds(cursor_b),
+        *tip::Chronon::FromSeconds(cursor_b + lb)));
+    cursor_b += lb + rng.Uniform(2, 600);
+  }
+  return {GroundedElement::FromPeriods(std::move(a)),
+          GroundedElement::FromPeriods(std::move(b))};
+}
+
+void BM_Union(benchmark::State& state) {
+  auto [a, b] = MakeOperands(state.range(0), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroundedElement::Union(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Union)->RangeMultiplier(4)->Range(4, 65536)
+    ->Complexity(benchmark::oN);
+
+void BM_Intersect(benchmark::State& state) {
+  auto [a, b] = MakeOperands(state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroundedElement::Intersect(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Intersect)->RangeMultiplier(4)->Range(4, 65536)
+    ->Complexity(benchmark::oN);
+
+void BM_Difference(benchmark::State& state) {
+  auto [a, b] = MakeOperands(state.range(0), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroundedElement::Difference(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Difference)->RangeMultiplier(4)->Range(4, 65536)
+    ->Complexity(benchmark::oN);
+
+void BM_Overlaps(benchmark::State& state) {
+  // Disjoint operands force the full linear scan (no early exit).
+  Rng rng(4);
+  std::vector<tip::GroundedPeriod> a, b;
+  int64_t cursor = 0;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    a.push_back(*tip::GroundedPeriod::Make(
+        *tip::Chronon::FromSeconds(cursor),
+        *tip::Chronon::FromSeconds(cursor + 10)));
+    b.push_back(*tip::GroundedPeriod::Make(
+        *tip::Chronon::FromSeconds(cursor + 20),
+        *tip::Chronon::FromSeconds(cursor + 30)));
+    cursor += 50;
+  }
+  GroundedElement ea = GroundedElement::FromPeriods(std::move(a));
+  GroundedElement eb = GroundedElement::FromPeriods(std::move(b));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ea.Overlaps(eb));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Overlaps)->RangeMultiplier(4)->Range(4, 65536)
+    ->Complexity(benchmark::oN);
+
+void BM_Contains(benchmark::State& state) {
+  auto [a, b] = MakeOperands(state.range(0), 5);
+  GroundedElement u = GroundedElement::Union(a, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(u.Contains(a));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Contains)->RangeMultiplier(4)->Range(4, 65536)
+    ->Complexity(benchmark::oN);
+
+// The naive baseline: insert + renormalize per period. Quadratic; the
+// range is capped so the run stays tolerable.
+void BM_QuadraticUnionBaseline(benchmark::State& state) {
+  auto [a, b] = MakeOperands(state.range(0), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tip::reference::QuadraticUnion(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_QuadraticUnionBaseline)->RangeMultiplier(4)->Range(4, 4096)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_QuadraticIntersectBaseline(benchmark::State& state) {
+  auto [a, b] = MakeOperands(state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tip::reference::QuadraticIntersect(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_QuadraticIntersectBaseline)->RangeMultiplier(4)
+    ->Range(4, 4096)->Complexity(benchmark::oNSquared);
+
+// Grounding: the per-query cost of substituting NOW into a stored
+// element, for the absolute fast path vs the NOW-relative slow path.
+void BM_GroundAbsolute(benchmark::State& state) {
+  auto [a, b] = MakeOperands(state.range(0), 6);
+  tip::Element element = tip::Element::FromGrounded(a);
+  tip::TxContext ctx(*tip::Chronon::Parse("1999-11-15"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(element.Ground(ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GroundAbsolute)->RangeMultiplier(4)->Range(4, 65536)
+    ->Complexity(benchmark::oN);
+
+void BM_GroundNowRelative(benchmark::State& state) {
+  auto [a, b] = MakeOperands(state.range(0), 7);
+  std::vector<tip::Period> periods;
+  for (const tip::GroundedPeriod& p : a.periods()) {
+    periods.push_back(tip::Period::FromGrounded(p));
+  }
+  // Make the last period open-ended so the element is NOW-relative.
+  periods.back() = tip::Period(periods.back().start(),
+                               tip::Instant::Now());
+  tip::Element element = tip::Element::FromPeriods(std::move(periods));
+  tip::TxContext ctx(*tip::Chronon::Parse("2005-01-01"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(element.Ground(ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GroundNowRelative)->RangeMultiplier(4)->Range(4, 65536)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

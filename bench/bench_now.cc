@@ -1,0 +1,75 @@
+// EXP-NOW: the cost and behaviour of NOW (paper Sections 2 and 4).
+//
+// (a) Query re-evaluation under shifted NOW: the same query text over
+//     unchanged data, evaluated at a sequence of transaction times —
+//     the answer changes; the latency stays flat (NOW binding is not a
+//     recompilation, just a different TxContext).
+// (b) The marginal cost of NOW-relative data: identical tables whose
+//     elements are 0% / 50% / 100% open-ended, probed with the same
+//     predicate. Grounding NOW costs one extra normalization pass.
+
+#include <cinttypes>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace tip;
+  constexpr int64_t kRows = 5000;
+
+  std::printf("EXP-NOW (a): same query, shifting transaction time\n");
+  std::printf("%14s %10s %10s\n", "NOW", "current", "ms");
+  {
+    std::unique_ptr<client::Connection> conn = bench::OpenTip();
+    engine::Database& db = conn->database();
+    workload::MedicalConfig config;
+    config.rows = kRows;
+    config.now_relative_fraction = 0.3;
+    config.history_start = "1994-01-01";
+    config.history_days = 2000;
+    bench::CheckResult(workload::SetUpPrescriptionTable(
+                           &db, conn->tip_types(), config, "rx"),
+                       "setup");
+    const char* query =
+        "SELECT count(*) FROM rx WHERE contains(valid, "
+        "transaction_time())";
+    for (const char* now :
+         {"1994-06-01", "1996-06-01", "1998-06-01", "1999-11-15",
+          "2004-01-01"}) {
+      conn->SetNow(*Chronon::Parse(now));
+      engine::ResultSet result;
+      const double ms = bench::MedianTimeMs(
+          [&] { result = bench::MustExec(&db, query); });
+      std::printf("%14s %10" PRId64 " %10.2f\n", now,
+                  result.rows[0][0].int_value(), ms);
+    }
+  }
+
+  std::printf("\nEXP-NOW (b): marginal grounding cost of NOW-relative "
+              "elements\n");
+  std::printf("%18s %10s %10s\n", "now_rel_fraction", "matches", "ms");
+  for (double fraction : {0.0, 0.5, 1.0}) {
+    std::unique_ptr<client::Connection> conn = bench::OpenTip();
+    engine::Database& db = conn->database();
+    workload::MedicalConfig config;
+    config.rows = kRows;
+    config.now_relative_fraction = fraction;
+    bench::CheckResult(workload::SetUpPrescriptionTable(
+                           &db, conn->tip_types(), config, "rx"),
+                       "setup");
+    engine::ResultSet result;
+    const double ms = bench::MedianTimeMs([&] {
+      result = bench::MustExec(
+          &db,
+          "SELECT count(*) FROM rx WHERE overlaps(valid, "
+          "'{[1994-01-01, 1996-01-01]}'::Element)");
+    });
+    std::printf("%18.2f %10" PRId64 " %10.2f\n", fraction,
+                result.rows[0][0].int_value(), ms);
+  }
+  std::printf(
+      "\nshape check: (a) answers drift with NOW at flat latency;"
+      "\n(b) fully NOW-relative data costs only a modest constant"
+      "\nfactor over fully absolute data (grounding is linear and"
+      "\nabsolute elements skip it via the canonical fast path).\n");
+  return 0;
+}

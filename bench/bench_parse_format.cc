@@ -1,0 +1,123 @@
+// EXP-IO: DataBlade input/output and send/receive support functions —
+// the cast machinery behind "TIP also uses casts to automatically
+// convert SQL strings to and from TIP datatypes" and the "efficient
+// binary format" the paper mentions for storage.
+//
+// Measures text parse / format and binary serialize / deserialize
+// throughput for each of the five types.
+
+#include <benchmark/benchmark.h>
+
+#include <cassert>
+#include <string>
+
+#include "datablade/datablade.h"
+
+namespace {
+
+using tip::datablade::TipTypes;
+
+struct Blade {
+  tip::engine::Database db;
+  TipTypes types;
+
+  Blade() {
+    tip::Status s = tip::datablade::Install(&db);
+    assert(s.ok());
+    (void)s;
+    types = *TipTypes::Lookup(db);
+  }
+};
+
+Blade& blade() {
+  static Blade* instance = new Blade();
+  return *instance;
+}
+
+const char* LiteralFor(const std::string& type_name) {
+  if (type_name == "chronon") return "1999-10-31 23:59:59";
+  if (type_name == "span") return "7 12:00:00";
+  if (type_name == "instant") return "NOW-7";
+  if (type_name == "period") return "[1999-01-01, NOW]";
+  return "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}";
+}
+
+tip::engine::TypeId TypeForIndex(int64_t i) {
+  const TipTypes& t = blade().types;
+  const tip::engine::TypeId ids[] = {t.chronon, t.span, t.instant,
+                                     t.period, t.element};
+  return ids[i];
+}
+
+void BM_Parse(benchmark::State& state) {
+  const tip::engine::TypeInfo& info =
+      blade().db.types().Get(TypeForIndex(state.range(0)));
+  const char* literal = LiteralFor(info.name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(info.ops.parse(literal));
+  }
+  state.SetLabel(info.name);
+}
+BENCHMARK(BM_Parse)->DenseRange(0, 4);
+
+void BM_Format(benchmark::State& state) {
+  const tip::engine::TypeInfo& info =
+      blade().db.types().Get(TypeForIndex(state.range(0)));
+  tip::engine::Datum value = *info.ops.parse(LiteralFor(info.name));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(info.ops.format(value));
+  }
+  state.SetLabel(info.name);
+}
+BENCHMARK(BM_Format)->DenseRange(0, 4);
+
+void BM_SerializeBinary(benchmark::State& state) {
+  const tip::engine::TypeInfo& info =
+      blade().db.types().Get(TypeForIndex(state.range(0)));
+  tip::engine::Datum value = *info.ops.parse(LiteralFor(info.name));
+  for (auto _ : state) {
+    std::string bytes;
+    info.ops.serialize(value, &bytes);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetLabel(info.name);
+}
+BENCHMARK(BM_SerializeBinary)->DenseRange(0, 4);
+
+void BM_DeserializeBinary(benchmark::State& state) {
+  const tip::engine::TypeInfo& info =
+      blade().db.types().Get(TypeForIndex(state.range(0)));
+  tip::engine::Datum value = *info.ops.parse(LiteralFor(info.name));
+  std::string bytes;
+  info.ops.serialize(value, &bytes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(info.ops.deserialize(bytes));
+  }
+  state.SetLabel(info.name);
+}
+BENCHMARK(BM_DeserializeBinary)->DenseRange(0, 4);
+
+// Element text round trip as a function of period count.
+void BM_ElementParseByPeriods(benchmark::State& state) {
+  std::string literal = "{";
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    if (i > 0) literal += ", ";
+    literal += "[19" + std::to_string(10 + i / 12 % 90) + "-" +
+               std::to_string(1 + i % 12) + "-01, 19" +
+               std::to_string(10 + i / 12 % 90) + "-" +
+               std::to_string(1 + i % 12) + "-02]";
+  }
+  literal += "}";
+  const tip::engine::TypeInfo& info =
+      blade().db.types().Get(blade().types.element);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(info.ops.parse(literal));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ElementParseByPeriods)->RangeMultiplier(4)->Range(1, 1024)
+    ->Complexity(benchmark::oNLogN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

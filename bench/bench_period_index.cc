@@ -1,0 +1,98 @@
+// EXP-INDEX: the period/interval index as a DataBlade access method
+// (the Bliujute et al. ICDE'99 related-work line: "a temporal index for
+// period-valued tuple timestamps").
+//
+// Overlap ("window") queries over an Element column at fixed table size
+// and varying window selectivity: full scan vs interval-index scan, and
+// the one-time index build cost. Also a stabbing ("timeslice") probe.
+
+#include <cinttypes>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace tip;
+  constexpr int64_t kRows = 20000;
+
+  std::unique_ptr<client::Connection> conn = bench::OpenTip();
+  engine::Database& db = conn->database();
+
+  workload::MedicalConfig config;
+  config.rows = kRows;
+  config.num_patients = 2000;
+  config.num_drugs = 50;
+  config.now_relative_fraction = 0.0;
+  // Short prescriptions over a long history: window selectivity actually
+  // sweeps from per-mille to everything.
+  config.history_days = 7300;
+  config.min_periods = 1;
+  config.max_periods = 2;
+  config.min_period_days = 3;
+  config.max_period_days = 21;
+  bench::CheckResult(workload::SetUpPrescriptionTable(
+                         &db, conn->tip_types(), config, "rx"),
+                     "setup");
+
+  const double build_ms = bench::TimeMs([&] {
+    bench::MustExec(&db,
+                    "CREATE INDEX rx_valid ON rx (valid) USING interval");
+    // Force the lazy build with a tiny probe.
+    bench::MustExec(&db,
+                    "SELECT count(*) FROM rx WHERE overlaps(valid, "
+                    "'{[1990-01-01, 1990-01-02]}'::Element)");
+  });
+  std::printf("EXP-INDEX: %" PRId64 " rows; index build+first-probe "
+              "%.1f ms\n\n",
+              kRows, build_ms);
+  std::printf("%14s %10s %9s %9s %9s\n", "window_days", "matches",
+              "scan_ms", "index_ms", "speedup");
+
+  const char* window_start = "1994-06-01";
+  for (int64_t days : {1, 7, 30, 180, 730, 3650}) {
+    Chronon start = *Chronon::Parse(window_start);
+    Chronon end = *start.Add(*Span::FromDays(days));
+    const std::string window =
+        "'{[" + start.ToString() + ", " + end.ToString() + "]}'::Element";
+    const std::string query =
+        "SELECT count(*) FROM rx WHERE overlaps(valid, " + window + ")";
+
+    engine::ResultSet scan_result, index_result;
+    bench::MustExec(&db, "SET interval_join off");
+    const double scan_ms = bench::MedianTimeMs(
+        [&] { scan_result = bench::MustExec(&db, query); });
+    bench::MustExec(&db, "SET interval_join on");
+    const double index_ms = bench::MedianTimeMs(
+        [&] { index_result = bench::MustExec(&db, query); });
+
+    const int64_t matches = scan_result.rows[0][0].int_value();
+    if (matches != index_result.rows[0][0].int_value()) {
+      std::fprintf(stderr, "MISMATCH at window %" PRId64 "\n", days);
+      return 1;
+    }
+    std::printf("%14" PRId64 " %10" PRId64 " %9.2f %9.2f %8.1fx\n", days,
+                matches, scan_ms, index_ms, scan_ms / index_ms);
+  }
+
+  // Timeslice probes (stabbing queries) via contains(valid, chronon):
+  // the index path requires the overlaps() spelling, so express the
+  // slice as a one-chronon window.
+  std::printf("\ntimeslice (one-chronon window):\n");
+  engine::ResultSet scan_result, index_result;
+  const std::string slice =
+      "SELECT count(*) FROM rx WHERE overlaps(valid, "
+      "'{[1994-06-01, 1994-06-01]}'::Element)";
+  bench::MustExec(&db, "SET interval_join off");
+  const double scan_ms = bench::MedianTimeMs(
+      [&] { scan_result = bench::MustExec(&db, slice); });
+  bench::MustExec(&db, "SET interval_join on");
+  const double index_ms = bench::MedianTimeMs(
+      [&] { index_result = bench::MustExec(&db, slice); });
+  std::printf("%14s %10" PRId64 " %9.2f %9.2f %8.1fx\n", "slice",
+              scan_result.rows[0][0].int_value(), scan_ms, index_ms,
+              scan_ms / index_ms);
+  std::printf(
+      "\nshape check: the index wins big at low selectivity and"
+      "\nconverges toward the scan as the window approaches the whole"
+      "\nhistory (every tuple matches either way).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// EXP-JOIN: the temporal self-join (paper Q2: "who has taken Diabeta
+// and Aspirin simultaneously") across physical strategies and scales.
+//
+//   nl        TIP integrated, nested-loop with the overlaps() routine;
+//   ixjoin    TIP integrated, interval-index join (the Bliujute-style
+//             period index as a DataBlade access method);
+//   layered   flattened schema, standard-SQL inequality join.
+//
+// The layered join produces one row per overlapping *period pair* and
+// still needs a coalescing pass to match TIP's Element output; its
+// reported time excludes that extra pass, so it is a lower bound.
+
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "layered/layered.h"
+
+int main() {
+  using namespace tip;
+  std::printf("EXP-JOIN: temporal self-join (drug A x drug B overlap)\n");
+  std::printf("%8s %8s %10s %10s %12s %8s\n", "rows", "pairs", "nl_ms",
+              "ixjoin_ms", "layered_ms", "agree");
+
+  for (int64_t rows : {100, 200, 400, 800, 1600, 3200}) {
+    std::unique_ptr<client::Connection> conn = bench::OpenTip();
+    engine::Database& db = conn->database();
+
+    workload::MedicalConfig config;
+    config.rows = rows;
+    config.num_patients = static_cast<int>(rows / 8) + 1;
+    config.num_drugs = 10;
+    config.now_relative_fraction = 0.1;
+    std::vector<workload::PrescriptionRow> data = bench::CheckResult(
+        workload::SetUpPrescriptionTable(&db, conn->tip_types(), config,
+                                         "rx"),
+        "setup rx");
+    bench::Check(layered::CreateFlatPrescriptionTable(&db, "rx_flat"),
+                 "create flat");
+    bench::Check(layered::LoadFlatPrescriptions(&db, data, "rx_flat",
+                                                db.CurrentTx()),
+                 "load flat");
+    bench::MustExec(&db,
+                    "CREATE INDEX rx_valid ON rx (valid) USING interval");
+
+    const std::string tip_join =
+        "SELECT count(*) FROM rx p1, rx p2 "
+        "WHERE p1.drug = 'drug0001' AND p2.drug = 'drug0002' "
+        "AND p1.patient = p2.patient AND overlaps(p1.valid, p2.valid)";
+
+    engine::ResultSet nl_result, ix_result, layered_result;
+
+    // Nested loop: both accelerations off. (Hash join stays off too so
+    // the baseline is the plain O(n^2) loop a naive plan would run.)
+    bench::MustExec(&db, "SET interval_join off");
+    bench::MustExec(&db, "SET hash_join off");
+    const double nl_ms = bench::MedianTimeMs(
+        [&] { nl_result = bench::MustExec(&db, tip_join); });
+
+    // Interval-index join.
+    bench::MustExec(&db, "SET interval_join on");
+    const double ix_ms = bench::MedianTimeMs(
+        [&] { ix_result = bench::MustExec(&db, tip_join); });
+    bench::MustExec(&db, "SET hash_join on");
+
+    // Layered flattened join (hash join on, its best case).
+    const double layered_ms = bench::MedianTimeMs([&] {
+      layered_result = bench::MustExec(
+          &db, layered::TemporalJoinSql("rx_flat", "drug0001",
+                                        "drug0002"));
+    });
+
+    const int64_t pairs = nl_result.rows[0][0].int_value();
+    const bool agree = pairs == ix_result.rows[0][0].int_value();
+
+    std::printf("%8" PRId64 " %8" PRId64 " %10.2f %10.2f %12.2f %8s\n",
+                rows, pairs, nl_ms, ix_ms, layered_ms,
+                agree ? "yes" : "NO");
+    (void)layered_result;
+  }
+  std::printf(
+      "\nshape check: nl_ms grows quadratically; ixjoin_ms stays far"
+      "\nbelow it at scale (index probes replace the inner scan); the"
+      "\nlayered join needs a further coalescing pass TIP does not.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+#ifndef TIP_BENCH_BENCH_UTIL_H_
+#define TIP_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the table-style experiment harnesses: each
+// bench binary prints the rows/series of one paper-reproduction
+// experiment (see DESIGN.md section 4 and EXPERIMENTS.md).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "client/connection.h"
+#include "workload/medical.h"
+
+namespace tip::bench {
+
+/// Wall-clock milliseconds of one call.
+inline double TimeMs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Median-of-three wall-clock milliseconds.
+inline double MedianTimeMs(const std::function<void()>& fn) {
+  double a = TimeMs(fn), b = TimeMs(fn), c = TimeMs(fn);
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  return a > b ? a : b;
+}
+
+/// Aborts with a message on error — benches have no recovery story.
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(EXIT_FAILURE);
+  }
+}
+
+template <typename T>
+T CheckResult(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(EXIT_FAILURE);
+  }
+  return std::move(result).value();
+}
+
+/// Opens a TIP connection pinned to the canonical demo NOW.
+inline std::unique_ptr<client::Connection> OpenTip() {
+  std::unique_ptr<client::Connection> conn =
+      CheckResult(client::Connection::Open(), "open");
+  conn->SetNow(*Chronon::Parse("1999-11-15"));
+  return conn;
+}
+
+/// Executes SQL, aborting on failure; returns the engine result.
+inline engine::ResultSet MustExec(engine::Database* db,
+                                  std::string_view sql) {
+  Result<engine::ResultSet> r = db->Execute(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "sql failed: %.*s\n  %s\n",
+                 static_cast<int>(sql.size()), sql.data(),
+                 r.status().ToString().c_str());
+    std::exit(EXIT_FAILURE);
+  }
+  return std::move(*r);
+}
+
+}  // namespace tip::bench
+
+#endif  // TIP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,86 @@
+// Bitemporal auditing with TIP: valid time from the Element column,
+// transaction time from the tracked-table layer (src/ttime/).
+//
+// The scenario: a prescription's validity is recorded, later corrected
+// retroactively, and finally closed out. Every past *belief* of the
+// database remains reconstructible with AS OF, while the valid-time
+// dimension keeps answering "when was the patient actually on the
+// drug". The symbolic NOW plays both roles: open-ended validity in the
+// Element, and "current version" in the transaction-time column.
+//
+// Run:   ./build/examples/bitemporal_audit
+
+#include <cstdio>
+
+#include "ttime/tracked_table.h"
+
+namespace {
+
+void Show(const char* title, tip::Result<tip::client::ResultSet> result) {
+  std::printf("-- %s\n", title);
+  if (!result.ok()) {
+    std::printf("error: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n", result->ToTable().c_str());
+}
+
+}  // namespace
+
+int main() {
+  auto conn_or = tip::client::Connection::Open();
+  if (!conn_or.ok()) return 1;
+  tip::client::Connection& conn = **conn_or;
+
+  conn.SetNow(*tip::Chronon::Parse("1999-02-01"));
+  auto rx_or = tip::ttime::TrackedTable::Create(
+      &conn, "rx", "patient CHAR(12), drug CHAR(12), valid Element");
+  if (!rx_or.ok()) {
+    std::fprintf(stderr, "%s\n", rx_or.status().ToString().c_str());
+    return 1;
+  }
+  tip::ttime::TrackedTable& rx = *rx_or;
+
+  // 1999-02-01: the prescription is recorded as open-ended.
+  (void)rx.Insert("'showbiz', 'diabeta', '{[1999-02-01, NOW]}'");
+
+  // 1999-04-10: a data-entry audit discovers it actually started in
+  // January — a retroactive valid-time correction, recorded in
+  // transaction time. The replacement literal keeps the symbolic NOW so
+  // the prescription stays open-ended (element *algebra* grounds NOW;
+  // a literal assignment preserves it).
+  conn.SetNow(*tip::Chronon::Parse("1999-04-10"));
+  (void)rx.Update({{"valid", "'{[1999-01-15, NOW]}'::Element"}},
+                  "patient = 'showbiz'");
+
+  // 1999-06-30: the prescription ends; the open period is closed.
+  conn.SetNow(*tip::Chronon::Parse("1999-06-30"));
+  (void)rx.Update(
+      {{"valid", "intersect(valid, "
+                 "'{[0001-01-01, 1999-06-30]}'::Element)"}},
+      "patient = 'showbiz'");
+
+  Show("full transaction-time history (three versions)", rx.History(""));
+
+  conn.SetNow(*tip::Chronon::Parse("1999-12-01"));
+  Show("what we believed on 1999-03-01 (before the correction)",
+       rx.AsOf(*tip::Chronon::Parse("1999-03-01"),
+               "patient, drug, valid", ""));
+  Show("what we believed on 1999-05-01 (corrected, still open)",
+       rx.AsOf(*tip::Chronon::Parse("1999-05-01"),
+               "patient, drug, valid", ""));
+  Show("what we believe today", rx.Current("patient, drug, valid", ""));
+
+  // Both dimensions at once: was the patient on the drug on
+  // 1999-01-20, according to (a) what we knew on 1999-03-01, and
+  // (b) what we know now?
+  auto then = rx.AsOf(*tip::Chronon::Parse("1999-03-01"),
+                      "contains(valid, '1999-01-20'::Chronon)", "");
+  auto now = rx.Current("contains(valid, '1999-01-20'::Chronon)", "");
+  if (then.ok() && now.ok()) {
+    std::printf("on the drug on 1999-01-20?  believed-then: %s, "
+                "believed-now: %s\n",
+                then->GetText(0, 0).c_str(), now->GetText(0, 0).c_str());
+  }
+  return 0;
+}

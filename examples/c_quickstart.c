@@ -1,0 +1,66 @@
+/* The paper's demo through the TIP *C* client library — compiled as
+ * plain C (this file is the proof that the C API has C linkage).
+ *
+ * Run:   ./build/examples/c_quickstart
+ */
+
+#include <stdio.h>
+
+#include "capi/tip_c.h"
+
+static int run(tip_connection* conn, const char* sql) {
+  tip_result* result = NULL;
+  if (tip_exec(conn, sql, &result) != 0) {
+    printf("error: %s\n", tip_last_error(conn));
+    return -1;
+  }
+  size_t rows = tip_result_row_count(result);
+  size_t cols = tip_result_column_count(result);
+  if (cols > 0) {
+    for (size_t c = 0; c < cols; ++c) {
+      printf("%s%s", c ? " | " : "", tip_result_column_name(result, c));
+    }
+    printf("\n");
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        const char* text = tip_result_is_null(result, r, c)
+                               ? "NULL"
+                               : tip_result_text(result, r, c);
+        printf("%s%s", c ? " | " : "", text);
+      }
+      printf("\n");
+    }
+  } else {
+    printf("(%lld rows affected)\n",
+           tip_result_affected_rows(result));
+  }
+  printf("\n");
+  tip_result_free(result);
+  return 0;
+}
+
+int main(void) {
+  tip_connection* conn = tip_open();
+  if (conn == NULL) {
+    fprintf(stderr, "tip_open failed\n");
+    return 1;
+  }
+  tip_set_now(conn, "1999-11-15");
+
+  run(conn, "CREATE TABLE Prescription (patient CHAR(20), drug CHAR(20),"
+            " valid Element)");
+  run(conn, "INSERT INTO Prescription VALUES "
+            "('Mr.Showbiz', 'Diabeta', '{[1999-10-01, NOW]}'), "
+            "('Mr.Showbiz', 'Aspirin', '{[1999-09-15, 1999-10-20]}')");
+  run(conn, "SELECT patient, drug, valid, length(valid) AS len "
+            "FROM Prescription ORDER BY drug");
+  run(conn, "SELECT p1.patient, intersect(p1.valid, p2.valid) AS both "
+            "FROM Prescription p1, Prescription p2 "
+            "WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' "
+            "AND overlaps(p1.valid, p2.valid)");
+  /* Errors surface through tip_last_error: */
+  run(conn, "SELECT '1999-01-01'::Chronon + '1999-01-02'::Chronon");
+
+  tip_close(conn);
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Temporal view maintenance — the application TIP was built for.
+//
+// The authors' motivation (paper §1, refs [9, 10]) was a *temporal data
+// warehouse*: maintaining temporal views over changing sources. This
+// example maintains a materialized temporal view
+//
+//     DrugExposure(patient, drug, exposure Element)
+//
+// — per (patient, drug), the coalesced union of all prescription
+// validity — incrementally: each batch of new prescriptions updates
+// only the affected view rows, using TIP's union() routine, instead of
+// recomputing the view. A full recomputation via group_union checks the
+// incremental result after every batch.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "client/connection.h"
+#include "workload/medical.h"
+
+namespace {
+
+using tip::client::Connection;
+
+// Recompute the view from scratch (the correctness oracle).
+tip::Result<std::map<std::string, std::string>> FullView(Connection& conn) {
+  std::map<std::string, std::string> out;
+  TIP_ASSIGN_OR_RETURN(
+      tip::client::ResultSet full,
+      conn.Execute("SELECT patient, drug, group_union(valid)::char "
+                   "FROM rx GROUP BY patient, drug"));
+  for (size_t i = 0; i < full.row_count(); ++i) {
+    out[full.GetString(i, 0) + "|" + full.GetString(i, 1)] =
+        full.GetString(i, 2);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  tip::Result<std::unique_ptr<Connection>> conn_or = Connection::Open();
+  if (!conn_or.ok()) {
+    std::fprintf(stderr, "open: %s\n", conn_or.status().ToString().c_str());
+    return 1;
+  }
+  Connection& conn = **conn_or;
+  conn.SetNow(*tip::Chronon::Parse("1999-11-15"));
+
+  // Base table and the materialized view.
+  (void)conn.Execute("CREATE TABLE rx (doctor CHAR(20), patient CHAR(20),"
+                     " patientdob Chronon, drug CHAR(20), dosage INT, "
+                     "frequency Span, valid Element)");
+  (void)conn.Execute("CREATE TABLE drug_exposure (patient CHAR(20), "
+                     "drug CHAR(20), exposure Element)");
+
+  tip::workload::MedicalConfig config;
+  config.rows = 600;
+  config.num_patients = 25;
+  config.num_drugs = 8;
+  std::vector<tip::workload::PrescriptionRow> all_rows =
+      tip::workload::GeneratePrescriptions(config);
+
+  // Prepared statements for the incremental maintenance plan.
+  tip::client::Statement probe = conn.Prepare(
+      "SELECT count(*) FROM drug_exposure "
+      "WHERE patient = :p AND drug = :d");
+  tip::client::Statement update = conn.Prepare(
+      "UPDATE drug_exposure SET exposure = union(exposure, :v) "
+      "WHERE patient = :p AND drug = :d");
+  tip::client::Statement insert = conn.Prepare(
+      "INSERT INTO drug_exposure VALUES (:p, :d, :v)");
+  tip::client::Statement base_insert = conn.Prepare(
+      "INSERT INTO rx VALUES (:doctor, :patient, :dob, :drug, :dosage, "
+      ":freq, :valid)");
+
+  const size_t kBatch = 150;
+  for (size_t start = 0; start < all_rows.size(); start += kBatch) {
+    const size_t end = std::min(start + kBatch, all_rows.size());
+    for (size_t i = start; i < end; ++i) {
+      const tip::workload::PrescriptionRow& row = all_rows[i];
+      // 1. the source insert
+      auto inserted = base_insert.ClearBindings()
+                          .BindString("doctor", row.doctor)
+                          .BindString("patient", row.patient)
+                          .BindChronon("dob", row.patient_dob)
+                          .BindString("drug", row.drug)
+                          .BindInt("dosage", row.dosage)
+                          .BindSpan("freq", row.frequency)
+                          .BindElement("valid", row.valid)
+                          .Execute();
+      if (!inserted.ok()) {
+        std::fprintf(stderr, "insert: %s\n",
+                     inserted.status().ToString().c_str());
+        return 1;
+      }
+      // 2. the incremental view delta: union the new validity into the
+      //    affected view row (insert it if absent).
+      auto exists = probe.ClearBindings()
+                        .BindString("p", row.patient)
+                        .BindString("d", row.drug)
+                        .Execute();
+      if (!exists.ok()) return 1;
+      tip::client::Statement& delta =
+          exists->GetInt(0, 0) > 0 ? update : insert;
+      auto applied = delta.ClearBindings()
+                         .BindString("p", row.patient)
+                         .BindString("d", row.drug)
+                         .BindElement("v", row.valid)
+                         .Execute();
+      if (!applied.ok()) {
+        std::fprintf(stderr, "delta: %s\n",
+                     applied.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    // Verify the incremental view against full recomputation.
+    auto oracle = FullView(conn);
+    if (!oracle.ok()) return 1;
+    // The view preserves NOW symbolically when a (patient, drug) pair
+    // has a single open-ended prescription (its element was stored
+    // verbatim), which is *better* than the grounded oracle — but for
+    // comparison, ground it: union with the empty element normalizes.
+    auto view = conn.Execute(
+        "SELECT patient, drug, union(exposure, '{}'::Element)::char "
+        "FROM drug_exposure");
+    if (!view.ok()) return 1;
+    size_t mismatches = 0;
+    for (size_t i = 0; i < view->row_count(); ++i) {
+      const std::string key =
+          view->GetString(i, 0) + "|" + view->GetString(i, 1);
+      auto it = oracle->find(key);
+      if (it == oracle->end() || it->second != view->GetString(i, 2)) {
+        ++mismatches;
+      }
+    }
+    std::printf("after %4zu source rows: view has %4zu (patient, drug) "
+                "exposures, %zu mismatches vs recomputation\n",
+                end, view->row_count(), mismatches);
+    if (mismatches != 0 || view->row_count() != oracle->size()) {
+      std::fprintf(stderr, "INCREMENTAL VIEW DIVERGED\n");
+      return 1;
+    }
+  }
+
+  // A sample analytical query over the maintained view.
+  auto top = conn.Execute(
+      "SELECT patient, drug, length(exposure) AS exposed "
+      "FROM drug_exposure ORDER BY exposed DESC, patient, drug LIMIT 5");
+  if (top.ok()) {
+    std::printf("\nlongest exposures:\n%s", top->ToTable().c_str());
+  }
+  std::printf("\nincremental maintenance matched full recomputation at "
+              "every batch.\n");
+  return 0;
+}

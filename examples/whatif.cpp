@@ -1,0 +1,68 @@
+// What-if analysis with NOW (paper Sections 2 and 4).
+//
+// The special symbol NOW is interpreted as the current transaction time
+// during query evaluation, so "a temporal query may return different
+// results when asked at different times, even if the underlying data
+// remains unchanged". This example asks the *same* query under a series
+// of NOW overrides and shows the answers drifting.
+//
+// Run:   ./build/examples/whatif
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "client/connection.h"
+
+int main() {
+  tip::Result<std::unique_ptr<tip::client::Connection>> conn_or =
+      tip::client::Connection::Open();
+  if (!conn_or.ok()) {
+    std::fprintf(stderr, "open: %s\n", conn_or.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+  tip::client::Connection& conn = **conn_or;
+
+  // Employee project assignments; two are open-ended ([start, NOW]).
+  if (!conn.Execute("CREATE TABLE assignment (who CHAR(10), "
+                    "project CHAR(10), valid Element)").ok() ||
+      !conn.Execute(
+           "INSERT INTO assignment VALUES "
+           "('ada',  'tip',   '{[1999-01-01, NOW]}'), "
+           "('ada',  'audit', '{[1999-03-01, 1999-05-31]}'), "
+           "('grace','tip',   '{[1999-04-15, NOW]}'), "
+           "('edsger','etl',  '{[1998-06-01, 1999-02-28]}')").ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return EXIT_FAILURE;
+  }
+
+  const char* current =
+      "SELECT who, project FROM assignment "
+      "WHERE contains(valid, transaction_time()) ORDER BY who";
+  const char* workload =
+      "SELECT who, length(group_union(valid)) AS busy "
+      "FROM assignment GROUP BY who ORDER BY who";
+
+  for (const char* now : {"1999-02-01", "1999-04-01", "1999-07-01"}) {
+    conn.SetNow(*tip::Chronon::Parse(now));
+    std::printf("== NOW overridden to %s ==\n", now);
+    std::printf("currently staffed:\n");
+    tip::Result<tip::client::ResultSet> staffed = conn.Execute(current);
+    if (staffed.ok()) std::printf("%s", staffed->ToTable().c_str());
+    std::printf("accumulated assignment time so far:\n");
+    tip::Result<tip::client::ResultSet> busy = conn.Execute(workload);
+    if (busy.ok()) std::printf("%s\n", busy->ToTable().c_str());
+  }
+
+  // The NOW-relative comparison the paper calls out: the same WHERE
+  // clause flips as time advances.
+  const char* recent =
+      "SELECT who, project FROM assignment "
+      "WHERE end(valid) > 'NOW-30'::Instant ORDER BY who, project";
+  for (const char* now : {"1999-03-15", "1999-12-31"}) {
+    conn.SetNow(*tip::Chronon::Parse(now));
+    std::printf("== active in the 30 days before %s ==\n", now);
+    tip::Result<tip::client::ResultSet> r = conn.Execute(recent);
+    if (r.ok()) std::printf("%s\n", r->ToTable().c_str());
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,87 @@
+#ifndef TIP_BROWSER_TIMELINE_H_
+#define TIP_BROWSER_TIMELINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "client/connection.h"
+#include "common/status.h"
+#include "core/chronon.h"
+#include "core/element.h"
+
+namespace tip::browser {
+
+/// The browsing window over the time line — the adjustable-size,
+/// movable viewport of the TIP Browser (Figure 2). A slider position in
+/// [0, 1] places the window inside the data's full extent.
+struct TimeWindow {
+  Chronon start;
+  Chronon end;  // inclusive, start <= end
+};
+
+/// One browsable tuple: its display label (the non-temporal columns,
+/// rendered) and the grounded validity of its temporal attribute.
+struct TimelineRow {
+  std::vector<std::string> fields;
+  GroundedElement valid;
+};
+
+/// A text-mode reimplementation of the TIP Browser's result display:
+/// tuples on the left, their valid periods drawn as segments of the
+/// time line on the right, rows highlighted ('*') when they are valid
+/// somewhere inside the current window. The user may browse by any
+/// attribute of type Chronon, Instant, Period or Element — anything
+/// with an interval interpretation.
+class TimelineView {
+ public:
+  /// Builds a view from a query result. `temporal_column` selects the
+  /// attribute that defines when each tuple is valid; its type must be
+  /// one of the four temporal types. NOW-relative values are grounded
+  /// under `ctx` (the connection's override, if any — what-if browsing).
+  static Result<TimelineView> Create(const client::ResultSet& result,
+                                     std::string_view temporal_column,
+                                     const TxContext& ctx);
+
+  const std::vector<TimelineRow>& rows() const { return rows_; }
+  const std::vector<std::string>& headers() const { return headers_; }
+
+  /// The bounding period of all non-empty rows; fails when every row is
+  /// empty (nothing to browse).
+  Result<GroundedPeriod> FullExtent() const;
+
+  /// True per row iff the row's validity intersects `window`.
+  std::vector<bool> HighlightMask(const TimeWindow& window) const;
+
+  /// The window of length `span` whose start is placed at `position`
+  /// (0 = extent start, 1 = flush right) along the full extent — the
+  /// slider beneath the result area.
+  Result<TimeWindow> WindowAt(double position, const Span& span) const;
+
+  /// Renders the whole view: header, one line per tuple (label columns,
+  /// highlight marker, timeline segments within `window`), and a footer
+  /// axis with the window's endpoints. `width` is the number of cells
+  /// in the timeline strip.
+  std::string Render(const TimeWindow& window, int width) const;
+
+  /// The number of tuples valid in each of `width` equal buckets of
+  /// `window` — the data behind the Browser's "distribution of the
+  /// result tuples over time" visualization.
+  std::vector<size_t> Density(const TimeWindow& window, int width) const;
+
+  /// Renders Density as one text strip (' ' for zero, '1'..'9', then
+  /// '#' for ten or more).
+  std::string RenderDensity(const TimeWindow& window, int width) const;
+
+ private:
+  TimelineView(std::vector<std::string> headers,
+               std::vector<TimelineRow> rows)
+      : headers_(std::move(headers)), rows_(std::move(rows)) {}
+
+  std::vector<std::string> headers_;
+  std::vector<TimelineRow> rows_;
+};
+
+}  // namespace tip::browser
+
+#endif  // TIP_BROWSER_TIMELINE_H_

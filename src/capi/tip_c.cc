@@ -1,0 +1,149 @@
+#include "capi/tip_c.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "client/connection.h"
+
+/// C handles wrap the C++ client objects; text cells are rendered
+/// lazily and cached so the returned pointers stay valid for the
+/// result's lifetime.
+struct tip_connection {
+  std::unique_ptr<tip::client::Connection> impl;
+  std::string last_error;
+};
+
+struct tip_result {
+  tip::engine::ResultSet rows;
+  const tip::engine::TypeRegistry* types;
+  std::map<std::pair<size_t, size_t>, std::string> text_cache;
+  std::string name_cache;  // last returned metadata string
+};
+
+namespace {
+
+bool InRange(const tip_result* result, size_t row, size_t col) {
+  return result != nullptr && row < result->rows.rows.size() &&
+         col < result->rows.rows[row].size();
+}
+
+}  // namespace
+
+extern "C" {
+
+tip_connection* tip_open(void) {
+  tip::Result<std::unique_ptr<tip::client::Connection>> conn =
+      tip::client::Connection::Open();
+  if (!conn.ok()) return nullptr;
+  auto* out = new tip_connection;
+  out->impl = std::move(*conn);
+  return out;
+}
+
+void tip_close(tip_connection* conn) { delete conn; }
+
+const char* tip_last_error(const tip_connection* conn) {
+  return conn == nullptr ? "null connection" : conn->last_error.c_str();
+}
+
+int tip_set_now(tip_connection* conn, const char* chronon_literal) {
+  if (conn == nullptr || chronon_literal == nullptr) return -1;
+  tip::Result<tip::Chronon> now = tip::Chronon::Parse(chronon_literal);
+  if (!now.ok()) {
+    conn->last_error = now.status().ToString();
+    return -1;
+  }
+  conn->impl->SetNow(*now);
+  conn->last_error.clear();
+  return 0;
+}
+
+int tip_clear_now(tip_connection* conn) {
+  if (conn == nullptr) return -1;
+  conn->impl->ClearNow();
+  conn->last_error.clear();
+  return 0;
+}
+
+int tip_exec(tip_connection* conn, const char* sql, tip_result** out) {
+  if (out != nullptr) *out = nullptr;
+  if (conn == nullptr || sql == nullptr) return -1;
+  tip::Result<tip::client::ResultSet> result = conn->impl->Execute(sql);
+  if (!result.ok()) {
+    conn->last_error = result.status().ToString();
+    return -1;
+  }
+  conn->last_error.clear();
+  if (out != nullptr) {
+    auto* handle = new tip_result;
+    handle->rows = result->raw();
+    handle->types = &conn->impl->database().types();
+    *out = handle;
+  }
+  return 0;
+}
+
+void tip_result_free(tip_result* result) { delete result; }
+
+size_t tip_result_row_count(const tip_result* result) {
+  return result == nullptr ? 0 : result->rows.rows.size();
+}
+
+size_t tip_result_column_count(const tip_result* result) {
+  return result == nullptr ? 0 : result->rows.columns.size();
+}
+
+long long tip_result_affected_rows(const tip_result* result) {
+  return result == nullptr ? 0 : result->rows.affected_rows;
+}
+
+const char* tip_result_column_name(const tip_result* result, size_t col) {
+  if (result == nullptr || col >= result->rows.columns.size()) {
+    return nullptr;
+  }
+  return result->rows.columns[col].name.c_str();
+}
+
+const char* tip_result_column_type(const tip_result* result, size_t col) {
+  if (result == nullptr || col >= result->rows.columns.size()) {
+    return nullptr;
+  }
+  return result->types->Get(result->rows.columns[col].type).name.c_str();
+}
+
+int tip_result_is_null(const tip_result* result, size_t row, size_t col) {
+  if (!InRange(result, row, col)) return 1;
+  return result->rows.rows[row][col].is_null() ? 1 : 0;
+}
+
+const char* tip_result_text(tip_result* result, size_t row, size_t col) {
+  if (!InRange(result, row, col)) return nullptr;
+  auto [it, inserted] = result->text_cache.try_emplace(
+      std::make_pair(row, col));
+  if (inserted) {
+    it->second = result->types->Format(result->rows.rows[row][col]);
+  }
+  return it->second.c_str();
+}
+
+long long tip_result_int64(const tip_result* result, size_t row,
+                           size_t col) {
+  if (!InRange(result, row, col)) return 0;
+  const tip::engine::Datum& d = result->rows.rows[row][col];
+  if (d.is_null() || d.type_id() != tip::engine::TypeId::kInt) return 0;
+  return d.int_value();
+}
+
+double tip_result_double(const tip_result* result, size_t row,
+                         size_t col) {
+  if (!InRange(result, row, col)) return 0.0;
+  const tip::engine::Datum& d = result->rows.rows[row][col];
+  if (d.is_null() || d.type_id() != tip::engine::TypeId::kDouble) {
+    return 0.0;
+  }
+  return d.double_value();
+}
+
+}  // extern "C"

@@ -1,0 +1,68 @@
+#ifndef TIP_CAPI_TIP_C_H_
+#define TIP_CAPI_TIP_C_H_
+
+/* The TIP C client library — the paper ships "both C and Java
+ * libraries for client applications to access a TIP-enabled database";
+ * this is the C one. A connection owns an embedded TIP-enabled engine;
+ * statements are SQL text; results are addressed by (row, column) with
+ * text rendering through each type's output function plus int64/double
+ * fast paths for the builtin scalars.
+ *
+ * Every fallible call returns 0 on success and -1 on failure;
+ * tip_last_error() describes the most recent failure on the
+ * connection. All handles are single-threaded.
+ */
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct tip_connection tip_connection;
+typedef struct tip_result tip_result;
+
+/* Opens an embedded database with the TIP DataBlade installed.
+ * Returns NULL on failure. */
+tip_connection* tip_open(void);
+void tip_close(tip_connection* conn);
+
+/* The message of the last failed call on `conn` ("" if none). The
+ * pointer stays valid until the next call on the connection. */
+const char* tip_last_error(const tip_connection* conn);
+
+/* Overrides / restores the interpretation of NOW (what-if analysis).
+ * `chronon_literal` uses the paper's notation, e.g. "1999-11-15". */
+int tip_set_now(tip_connection* conn, const char* chronon_literal);
+int tip_clear_now(tip_connection* conn);
+
+/* Executes one SQL statement. On success, `*out` (if out != NULL)
+ * receives a result handle the caller frees with tip_result_free;
+ * pass NULL to discard the result. */
+int tip_exec(tip_connection* conn, const char* sql, tip_result** out);
+
+void tip_result_free(tip_result* result);
+
+size_t tip_result_row_count(const tip_result* result);
+size_t tip_result_column_count(const tip_result* result);
+long long tip_result_affected_rows(const tip_result* result);
+
+/* Column metadata. Returned strings are owned by the result. */
+const char* tip_result_column_name(const tip_result* result, size_t col);
+const char* tip_result_column_type(const tip_result* result, size_t col);
+
+/* Cell accessors. `tip_result_text` renders any value (including the
+ * five TIP types, NOW kept symbolic) through its output function; the
+ * string is owned by the result and valid until tip_result_free.
+ * Out-of-range indexes yield NULL / 0. */
+int tip_result_is_null(const tip_result* result, size_t row, size_t col);
+const char* tip_result_text(tip_result* result, size_t row, size_t col);
+long long tip_result_int64(const tip_result* result, size_t row,
+                           size_t col);
+double tip_result_double(const tip_result* result, size_t row, size_t col);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* TIP_CAPI_TIP_C_H_ */

@@ -1,0 +1,139 @@
+#include "client/connection.h"
+
+namespace tip::client {
+
+Result<std::unique_ptr<Connection>> Connection::Open() {
+  auto db = std::make_unique<engine::Database>();
+  TIP_RETURN_IF_ERROR(datablade::Install(db.get()));
+  TIP_ASSIGN_OR_RETURN(datablade::TipTypes types,
+                       datablade::TipTypes::Lookup(*db));
+  engine::Database* raw = db.get();
+  return std::unique_ptr<Connection>(
+      new Connection(raw, std::move(db), types));
+}
+
+Result<std::unique_ptr<Connection>> Connection::Attach(
+    engine::Database* db) {
+  TIP_ASSIGN_OR_RETURN(datablade::TipTypes types,
+                       datablade::TipTypes::Lookup(*db));
+  return std::unique_ptr<Connection>(new Connection(db, nullptr, types));
+}
+
+Result<ResultSet> Connection::Execute(std::string_view sql) {
+  TIP_ASSIGN_OR_RETURN(engine::ResultSet result, db_->Execute(sql));
+  return ResultSet(std::move(result), types_, &db_->types());
+}
+
+Statement Connection::Prepare(std::string_view sql) {
+  return Statement(this, std::string(sql));
+}
+
+void Connection::SetNow(Chronon now) { db_->SetNowOverride(now); }
+
+void Connection::ClearNow() { db_->SetNowOverride(std::nullopt); }
+
+std::optional<Chronon> Connection::now_override() const {
+  return db_->now_override();
+}
+
+Statement& Statement::BindInt(std::string_view name, int64_t value) {
+  params_[std::string(name)] = engine::Datum::Int(value);
+  return *this;
+}
+Statement& Statement::BindDouble(std::string_view name, double value) {
+  params_[std::string(name)] = engine::Datum::Double(value);
+  return *this;
+}
+Statement& Statement::BindBool(std::string_view name, bool value) {
+  params_[std::string(name)] = engine::Datum::Bool(value);
+  return *this;
+}
+Statement& Statement::BindString(std::string_view name, std::string value) {
+  params_[std::string(name)] = engine::Datum::String(std::move(value));
+  return *this;
+}
+Statement& Statement::BindNull(std::string_view name) {
+  params_[std::string(name)] = engine::Datum::Null();
+  return *this;
+}
+Statement& Statement::BindChronon(std::string_view name,
+                                  const Chronon& value) {
+  params_[std::string(name)] =
+      datablade::MakeChronon(connection_->tip_types(), value);
+  return *this;
+}
+Statement& Statement::BindSpan(std::string_view name, const Span& value) {
+  params_[std::string(name)] =
+      datablade::MakeSpan(connection_->tip_types(), value);
+  return *this;
+}
+Statement& Statement::BindInstant(std::string_view name,
+                                  const Instant& value) {
+  params_[std::string(name)] =
+      datablade::MakeInstant(connection_->tip_types(), value);
+  return *this;
+}
+Statement& Statement::BindPeriod(std::string_view name,
+                                 const Period& value) {
+  params_[std::string(name)] =
+      datablade::MakePeriod(connection_->tip_types(), value);
+  return *this;
+}
+Statement& Statement::BindElement(std::string_view name,
+                                  const Element& value) {
+  params_[std::string(name)] =
+      datablade::MakeElement(connection_->tip_types(), value);
+  return *this;
+}
+Statement& Statement::BindDatum(std::string_view name,
+                                engine::Datum value) {
+  params_[std::string(name)] = std::move(value);
+  return *this;
+}
+Statement& Statement::ClearBindings() {
+  params_.clear();
+  return *this;
+}
+
+Result<ResultSet> Statement::Execute() {
+  engine::Database& db = connection_->database();
+  TIP_ASSIGN_OR_RETURN(engine::ResultSet result, db.Execute(sql_, params_));
+  return ResultSet(std::move(result), connection_->tip_types(),
+                   &db.types());
+}
+
+bool ResultSet::IsNull(size_t row, size_t col) const {
+  return at(row, col).is_null();
+}
+int64_t ResultSet::GetInt(size_t row, size_t col) const {
+  return at(row, col).int_value();
+}
+double ResultSet::GetDouble(size_t row, size_t col) const {
+  return at(row, col).double_value();
+}
+bool ResultSet::GetBool(size_t row, size_t col) const {
+  return at(row, col).bool_value();
+}
+const std::string& ResultSet::GetString(size_t row, size_t col) const {
+  return at(row, col).string_value();
+}
+const Chronon& ResultSet::GetChronon(size_t row, size_t col) const {
+  return datablade::GetChronon(at(row, col));
+}
+const Span& ResultSet::GetSpan(size_t row, size_t col) const {
+  return datablade::GetSpan(at(row, col));
+}
+const Instant& ResultSet::GetInstant(size_t row, size_t col) const {
+  return datablade::GetInstant(at(row, col));
+}
+const Period& ResultSet::GetPeriod(size_t row, size_t col) const {
+  return datablade::GetPeriod(at(row, col));
+}
+const Element& ResultSet::GetElement(size_t row, size_t col) const {
+  return datablade::GetElement(at(row, col));
+}
+std::string ResultSet::GetText(size_t row, size_t col) const {
+  return registry_->Format(at(row, col));
+}
+
+}  // namespace tip::client

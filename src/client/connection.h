@@ -1,0 +1,159 @@
+#ifndef TIP_CLIENT_CONNECTION_H_
+#define TIP_CLIENT_CONNECTION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/chronon.h"
+#include "datablade/datablade.h"
+#include "engine/database.h"
+
+namespace tip::client {
+
+class Statement;
+class ResultSet;
+
+/// A client connection to a TIP-enabled database — the C++ analogue of
+/// the paper's TIP C/Java client libraries over ODBC/JDBC. The
+/// connection owns (or attaches to) an embedded engine instance with
+/// the TIP DataBlade installed, exposes statement preparation with
+/// `:name` parameter binding, and carries the session's NOW override
+/// (the Browser's what-if mechanism).
+class Connection {
+ public:
+  /// Opens a fresh embedded database with the TIP DataBlade installed.
+  static Result<std::unique_ptr<Connection>> Open();
+
+  /// Attaches to an existing TIP-enabled database (not owned). Fails if
+  /// the DataBlade is not installed.
+  static Result<std::unique_ptr<Connection>> Attach(engine::Database* db);
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// One-shot execution without parameters.
+  Result<ResultSet> Execute(std::string_view sql);
+
+  /// Prepares a statement for (repeated) parameterized execution.
+  Statement Prepare(std::string_view sql);
+
+  /// Overrides the interpretation of NOW for subsequent statements on
+  /// this connection; what-if analysis per the TIP Browser.
+  void SetNow(Chronon now);
+  /// Restores the system clock as NOW.
+  void ClearNow();
+  std::optional<Chronon> now_override() const;
+
+  /// The engine type ids of the five TIP types (customized type
+  /// mapping, a la JDBC 2.0).
+  const datablade::TipTypes& tip_types() const { return types_; }
+
+  engine::Database& database() { return *db_; }
+
+ private:
+  Connection(engine::Database* db, std::unique_ptr<engine::Database> owned,
+             datablade::TipTypes types)
+      : owned_(std::move(owned)), db_(db), types_(types) {}
+
+  std::unique_ptr<engine::Database> owned_;  // null when attached
+  engine::Database* db_;
+  datablade::TipTypes types_;
+};
+
+/// A prepared statement with named-parameter binding. Bind* calls are
+/// chainable; Execute may be called repeatedly (rebinding in between).
+class Statement {
+ public:
+  Statement(Connection* connection, std::string sql)
+      : connection_(connection), sql_(std::move(sql)) {}
+
+  Statement& BindInt(std::string_view name, int64_t value);
+  Statement& BindDouble(std::string_view name, double value);
+  Statement& BindBool(std::string_view name, bool value);
+  Statement& BindString(std::string_view name, std::string value);
+  Statement& BindNull(std::string_view name);
+  Statement& BindChronon(std::string_view name, const Chronon& value);
+  Statement& BindSpan(std::string_view name, const Span& value);
+  Statement& BindInstant(std::string_view name, const Instant& value);
+  Statement& BindPeriod(std::string_view name, const Period& value);
+  Statement& BindElement(std::string_view name, const Element& value);
+  /// Binds a raw engine value (power users: re-binding a cell read from
+  /// a ResultSet without unwrapping it).
+  Statement& BindDatum(std::string_view name, engine::Datum value);
+
+  /// Removes all bindings.
+  Statement& ClearBindings();
+
+  Result<ResultSet> Execute();
+
+ private:
+  Connection* connection_;
+  std::string sql_;
+  engine::Params params_;
+};
+
+/// A client-side result set with typed accessors that map TIP datatypes
+/// to their C++ classes — the "customized type mapping" of the paper's
+/// JDBC client. Row/column indexes are 0-based.
+class ResultSet {
+ public:
+  ResultSet(engine::ResultSet result, const datablade::TipTypes& types,
+            const engine::TypeRegistry* registry)
+      : result_(std::move(result)), types_(types), registry_(registry) {}
+
+  size_t row_count() const { return result_.rows.size(); }
+  size_t column_count() const { return result_.columns.size(); }
+  int64_t affected_rows() const { return result_.affected_rows; }
+
+  const std::string& column_name(size_t col) const {
+    return result_.columns[col].name;
+  }
+  engine::TypeId column_type(size_t col) const {
+    return result_.columns[col].type;
+  }
+  /// Case-insensitive lookup; -1 on miss.
+  int FindColumn(std::string_view name) const {
+    return result_.FindColumn(name);
+  }
+
+  bool IsNull(size_t row, size_t col) const;
+
+  // Typed getters. Preconditions: cell is non-null and of the matching
+  // type (column_type tells the caller which getter applies).
+  int64_t GetInt(size_t row, size_t col) const;
+  double GetDouble(size_t row, size_t col) const;
+  bool GetBool(size_t row, size_t col) const;
+  const std::string& GetString(size_t row, size_t col) const;
+  const Chronon& GetChronon(size_t row, size_t col) const;
+  const Span& GetSpan(size_t row, size_t col) const;
+  const Instant& GetInstant(size_t row, size_t col) const;
+  const Period& GetPeriod(size_t row, size_t col) const;
+  const Element& GetElement(size_t row, size_t col) const;
+
+  /// Formats any cell through its type's output function.
+  std::string GetText(size_t row, size_t col) const;
+
+  /// The TIP type ids this result set was produced under.
+  const datablade::TipTypes& tip_types() const { return types_; }
+
+  /// The raw engine result (power users, the Browser).
+  const engine::ResultSet& raw() const { return result_; }
+  /// Renders via engine formatting.
+  std::string ToTable() const { return result_.ToTable(*registry_); }
+
+ private:
+  const engine::Datum& at(size_t row, size_t col) const {
+    return result_.rows[row][col];
+  }
+
+  engine::ResultSet result_;
+  datablade::TipTypes types_;
+  const engine::TypeRegistry* registry_;
+};
+
+}  // namespace tip::client
+
+#endif  // TIP_CLIENT_CONNECTION_H_

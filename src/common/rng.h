@@ -1,0 +1,63 @@
+#ifndef TIP_COMMON_RNG_H_
+#define TIP_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace tip {
+
+/// A small deterministic PRNG (xorshift128+ seeded via splitmix64).
+/// Workload generation and property tests must be reproducible across
+/// platforms, so we do not use std::mt19937 distributions (whose output
+/// is implementation-defined for std::uniform_int_distribution).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into two non-zero lanes.
+    uint64_t z = seed;
+    s0_ = SplitMix(&z);
+    s1_ = SplitMix(&z);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability `p`.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace tip
+
+#endif  // TIP_COMMON_RNG_H_

@@ -1,0 +1,156 @@
+#ifndef TIP_COMMON_STATUS_H_
+#define TIP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tip {
+
+/// Error categories used across the TIP libraries. The set mirrors the
+/// failure modes a DataBlade routine can report to the server: bad input
+/// strings, out-of-range time arithmetic, catalog misses, type mismatches
+/// discovered during overload resolution, and internal invariant breaks.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kParseError = 5,
+  kTypeError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "ParseError").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. TIP never throws across API
+/// boundaries; every fallible routine returns `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type `T` or an error `Status`. Analogous to
+/// `arrow::Result` / `absl::StatusOr`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse: `return 42;` / `return Status::ParseError(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ engaged.
+  std::optional<T> value_;
+};
+
+}  // namespace tip
+
+/// Propagates a non-OK Status from `expr` out of the enclosing function.
+#define TIP_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::tip::Status _tip_status = (expr);             \
+    if (!_tip_status.ok()) return _tip_status;      \
+  } while (false)
+
+#define TIP_CONCAT_IMPL_(x, y) x##y
+#define TIP_CONCAT_(x, y) TIP_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error propagates the Status,
+/// otherwise assigns the value to `lhs` (which may be a declaration).
+#define TIP_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  TIP_ASSIGN_OR_RETURN_IMPL_(TIP_CONCAT_(_tip_result_, __LINE__), lhs, rexpr)
+
+#define TIP_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#endif  // TIP_COMMON_STATUS_H_

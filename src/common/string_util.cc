@@ -1,0 +1,136 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace tip {
+
+std::string_view StripAsciiWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> SplitString(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = std::tolower(static_cast<unsigned char>(c));
+  return out;
+}
+
+std::string ToUpperAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = std::toupper(static_cast<unsigned char>(c));
+  return out;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  s = StripAsciiWhitespace(s);
+  if (s.empty()) return Status::ParseError("empty integer literal");
+  bool negative = false;
+  size_t i = 0;
+  if (s[0] == '+' || s[0] == '-') {
+    negative = (s[0] == '-');
+    i = 1;
+  }
+  if (i == s.size()) return Status::ParseError("sign without digits");
+  uint64_t magnitude = 0;
+  constexpr uint64_t kNegLimit =
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1;
+  const uint64_t limit =
+      negative ? kNegLimit
+               : static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') {
+      return Status::ParseError("invalid digit in integer literal: '" +
+                                std::string(s) + "'");
+    }
+    uint64_t digit = static_cast<uint64_t>(s[i] - '0');
+    if (magnitude > (limit - digit) / 10) {
+      return Status::OutOfRange("integer literal out of range: '" +
+                                std::string(s) + "'");
+    }
+    magnitude = magnitude * 10 + digit;
+  }
+  if (negative) {
+    return static_cast<int64_t>(~magnitude + 1);  // two's complement negate
+  }
+  return static_cast<int64_t>(magnitude);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  s = StripAsciiWhitespace(s);
+  if (s.empty()) return Status::ParseError("empty float literal");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::ParseError("invalid float literal: '" + buf + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("float literal out of range: '" + buf + "'");
+  }
+  return value;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string StringPrintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace tip

@@ -1,0 +1,43 @@
+#ifndef TIP_COMMON_STRING_UTIL_H_
+#define TIP_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tip {
+
+/// Returns `s` with ASCII whitespace removed from both ends.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Splits `s` on `sep`, honouring nothing (no quoting); empty pieces kept.
+std::vector<std::string_view> SplitString(std::string_view s, char sep);
+
+/// ASCII case-insensitive equality (SQL keywords, type names).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lower-cases ASCII letters.
+std::string ToLowerAscii(std::string_view s);
+/// Upper-cases ASCII letters.
+std::string ToUpperAscii(std::string_view s);
+
+/// Parses a decimal integer occupying the whole of `s` (optional sign).
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a decimal floating point number occupying the whole of `s`.
+Result<double> ParseDouble(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace tip
+
+#endif  // TIP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,201 @@
+#include "core/chronon.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/span.h"
+
+namespace tip {
+namespace internal {
+
+int64_t DaysFromCivil(int32_t y, int32_t m, int32_t d) {
+  // Howard Hinnant's days_from_civil, shifted so March is month 0.
+  int64_t year = y;
+  year -= m <= 2;
+  const int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const int64_t yoe = year - era * 400;                          // [0, 399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;     // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
+
+void CivilFromDays(int64_t days, int32_t* y, int32_t* m, int32_t* d) {
+  days += 719468;
+  const int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const int64_t doe = days - era * 146097;                       // [0, 146096]
+  const int64_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;     // [0, 399]
+  const int64_t year = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);   // [0, 365]
+  const int64_t mp = (5 * doy + 2) / 153;                        // [0, 11]
+  *d = static_cast<int32_t>(doy - (153 * mp + 2) / 5 + 1);
+  *m = static_cast<int32_t>(mp + (mp < 10 ? 3 : -9));
+  *y = static_cast<int32_t>(year + (*m <= 2));
+}
+
+bool IsLeapYear(int32_t year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int32_t DaysInMonth(int32_t year, int32_t month) {
+  static constexpr int32_t kDays[] = {31, 28, 31, 30, 31, 30,
+                                      31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+}  // namespace internal
+
+namespace {
+
+constexpr int64_t kSecondsPerDay = 86400;
+
+int64_t MinSeconds() {
+  return internal::DaysFromCivil(1, 1, 1) * kSecondsPerDay;
+}
+
+int64_t MaxSeconds() {
+  return internal::DaysFromCivil(9999, 12, 31) * kSecondsPerDay +
+         (kSecondsPerDay - 1);
+}
+
+// Parses a fixed run of 1..4 digits starting at *pos; advances *pos.
+Result<int32_t> ParseNumber(std::string_view s, size_t* pos, int max_digits) {
+  size_t start = *pos;
+  int32_t value = 0;
+  int digits = 0;
+  while (*pos < s.size() && s[*pos] >= '0' && s[*pos] <= '9' &&
+         digits < max_digits) {
+    value = value * 10 + (s[*pos] - '0');
+    ++*pos;
+    ++digits;
+  }
+  if (digits == 0) {
+    return Status::ParseError("expected digits at offset " +
+                              std::to_string(start) + " in '" +
+                              std::string(s) + "'");
+  }
+  return value;
+}
+
+Status ExpectChar(std::string_view s, size_t* pos, char c) {
+  if (*pos >= s.size() || s[*pos] != c) {
+    return Status::ParseError(std::string("expected '") + c + "' at offset " +
+                              std::to_string(*pos) + " in '" + std::string(s) +
+                              "'");
+  }
+  ++*pos;
+  return Status::OK();
+}
+
+}  // namespace
+
+Chronon Chronon::Min() { return Chronon(MinSeconds()); }
+Chronon Chronon::Max() { return Chronon(MaxSeconds()); }
+
+Result<Chronon> Chronon::FromSeconds(int64_t seconds) {
+  if (seconds < MinSeconds() || seconds > MaxSeconds()) {
+    return Status::OutOfRange("Chronon seconds value " +
+                              std::to_string(seconds) +
+                              " outside calendar range [0001, 9999]");
+  }
+  return Chronon(seconds);
+}
+
+Result<Chronon> Chronon::FromCivil(const CivilTime& c) {
+  if (c.year < 1 || c.year > 9999) {
+    return Status::OutOfRange("year " + std::to_string(c.year) +
+                              " outside [1, 9999]");
+  }
+  if (c.month < 1 || c.month > 12) {
+    return Status::InvalidArgument("month " + std::to_string(c.month) +
+                                   " outside [1, 12]");
+  }
+  if (c.day < 1 || c.day > internal::DaysInMonth(c.year, c.month)) {
+    return Status::InvalidArgument(
+        "day " + std::to_string(c.day) + " invalid for " +
+        std::to_string(c.year) + "-" + std::to_string(c.month));
+  }
+  if (c.hour < 0 || c.hour > 23 || c.minute < 0 || c.minute > 59 ||
+      c.second < 0 || c.second > 59) {
+    return Status::InvalidArgument("time-of-day fields out of range");
+  }
+  int64_t days = internal::DaysFromCivil(c.year, c.month, c.day);
+  int64_t seconds =
+      days * kSecondsPerDay + c.hour * 3600 + c.minute * 60 + c.second;
+  return Chronon(seconds);
+}
+
+Result<Chronon> Chronon::Parse(std::string_view text) {
+  std::string_view s = StripAsciiWhitespace(text);
+  size_t pos = 0;
+  CivilTime civil;
+  TIP_ASSIGN_OR_RETURN(civil.year, ParseNumber(s, &pos, 4));
+  TIP_RETURN_IF_ERROR(ExpectChar(s, &pos, '-'));
+  TIP_ASSIGN_OR_RETURN(civil.month, ParseNumber(s, &pos, 2));
+  TIP_RETURN_IF_ERROR(ExpectChar(s, &pos, '-'));
+  TIP_ASSIGN_OR_RETURN(civil.day, ParseNumber(s, &pos, 2));
+  if (pos < s.size()) {
+    TIP_RETURN_IF_ERROR(ExpectChar(s, &pos, ' '));
+    TIP_ASSIGN_OR_RETURN(civil.hour, ParseNumber(s, &pos, 2));
+    TIP_RETURN_IF_ERROR(ExpectChar(s, &pos, ':'));
+    TIP_ASSIGN_OR_RETURN(civil.minute, ParseNumber(s, &pos, 2));
+    TIP_RETURN_IF_ERROR(ExpectChar(s, &pos, ':'));
+    TIP_ASSIGN_OR_RETURN(civil.second, ParseNumber(s, &pos, 2));
+  }
+  if (pos != s.size()) {
+    return Status::ParseError("trailing characters in Chronon literal '" +
+                              std::string(text) + "'");
+  }
+  return FromCivil(civil);
+}
+
+CivilTime Chronon::ToCivil() const {
+  int64_t days = seconds_ / kSecondsPerDay;
+  int64_t rem = seconds_ % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    days -= 1;
+  }
+  CivilTime civil;
+  internal::CivilFromDays(days, &civil.year, &civil.month, &civil.day);
+  civil.hour = static_cast<int32_t>(rem / 3600);
+  civil.minute = static_cast<int32_t>((rem % 3600) / 60);
+  civil.second = static_cast<int32_t>(rem % 60);
+  return civil;
+}
+
+std::string Chronon::ToString() const {
+  CivilTime c = ToCivil();
+  char buf[32];
+  if (c.hour == 0 && c.minute == 0 && c.second == 0) {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", c.year,
+                  c.month, c.day, c.hour, c.minute, c.second);
+  }
+  return buf;
+}
+
+Result<Chronon> Chronon::Add(const Span& span) const {
+  int64_t out;
+  if (__builtin_add_overflow(seconds_, span.seconds(), &out)) {
+    return Status::OutOfRange("Chronon + Span overflows");
+  }
+  return FromSeconds(out);
+}
+
+Result<Chronon> Chronon::Subtract(const Span& span) const {
+  int64_t out;
+  if (__builtin_sub_overflow(seconds_, span.seconds(), &out)) {
+    return Status::OutOfRange("Chronon - Span overflows");
+  }
+  return FromSeconds(out);
+}
+
+Span Chronon::Since(const Chronon& other) const {
+  // Both operands lie in the calendar range, so the difference fits.
+  return Span::FromSeconds(seconds_ - other.seconds_);
+}
+
+}  // namespace tip

@@ -1,0 +1,398 @@
+#include "core/element.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace tip {
+
+namespace {
+
+// Returns true iff `periods` is already in canonical form: sorted by
+// start, pairwise disjoint, and non-adjacent (gap of at least one
+// chronon between consecutive periods).
+bool IsCanonical(const std::vector<GroundedPeriod>& periods) {
+  for (size_t i = 1; i < periods.size(); ++i) {
+    if (periods[i - 1].end().seconds() + 1 >= periods[i].start().seconds()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Merges sorted-by-start periods into canonical form in place.
+// Precondition: `periods` sorted by (start, end).
+void CoalesceSorted(std::vector<GroundedPeriod>* periods) {
+  if (periods->empty()) return;
+  size_t out = 0;
+  for (size_t i = 1; i < periods->size(); ++i) {
+    GroundedPeriod& last = (*periods)[out];
+    const GroundedPeriod& cur = (*periods)[i];
+    if (cur.start().seconds() <= last.end().seconds() + 1) {
+      // Overlapping or adjacent: extend the accumulated period.
+      if (cur.end() > last.end()) {
+        last = *GroundedPeriod::Make(last.start(), cur.end());
+      }
+    } else {
+      (*periods)[++out] = cur;
+    }
+  }
+  periods->resize(out + 1);
+}
+
+}  // namespace
+
+GroundedElement GroundedElement::FromPeriods(
+    std::vector<GroundedPeriod> periods) {
+  if (IsCanonical(periods)) return GroundedElement(std::move(periods));
+  std::sort(periods.begin(), periods.end(),
+            [](const GroundedPeriod& a, const GroundedPeriod& b) {
+              if (a.start() != b.start()) return a.start() < b.start();
+              return a.end() < b.end();
+            });
+  CoalesceSorted(&periods);
+  return GroundedElement(std::move(periods));
+}
+
+GroundedElement GroundedElement::Union(const GroundedElement& a,
+                                       const GroundedElement& b) {
+  // Single linear merge over two canonical operands.
+  std::vector<GroundedPeriod> merged;
+  merged.reserve(a.periods_.size() + b.periods_.size());
+  size_t i = 0, j = 0;
+  while (i < a.periods_.size() || j < b.periods_.size()) {
+    const GroundedPeriod* next;
+    if (j >= b.periods_.size() ||
+        (i < a.periods_.size() &&
+         a.periods_[i].start() <= b.periods_[j].start())) {
+      next = &a.periods_[i++];
+    } else {
+      next = &b.periods_[j++];
+    }
+    if (!merged.empty() &&
+        next->start().seconds() <= merged.back().end().seconds() + 1) {
+      if (next->end() > merged.back().end()) {
+        merged.back() = *GroundedPeriod::Make(merged.back().start(),
+                                              next->end());
+      }
+    } else {
+      merged.push_back(*next);
+    }
+  }
+  return GroundedElement(std::move(merged));
+}
+
+GroundedElement GroundedElement::Intersect(const GroundedElement& a,
+                                           const GroundedElement& b) {
+  std::vector<GroundedPeriod> out;
+  size_t i = 0, j = 0;
+  while (i < a.periods_.size() && j < b.periods_.size()) {
+    const GroundedPeriod& pa = a.periods_[i];
+    const GroundedPeriod& pb = b.periods_[j];
+    Chronon start = std::max(pa.start(), pb.start());
+    Chronon end = std::min(pa.end(), pb.end());
+    if (start <= end) out.push_back(*GroundedPeriod::Make(start, end));
+    // Advance whichever period ends first; it cannot intersect anything
+    // further in the other operand.
+    if (pa.end() < pb.end()) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  // Intersection of canonical operands is canonical (result periods are
+  // separated by at least the gaps of one operand).
+  return GroundedElement(std::move(out));
+}
+
+GroundedElement GroundedElement::Difference(const GroundedElement& a,
+                                            const GroundedElement& b) {
+  std::vector<GroundedPeriod> out;
+  size_t j = 0;
+  for (const GroundedPeriod& pa : a.periods_) {
+    // `cursor` is the start of the not-yet-subtracted remainder of pa.
+    int64_t cursor = pa.start().seconds();
+    const int64_t pa_end = pa.end().seconds();
+    // Skip b-periods entirely before the remainder.
+    while (j < b.periods_.size() &&
+           b.periods_[j].end().seconds() < cursor) {
+      ++j;
+    }
+    size_t k = j;
+    while (k < b.periods_.size() &&
+           b.periods_[k].start().seconds() <= pa_end) {
+      const GroundedPeriod& pb = b.periods_[k];
+      if (pb.start().seconds() > cursor) {
+        out.push_back(*GroundedPeriod::Make(
+            *Chronon::FromSeconds(cursor),
+            *Chronon::FromSeconds(pb.start().seconds() - 1)));
+      }
+      cursor = std::max(cursor, pb.end().seconds() + 1);
+      if (cursor > pa_end) break;
+      ++k;
+    }
+    if (cursor <= pa_end) {
+      out.push_back(*GroundedPeriod::Make(*Chronon::FromSeconds(cursor),
+                                          pa.end()));
+    }
+    // Note: do not advance j past periods that may overlap the next pa.
+  }
+  return GroundedElement(std::move(out));
+}
+
+bool GroundedElement::Overlaps(const GroundedElement& other) const {
+  size_t i = 0, j = 0;
+  while (i < periods_.size() && j < other.periods_.size()) {
+    if (periods_[i].Overlaps(other.periods_[j])) return true;
+    if (periods_[i].end() < other.periods_[j].end()) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+bool GroundedElement::Contains(const GroundedElement& other) const {
+  size_t i = 0;
+  for (const GroundedPeriod& p : other.periods_) {
+    while (i < periods_.size() && periods_[i].end() < p.start()) ++i;
+    if (i >= periods_.size() || !periods_[i].Contains(p)) return false;
+  }
+  return true;
+}
+
+bool GroundedElement::Contains(Chronon c) const {
+  // Binary search for the first period whose end >= c.
+  auto it = std::lower_bound(
+      periods_.begin(), periods_.end(), c,
+      [](const GroundedPeriod& p, Chronon value) { return p.end() < value; });
+  return it != periods_.end() && it->Contains(c);
+}
+
+Span GroundedElement::TotalDuration() const {
+  int64_t total = 0;
+  for (const GroundedPeriod& p : periods_) {
+    total += p.Duration().seconds();
+  }
+  return Span::FromSeconds(total);
+}
+
+GroundedPeriod GroundedElement::Extent() const {
+  assert(!periods_.empty());
+  return *GroundedPeriod::Make(periods_.front().start(),
+                               periods_.back().end());
+}
+
+std::string GroundedElement::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < periods_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += periods_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+Element Element::FromPeriods(std::vector<Period> periods) {
+  bool all_absolute = true;
+  for (const Period& p : periods) {
+    if (!p.is_absolute()) {
+      all_absolute = false;
+      break;
+    }
+  }
+  if (!all_absolute) {
+    return Element(std::move(periods), /*absolute_canonical=*/false);
+  }
+  // Eager normalization of the all-absolute fast path. Absolute periods
+  // built through the validating factories satisfy start <= end, so
+  // grounding under any context succeeds.
+  std::vector<GroundedPeriod> grounded;
+  grounded.reserve(periods.size());
+  TxContext ctx;  // irrelevant: no NOW-relative endpoints
+  for (const Period& p : periods) {
+    Result<GroundedPeriod> g = p.Ground(ctx);
+    assert(g.ok());
+    grounded.push_back(*g);
+  }
+  GroundedElement canonical = GroundedElement::FromPeriods(
+      std::move(grounded));
+  std::vector<Period> out;
+  out.reserve(canonical.size());
+  for (const GroundedPeriod& p : canonical.periods()) {
+    out.push_back(Period::FromGrounded(p));
+  }
+  return Element(std::move(out), /*absolute_canonical=*/true);
+}
+
+Element Element::FromGrounded(const GroundedElement& grounded) {
+  std::vector<Period> out;
+  out.reserve(grounded.size());
+  for (const GroundedPeriod& p : grounded.periods()) {
+    out.push_back(Period::FromGrounded(p));
+  }
+  return Element(std::move(out), /*absolute_canonical=*/true);
+}
+
+Result<GroundedElement> Element::Ground(const TxContext& ctx) const {
+  std::vector<GroundedPeriod> grounded;
+  grounded.reserve(periods_.size());
+  for (const Period& p : periods_) {
+    TIP_ASSIGN_OR_RETURN(Chronon start, p.start().Ground(ctx));
+    TIP_ASSIGN_OR_RETURN(Chronon end, p.end().Ground(ctx));
+    if (start > end) {
+      // A NOW-relative period that grounds inverted denotes "no time
+      // yet" under this transaction time — e.g. {[1999-10-01, NOW]}
+      // browsed with NOW overridden to 1999-09-17 — and contributes
+      // nothing (Clifford et al.'s semantics for NOW before start).
+      // Purely absolute periods cannot invert: their factories validate.
+      assert(!p.is_absolute());
+      continue;
+    }
+    grounded.push_back(*GroundedPeriod::Make(start, end));
+  }
+  // FromPeriods detects already-canonical input (the absolute fast
+  // path) and skips the sort+coalesce pass.
+  return GroundedElement::FromPeriods(std::move(grounded));
+}
+
+Result<Element> Element::Parse(std::string_view text) {
+  std::string_view s = StripAsciiWhitespace(text);
+  if (s.size() < 2 || s.front() != '{' || s.back() != '}') {
+    return Status::ParseError("Element literal must be braced: '" +
+                              std::string(text) + "'");
+  }
+  std::string_view body = StripAsciiWhitespace(s.substr(1, s.size() - 2));
+  std::vector<Period> periods;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t open = body.find('[', pos);
+    if (open == std::string_view::npos) {
+      if (!StripAsciiWhitespace(body.substr(pos)).empty()) {
+        return Status::ParseError("trailing garbage in Element literal: '" +
+                                  std::string(text) + "'");
+      }
+      break;
+    }
+    if (!StripAsciiWhitespace(body.substr(pos, open - pos)).empty() &&
+        StripAsciiWhitespace(body.substr(pos, open - pos)) != ",") {
+      return Status::ParseError("unexpected text before period in Element "
+                                "literal: '" + std::string(text) + "'");
+    }
+    size_t close = body.find(']', open);
+    if (close == std::string_view::npos) {
+      return Status::ParseError("unterminated period in Element literal: '" +
+                                std::string(text) + "'");
+    }
+    TIP_ASSIGN_OR_RETURN(Period p,
+                         Period::Parse(body.substr(open, close - open + 1)));
+    periods.push_back(p);
+    pos = close + 1;
+    // Consume an optional comma separator.
+    std::string_view rest = StripAsciiWhitespace(body.substr(pos));
+    if (!rest.empty() && rest.front() == ',') {
+      pos = body.find(',', pos) + 1;
+    } else if (!rest.empty() && rest.front() != '[') {
+      return Status::ParseError("expected ',' between periods in Element "
+                                "literal: '" + std::string(text) + "'");
+    } else if (rest.empty()) {
+      break;
+    } else {
+      return Status::ParseError("missing ',' between periods in Element "
+                                "literal: '" + std::string(text) + "'");
+    }
+  }
+  return Element::FromPeriods(std::move(periods));
+}
+
+std::string Element::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < periods_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += periods_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+Result<Element> ElementUnion(const Element& a, const Element& b,
+                             const TxContext& ctx) {
+  TIP_ASSIGN_OR_RETURN(GroundedElement ga, a.Ground(ctx));
+  TIP_ASSIGN_OR_RETURN(GroundedElement gb, b.Ground(ctx));
+  return Element::FromGrounded(GroundedElement::Union(ga, gb));
+}
+
+Result<Element> ElementIntersect(const Element& a, const Element& b,
+                                 const TxContext& ctx) {
+  TIP_ASSIGN_OR_RETURN(GroundedElement ga, a.Ground(ctx));
+  TIP_ASSIGN_OR_RETURN(GroundedElement gb, b.Ground(ctx));
+  return Element::FromGrounded(GroundedElement::Intersect(ga, gb));
+}
+
+Result<Element> ElementDifference(const Element& a, const Element& b,
+                                  const TxContext& ctx) {
+  TIP_ASSIGN_OR_RETURN(GroundedElement ga, a.Ground(ctx));
+  TIP_ASSIGN_OR_RETURN(GroundedElement gb, b.Ground(ctx));
+  return Element::FromGrounded(GroundedElement::Difference(ga, gb));
+}
+
+Result<bool> ElementOverlaps(const Element& a, const Element& b,
+                             const TxContext& ctx) {
+  TIP_ASSIGN_OR_RETURN(GroundedElement ga, a.Ground(ctx));
+  TIP_ASSIGN_OR_RETURN(GroundedElement gb, b.Ground(ctx));
+  return ga.Overlaps(gb);
+}
+
+Result<bool> ElementContains(const Element& a, const Element& b,
+                             const TxContext& ctx) {
+  TIP_ASSIGN_OR_RETURN(GroundedElement ga, a.Ground(ctx));
+  TIP_ASSIGN_OR_RETURN(GroundedElement gb, b.Ground(ctx));
+  return ga.Contains(gb);
+}
+
+Result<bool> ElementContainsChronon(const Element& a, Chronon c,
+                                    const TxContext& ctx) {
+  TIP_ASSIGN_OR_RETURN(GroundedElement ga, a.Ground(ctx));
+  return ga.Contains(c);
+}
+
+Result<Span> ElementLength(const Element& a, const TxContext& ctx) {
+  TIP_ASSIGN_OR_RETURN(GroundedElement ga, a.Ground(ctx));
+  return ga.TotalDuration();
+}
+
+Result<Chronon> ElementStart(const Element& a, const TxContext& ctx) {
+  TIP_ASSIGN_OR_RETURN(GroundedElement ga, a.Ground(ctx));
+  if (ga.IsEmpty()) {
+    return Status::InvalidArgument("start() of an empty Element");
+  }
+  return ga.periods().front().start();
+}
+
+Result<Chronon> ElementEnd(const Element& a, const TxContext& ctx) {
+  TIP_ASSIGN_OR_RETURN(GroundedElement ga, a.Ground(ctx));
+  if (ga.IsEmpty()) {
+    return Status::InvalidArgument("end() of an empty Element");
+  }
+  return ga.periods().back().end();
+}
+
+Result<GroundedPeriod> ElementFirst(const Element& a, const TxContext& ctx) {
+  TIP_ASSIGN_OR_RETURN(GroundedElement ga, a.Ground(ctx));
+  if (ga.IsEmpty()) {
+    return Status::InvalidArgument("first() of an empty Element");
+  }
+  return ga.periods().front();
+}
+
+Result<GroundedPeriod> ElementLast(const Element& a, const TxContext& ctx) {
+  TIP_ASSIGN_OR_RETURN(GroundedElement ga, a.Ground(ctx));
+  if (ga.IsEmpty()) {
+    return Status::InvalidArgument("last() of an empty Element");
+  }
+  return ga.periods().back();
+}
+
+}  // namespace tip

@@ -1,0 +1,118 @@
+#include "core/element_reference.h"
+
+#include <vector>
+
+namespace tip::reference {
+
+std::set<int64_t> ExplodeSeconds(const GroundedElement& e) {
+  std::set<int64_t> out;
+  for (const GroundedPeriod& p : e.periods()) {
+    for (int64_t s = p.start().seconds(); s <= p.end().seconds(); ++s) {
+      out.insert(s);
+    }
+  }
+  return out;
+}
+
+GroundedElement ImplodeSeconds(const std::set<int64_t>& seconds) {
+  std::vector<GroundedPeriod> periods;
+  auto it = seconds.begin();
+  while (it != seconds.end()) {
+    const int64_t start = *it;
+    int64_t end = start;
+    ++it;
+    while (it != seconds.end() && *it == end + 1) {
+      end = *it;
+      ++it;
+    }
+    periods.push_back(*GroundedPeriod::Make(*Chronon::FromSeconds(start),
+                                            *Chronon::FromSeconds(end)));
+  }
+  return GroundedElement::FromPeriods(std::move(periods));
+}
+
+GroundedElement SetUnion(const GroundedElement& a,
+                         const GroundedElement& b) {
+  std::set<int64_t> out = ExplodeSeconds(a);
+  std::set<int64_t> other = ExplodeSeconds(b);
+  out.insert(other.begin(), other.end());
+  return ImplodeSeconds(out);
+}
+
+GroundedElement SetIntersect(const GroundedElement& a,
+                             const GroundedElement& b) {
+  std::set<int64_t> sa = ExplodeSeconds(a);
+  std::set<int64_t> sb = ExplodeSeconds(b);
+  std::set<int64_t> out;
+  for (int64_t s : sa) {
+    if (sb.count(s) > 0) out.insert(s);
+  }
+  return ImplodeSeconds(out);
+}
+
+GroundedElement SetDifference(const GroundedElement& a,
+                              const GroundedElement& b) {
+  std::set<int64_t> sa = ExplodeSeconds(a);
+  std::set<int64_t> sb = ExplodeSeconds(b);
+  std::set<int64_t> out;
+  for (int64_t s : sa) {
+    if (sb.count(s) == 0) out.insert(s);
+  }
+  return ImplodeSeconds(out);
+}
+
+bool SetOverlaps(const GroundedElement& a, const GroundedElement& b) {
+  std::set<int64_t> sa = ExplodeSeconds(a);
+  std::set<int64_t> sb = ExplodeSeconds(b);
+  for (int64_t s : sa) {
+    if (sb.count(s) > 0) return true;
+  }
+  return false;
+}
+
+bool SetContains(const GroundedElement& a, const GroundedElement& b) {
+  std::set<int64_t> sa = ExplodeSeconds(a);
+  std::set<int64_t> sb = ExplodeSeconds(b);
+  for (int64_t s : sb) {
+    if (sa.count(s) == 0) return false;
+  }
+  return true;
+}
+
+GroundedElement QuadraticUnion(const GroundedElement& a,
+                               const GroundedElement& b) {
+  std::vector<GroundedPeriod> acc(a.periods().begin(), a.periods().end());
+  GroundedElement current = GroundedElement::FromPeriods(acc);
+  for (const GroundedPeriod& p : b.periods()) {
+    std::vector<GroundedPeriod> next(current.periods().begin(),
+                                     current.periods().end());
+    next.push_back(p);
+    current = GroundedElement::FromPeriods(std::move(next));
+  }
+  return current;
+}
+
+GroundedElement QuadraticIntersect(const GroundedElement& a,
+                                   const GroundedElement& b) {
+  std::vector<GroundedPeriod> out;
+  for (const GroundedPeriod& pa : a.periods()) {
+    for (const GroundedPeriod& pb : b.periods()) {
+      const Chronon start = std::max(pa.start(), pb.start());
+      const Chronon end = std::min(pa.end(), pb.end());
+      if (start <= end) out.push_back(*GroundedPeriod::Make(start, end));
+    }
+  }
+  return GroundedElement::FromPeriods(std::move(out));
+}
+
+bool QuadraticOverlaps(const GroundedElement& a, const GroundedElement& b) {
+  bool found = false;
+  for (const GroundedPeriod& pa : a.periods()) {
+    for (const GroundedPeriod& pb : b.periods()) {
+      found = found || pa.Overlaps(pb);
+    }
+  }
+  return found;
+}
+
+}  // namespace tip::reference

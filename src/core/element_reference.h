@@ -1,0 +1,48 @@
+#ifndef TIP_CORE_ELEMENT_REFERENCE_H_
+#define TIP_CORE_ELEMENT_REFERENCE_H_
+
+#include <set>
+
+#include "core/element.h"
+
+namespace tip::reference {
+
+/// Obviously-correct (and obviously slow) reference implementations of
+/// the Element algebra. Property tests check the linear-merge
+/// implementations in core/element.cc against these; the benchmark
+/// suite uses QuadraticUnion as the baseline that the paper's
+/// "linear in the number of periods" claim is measured against.
+
+/// Explodes an element into its chronon set. Only usable when the
+/// covered duration is small.
+std::set<int64_t> ExplodeSeconds(const GroundedElement& e);
+
+/// Rebuilds a canonical element from a chronon set.
+GroundedElement ImplodeSeconds(const std::set<int64_t>& seconds);
+
+/// Set algebra via chronon sets.
+GroundedElement SetUnion(const GroundedElement& a, const GroundedElement& b);
+GroundedElement SetIntersect(const GroundedElement& a,
+                             const GroundedElement& b);
+GroundedElement SetDifference(const GroundedElement& a,
+                              const GroundedElement& b);
+bool SetOverlaps(const GroundedElement& a, const GroundedElement& b);
+bool SetContains(const GroundedElement& a, const GroundedElement& b);
+
+/// The naive period-algebra union: insert b's periods one at a time,
+/// renormalizing the whole list after each insertion — O(n^2 log n)
+/// overall versus the linear merge. Produces identical results.
+GroundedElement QuadraticUnion(const GroundedElement& a,
+                               const GroundedElement& b);
+
+/// The naive intersect: all-pairs period intersection, then normalize —
+/// O(n*m) pair tests versus the linear merge.
+GroundedElement QuadraticIntersect(const GroundedElement& a,
+                                   const GroundedElement& b);
+
+/// The naive overlap test: all-pairs, no early-exit ordering knowledge.
+bool QuadraticOverlaps(const GroundedElement& a, const GroundedElement& b);
+
+}  // namespace tip::reference
+
+#endif  // TIP_CORE_ELEMENT_REFERENCE_H_

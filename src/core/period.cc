@@ -1,0 +1,119 @@
+#include "core/period.h"
+
+#include "common/string_util.h"
+
+namespace tip {
+
+std::string_view AllenRelationName(AllenRelation relation) {
+  switch (relation) {
+    case AllenRelation::kBefore:
+      return "before";
+    case AllenRelation::kMeets:
+      return "meets";
+    case AllenRelation::kOverlaps:
+      return "overlaps";
+    case AllenRelation::kFinishedBy:
+      return "finished_by";
+    case AllenRelation::kContains:
+      return "contains";
+    case AllenRelation::kStarts:
+      return "starts";
+    case AllenRelation::kEquals:
+      return "equals";
+    case AllenRelation::kStartedBy:
+      return "started_by";
+    case AllenRelation::kDuring:
+      return "during";
+    case AllenRelation::kFinishes:
+      return "finishes";
+    case AllenRelation::kOverlappedBy:
+      return "overlapped_by";
+    case AllenRelation::kMetBy:
+      return "met_by";
+    case AllenRelation::kAfter:
+      return "after";
+  }
+  return "unknown";
+}
+
+Result<GroundedPeriod> GroundedPeriod::Make(Chronon start, Chronon end) {
+  if (start > end) {
+    return Status::InvalidArgument("Period start " + start.ToString() +
+                                   " is after end " + end.ToString());
+  }
+  return GroundedPeriod(start, end);
+}
+
+Span GroundedPeriod::Duration() const {
+  // Closed interval: [s, e] contains (e - s) + 1 chronons.
+  return Span::FromSeconds(end_.seconds() - start_.seconds() + 1);
+}
+
+AllenRelation GroundedPeriod::Allen(const GroundedPeriod& a,
+                                    const GroundedPeriod& b) {
+  const int64_t as = a.start_.seconds(), ae = a.end_.seconds();
+  const int64_t bs = b.start_.seconds(), be = b.end_.seconds();
+  if (as == bs && ae == be) return AllenRelation::kEquals;
+  if (ae + 1 < bs) return AllenRelation::kBefore;
+  if (be + 1 < as) return AllenRelation::kAfter;
+  if (ae + 1 == bs) return AllenRelation::kMeets;
+  if (be + 1 == as) return AllenRelation::kMetBy;
+  if (as == bs) return ae < be ? AllenRelation::kStarts
+                               : AllenRelation::kStartedBy;
+  if (ae == be) return as > bs ? AllenRelation::kFinishes
+                               : AllenRelation::kFinishedBy;
+  if (as > bs && ae < be) return AllenRelation::kDuring;
+  if (as < bs && ae > be) return AllenRelation::kContains;
+  return as < bs ? AllenRelation::kOverlaps : AllenRelation::kOverlappedBy;
+}
+
+std::string GroundedPeriod::ToString() const {
+  return "[" + start_.ToString() + ", " + end_.ToString() + "]";
+}
+
+Result<Period> Period::Make(Instant start, Instant end) {
+  if (start.is_absolute() && end.is_absolute() &&
+      start.chronon() > end.chronon()) {
+    return Status::InvalidArgument("Period start " + start.ToString() +
+                                   " is after end " + end.ToString());
+  }
+  if (start.is_now_relative() && end.is_now_relative() &&
+      start.offset() > end.offset()) {
+    return Status::InvalidArgument("Period start " + start.ToString() +
+                                   " is after end " + end.ToString());
+  }
+  return Period(start, end);
+}
+
+Result<GroundedPeriod> Period::Ground(const TxContext& ctx) const {
+  TIP_ASSIGN_OR_RETURN(Chronon start, start_.Ground(ctx));
+  TIP_ASSIGN_OR_RETURN(Chronon end, end_.Ground(ctx));
+  return GroundedPeriod::Make(start, end);
+}
+
+Result<Period> Period::Parse(std::string_view text) {
+  std::string_view s = StripAsciiWhitespace(text);
+  if (s.size() < 2 || s.front() != '[' || s.back() != ']') {
+    return Status::ParseError("Period literal must be bracketed: '" +
+                              std::string(text) + "'");
+  }
+  std::string_view body = s.substr(1, s.size() - 2);
+  size_t comma = body.find(',');
+  if (comma == std::string_view::npos) {
+    return Status::ParseError("Period literal needs two instants: '" +
+                              std::string(text) + "'");
+  }
+  if (body.find(',', comma + 1) != std::string_view::npos) {
+    return Status::ParseError("Period literal has too many commas: '" +
+                              std::string(text) + "'");
+  }
+  TIP_ASSIGN_OR_RETURN(Instant start, Instant::Parse(body.substr(0, comma)));
+  TIP_ASSIGN_OR_RETURN(Instant end, Instant::Parse(body.substr(comma + 1)));
+  return Make(start, end);
+}
+
+std::string Period::ToString() const {
+  return "[" + start_.ToString() + ", " + end_.ToString() + "]";
+}
+
+}  // namespace tip

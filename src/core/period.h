@@ -1,0 +1,146 @@
+#ifndef TIP_CORE_PERIOD_H_
+#define TIP_CORE_PERIOD_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/chronon.h"
+#include "core/instant.h"
+#include "core/span.h"
+#include "core/tx_context.h"
+
+namespace tip {
+
+/// The thirteen mutually-exclusive interval relations of Allen [1], which
+/// TIP exposes as Period routines. For closed intervals at chronon
+/// granularity "meets" means end+1 chronon == start (no shared chronon,
+/// no gap) and "before" requires at least a one-chronon gap.
+enum class AllenRelation : int {
+  kBefore = 0,
+  kMeets,
+  kOverlaps,
+  kFinishedBy,
+  kContains,
+  kStarts,
+  kEquals,
+  kStartedBy,
+  kDuring,
+  kFinishes,
+  kOverlappedBy,
+  kMetBy,
+  kAfter,
+};
+
+/// Stable lower-case name ("before", "meets", ...).
+std::string_view AllenRelationName(AllenRelation relation);
+
+/// A fully absolute period: a closed interval [start, end] of chronons
+/// with start <= end enforced as a class invariant. All interval algebra
+/// is defined here; NOW-relative `Period`s are grounded first.
+class GroundedPeriod {
+ public:
+  /// Defaults to the degenerate period [epoch, epoch].
+  GroundedPeriod() = default;
+
+  /// Fails unless start <= end.
+  static Result<GroundedPeriod> Make(Chronon start, Chronon end);
+
+  /// The degenerate period containing exactly `c`.
+  static GroundedPeriod At(Chronon c) { return GroundedPeriod(c, c); }
+
+  Chronon start() const { return start_; }
+  Chronon end() const { return end_; }
+
+  /// Number of chronons in the closed interval, as a Span:
+  /// (end - start) + 1 second.
+  Span Duration() const;
+
+  bool Contains(Chronon c) const { return start_ <= c && c <= end_; }
+  bool Contains(const GroundedPeriod& other) const {
+    return start_ <= other.start_ && other.end_ <= end_;
+  }
+  /// True iff the two closed intervals share at least one chronon.
+  bool Overlaps(const GroundedPeriod& other) const {
+    return start_ <= other.end_ && other.start_ <= end_;
+  }
+  /// True iff `this` ends exactly one chronon before `other` starts.
+  bool Meets(const GroundedPeriod& other) const {
+    return end_.seconds() + 1 == other.start_.seconds();
+  }
+  /// True iff `this` ends at least two chronons before `other` starts.
+  bool Before(const GroundedPeriod& other) const {
+    return end_.seconds() + 1 < other.start_.seconds();
+  }
+
+  /// Classifies the pair into exactly one of Allen's 13 relations.
+  static AllenRelation Allen(const GroundedPeriod& a, const GroundedPeriod& b);
+
+  /// `[1999-01-01, 1999-04-30]` (paper notation).
+  std::string ToString() const;
+
+  friend bool operator==(const GroundedPeriod&, const GroundedPeriod&) =
+      default;
+
+ private:
+  GroundedPeriod(Chronon start, Chronon end) : start_(start), end_(end) {}
+
+  Chronon start_;
+  Chronon end_;
+};
+
+/// A `Period` is a pair of Instants marking the start and end of a closed
+/// interval, e.g. `[1999-01-01, NOW]` ("since 1999") or `[NOW-7, NOW]`
+/// ("the past week"). Because either endpoint may be NOW-relative, the
+/// constraint start <= end can only be checked once NOW is bound, so
+/// `Period` itself is a passive pair and `Ground` performs validation.
+class Period {
+ public:
+  /// Defaults to the degenerate absolute period [epoch, epoch].
+  Period() = default;
+  Period(Instant start, Instant end) : start_(start), end_(end) {}
+
+  /// Validating factory: fails immediately when both endpoints are
+  /// absolute and start > end (a NOW-relative pair is accepted and
+  /// validated at grounding time instead).
+  static Result<Period> Make(Instant start, Instant end);
+
+  /// The degenerate period containing exactly `c` (the paper's
+  /// Chronon -> Period cast).
+  static Period At(Chronon c) {
+    return Period(Instant::Absolute(c), Instant::Absolute(c));
+  }
+
+  static Period FromGrounded(const GroundedPeriod& p) {
+    return Period(Instant::Absolute(p.start()), Instant::Absolute(p.end()));
+  }
+
+  const Instant& start() const { return start_; }
+  const Instant& end() const { return end_; }
+
+  bool is_absolute() const {
+    return start_.is_absolute() && end_.is_absolute();
+  }
+
+  /// Substitutes the transaction time for NOW in both endpoints; fails if
+  /// an endpoint leaves the calendar range or the grounded start exceeds
+  /// the grounded end.
+  Result<GroundedPeriod> Ground(const TxContext& ctx) const;
+
+  /// Parses `[instant, instant]`.
+  static Result<Period> Parse(std::string_view text);
+
+  /// `[NOW-7, NOW]` (ungrounded form).
+  std::string ToString() const;
+
+  /// Structural equality (see Instant::operator==).
+  friend bool operator==(const Period&, const Period&) = default;
+
+ private:
+  Instant start_;
+  Instant end_;
+};
+
+}  // namespace tip
+
+#endif  // TIP_CORE_PERIOD_H_

@@ -1,0 +1,149 @@
+#include "core/span.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace tip {
+namespace {
+
+constexpr int64_t kSecondsPerDay = 86400;
+
+Result<Span> CheckedFromUnits(int64_t count, int64_t unit_seconds,
+                              const char* unit_name) {
+  int64_t out;
+  if (__builtin_mul_overflow(count, unit_seconds, &out)) {
+    return Status::OutOfRange(std::string("Span from ") + unit_name +
+                              " overflows");
+  }
+  return Span::FromSeconds(out);
+}
+
+}  // namespace
+
+Result<Span> Span::FromDays(int64_t days) {
+  return CheckedFromUnits(days, kSecondsPerDay, "days");
+}
+Result<Span> Span::FromHours(int64_t hours) {
+  return CheckedFromUnits(hours, 3600, "hours");
+}
+Result<Span> Span::FromMinutes(int64_t minutes) {
+  return CheckedFromUnits(minutes, 60, "minutes");
+}
+Result<Span> Span::FromWeeks(int64_t weeks) {
+  return CheckedFromUnits(weeks, 7 * kSecondsPerDay, "weeks");
+}
+
+Result<Span> Span::Parse(std::string_view text) {
+  std::string_view s = StripAsciiWhitespace(text);
+  if (s.empty()) return Status::ParseError("empty Span literal");
+  bool negative = false;
+  if (s[0] == '+' || s[0] == '-') {
+    negative = (s[0] == '-');
+    s.remove_prefix(1);
+    s = StripAsciiWhitespace(s);
+  }
+  if (s.empty()) return Status::ParseError("Span literal has sign only");
+
+  // DAYS[ HH:MM:SS]
+  size_t space = s.find(' ');
+  std::string_view days_part = (space == std::string_view::npos)
+                                   ? s
+                                   : s.substr(0, space);
+  TIP_ASSIGN_OR_RETURN(int64_t days, ParseInt64(days_part));
+  if (days < 0) {
+    return Status::ParseError("Span day count must carry its sign in front: '" +
+                              std::string(text) + "'");
+  }
+  int64_t tod = 0;
+  if (space != std::string_view::npos) {
+    std::string_view time_part = StripAsciiWhitespace(s.substr(space + 1));
+    auto pieces = SplitString(time_part, ':');
+    if (pieces.size() != 3) {
+      return Status::ParseError("Span time part must be HH:MM:SS: '" +
+                                std::string(text) + "'");
+    }
+    TIP_ASSIGN_OR_RETURN(int64_t hours, ParseInt64(pieces[0]));
+    TIP_ASSIGN_OR_RETURN(int64_t minutes, ParseInt64(pieces[1]));
+    TIP_ASSIGN_OR_RETURN(int64_t seconds, ParseInt64(pieces[2]));
+    if (hours < 0 || hours > 23 || minutes < 0 || minutes > 59 ||
+        seconds < 0 || seconds > 59) {
+      return Status::ParseError("Span time-of-day fields out of range: '" +
+                                std::string(text) + "'");
+    }
+    tod = hours * 3600 + minutes * 60 + seconds;
+  }
+  int64_t magnitude;
+  if (__builtin_mul_overflow(days, kSecondsPerDay, &magnitude) ||
+      __builtin_add_overflow(magnitude, tod, &magnitude)) {
+    return Status::OutOfRange("Span literal out of range: '" +
+                              std::string(text) + "'");
+  }
+  return Span::FromSeconds(negative ? -magnitude : magnitude);
+}
+
+std::string Span::ToString() const {
+  uint64_t magnitude = seconds_ < 0
+                           ? 0u - static_cast<uint64_t>(seconds_)
+                           : static_cast<uint64_t>(seconds_);
+  uint64_t days = magnitude / kSecondsPerDay;
+  uint64_t rem = magnitude % kSecondsPerDay;
+  char buf[48];
+  const char* sign = seconds_ < 0 ? "-" : "";
+  if (rem == 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lld", sign,
+                  static_cast<long long>(days));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lld %02lld:%02lld:%02lld", sign,
+                  static_cast<long long>(days),
+                  static_cast<long long>(rem / 3600),
+                  static_cast<long long>((rem % 3600) / 60),
+                  static_cast<long long>(rem % 60));
+  }
+  return buf;
+}
+
+Result<Span> Span::Add(const Span& other) const {
+  int64_t out;
+  if (__builtin_add_overflow(seconds_, other.seconds_, &out)) {
+    return Status::OutOfRange("Span + Span overflows");
+  }
+  return Span(out);
+}
+
+Result<Span> Span::Subtract(const Span& other) const {
+  int64_t out;
+  if (__builtin_sub_overflow(seconds_, other.seconds_, &out)) {
+    return Status::OutOfRange("Span - Span overflows");
+  }
+  return Span(out);
+}
+
+Result<Span> Span::Multiply(int64_t factor) const {
+  int64_t out;
+  if (__builtin_mul_overflow(seconds_, factor, &out)) {
+    return Status::OutOfRange("Span * factor overflows");
+  }
+  return Span(out);
+}
+
+Result<Span> Span::Divide(int64_t divisor) const {
+  if (divisor == 0) return Status::InvalidArgument("Span division by zero");
+  if (seconds_ == INT64_MIN && divisor == -1) {
+    return Status::OutOfRange("Span / -1 overflows");
+  }
+  return Span(seconds_ / divisor);
+}
+
+Result<int64_t> Span::DivideBy(const Span& other) const {
+  if (other.seconds_ == 0) {
+    return Status::InvalidArgument("Span / zero-Span");
+  }
+  if (seconds_ == INT64_MIN && other.seconds_ == -1) {
+    return Status::OutOfRange("Span / Span overflows");
+  }
+  return seconds_ / other.seconds_;
+}
+
+}  // namespace tip

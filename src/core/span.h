@@ -1,0 +1,69 @@
+#ifndef TIP_CORE_SPAN_H_
+#define TIP_CORE_SPAN_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tip {
+
+/// A `Span` is a signed duration between two Chronons, e.g. `7 12:00:00`
+/// (seven and a half days) or `-7` (seven days back). Stored as a signed
+/// second count; arithmetic is overflow-checked.
+class Span {
+ public:
+  /// The zero-length span.
+  Span() : seconds_(0) {}
+
+  static Span Zero() { return Span(); }
+
+  /// Unchecked construction from a raw second count. Every int64 second
+  /// count is a representable Span.
+  static Span FromSeconds(int64_t seconds) { return Span(seconds); }
+
+  /// Convenience constructors; fail on overflow.
+  static Result<Span> FromDays(int64_t days);
+  static Result<Span> FromHours(int64_t hours);
+  static Result<Span> FromMinutes(int64_t minutes);
+  static Result<Span> FromWeeks(int64_t weeks);
+
+  /// Parses `[+|-]DAYS[ HH:MM:SS]` (the paper's notation): `7 12:00:00`,
+  /// `-7`, `0 08:00:00`. A leading sign applies to the whole magnitude.
+  static Result<Span> Parse(std::string_view text);
+
+  /// Formats in the paper's notation; the `HH:MM:SS` part is omitted when
+  /// the sub-day remainder is zero.
+  std::string ToString() const;
+
+  int64_t seconds() const { return seconds_; }
+  bool IsZero() const { return seconds_ == 0; }
+  bool IsNegative() const { return seconds_ < 0; }
+
+  /// Checked arithmetic.
+  Result<Span> Add(const Span& other) const;
+  Result<Span> Subtract(const Span& other) const;
+  Result<Span> Multiply(int64_t factor) const;
+  /// Integer division (truncating); fails on division by zero.
+  Result<Span> Divide(int64_t divisor) const;
+  /// Ratio of two spans (truncating); fails when `other` is zero.
+  Result<int64_t> DivideBy(const Span& other) const;
+  /// Two's-complement negation (Negate(INT64_MIN) == INT64_MIN).
+  Span Negate() const {
+    return Span(static_cast<int64_t>(0u - static_cast<uint64_t>(seconds_)));
+  }
+  Span Abs() const { return seconds_ < 0 ? Negate() : *this; }
+
+  friend auto operator<=>(const Span&, const Span&) = default;
+
+ private:
+  explicit Span(int64_t seconds) : seconds_(seconds) {}
+
+  int64_t seconds_;
+};
+
+}  // namespace tip
+
+#endif  // TIP_CORE_SPAN_H_

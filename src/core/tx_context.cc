@@ -1,0 +1,14 @@
+#include "core/tx_context.h"
+
+#include <ctime>
+
+namespace tip {
+
+TxContext TxContext::FromSystemClock() {
+  int64_t unix_seconds = static_cast<int64_t>(std::time(nullptr));
+  // The wall clock always lies comfortably inside the calendar range.
+  Result<Chronon> now = Chronon::FromSeconds(unix_seconds);
+  return TxContext(now.ok() ? *now : Chronon());
+}
+
+}  // namespace tip

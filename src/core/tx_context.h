@@ -1,0 +1,28 @@
+#ifndef TIP_CORE_TX_CONTEXT_H_
+#define TIP_CORE_TX_CONTEXT_H_
+
+#include "core/chronon.h"
+
+namespace tip {
+
+/// The temporal evaluation context of a transaction.
+///
+/// The paper gives NOW "transaction time" semantics: every NOW-relative
+/// Instant in a query is interpreted against the same current time, fixed
+/// for the duration of the statement. The TIP Browser additionally lets a
+/// user *override* NOW to run what-if analyses in a different temporal
+/// context; that override is exactly a TxContext with a non-default `now`.
+struct TxContext {
+  /// The value substituted for the special symbol NOW.
+  Chronon now;
+
+  TxContext() = default;
+  explicit TxContext(Chronon now_value) : now(now_value) {}
+
+  /// A context bound to the wall clock (the DBMS default).
+  static TxContext FromSystemClock();
+};
+
+}  // namespace tip
+
+#endif  // TIP_CORE_TX_CONTEXT_H_

@@ -1,0 +1,178 @@
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "datablade/datablade.h"
+
+namespace tip::datablade {
+namespace internal {
+
+namespace {
+
+using engine::AggregateDef;
+using engine::AggregateState;
+using engine::Datum;
+using engine::EvalContext;
+
+/// `group_union`: the union of a collection of Elements. Incoming
+/// elements are grounded and their periods accumulated; the single
+/// sort-and-coalesce at Final keeps the whole aggregation
+/// O(total periods * log(total periods)) instead of quadratic pairwise
+/// folding. This aggregate is what expresses temporal *coalescing* in
+/// plain SQL (the paper's length(group_union(valid)) example).
+class GroupUnionState final : public AggregateState {
+ public:
+  explicit GroupUnionState(const TipTypes* t) : t_(t) {}
+
+  Status Step(const Datum& value, EvalContext& ctx) override {
+    TIP_ASSIGN_OR_RETURN(GroundedElement e,
+                         GetElement(value).Ground(ctx.tx));
+    periods_.insert(periods_.end(), e.periods().begin(), e.periods().end());
+    return Status::OK();
+  }
+
+  Result<Datum> Final(EvalContext&) override {
+    return MakeElement(*t_, Element::FromGrounded(
+                                GroundedElement::FromPeriods(
+                                    std::move(periods_))));
+  }
+
+ private:
+  const TipTypes* t_;
+  std::vector<GroundedPeriod> periods_;
+};
+
+/// `group_intersect`: the intersection of a collection of Elements.
+/// Folding pairwise is safe here — intersections only shrink, so the
+/// accumulator is bounded by the smallest input.
+class GroupIntersectState final : public AggregateState {
+ public:
+  explicit GroupIntersectState(const TipTypes* t) : t_(t) {}
+
+  Status Step(const Datum& value, EvalContext& ctx) override {
+    TIP_ASSIGN_OR_RETURN(GroundedElement e,
+                         GetElement(value).Ground(ctx.tx));
+    if (!acc_.has_value()) {
+      acc_ = std::move(e);
+    } else {
+      acc_ = GroundedElement::Intersect(*acc_, e);
+    }
+    return Status::OK();
+  }
+
+  Result<Datum> Final(EvalContext&) override {
+    // The intersection of the empty collection is the empty element
+    // (choosing "everything" would require a universe element).
+    if (!acc_.has_value()) return MakeElement(*t_, Element());
+    return MakeElement(*t_, Element::FromGrounded(*acc_));
+  }
+
+ private:
+  const TipTypes* t_;
+  std::optional<GroundedElement> acc_;
+};
+
+/// SUM over Spans, with checked accumulation; empty input yields NULL,
+/// per SQL. This is what makes the paper's (deliberately wrong)
+/// `SUM(length(valid))` example expressible at all.
+class SumSpanState final : public AggregateState {
+ public:
+  explicit SumSpanState(const TipTypes* t) : t_(t) {}
+
+  Status Step(const Datum& value, EvalContext&) override {
+    TIP_ASSIGN_OR_RETURN(sum_, sum_.Add(GetSpan(value)));
+    seen_ = true;
+    return Status::OK();
+  }
+
+  Result<Datum> Final(EvalContext&) override {
+    if (!seen_) return Datum::Null();
+    return MakeSpan(*t_, sum_);
+  }
+
+ private:
+  const TipTypes* t_;
+  Span sum_;
+  bool seen_ = false;
+};
+
+}  // namespace
+
+Status RegisterAggregates(engine::Database* db, const TipTypes& t) {
+  engine::AggregateRegistry& reg = db->aggregates();
+  // The TipTypes block must outlive the registry; park a copy on the
+  // heap owned by the registration closures.
+  auto shared = std::make_shared<TipTypes>(t);
+
+  AggregateDef group_union;
+  group_union.name = "group_union";
+  group_union.param = t.element;
+  group_union.result = t.element;
+  group_union.make_state = [shared] {
+    return std::make_unique<GroupUnionState>(shared.get());
+  };
+  TIP_RETURN_IF_ERROR(reg.Register(std::move(group_union)));
+
+  AggregateDef group_intersect;
+  group_intersect.name = "group_intersect";
+  group_intersect.param = t.element;
+  group_intersect.result = t.element;
+  group_intersect.make_state = [shared] {
+    return std::make_unique<GroupIntersectState>(shared.get());
+  };
+  TIP_RETURN_IF_ERROR(reg.Register(std::move(group_intersect)));
+
+  AggregateDef sum_span;
+  sum_span.name = "sum";
+  sum_span.param = t.span;
+  sum_span.result = t.span;
+  sum_span.make_state = [shared] {
+    return std::make_unique<SumSpanState>(shared.get());
+  };
+  TIP_RETURN_IF_ERROR(reg.Register(std::move(sum_span)));
+  return Status::OK();
+}
+
+Status RegisterAccessMethods(engine::Database* db, const TipTypes& t) {
+  // Bounding-interval key extractors: the support functions the interval
+  // access method needs for each indexable type. An Element's key is the
+  // extent of its grounded canonical form; empty elements are unindexed.
+  TIP_RETURN_IF_ERROR(db->RegisterIntervalKeyFn(
+      t.element,
+      [](const Datum& v, const TxContext& ctx)
+          -> Result<std::optional<std::pair<int64_t, int64_t>>> {
+        TIP_ASSIGN_OR_RETURN(GroundedElement e, GetElement(v).Ground(ctx));
+        if (e.IsEmpty()) {
+          return std::optional<std::pair<int64_t, int64_t>>();
+        }
+        GroundedPeriod extent = e.Extent();
+        return std::make_optional(std::make_pair(
+            extent.start().seconds(), extent.end().seconds()));
+      }));
+  TIP_RETURN_IF_ERROR(db->RegisterIntervalKeyFn(
+      t.period,
+      [](const Datum& v, const TxContext& ctx)
+          -> Result<std::optional<std::pair<int64_t, int64_t>>> {
+        TIP_ASSIGN_OR_RETURN(GroundedPeriod p, GetPeriod(v).Ground(ctx));
+        return std::make_optional(std::make_pair(p.start().seconds(),
+                                                 p.end().seconds()));
+      }));
+  TIP_RETURN_IF_ERROR(db->RegisterIntervalKeyFn(
+      t.instant,
+      [](const Datum& v, const TxContext& ctx)
+          -> Result<std::optional<std::pair<int64_t, int64_t>>> {
+        TIP_ASSIGN_OR_RETURN(Chronon c, GetInstant(v).Ground(ctx));
+        return std::make_optional(std::make_pair(c.seconds(), c.seconds()));
+      }));
+  TIP_RETURN_IF_ERROR(db->RegisterIntervalKeyFn(
+      t.chronon,
+      [](const Datum& v, const TxContext&)
+          -> Result<std::optional<std::pair<int64_t, int64_t>>> {
+        const int64_t s = GetChronon(v).seconds();
+        return std::make_optional(std::make_pair(s, s));
+      }));
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace tip::datablade

@@ -1,0 +1,95 @@
+#include "datablade/datablade.h"
+
+namespace tip::datablade {
+namespace internal {
+
+namespace {
+
+using engine::Datum;
+using engine::EvalContext;
+using engine::TypeId;
+
+}  // namespace
+
+Status RegisterCasts(engine::Database* db, const TipTypes& t) {
+  engine::CastRegistry& reg = db->casts();
+  const engine::TypeRegistry& types = db->types();
+  const TypeId str = TypeId::kString;
+
+  // SQL strings convert implicitly *to* every TIP type through the
+  // type's input function — this is what lets the paper's INSERT write
+  // '{[1999-10-01, NOW]}' straight into an Element column — and
+  // explicitly back to strings through the output function.
+  for (TypeId id : {t.chronon, t.span, t.instant, t.period, t.element}) {
+    const engine::TypeInfo* info = &types.Get(id);
+    TIP_RETURN_IF_ERROR(reg.Register(
+        str, id, /*implicit=*/true,
+        [info](const Datum& v, EvalContext&) -> Result<Datum> {
+          return info->ops.parse(v.string_value());
+        }));
+    TIP_RETURN_IF_ERROR(reg.Register(
+        id, str, /*implicit=*/false,
+        [info](const Datum& v, EvalContext&) -> Result<Datum> {
+          return Datum::String(info->ops.format(v));
+        }));
+  }
+
+  // Chronon widens implicitly along the natural embedding chain:
+  // Chronon -> Instant, Chronon -> Period ("a Period containing only
+  // this Chronon"), Instant -> Period, and Period -> Element.
+  // Chronon -> Element is explicit: making it implicit would render
+  // calls like overlaps(period, chronon) ambiguous between the Period
+  // and Element overloads (casts do not chain, so explicit it is).
+  TIP_RETURN_IF_ERROR(reg.Register(
+      t.chronon, t.instant, /*implicit=*/true,
+      [t](const Datum& v, EvalContext&) -> Result<Datum> {
+        return MakeInstant(t, Instant::Absolute(GetChronon(v)));
+      }));
+  TIP_RETURN_IF_ERROR(reg.Register(
+      t.chronon, t.period, /*implicit=*/true,
+      [t](const Datum& v, EvalContext&) -> Result<Datum> {
+        return MakePeriod(t, Period::At(GetChronon(v)));
+      }));
+  TIP_RETURN_IF_ERROR(reg.Register(
+      t.chronon, t.element, /*implicit=*/false,
+      [t](const Datum& v, EvalContext&) -> Result<Datum> {
+        return MakeElement(t, Element::Of(Period::At(GetChronon(v))));
+      }));
+  TIP_RETURN_IF_ERROR(reg.Register(
+      t.instant, t.period, /*implicit=*/true,
+      [t](const Datum& v, EvalContext&) -> Result<Datum> {
+        const Instant& i = GetInstant(v);
+        TIP_ASSIGN_OR_RETURN(Period p, Period::Make(i, i));
+        return MakePeriod(t, p);
+      }));
+  TIP_RETURN_IF_ERROR(reg.Register(
+      t.period, t.element, /*implicit=*/true,
+      [t](const Datum& v, EvalContext&) -> Result<Datum> {
+        return MakeElement(t, Element::Of(GetPeriod(v)));
+      }));
+
+  // A NOW-relative Instant converts to a Chronon by substituting the
+  // transaction time for NOW — time-dependent, hence explicit.
+  TIP_RETURN_IF_ERROR(reg.Register(
+      t.instant, t.chronon, /*implicit=*/false,
+      [t](const Datum& v, EvalContext& ctx) -> Result<Datum> {
+        TIP_ASSIGN_OR_RETURN(Chronon c, GetInstant(v).Ground(ctx.tx));
+        return MakeChronon(t, c);
+      }));
+  // Narrowing along the chain is likewise explicit and grounds first.
+  TIP_RETURN_IF_ERROR(reg.Register(
+      t.element, t.period, /*implicit=*/false,
+      [t](const Datum& v, EvalContext& ctx) -> Result<Datum> {
+        TIP_ASSIGN_OR_RETURN(GroundedElement e,
+                             GetElement(v).Ground(ctx.tx));
+        if (e.IsEmpty()) {
+          return Status::InvalidArgument(
+              "cannot cast an empty Element to Period");
+        }
+        return MakePeriod(t, Period::FromGrounded(e.Extent()));
+      }));
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace tip::datablade

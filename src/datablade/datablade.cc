@@ -1,0 +1,54 @@
+#include "datablade/datablade.h"
+
+namespace tip::datablade {
+
+Result<TipTypes> TipTypes::Lookup(const engine::Database& db) {
+  TipTypes t;
+  TIP_ASSIGN_OR_RETURN(t.chronon, db.types().FindByName("chronon"));
+  TIP_ASSIGN_OR_RETURN(t.span, db.types().FindByName("span"));
+  TIP_ASSIGN_OR_RETURN(t.instant, db.types().FindByName("instant"));
+  TIP_ASSIGN_OR_RETURN(t.period, db.types().FindByName("period"));
+  TIP_ASSIGN_OR_RETURN(t.element, db.types().FindByName("element"));
+  return t;
+}
+
+Status Install(engine::Database* db) {
+  TIP_ASSIGN_OR_RETURN(TipTypes t, internal::RegisterTypes(db));
+  TIP_RETURN_IF_ERROR(internal::RegisterCasts(db, t));
+  TIP_RETURN_IF_ERROR(internal::RegisterRoutines(db, t));
+  TIP_RETURN_IF_ERROR(internal::RegisterAggregates(db, t));
+  TIP_RETURN_IF_ERROR(internal::RegisterAccessMethods(db, t));
+  return Status::OK();
+}
+
+engine::Datum MakeChronon(const TipTypes& t, const Chronon& value) {
+  return engine::Datum::Make(t.chronon, value);
+}
+engine::Datum MakeSpan(const TipTypes& t, const Span& value) {
+  return engine::Datum::Make(t.span, value);
+}
+engine::Datum MakeInstant(const TipTypes& t, const Instant& value) {
+  return engine::Datum::Make(t.instant, value);
+}
+engine::Datum MakePeriod(const TipTypes& t, const Period& value) {
+  return engine::Datum::Make(t.period, value);
+}
+engine::Datum MakeElement(const TipTypes& t, const Element& value) {
+  return engine::Datum::Make(t.element, value);
+}
+
+const Chronon& GetChronon(const engine::Datum& d) {
+  return d.extension<Chronon>();
+}
+const Span& GetSpan(const engine::Datum& d) { return d.extension<Span>(); }
+const Instant& GetInstant(const engine::Datum& d) {
+  return d.extension<Instant>();
+}
+const Period& GetPeriod(const engine::Datum& d) {
+  return d.extension<Period>();
+}
+const Element& GetElement(const engine::Datum& d) {
+  return d.extension<Element>();
+}
+
+}  // namespace tip::datablade

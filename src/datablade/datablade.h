@@ -1,0 +1,81 @@
+#ifndef TIP_DATABLADE_DATABLADE_H_
+#define TIP_DATABLADE_DATABLADE_H_
+
+#include "common/status.h"
+#include "core/chronon.h"
+#include "core/element.h"
+#include "core/instant.h"
+#include "core/period.h"
+#include "core/span.h"
+#include "engine/database.h"
+
+namespace tip::datablade {
+
+/// The engine type ids minted for the five TIP datatypes when the
+/// DataBlade is installed. Clients use these to construct and unwrap
+/// Datum values of TIP types.
+struct TipTypes {
+  engine::TypeId chronon;
+  engine::TypeId span;
+  engine::TypeId instant;
+  engine::TypeId period;
+  engine::TypeId element;
+
+  /// Looks the ids up by name in an installed database; fails with
+  /// NotFound if the DataBlade is not installed.
+  static Result<TipTypes> Lookup(const engine::Database& db);
+};
+
+/// Installs the TIP DataBlade into `db`:
+///
+///  * the five datatypes (Chronon, Span, Instant, Period, Element) with
+///    their input/output, comparison, hash and binary send/receive
+///    support functions;
+///  * casts: SQL strings convert implicitly to and from every TIP type;
+///    Chronon widens implicitly to Instant, Period and Element; a
+///    NOW-relative Instant converts (explicitly) to a Chronon by
+///    substituting the transaction time;
+///  * operator overloads (`+ - * /`) for temporal arithmetic — and the
+///    deliberate *absence* of `Chronon + Chronon`, which stays a type
+///    error, exactly as the paper promises;
+///  * ~50 named routines: Allen's thirteen interval relations for
+///    Periods, and union/intersect/difference/overlaps/contains/length/
+///    start/end/first/last/... for Elements, all linear-time;
+///  * aggregates `group_union` and `group_intersect`, which make
+///    temporal coalescing expressible in plain SQL;
+///  * the interval access method for Element/Period/Instant/Chronon
+///    columns (enables CREATE INDEX ... USING interval and the interval
+///    index join).
+///
+/// Idempotence: installing twice fails with AlreadyExists.
+Status Install(engine::Database* db);
+
+// -- Datum construction / extraction helpers ---------------------------------
+
+engine::Datum MakeChronon(const TipTypes& t, const Chronon& value);
+engine::Datum MakeSpan(const TipTypes& t, const Span& value);
+engine::Datum MakeInstant(const TipTypes& t, const Instant& value);
+engine::Datum MakePeriod(const TipTypes& t, const Period& value);
+engine::Datum MakeElement(const TipTypes& t, const Element& value);
+
+/// Typed accessors; the caller must know the datum's type (as after a
+/// binder-checked query). Preconditions: matching type, non-null.
+const Chronon& GetChronon(const engine::Datum& d);
+const Span& GetSpan(const engine::Datum& d);
+const Instant& GetInstant(const engine::Datum& d);
+const Period& GetPeriod(const engine::Datum& d);
+const Element& GetElement(const engine::Datum& d);
+
+namespace internal {
+
+/// Sub-registrations, called by Install in this order.
+Result<TipTypes> RegisterTypes(engine::Database* db);
+Status RegisterCasts(engine::Database* db, const TipTypes& t);
+Status RegisterRoutines(engine::Database* db, const TipTypes& t);
+Status RegisterAggregates(engine::Database* db, const TipTypes& t);
+Status RegisterAccessMethods(engine::Database* db, const TipTypes& t);
+
+}  // namespace internal
+}  // namespace tip::datablade
+
+#endif  // TIP_DATABLADE_DATABLADE_H_

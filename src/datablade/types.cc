@@ -1,0 +1,252 @@
+#include <algorithm>
+#include <cstring>
+
+#include "datablade/datablade.h"
+
+namespace tip::datablade {
+namespace internal {
+
+namespace {
+
+using engine::Datum;
+using engine::TypeId;
+using engine::TypeOps;
+
+// -- Binary send/receive helpers ("efficient binary format", §2) -------------
+
+void AppendFixed64(int64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+Result<int64_t> ReadFixed64(std::string_view bytes, size_t* pos) {
+  if (*pos + 8 > bytes.size()) {
+    return Status::Internal("truncated TIP binary payload");
+  }
+  int64_t v;
+  std::memcpy(&v, bytes.data() + *pos, 8);
+  *pos += 8;
+  return v;
+}
+
+void SerializeInstant(const Instant& i, std::string* out) {
+  out->push_back(i.is_now_relative() ? 1 : 0);
+  AppendFixed64(i.is_now_relative() ? i.offset().seconds()
+                                    : i.chronon().seconds(),
+                out);
+}
+
+Result<Instant> DeserializeInstant(std::string_view bytes, size_t* pos) {
+  if (*pos >= bytes.size()) {
+    return Status::Internal("truncated Instant payload");
+  }
+  const bool now_relative = bytes[(*pos)++] != 0;
+  TIP_ASSIGN_OR_RETURN(int64_t value, ReadFixed64(bytes, pos));
+  if (now_relative) {
+    return Instant::NowRelative(Span::FromSeconds(value));
+  }
+  TIP_ASSIGN_OR_RETURN(Chronon c, Chronon::FromSeconds(value));
+  return Instant::Absolute(c);
+}
+
+uint64_t HashInt64(uint64_t seed, int64_t v) {
+  uint64_t h = static_cast<uint64_t>(v) * 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 32;
+  return seed ^ (h + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
+}
+
+// -- Per-type support functions ----------------------------------------------
+
+TypeOps ChrononOps(TypeId id) {
+  TypeOps ops;
+  ops.parse = [id](std::string_view s) -> Result<Datum> {
+    TIP_ASSIGN_OR_RETURN(Chronon c, Chronon::Parse(s));
+    return Datum::Make(id, c);
+  };
+  ops.format = [](const Datum& d) { return GetChronon(d).ToString(); };
+  ops.compare = [](const Datum& a, const Datum& b,
+                   const TxContext&) -> Result<int> {
+    const Chronon& x = GetChronon(a);
+    const Chronon& y = GetChronon(b);
+    return x < y ? -1 : (x == y ? 0 : 1);
+  };
+  ops.hash = [](const Datum& d, const TxContext&) -> Result<uint64_t> {
+    return HashInt64(0, GetChronon(d).seconds());
+  };
+  ops.serialize = [](const Datum& d, std::string* out) {
+    AppendFixed64(GetChronon(d).seconds(), out);
+  };
+  ops.deserialize = [id](std::string_view bytes) -> Result<Datum> {
+    size_t pos = 0;
+    TIP_ASSIGN_OR_RETURN(int64_t seconds, ReadFixed64(bytes, &pos));
+    TIP_ASSIGN_OR_RETURN(Chronon c, Chronon::FromSeconds(seconds));
+    return Datum::Make(id, c);
+  };
+  return ops;
+}
+
+TypeOps SpanOps(TypeId id) {
+  TypeOps ops;
+  ops.parse = [id](std::string_view s) -> Result<Datum> {
+    TIP_ASSIGN_OR_RETURN(Span v, Span::Parse(s));
+    return Datum::Make(id, v);
+  };
+  ops.format = [](const Datum& d) { return GetSpan(d).ToString(); };
+  ops.compare = [](const Datum& a, const Datum& b,
+                   const TxContext&) -> Result<int> {
+    const Span& x = GetSpan(a);
+    const Span& y = GetSpan(b);
+    return x < y ? -1 : (x == y ? 0 : 1);
+  };
+  ops.hash = [](const Datum& d, const TxContext&) -> Result<uint64_t> {
+    return HashInt64(0, GetSpan(d).seconds());
+  };
+  ops.serialize = [](const Datum& d, std::string* out) {
+    AppendFixed64(GetSpan(d).seconds(), out);
+  };
+  ops.deserialize = [id](std::string_view bytes) -> Result<Datum> {
+    size_t pos = 0;
+    TIP_ASSIGN_OR_RETURN(int64_t seconds, ReadFixed64(bytes, &pos));
+    return Datum::Make(id, Span::FromSeconds(seconds));
+  };
+  return ops;
+}
+
+TypeOps InstantOps(TypeId id) {
+  TypeOps ops;
+  ops.parse = [id](std::string_view s) -> Result<Datum> {
+    TIP_ASSIGN_OR_RETURN(Instant v, Instant::Parse(s));
+    return Datum::Make(id, v);
+  };
+  ops.format = [](const Datum& d) { return GetInstant(d).ToString(); };
+  // Comparing Instants is *temporal*: a NOW-relative instant grounds to
+  // the transaction time first, so the answer may change between
+  // transactions — the paper's flagship NOW behaviour.
+  ops.compare = [](const Datum& a, const Datum& b,
+                   const TxContext& ctx) -> Result<int> {
+    return CompareInstants(GetInstant(a), GetInstant(b), ctx);
+  };
+  ops.hash = [](const Datum& d, const TxContext& ctx) -> Result<uint64_t> {
+    TIP_ASSIGN_OR_RETURN(Chronon c, GetInstant(d).Ground(ctx));
+    return HashInt64(0, c.seconds());
+  };
+  ops.serialize = [](const Datum& d, std::string* out) {
+    SerializeInstant(GetInstant(d), out);
+  };
+  ops.deserialize = [id](std::string_view bytes) -> Result<Datum> {
+    size_t pos = 0;
+    TIP_ASSIGN_OR_RETURN(Instant v, DeserializeInstant(bytes, &pos));
+    return Datum::Make(id, v);
+  };
+  return ops;
+}
+
+TypeOps PeriodOps(TypeId id) {
+  TypeOps ops;
+  ops.parse = [id](std::string_view s) -> Result<Datum> {
+    TIP_ASSIGN_OR_RETURN(Period v, Period::Parse(s));
+    return Datum::Make(id, v);
+  };
+  ops.format = [](const Datum& d) { return GetPeriod(d).ToString(); };
+  // Periods order by (grounded start, grounded end).
+  ops.compare = [](const Datum& a, const Datum& b,
+                   const TxContext& ctx) -> Result<int> {
+    TIP_ASSIGN_OR_RETURN(GroundedPeriod x, GetPeriod(a).Ground(ctx));
+    TIP_ASSIGN_OR_RETURN(GroundedPeriod y, GetPeriod(b).Ground(ctx));
+    if (x.start() != y.start()) return x.start() < y.start() ? -1 : 1;
+    if (x.end() != y.end()) return x.end() < y.end() ? -1 : 1;
+    return 0;
+  };
+  ops.hash = [](const Datum& d, const TxContext& ctx) -> Result<uint64_t> {
+    TIP_ASSIGN_OR_RETURN(GroundedPeriod p, GetPeriod(d).Ground(ctx));
+    return HashInt64(HashInt64(0, p.start().seconds()), p.end().seconds());
+  };
+  ops.serialize = [](const Datum& d, std::string* out) {
+    SerializeInstant(GetPeriod(d).start(), out);
+    SerializeInstant(GetPeriod(d).end(), out);
+  };
+  ops.deserialize = [id](std::string_view bytes) -> Result<Datum> {
+    size_t pos = 0;
+    TIP_ASSIGN_OR_RETURN(Instant start, DeserializeInstant(bytes, &pos));
+    TIP_ASSIGN_OR_RETURN(Instant end, DeserializeInstant(bytes, &pos));
+    TIP_ASSIGN_OR_RETURN(Period p, Period::Make(start, end));
+    return Datum::Make(id, p);
+  };
+  return ops;
+}
+
+TypeOps ElementOps(TypeId id) {
+  TypeOps ops;
+  ops.parse = [id](std::string_view s) -> Result<Datum> {
+    TIP_ASSIGN_OR_RETURN(Element v, Element::Parse(s));
+    return Datum::Make(id, v);
+  };
+  ops.format = [](const Datum& d) { return GetElement(d).ToString(); };
+  // Elements order lexicographically over their grounded canonical
+  // periods (an arbitrary but total and context-consistent order, good
+  // enough for ORDER BY / DISTINCT / GROUP BY).
+  ops.compare = [](const Datum& a, const Datum& b,
+                   const TxContext& ctx) -> Result<int> {
+    TIP_ASSIGN_OR_RETURN(GroundedElement x, GetElement(a).Ground(ctx));
+    TIP_ASSIGN_OR_RETURN(GroundedElement y, GetElement(b).Ground(ctx));
+    const size_t n = std::min(x.size(), y.size());
+    for (size_t i = 0; i < n; ++i) {
+      const GroundedPeriod& p = x.periods()[i];
+      const GroundedPeriod& q = y.periods()[i];
+      if (p.start() != q.start()) return p.start() < q.start() ? -1 : 1;
+      if (p.end() != q.end()) return p.end() < q.end() ? -1 : 1;
+    }
+    if (x.size() != y.size()) return x.size() < y.size() ? -1 : 1;
+    return 0;
+  };
+  ops.hash = [](const Datum& d, const TxContext& ctx) -> Result<uint64_t> {
+    TIP_ASSIGN_OR_RETURN(GroundedElement e, GetElement(d).Ground(ctx));
+    uint64_t h = 0;
+    for (const GroundedPeriod& p : e.periods()) {
+      h = HashInt64(HashInt64(h, p.start().seconds()), p.end().seconds());
+    }
+    return h;
+  };
+  ops.serialize = [](const Datum& d, std::string* out) {
+    const Element& e = GetElement(d);
+    AppendFixed64(static_cast<int64_t>(e.size()), out);
+    for (const Period& p : e.periods()) {
+      SerializeInstant(p.start(), out);
+      SerializeInstant(p.end(), out);
+    }
+  };
+  ops.deserialize = [id](std::string_view bytes) -> Result<Datum> {
+    size_t pos = 0;
+    TIP_ASSIGN_OR_RETURN(int64_t count, ReadFixed64(bytes, &pos));
+    if (count < 0 || static_cast<size_t>(count) > bytes.size()) {
+      return Status::Internal("corrupt Element payload");
+    }
+    std::vector<Period> periods;
+    periods.reserve(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      TIP_ASSIGN_OR_RETURN(Instant start, DeserializeInstant(bytes, &pos));
+      TIP_ASSIGN_OR_RETURN(Instant end, DeserializeInstant(bytes, &pos));
+      TIP_ASSIGN_OR_RETURN(Period p, Period::Make(start, end));
+      periods.push_back(p);
+    }
+    return Datum::Make(id, Element::FromPeriods(std::move(periods)));
+  };
+  return ops;
+}
+
+}  // namespace
+
+Result<TipTypes> RegisterTypes(engine::Database* db) {
+  engine::TypeRegistry& reg = db->types();
+  TipTypes t;
+  TIP_ASSIGN_OR_RETURN(t.chronon, reg.RegisterType("chronon", ChrononOps));
+  TIP_ASSIGN_OR_RETURN(t.span, reg.RegisterType("span", SpanOps));
+  TIP_ASSIGN_OR_RETURN(t.instant, reg.RegisterType("instant", InstantOps));
+  TIP_ASSIGN_OR_RETURN(t.period, reg.RegisterType("period", PeriodOps));
+  TIP_ASSIGN_OR_RETURN(t.element, reg.RegisterType("element", ElementOps));
+  return t;
+}
+
+}  // namespace internal
+}  // namespace tip::datablade

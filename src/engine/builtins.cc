@@ -1,0 +1,407 @@
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "common/string_util.h"
+#include "engine/database.h"
+
+namespace tip::engine {
+
+namespace {
+
+// -- Scalar helpers ----------------------------------------------------------
+
+Result<int64_t> CheckedAdd(int64_t a, int64_t b) {
+  int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return Status::OutOfRange("integer addition overflow");
+  }
+  return out;
+}
+
+Result<int64_t> CheckedSub(int64_t a, int64_t b) {
+  int64_t out;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    return Status::OutOfRange("integer subtraction overflow");
+  }
+  return out;
+}
+
+Result<int64_t> CheckedMul(int64_t a, int64_t b) {
+  int64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return Status::OutOfRange("integer multiplication overflow");
+  }
+  return out;
+}
+
+// SQL LIKE: '%' matches any run (including empty), '_' any one
+// character. Iterative two-pointer matching with single-'%'
+// backtracking — linear for patterns without nested wildcard overlap.
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Routine MakeRoutine(std::string name, std::vector<TypeId> params,
+                    TypeId result, RoutineFn fn) {
+  Routine r;
+  r.name = std::move(name);
+  r.params = std::move(params);
+  r.result = result;
+  r.fn = std::move(fn);
+  return r;
+}
+
+Status RegisterArithmetic(Database* db) {
+  RoutineRegistry& reg = db->routines();
+  const TypeId i = TypeId::kInt, d = TypeId::kDouble, s = TypeId::kString;
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "+", {i, i}, i,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        TIP_ASSIGN_OR_RETURN(int64_t v,
+                             CheckedAdd(a[0].int_value(), a[1].int_value()));
+        return Datum::Int(v);
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "+", {d, d}, d,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        return Datum::Double(a[0].double_value() + a[1].double_value());
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "-", {i, i}, i,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        TIP_ASSIGN_OR_RETURN(int64_t v,
+                             CheckedSub(a[0].int_value(), a[1].int_value()));
+        return Datum::Int(v);
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "-", {d, d}, d,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        return Datum::Double(a[0].double_value() - a[1].double_value());
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "*", {i, i}, i,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        TIP_ASSIGN_OR_RETURN(int64_t v,
+                             CheckedMul(a[0].int_value(), a[1].int_value()));
+        return Datum::Int(v);
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "*", {d, d}, d,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        return Datum::Double(a[0].double_value() * a[1].double_value());
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "/", {i, i}, i,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        if (a[1].int_value() == 0) {
+          return Status::InvalidArgument("division by zero");
+        }
+        if (a[0].int_value() == INT64_MIN && a[1].int_value() == -1) {
+          return Status::OutOfRange("integer division overflow");
+        }
+        return Datum::Int(a[0].int_value() / a[1].int_value());
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "/", {d, d}, d,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        if (a[1].double_value() == 0.0) {
+          return Status::InvalidArgument("division by zero");
+        }
+        return Datum::Double(a[0].double_value() / a[1].double_value());
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "neg", {i}, i,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        if (a[0].int_value() == INT64_MIN) {
+          return Status::OutOfRange("integer negation overflow");
+        }
+        return Datum::Int(-a[0].int_value());
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "neg", {d}, d,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        return Datum::Double(-a[0].double_value());
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "mod", {i, i}, i,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        if (a[1].int_value() == 0) {
+          return Status::InvalidArgument("modulo by zero");
+        }
+        if (a[0].int_value() == INT64_MIN && a[1].int_value() == -1) {
+          return Datum::Int(0);
+        }
+        return Datum::Int(a[0].int_value() % a[1].int_value());
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "abs", {i}, i,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        if (a[0].int_value() == INT64_MIN) {
+          return Status::OutOfRange("abs overflow");
+        }
+        return Datum::Int(a[0].int_value() < 0 ? -a[0].int_value()
+                                               : a[0].int_value());
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "abs", {d}, d,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        return Datum::Double(std::fabs(a[0].double_value()));
+      })));
+
+  // greatest / least over the orderable builtins (the layered baseline's
+  // temporal-join translation leans on these).
+  struct MinMaxSpec {
+    TypeId type;
+    bool greatest;
+  };
+  for (TypeId t : {i, d, s}) {
+    for (bool greatest : {true, false}) {
+      const TypeRegistry* types = &db->types();
+      TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+          greatest ? "greatest" : "least", {t, t}, t,
+          [types, greatest](const std::vector<Datum>& a,
+                            EvalContext& ctx) -> Result<Datum> {
+            TIP_ASSIGN_OR_RETURN(int c,
+                                 types->Compare(a[0], a[1], ctx.tx));
+            return (c >= 0) == greatest ? a[0] : a[1];
+          })));
+    }
+  }
+
+  // String routines.
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "||", {s, s}, s,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        return Datum::String(a[0].string_value() + a[1].string_value());
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "length", {s}, i,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        return Datum::Int(static_cast<int64_t>(a[0].string_value().size()));
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "lower", {s}, s,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        return Datum::String(ToLowerAscii(a[0].string_value()));
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "upper", {s}, s,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        return Datum::String(ToUpperAscii(a[0].string_value()));
+      })));
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "like", {s, s}, TypeId::kBool,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        return Datum::Bool(LikeMatch(a[0].string_value(),
+                                     a[1].string_value()));
+      })));
+  return Status::OK();
+}
+
+Status RegisterCasts(Database* db) {
+  CastRegistry& reg = db->casts();
+  // INT widens to DOUBLE implicitly; narrowing is explicit.
+  TIP_RETURN_IF_ERROR(reg.Register(
+      TypeId::kInt, TypeId::kDouble, /*implicit=*/true,
+      [](const Datum& v, EvalContext&) -> Result<Datum> {
+        return Datum::Double(static_cast<double>(v.int_value()));
+      }));
+  TIP_RETURN_IF_ERROR(reg.Register(
+      TypeId::kDouble, TypeId::kInt, /*implicit=*/false,
+      [](const Datum& v, EvalContext&) -> Result<Datum> {
+        const double x = v.double_value();
+        if (!(x >= -9.2233720368547758e18 && x <= 9.2233720368547758e18)) {
+          return Status::OutOfRange("DOUBLE value out of INT range");
+        }
+        return Datum::Int(static_cast<int64_t>(x));
+      }));
+  TIP_RETURN_IF_ERROR(reg.Register(
+      TypeId::kString, TypeId::kInt, /*implicit=*/false,
+      [](const Datum& v, EvalContext&) -> Result<Datum> {
+        TIP_ASSIGN_OR_RETURN(int64_t x, ParseInt64(v.string_value()));
+        return Datum::Int(x);
+      }));
+  TIP_RETURN_IF_ERROR(reg.Register(
+      TypeId::kString, TypeId::kDouble, /*implicit=*/false,
+      [](const Datum& v, EvalContext&) -> Result<Datum> {
+        TIP_ASSIGN_OR_RETURN(double x, ParseDouble(v.string_value()));
+        return Datum::Double(x);
+      }));
+  TIP_RETURN_IF_ERROR(reg.Register(
+      TypeId::kInt, TypeId::kString, /*implicit=*/false,
+      [](const Datum& v, EvalContext&) -> Result<Datum> {
+        return Datum::String(std::to_string(v.int_value()));
+      }));
+  TIP_RETURN_IF_ERROR(reg.Register(
+      TypeId::kBool, TypeId::kString, /*implicit=*/false,
+      [](const Datum& v, EvalContext&) -> Result<Datum> {
+        return Datum::String(v.bool_value() ? "true" : "false");
+      }));
+  return Status::OK();
+}
+
+// -- Aggregates --------------------------------------------------------------
+
+class CountState final : public AggregateState {
+ public:
+  Status Step(const Datum&, EvalContext&) override {
+    ++count_;
+    return Status::OK();
+  }
+  Result<Datum> Final(EvalContext&) override { return Datum::Int(count_); }
+
+ private:
+  int64_t count_ = 0;
+};
+
+class SumIntState final : public AggregateState {
+ public:
+  Status Step(const Datum& v, EvalContext&) override {
+    TIP_ASSIGN_OR_RETURN(sum_, CheckedAdd(sum_, v.int_value()));
+    seen_ = true;
+    return Status::OK();
+  }
+  Result<Datum> Final(EvalContext&) override {
+    // SQL: SUM over the empty set is NULL.
+    return seen_ ? Datum::Int(sum_) : Datum::NullOf(TypeId::kInt);
+  }
+
+ private:
+  int64_t sum_ = 0;
+  bool seen_ = false;
+};
+
+class SumDoubleState final : public AggregateState {
+ public:
+  Status Step(const Datum& v, EvalContext&) override {
+    sum_ += v.double_value();
+    seen_ = true;
+    return Status::OK();
+  }
+  Result<Datum> Final(EvalContext&) override {
+    return seen_ ? Datum::Double(sum_) : Datum::NullOf(TypeId::kDouble);
+  }
+
+ private:
+  double sum_ = 0;
+  bool seen_ = false;
+};
+
+class AvgState final : public AggregateState {
+ public:
+  Status Step(const Datum& v, EvalContext&) override {
+    sum_ += v.double_value();
+    ++count_;
+    return Status::OK();
+  }
+  Result<Datum> Final(EvalContext&) override {
+    if (count_ == 0) return Datum::NullOf(TypeId::kDouble);
+    return Datum::Double(sum_ / static_cast<double>(count_));
+  }
+
+ private:
+  double sum_ = 0;
+  int64_t count_ = 0;
+};
+
+class MinMaxState final : public AggregateState {
+ public:
+  MinMaxState(const TypeRegistry* types, bool is_max)
+      : types_(types), is_max_(is_max) {}
+
+  Status Step(const Datum& v, EvalContext& ctx) override {
+    if (!seen_) {
+      best_ = v;
+      seen_ = true;
+      return Status::OK();
+    }
+    TIP_ASSIGN_OR_RETURN(int c, types_->Compare(v, best_, ctx.tx));
+    if ((c > 0) == is_max_ && c != 0) best_ = v;
+    return Status::OK();
+  }
+  Result<Datum> Final(EvalContext&) override {
+    return seen_ ? best_ : Datum::Null();
+  }
+
+ private:
+  const TypeRegistry* types_;
+  bool is_max_;
+  Datum best_;
+  bool seen_ = false;
+};
+
+Status RegisterAggregates(Database* db) {
+  AggregateRegistry& reg = db->aggregates();
+  const TypeRegistry* types = &db->types();
+
+  AggregateDef count;
+  count.name = "count";
+  count.any_param = true;
+  count.result = TypeId::kInt;
+  count.make_state = [] { return std::make_unique<CountState>(); };
+  TIP_RETURN_IF_ERROR(reg.Register(std::move(count)));
+
+  AggregateDef sum_int;
+  sum_int.name = "sum";
+  sum_int.param = TypeId::kInt;
+  sum_int.result = TypeId::kInt;
+  sum_int.make_state = [] { return std::make_unique<SumIntState>(); };
+  TIP_RETURN_IF_ERROR(reg.Register(std::move(sum_int)));
+
+  AggregateDef sum_double;
+  sum_double.name = "sum";
+  sum_double.param = TypeId::kDouble;
+  sum_double.result = TypeId::kDouble;
+  sum_double.make_state = [] { return std::make_unique<SumDoubleState>(); };
+  TIP_RETURN_IF_ERROR(reg.Register(std::move(sum_double)));
+
+  AggregateDef avg;
+  avg.name = "avg";
+  avg.param = TypeId::kDouble;
+  avg.result = TypeId::kDouble;
+  avg.make_state = [] { return std::make_unique<AvgState>(); };
+  TIP_RETURN_IF_ERROR(reg.Register(std::move(avg)));
+
+  for (bool is_max : {false, true}) {
+    AggregateDef def;
+    def.name = is_max ? "max" : "min";
+    def.any_param = true;
+    def.result_same_as_param = true;
+    def.make_state = [types, is_max] {
+      return std::make_unique<MinMaxState>(types, is_max);
+    };
+    TIP_RETURN_IF_ERROR(reg.Register(std::move(def)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RegisterBuiltins(Database* db) {
+  TIP_RETURN_IF_ERROR(RegisterArithmetic(db));
+  TIP_RETURN_IF_ERROR(RegisterCasts(db));
+  TIP_RETURN_IF_ERROR(RegisterAggregates(db));
+  return Status::OK();
+}
+
+}  // namespace tip::engine

@@ -1,0 +1,83 @@
+#include "engine/catalog/aggregate_registry.h"
+
+#include "common/string_util.h"
+
+namespace tip::engine {
+
+namespace {
+
+ResolvedAggregate MakeResolved(const AggregateDef& def, const Cast* cast,
+                               TypeId arg_type) {
+  ResolvedAggregate out;
+  out.def = &def;
+  out.arg_cast = cast;
+  out.result = def.result_same_as_param
+                   ? (cast != nullptr ? cast->to : arg_type)
+                   : def.result;
+  return out;
+}
+
+}  // namespace
+
+Status AggregateRegistry::Register(AggregateDef def) {
+  def.name = ToLowerAscii(def.name);
+  for (const AggregateDef& existing : defs_) {
+    if (existing.name != def.name) continue;
+    if (existing.any_param || def.any_param ||
+        existing.param == def.param) {
+      return Status::AlreadyExists("aggregate '" + def.name +
+                                   "' already has this signature");
+    }
+  }
+  defs_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Result<ResolvedAggregate> AggregateRegistry::Resolve(
+    std::string_view name, TypeId arg_type,
+    const CastRegistry& casts) const {
+  const std::string lower = ToLowerAscii(name);
+  bool name_seen = false;
+  for (const AggregateDef& def : defs_) {
+    if (def.name != lower) continue;
+    name_seen = true;
+    if (def.any_param || def.param == arg_type ||
+        arg_type == TypeId::kNull) {
+      return MakeResolved(def, nullptr, arg_type);
+    }
+  }
+  const AggregateDef* candidate = nullptr;
+  const Cast* candidate_cast = nullptr;
+  for (const AggregateDef& def : defs_) {
+    if (def.name != lower || def.any_param) continue;
+    const Cast* c = casts.Find(arg_type, def.param,
+                               /*require_implicit=*/true);
+    if (c != nullptr) {
+      if (candidate != nullptr) {
+        return Status::TypeError("aggregate call '" + lower +
+                                 "' is ambiguous: multiple overloads match "
+                                 "through implicit casts");
+      }
+      candidate = &def;
+      candidate_cast = c;
+    }
+  }
+  if (candidate != nullptr) {
+    return MakeResolved(*candidate, candidate_cast, arg_type);
+  }
+  if (!name_seen) {
+    return Status::NotFound("unknown aggregate '" + lower + "'");
+  }
+  return Status::TypeError("no overload of aggregate '" + lower +
+                           "' accepts the argument type");
+}
+
+bool AggregateRegistry::Exists(std::string_view name) const {
+  const std::string lower = ToLowerAscii(name);
+  for (const AggregateDef& def : defs_) {
+    if (def.name == lower) return true;
+  }
+  return false;
+}
+
+}  // namespace tip::engine

@@ -1,0 +1,80 @@
+#ifndef TIP_ENGINE_CATALOG_AGGREGATE_REGISTRY_H_
+#define TIP_ENGINE_CATALOG_AGGREGATE_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/catalog/cast_registry.h"
+#include "engine/types/datum.h"
+#include "engine/types/eval_context.h"
+
+namespace tip::engine {
+
+/// Running state of one aggregate over one group. A fresh state is
+/// created per group; Step is called once per qualifying input row;
+/// Final produces the group's result.
+class AggregateState {
+ public:
+  virtual ~AggregateState() = default;
+
+  virtual Status Step(const Datum& value, EvalContext& ctx) = 0;
+  virtual Result<Datum> Final(EvalContext& ctx) = 0;
+};
+
+/// One registered aggregate overload. User-defined aggregates (the TIP
+/// DataBlade's `group_union` / `group_intersect`) register through the
+/// same interface as the SQL builtins.
+struct AggregateDef {
+  std::string name;   // lower-case
+  TypeId param;       // input type; ignored when any_param
+  TypeId result;      // ignored when result_same_as_param
+  std::function<std::unique_ptr<AggregateState>()> make_state;
+  /// Strict aggregates skip NULL inputs (the SQL default).
+  bool strict = true;
+  /// Accepts any input type (COUNT, and MIN/MAX over comparables).
+  bool any_param = false;
+  /// The result type equals the input type (MIN/MAX).
+  bool result_same_as_param = false;
+};
+
+/// An aggregate selected by overload resolution, with an optional
+/// implicit cast to apply to each input value.
+struct ResolvedAggregate {
+  const AggregateDef* def = nullptr;
+  const Cast* arg_cast = nullptr;
+  /// The concrete result type of this call (resolves
+  /// `result_same_as_param`).
+  TypeId result = TypeId::kNull;
+};
+
+/// Name-addressable aggregate catalog; resolution mirrors
+/// RoutineRegistry (exact match, then a unique implicit-cast match).
+class AggregateRegistry {
+ public:
+  AggregateRegistry() = default;
+
+  AggregateRegistry(const AggregateRegistry&) = delete;
+  AggregateRegistry& operator=(const AggregateRegistry&) = delete;
+
+  /// Registers an overload; AlreadyExists on a duplicate signature.
+  Status Register(AggregateDef def);
+
+  /// Resolves `name(arg_type)`.
+  Result<ResolvedAggregate> Resolve(std::string_view name, TypeId arg_type,
+                                    const CastRegistry& casts) const;
+
+  /// True iff any overload is registered under `name` — how the binder
+  /// distinguishes aggregate calls from scalar routine calls.
+  bool Exists(std::string_view name) const;
+
+ private:
+  std::vector<AggregateDef> defs_;
+};
+
+}  // namespace tip::engine
+
+#endif  // TIP_ENGINE_CATALOG_AGGREGATE_REGISTRY_H_

@@ -1,0 +1,25 @@
+#include "engine/catalog/cast_registry.h"
+
+namespace tip::engine {
+
+Status CastRegistry::Register(TypeId from, TypeId to, bool implicit,
+                              CastFn fn) {
+  if (Find(from, to, /*require_implicit=*/false) != nullptr) {
+    return Status::AlreadyExists("cast already registered");
+  }
+  casts_.push_back(Cast{from, to, implicit, std::move(fn)});
+  return Status::OK();
+}
+
+const Cast* CastRegistry::Find(TypeId from, TypeId to,
+                               bool require_implicit) const {
+  for (const Cast& c : casts_) {
+    if (c.from == from && c.to == to) {
+      if (require_implicit && !c.implicit) return nullptr;
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace tip::engine

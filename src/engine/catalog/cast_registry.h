@@ -1,0 +1,55 @@
+#ifndef TIP_ENGINE_CATALOG_CAST_REGISTRY_H_
+#define TIP_ENGINE_CATALOG_CAST_REGISTRY_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/types/datum.h"
+#include "engine/types/eval_context.h"
+
+namespace tip::engine {
+
+/// Converts one value to the target type; may fail (e.g. a malformed
+/// string literal cast to a TIP type, or a NOW-relative Instant grounding
+/// out of range).
+using CastFn = std::function<Result<Datum>(const Datum&, EvalContext&)>;
+
+/// One edge in the cast graph. Implicit casts participate in overload
+/// resolution and assignment coercion (the mechanism behind the paper's
+/// "TIP also uses casts to automatically convert SQL strings to and from
+/// TIP datatypes"); explicit casts additionally require `::type` syntax.
+struct Cast {
+  TypeId from;
+  TypeId to;
+  bool implicit;
+  CastFn fn;
+};
+
+/// The engine's cast graph. Lookup is exact (no transitive chaining):
+/// this mirrors Informix, where a single registered cast is applied per
+/// coercion step and keeps overload resolution predictable.
+class CastRegistry {
+ public:
+  CastRegistry() = default;
+
+  CastRegistry(const CastRegistry&) = delete;
+  CastRegistry& operator=(const CastRegistry&) = delete;
+
+  /// Registers a cast; AlreadyExists if (from, to) is present.
+  Status Register(TypeId from, TypeId to, bool implicit, CastFn fn);
+
+  /// Finds the cast from `from` to `to`; nullptr on miss. When
+  /// `require_implicit` is set, explicit-only casts are not returned.
+  const Cast* Find(TypeId from, TypeId to, bool require_implicit) const;
+
+  /// All registered casts (catalog introspection, tests).
+  const std::vector<Cast>& casts() const { return casts_; }
+
+ private:
+  std::vector<Cast> casts_;
+};
+
+}  // namespace tip::engine
+
+#endif  // TIP_ENGINE_CATALOG_CAST_REGISTRY_H_

@@ -1,0 +1,147 @@
+#include "engine/catalog/catalog.h"
+
+#include "common/string_util.h"
+
+namespace tip::engine {
+
+Table::Table(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {}
+
+int Table::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Status Table::CreateIntervalIndex(std::string_view index_name, size_t column,
+                                  IntervalKeyFn key_fn) {
+  if (column >= columns_.size()) {
+    return Status::InvalidArgument("index column out of range");
+  }
+  for (const IntervalIndexDef& def : interval_indexes_) {
+    if (EqualsIgnoreCase(def.name, index_name)) {
+      return Status::AlreadyExists("index '" + std::string(index_name) +
+                                   "' already exists");
+    }
+  }
+  IntervalIndexDef def;
+  def.name = ToLowerAscii(index_name);
+  def.column = column;
+  def.key_fn = std::move(key_fn);
+  interval_indexes_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status Table::DropIndex(std::string_view index_name) {
+  for (size_t i = 0; i < interval_indexes_.size(); ++i) {
+    if (EqualsIgnoreCase(interval_indexes_[i].name, index_name)) {
+      interval_indexes_.erase(interval_indexes_.begin() +
+                              static_cast<ptrdiff_t>(i));
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("index '" + std::string(index_name) +
+                          "' does not exist");
+}
+
+Result<const IntervalIndex*> Table::GetIntervalIndex(
+    size_t column, const TxContext& ctx) const {
+  for (const IntervalIndexDef& def : interval_indexes_) {
+    if (def.column != column) continue;
+    const bool stale = def.built_version != heap_.version() ||
+                       def.built_now != ctx.now.seconds();
+    if (stale) {
+      std::vector<IntervalEntry> entries;
+      entries.reserve(heap_.row_count());
+      HeapTable::Cursor cursor = heap_.Scan();
+      RowId id;
+      const Row* row;
+      while (cursor.Next(&id, &row)) {
+        const Datum& value = (*row)[column];
+        if (value.is_null()) continue;
+        TIP_ASSIGN_OR_RETURN(auto key, def.key_fn(value, ctx));
+        if (!key.has_value()) continue;
+        entries.push_back(IntervalEntry{key->first, key->second, id});
+      }
+      def.index = IntervalIndex::Build(std::move(entries));
+      def.built_version = heap_.version();
+      def.built_now = ctx.now.seconds();
+    }
+    return &def.index;
+  }
+  return Status::NotFound("no interval index on column");
+}
+
+bool Table::HasIntervalIndex(size_t column) const {
+  for (const IntervalIndexDef& def : interval_indexes_) {
+    if (def.column == column) return true;
+  }
+  return false;
+}
+
+Result<Table*> Catalog::CreateTable(std::string_view name,
+                                    std::vector<Column> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("table '" + std::string(name) +
+                                   "' must have at least one column");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    columns[i].name = ToLowerAscii(columns[i].name);
+    for (size_t j = 0; j < i; ++j) {
+      if (columns[j].name == columns[i].name) {
+        return Status::InvalidArgument("duplicate column '" +
+                                       columns[i].name + "'");
+      }
+    }
+  }
+  for (const auto& table : tables_) {
+    if (EqualsIgnoreCase(table->name(), name)) {
+      return Status::AlreadyExists("table '" + std::string(name) +
+                                   "' already exists");
+    }
+  }
+  tables_.push_back(
+      std::make_unique<Table>(ToLowerAscii(name), std::move(columns)));
+  return tables_.back().get();
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (EqualsIgnoreCase(tables_[i]->name(), name)) {
+      tables_.erase(tables_.begin() + static_cast<ptrdiff_t>(i));
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("table '" + std::string(name) +
+                          "' does not exist");
+}
+
+Result<Table*> Catalog::GetTable(std::string_view name) {
+  for (const auto& table : tables_) {
+    if (EqualsIgnoreCase(table->name(), name)) return table.get();
+  }
+  return Status::NotFound("table '" + std::string(name) +
+                          "' does not exist");
+}
+
+Result<const Table*> Catalog::GetTable(std::string_view name) const {
+  for (const auto& table : tables_) {
+    if (EqualsIgnoreCase(table->name(), name)) {
+      return static_cast<const Table*>(table.get());
+    }
+  }
+  return Status::NotFound("table '" + std::string(name) +
+                          "' does not exist");
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& table : tables_) out.push_back(table->name());
+  return out;
+}
+
+}  // namespace tip::engine

@@ -1,0 +1,124 @@
+#ifndef TIP_ENGINE_CATALOG_CATALOG_H_
+#define TIP_ENGINE_CATALOG_CATALOG_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tx_context.h"
+#include "engine/index/interval_index.h"
+#include "engine/storage/heap_table.h"
+#include "engine/types/datum.h"
+#include "engine/types/type.h"
+
+namespace tip::engine {
+
+/// One column of a table.
+struct Column {
+  std::string name;  // stored lower-case; lookups are case-insensitive
+  TypeId type;
+};
+
+/// Extracts the closed int64 interval covered by an indexable value —
+/// for TIP, the bounding period of an Element (grounded under `ctx`) or
+/// a Period itself. Returning nullopt skips the row (NULL or an empty
+/// Element). This is the "access method support function" an index
+/// DataBlade registers for its types.
+using IntervalKeyFn = std::function<Result<std::optional<
+    std::pair<int64_t, int64_t>>>(const Datum&, const TxContext&)>;
+
+/// A secondary interval index over one column. The index materializes
+/// lazily and is invalidated by any table write *or* by a change of the
+/// transaction time: a NOW-relative Element's bounding period moves as
+/// time advances, so an index built at one NOW is stale at another.
+/// (This is the fundamental indexing difficulty with NOW the literature
+/// discusses; rebuilding on NOW change is the simple correct policy.)
+struct IntervalIndexDef {
+  std::string name;
+  size_t column;
+  IntervalKeyFn key_fn;
+
+  // Lazily built state.
+  mutable IntervalIndex index;
+  mutable uint64_t built_version = ~uint64_t{0};
+  mutable int64_t built_now = 0;
+};
+
+/// A named table: schema + heap storage + secondary indexes.
+class Table {
+ public:
+  Table(std::string name, std::vector<Column> columns);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Case-insensitive column lookup; -1 on miss.
+  int FindColumn(std::string_view name) const;
+
+  HeapTable& heap() { return heap_; }
+  const HeapTable& heap() const { return heap_; }
+
+  /// Declares an interval index over `column`. AlreadyExists on a
+  /// duplicate index name; InvalidArgument on a bad column.
+  Status CreateIntervalIndex(std::string_view index_name, size_t column,
+                             IntervalKeyFn key_fn);
+
+  Status DropIndex(std::string_view index_name);
+
+  /// Returns the (lazily rebuilt) interval index over `column` under
+  /// transaction time `ctx`; NotFound if no index covers the column.
+  /// Rebuild failures (a stored value failing to ground) surface as an
+  /// error.
+  Result<const IntervalIndex*> GetIntervalIndex(size_t column,
+                                                const TxContext& ctx) const;
+
+  /// True iff some interval index is declared over `column`.
+  bool HasIntervalIndex(size_t column) const;
+
+  const std::vector<IntervalIndexDef>& interval_indexes() const {
+    return interval_indexes_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  HeapTable heap_;
+  std::vector<IntervalIndexDef> interval_indexes_;
+};
+
+/// The database catalog: name-addressable tables.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a table; AlreadyExists on duplicate name, InvalidArgument
+  /// on an empty or duplicate-column schema.
+  Result<Table*> CreateTable(std::string_view name,
+                             std::vector<Column> columns);
+
+  Status DropTable(std::string_view name);
+
+  /// Case-insensitive lookup; NotFound on miss.
+  Result<Table*> GetTable(std::string_view name);
+  Result<const Table*> GetTable(std::string_view name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace tip::engine
+
+#endif  // TIP_ENGINE_CATALOG_CATALOG_H_

@@ -1,0 +1,440 @@
+#include "engine/database.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "engine/exec/exec_node.h"
+#include "engine/exec/planner.h"
+#include "engine/sql/ast.h"
+#include "engine/sql/parser.h"
+
+namespace tip::engine {
+
+namespace {
+
+// Renders the value of a SET statement as a plain word: a bare
+// identifier, a string literal, or an integer.
+Result<std::string> SetValueWord(const Expr& value) {
+  switch (value.kind) {
+    case ExprKind::kColumnRef:
+      if (value.qualifier.empty()) return ToLowerAscii(value.text);
+      break;
+    case ExprKind::kLiteral:
+      switch (value.literal_kind) {
+        case LiteralKind::kString:
+          return value.text;
+        case LiteralKind::kInt:
+          return std::to_string(value.int_value);
+        case LiteralKind::kBool:
+          return std::string(value.bool_value ? "on" : "off");
+        default:
+          break;
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::InvalidArgument("unsupported SET value");
+}
+
+Result<bool> ParseOnOff(const std::string& word) {
+  if (word == "on" || word == "true" || word == "1") return true;
+  if (word == "off" || word == "false" || word == "0") return false;
+  return Status::InvalidArgument("expected ON or OFF, got '" + word + "'");
+}
+
+}  // namespace
+
+Database::Database() {
+  Status status = RegisterBuiltins(this);
+  // Builtin registration can only fail on duplicate registration, which
+  // would be a programming error in the engine itself.
+  (void)status;
+  assert(status.ok());
+}
+
+Status Database::RegisterIntervalKeyFn(TypeId type, IntervalKeyFn fn) {
+  if (interval_key_fns_.count(type) > 0) {
+    return Status::AlreadyExists("interval key function already registered "
+                                 "for this type");
+  }
+  interval_key_fns_.emplace(type, std::move(fn));
+  return Status::OK();
+}
+
+TxContext Database::CurrentTx() const {
+  if (now_override_.has_value()) return TxContext(*now_override_);
+  return TxContext::FromSystemClock();
+}
+
+void Database::SetNowOverride(std::optional<Chronon> now) {
+  now_override_ = now;
+}
+
+Result<ResultSet> Database::Execute(std::string_view sql) {
+  TIP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ExecuteParsed(stmt, nullptr);
+}
+
+Result<ResultSet> Database::Execute(std::string_view sql,
+                                    const Params& params) {
+  TIP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ExecuteParsed(stmt, &params);
+}
+
+Result<ResultSet> Database::ExecuteScript(std::string_view script) {
+  ResultSet last;
+  bool ran_any = false;
+  size_t start = 0;
+  bool in_string = false;
+  for (size_t i = 0; i <= script.size(); ++i) {
+    const bool at_end = i == script.size();
+    if (!at_end && script[i] == '\'') in_string = !in_string;
+    if (!at_end && (script[i] != ';' || in_string)) continue;
+    std::string_view statement =
+        StripAsciiWhitespace(script.substr(start, i - start));
+    start = i + 1;
+    if (statement.empty()) continue;
+    TIP_ASSIGN_OR_RETURN(last, Execute(statement));
+    ran_any = true;
+  }
+  if (!ran_any) {
+    return Status::InvalidArgument("empty script");
+  }
+  return last;
+}
+
+Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
+                                          const Params* params) {
+  PlannerContext pctx;
+  pctx.types = &types_;
+  pctx.routines = &routines_;
+  pctx.casts = &casts_;
+  pctx.aggregates = &aggregates_;
+  pctx.catalog = &catalog_;
+  pctx.params = params;
+  pctx.interval_key_fns = &interval_key_fns_;
+  pctx.enable_hash_join = enable_hash_join_;
+  pctx.enable_interval_join = enable_interval_join_;
+
+  EvalContext eval(CurrentTx());
+  ExecState state;
+  state.eval = &eval;
+
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect: {
+      TIP_ASSIGN_OR_RETURN(PlannedSelect plan,
+                           PlanSelect(*stmt.select, pctx, nullptr));
+      ResultSet result;
+      for (size_t i = 0; i < plan.column_names.size(); ++i) {
+        result.columns.push_back(
+            {plan.column_names[i], plan.column_types[i]});
+      }
+      TIP_RETURN_IF_ERROR(plan.root->Open(state));
+      Row row;
+      for (;;) {
+        TIP_ASSIGN_OR_RETURN(bool has_row, plan.root->Next(state, &row));
+        if (!has_row) break;
+        result.rows.push_back(std::move(row));
+      }
+      return result;
+    }
+
+    case Statement::Kind::kExplain: {
+      TIP_ASSIGN_OR_RETURN(PlannedSelect plan,
+                           PlanSelect(*stmt.select, pctx, nullptr));
+      std::string text;
+      plan.root->Explain(0, &text);
+      ResultSet result;
+      result.columns.push_back({"plan", TypeId::kString});
+      for (std::string_view line : SplitString(text, '\n')) {
+        if (line.empty()) continue;
+        result.rows.push_back(Row{Datum::String(std::string(line))});
+      }
+      return result;
+    }
+
+    case Statement::Kind::kCreateTable: {
+      std::vector<Column> columns;
+      for (const ColumnDef& def : stmt.columns) {
+        TIP_ASSIGN_OR_RETURN(TypeId type,
+                             types_.FindByName(def.type_name));
+        columns.push_back({def.name, type});
+      }
+      TIP_ASSIGN_OR_RETURN(Table * table,
+                           catalog_.CreateTable(stmt.table,
+                                                std::move(columns)));
+      (void)table;
+      ResultSet result;
+      result.message = "CREATE TABLE";
+      return result;
+    }
+
+    case Statement::Kind::kDropTable: {
+      TIP_RETURN_IF_ERROR(catalog_.DropTable(stmt.table));
+      ResultSet result;
+      result.message = "DROP TABLE";
+      return result;
+    }
+
+    case Statement::Kind::kInsert: {
+      TIP_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+      const std::vector<Column>& columns = table->columns();
+      // Map insert columns to schema positions.
+      std::vector<size_t> targets;
+      if (stmt.insert_columns.empty()) {
+        for (size_t i = 0; i < columns.size(); ++i) targets.push_back(i);
+      } else {
+        for (const std::string& name : stmt.insert_columns) {
+          int idx = table->FindColumn(name);
+          if (idx < 0) {
+            return Status::NotFound("unknown column '" + name +
+                                    "' in INSERT");
+          }
+          targets.push_back(static_cast<size_t>(idx));
+        }
+      }
+      int64_t inserted = 0;
+      for (const std::vector<ExprPtr>& value_row : stmt.insert_rows) {
+        if (value_row.size() != targets.size()) {
+          return Status::InvalidArgument(
+              "INSERT value count does not match column count");
+        }
+        Row row(columns.size(), Datum::Null());
+        TupleCtx tuple;
+        for (size_t i = 0; i < targets.size(); ++i) {
+          TIP_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                               BindScalar(*value_row[i], pctx, nullptr));
+          TIP_ASSIGN_OR_RETURN(
+              bound, CoerceTo(std::move(bound),
+                              columns[targets[i]].type, pctx));
+          TIP_ASSIGN_OR_RETURN(Datum v, bound->Eval(tuple, eval));
+          row[targets[i]] = std::move(v);
+        }
+        table->heap().Insert(std::move(row));
+        ++inserted;
+      }
+      ResultSet result;
+      result.affected_rows = inserted;
+      return result;
+    }
+
+    case Statement::Kind::kUpdate:
+    case Statement::Kind::kDelete: {
+      TIP_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+      Scope scope;
+      for (const Column& col : table->columns()) {
+        scope.bindings.push_back({table->name(), col.name, col.type});
+      }
+      BoundExprPtr where;
+      if (stmt.where != nullptr) {
+        TIP_ASSIGN_OR_RETURN(where, BindScalar(*stmt.where, pctx, &scope));
+        if (where->type() != TypeId::kBool &&
+            where->type() != TypeId::kNull) {
+          return Status::TypeError("WHERE requires a BOOLEAN expression");
+        }
+      }
+      // For UPDATE: bind SET expressions against the row scope.
+      std::vector<std::pair<size_t, BoundExprPtr>> sets;
+      for (const auto& [name, expr] : stmt.update_sets) {
+        int idx = table->FindColumn(name);
+        if (idx < 0) {
+          return Status::NotFound("unknown column '" + name +
+                                  "' in UPDATE");
+        }
+        TIP_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                             BindScalar(*expr, pctx, &scope));
+        TIP_ASSIGN_OR_RETURN(
+            bound,
+            CoerceTo(std::move(bound),
+                     table->columns()[static_cast<size_t>(idx)].type,
+                     pctx));
+        sets.emplace_back(static_cast<size_t>(idx), std::move(bound));
+      }
+
+      // Phase 1: evaluate against a stable snapshot of matching rows.
+      std::vector<std::pair<RowId, Row>> changes;
+      std::vector<RowId> deletions;
+      HeapTable::Cursor cursor = table->heap().Scan();
+      RowId id;
+      const Row* row;
+      while (cursor.Next(&id, &row)) {
+        TupleCtx tuple{row, nullptr};
+        if (where != nullptr) {
+          TIP_ASSIGN_OR_RETURN(Datum pass, where->Eval(tuple, eval));
+          if (pass.is_null() || !pass.bool_value()) continue;
+        }
+        if (stmt.kind == Statement::Kind::kDelete) {
+          deletions.push_back(id);
+        } else {
+          Row updated = *row;
+          for (const auto& [idx, expr] : sets) {
+            TIP_ASSIGN_OR_RETURN(Datum v, expr->Eval(tuple, eval));
+            updated[idx] = std::move(v);
+          }
+          changes.emplace_back(id, std::move(updated));
+        }
+      }
+      // Phase 2: apply.
+      for (RowId victim : deletions) {
+        TIP_RETURN_IF_ERROR(table->heap().Delete(victim));
+      }
+      for (auto& [target, new_row] : changes) {
+        TIP_RETURN_IF_ERROR(table->heap().Update(target,
+                                                 std::move(new_row)));
+      }
+      ResultSet result;
+      result.affected_rows = static_cast<int64_t>(
+          stmt.kind == Statement::Kind::kDelete ? deletions.size()
+                                                : changes.size());
+      return result;
+    }
+
+    case Statement::Kind::kSet: {
+      TIP_ASSIGN_OR_RETURN(std::string word, SetValueWord(*stmt.value));
+      ResultSet result;
+      if (stmt.option == "now") {
+        if (word == "default" || word == "system") {
+          now_override_.reset();
+          result.message = "SET NOW DEFAULT";
+          return result;
+        }
+        TIP_ASSIGN_OR_RETURN(Chronon now, Chronon::Parse(word));
+        now_override_ = now;
+        result.message = "SET NOW " + now.ToString();
+        return result;
+      }
+      if (stmt.option == "hash_join") {
+        TIP_ASSIGN_OR_RETURN(enable_hash_join_, ParseOnOff(word));
+        result.message = "SET HASH_JOIN";
+        return result;
+      }
+      if (stmt.option == "interval_join" ||
+          stmt.option == "interval_index") {
+        TIP_ASSIGN_OR_RETURN(enable_interval_join_, ParseOnOff(word));
+        result.message = "SET INTERVAL_JOIN";
+        return result;
+      }
+      return Status::InvalidArgument("unknown option '" + stmt.option +
+                                     "'");
+    }
+
+    case Statement::Kind::kCreateIndex: {
+      TIP_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+      if (!EqualsIgnoreCase(stmt.index_method, "interval")) {
+        return Status::NotImplemented("unknown index method '" +
+                                      stmt.index_method + "'");
+      }
+      int idx = table->FindColumn(stmt.index_column);
+      if (idx < 0) {
+        return Status::NotFound("unknown column '" + stmt.index_column +
+                                "'");
+      }
+      const TypeId col_type =
+          table->columns()[static_cast<size_t>(idx)].type;
+      auto it = interval_key_fns_.find(col_type);
+      if (it == interval_key_fns_.end()) {
+        return Status::TypeError(
+            "type '" + types_.Get(col_type).name +
+            "' has no interval access method (is the DataBlade "
+            "installed?)");
+      }
+      TIP_RETURN_IF_ERROR(table->CreateIntervalIndex(
+          stmt.index_name, static_cast<size_t>(idx), it->second));
+      ResultSet result;
+      result.message = "CREATE INDEX";
+      return result;
+    }
+
+    case Statement::Kind::kCreateFunction: {
+      const std::string name = ToLowerAscii(stmt.function_name);
+      std::vector<Column> params;
+      std::vector<TypeId> param_types;
+      for (const ColumnDef& def : stmt.function_params) {
+        TIP_ASSIGN_OR_RETURN(TypeId type, types_.FindByName(def.type_name));
+        params.push_back({ToLowerAscii(def.name), type});
+        param_types.push_back(type);
+      }
+      TIP_ASSIGN_OR_RETURN(TypeId return_type,
+                           types_.FindByName(stmt.function_return));
+      TIP_ASSIGN_OR_RETURN(ExprPtr body_ast,
+                           ParseExpression(stmt.function_body));
+
+      // Validate now: the body must bind over exactly the parameters
+      // and coerce to the declared return type.
+      Scope scope;
+      for (const Column& p : params) {
+        scope.bindings.push_back({"", p.name, p.type});
+      }
+      TIP_ASSIGN_OR_RETURN(BoundExprPtr validated,
+                           BindScalar(*body_ast, pctx, &scope));
+      TIP_ASSIGN_OR_RETURN(validated,
+                           CoerceTo(std::move(validated), return_type,
+                                    pctx));
+
+      // The stored routine re-binds per invocation so later DDL (drops,
+      // new overloads) cannot leave it holding stale plan state — the
+      // SPL interpreter model.
+      std::shared_ptr<const Expr> body(body_ast.release());
+      auto shared_params = std::make_shared<std::vector<Column>>(params);
+      Database* db = this;
+      Routine routine;
+      routine.name = name;
+      routine.params = param_types;
+      routine.result = return_type;
+      routine.fn = [db, body, shared_params, return_type](
+                       const std::vector<Datum>& args,
+                       EvalContext& eval_ctx) -> Result<Datum> {
+        PlannerContext call_ctx;
+        call_ctx.types = &db->types();
+        call_ctx.routines = &db->routines();
+        call_ctx.casts = &db->casts();
+        call_ctx.aggregates = &db->aggregates();
+        call_ctx.catalog = &db->catalog();
+        call_ctx.interval_key_fns = nullptr;
+        Scope call_scope;
+        for (const Column& p : *shared_params) {
+          call_scope.bindings.push_back({"", p.name, p.type});
+        }
+        TIP_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                             BindScalar(*body, call_ctx, &call_scope));
+        TIP_ASSIGN_OR_RETURN(bound, CoerceTo(std::move(bound),
+                                             return_type, call_ctx));
+        TupleCtx tuple{&args, nullptr};
+        return bound->Eval(tuple, eval_ctx);
+      };
+      TIP_RETURN_IF_ERROR(routines_.Register(std::move(routine)));
+      sql_functions_.insert(name);
+      ResultSet result;
+      result.message = "CREATE FUNCTION";
+      return result;
+    }
+
+    case Statement::Kind::kDropFunction: {
+      const std::string name = ToLowerAscii(stmt.function_name);
+      if (sql_functions_.count(name) == 0) {
+        return Status::NotFound(
+            "function '" + name +
+            "' does not exist or was not created with CREATE FUNCTION");
+      }
+      TIP_RETURN_IF_ERROR(routines_.Remove(name));
+      sql_functions_.erase(name);
+      ResultSet result;
+      result.message = "DROP FUNCTION";
+      return result;
+    }
+
+    case Statement::Kind::kDropIndex: {
+      TIP_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+      TIP_RETURN_IF_ERROR(table->DropIndex(stmt.index_name));
+      ResultSet result;
+      result.message = "DROP INDEX";
+      return result;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+}  // namespace tip::engine

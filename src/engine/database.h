@@ -1,0 +1,107 @@
+#ifndef TIP_ENGINE_DATABASE_H_
+#define TIP_ENGINE_DATABASE_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/chronon.h"
+#include "core/tx_context.h"
+#include "engine/catalog/aggregate_registry.h"
+#include "engine/catalog/cast_registry.h"
+#include "engine/catalog/catalog.h"
+#include "engine/catalog/routine_registry.h"
+#include "engine/exec/result_set.h"
+#include "engine/types/type.h"
+
+namespace tip::engine {
+
+/// Host parameters for a statement (`:name` placeholders).
+using Params = std::map<std::string, Datum, std::less<>>;
+
+/// An embedded extensible relational database instance — the stand-in
+/// for the Informix server TIP extends. A fresh Database knows only the
+/// classic scalar types, operators and aggregates; installing the TIP
+/// DataBlade (`tip::datablade::Install`) adds the five temporal types
+/// and their routine/cast/aggregate catalog entries, after which SQL
+/// statements can use them as if they were built in.
+///
+/// Not thread-safe: one Database per thread of control (matching the
+/// single-connection scope of the demo).
+class Database {
+ public:
+  Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Extension points (what the DataBlade API exposes).
+  TypeRegistry& types() { return types_; }
+  const TypeRegistry& types() const { return types_; }
+  RoutineRegistry& routines() { return routines_; }
+  CastRegistry& casts() { return casts_; }
+  AggregateRegistry& aggregates() { return aggregates_; }
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Registers the access-method support function that maps values of
+  /// `type` to their bounding interval (enables CREATE INDEX ... USING
+  /// interval and the interval join on that type).
+  Status RegisterIntervalKeyFn(TypeId type, IntervalKeyFn fn);
+
+  /// Executes one SQL statement.
+  Result<ResultSet> Execute(std::string_view sql);
+  /// Executes with host parameters bound to `:name` placeholders.
+  Result<ResultSet> Execute(std::string_view sql, const Params& params);
+
+  /// Executes a ';'-separated script, stopping at the first error;
+  /// returns the result of the last non-empty statement. Semicolons
+  /// inside string literals are honoured.
+  Result<ResultSet> ExecuteScript(std::string_view script);
+
+  // -- Session state --------------------------------------------------------
+
+  /// The transaction context the next statement will evaluate under:
+  /// the NOW override if set (SET NOW '...'), else the system clock.
+  TxContext CurrentTx() const;
+
+  /// Overrides NOW for subsequent statements (the Browser's what-if
+  /// mechanism); nullopt restores the system clock.
+  void SetNowOverride(std::optional<Chronon> now);
+  std::optional<Chronon> now_override() const { return now_override_; }
+
+  void set_hash_join_enabled(bool on) { enable_hash_join_ = on; }
+  bool hash_join_enabled() const { return enable_hash_join_; }
+  void set_interval_join_enabled(bool on) { enable_interval_join_ = on; }
+  bool interval_join_enabled() const { return enable_interval_join_; }
+
+ private:
+  Result<ResultSet> ExecuteParsed(const struct Statement& stmt,
+                                  const Params* params);
+
+  TypeRegistry types_;
+  RoutineRegistry routines_;
+  CastRegistry casts_;
+  AggregateRegistry aggregates_;
+  Catalog catalog_;
+  std::map<TypeId, IntervalKeyFn> interval_key_fns_;
+
+  std::optional<Chronon> now_override_;
+  bool enable_hash_join_ = true;
+  bool enable_interval_join_ = true;
+  /// Names created via CREATE FUNCTION (the only ones DROP FUNCTION
+  /// may remove).
+  std::set<std::string> sql_functions_;
+};
+
+/// Registers the engine's builtin routines (arithmetic, string ops,
+/// `greatest`/`least`, ...), casts and SQL aggregates into `db`. Called
+/// by the Database constructor; exposed for tests.
+Status RegisterBuiltins(Database* db);
+
+}  // namespace tip::engine
+
+#endif  // TIP_ENGINE_DATABASE_H_

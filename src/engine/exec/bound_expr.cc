@@ -1,0 +1,194 @@
+#include "engine/exec/bound_expr.h"
+
+#include <cassert>
+
+#include "engine/exec/exec_node.h"
+
+namespace tip::engine {
+
+Result<Datum> BoundColumn::Eval(const TupleCtx& tuple, EvalContext&) const {
+  const TupleCtx* scope = &tuple;
+  for (size_t i = 0; i < depth_; ++i) {
+    if (scope->outer == nullptr) {
+      return Status::Internal("correlated column reference escapes scope");
+    }
+    scope = scope->outer;
+  }
+  if (scope->row == nullptr || index_ >= scope->row->size()) {
+    return Status::Internal("column index out of range");
+  }
+  return (*scope->row)[index_];
+}
+
+Result<Datum> BoundRoutineCall::Eval(const TupleCtx& tuple,
+                                     EvalContext& ctx) const {
+  std::vector<Datum> values;
+  values.reserve(args_.size());
+  for (const BoundExprPtr& arg : args_) {
+    TIP_ASSIGN_OR_RETURN(Datum v, arg->Eval(tuple, ctx));
+    if (v.is_null() && routine_->strict) {
+      return Datum::NullOf(routine_->result);
+    }
+    values.push_back(std::move(v));
+  }
+  return routine_->fn(values, ctx);
+}
+
+Result<Datum> BoundCast::Eval(const TupleCtx& tuple, EvalContext& ctx) const {
+  TIP_ASSIGN_OR_RETURN(Datum v, operand_->Eval(tuple, ctx));
+  if (v.is_null()) return Datum::NullOf(cast_->to);
+  return cast_->fn(v, ctx);
+}
+
+Result<Datum> BoundCompare::Eval(const TupleCtx& tuple,
+                                 EvalContext& ctx) const {
+  TIP_ASSIGN_OR_RETURN(Datum lhs, lhs_->Eval(tuple, ctx));
+  TIP_ASSIGN_OR_RETURN(Datum rhs, rhs_->Eval(tuple, ctx));
+  if (lhs.is_null() || rhs.is_null()) return Datum::NullOf(TypeId::kBool);
+  TIP_ASSIGN_OR_RETURN(int c, types_->Compare(lhs, rhs, ctx.tx));
+  bool result = false;
+  switch (op_) {
+    case Op::kEq:
+      result = c == 0;
+      break;
+    case Op::kNe:
+      result = c != 0;
+      break;
+    case Op::kLt:
+      result = c < 0;
+      break;
+    case Op::kLe:
+      result = c <= 0;
+      break;
+    case Op::kGt:
+      result = c > 0;
+      break;
+    case Op::kGe:
+      result = c >= 0;
+      break;
+  }
+  return Datum::Bool(result);
+}
+
+Result<Datum> BoundLogical::Eval(const TupleCtx& tuple,
+                                 EvalContext& ctx) const {
+  // Kleene three-valued logic with short-circuiting where the answer is
+  // already determined.
+  TIP_ASSIGN_OR_RETURN(Datum lhs, lhs_->Eval(tuple, ctx));
+  if (op_ == Op::kAnd) {
+    if (!lhs.is_null() && !lhs.bool_value()) return Datum::Bool(false);
+    TIP_ASSIGN_OR_RETURN(Datum rhs, rhs_->Eval(tuple, ctx));
+    if (!rhs.is_null() && !rhs.bool_value()) return Datum::Bool(false);
+    if (lhs.is_null() || rhs.is_null()) return Datum::NullOf(TypeId::kBool);
+    return Datum::Bool(true);
+  }
+  if (!lhs.is_null() && lhs.bool_value()) return Datum::Bool(true);
+  TIP_ASSIGN_OR_RETURN(Datum rhs, rhs_->Eval(tuple, ctx));
+  if (!rhs.is_null() && rhs.bool_value()) return Datum::Bool(true);
+  if (lhs.is_null() || rhs.is_null()) return Datum::NullOf(TypeId::kBool);
+  return Datum::Bool(false);
+}
+
+Result<Datum> BoundNot::Eval(const TupleCtx& tuple, EvalContext& ctx) const {
+  TIP_ASSIGN_OR_RETURN(Datum v, operand_->Eval(tuple, ctx));
+  if (v.is_null()) return Datum::NullOf(TypeId::kBool);
+  return Datum::Bool(!v.bool_value());
+}
+
+Result<Datum> BoundIsNull::Eval(const TupleCtx& tuple,
+                                EvalContext& ctx) const {
+  TIP_ASSIGN_OR_RETURN(Datum v, operand_->Eval(tuple, ctx));
+  return Datum::Bool(v.is_null() != negated_);
+}
+
+Result<Datum> BoundCase::Eval(const TupleCtx& tuple, EvalContext& ctx) const {
+  assert(whens_.size() == thens_.size());
+  for (size_t i = 0; i < whens_.size(); ++i) {
+    TIP_ASSIGN_OR_RETURN(Datum cond, whens_[i]->Eval(tuple, ctx));
+    if (!cond.is_null() && cond.bool_value()) {
+      return thens_[i]->Eval(tuple, ctx);
+    }
+  }
+  if (else_ != nullptr) return else_->Eval(tuple, ctx);
+  return Datum::NullOf(type());
+}
+
+BoundExists::BoundExists(std::unique_ptr<ExecNode> subplan, bool negated)
+    : BoundExpr(TypeId::kBool),
+      subplan_(std::move(subplan)),
+      negated_(negated) {}
+
+BoundExists::~BoundExists() = default;
+
+Result<Datum> BoundExists::Eval(const TupleCtx& tuple,
+                                EvalContext& ctx) const {
+  ExecState state;
+  state.eval = &ctx;
+  state.outer = &tuple;  // the subplan's depth-1 scope is this tuple
+  TIP_RETURN_IF_ERROR(subplan_->Open(state));
+  Row row;
+  TIP_ASSIGN_OR_RETURN(bool has_row, subplan_->Next(state, &row));
+  return Datum::Bool(has_row != negated_);
+}
+
+BoundScalarSubquery::BoundScalarSubquery(TypeId type,
+                                         std::unique_ptr<ExecNode> subplan)
+    : BoundExpr(type), subplan_(std::move(subplan)) {}
+
+BoundScalarSubquery::~BoundScalarSubquery() = default;
+
+Result<Datum> BoundScalarSubquery::Eval(const TupleCtx& tuple,
+                                        EvalContext& ctx) const {
+  ExecState state;
+  state.eval = &ctx;
+  state.outer = &tuple;
+  TIP_RETURN_IF_ERROR(subplan_->Open(state));
+  Row row;
+  TIP_ASSIGN_OR_RETURN(bool has_row, subplan_->Next(state, &row));
+  if (!has_row) return Datum::NullOf(type());
+  Datum value = std::move(row[0]);
+  Row extra;
+  TIP_ASSIGN_OR_RETURN(bool has_more, subplan_->Next(state, &extra));
+  if (has_more) {
+    return Status::InvalidArgument(
+        "scalar subquery produced more than one row");
+  }
+  return value;
+}
+
+BoundInSubquery::BoundInSubquery(BoundExprPtr operand,
+                                 std::unique_ptr<ExecNode> subplan,
+                                 bool negated, const TypeRegistry* types)
+    : BoundExpr(TypeId::kBool),
+      operand_(std::move(operand)),
+      subplan_(std::move(subplan)),
+      negated_(negated),
+      types_(types) {}
+
+BoundInSubquery::~BoundInSubquery() = default;
+
+Result<Datum> BoundInSubquery::Eval(const TupleCtx& tuple,
+                                    EvalContext& ctx) const {
+  TIP_ASSIGN_OR_RETURN(Datum needle, operand_->Eval(tuple, ctx));
+  ExecState state;
+  state.eval = &ctx;
+  state.outer = &tuple;
+  TIP_RETURN_IF_ERROR(subplan_->Open(state));
+  Row row;
+  bool saw_null = false;
+  for (;;) {
+    TIP_ASSIGN_OR_RETURN(bool has_row, subplan_->Next(state, &row));
+    if (!has_row) break;
+    if (row[0].is_null()) {
+      saw_null = true;
+      continue;
+    }
+    if (needle.is_null()) continue;  // NULL IN (...) is NULL or FALSE
+    TIP_ASSIGN_OR_RETURN(int c, types_->Compare(needle, row[0], ctx.tx));
+    if (c == 0) return Datum::Bool(!negated_);
+  }
+  if (needle.is_null() || saw_null) return Datum::NullOf(TypeId::kBool);
+  return Datum::Bool(negated_);
+}
+
+}  // namespace tip::engine

@@ -1,0 +1,246 @@
+#ifndef TIP_ENGINE_EXEC_BOUND_EXPR_H_
+#define TIP_ENGINE_EXEC_BOUND_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/catalog/cast_registry.h"
+#include "engine/catalog/routine_registry.h"
+#include "engine/types/datum.h"
+#include "engine/types/eval_context.h"
+#include "engine/types/type.h"
+
+namespace tip::engine {
+
+class ExecNode;
+
+/// The tuple a bound expression evaluates against, as a chain of scopes:
+/// `row` is the current operator's combined row; `outer` points at the
+/// enclosing query's tuple for correlated subqueries.
+struct TupleCtx {
+  const Row* row = nullptr;
+  const TupleCtx* outer = nullptr;
+};
+
+/// A type-checked, name-resolved expression. Produced by the binder;
+/// evaluated by the executors. Evaluation is side-effect free.
+class BoundExpr {
+ public:
+  explicit BoundExpr(TypeId type) : type_(type) {}
+  virtual ~BoundExpr() = default;
+
+  BoundExpr(const BoundExpr&) = delete;
+  BoundExpr& operator=(const BoundExpr&) = delete;
+
+  TypeId type() const { return type_; }
+
+  virtual Result<Datum> Eval(const TupleCtx& tuple,
+                             EvalContext& ctx) const = 0;
+
+ private:
+  TypeId type_;
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+/// A constant value (literals, pre-resolved parameters).
+class BoundConstant final : public BoundExpr {
+ public:
+  explicit BoundConstant(Datum value)
+      : BoundExpr(value.type_id()), value_(std::move(value)) {}
+
+  Result<Datum> Eval(const TupleCtx&, EvalContext&) const override {
+    return value_;
+  }
+
+ private:
+  Datum value_;
+};
+
+/// A column of the tuple `depth` scopes out (0 = the current scope).
+class BoundColumn final : public BoundExpr {
+ public:
+  BoundColumn(TypeId type, size_t depth, size_t index)
+      : BoundExpr(type), depth_(depth), index_(index) {}
+
+  Result<Datum> Eval(const TupleCtx& tuple, EvalContext&) const override;
+
+  size_t depth() const { return depth_; }
+  size_t index() const { return index_; }
+
+ private:
+  size_t depth_;
+  size_t index_;
+};
+
+/// A call to a resolved routine overload; SQL NULL strictness and
+/// argument casts are applied here.
+class BoundRoutineCall final : public BoundExpr {
+ public:
+  BoundRoutineCall(const Routine* routine, std::vector<BoundExprPtr> args)
+      : BoundExpr(routine->result),
+        routine_(routine),
+        args_(std::move(args)) {}
+
+  Result<Datum> Eval(const TupleCtx& tuple, EvalContext& ctx) const override;
+
+  const Routine& routine() const { return *routine_; }
+
+ private:
+  const Routine* routine_;
+  std::vector<BoundExprPtr> args_;
+};
+
+/// Application of a registered cast. NULL casts to NULL.
+class BoundCast final : public BoundExpr {
+ public:
+  BoundCast(const Cast* cast, BoundExprPtr operand)
+      : BoundExpr(cast->to), cast_(cast), operand_(std::move(operand)) {}
+
+  Result<Datum> Eval(const TupleCtx& tuple, EvalContext& ctx) const override;
+
+ private:
+  const Cast* cast_;
+  BoundExprPtr operand_;
+};
+
+/// Generic ordering comparison through TypeOps::compare; used whenever
+/// no routine overload claims the operator. Implements the SQL
+/// comparison operators with three-valued NULL semantics.
+class BoundCompare final : public BoundExpr {
+ public:
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  BoundCompare(Op op, BoundExprPtr lhs, BoundExprPtr rhs,
+               const TypeRegistry* types)
+      : BoundExpr(TypeId::kBool),
+        op_(op),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)),
+        types_(types) {}
+
+  Result<Datum> Eval(const TupleCtx& tuple, EvalContext& ctx) const override;
+
+ private:
+  Op op_;
+  BoundExprPtr lhs_;
+  BoundExprPtr rhs_;
+  const TypeRegistry* types_;
+};
+
+/// Three-valued AND / OR.
+class BoundLogical final : public BoundExpr {
+ public:
+  enum class Op { kAnd, kOr };
+
+  BoundLogical(Op op, BoundExprPtr lhs, BoundExprPtr rhs)
+      : BoundExpr(TypeId::kBool),
+        op_(op),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  Result<Datum> Eval(const TupleCtx& tuple, EvalContext& ctx) const override;
+
+ private:
+  Op op_;
+  BoundExprPtr lhs_;
+  BoundExprPtr rhs_;
+};
+
+/// Three-valued NOT.
+class BoundNot final : public BoundExpr {
+ public:
+  explicit BoundNot(BoundExprPtr operand)
+      : BoundExpr(TypeId::kBool), operand_(std::move(operand)) {}
+
+  Result<Datum> Eval(const TupleCtx& tuple, EvalContext& ctx) const override;
+
+ private:
+  BoundExprPtr operand_;
+};
+
+/// IS [NOT] NULL. Never returns NULL itself.
+class BoundIsNull final : public BoundExpr {
+ public:
+  BoundIsNull(BoundExprPtr operand, bool negated)
+      : BoundExpr(TypeId::kBool),
+        operand_(std::move(operand)),
+        negated_(negated) {}
+
+  Result<Datum> Eval(const TupleCtx& tuple, EvalContext& ctx) const override;
+
+ private:
+  BoundExprPtr operand_;
+  bool negated_;
+};
+
+/// Searched CASE: WHEN cond THEN value ... [ELSE value].
+class BoundCase final : public BoundExpr {
+ public:
+  BoundCase(TypeId result_type, std::vector<BoundExprPtr> whens,
+            std::vector<BoundExprPtr> thens, BoundExprPtr else_expr)
+      : BoundExpr(result_type),
+        whens_(std::move(whens)),
+        thens_(std::move(thens)),
+        else_(std::move(else_expr)) {}
+
+  Result<Datum> Eval(const TupleCtx& tuple, EvalContext& ctx) const override;
+
+ private:
+  std::vector<BoundExprPtr> whens_;
+  std::vector<BoundExprPtr> thens_;
+  BoundExprPtr else_;  // may be null (=> NULL)
+};
+
+/// [NOT] EXISTS (subquery). Owns the correlated subplan and runs it to
+/// the first row on every evaluation.
+class BoundExists final : public BoundExpr {
+ public:
+  BoundExists(std::unique_ptr<ExecNode> subplan, bool negated);
+  ~BoundExists() override;
+
+  Result<Datum> Eval(const TupleCtx& tuple, EvalContext& ctx) const override;
+
+ private:
+  std::unique_ptr<ExecNode> subplan_;
+  bool negated_;
+};
+
+/// A scalar subquery: one output column, at most one row (more is a
+/// runtime error), empty yields NULL. Re-runs per evaluation when
+/// correlated.
+class BoundScalarSubquery final : public BoundExpr {
+ public:
+  BoundScalarSubquery(TypeId type, std::unique_ptr<ExecNode> subplan);
+  ~BoundScalarSubquery() override;
+
+  Result<Datum> Eval(const TupleCtx& tuple, EvalContext& ctx) const override;
+
+ private:
+  std::unique_ptr<ExecNode> subplan_;
+};
+
+/// `operand [NOT] IN (SELECT ...)` with SQL's three-valued semantics:
+/// a NULL operand, or a non-match against a subquery that produced a
+/// NULL, yields NULL.
+class BoundInSubquery final : public BoundExpr {
+ public:
+  BoundInSubquery(BoundExprPtr operand, std::unique_ptr<ExecNode> subplan,
+                  bool negated, const TypeRegistry* types);
+  ~BoundInSubquery() override;
+
+  Result<Datum> Eval(const TupleCtx& tuple, EvalContext& ctx) const override;
+
+ private:
+  BoundExprPtr operand_;
+  std::unique_ptr<ExecNode> subplan_;
+  bool negated_;
+  const TypeRegistry* types_;
+};
+
+}  // namespace tip::engine
+
+#endif  // TIP_ENGINE_EXEC_BOUND_EXPR_H_

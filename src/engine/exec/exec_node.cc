@@ -1,0 +1,723 @@
+#include "engine/exec/exec_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tip::engine {
+
+namespace {
+
+// Evaluates a predicate over `tuple`; NULL counts as false.
+Result<bool> PredicatePasses(const BoundExpr& predicate,
+                             const TupleCtx& tuple, EvalContext& ctx) {
+  TIP_ASSIGN_OR_RETURN(Datum v, predicate.Eval(tuple, ctx));
+  return !v.is_null() && v.bool_value();
+}
+
+// Combines per-column hashes the boost::hash_combine way.
+uint64_t CombineHashes(uint64_t seed, uint64_t h) {
+  return seed ^ (h + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
+}
+
+Result<uint64_t> HashDatums(const std::vector<Datum>& values,
+                            const TypeRegistry& types, const TxContext& tx) {
+  uint64_t seed = 0;
+  for (const Datum& v : values) {
+    TIP_ASSIGN_OR_RETURN(uint64_t h, types.Hash(v, tx));
+    seed = CombineHashes(seed, h);
+  }
+  return seed;
+}
+
+// Row equality for grouping / DISTINCT: NULLs compare equal to NULLs
+// (SQL's "not distinct from" semantics used by GROUP BY).
+Result<bool> DatumsEqual(const std::vector<Datum>& a,
+                         const std::vector<Datum>& b,
+                         const TypeRegistry& types, const TxContext& tx) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const bool an = a[i].is_null(), bn = b[i].is_null();
+    if (an || bn) {
+      if (an != bn) return false;
+      continue;
+    }
+    TIP_ASSIGN_OR_RETURN(int c, types.Compare(a[i], b[i], tx));
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void ExecNode::Explain(int depth, std::string* out) const {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(DebugName());
+  out->push_back('\n');
+}
+
+// -- SingleRowNode -----------------------------------------------------------
+
+Status SingleRowNode::Open(ExecState&) {
+  done_ = false;
+  return Status::OK();
+}
+
+Result<bool> SingleRowNode::Next(ExecState&, Row* out) {
+  if (done_) return false;
+  done_ = true;
+  out->clear();
+  return true;
+}
+
+// -- SeqScanNode -------------------------------------------------------------
+
+Status SeqScanNode::Open(ExecState&) {
+  cursor_ = table_->heap().Scan();
+  return Status::OK();
+}
+
+Result<bool> SeqScanNode::Next(ExecState&, Row* out) {
+  RowId id;
+  const Row* row;
+  if (!cursor_.Next(&id, &row)) return false;
+  *out = *row;
+  return true;
+}
+
+// -- IntervalScanNode --------------------------------------------------------
+
+Status IntervalScanNode::Open(ExecState& state) {
+  matches_.clear();
+  next_ = 0;
+  TupleCtx tuple;
+  tuple.outer = state.outer;
+  Result<Datum> probe = probe_->Eval(tuple, *state.eval);
+  if (!probe.ok()) return probe.status();
+  if (probe->is_null()) return Status::OK();  // no matches
+  Result<std::optional<std::pair<int64_t, int64_t>>> key =
+      probe_key_fn_(*probe, state.eval->tx);
+  if (!key.ok()) return key.status();
+  if (!key->has_value()) return Status::OK();
+  TIP_ASSIGN_OR_RETURN(const IntervalIndex* index,
+                       table_->GetIntervalIndex(column_, state.eval->tx));
+  index->FindOverlapping((*key)->first, (*key)->second, &matches_);
+  return Status::OK();
+}
+
+Result<bool> IntervalScanNode::Next(ExecState&, Row* out) {
+  while (next_ < matches_.size()) {
+    const Row* row = table_->heap().Get(matches_[next_++]);
+    if (row != nullptr) {
+      *out = *row;
+      return true;
+    }
+  }
+  return false;
+}
+
+// -- FilterNode --------------------------------------------------------------
+
+Status FilterNode::Open(ExecState& state) { return child_->Open(state); }
+
+Result<bool> FilterNode::Next(ExecState& state, Row* out) {
+  for (;;) {
+    TIP_ASSIGN_OR_RETURN(bool has_row, child_->Next(state, out));
+    if (!has_row) return false;
+    TupleCtx tuple{out, state.outer};
+    TIP_ASSIGN_OR_RETURN(bool pass,
+                         PredicatePasses(*predicate_, tuple, *state.eval));
+    if (pass) return true;
+  }
+}
+
+void FilterNode::Explain(int depth, std::string* out) const {
+  ExecNode::Explain(depth, out);
+  child_->Explain(depth + 1, out);
+}
+
+// -- ProjectNode -------------------------------------------------------------
+
+Status ProjectNode::Open(ExecState& state) { return child_->Open(state); }
+
+Result<bool> ProjectNode::Next(ExecState& state, Row* out) {
+  Row input;
+  TIP_ASSIGN_OR_RETURN(bool has_row, child_->Next(state, &input));
+  if (!has_row) return false;
+  TupleCtx tuple{&input, state.outer};
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const BoundExprPtr& expr : exprs_) {
+    TIP_ASSIGN_OR_RETURN(Datum v, expr->Eval(tuple, *state.eval));
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+void ProjectNode::Explain(int depth, std::string* out) const {
+  ExecNode::Explain(depth, out);
+  child_->Explain(depth + 1, out);
+}
+
+// -- PrefixNode --------------------------------------------------------------
+
+Status PrefixNode::Open(ExecState& state) { return child_->Open(state); }
+
+Result<bool> PrefixNode::Next(ExecState& state, Row* out) {
+  TIP_ASSIGN_OR_RETURN(bool has_row, child_->Next(state, out));
+  if (!has_row) return false;
+  out->resize(arity_);
+  return true;
+}
+
+void PrefixNode::Explain(int depth, std::string* out) const {
+  ExecNode::Explain(depth, out);
+  child_->Explain(depth + 1, out);
+}
+
+// -- NestedLoopJoinNode ------------------------------------------------------
+
+Status NestedLoopJoinNode::Open(ExecState& state) {
+  TIP_RETURN_IF_ERROR(outer_->Open(state));
+  outer_valid_ = false;
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinNode::Next(ExecState& state, Row* out) {
+  for (;;) {
+    if (!outer_valid_) {
+      TIP_ASSIGN_OR_RETURN(bool has_row, outer_->Next(state, &outer_row_));
+      if (!has_row) return false;
+      outer_valid_ = true;
+      TIP_RETURN_IF_ERROR(inner_->Open(state));
+    }
+    Row inner_row;
+    TIP_ASSIGN_OR_RETURN(bool has_inner, inner_->Next(state, &inner_row));
+    if (!has_inner) {
+      outer_valid_ = false;
+      continue;
+    }
+    out->clear();
+    out->reserve(outer_row_.size() + inner_row.size());
+    out->insert(out->end(), outer_row_.begin(), outer_row_.end());
+    out->insert(out->end(), inner_row.begin(), inner_row.end());
+    if (predicate_ != nullptr) {
+      TupleCtx tuple{out, state.outer};
+      TIP_ASSIGN_OR_RETURN(bool pass,
+                           PredicatePasses(*predicate_, tuple, *state.eval));
+      if (!pass) continue;
+    }
+    return true;
+  }
+}
+
+void NestedLoopJoinNode::Explain(int depth, std::string* out) const {
+  ExecNode::Explain(depth, out);
+  outer_->Explain(depth + 1, out);
+  inner_->Explain(depth + 1, out);
+}
+
+// -- HashJoinNode ------------------------------------------------------------
+
+Status HashJoinNode::Open(ExecState& state) {
+  build_rows_.clear();
+  build_index_.clear();
+  probe_valid_ = false;
+  current_matches_.clear();
+  next_match_ = 0;
+
+  TIP_RETURN_IF_ERROR(right_->Open(state));
+  Row row;
+  for (;;) {
+    Result<bool> has_row = right_->Next(state, &row);
+    if (!has_row.ok()) return has_row.status();
+    if (!*has_row) break;
+    TupleCtx tuple{&row, state.outer};
+    std::vector<Datum> keys;
+    keys.reserve(right_keys_.size());
+    bool null_key = false;
+    for (const BoundExprPtr& key : right_keys_) {
+      Result<Datum> v = key->Eval(tuple, *state.eval);
+      if (!v.ok()) return v.status();
+      if (v->is_null()) {
+        null_key = true;
+        break;
+      }
+      keys.push_back(std::move(*v));
+    }
+    if (null_key) continue;  // NULL never joins
+    Result<uint64_t> h = HashDatums(keys, *types_, state.eval->tx);
+    if (!h.ok()) return h.status();
+    build_index_.emplace(*h, build_rows_.size());
+    build_rows_.push_back(std::move(row));
+  }
+  return left_->Open(state);
+}
+
+Result<bool> HashJoinNode::KeysEqual(const Row& left_row,
+                                     const Row& right_row,
+                                     ExecState& state) const {
+  TupleCtx left_tuple{&left_row, state.outer};
+  TupleCtx right_tuple{&right_row, state.outer};
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    TIP_ASSIGN_OR_RETURN(Datum lv, left_keys_[i]->Eval(left_tuple,
+                                                       *state.eval));
+    TIP_ASSIGN_OR_RETURN(Datum rv, right_keys_[i]->Eval(right_tuple,
+                                                        *state.eval));
+    if (lv.is_null() || rv.is_null()) return false;
+    TIP_ASSIGN_OR_RETURN(int c, types_->Compare(lv, rv, state.eval->tx));
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+Result<bool> HashJoinNode::Next(ExecState& state, Row* out) {
+  for (;;) {
+    if (!probe_valid_) {
+      TIP_ASSIGN_OR_RETURN(bool has_row, left_->Next(state, &probe_row_));
+      if (!has_row) return false;
+      probe_valid_ = true;
+      current_matches_.clear();
+      next_match_ = 0;
+
+      TupleCtx tuple{&probe_row_, state.outer};
+      std::vector<Datum> keys;
+      keys.reserve(left_keys_.size());
+      bool null_key = false;
+      for (const BoundExprPtr& key : left_keys_) {
+        TIP_ASSIGN_OR_RETURN(Datum v, key->Eval(tuple, *state.eval));
+        if (v.is_null()) {
+          null_key = true;
+          break;
+        }
+        keys.push_back(std::move(v));
+      }
+      if (!null_key) {
+        TIP_ASSIGN_OR_RETURN(uint64_t h,
+                             HashDatums(keys, *types_, state.eval->tx));
+        auto [begin, end] = build_index_.equal_range(h);
+        for (auto it = begin; it != end; ++it) {
+          current_matches_.push_back(it->second);
+        }
+      }
+    }
+    while (next_match_ < current_matches_.size()) {
+      const Row& build_row = build_rows_[current_matches_[next_match_++]];
+      TIP_ASSIGN_OR_RETURN(bool equal,
+                           KeysEqual(probe_row_, build_row, state));
+      if (!equal) continue;
+      out->clear();
+      out->reserve(probe_row_.size() + build_row.size());
+      out->insert(out->end(), probe_row_.begin(), probe_row_.end());
+      out->insert(out->end(), build_row.begin(), build_row.end());
+      if (residual_ != nullptr) {
+        TupleCtx tuple{out, state.outer};
+        TIP_ASSIGN_OR_RETURN(bool pass,
+                             PredicatePasses(*residual_, tuple,
+                                             *state.eval));
+        if (!pass) continue;
+      }
+      return true;
+    }
+    probe_valid_ = false;
+  }
+}
+
+void HashJoinNode::Explain(int depth, std::string* out) const {
+  ExecNode::Explain(depth, out);
+  left_->Explain(depth + 1, out);
+  right_->Explain(depth + 1, out);
+}
+
+// -- IntervalJoinNode --------------------------------------------------------
+
+Status IntervalJoinNode::Open(ExecState& state) {
+  TIP_RETURN_IF_ERROR(left_->Open(state));
+  left_valid_ = false;
+  matches_.clear();
+  next_match_ = 0;
+  Result<const IntervalIndex*> index =
+      right_table_->GetIntervalIndex(right_column_, state.eval->tx);
+  if (!index.ok()) return index.status();
+  index_ = *index;
+  return Status::OK();
+}
+
+Result<bool> IntervalJoinNode::Next(ExecState& state, Row* out) {
+  for (;;) {
+    if (!left_valid_) {
+      TIP_ASSIGN_OR_RETURN(bool has_row, left_->Next(state, &left_row_));
+      if (!has_row) return false;
+      left_valid_ = true;
+      matches_.clear();
+      next_match_ = 0;
+      TupleCtx tuple{&left_row_, state.outer};
+      TIP_ASSIGN_OR_RETURN(Datum probe,
+                           left_probe_->Eval(tuple, *state.eval));
+      if (!probe.is_null()) {
+        TIP_ASSIGN_OR_RETURN(auto key, probe_key_fn_(probe, state.eval->tx));
+        if (key.has_value()) {
+          index_->FindOverlapping(key->first, key->second, &matches_);
+        }
+      }
+    }
+    while (next_match_ < matches_.size()) {
+      const Row* right_row = right_table_->heap().Get(matches_[next_match_++]);
+      if (right_row == nullptr) continue;
+      out->clear();
+      out->reserve(left_row_.size() + right_row->size());
+      out->insert(out->end(), left_row_.begin(), left_row_.end());
+      out->insert(out->end(), right_row->begin(), right_row->end());
+      if (residual_ != nullptr) {
+        TupleCtx tuple{out, state.outer};
+        TIP_ASSIGN_OR_RETURN(bool pass,
+                             PredicatePasses(*residual_, tuple,
+                                             *state.eval));
+        if (!pass) continue;
+      }
+      return true;
+    }
+    left_valid_ = false;
+  }
+}
+
+void IntervalJoinNode::Explain(int depth, std::string* out) const {
+  ExecNode::Explain(depth, out);
+  left_->Explain(depth + 1, out);
+  out->append(static_cast<size_t>(depth + 1) * 2, ' ');
+  out->append("IndexProbe(" + right_table_->name() + ")\n");
+}
+
+// -- SortNode ----------------------------------------------------------------
+
+Status SortNode::Open(ExecState& state) {
+  rows_.clear();
+  next_ = 0;
+  TIP_RETURN_IF_ERROR(child_->Open(state));
+  Row row;
+  for (;;) {
+    Result<bool> has_row = child_->Next(state, &row);
+    if (!has_row.ok()) return has_row.status();
+    if (!*has_row) break;
+    rows_.push_back(std::move(row));
+  }
+
+  // Precompute sort keys so comparison failures surface before sorting.
+  std::vector<std::vector<Datum>> keys(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    TupleCtx tuple{&rows_[i], state.outer};
+    keys[i].reserve(keys_.size());
+    for (const Key& key : keys_) {
+      Result<Datum> v = key.expr->Eval(tuple, *state.eval);
+      if (!v.ok()) return v.status();
+      keys[i].push_back(std::move(*v));
+    }
+  }
+  std::vector<size_t> order(rows_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  Status sort_status;  // std::sort comparators cannot propagate errors
+  const TxContext tx = state.eval->tx;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) {
+                     if (!sort_status.ok()) return false;
+                     for (size_t k = 0; k < keys_.size(); ++k) {
+                       const Datum& va = keys[a][k];
+                       const Datum& vb = keys[b][k];
+                       const bool na = va.is_null(), nb = vb.is_null();
+                       if (na || nb) {
+                         if (na == nb) continue;
+                         return nb;  // NULLs last
+                       }
+                       Result<int> c = types_->Compare(va, vb, tx);
+                       if (!c.ok()) {
+                         sort_status = c.status();
+                         return false;
+                       }
+                       if (*c != 0) {
+                         return keys_[k].descending ? *c > 0 : *c < 0;
+                       }
+                     }
+                     return false;
+                   });
+  TIP_RETURN_IF_ERROR(sort_status);
+
+  std::vector<Row> sorted;
+  sorted.reserve(rows_.size());
+  for (size_t i : order) sorted.push_back(std::move(rows_[i]));
+  rows_ = std::move(sorted);
+  return Status::OK();
+}
+
+Result<bool> SortNode::Next(ExecState&, Row* out) {
+  if (next_ >= rows_.size()) return false;
+  *out = rows_[next_++];
+  return true;
+}
+
+void SortNode::Explain(int depth, std::string* out) const {
+  ExecNode::Explain(depth, out);
+  child_->Explain(depth + 1, out);
+}
+
+// -- AggregateNode -----------------------------------------------------------
+
+Result<AggregateNode::Group*> AggregateNode::FindOrCreateGroup(
+    const std::vector<Datum>& keys, ExecState& state) {
+  TIP_ASSIGN_OR_RETURN(uint64_t h,
+                       HashDatums(keys, *types_, state.eval->tx));
+  auto [begin, end] = group_index_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    TIP_ASSIGN_OR_RETURN(
+        bool equal,
+        DatumsEqual(groups_[it->second].keys, keys, *types_,
+                    state.eval->tx));
+    if (equal) return &groups_[it->second];
+  }
+  Group group;
+  group.keys = keys;
+  group.states.reserve(aggregates_.size());
+  for (const AggregateSpec& spec : aggregates_) {
+    group.states.push_back(spec.agg.def->make_state());
+  }
+  group_index_.emplace(h, groups_.size());
+  groups_.push_back(std::move(group));
+  return &groups_.back();
+}
+
+Status AggregateNode::Open(ExecState& state) {
+  groups_.clear();
+  group_index_.clear();
+  results_.clear();
+  next_ = 0;
+
+  TIP_RETURN_IF_ERROR(child_->Open(state));
+  Row row;
+  for (;;) {
+    Result<bool> has_row = child_->Next(state, &row);
+    if (!has_row.ok()) return has_row.status();
+    if (!*has_row) break;
+    TupleCtx tuple{&row, state.outer};
+
+    std::vector<Datum> keys;
+    keys.reserve(group_exprs_.size());
+    for (const BoundExprPtr& expr : group_exprs_) {
+      Result<Datum> v = expr->Eval(tuple, *state.eval);
+      if (!v.ok()) return v.status();
+      keys.push_back(std::move(*v));
+    }
+    Result<Group*> group = FindOrCreateGroup(keys, state);
+    if (!group.ok()) return group.status();
+
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      const AggregateSpec& spec = aggregates_[i];
+      Datum value = Datum::Int(1);  // COUNT(*) counts rows
+      if (spec.arg != nullptr) {
+        Result<Datum> v = spec.arg->Eval(tuple, *state.eval);
+        if (!v.ok()) return v.status();
+        value = std::move(*v);
+        if (value.is_null() && spec.agg.def->strict) continue;
+        if (spec.agg.arg_cast != nullptr && !value.is_null()) {
+          Result<Datum> cast_value =
+              spec.agg.arg_cast->fn(value, *state.eval);
+          if (!cast_value.ok()) return cast_value.status();
+          value = std::move(*cast_value);
+        }
+      }
+      TIP_RETURN_IF_ERROR((*group)->states[i]->Step(value, *state.eval));
+    }
+  }
+
+  // Global aggregates produce one row even with no input.
+  if (group_exprs_.empty() && groups_.empty()) {
+    Group group;
+    for (const AggregateSpec& spec : aggregates_) {
+      group.states.push_back(spec.agg.def->make_state());
+    }
+    groups_.push_back(std::move(group));
+  }
+
+  results_.reserve(groups_.size());
+  for (Group& group : groups_) {
+    Row out;
+    out.reserve(group.keys.size() + aggregates_.size());
+    for (Datum& key : group.keys) out.push_back(std::move(key));
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      Result<Datum> v = group.states[i]->Final(*state.eval);
+      if (!v.ok()) return v.status();
+      out.push_back(std::move(*v));
+    }
+    results_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<bool> AggregateNode::Next(ExecState&, Row* out) {
+  if (next_ >= results_.size()) return false;
+  *out = results_[next_++];
+  return true;
+}
+
+void AggregateNode::Explain(int depth, std::string* out) const {
+  ExecNode::Explain(depth, out);
+  child_->Explain(depth + 1, out);
+}
+
+// -- DistinctNode ------------------------------------------------------------
+
+Status DistinctNode::Open(ExecState& state) {
+  seen_rows_.clear();
+  seen_index_.clear();
+  return child_->Open(state);
+}
+
+Result<bool> DistinctNode::Next(ExecState& state, Row* out) {
+  for (;;) {
+    TIP_ASSIGN_OR_RETURN(bool has_row, child_->Next(state, out));
+    if (!has_row) return false;
+    TIP_ASSIGN_OR_RETURN(uint64_t h,
+                         HashDatums(*out, *types_, state.eval->tx));
+    bool duplicate = false;
+    auto [begin, end] = seen_index_.equal_range(h);
+    for (auto it = begin; it != end; ++it) {
+      TIP_ASSIGN_OR_RETURN(bool equal,
+                           DatumsEqual(seen_rows_[it->second], *out,
+                                       *types_, state.eval->tx));
+      if (equal) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen_index_.emplace(h, seen_rows_.size());
+    seen_rows_.push_back(*out);
+    return true;
+  }
+}
+
+void DistinctNode::Explain(int depth, std::string* out) const {
+  ExecNode::Explain(depth, out);
+  child_->Explain(depth + 1, out);
+}
+
+// -- ConcatNode --------------------------------------------------------------
+
+Status ConcatNode::Open(ExecState& state) {
+  current_ = 0;
+  for (const ExecNodePtr& child : children_) {
+    TIP_RETURN_IF_ERROR(child->Open(state));
+  }
+  return Status::OK();
+}
+
+Result<bool> ConcatNode::Next(ExecState& state, Row* out) {
+  while (current_ < children_.size()) {
+    TIP_ASSIGN_OR_RETURN(bool has_row,
+                         children_[current_]->Next(state, out));
+    if (has_row) return true;
+    ++current_;
+  }
+  return false;
+}
+
+void ConcatNode::Explain(int depth, std::string* out) const {
+  ExecNode::Explain(depth, out);
+  for (const ExecNodePtr& child : children_) {
+    child->Explain(depth + 1, out);
+  }
+}
+
+// -- SetOpNode ---------------------------------------------------------------
+
+Status SetOpNode::Open(ExecState& state) {
+  right_rows_.clear();
+  right_index_.clear();
+  emitted_rows_.clear();
+  emitted_index_.clear();
+  TIP_RETURN_IF_ERROR(right_->Open(state));
+  Row row;
+  for (;;) {
+    Result<bool> has_row = right_->Next(state, &row);
+    if (!has_row.ok()) return has_row.status();
+    if (!*has_row) break;
+    Result<uint64_t> h = HashDatums(row, *types_, state.eval->tx);
+    if (!h.ok()) return h.status();
+    right_index_.emplace(*h, right_rows_.size());
+    right_rows_.push_back(std::move(row));
+  }
+  return left_->Open(state);
+}
+
+Result<bool> SetOpNode::Contains(const Row& row, uint64_t hash,
+                                 ExecState& state) const {
+  auto [begin, end] = right_index_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    TIP_ASSIGN_OR_RETURN(bool equal,
+                         DatumsEqual(right_rows_[it->second], row,
+                                     *types_, state.eval->tx));
+    if (equal) return true;
+  }
+  return false;
+}
+
+Result<bool> SetOpNode::Next(ExecState& state, Row* out) {
+  for (;;) {
+    TIP_ASSIGN_OR_RETURN(bool has_row, left_->Next(state, out));
+    if (!has_row) return false;
+    TIP_ASSIGN_OR_RETURN(uint64_t h,
+                         HashDatums(*out, *types_, state.eval->tx));
+    // Distinct-set semantics: suppress duplicates of already-emitted
+    // rows.
+    bool seen = false;
+    auto [begin, end] = emitted_index_.equal_range(h);
+    for (auto it = begin; it != end; ++it) {
+      TIP_ASSIGN_OR_RETURN(bool equal,
+                           DatumsEqual(emitted_rows_[it->second], *out,
+                                       *types_, state.eval->tx));
+      if (equal) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    TIP_ASSIGN_OR_RETURN(bool in_right, Contains(*out, h, state));
+    if (in_right != (op_ == Op::kIntersect)) continue;
+    emitted_index_.emplace(h, emitted_rows_.size());
+    emitted_rows_.push_back(*out);
+    return true;
+  }
+}
+
+void SetOpNode::Explain(int depth, std::string* out) const {
+  ExecNode::Explain(depth, out);
+  left_->Explain(depth + 1, out);
+  right_->Explain(depth + 1, out);
+}
+
+// -- LimitNode ---------------------------------------------------------------
+
+Status LimitNode::Open(ExecState& state) {
+  skipped_ = 0;
+  returned_ = 0;
+  return child_->Open(state);
+}
+
+Result<bool> LimitNode::Next(ExecState& state, Row* out) {
+  if (limit_.has_value() && returned_ >= *limit_) return false;
+  for (;;) {
+    TIP_ASSIGN_OR_RETURN(bool has_row, child_->Next(state, out));
+    if (!has_row) return false;
+    if (skipped_ < offset_) {
+      ++skipped_;
+      continue;
+    }
+    ++returned_;
+    return true;
+  }
+}
+
+void LimitNode::Explain(int depth, std::string* out) const {
+  ExecNode::Explain(depth, out);
+  child_->Explain(depth + 1, out);
+}
+
+}  // namespace tip::engine

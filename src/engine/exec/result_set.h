@@ -1,0 +1,43 @@
+#ifndef TIP_ENGINE_EXEC_RESULT_SET_H_
+#define TIP_ENGINE_EXEC_RESULT_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/types/datum.h"
+#include "engine/types/type.h"
+
+namespace tip::engine {
+
+struct ResultColumn {
+  std::string name;
+  TypeId type;
+};
+
+/// The materialized outcome of one statement: a relation for queries,
+/// an affected-row count for DML, a message for DDL / SET / EXPLAIN.
+class ResultSet {
+ public:
+  ResultSet() = default;
+
+  std::vector<ResultColumn> columns;
+  std::vector<Row> rows;
+  int64_t affected_rows = 0;
+  std::string message;
+
+  size_t row_count() const { return rows.size(); }
+  size_t column_count() const { return columns.size(); }
+
+  /// Case-insensitive column lookup; -1 on miss.
+  int FindColumn(std::string_view name) const;
+
+  /// Renders an aligned ASCII table (values formatted through the type
+  /// registry's output functions).
+  std::string ToTable(const TypeRegistry& types) const;
+};
+
+}  // namespace tip::engine
+
+#endif  // TIP_ENGINE_EXEC_RESULT_SET_H_

@@ -1,0 +1,95 @@
+#include "engine/index/interval_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tip::engine {
+
+IntervalIndex IntervalIndex::Build(std::vector<IntervalEntry> entries) {
+  IntervalIndex index;
+  index.entry_count_ = entries.size();
+  index.root_ = BuildNode(std::move(entries));
+  return index;
+}
+
+std::unique_ptr<IntervalIndex::Node> IntervalIndex::BuildNode(
+    std::vector<IntervalEntry> entries) {
+  if (entries.empty()) return nullptr;
+
+  // Use the median interval start as the center; this keeps the tree
+  // balanced for the common case of roughly uniform starts.
+  std::vector<int64_t> starts;
+  starts.reserve(entries.size());
+  for (const IntervalEntry& e : entries) starts.push_back(e.start);
+  auto mid = starts.begin() + static_cast<ptrdiff_t>(starts.size() / 2);
+  std::nth_element(starts.begin(), mid, starts.end());
+  const int64_t center = *mid;
+
+  auto node = std::make_unique<Node>();
+  node->center = center;
+  std::vector<IntervalEntry> left_entries;
+  std::vector<IntervalEntry> right_entries;
+  for (IntervalEntry& e : entries) {
+    if (e.end < center) {
+      left_entries.push_back(e);
+    } else if (e.start > center) {
+      right_entries.push_back(e);
+    } else {
+      node->by_start.push_back(e);
+    }
+  }
+  // Degenerate safeguard: if every interval straddles the center, the
+  // recursion terminates because both child vectors are empty.
+  node->by_end = node->by_start;
+  std::sort(node->by_start.begin(), node->by_start.end(),
+            [](const IntervalEntry& a, const IntervalEntry& b) {
+              return a.start < b.start;
+            });
+  std::sort(node->by_end.begin(), node->by_end.end(),
+            [](const IntervalEntry& a, const IntervalEntry& b) {
+              return a.end > b.end;
+            });
+  node->left = BuildNode(std::move(left_entries));
+  node->right = BuildNode(std::move(right_entries));
+  return node;
+}
+
+void IntervalIndex::Query(const Node* node, int64_t qs, int64_t qe,
+                          std::vector<RowId>* out) {
+  while (node != nullptr) {
+    if (qe < node->center) {
+      // Only intervals starting at or before qe can overlap the query.
+      for (const IntervalEntry& e : node->by_start) {
+        if (e.start > qe) break;
+        out->push_back(e.row);
+      }
+      node = node->left.get();
+    } else if (qs > node->center) {
+      // Only intervals ending at or after qs can overlap the query.
+      for (const IntervalEntry& e : node->by_end) {
+        if (e.end < qs) break;
+        out->push_back(e.row);
+      }
+      node = node->right.get();
+    } else {
+      // The query straddles the center: every interval here overlaps.
+      for (const IntervalEntry& e : node->by_start) {
+        out->push_back(e.row);
+      }
+      Query(node->left.get(), qs, qe, out);
+      node = node->right.get();
+    }
+  }
+}
+
+void IntervalIndex::FindOverlapping(int64_t qs, int64_t qe,
+                                    std::vector<RowId>* out) const {
+  assert(qs <= qe);
+  Query(root_.get(), qs, qe, out);
+}
+
+void IntervalIndex::FindStabbing(int64_t q, std::vector<RowId>* out) const {
+  FindOverlapping(q, q, out);
+}
+
+}  // namespace tip::engine

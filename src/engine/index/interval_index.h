@@ -1,0 +1,73 @@
+#ifndef TIP_ENGINE_INDEX_INTERVAL_INDEX_H_
+#define TIP_ENGINE_INDEX_INTERVAL_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/storage/heap_table.h"
+
+namespace tip::engine {
+
+/// One indexed entry: a closed interval and the row that owns it.
+struct IntervalEntry {
+  int64_t start;
+  int64_t end;  // inclusive; start <= end
+  RowId row;
+};
+
+/// A static interval tree over closed int64 intervals, answering
+/// "which entries overlap [qs, qe]?" in O(log n + k). This plays the
+/// role of the period-timestamp index DataBlade of Bliujute et al.
+/// (ICDE'99), which the paper cites as related work: TIP's Element
+/// columns are indexed by their bounding period.
+///
+/// The tree is the classic centered structure: each node stores the
+/// intervals containing its center chronon, sorted both by start and by
+/// end, with strictly-left / strictly-right subtrees.
+class IntervalIndex {
+ public:
+  IntervalIndex() = default;
+
+  IntervalIndex(const IntervalIndex&) = delete;
+  IntervalIndex& operator=(const IntervalIndex&) = delete;
+  IntervalIndex(IntervalIndex&&) = default;
+  IntervalIndex& operator=(IntervalIndex&&) = default;
+
+  /// Builds the tree from scratch. O(n log n).
+  static IntervalIndex Build(std::vector<IntervalEntry> entries);
+
+  /// Appends the rows of every entry overlapping [qs, qe] to `out`
+  /// (order unspecified). Requires qs <= qe.
+  void FindOverlapping(int64_t qs, int64_t qe,
+                       std::vector<RowId>* out) const;
+
+  /// Appends the rows of every entry containing chronon `q` ("timeslice"
+  /// lookups). Equivalent to FindOverlapping(q, q).
+  void FindStabbing(int64_t q, std::vector<RowId>* out) const;
+
+  size_t entry_count() const { return entry_count_; }
+  bool empty() const { return root_ == nullptr; }
+
+ private:
+  struct Node {
+    int64_t center;
+    /// Intervals containing `center`, sorted ascending by start.
+    std::vector<IntervalEntry> by_start;
+    /// The same intervals, sorted descending by end.
+    std::vector<IntervalEntry> by_end;
+    std::unique_ptr<Node> left;   // intervals entirely < center
+    std::unique_ptr<Node> right;  // intervals entirely > center
+  };
+
+  static std::unique_ptr<Node> BuildNode(std::vector<IntervalEntry> entries);
+  static void Query(const Node* node, int64_t qs, int64_t qe,
+                    std::vector<RowId>* out);
+
+  std::unique_ptr<Node> root_;
+  size_t entry_count_ = 0;
+};
+
+}  // namespace tip::engine
+
+#endif  // TIP_ENGINE_INDEX_INTERVAL_INDEX_H_

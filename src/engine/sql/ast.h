@@ -1,0 +1,249 @@
+#ifndef TIP_ENGINE_SQL_AST_H_
+#define TIP_ENGINE_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tip::engine {
+
+struct SelectStmt;
+
+/// Expression node kinds. The AST is a single tagged struct (the SQLite
+/// school) rather than a class hierarchy: the binder immediately lowers
+/// it into typed BoundExpr nodes, so the untyped tree stays simple.
+enum class ExprKind {
+  kLiteral,    // literal_kind + text/int_value/double_value/bool_value
+  kColumnRef,  // qualifier.text
+  kStar,       // `*` or `alias.*` (select list and COUNT(*) only)
+  kFuncCall,   // text(args...)
+  kBinary,     // text is the operator symbol; args = {lhs, rhs}
+  kUnary,      // text is "-" or "NOT"; args = {operand}
+  kCast,       // args = {operand}; text is the target type name
+  kParam,      // :name; text is the name
+  kIsNull,     // args = {operand}; negated => IS NOT NULL
+  kBetween,    // args = {operand, lo, hi}; negated => NOT BETWEEN
+  kInList,     // args = {operand, item...}; negated => NOT IN
+  kExists,     // subquery; negated => NOT EXISTS
+  kCase,       // args = {when1, then1, ..., [else]}; has_else
+  kScalarSubquery,  // subquery; must yield <= 1 row of 1 column
+  kInSubquery,      // args = {operand}; subquery; negated => NOT IN
+};
+
+enum class LiteralKind { kNull, kBool, kInt, kFloat, kString };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral payloads.
+  LiteralKind literal_kind = LiteralKind::kNull;
+  bool bool_value = false;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+
+  /// Multi-purpose text payload: literal string, column / function /
+  /// parameter name, operator symbol, or cast target type name.
+  std::string text;
+  /// Table qualifier for kColumnRef / kStar ("" if unqualified).
+  std::string qualifier;
+
+  std::vector<ExprPtr> args;
+  bool negated = false;   // IS NOT NULL / NOT BETWEEN / NOT IN / NOT EXISTS
+  bool has_else = false;  // kCase
+
+  std::unique_ptr<SelectStmt> subquery;  // kExists / k*Subquery
+
+  // -- Factories ----------------------------------------------------------
+
+  static ExprPtr NullLiteral() {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kLiteral;
+    e->literal_kind = LiteralKind::kNull;
+    return e;
+  }
+  static ExprPtr BoolLiteral(bool v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kLiteral;
+    e->literal_kind = LiteralKind::kBool;
+    e->bool_value = v;
+    return e;
+  }
+  static ExprPtr IntLiteral(int64_t v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kLiteral;
+    e->literal_kind = LiteralKind::kInt;
+    e->int_value = v;
+    return e;
+  }
+  static ExprPtr FloatLiteral(double v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kLiteral;
+    e->literal_kind = LiteralKind::kFloat;
+    e->double_value = v;
+    return e;
+  }
+  static ExprPtr StringLiteral(std::string v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kLiteral;
+    e->literal_kind = LiteralKind::kString;
+    e->text = std::move(v);
+    return e;
+  }
+  static ExprPtr ColumnRef(std::string qualifier, std::string name) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kColumnRef;
+    e->qualifier = std::move(qualifier);
+    e->text = std::move(name);
+    return e;
+  }
+  static ExprPtr FuncCall(std::string name, std::vector<ExprPtr> args) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kFuncCall;
+    e->text = std::move(name);
+    e->args = std::move(args);
+    return e;
+  }
+  static ExprPtr Binary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->text = std::move(op);
+    e->args.push_back(std::move(lhs));
+    e->args.push_back(std::move(rhs));
+    return e;
+  }
+  static ExprPtr Unary(std::string op, ExprPtr operand) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kUnary;
+    e->text = std::move(op);
+    e->args.push_back(std::move(operand));
+    return e;
+  }
+  static ExprPtr Cast(ExprPtr operand, std::string type_name) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kCast;
+    e->text = std::move(type_name);
+    e->args.push_back(std::move(operand));
+    return e;
+  }
+  static ExprPtr Param(std::string name) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kParam;
+    e->text = std::move(name);
+    return e;
+  }
+};
+
+/// One FROM-clause source: a base table, or a parenthesized derived
+/// table (`FROM (SELECT ...) alias` — the alias is mandatory then).
+struct TableRef {
+  std::string table;                    // empty for derived tables
+  std::unique_ptr<SelectStmt> subquery; // null for base tables
+  std::string alias;  // "" = use the table name
+
+  bool is_subquery() const { return subquery != nullptr; }
+  const std::string& binding_name() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// One FROM-clause item. The first item has `is_inner_join == false`;
+/// later items are either comma-joined (no ON) or `JOIN ... ON expr`.
+struct FromItem {
+  TableRef ref;
+  bool is_inner_join = false;
+  ExprPtr on;  // only when is_inner_join
+};
+
+struct SelectItem {
+  bool is_star = false;
+  std::string star_qualifier;  // for `alias.*`
+  ExprPtr expr;                // when !is_star
+  std::string alias;           // "" = derived name
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// A set operation chained onto a select core:
+/// `core UNION [ALL] core INTERSECT core ...`, applied left to right.
+struct CompoundPart {
+  enum class Op { kUnion, kUnionAll, kIntersect, kExcept };
+  Op op;
+  std::unique_ptr<SelectStmt> select;  // a bare core (no ORDER BY/LIMIT)
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<FromItem> from;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  /// Set operations applied after this core; ORDER BY / LIMIT below
+  /// apply to the combined result.
+  std::vector<CompoundPart> compounds;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+};
+
+struct ColumnDef {
+  std::string name;
+  std::string type_name;
+};
+
+/// A parsed SQL statement (tagged union; only the fields of the active
+/// kind are meaningful).
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kCreateTable,
+    kDropTable,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kSet,
+    kExplain,
+    kCreateIndex,
+    kDropIndex,
+    kCreateFunction,
+    kDropFunction,
+  };
+
+  Kind kind;
+
+  std::unique_ptr<SelectStmt> select;  // kSelect / kExplain
+
+  std::string table;               // create/drop/insert/update/delete/index
+  std::vector<ColumnDef> columns;  // kCreateTable
+
+  std::vector<std::string> insert_columns;  // kInsert ("" = all, in order)
+  std::vector<std::vector<ExprPtr>> insert_rows;
+
+  std::vector<std::pair<std::string, ExprPtr>> update_sets;  // kUpdate
+  ExprPtr where;  // kUpdate / kDelete
+
+  std::string option;  // kSet: option name (e.g. "now")
+  ExprPtr value;       // kSet
+
+  std::string index_name;    // kCreateIndex / kDropIndex
+  std::string index_column;  // kCreateIndex
+  std::string index_method;  // kCreateIndex ("interval")
+
+  std::string function_name;              // kCreateFunction / kDrop...
+  std::vector<ColumnDef> function_params; // kCreateFunction
+  std::string function_return;            // kCreateFunction (type name)
+  std::string function_body;              // kCreateFunction (expression)
+};
+
+}  // namespace tip::engine
+
+#endif  // TIP_ENGINE_SQL_AST_H_

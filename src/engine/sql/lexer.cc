@@ -1,0 +1,136 @@
+#include "engine/sql/lexer.h"
+
+#include <cctype>
+
+namespace tip::engine {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentCont(sql[j])) ++j;
+      tokens.push_back(
+          {TokenKind::kIdentifier, std::string(sql.substr(i, j - i)), start});
+      i = j;
+      continue;
+    }
+    // Number: digits, optional fraction/exponent; also ".5".
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j < n && sql[j] == '.') {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (sql[k] == '+' || sql[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(sql[k]))) {
+          is_float = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+            ++j;
+          }
+        }
+      }
+      tokens.push_back({is_float ? TokenKind::kFloat : TokenKind::kInteger,
+                        std::string(sql.substr(i, j - i)), start});
+      i = j;
+      continue;
+    }
+    // String literal with '' escaping.
+    if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenKind::kString, std::move(value), start});
+      i = j;
+      continue;
+    }
+    // Multi-character operators first.
+    auto two = (i + 1 < n) ? sql.substr(i, 2) : std::string_view();
+    if (two == "::" || two == "<>" || two == "!=" || two == "<=" ||
+        two == ">=" || two == "||") {
+      std::string text(two);
+      if (text == "!=") text = "<>";  // canonicalize
+      tokens.push_back({TokenKind::kOperator, std::move(text), start});
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case '=':
+      case '<':
+      case '>':
+      case '(':
+      case ')':
+      case ',':
+      case '.':
+      case ';':
+      case ':':
+        tokens.push_back({TokenKind::kOperator, std::string(1, c), start});
+        ++i;
+        continue;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace tip::engine

@@ -1,0 +1,35 @@
+#ifndef TIP_ENGINE_SQL_LEXER_H_
+#define TIP_ENGINE_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tip::engine {
+
+enum class TokenKind {
+  kIdentifier,   // table, column, routine and keyword words
+  kString,       // 'quoted literal' (with '' escaping)
+  kInteger,      // 123
+  kFloat,        // 1.5, .5, 1e3
+  kOperator,     // + - * / = <> != < <= > >= || . , ( ) ; :: :
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // normalized: identifiers keep original case,
+                      // strings are unescaped, operators canonical
+  size_t offset = 0;  // byte offset in the statement (error messages)
+};
+
+/// Splits a SQL statement into tokens. Comments (`-- ...` to end of
+/// line) are skipped. Keywords are not distinguished from identifiers at
+/// this level; the parser matches them case-insensitively.
+Result<std::vector<Token>> Lex(std::string_view sql);
+
+}  // namespace tip::engine
+
+#endif  // TIP_ENGINE_SQL_LEXER_H_

@@ -1,0 +1,849 @@
+#include "engine/sql/parser.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "engine/sql/lexer.h"
+
+namespace tip::engine {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement();
+  Result<ExprPtr> ParseBareExpression();
+
+ private:
+  // -- Token helpers ------------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  /// True + consume if the next token is the given operator text.
+  bool MatchOp(std::string_view op) {
+    if (Peek().kind == TokenKind::kOperator && Peek().text == op) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool PeekOp(std::string_view op, size_t ahead = 0) const {
+    return Peek(ahead).kind == TokenKind::kOperator &&
+           Peek(ahead).text == op;
+  }
+
+  /// True + consume if the next token is the given keyword
+  /// (case-insensitive identifier match).
+  bool MatchKeyword(std::string_view kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool PeekKeyword(std::string_view kw, size_t ahead = 0) const {
+    return Peek(ahead).kind == TokenKind::kIdentifier &&
+           EqualsIgnoreCase(Peek(ahead).text, kw);
+  }
+
+  Status ExpectOp(std::string_view op) {
+    if (MatchOp(op)) return Status::OK();
+    return Errorf("expected '" + std::string(op) + "'");
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Errorf("expected keyword " + ToUpperAscii(kw));
+  }
+  Result<std::string> ExpectIdentifier(std::string_view what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Errorf("expected " + std::string(what));
+    }
+    return Advance().text;
+  }
+
+  Status Errorf(const std::string& message) const {
+    const Token& t = Peek();
+    std::string got = t.kind == TokenKind::kEnd
+                          ? "end of statement"
+                          : "'" + t.text + "'";
+    return Status::ParseError(message + ", got " + got + " at offset " +
+                              std::to_string(t.offset));
+  }
+
+  /// Identifiers that terminate an expression / select-item list. Needed
+  /// because keywords are not reserved at the lexer level.
+  bool PeekClauseKeyword() const {
+    static constexpr std::string_view kClauses[] = {
+        "from",  "where",  "group", "having", "order",
+        "limit", "offset", "on",    "join",   "inner",
+        "and",   "or",     "asc",   "desc",   "as",
+        "when",  "then",   "else",  "end",    "set",
+        "values", "union", "intersect", "except", "all"};
+    if (Peek().kind != TokenKind::kIdentifier) return false;
+    for (std::string_view kw : kClauses) {
+      if (EqualsIgnoreCase(Peek().text, kw)) return true;
+    }
+    return false;
+  }
+
+  // -- Statement productions ----------------------------------------------
+
+  Result<Statement> ParseSelectStatement();
+  Result<std::unique_ptr<SelectStmt>> ParseSelect();
+  Result<std::unique_ptr<SelectStmt>> ParseSelectCore();
+  Result<Statement> ParseCreate();
+  Result<Statement> ParseDrop();
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseUpdate();
+  Result<Statement> ParseDelete();
+  Result<Statement> ParseSet();
+  Result<Statement> ParseExplain();
+
+  // -- Expression productions (lowest to highest precedence) --------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePostfix();
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParseCase();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<Statement> Parser::ParseStatement() {
+  Result<Statement> stmt = [&]() -> Result<Statement> {
+    if (PeekKeyword("select")) return ParseSelectStatement();
+    if (PeekKeyword("create")) return ParseCreate();
+    if (PeekKeyword("drop")) return ParseDrop();
+    if (PeekKeyword("insert")) return ParseInsert();
+    if (PeekKeyword("update")) return ParseUpdate();
+    if (PeekKeyword("delete")) return ParseDelete();
+    if (PeekKeyword("set")) return ParseSet();
+    if (PeekKeyword("explain")) return ParseExplain();
+    return Errorf("expected a SQL statement");
+  }();
+  if (!stmt.ok()) return stmt;
+  MatchOp(";");
+  if (!AtEnd()) {
+    return Errorf("unexpected trailing input");
+  }
+  return stmt;
+}
+
+Result<ExprPtr> Parser::ParseBareExpression() {
+  TIP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+  if (!AtEnd()) return Errorf("unexpected trailing input");
+  return e;
+}
+
+Result<Statement> Parser::ParseSelectStatement() {
+  TIP_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> select, ParseSelect());
+  Statement stmt;
+  stmt.kind = Statement::Kind::kSelect;
+  stmt.select = std::move(select);
+  return stmt;
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseSelect() {
+  TIP_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> select,
+                       ParseSelectCore());
+
+  // Set operations chain further cores; ORDER BY / LIMIT afterwards
+  // apply to the combined result.
+  for (;;) {
+    CompoundPart part;
+    if (MatchKeyword("union")) {
+      part.op = MatchKeyword("all") ? CompoundPart::Op::kUnionAll
+                                    : CompoundPart::Op::kUnion;
+    } else if (MatchKeyword("intersect")) {
+      part.op = CompoundPart::Op::kIntersect;
+    } else if (MatchKeyword("except")) {
+      part.op = CompoundPart::Op::kExcept;
+    } else {
+      break;
+    }
+    TIP_ASSIGN_OR_RETURN(part.select, ParseSelectCore());
+    select->compounds.push_back(std::move(part));
+  }
+
+  if (MatchKeyword("order")) {
+    TIP_RETURN_IF_ERROR(ExpectKeyword("by"));
+    do {
+      OrderItem item;
+      TIP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("desc")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("asc");
+      }
+      select->order_by.push_back(std::move(item));
+    } while (MatchOp(","));
+  }
+  if (MatchKeyword("limit")) {
+    if (Peek().kind != TokenKind::kInteger) {
+      return Errorf("expected integer after LIMIT");
+    }
+    TIP_ASSIGN_OR_RETURN(int64_t limit, ParseInt64(Advance().text));
+    select->limit = limit;
+    if (MatchKeyword("offset")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Errorf("expected integer after OFFSET");
+      }
+      TIP_ASSIGN_OR_RETURN(int64_t offset, ParseInt64(Advance().text));
+      select->offset = offset;
+    }
+  }
+  return select;
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseSelectCore() {
+  TIP_RETURN_IF_ERROR(ExpectKeyword("select"));
+  auto select = std::make_unique<SelectStmt>();
+  if (MatchKeyword("distinct")) select->distinct = true;
+
+  // Select list.
+  do {
+    SelectItem item;
+    if (MatchOp("*")) {
+      item.is_star = true;
+    } else if (Peek().kind == TokenKind::kIdentifier && PeekOp(".", 1) &&
+               PeekOp("*", 2)) {
+      item.is_star = true;
+      item.star_qualifier = Advance().text;
+      Advance();  // '.'
+      Advance();  // '*'
+    } else {
+      TIP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("as")) {
+        TIP_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("column alias"));
+      } else if (Peek().kind == TokenKind::kIdentifier &&
+                 !PeekClauseKeyword()) {
+        item.alias = Advance().text;
+      }
+    }
+    select->items.push_back(std::move(item));
+  } while (MatchOp(","));
+
+  // FROM.
+  if (MatchKeyword("from")) {
+    bool first = true;
+    for (;;) {
+      FromItem item;
+      bool joined = false;
+      if (!first) {
+        if (MatchOp(",")) {
+          joined = true;
+        } else if (MatchKeyword("inner")) {
+          TIP_RETURN_IF_ERROR(ExpectKeyword("join"));
+          item.is_inner_join = true;
+          joined = true;
+        } else if (MatchKeyword("join")) {
+          item.is_inner_join = true;
+          joined = true;
+        }
+        if (!joined) break;
+      }
+      if (MatchOp("(")) {
+        // Derived table: FROM (SELECT ...) alias.
+        TIP_ASSIGN_OR_RETURN(item.ref.subquery, ParseSelect());
+        TIP_RETURN_IF_ERROR(ExpectOp(")"));
+      } else {
+        TIP_ASSIGN_OR_RETURN(item.ref.table,
+                             ExpectIdentifier("table name"));
+      }
+      if (MatchKeyword("as")) {
+        TIP_ASSIGN_OR_RETURN(item.ref.alias,
+                             ExpectIdentifier("table alias"));
+      } else if (Peek().kind == TokenKind::kIdentifier &&
+                 !PeekClauseKeyword()) {
+        item.ref.alias = Advance().text;
+      }
+      if (item.ref.is_subquery() && item.ref.alias.empty()) {
+        return Errorf("a derived table requires an alias");
+      }
+      if (item.is_inner_join) {
+        TIP_RETURN_IF_ERROR(ExpectKeyword("on"));
+        TIP_ASSIGN_OR_RETURN(item.on, ParseExpr());
+      }
+      select->from.push_back(std::move(item));
+      first = false;
+    }
+  }
+
+  if (MatchKeyword("where")) {
+    TIP_ASSIGN_OR_RETURN(select->where, ParseExpr());
+  }
+  if (MatchKeyword("group")) {
+    TIP_RETURN_IF_ERROR(ExpectKeyword("by"));
+    do {
+      TIP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      select->group_by.push_back(std::move(e));
+    } while (MatchOp(","));
+  }
+  if (MatchKeyword("having")) {
+    TIP_ASSIGN_OR_RETURN(select->having, ParseExpr());
+  }
+  return select;
+}
+
+Result<Statement> Parser::ParseCreate() {
+  TIP_RETURN_IF_ERROR(ExpectKeyword("create"));
+  if (MatchKeyword("function")) {
+    // CREATE FUNCTION f(a TYPE, ...) RETURNS TYPE AS '<expression>'
+    // — the SPL-flavoured stored-routine form: the body is a SQL
+    // expression over the parameters (and, via subqueries, the
+    // database).
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCreateFunction;
+    TIP_ASSIGN_OR_RETURN(stmt.function_name,
+                         ExpectIdentifier("function name"));
+    TIP_RETURN_IF_ERROR(ExpectOp("("));
+    if (!PeekOp(")")) {
+      do {
+        ColumnDef param;
+        TIP_ASSIGN_OR_RETURN(param.name,
+                             ExpectIdentifier("parameter name"));
+        TIP_ASSIGN_OR_RETURN(param.type_name,
+                             ExpectIdentifier("parameter type"));
+        stmt.function_params.push_back(std::move(param));
+      } while (MatchOp(","));
+    }
+    TIP_RETURN_IF_ERROR(ExpectOp(")"));
+    TIP_RETURN_IF_ERROR(ExpectKeyword("returns"));
+    TIP_ASSIGN_OR_RETURN(stmt.function_return,
+                         ExpectIdentifier("return type"));
+    TIP_RETURN_IF_ERROR(ExpectKeyword("as"));
+    if (Peek().kind != TokenKind::kString) {
+      return Errorf("expected the function body as a quoted expression");
+    }
+    stmt.function_body = Advance().text;
+    return stmt;
+  }
+  if (MatchKeyword("index")) {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCreateIndex;
+    TIP_ASSIGN_OR_RETURN(stmt.index_name, ExpectIdentifier("index name"));
+    TIP_RETURN_IF_ERROR(ExpectKeyword("on"));
+    TIP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    TIP_RETURN_IF_ERROR(ExpectOp("("));
+    TIP_ASSIGN_OR_RETURN(stmt.index_column,
+                         ExpectIdentifier("indexed column"));
+    TIP_RETURN_IF_ERROR(ExpectOp(")"));
+    if (MatchKeyword("using")) {
+      TIP_ASSIGN_OR_RETURN(stmt.index_method,
+                           ExpectIdentifier("index method"));
+    } else {
+      stmt.index_method = "interval";
+    }
+    return stmt;
+  }
+  TIP_RETURN_IF_ERROR(ExpectKeyword("table"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kCreateTable;
+  TIP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  TIP_RETURN_IF_ERROR(ExpectOp("("));
+  do {
+    ColumnDef col;
+    TIP_ASSIGN_OR_RETURN(col.name, ExpectIdentifier("column name"));
+    TIP_ASSIGN_OR_RETURN(col.type_name, ExpectIdentifier("type name"));
+    // Swallow CHAR(20)-style length parameters; the engine's strings are
+    // unbounded, matching the paper's usage of CHAR(n) only as notation.
+    if (MatchOp("(")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Errorf("expected integer type parameter");
+      }
+      Advance();
+      TIP_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    stmt.columns.push_back(std::move(col));
+  } while (MatchOp(","));
+  TIP_RETURN_IF_ERROR(ExpectOp(")"));
+  return stmt;
+}
+
+Result<Statement> Parser::ParseDrop() {
+  TIP_RETURN_IF_ERROR(ExpectKeyword("drop"));
+  if (MatchKeyword("function")) {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kDropFunction;
+    TIP_ASSIGN_OR_RETURN(stmt.function_name,
+                         ExpectIdentifier("function name"));
+    return stmt;
+  }
+  if (MatchKeyword("index")) {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kDropIndex;
+    TIP_ASSIGN_OR_RETURN(stmt.index_name, ExpectIdentifier("index name"));
+    TIP_RETURN_IF_ERROR(ExpectKeyword("on"));
+    TIP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    return stmt;
+  }
+  TIP_RETURN_IF_ERROR(ExpectKeyword("table"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kDropTable;
+  TIP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  return stmt;
+}
+
+Result<Statement> Parser::ParseInsert() {
+  TIP_RETURN_IF_ERROR(ExpectKeyword("insert"));
+  TIP_RETURN_IF_ERROR(ExpectKeyword("into"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kInsert;
+  TIP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  if (MatchOp("(")) {
+    do {
+      TIP_ASSIGN_OR_RETURN(std::string col,
+                           ExpectIdentifier("column name"));
+      stmt.insert_columns.push_back(std::move(col));
+    } while (MatchOp(","));
+    TIP_RETURN_IF_ERROR(ExpectOp(")"));
+  }
+  TIP_RETURN_IF_ERROR(ExpectKeyword("values"));
+  do {
+    TIP_RETURN_IF_ERROR(ExpectOp("("));
+    std::vector<ExprPtr> row;
+    do {
+      TIP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+    } while (MatchOp(","));
+    TIP_RETURN_IF_ERROR(ExpectOp(")"));
+    stmt.insert_rows.push_back(std::move(row));
+  } while (MatchOp(","));
+  return stmt;
+}
+
+Result<Statement> Parser::ParseUpdate() {
+  TIP_RETURN_IF_ERROR(ExpectKeyword("update"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kUpdate;
+  TIP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  TIP_RETURN_IF_ERROR(ExpectKeyword("set"));
+  do {
+    TIP_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+    TIP_RETURN_IF_ERROR(ExpectOp("="));
+    TIP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    stmt.update_sets.emplace_back(std::move(col), std::move(e));
+  } while (MatchOp(","));
+  if (MatchKeyword("where")) {
+    TIP_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<Statement> Parser::ParseDelete() {
+  TIP_RETURN_IF_ERROR(ExpectKeyword("delete"));
+  TIP_RETURN_IF_ERROR(ExpectKeyword("from"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kDelete;
+  TIP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  if (MatchKeyword("where")) {
+    TIP_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<Statement> Parser::ParseSet() {
+  TIP_RETURN_IF_ERROR(ExpectKeyword("set"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kSet;
+  TIP_ASSIGN_OR_RETURN(std::string option, ExpectIdentifier("option name"));
+  stmt.option = ToLowerAscii(option);
+  if (MatchOp("=")) {
+    // optional '=' between option and value
+  }
+  // SET values are single tokens (word, string or number), not general
+  // expressions — `SET hash_join on` must accept the bare word ON.
+  const Token& value = Peek();
+  switch (value.kind) {
+    case TokenKind::kIdentifier:
+      stmt.value = Expr::ColumnRef("", value.text);
+      break;
+    case TokenKind::kString:
+      stmt.value = Expr::StringLiteral(value.text);
+      break;
+    case TokenKind::kInteger: {
+      TIP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(value.text));
+      stmt.value = Expr::IntLiteral(v);
+      break;
+    }
+    default:
+      return Errorf("expected a SET value");
+  }
+  Advance();
+  return stmt;
+}
+
+Result<Statement> Parser::ParseExplain() {
+  TIP_RETURN_IF_ERROR(ExpectKeyword("explain"));
+  TIP_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> select, ParseSelect());
+  Statement stmt;
+  stmt.kind = Statement::Kind::kExplain;
+  stmt.select = std::move(select);
+  return stmt;
+}
+
+// -- Expressions ------------------------------------------------------------
+
+Result<ExprPtr> Parser::ParseOr() {
+  TIP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (MatchKeyword("or")) {
+    TIP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = Expr::Binary("or", std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  TIP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (MatchKeyword("and")) {
+    TIP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = Expr::Binary("and", std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("not")) {
+    TIP_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return Expr::Unary("not", std::move(operand));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  TIP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+
+  // IS [NOT] NULL.
+  if (PeekKeyword("is")) {
+    Advance();
+    bool negated = MatchKeyword("not");
+    if (!MatchKeyword("null")) {
+      return Errorf("expected NULL after IS");
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kIsNull;
+    e->negated = negated;
+    e->args.push_back(std::move(lhs));
+    return e;
+  }
+
+  // [NOT] BETWEEN / [NOT] IN.
+  bool negated = false;
+  size_t saved = pos_;
+  if (MatchKeyword("not")) {
+    if (PeekKeyword("between") || PeekKeyword("in") ||
+        PeekKeyword("like")) {
+      negated = true;
+    } else {
+      pos_ = saved;  // the NOT belongs to a higher level
+    }
+  }
+  if (MatchKeyword("like")) {
+    TIP_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+    std::vector<ExprPtr> args;
+    args.push_back(std::move(lhs));
+    args.push_back(std::move(pattern));
+    ExprPtr call = Expr::FuncCall("like", std::move(args));
+    if (negated) return Expr::Unary("not", std::move(call));
+    return call;
+  }
+  if (MatchKeyword("between")) {
+    TIP_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    TIP_RETURN_IF_ERROR(ExpectKeyword("and"));
+    TIP_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBetween;
+    e->negated = negated;
+    e->args.push_back(std::move(lhs));
+    e->args.push_back(std::move(lo));
+    e->args.push_back(std::move(hi));
+    return e;
+  }
+  if (MatchKeyword("in")) {
+    TIP_RETURN_IF_ERROR(ExpectOp("("));
+    if (PeekKeyword("select")) {
+      TIP_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub, ParseSelect());
+      TIP_RETURN_IF_ERROR(ExpectOp(")"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInSubquery;
+      e->negated = negated;
+      e->args.push_back(std::move(lhs));
+      e->subquery = std::move(sub);
+      return e;
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kInList;
+    e->negated = negated;
+    e->args.push_back(std::move(lhs));
+    do {
+      TIP_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+      e->args.push_back(std::move(item));
+    } while (MatchOp(","));
+    TIP_RETURN_IF_ERROR(ExpectOp(")"));
+    return e;
+  }
+
+  // Binary comparison operators (non-associative chain allowed
+  // left-to-right, as in most SQL engines).
+  for (;;) {
+    std::string op;
+    if (PeekOp("=")) {
+      op = "=";
+    } else if (PeekOp("<>")) {
+      op = "<>";
+    } else if (PeekOp("<=")) {
+      op = "<=";
+    } else if (PeekOp(">=")) {
+      op = ">=";
+    } else if (PeekOp("<")) {
+      op = "<";
+    } else if (PeekOp(">")) {
+      op = ">";
+    } else {
+      break;
+    }
+    Advance();
+    TIP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  TIP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  for (;;) {
+    std::string op;
+    if (PeekOp("+")) {
+      op = "+";
+    } else if (PeekOp("-")) {
+      op = "-";
+    } else if (PeekOp("||")) {
+      op = "||";
+    } else {
+      break;
+    }
+    Advance();
+    TIP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  TIP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  for (;;) {
+    std::string op;
+    if (PeekOp("*")) {
+      op = "*";
+    } else if (PeekOp("/")) {
+      op = "/";
+    } else {
+      break;
+    }
+    Advance();
+    TIP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchOp("-")) {
+    TIP_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return Expr::Unary("-", std::move(operand));
+  }
+  if (MatchOp("+")) {
+    return ParseUnary();
+  }
+  return ParsePostfix();
+}
+
+Result<ExprPtr> Parser::ParsePostfix() {
+  TIP_ASSIGN_OR_RETURN(ExprPtr operand, ParsePrimary());
+  while (MatchOp("::")) {
+    TIP_ASSIGN_OR_RETURN(std::string type_name,
+                         ExpectIdentifier("type name after '::'"));
+    operand = Expr::Cast(std::move(operand), std::move(type_name));
+  }
+  return operand;
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kInteger: {
+      Advance();
+      TIP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(t.text));
+      return Expr::IntLiteral(v);
+    }
+    case TokenKind::kFloat: {
+      Advance();
+      TIP_ASSIGN_OR_RETURN(double v, ParseDouble(t.text));
+      return Expr::FloatLiteral(v);
+    }
+    case TokenKind::kString:
+      Advance();
+      return Expr::StringLiteral(t.text);
+    case TokenKind::kOperator:
+      if (t.text == "(") {
+        Advance();
+        if (PeekKeyword("select")) {
+          TIP_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub,
+                               ParseSelect());
+          TIP_RETURN_IF_ERROR(ExpectOp(")"));
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kScalarSubquery;
+          e->subquery = std::move(sub);
+          return e;
+        }
+        TIP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        TIP_RETURN_IF_ERROR(ExpectOp(")"));
+        return e;
+      }
+      if (t.text == ":") {
+        Advance();
+        TIP_ASSIGN_OR_RETURN(std::string name,
+                             ExpectIdentifier("parameter name after ':'"));
+        return Expr::Param(std::move(name));
+      }
+      return Errorf("expected an expression");
+    case TokenKind::kIdentifier:
+      break;  // handled below
+    case TokenKind::kEnd:
+      return Errorf("expected an expression");
+  }
+
+  // Reserved clause keywords never start an expression; rejecting them
+  // here turns `SELECT FROM t` into a parse error instead of a column
+  // reference named "from".
+  static constexpr std::string_view kReserved[] = {
+      "from",  "where", "group", "having", "order", "limit",
+      "offset", "on",   "join",  "inner",  "values", "select",
+      "set",   "and",   "or",    "between", "in",    "is",
+      "as",    "then",  "else",  "when",   "distinct"};
+  for (std::string_view kw : kReserved) {
+    if (PeekKeyword(kw)) return Errorf("expected an expression");
+  }
+
+  // Keyword-led expressions.
+  if (PeekKeyword("null")) {
+    Advance();
+    return Expr::NullLiteral();
+  }
+  if (PeekKeyword("true")) {
+    Advance();
+    return Expr::BoolLiteral(true);
+  }
+  if (PeekKeyword("false")) {
+    Advance();
+    return Expr::BoolLiteral(false);
+  }
+  if (PeekKeyword("case")) {
+    return ParseCase();
+  }
+  if (PeekKeyword("exists") && PeekOp("(", 1)) {
+    Advance();
+    Advance();  // '('
+    TIP_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub, ParseSelect());
+    TIP_RETURN_IF_ERROR(ExpectOp(")"));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kExists;
+    e->subquery = std::move(sub);
+    return e;
+  }
+  if (PeekKeyword("cast") && PeekOp("(", 1)) {
+    // CAST(expr AS type) — the SQL-92 spelling of '::'.
+    Advance();
+    Advance();  // '('
+    TIP_ASSIGN_OR_RETURN(ExprPtr operand, ParseExpr());
+    TIP_RETURN_IF_ERROR(ExpectKeyword("as"));
+    TIP_ASSIGN_OR_RETURN(std::string type_name,
+                         ExpectIdentifier("type name"));
+    TIP_RETURN_IF_ERROR(ExpectOp(")"));
+    return Expr::Cast(std::move(operand), std::move(type_name));
+  }
+
+  // Function call?
+  if (PeekOp("(", 1)) {
+    std::string name = Advance().text;
+    Advance();  // '('
+    std::vector<ExprPtr> args;
+    if (MatchOp("*")) {
+      // COUNT(*): model as a star argument.
+      auto star = std::make_unique<Expr>();
+      star->kind = ExprKind::kStar;
+      args.push_back(std::move(star));
+    } else if (!PeekOp(")")) {
+      do {
+        TIP_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        args.push_back(std::move(arg));
+      } while (MatchOp(","));
+    }
+    TIP_RETURN_IF_ERROR(ExpectOp(")"));
+    return Expr::FuncCall(std::move(name), std::move(args));
+  }
+
+  // Column reference: name or qualifier.name.
+  std::string first = Advance().text;
+  if (MatchOp(".")) {
+    TIP_ASSIGN_OR_RETURN(std::string column,
+                         ExpectIdentifier("column name after '.'"));
+    return Expr::ColumnRef(std::move(first), std::move(column));
+  }
+  return Expr::ColumnRef("", std::move(first));
+}
+
+Result<ExprPtr> Parser::ParseCase() {
+  TIP_RETURN_IF_ERROR(ExpectKeyword("case"));
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCase;
+  bool saw_when = false;
+  while (MatchKeyword("when")) {
+    saw_when = true;
+    TIP_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+    TIP_RETURN_IF_ERROR(ExpectKeyword("then"));
+    TIP_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+    e->args.push_back(std::move(when));
+    e->args.push_back(std::move(then));
+  }
+  if (!saw_when) return Errorf("CASE requires at least one WHEN");
+  if (MatchKeyword("else")) {
+    TIP_ASSIGN_OR_RETURN(ExprPtr else_expr, ParseExpr());
+    e->args.push_back(std::move(else_expr));
+    e->has_else = true;
+  }
+  TIP_RETURN_IF_ERROR(ExpectKeyword("end"));
+  return e;
+}
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view sql) {
+  TIP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view text) {
+  TIP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseBareExpression();
+}
+
+}  // namespace tip::engine

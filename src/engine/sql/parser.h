@@ -1,0 +1,36 @@
+#ifndef TIP_ENGINE_SQL_PARSER_H_
+#define TIP_ENGINE_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/sql/ast.h"
+
+namespace tip::engine {
+
+/// Parses one SQL statement (an optional trailing ';' is accepted).
+/// The dialect is the core of SQL-92 plus Informix's `::` explicit-cast
+/// and `:name` host-parameter syntax:
+///
+///   SELECT [DISTINCT] items FROM t1 [alias], t2 [JOIN t3 ON ...]
+///     [WHERE ...] [GROUP BY ...] [HAVING ...] [ORDER BY ... [DESC]]
+///     [LIMIT n [OFFSET m]]
+///   CREATE TABLE t (col type, ...) | DROP TABLE t
+///   INSERT INTO t [(cols)] VALUES (...), (...) ...
+///   UPDATE t SET col = expr, ... [WHERE ...]
+///   DELETE FROM t [WHERE ...]
+///   SET option value            -- e.g. SET NOW '1999-10-31'
+///   CREATE INDEX i ON t (col) USING method | DROP INDEX i ON t
+///   EXPLAIN SELECT ...
+///
+/// Expressions support arithmetic, comparisons, AND/OR/NOT, IS [NOT]
+/// NULL, [NOT] BETWEEN, [NOT] IN (list), [NOT] EXISTS (subquery),
+/// CASE WHEN, function calls, `expr::type`, and `:param`.
+Result<Statement> ParseStatement(std::string_view sql);
+
+/// Parses a bare expression (used by tests and by SET option values).
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace tip::engine
+
+#endif  // TIP_ENGINE_SQL_PARSER_H_

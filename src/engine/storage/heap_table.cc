@@ -1,0 +1,73 @@
+#include "engine/storage/heap_table.h"
+
+namespace tip::engine {
+
+RowId HeapTable::Insert(Row row) {
+  if (pages_.empty() || pages_.back()->rows.size() >= kRowsPerPage) {
+    pages_.push_back(std::make_unique<Page>());
+    pages_.back()->rows.reserve(kRowsPerPage);
+  }
+  Page& page = *pages_.back();
+  const uint32_t page_no = static_cast<uint32_t>(pages_.size() - 1);
+  const uint32_t slot = static_cast<uint32_t>(page.rows.size());
+  page.rows.push_back(std::move(row));
+  page.live.push_back(true);
+  ++live_rows_;
+  ++version_;
+  return MakeRowId(page_no, slot);
+}
+
+Status HeapTable::Delete(RowId id) {
+  const uint32_t page_no = RowIdPage(id);
+  const uint32_t slot = RowIdSlot(id);
+  if (page_no >= pages_.size() || slot >= pages_[page_no]->rows.size() ||
+      !pages_[page_no]->live[slot]) {
+    return Status::NotFound("row id not found");
+  }
+  pages_[page_no]->live[slot] = false;
+  pages_[page_no]->rows[slot].clear();  // release value storage eagerly
+  --live_rows_;
+  ++version_;
+  return Status::OK();
+}
+
+Status HeapTable::Update(RowId id, Row row) {
+  const uint32_t page_no = RowIdPage(id);
+  const uint32_t slot = RowIdSlot(id);
+  if (page_no >= pages_.size() || slot >= pages_[page_no]->rows.size() ||
+      !pages_[page_no]->live[slot]) {
+    return Status::NotFound("row id not found");
+  }
+  pages_[page_no]->rows[slot] = std::move(row);
+  ++version_;
+  return Status::OK();
+}
+
+const Row* HeapTable::Get(RowId id) const {
+  const uint32_t page_no = RowIdPage(id);
+  const uint32_t slot = RowIdSlot(id);
+  if (page_no >= pages_.size() || slot >= pages_[page_no]->rows.size() ||
+      !pages_[page_no]->live[slot]) {
+    return nullptr;
+  }
+  return &pages_[page_no]->rows[slot];
+}
+
+bool HeapTable::Cursor::Next(RowId* id, const Row** row) {
+  while (page_ < table_->pages_.size()) {
+    const Page& page = *table_->pages_[page_];
+    while (slot_ < page.rows.size()) {
+      const uint32_t slot = slot_++;
+      if (page.live[slot]) {
+        *id = MakeRowId(page_, slot);
+        *row = &page.rows[slot];
+        return true;
+      }
+    }
+    ++page_;
+    slot_ = 0;
+  }
+  return false;
+}
+
+}  // namespace tip::engine

@@ -1,0 +1,204 @@
+#include "engine/storage/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "engine/database.h"
+
+namespace tip::engine {
+
+namespace {
+
+constexpr char kMagic[] = "TIPSNAP1";
+constexpr size_t kMagicLen = 8;
+
+void PutU64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutString(std::string_view s, std::string* out) {
+  PutU64(s.size(), out);
+  out->append(s);
+}
+
+/// Sequential reader over the snapshot bytes with bounds checking.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint64_t> U64() {
+    if (pos_ + 8 > bytes_.size()) {
+      return Status::InvalidArgument("truncated snapshot");
+    }
+    uint64_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::string_view> Bytes(uint64_t n) {
+    if (n > bytes_.size() - pos_) {
+      return Status::InvalidArgument("truncated snapshot");
+    }
+    std::string_view out = bytes_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  Result<std::string_view> String() {
+    TIP_ASSIGN_OR_RETURN(uint64_t n, U64());
+    return Bytes(n);
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::string> SaveSnapshot(const Database& db) {
+  const TypeRegistry& types = db.types();
+  std::string out(kMagic, kMagicLen);
+  const std::vector<std::string> names = db.catalog().TableNames();
+  PutU64(names.size(), &out);
+  for (const std::string& name : names) {
+    TIP_ASSIGN_OR_RETURN(const Table* table, db.catalog().GetTable(name));
+    PutString(table->name(), &out);
+    PutU64(table->columns().size(), &out);
+    for (const Column& col : table->columns()) {
+      PutString(col.name, &out);
+      PutString(types.Get(col.type).name, &out);
+    }
+    PutU64(table->interval_indexes().size(), &out);
+    for (const IntervalIndexDef& index : table->interval_indexes()) {
+      PutString(index.name, &out);
+      PutU64(index.column, &out);
+    }
+    PutU64(table->heap().row_count(), &out);
+    HeapTable::Cursor cursor = table->heap().Scan();
+    RowId id;
+    const Row* row;
+    while (cursor.Next(&id, &row)) {
+      for (const Datum& value : *row) {
+        if (value.is_null()) {
+          out.push_back(0);
+          continue;
+        }
+        out.push_back(1);
+        PutString(types.Serialize(value), &out);
+      }
+    }
+  }
+  return out;
+}
+
+Status SaveSnapshotToFile(const Database& db, std::string_view path) {
+  TIP_ASSIGN_OR_RETURN(std::string bytes, SaveSnapshot(db));
+  std::FILE* f = std::fopen(std::string(path).c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open '" + std::string(path) +
+                                   "' for writing");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != bytes.size() || close_rc != 0) {
+    return Status::Internal("short write to '" + std::string(path) + "'");
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshot(Database* db, std::string_view bytes) {
+  if (bytes.size() < kMagicLen ||
+      std::memcmp(bytes.data(), kMagic, kMagicLen) != 0) {
+    return Status::InvalidArgument("not a TIP snapshot");
+  }
+  Reader reader(bytes.substr(kMagicLen));
+  const TypeRegistry& types = db->types();
+
+  TIP_ASSIGN_OR_RETURN(uint64_t table_count, reader.U64());
+  for (uint64_t t = 0; t < table_count; ++t) {
+    TIP_ASSIGN_OR_RETURN(std::string_view name, reader.String());
+    TIP_ASSIGN_OR_RETURN(uint64_t column_count, reader.U64());
+    std::vector<Column> columns;
+    columns.reserve(column_count);
+    for (uint64_t c = 0; c < column_count; ++c) {
+      TIP_ASSIGN_OR_RETURN(std::string_view col_name, reader.String());
+      TIP_ASSIGN_OR_RETURN(std::string_view type_name, reader.String());
+      Result<TypeId> type = types.FindByName(type_name);
+      if (!type.ok()) {
+        return Status::NotFound(
+            "snapshot uses type '" + std::string(type_name) +
+            "', which is not installed (install the DataBlade first?)");
+      }
+      columns.push_back({std::string(col_name), *type});
+    }
+    TIP_ASSIGN_OR_RETURN(Table * table,
+                         db->catalog().CreateTable(name,
+                                                   std::move(columns)));
+
+    TIP_ASSIGN_OR_RETURN(uint64_t index_count, reader.U64());
+    for (uint64_t i = 0; i < index_count; ++i) {
+      TIP_ASSIGN_OR_RETURN(std::string_view index_name, reader.String());
+      TIP_ASSIGN_OR_RETURN(uint64_t column, reader.U64());
+      if (column >= table->columns().size()) {
+        return Status::InvalidArgument("snapshot index column out of "
+                                       "range");
+      }
+      // Recreate through the same path CREATE INDEX uses so the access
+      // method's key function is re-attached.
+      const std::string sql = "CREATE INDEX " + std::string(index_name) +
+                              " ON " + table->name() + " (" +
+                              table->columns()[column].name +
+                              ") USING interval";
+      TIP_ASSIGN_OR_RETURN(ResultSet created, db->Execute(sql));
+      (void)created;
+    }
+
+    TIP_ASSIGN_OR_RETURN(uint64_t row_count, reader.U64());
+    for (uint64_t r = 0; r < row_count; ++r) {
+      Row row;
+      row.reserve(table->columns().size());
+      for (const Column& col : table->columns()) {
+        TIP_ASSIGN_OR_RETURN(std::string_view flag, reader.Bytes(1));
+        if (flag[0] == 0) {
+          row.push_back(Datum::NullOf(col.type));
+          continue;
+        }
+        TIP_ASSIGN_OR_RETURN(std::string_view payload, reader.String());
+        const TypeOps& ops = types.Get(col.type).ops;
+        Result<Datum> value = ops.deserialize
+                                  ? ops.deserialize(payload)
+                                  : ops.parse(payload);
+        if (!value.ok()) return value.status();
+        row.push_back(std::move(*value));
+      }
+      table->heap().Insert(std::move(row));
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after snapshot");
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshotFromFile(Database* db, std::string_view path) {
+  std::FILE* f = std::fopen(std::string(path).c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + std::string(path) + "'");
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, n);
+  }
+  std::fclose(f);
+  return LoadSnapshot(db, bytes);
+}
+
+}  // namespace tip::engine

@@ -1,0 +1,41 @@
+#ifndef TIP_ENGINE_STORAGE_SNAPSHOT_H_
+#define TIP_ENGINE_STORAGE_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tip::engine {
+
+class Database;
+
+/// Serializes the whole catalog — schemas, rows, interval-index
+/// definitions — into a single binary snapshot using each type's
+/// send/receive support functions (the "efficient binary format"). NOW
+/// stays symbolic in the snapshot: open-ended rows reload open-ended.
+///
+/// Format (little-endian, length-prefixed):
+///   "TIPSNAP1" | #tables | per table:
+///     name | #columns | (column name, type name)* |
+///     #indexes | (index name, column position)* |
+///     #rows | per row: (null flag | payload length | payload)*
+///
+/// Types are recorded by *name*, so a snapshot can only be restored
+/// into a database with the same extensions installed (for TIP data,
+/// install the DataBlade first); unknown type names fail cleanly.
+Result<std::string> SaveSnapshot(const Database& db);
+
+/// Writes SaveSnapshot's bytes to `path`.
+Status SaveSnapshotToFile(const Database& db, std::string_view path);
+
+/// Restores a snapshot into `db`. Fails with AlreadyExists if any
+/// snapshotted table already exists (restore into a fresh database).
+Status LoadSnapshot(Database* db, std::string_view bytes);
+
+/// Reads `path` and restores it.
+Status LoadSnapshotFromFile(Database* db, std::string_view path);
+
+}  // namespace tip::engine
+
+#endif  // TIP_ENGINE_STORAGE_SNAPSHOT_H_

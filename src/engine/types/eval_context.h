@@ -1,0 +1,22 @@
+#ifndef TIP_ENGINE_TYPES_EVAL_CONTEXT_H_
+#define TIP_ENGINE_TYPES_EVAL_CONTEXT_H_
+
+#include "core/tx_context.h"
+
+namespace tip::engine {
+
+/// Per-statement evaluation state threaded through every routine, cast
+/// and aggregate invocation. The single most important field is the
+/// transaction context: it fixes the interpretation of NOW for the whole
+/// statement, so a query sees one consistent "current time" no matter how
+/// many NOW-relative values it touches.
+struct EvalContext {
+  TxContext tx;
+
+  EvalContext() = default;
+  explicit EvalContext(TxContext tx_ctx) : tx(tx_ctx) {}
+};
+
+}  // namespace tip::engine
+
+#endif  // TIP_ENGINE_TYPES_EVAL_CONTEXT_H_

@@ -1,0 +1,305 @@
+#include "engine/types/type.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace tip::engine {
+
+namespace {
+
+// 64-bit FNV-1a over raw bytes; the engine's default hash primitive.
+uint64_t HashBytes(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t HashInt64(int64_t v) { return HashBytes(&v, sizeof(v)); }
+
+void AppendFixed64(int64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+Result<int64_t> ReadFixed64(std::string_view bytes) {
+  if (bytes.size() != 8) {
+    return Status::Internal("fixed64 payload has wrong size");
+  }
+  int64_t v;
+  std::memcpy(&v, bytes.data(), 8);
+  return v;
+}
+
+TypeOps BoolOps() {
+  TypeOps ops;
+  ops.parse = [](std::string_view s) -> Result<Datum> {
+    if (EqualsIgnoreCase(s, "true") || EqualsIgnoreCase(s, "t")) {
+      return Datum::Bool(true);
+    }
+    if (EqualsIgnoreCase(s, "false") || EqualsIgnoreCase(s, "f")) {
+      return Datum::Bool(false);
+    }
+    return Status::ParseError("invalid BOOLEAN literal: '" + std::string(s) +
+                              "'");
+  };
+  ops.format = [](const Datum& d) {
+    return std::string(d.bool_value() ? "true" : "false");
+  };
+  ops.compare = [](const Datum& a, const Datum& b,
+                   const TxContext&) -> Result<int> {
+    return static_cast<int>(a.bool_value()) -
+           static_cast<int>(b.bool_value());
+  };
+  ops.hash = [](const Datum& d, const TxContext&) -> Result<uint64_t> {
+    return HashInt64(d.bool_value() ? 1 : 0);
+  };
+  ops.serialize = [](const Datum& d, std::string* out) {
+    out->push_back(d.bool_value() ? 1 : 0);
+  };
+  ops.deserialize = [](std::string_view bytes) -> Result<Datum> {
+    if (bytes.size() != 1) return Status::Internal("bad BOOLEAN payload");
+    return Datum::Bool(bytes[0] != 0);
+  };
+  return ops;
+}
+
+TypeOps IntOps() {
+  TypeOps ops;
+  ops.parse = [](std::string_view s) -> Result<Datum> {
+    TIP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(s));
+    return Datum::Int(v);
+  };
+  ops.format = [](const Datum& d) { return std::to_string(d.int_value()); };
+  ops.compare = [](const Datum& a, const Datum& b,
+                   const TxContext&) -> Result<int> {
+    const int64_t x = a.int_value(), y = b.int_value();
+    return x < y ? -1 : (x == y ? 0 : 1);
+  };
+  ops.hash = [](const Datum& d, const TxContext&) -> Result<uint64_t> {
+    return HashInt64(d.int_value());
+  };
+  ops.serialize = [](const Datum& d, std::string* out) {
+    AppendFixed64(d.int_value(), out);
+  };
+  ops.deserialize = [](std::string_view bytes) -> Result<Datum> {
+    TIP_ASSIGN_OR_RETURN(int64_t v, ReadFixed64(bytes));
+    return Datum::Int(v);
+  };
+  return ops;
+}
+
+TypeOps DoubleOps() {
+  TypeOps ops;
+  ops.parse = [](std::string_view s) -> Result<Datum> {
+    TIP_ASSIGN_OR_RETURN(double v, ParseDouble(s));
+    return Datum::Double(v);
+  };
+  ops.format = [](const Datum& d) {
+    std::string out = StringPrintf("%.17g", d.double_value());
+    return out;
+  };
+  ops.compare = [](const Datum& a, const Datum& b,
+                   const TxContext&) -> Result<int> {
+    const double x = a.double_value(), y = b.double_value();
+    // NaNs sort last and equal to each other so ORDER BY is total.
+    const bool xn = x != x, yn = y != y;
+    if (xn || yn) return xn == yn ? 0 : (xn ? 1 : -1);
+    return x < y ? -1 : (x == y ? 0 : 1);
+  };
+  ops.hash = [](const Datum& d, const TxContext&) -> Result<uint64_t> {
+    double v = d.double_value();
+    if (v == 0.0) v = 0.0;  // normalize -0.0
+    return HashBytes(&v, sizeof(v));
+  };
+  ops.serialize = [](const Datum& d, std::string* out) {
+    double v = d.double_value();
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out->append(buf, 8);
+  };
+  ops.deserialize = [](std::string_view bytes) -> Result<Datum> {
+    if (bytes.size() != 8) return Status::Internal("bad DOUBLE payload");
+    double v;
+    std::memcpy(&v, bytes.data(), 8);
+    return Datum::Double(v);
+  };
+  return ops;
+}
+
+TypeOps StringOps() {
+  TypeOps ops;
+  ops.parse = [](std::string_view s) -> Result<Datum> {
+    return Datum::String(std::string(s));
+  };
+  ops.format = [](const Datum& d) { return d.string_value(); };
+  ops.compare = [](const Datum& a, const Datum& b,
+                   const TxContext&) -> Result<int> {
+    const int c = a.string_value().compare(b.string_value());
+    return c < 0 ? -1 : (c == 0 ? 0 : 1);
+  };
+  ops.hash = [](const Datum& d, const TxContext&) -> Result<uint64_t> {
+    return HashBytes(d.string_value().data(), d.string_value().size());
+  };
+  ops.serialize = [](const Datum& d, std::string* out) {
+    out->append(d.string_value());
+  };
+  ops.deserialize = [](std::string_view bytes) -> Result<Datum> {
+    return Datum::String(std::string(bytes));
+  };
+  return ops;
+}
+
+TypeOps NullOps() {
+  TypeOps ops;
+  ops.parse = [](std::string_view) -> Result<Datum> { return Datum::Null(); };
+  ops.format = [](const Datum&) { return std::string("NULL"); };
+  ops.compare = [](const Datum&, const Datum&, const TxContext&)
+      -> Result<int> { return 0; };
+  ops.hash = [](const Datum&, const TxContext&) -> Result<uint64_t> {
+    return uint64_t{0};
+  };
+  ops.serialize = [](const Datum&, std::string*) {};
+  ops.deserialize = [](std::string_view) -> Result<Datum> {
+    return Datum::Null();
+  };
+  return ops;
+}
+
+}  // namespace
+
+TypeRegistry::TypeRegistry() {
+  types_.push_back({TypeId::kNull, "null", NullOps()});
+  types_.push_back({TypeId::kBool, "boolean", BoolOps()});
+  types_.push_back({TypeId::kInt, "int", IntOps()});
+  types_.push_back({TypeId::kDouble, "double", DoubleOps()});
+  types_.push_back({TypeId::kString, "char", StringOps()});
+  for (const TypeInfo& t : types_) {
+    names_.emplace_back(t.name, t.id);
+  }
+  // Conventional SQL spellings.
+  (void)AddAlias("bool", TypeId::kBool);
+  (void)AddAlias("integer", TypeId::kInt);
+  (void)AddAlias("bigint", TypeId::kInt);
+  (void)AddAlias("float", TypeId::kDouble);
+  (void)AddAlias("real", TypeId::kDouble);
+  (void)AddAlias("varchar", TypeId::kString);
+  (void)AddAlias("text", TypeId::kString);
+}
+
+size_t TypeRegistry::SlotOf(TypeId id) const {
+  const int32_t raw = static_cast<int32_t>(id);
+  if (raw >= kFirstExtensionTypeId) {
+    return static_cast<size_t>(raw - kFirstExtensionTypeId) + 5;
+  }
+  assert(raw >= 0 && raw < 5);
+  return static_cast<size_t>(raw);
+}
+
+Result<TypeId> TypeRegistry::RegisterType(std::string_view name,
+                                          TypeOps ops) {
+  std::string lower = ToLowerAscii(name);
+  for (const auto& [existing, id] : names_) {
+    if (existing == lower) {
+      return Status::AlreadyExists("type '" + lower + "' already exists");
+    }
+  }
+  if (!ops.parse || !ops.format) {
+    return Status::InvalidArgument(
+        "type '" + lower + "' must provide parse (input) and format "
+        "(output) functions");
+  }
+  const TypeId id = static_cast<TypeId>(
+      kFirstExtensionTypeId + static_cast<int32_t>(types_.size()) - 5);
+  types_.push_back({id, lower, std::move(ops)});
+  names_.emplace_back(std::move(lower), id);
+  return id;
+}
+
+Result<TypeId> TypeRegistry::RegisterType(
+    std::string_view name, const std::function<TypeOps(TypeId)>& make_ops) {
+  const TypeId next_id = static_cast<TypeId>(
+      kFirstExtensionTypeId + static_cast<int32_t>(types_.size()) - 5);
+  return RegisterType(name, make_ops(next_id));
+}
+
+Result<TypeId> TypeRegistry::FindByName(std::string_view name) const {
+  std::string lower = ToLowerAscii(name);
+  for (const auto& [existing, id] : names_) {
+    if (existing == lower) return id;
+  }
+  return Status::NotFound("unknown type '" + lower + "'");
+}
+
+Status TypeRegistry::AddAlias(std::string_view alias, TypeId id) {
+  std::string lower = ToLowerAscii(alias);
+  for (const auto& [existing, existing_id] : names_) {
+    if (existing == lower) {
+      return Status::AlreadyExists("type name '" + lower +
+                                   "' already exists");
+    }
+  }
+  names_.emplace_back(std::move(lower), id);
+  return Status::OK();
+}
+
+const TypeInfo& TypeRegistry::Get(TypeId id) const {
+  return types_[SlotOf(id)];
+}
+
+std::string TypeRegistry::Format(const Datum& d) const {
+  if (d.is_null()) return "NULL";
+  return Get(d.type_id()).ops.format(d);
+}
+
+Result<int> TypeRegistry::Compare(const Datum& a, const Datum& b,
+                                  const TxContext& ctx) const {
+  if (a.type_id() != b.type_id()) {
+    return Status::TypeError("cannot compare values of type '" +
+                             Get(a.type_id()).name + "' and '" +
+                             Get(b.type_id()).name + "'");
+  }
+  const TypeInfo& info = Get(a.type_id());
+  if (!info.ops.compare) {
+    return Status::TypeError("type '" + info.name + "' is not comparable");
+  }
+  return info.ops.compare(a, b, ctx);
+}
+
+Result<uint64_t> TypeRegistry::Hash(const Datum& d,
+                                    const TxContext& ctx) const {
+  if (d.is_null()) return uint64_t{0x9E3779B97F4A7C15ULL};
+  const TypeInfo& info = Get(d.type_id());
+  if (!info.ops.hash) {
+    return Status::TypeError("type '" + info.name + "' is not hashable");
+  }
+  return info.ops.hash(d, ctx);
+}
+
+std::string TypeRegistry::Serialize(const Datum& d) const {
+  std::string out;
+  if (d.is_null()) return out;
+  const TypeInfo& info = Get(d.type_id());
+  if (info.ops.serialize) {
+    info.ops.serialize(d, &out);
+  } else {
+    out = info.ops.format(d);
+  }
+  return out;
+}
+
+bool TypeRegistry::IsComparable(TypeId id) const {
+  return static_cast<bool>(Get(id).ops.compare);
+}
+
+bool TypeRegistry::IsHashable(TypeId id) const {
+  return static_cast<bool>(Get(id).ops.hash);
+}
+
+}  // namespace tip::engine

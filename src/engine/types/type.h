@@ -1,0 +1,111 @@
+#ifndef TIP_ENGINE_TYPES_TYPE_H_
+#define TIP_ENGINE_TYPES_TYPE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tx_context.h"
+#include "engine/types/datum.h"
+
+namespace tip::engine {
+
+/// The behaviour a type contributes to the engine — the analogue of a
+/// DataBlade opaque type's support functions (input, output, compare,
+/// hash, send/receive). The engine calls through these hooks and never
+/// looks inside extension payloads.
+///
+/// `compare` may consult the transaction context: comparing a Chronon to
+/// a NOW-relative Instant is time-dependent, which is why the hook takes
+/// a TxContext (the paper calls this behaviour out explicitly).
+struct TypeOps {
+  /// Input function: text literal -> value. Required.
+  std::function<Result<Datum>(std::string_view)> parse;
+  /// Output function: value -> text literal. Required.
+  std::function<std::string(const Datum&)> format;
+  /// Three-way comparison (-1/0/+1); null for incomparable types.
+  std::function<Result<int>(const Datum&, const Datum&, const TxContext&)>
+      compare;
+  /// Hash for hash joins / grouping; null if the type is not hashable.
+  /// Must be consistent with `compare` under the same TxContext — which
+  /// is why it also receives the context: a NOW-relative Instant hashes
+  /// its *grounded* chronon so that values that compare equal hash equal.
+  std::function<Result<uint64_t>(const Datum&, const TxContext&)> hash;
+  /// Binary send/receive functions: the "efficient binary format" the
+  /// paper mentions. Required for storage-size accounting and the wire
+  /// protocol; null falls back to the text form.
+  std::function<void(const Datum&, std::string*)> serialize;
+  std::function<Result<Datum>(std::string_view)> deserialize;
+};
+
+/// Catalog entry for one type.
+struct TypeInfo {
+  TypeId id;
+  std::string name;  // canonical lower-case name, e.g. "element"
+  TypeOps ops;
+};
+
+/// Name- and id-addressable registry of every type the engine knows.
+/// Builtins are pre-registered; extensions (the TIP DataBlade's five
+/// types) are added at install time via RegisterType.
+class TypeRegistry {
+ public:
+  TypeRegistry();
+
+  TypeRegistry(const TypeRegistry&) = delete;
+  TypeRegistry& operator=(const TypeRegistry&) = delete;
+
+  /// Registers an extension type under `name` (case-insensitive lookups).
+  /// Fails with AlreadyExists on a duplicate name.
+  Result<TypeId> RegisterType(std::string_view name, TypeOps ops);
+
+  /// Like RegisterType, but the support functions are built by a factory
+  /// that receives the freshly minted id — the usual shape for ops whose
+  /// input function must construct values of the new type.
+  Result<TypeId> RegisterType(
+      std::string_view name,
+      const std::function<TypeOps(TypeId)>& make_ops);
+
+  /// Looks up by canonical or aliased name; NotFound on miss.
+  Result<TypeId> FindByName(std::string_view name) const;
+
+  /// Adds an alternative name for an existing type (e.g. "integer" for
+  /// "int").
+  Status AddAlias(std::string_view alias, TypeId id);
+
+  /// Id lookup. Precondition: `id` was minted by this registry.
+  const TypeInfo& Get(TypeId id) const;
+
+  /// Formats `d` with its type's output function.
+  std::string Format(const Datum& d) const;
+
+  /// Compares two values of the same type; TypeError if the type has no
+  /// comparison support or the ids differ.
+  Result<int> Compare(const Datum& a, const Datum& b,
+                      const TxContext& ctx) const;
+
+  /// Hashes `d` under `ctx`; TypeError if the type is unhashable.
+  Result<uint64_t> Hash(const Datum& d, const TxContext& ctx) const;
+
+  /// Serializes `d` in the type's binary format (text fallback).
+  std::string Serialize(const Datum& d) const;
+
+  /// True iff the type supports ordering comparisons.
+  bool IsComparable(TypeId id) const;
+  /// True iff the type supports hashing.
+  bool IsHashable(TypeId id) const;
+
+ private:
+  std::vector<TypeInfo> types_;                       // indexed by slot
+  std::vector<std::pair<std::string, TypeId>> names_;  // lower-case name map
+
+  size_t SlotOf(TypeId id) const;
+};
+
+}  // namespace tip::engine
+
+#endif  // TIP_ENGINE_TYPES_TYPE_H_

@@ -1,0 +1,163 @@
+#include "layered/layered.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace tip::layered {
+
+namespace {
+
+std::string T(std::string_view s) { return std::string(s); }
+
+}  // namespace
+
+Status CreateFlatPrescriptionTable(engine::Database* db,
+                                   std::string_view name) {
+  const std::string sql =
+      "CREATE TABLE " + T(name) +
+      " (doctor CHAR(20), patient CHAR(20), patientdob INT, drug CHAR(20), "
+      "dosage INT, frequency INT, vstart INT, vend INT)";
+  TIP_ASSIGN_OR_RETURN(engine::ResultSet result, db->Execute(sql));
+  (void)result;
+  return Status::OK();
+}
+
+Status LoadFlatPrescriptions(
+    engine::Database* db,
+    const std::vector<workload::PrescriptionRow>& rows,
+    std::string_view name, const TxContext& ctx) {
+  TIP_ASSIGN_OR_RETURN(engine::Table * table, db->catalog().GetTable(name));
+  if (table->columns().size() != 8) {
+    return Status::InvalidArgument("table '" + T(name) +
+                                   "' does not have the flattened "
+                                   "prescription schema");
+  }
+  for (const workload::PrescriptionRow& row : rows) {
+    // The flattened store has no NOW: ground at load time, as a layered
+    // system must when exporting to a non-temporal schema.
+    TIP_ASSIGN_OR_RETURN(GroundedElement grounded, row.valid.Ground(ctx));
+    for (const GroundedPeriod& p : grounded.periods()) {
+      engine::Row stored;
+      stored.reserve(8);
+      stored.push_back(engine::Datum::String(row.doctor));
+      stored.push_back(engine::Datum::String(row.patient));
+      stored.push_back(engine::Datum::Int(row.patient_dob.seconds()));
+      stored.push_back(engine::Datum::String(row.drug));
+      stored.push_back(engine::Datum::Int(row.dosage));
+      stored.push_back(engine::Datum::Int(row.frequency.seconds()));
+      stored.push_back(engine::Datum::Int(p.start().seconds()));
+      stored.push_back(engine::Datum::Int(p.end().seconds()));
+      table->heap().Insert(std::move(stored));
+    }
+  }
+  return Status::OK();
+}
+
+std::string CoalesceSql(std::string_view table,
+                        std::string_view key_column) {
+  const std::string t = T(table);
+  const std::string k = T(key_column);
+  // Maximal-interval coalescing (Snodgrass): [f.vstart, l.vend] is
+  // reported iff it is fully chained (every interval start inside it is
+  // reachable from an earlier overlapping-or-adjacent interval) and
+  // extendable on neither side. Inclusive endpoints: "adjacent" means
+  // next.vstart <= prev.vend + 1.
+  return "SELECT DISTINCT f." + k + ", f.vstart, l.vend "
+         "FROM " + t + " f, " + t + " l "
+         "WHERE f." + k + " = l." + k + " AND f.vstart <= l.vend "
+         "AND NOT EXISTS ("
+           "SELECT m.vstart FROM " + t + " m "
+           "WHERE m." + k + " = f." + k + " "
+           "AND f.vstart < m.vstart AND m.vstart <= l.vend "
+           "AND NOT EXISTS ("
+             "SELECT a.vstart FROM " + t + " a "
+             "WHERE a." + k + " = f." + k + " "
+             "AND a.vstart < m.vstart AND m.vstart <= a.vend + 1)) "
+         "AND NOT EXISTS ("
+           "SELECT a2.vstart FROM " + t + " a2 "
+           "WHERE a2." + k + " = f." + k + " "
+           "AND (a2.vstart < f.vstart AND f.vstart <= a2.vend + 1 "
+           "OR a2.vend > l.vend AND a2.vstart <= l.vend + 1))";
+}
+
+std::string CoalescedDurationSql(std::string_view table,
+                                 std::string_view key_column) {
+  const std::string k = T(key_column);
+  return "SELECT c." + k + ", SUM(c.vend - c.vstart + 1) AS total FROM (" +
+         CoalesceSql(table, key_column) +
+         ") c GROUP BY c." + k + " ORDER BY c." + k;
+}
+
+Result<engine::ResultSet> RunCoalescedDuration(engine::Database* db,
+                                               std::string_view table,
+                                               std::string_view key_column) {
+  // Step 1: run the coalescing translation.
+  TIP_ASSIGN_OR_RETURN(engine::ResultSet coalesced,
+                       db->Execute(CoalesceSql(table, key_column)));
+  // Step 2: materialize into a scratch table (the external layer's
+  // temp-table round trip).
+  const std::string scratch = "layered_coalesce_scratch";
+  (void)db->Execute("DROP TABLE " + scratch);  // ignore "does not exist"
+  TIP_ASSIGN_OR_RETURN(
+      engine::ResultSet created,
+      db->Execute("CREATE TABLE " + scratch +
+                  " (k CHAR(32), vstart INT, vend INT)"));
+  (void)created;
+  TIP_ASSIGN_OR_RETURN(engine::Table * scratch_table,
+                       db->catalog().GetTable(scratch));
+  for (engine::Row& row : coalesced.rows) {
+    scratch_table->heap().Insert(std::move(row));
+  }
+  // Step 3: aggregate. Inclusive endpoints: duration counts chronons.
+  TIP_ASSIGN_OR_RETURN(
+      engine::ResultSet out,
+      db->Execute("SELECT k, SUM(vend - vstart + 1) AS total FROM " +
+                  scratch + " GROUP BY k ORDER BY k"));
+  TIP_RETURN_IF_ERROR(db->catalog().DropTable(scratch));
+  return out;
+}
+
+std::string TemporalJoinSql(std::string_view table, std::string_view drug1,
+                            std::string_view drug2) {
+  const std::string t = T(table);
+  return "SELECT p1.patient, greatest(p1.vstart, p2.vstart) AS istart, "
+         "least(p1.vend, p2.vend) AS iend "
+         "FROM " + t + " p1, " + t + " p2 "
+         "WHERE p1.drug = '" + T(drug1) + "' AND p2.drug = '" + T(drug2) +
+         "' AND p1.patient = p2.patient "
+         "AND p1.vstart <= p2.vend AND p2.vstart <= p1.vend";
+}
+
+std::string TimesliceSql(std::string_view table) {
+  return "SELECT * FROM " + T(table) +
+         " WHERE vstart <= :t AND :t <= vend";
+}
+
+Result<std::vector<ClientCoalesceResult>> ClientSideCoalesce(
+    engine::Database* db, std::string_view table,
+    std::string_view key_column) {
+  TIP_ASSIGN_OR_RETURN(
+      engine::ResultSet rows,
+      db->Execute("SELECT " + T(key_column) + ", vstart, vend FROM " +
+                  T(table)));
+  std::map<std::string, std::vector<GroundedPeriod>> by_key;
+  for (const engine::Row& row : rows.rows) {
+    TIP_ASSIGN_OR_RETURN(Chronon s,
+                         Chronon::FromSeconds(row[1].int_value()));
+    TIP_ASSIGN_OR_RETURN(Chronon e,
+                         Chronon::FromSeconds(row[2].int_value()));
+    TIP_ASSIGN_OR_RETURN(GroundedPeriod p, GroundedPeriod::Make(s, e));
+    by_key[row[0].string_value()].push_back(p);
+  }
+  std::vector<ClientCoalesceResult> out;
+  out.reserve(by_key.size());
+  for (auto& [key, periods] : by_key) {
+    out.push_back(ClientCoalesceResult{
+        key, GroundedElement::FromPeriods(std::move(periods))});
+  }
+  return out;
+}
+
+}  // namespace tip::layered

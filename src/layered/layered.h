@@ -1,0 +1,89 @@
+#ifndef TIP_LAYERED_LAYERED_H_
+#define TIP_LAYERED_LAYERED_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/element.h"
+#include "core/tx_context.h"
+#include "engine/database.h"
+#include "workload/medical.h"
+
+namespace tip::layered {
+
+/// The *layered* temporal front-end baseline, modelling the TimeDB /
+/// Tiger architecture the paper contrasts itself with (Section 5):
+/// temporal data lives in a vanilla relational schema with no temporal
+/// types — first normal form, one row per validity period, endpoints as
+/// plain INT second counts — and temporal operations are *translated*
+/// into standard SQL executed by the unmodified engine.
+///
+/// The translations below are the textbook ones (Snodgrass, "Developing
+/// Time-Oriented Database Applications in SQL"); their size and shape —
+/// triply-nested NOT EXISTS for coalescing — demonstrate concretely why
+/// the paper argues for building temporal support *into* the DBMS.
+
+/// `CREATE TABLE <name> (doctor, patient, patientdob INT, drug,
+/// dosage INT, frequency INT, vstart INT, vend INT)` — the flattened
+/// prescription schema. Endpoints are inclusive chronon second counts.
+Status CreateFlatPrescriptionTable(engine::Database* db,
+                                   std::string_view name);
+
+/// Flattens and bulk-loads TIP-native rows: one output row per period
+/// of each validity Element, NOW grounded under `ctx` at load time
+/// (the layered store cannot represent NOW).
+Status LoadFlatPrescriptions(
+    engine::Database* db,
+    const std::vector<workload::PrescriptionRow>& rows,
+    std::string_view name, const TxContext& ctx);
+
+// -- Query translations -------------------------------------------------------
+
+/// Standard-SQL coalescing of `(key, vstart, vend)` per `key_column`:
+/// the maximal-interval formulation with nested NOT EXISTS. Returns the
+/// complete SELECT statement (O(n^2) joins with O(n) subqueries each —
+/// the pain point the paper cites as "complex and potentially difficult
+/// to optimize").
+std::string CoalesceSql(std::string_view table, std::string_view key_column);
+
+/// Total coalesced duration per key as one statement: the coalescing
+/// query wrapped as a derived table under the aggregate — the layered
+/// equivalent of the paper's `length(group_union(valid))` (Q3).
+std::string CoalescedDurationSql(std::string_view table,
+                                 std::string_view key_column);
+
+/// The same computation the way a translator without derived-table
+/// support must run it: materialize the coalesced intervals into a
+/// scratch table, aggregate, drop. The extra round trip is part of the
+/// measured layered cost.
+Result<engine::ResultSet> RunCoalescedDuration(engine::Database* db,
+                                               std::string_view table,
+                                               std::string_view key_column);
+
+/// The layered translation of the paper's temporal self-join (Q2): who
+/// took `drug1` and `drug2` simultaneously and when. Emits one row per
+/// overlapping period pair with the intersection endpoints — note the
+/// result is *not* coalesced, unlike TIP's intersect().
+std::string TemporalJoinSql(std::string_view table, std::string_view drug1,
+                            std::string_view drug2);
+
+/// Timeslice: all rows valid at second `t` (named parameter :t).
+std::string TimesliceSql(std::string_view table);
+
+// -- Client-side alternative ---------------------------------------------------
+
+/// The other layered strategy: pull the flattened rows out and coalesce
+/// in the client. Returns per-key coalesced elements, sorted by key.
+struct ClientCoalesceResult {
+  std::string key;
+  GroundedElement coalesced;
+};
+Result<std::vector<ClientCoalesceResult>> ClientSideCoalesce(
+    engine::Database* db, std::string_view table,
+    std::string_view key_column);
+
+}  // namespace tip::layered
+
+#endif  // TIP_LAYERED_LAYERED_H_

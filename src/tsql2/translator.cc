@@ -1,0 +1,244 @@
+#include "tsql2/translator.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "engine/sql/lexer.h"
+
+namespace tip::tsql2 {
+
+namespace {
+
+using engine::Lex;
+using engine::Token;
+using engine::TokenKind;
+
+bool IsKeyword(const Token& t, std::string_view kw) {
+  return t.kind == TokenKind::kIdentifier && EqualsIgnoreCase(t.text, kw);
+}
+
+/// One FROM item of the sequenced query.
+struct FromRef {
+  std::string text;     // original spelling, e.g. "Prescription p1"
+  std::string binding;  // the name to qualify valid with
+};
+
+/// The dissected sequenced SELECT.
+struct Dissection {
+  std::string select_list;
+  std::vector<FromRef> from;
+  std::string where;  // without the WHERE keyword; may be empty
+  std::string tail;   // ORDER BY / LIMIT, verbatim; may be empty
+};
+
+// Returns the byte offset where token `i` starts, or the end of `sql`.
+size_t OffsetOf(const std::vector<Token>& tokens, size_t i,
+                std::string_view sql) {
+  return i < tokens.size() ? tokens[i].offset : sql.size();
+}
+
+Result<Dissection> Dissect(std::string_view sql,
+                           const std::vector<Token>& tokens,
+                           size_t select_pos) {
+  Dissection out;
+  // Locate the top-level clause boundaries (skip parenthesized
+  // subqueries by tracking depth).
+  size_t from_pos = tokens.size(), where_pos = tokens.size(),
+         tail_pos = tokens.size();
+  int depth = 0;
+  for (size_t i = select_pos + 1; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == TokenKind::kOperator) {
+      if (t.text == "(") ++depth;
+      if (t.text == ")") --depth;
+      continue;
+    }
+    if (depth != 0) continue;
+    if (IsKeyword(t, "from") && from_pos == tokens.size()) {
+      from_pos = i;
+    } else if (IsKeyword(t, "where") && where_pos == tokens.size()) {
+      where_pos = i;
+    } else if ((IsKeyword(t, "order") || IsKeyword(t, "limit")) &&
+               tail_pos == tokens.size()) {
+      tail_pos = i;
+    } else if (IsKeyword(t, "group") || IsKeyword(t, "having")) {
+      return Status::NotImplemented(
+          "sequenced VALIDTIME queries do not support GROUP BY/HAVING "
+          "(use NONSEQUENCED VALIDTIME with group_union instead)");
+    } else if (IsKeyword(t, "union") || IsKeyword(t, "intersect") ||
+               IsKeyword(t, "except")) {
+      return Status::NotImplemented(
+          "sequenced VALIDTIME queries do not support set operations");
+    } else if (IsKeyword(t, "join") || IsKeyword(t, "inner")) {
+      return Status::NotImplemented(
+          "sequenced VALIDTIME queries support only comma joins");
+    }
+  }
+  if (from_pos == tokens.size()) {
+    return Status::ParseError("VALIDTIME SELECT requires a FROM clause");
+  }
+
+  out.select_list = std::string(StripAsciiWhitespace(sql.substr(
+      OffsetOf(tokens, select_pos + 1, sql),
+      tokens[from_pos].offset - OffsetOf(tokens, select_pos + 1, sql))));
+
+  // FROM items: identifier [AS] [alias] (, ...)*.
+  size_t i = from_pos + 1;
+  const size_t from_end = std::min(where_pos, tail_pos);
+  while (i < from_end) {
+    if (tokens[i].kind != TokenKind::kIdentifier) {
+      return Status::ParseError("expected table name in FROM");
+    }
+    FromRef ref;
+    const std::string table = tokens[i].text;
+    std::string alias;
+    ++i;
+    if (i < from_end && IsKeyword(tokens[i], "as")) ++i;
+    if (i < from_end && tokens[i].kind == TokenKind::kIdentifier) {
+      alias = tokens[i].text;
+      ++i;
+    }
+    ref.text = alias.empty() ? table : table + " " + alias;
+    ref.binding = alias.empty() ? table : alias;
+    out.from.push_back(std::move(ref));
+    if (i < from_end) {
+      if (tokens[i].kind == TokenKind::kOperator &&
+          tokens[i].text == ",") {
+        ++i;
+        continue;
+      }
+      return Status::ParseError("unexpected token in FROM clause: '" +
+                                tokens[i].text + "'");
+    }
+  }
+  if (out.from.empty()) {
+    return Status::ParseError("VALIDTIME SELECT requires at least one "
+                              "table");
+  }
+
+  if (where_pos < tokens.size()) {
+    const size_t begin = OffsetOf(tokens, where_pos + 1, sql);
+    const size_t end = tail_pos < tokens.size() ? tokens[tail_pos].offset
+                                                : sql.size();
+    out.where = std::string(
+        StripAsciiWhitespace(sql.substr(begin, end - begin)));
+  }
+  if (tail_pos < tokens.size()) {
+    out.tail = std::string(StripAsciiWhitespace(
+        sql.substr(tokens[tail_pos].offset)));
+  }
+  return out;
+}
+
+std::string ValidOf(const FromRef& ref, std::string_view valid_column) {
+  return ref.binding + "." + std::string(valid_column);
+}
+
+// intersect(intersect(a.valid, b.valid), c.valid) ...
+std::string IntersectionExpr(const std::vector<FromRef>& from,
+                             std::string_view valid_column) {
+  std::string expr = ValidOf(from[0], valid_column);
+  for (size_t i = 1; i < from.size(); ++i) {
+    expr = "intersect(" + expr + ", " + ValidOf(from[i], valid_column) +
+           ")";
+  }
+  return expr;
+}
+
+std::string JoinFrom(const std::vector<FromRef>& from) {
+  std::string out;
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].text;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsTemporalStatement(std::string_view tsql2) {
+  Result<std::vector<Token>> tokens = Lex(tsql2);
+  if (!tokens.ok() || tokens->empty()) return false;
+  const std::vector<Token>& t = *tokens;
+  if (IsKeyword(t[0], "validtime")) return true;
+  return t.size() > 1 && IsKeyword(t[0], "nonsequenced") &&
+         IsKeyword(t[1], "validtime");
+}
+
+Result<std::string> Translate(std::string_view tsql2,
+                              std::string_view valid_column) {
+  TIP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(tsql2));
+  if (tokens.empty() || tokens[0].kind != TokenKind::kIdentifier) {
+    return std::string(tsql2);  // not temporal; pass through
+  }
+
+  // NONSEQUENCED VALIDTIME: strip the prefix, run as plain TIP SQL.
+  if (IsKeyword(tokens[0], "nonsequenced")) {
+    if (tokens.size() < 2 || !IsKeyword(tokens[1], "validtime")) {
+      return Status::ParseError("expected VALIDTIME after NONSEQUENCED");
+    }
+    return std::string(
+        StripAsciiWhitespace(tsql2.substr(OffsetOf(tokens, 2, tsql2))));
+  }
+  if (!IsKeyword(tokens[0], "validtime")) {
+    return std::string(tsql2);  // plain SQL passes through untouched
+  }
+
+  // Optional AS OF '<instant>' (timeslice).
+  size_t next = 1;
+  std::string as_of;
+  if (next + 1 < tokens.size() && IsKeyword(tokens[next], "as") &&
+      IsKeyword(tokens[next + 1], "of")) {
+    next += 2;
+    if (next >= tokens.size() || tokens[next].kind != TokenKind::kString) {
+      return Status::ParseError("AS OF requires a quoted instant");
+    }
+    as_of = tokens[next].text;
+    ++next;
+  }
+  if (next >= tokens.size() || !IsKeyword(tokens[next], "select")) {
+    return Status::ParseError("expected SELECT after VALIDTIME");
+  }
+
+  TIP_ASSIGN_OR_RETURN(Dissection q, Dissect(tsql2, tokens, next));
+
+  std::string where;
+  auto and_clause = [&where](const std::string& clause) {
+    if (!where.empty()) where += " AND ";
+    where += clause;
+  };
+  if (!q.where.empty()) where = "(" + q.where + ")";
+
+  std::string select_list = q.select_list;
+  if (!as_of.empty()) {
+    // Timeslice: restrict every operand to the instant; snapshot output.
+    for (const FromRef& ref : q.from) {
+      and_clause("contains(" + ValidOf(ref, valid_column) + ", '" +
+                 as_of + "'::Instant::Chronon)");
+    }
+  } else {
+    // Sequenced semantics: the result is valid exactly when all
+    // operands are simultaneously valid.
+    if (q.from.size() == 1) {
+      and_clause("NOT is_empty(" + ValidOf(q.from[0], valid_column) +
+                 ")");
+    } else if (q.from.size() == 2) {
+      // The two-way case uses overlaps(), which the optimizer can turn
+      // into an interval-index join.
+      and_clause("overlaps(" + ValidOf(q.from[0], valid_column) + ", " +
+                 ValidOf(q.from[1], valid_column) + ")");
+    } else {
+      and_clause("NOT is_empty(" +
+                 IntersectionExpr(q.from, valid_column) + ")");
+    }
+    select_list += ", " + IntersectionExpr(q.from, valid_column) +
+                   " AS " + std::string(valid_column);
+  }
+
+  std::string out = "SELECT " + select_list + " FROM " + JoinFrom(q.from);
+  if (!where.empty()) out += " WHERE " + where;
+  if (!q.tail.empty()) out += " " + q.tail;
+  return out;
+}
+
+}  // namespace tip::tsql2

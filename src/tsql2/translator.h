@@ -1,0 +1,49 @@
+#ifndef TIP_TSQL2_TRANSLATOR_H_
+#define TIP_TSQL2_TRANSLATOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tip::tsql2 {
+
+/// The paper's stated future work: "investigate how closely TIP can
+/// approach a full-featured temporal query language like TSQL2 in
+/// expressive power, while at the same time providing efficient
+/// temporal query execution through its implementation as a DBMS
+/// extension."
+///
+/// This translator implements a TSQL2-flavoured *sequenced* query layer
+/// on top of TIP SQL. Crucially — and unlike TimeDB/Tiger, which
+/// translate temporal queries into large vanilla-SQL programs — the
+/// target here is TIP's own routine vocabulary, so the translations
+/// stay one small statement and execute on the extension's linear
+/// algorithms and indexes:
+///
+///   VALIDTIME SELECT c FROM t1 a, t2 b WHERE p
+///     -->  SELECT c, intersect(a.valid, b.valid) AS valid
+///          FROM t1 a, t2 b
+///          WHERE (p) AND overlaps(a.valid, b.valid)
+///
+///   VALIDTIME AS OF '1998-06-01' SELECT c FROM t a WHERE p
+///     -->  SELECT c FROM t a
+///          WHERE (p) AND contains(a.valid, '1998-06-01'::Chronon)
+///
+///   NONSEQUENCED VALIDTIME SELECT ...   -- prefix stripped; the rest
+///                                       -- runs as plain (TIP) SQL
+///
+/// Every referenced table must carry an Element column named
+/// `valid_column` (default "valid"), per the TSQL2 consensus of
+/// timestamping tuples. Sequenced GROUP BY and sequenced DML are out of
+/// scope (documented future-future work).
+Result<std::string> Translate(std::string_view tsql2,
+                              std::string_view valid_column = "valid");
+
+/// True iff the statement starts with a TSQL2 prefix this translator
+/// understands (VALIDTIME / NONSEQUENCED VALIDTIME).
+bool IsTemporalStatement(std::string_view tsql2);
+
+}  // namespace tip::tsql2
+
+#endif  // TIP_TSQL2_TRANSLATOR_H_

@@ -1,0 +1,173 @@
+#include "workload/medical.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace tip::workload {
+
+namespace {
+
+constexpr int64_t kSecondsPerDay = 86400;
+
+std::string NameFor(const char* prefix, int64_t i) {
+  return StringPrintf("%s%04lld", prefix, static_cast<long long>(i));
+}
+
+}  // namespace
+
+std::vector<PrescriptionRow> GeneratePrescriptions(
+    const MedicalConfig& config) {
+  Rng rng(config.seed);
+  Result<Chronon> base = Chronon::Parse(config.history_start);
+  assert(base.ok());
+  const int64_t base_secs = base->seconds();
+  const int64_t horizon_secs = config.history_days * kSecondsPerDay;
+
+  // Patient dates of birth are stable per patient.
+  std::vector<Chronon> dobs;
+  dobs.reserve(static_cast<size_t>(config.num_patients));
+  for (int p = 0; p < config.num_patients; ++p) {
+    // Born 0..80 years before the history starts.
+    const int64_t age_days = rng.Uniform(0, 80 * 365);
+    Result<Chronon> dob =
+        Chronon::FromSeconds(base_secs - age_days * kSecondsPerDay);
+    dobs.push_back(dob.ok() ? *dob : *base);
+  }
+
+  std::vector<PrescriptionRow> rows;
+  rows.reserve(static_cast<size_t>(config.rows));
+  for (int64_t r = 0; r < config.rows; ++r) {
+    PrescriptionRow row;
+    const int64_t patient = rng.Uniform(0, config.num_patients - 1);
+    row.doctor = NameFor("doctor", rng.Uniform(0, config.num_doctors - 1));
+    row.patient = NameFor("patient", patient);
+    row.patient_dob = dobs[static_cast<size_t>(patient)];
+    row.drug = NameFor("drug", rng.Uniform(0, config.num_drugs - 1));
+    row.dosage = rng.Uniform(1, 4);
+    row.frequency = Span::FromSeconds(rng.Uniform(4, 24) * 3600);
+
+    const int64_t periods = rng.Uniform(config.min_periods,
+                                        config.max_periods);
+    std::vector<Period> valid;
+    valid.reserve(static_cast<size_t>(periods));
+    int64_t cursor =
+        base_secs + rng.Uniform(0, horizon_secs / 2) / kSecondsPerDay *
+                        kSecondsPerDay;
+    const bool open_ended = rng.NextBool(config.now_relative_fraction);
+    for (int64_t i = 0; i < periods; ++i) {
+      const int64_t length_days =
+          rng.Uniform(config.min_period_days, config.max_period_days);
+      const int64_t start = cursor;
+      const int64_t end = start + length_days * kSecondsPerDay;
+      const bool last = i + 1 == periods;
+      if (last && open_ended) {
+        Result<Chronon> s = Chronon::FromSeconds(start);
+        if (s.ok()) {
+          valid.push_back(Period(Instant::Absolute(*s), Instant::Now()));
+        }
+        break;
+      }
+      Result<Chronon> s = Chronon::FromSeconds(start);
+      Result<Chronon> e = Chronon::FromSeconds(end);
+      if (s.ok() && e.ok()) {
+        Result<Period> p =
+            Period::Make(Instant::Absolute(*s), Instant::Absolute(*e));
+        if (p.ok()) valid.push_back(*p);
+      }
+      // Leave a gap of at least two days before the next period so the
+      // element keeps distinct periods.
+      cursor = end + rng.Uniform(2, 60) * kSecondsPerDay;
+    }
+    row.valid = Element::FromPeriods(std::move(valid));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Status CreatePrescriptionTable(engine::Database* db,
+                               std::string_view name) {
+  const std::string sql =
+      "CREATE TABLE " + std::string(name) +
+      " (doctor CHAR(20), patient CHAR(20), patientdob Chronon, "
+      "drug CHAR(20), dosage INT, frequency Span, valid Element)";
+  TIP_ASSIGN_OR_RETURN(engine::ResultSet result, db->Execute(sql));
+  (void)result;
+  return Status::OK();
+}
+
+Status LoadPrescriptions(engine::Database* db,
+                         const datablade::TipTypes& types,
+                         const std::vector<PrescriptionRow>& rows,
+                         std::string_view name) {
+  TIP_ASSIGN_OR_RETURN(engine::Table * table,
+                       db->catalog().GetTable(name));
+  if (table->columns().size() != 7) {
+    return Status::InvalidArgument("table '" + std::string(name) +
+                                   "' does not have the prescription "
+                                   "schema");
+  }
+  for (const PrescriptionRow& row : rows) {
+    engine::Row stored;
+    stored.reserve(7);
+    stored.push_back(engine::Datum::String(row.doctor));
+    stored.push_back(engine::Datum::String(row.patient));
+    stored.push_back(datablade::MakeChronon(types, row.patient_dob));
+    stored.push_back(engine::Datum::String(row.drug));
+    stored.push_back(engine::Datum::Int(row.dosage));
+    stored.push_back(datablade::MakeSpan(types, row.frequency));
+    stored.push_back(datablade::MakeElement(types, row.valid));
+    table->heap().Insert(std::move(stored));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<PrescriptionRow>> SetUpPrescriptionTable(
+    engine::Database* db, const datablade::TipTypes& types,
+    const MedicalConfig& config, std::string_view name) {
+  TIP_RETURN_IF_ERROR(CreatePrescriptionTable(db, name));
+  std::vector<PrescriptionRow> rows = GeneratePrescriptions(config);
+  TIP_RETURN_IF_ERROR(LoadPrescriptions(db, types, rows, name));
+  return rows;
+}
+
+GroundedElement RandomGroundedElement(Rng* rng, size_t periods,
+                                      int64_t base_secs,
+                                      int64_t avg_period_secs,
+                                      int64_t avg_gap_secs) {
+  std::vector<GroundedPeriod> out;
+  out.reserve(periods);
+  int64_t cursor = base_secs;
+  for (size_t i = 0; i < periods; ++i) {
+    const int64_t length = rng->Uniform(1, 2 * avg_period_secs - 1);
+    Result<Chronon> s = Chronon::FromSeconds(cursor);
+    Result<Chronon> e = Chronon::FromSeconds(cursor + length);
+    assert(s.ok() && e.ok());
+    out.push_back(*GroundedPeriod::Make(*s, *e));
+    // Gap of at least 2 chronons keeps periods non-adjacent (canonical).
+    cursor += length + 2 + rng->Uniform(0, 2 * avg_gap_secs);
+  }
+  return GroundedElement::FromPeriods(std::move(out));
+}
+
+Element RandomElement(Rng* rng, const MedicalConfig& config) {
+  Result<Chronon> base = Chronon::Parse(config.history_start);
+  assert(base.ok());
+  const size_t periods = static_cast<size_t>(
+      rng->Uniform(config.min_periods, config.max_periods));
+  GroundedElement grounded = RandomGroundedElement(
+      rng, periods, base->seconds(),
+      (config.min_period_days + config.max_period_days) / 2 * 86400,
+      30 * 86400);
+  Element element = Element::FromGrounded(grounded);
+  if (rng->NextBool(config.now_relative_fraction) && !element.IsEmpty()) {
+    // Re-tag the last period as open-ended.
+    std::vector<Period> periods_copy = element.periods();
+    periods_copy.back() =
+        Period(periods_copy.back().start(), Instant::Now());
+    return Element::FromPeriods(std::move(periods_copy));
+  }
+  return element;
+}
+
+}  // namespace tip::workload

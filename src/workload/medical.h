@@ -1,0 +1,93 @@
+#ifndef TIP_WORKLOAD_MEDICAL_H_
+#define TIP_WORKLOAD_MEDICAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/chronon.h"
+#include "core/element.h"
+#include "core/span.h"
+#include "datablade/datablade.h"
+#include "engine/database.h"
+
+namespace tip::workload {
+
+/// Parameters of the synthetic prescription-history database — the
+/// stand-in for the paper's demo medical dataset (Section 4), made
+/// reproducible: the same config and seed always generate the same
+/// rows.
+struct MedicalConfig {
+  uint64_t seed = 42;
+  int64_t rows = 1000;
+
+  int num_doctors = 20;
+  int num_patients = 200;
+  int num_drugs = 50;
+
+  /// Prescription periods fall inside [history_start, history_start +
+  /// history_days).
+  std::string history_start = "1990-01-01";
+  int64_t history_days = 3650;
+
+  /// Number of periods per validity Element, uniform in
+  /// [min_periods, max_periods].
+  int min_periods = 1;
+  int max_periods = 4;
+  /// Each period lasts between [min_period_days, max_period_days].
+  int64_t min_period_days = 7;
+  int64_t max_period_days = 180;
+
+  /// Fraction of rows whose last period is open-ended ([start, NOW]):
+  /// prescriptions still running.
+  double now_relative_fraction = 0.1;
+};
+
+/// One generated prescription row, in TIP-native form.
+struct PrescriptionRow {
+  std::string doctor;
+  std::string patient;
+  Chronon patient_dob;
+  std::string drug;
+  int64_t dosage;
+  Span frequency;
+  Element valid;
+};
+
+/// Generates `config.rows` prescription rows deterministically.
+std::vector<PrescriptionRow> GeneratePrescriptions(
+    const MedicalConfig& config);
+
+/// `CREATE TABLE <name> (doctor CHAR, patient CHAR, patientdob Chronon,
+/// drug CHAR, dosage INT, frequency Span, valid Element)`.
+Status CreatePrescriptionTable(engine::Database* db, std::string_view name);
+
+/// Bulk-loads `rows` into table `name` through the storage layer
+/// (bypassing SQL parsing; benchmarks load tens of thousands of rows).
+Status LoadPrescriptions(engine::Database* db,
+                         const datablade::TipTypes& types,
+                         const std::vector<PrescriptionRow>& rows,
+                         std::string_view name);
+
+/// Convenience: create + generate + load; returns the generated rows.
+Result<std::vector<PrescriptionRow>> SetUpPrescriptionTable(
+    engine::Database* db, const datablade::TipTypes& types,
+    const MedicalConfig& config, std::string_view name);
+
+// -- Element generators for microbenchmarks ----------------------------------
+
+/// A random canonical grounded element with exactly `periods` periods,
+/// gaps and lengths drawn from `rng` within [base, base + spread_secs).
+GroundedElement RandomGroundedElement(Rng* rng, size_t periods,
+                                      int64_t base_secs,
+                                      int64_t avg_period_secs,
+                                      int64_t avg_gap_secs);
+
+/// A random (possibly NOW-relative) element with up to `max_periods`.
+Element RandomElement(Rng* rng, const MedicalConfig& config);
+
+}  // namespace tip::workload
+
+#endif  // TIP_WORKLOAD_MEDICAL_H_

@@ -1,0 +1,114 @@
+#include "capi/tip_c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+/// The C client library, exercised from gtest. Handles must behave like
+/// C handles: NULL-safe, owning their strings, no exceptions.
+class CApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    conn_ = tip_open();
+    ASSERT_NE(conn_, nullptr);
+    ASSERT_EQ(tip_set_now(conn_, "1999-11-15"), 0);
+    Must("CREATE TABLE t (name CHAR(8), n INT, x DOUBLE, v Element)");
+    Must("INSERT INTO t VALUES ('a', 1, 0.5, '{[1999-01-01, NOW]}'), "
+         "('b', NULL, NULL, NULL)");
+  }
+
+  void TearDown() override { tip_close(conn_); }
+
+  void Must(const char* sql) {
+    ASSERT_EQ(tip_exec(conn_, sql, nullptr), 0) << tip_last_error(conn_);
+  }
+
+  tip_connection* conn_ = nullptr;
+};
+
+TEST_F(CApiTest, QueryAndMetadata) {
+  tip_result* result = nullptr;
+  ASSERT_EQ(tip_exec(conn_, "SELECT name, n, x, v FROM t ORDER BY name",
+                     &result),
+            0);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(tip_result_row_count(result), 2u);
+  EXPECT_EQ(tip_result_column_count(result), 4u);
+  EXPECT_STREQ(tip_result_column_name(result, 0), "name");
+  EXPECT_STREQ(tip_result_column_type(result, 1), "int");
+  EXPECT_STREQ(tip_result_column_type(result, 3), "element");
+  EXPECT_STREQ(tip_result_text(result, 0, 0), "a");
+  EXPECT_EQ(tip_result_int64(result, 0, 1), 1);
+  EXPECT_DOUBLE_EQ(tip_result_double(result, 0, 2), 0.5);
+  EXPECT_STREQ(tip_result_text(result, 0, 3), "{[1999-01-01, NOW]}");
+  EXPECT_EQ(tip_result_is_null(result, 1, 1), 1);
+  EXPECT_EQ(tip_result_is_null(result, 0, 1), 0);
+  // Cached text pointers stay stable across repeated calls.
+  const char* first = tip_result_text(result, 0, 3);
+  EXPECT_EQ(first, tip_result_text(result, 0, 3));
+  tip_result_free(result);
+}
+
+TEST_F(CApiTest, ErrorsAreReported) {
+  tip_result* result = reinterpret_cast<tip_result*>(0x1);
+  EXPECT_EQ(tip_exec(conn_, "SELECT nosuch FROM t", &result), -1);
+  EXPECT_EQ(result, nullptr);  // out param reset on failure
+  EXPECT_NE(std::string(tip_last_error(conn_)).find("nosuch"),
+            std::string::npos);
+  // A successful call clears the error.
+  Must("SELECT 1");
+  EXPECT_STREQ(tip_last_error(conn_), "");
+  EXPECT_EQ(tip_set_now(conn_, "not a date"), -1);
+  EXPECT_NE(std::string(tip_last_error(conn_)).find("ParseError"),
+            std::string::npos);
+}
+
+TEST_F(CApiTest, NowOverrideChangesAnswers) {
+  tip_result* result = nullptr;
+  ASSERT_EQ(tip_exec(conn_,
+                     "SELECT length(v) / '1'::Span FROM t "
+                     "WHERE name = 'a'",
+                     &result),
+            0);
+  const long long days_at_nov = tip_result_int64(result, 0, 0);
+  tip_result_free(result);
+  ASSERT_EQ(tip_set_now(conn_, "1999-12-15"), 0);
+  ASSERT_EQ(tip_exec(conn_,
+                     "SELECT length(v) / '1'::Span FROM t "
+                     "WHERE name = 'a'",
+                     &result),
+            0);
+  EXPECT_EQ(tip_result_int64(result, 0, 0) - days_at_nov, 30);
+  tip_result_free(result);
+  EXPECT_EQ(tip_clear_now(conn_), 0);
+}
+
+TEST_F(CApiTest, DmlReportsAffectedRows) {
+  tip_result* result = nullptr;
+  ASSERT_EQ(tip_exec(conn_, "UPDATE t SET n = 9", &result), 0);
+  EXPECT_EQ(tip_result_affected_rows(result), 2);
+  EXPECT_EQ(tip_result_column_count(result), 0u);
+  tip_result_free(result);
+}
+
+TEST_F(CApiTest, NullSafety) {
+  EXPECT_EQ(tip_exec(nullptr, "SELECT 1", nullptr), -1);
+  EXPECT_EQ(tip_exec(conn_, nullptr, nullptr), -1);
+  EXPECT_EQ(tip_set_now(nullptr, "1999-01-01"), -1);
+  EXPECT_STREQ(tip_last_error(nullptr), "null connection");
+  EXPECT_EQ(tip_result_row_count(nullptr), 0u);
+  EXPECT_EQ(tip_result_text(nullptr, 0, 0), nullptr);
+  EXPECT_EQ(tip_result_is_null(nullptr, 0, 0), 1);
+  tip_result_free(nullptr);  // no-op, like free()
+
+  tip_result* result = nullptr;
+  ASSERT_EQ(tip_exec(conn_, "SELECT 1", &result), 0);
+  EXPECT_EQ(tip_result_text(result, 5, 0), nullptr);  // out of range
+  EXPECT_EQ(tip_result_column_name(result, 9), nullptr);
+  EXPECT_EQ(tip_result_int64(result, 0, 9), 0);
+  tip_result_free(result);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace tip {
+namespace {
+
+TEST(StringUtilTest, Strip) {
+  EXPECT_EQ(StripAsciiWhitespace("  a b  "), "a b");
+  EXPECT_EQ(StripAsciiWhitespace("\t\nx\r "), "x");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, Split) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, CaseInsensitiveEquality) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("ChRoNoN", "chronon"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLowerAscii("AbC1"), "abc1");
+  EXPECT_EQ(ToUpperAscii("aBc1"), "ABC1");
+}
+
+TEST(StringUtilTest, ParseInt64Basics) {
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_EQ(*ParseInt64("+7"), 7);
+  EXPECT_EQ(*ParseInt64("  13 "), 13);
+}
+
+TEST(StringUtilTest, ParseInt64Limits) {
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(*ParseInt64("-9223372036854775808"), INT64_MIN);
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").ok());
+}
+
+TEST(StringUtilTest, ParseInt64Rejects) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("-").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2e3"), -2000.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.5garbage").ok());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, Printf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 4, "x"), "4-x");
+  EXPECT_EQ(StringPrintf("%s", std::string(300, 'a').c_str()),
+            std::string(300, 'a'));
+}
+
+}  // namespace
+}  // namespace tip

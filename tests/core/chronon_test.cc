@@ -1,0 +1,156 @@
+#include "core/chronon.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/span.h"
+
+namespace tip {
+namespace {
+
+TEST(ChrononTest, EpochDefault) {
+  Chronon c;
+  EXPECT_EQ(c.seconds(), 0);
+  EXPECT_EQ(c.ToString(), "1970-01-01");
+}
+
+TEST(ChrononTest, ParseDateOnly) {
+  Result<Chronon> c = Chronon::Parse("1999-10-31");
+  ASSERT_TRUE(c.ok());
+  CivilTime civil = c->ToCivil();
+  EXPECT_EQ(civil.year, 1999);
+  EXPECT_EQ(civil.month, 10);
+  EXPECT_EQ(civil.day, 31);
+  EXPECT_EQ(civil.hour, 0);
+}
+
+TEST(ChrononTest, ParseDateTime) {
+  Result<Chronon> c = Chronon::Parse("1999-10-31 23:59:59");
+  ASSERT_TRUE(c.ok());
+  CivilTime civil = c->ToCivil();
+  EXPECT_EQ(civil.hour, 23);
+  EXPECT_EQ(civil.minute, 59);
+  EXPECT_EQ(civil.second, 59);
+}
+
+TEST(ChrononTest, FormatMatchesPaperNotation) {
+  // Date-only when midnight; full form otherwise (the paper's notation).
+  EXPECT_EQ(Chronon::Parse("1999-10-31")->ToString(), "1999-10-31");
+  EXPECT_EQ(Chronon::Parse("1999-10-31 23:59:59")->ToString(),
+            "1999-10-31 23:59:59");
+  EXPECT_EQ(Chronon::Parse("0099-01-02")->ToString(), "0099-01-02");
+}
+
+TEST(ChrononTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Chronon::Parse("").ok());
+  EXPECT_FALSE(Chronon::Parse("1999").ok());
+  EXPECT_FALSE(Chronon::Parse("1999-13-01").ok());
+  EXPECT_FALSE(Chronon::Parse("1999-02-30").ok());
+  EXPECT_FALSE(Chronon::Parse("1999-10-31x").ok());
+  EXPECT_FALSE(Chronon::Parse("1999-10-31 25:00:00").ok());
+  EXPECT_FALSE(Chronon::Parse("1999-10-31 10:65:00").ok());
+  EXPECT_FALSE(Chronon::Parse("1999-10-31 10:00").ok());
+}
+
+TEST(ChrononTest, Y2KCompliant) {
+  // The paper jokes about this; make it checkable.
+  Result<Chronon> before = Chronon::Parse("1999-12-31 23:59:59");
+  Result<Chronon> after = Chronon::Parse("2000-01-01");
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->seconds() - before->seconds(), 1);
+  EXPECT_TRUE(internal::IsLeapYear(2000));  // 400-year rule
+  EXPECT_FALSE(internal::IsLeapYear(1900));
+  EXPECT_EQ(internal::DaysInMonth(2000, 2), 29);
+  EXPECT_EQ(internal::DaysInMonth(1900, 2), 28);
+}
+
+TEST(ChrononTest, CalendarRangeBounds) {
+  EXPECT_EQ(Chronon::Min().ToCivil().year, 1);
+  EXPECT_EQ(Chronon::Max().ToCivil().year, 9999);
+  EXPECT_FALSE(Chronon::FromSeconds(Chronon::Min().seconds() - 1).ok());
+  EXPECT_FALSE(Chronon::FromSeconds(Chronon::Max().seconds() + 1).ok());
+  EXPECT_TRUE(Chronon::FromSeconds(Chronon::Min().seconds()).ok());
+  EXPECT_TRUE(Chronon::FromSeconds(Chronon::Max().seconds()).ok());
+}
+
+TEST(ChrononTest, FromCivilValidation) {
+  EXPECT_FALSE(Chronon::FromCivil({0, 1, 1, 0, 0, 0}).ok());
+  EXPECT_FALSE(Chronon::FromCivil({10000, 1, 1, 0, 0, 0}).ok());
+  EXPECT_FALSE(Chronon::FromCivil({2000, 0, 1, 0, 0, 0}).ok());
+  EXPECT_FALSE(Chronon::FromCivil({2000, 1, 32, 0, 0, 0}).ok());
+  EXPECT_FALSE(Chronon::FromCivil({2000, 1, 1, 24, 0, 0}).ok());
+  EXPECT_TRUE(Chronon::FromCivil({2000, 2, 29, 23, 59, 59}).ok());
+  EXPECT_FALSE(Chronon::FromCivil({1999, 2, 29, 0, 0, 0}).ok());
+}
+
+TEST(ChrononTest, RoundTripCivilPropertyRandom) {
+  // Random seconds inside the calendar range survive
+  // ToCivil -> FromCivil and Parse -> ToString round trips.
+  Rng rng(2026);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t s = rng.Uniform(Chronon::Min().seconds(),
+                            Chronon::Max().seconds());
+    Result<Chronon> c = Chronon::FromSeconds(s);
+    ASSERT_TRUE(c.ok());
+    Result<Chronon> back = Chronon::FromCivil(c->ToCivil());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->seconds(), s);
+    Result<Chronon> reparsed = Chronon::Parse(c->ToString());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed->seconds(), s);
+  }
+}
+
+TEST(ChrononTest, DaysFromCivilKnownAnchors) {
+  EXPECT_EQ(internal::DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(internal::DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(internal::DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(internal::DaysFromCivil(2000, 3, 1), 11017);
+}
+
+TEST(ChrononTest, ArithmeticWithSpan) {
+  Chronon c = *Chronon::Parse("1999-11-01");
+  Result<Chronon> next = c.Add(*Span::FromDays(1));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->ToString(), "1999-11-02");
+  Result<Chronon> prev = c.Subtract(*Span::FromDays(1));
+  ASSERT_TRUE(prev.ok());
+  EXPECT_EQ(prev->ToString(), "1999-10-31");
+  EXPECT_EQ(next->Since(*prev).seconds(), 2 * 86400);
+}
+
+TEST(ChrononTest, ArithmeticRangeChecked) {
+  EXPECT_FALSE(Chronon::Max().Add(Span::FromSeconds(1)).ok());
+  EXPECT_FALSE(Chronon::Min().Subtract(Span::FromSeconds(1)).ok());
+  EXPECT_FALSE(Chronon().Add(Span::FromSeconds(INT64_MAX)).ok());
+  EXPECT_FALSE(Chronon().Subtract(Span::FromSeconds(INT64_MIN)).ok());
+}
+
+TEST(ChrononTest, Ordering) {
+  Chronon a = *Chronon::Parse("1999-01-01");
+  Chronon b = *Chronon::Parse("1999-01-02");
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, a);
+  EXPECT_GE(b, a);
+}
+
+// Month-length sweep: every month of a leap and non-leap year parses at
+// its last day and rejects one past it.
+class MonthParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonthParam, LastDayBoundary) {
+  const int month = GetParam();
+  for (int year : {1999, 2000}) {
+    const int32_t last = internal::DaysInMonth(year, month);
+    CivilTime ok{year, month, last, 0, 0, 0};
+    EXPECT_TRUE(Chronon::FromCivil(ok).ok());
+    CivilTime bad{year, month, last + 1, 0, 0, 0};
+    EXPECT_FALSE(Chronon::FromCivil(bad).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMonths, MonthParam, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace tip

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/element.h"
+#include "core/element_reference.h"
+
+namespace tip {
+namespace {
+
+// Randomized differential testing: the linear-merge Element algebra
+// must agree with the chronon-set reference implementation on every
+// operation, and satisfy the usual algebraic laws. Small universes
+// ([0, 60)) keep the exploded sets cheap while exercising every overlap
+// configuration.
+
+GroundedElement RandomSmallElement(Rng* rng) {
+  const int64_t n = rng->Uniform(0, 5);
+  std::vector<GroundedPeriod> periods;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t s = rng->Uniform(0, 50);
+    const int64_t e = s + rng->Uniform(0, 12);
+    periods.push_back(*GroundedPeriod::Make(*Chronon::FromSeconds(s),
+                                            *Chronon::FromSeconds(e)));
+  }
+  return GroundedElement::FromPeriods(std::move(periods));
+}
+
+class ElementPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ElementPropertyTest, MatchesSetSemantics) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    GroundedElement a = RandomSmallElement(&rng);
+    GroundedElement b = RandomSmallElement(&rng);
+    EXPECT_EQ(GroundedElement::Union(a, b), reference::SetUnion(a, b));
+    EXPECT_EQ(GroundedElement::Intersect(a, b),
+              reference::SetIntersect(a, b));
+    EXPECT_EQ(GroundedElement::Difference(a, b),
+              reference::SetDifference(a, b));
+    EXPECT_EQ(a.Overlaps(b), reference::SetOverlaps(a, b));
+    EXPECT_EQ(a.Contains(b), reference::SetContains(a, b));
+  }
+}
+
+TEST_P(ElementPropertyTest, MatchesQuadraticPeriodAlgebra) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  for (int iter = 0; iter < 200; ++iter) {
+    GroundedElement a = RandomSmallElement(&rng);
+    GroundedElement b = RandomSmallElement(&rng);
+    EXPECT_EQ(GroundedElement::Union(a, b),
+              reference::QuadraticUnion(a, b));
+    EXPECT_EQ(GroundedElement::Intersect(a, b),
+              reference::QuadraticIntersect(a, b));
+    EXPECT_EQ(a.Overlaps(b), reference::QuadraticOverlaps(a, b));
+  }
+}
+
+TEST_P(ElementPropertyTest, AlgebraicLaws) {
+  Rng rng(GetParam() ^ 0x5EED);
+  for (int iter = 0; iter < 200; ++iter) {
+    GroundedElement a = RandomSmallElement(&rng);
+    GroundedElement b = RandomSmallElement(&rng);
+    GroundedElement c = RandomSmallElement(&rng);
+
+    // Commutativity.
+    EXPECT_EQ(GroundedElement::Union(a, b), GroundedElement::Union(b, a));
+    EXPECT_EQ(GroundedElement::Intersect(a, b),
+              GroundedElement::Intersect(b, a));
+    // Associativity.
+    EXPECT_EQ(
+        GroundedElement::Union(GroundedElement::Union(a, b), c),
+        GroundedElement::Union(a, GroundedElement::Union(b, c)));
+    EXPECT_EQ(
+        GroundedElement::Intersect(GroundedElement::Intersect(a, b), c),
+        GroundedElement::Intersect(a, GroundedElement::Intersect(b, c)));
+    // Idempotence / identity / annihilation.
+    EXPECT_EQ(GroundedElement::Union(a, a), a);
+    EXPECT_EQ(GroundedElement::Intersect(a, a), a);
+    EXPECT_EQ(GroundedElement::Union(a, GroundedElement()), a);
+    EXPECT_TRUE(
+        GroundedElement::Intersect(a, GroundedElement()).IsEmpty());
+    // Difference identities: (a \ b) ∪ (a ∩ b) == a, disjointly.
+    GroundedElement diff = GroundedElement::Difference(a, b);
+    GroundedElement inter = GroundedElement::Intersect(a, b);
+    EXPECT_EQ(GroundedElement::Union(diff, inter), a);
+    EXPECT_FALSE(diff.Overlaps(inter));
+    EXPECT_FALSE(diff.Overlaps(b));
+    // Absorption: a ∩ (a ∪ b) == a; a ∪ (a ∩ b) == a.
+    EXPECT_EQ(GroundedElement::Intersect(a, GroundedElement::Union(a, b)),
+              a);
+    EXPECT_EQ(GroundedElement::Union(a, GroundedElement::Intersect(a, b)),
+              a);
+    // Duration is modular: |a| + |b| == |a ∪ b| + |a ∩ b|.
+    EXPECT_EQ(a.TotalDuration().seconds() + b.TotalDuration().seconds(),
+              GroundedElement::Union(a, b).TotalDuration().seconds() +
+                  inter.TotalDuration().seconds());
+    // Containment is consistent with union/intersection.
+    EXPECT_TRUE(GroundedElement::Union(a, b).Contains(a));
+    EXPECT_TRUE(a.Contains(inter));
+  }
+}
+
+TEST_P(ElementPropertyTest, CanonicalFormInvariant) {
+  Rng rng(GetParam() ^ 0xCAFE);
+  for (int iter = 0; iter < 300; ++iter) {
+    GroundedElement a = RandomSmallElement(&rng);
+    GroundedElement b = RandomSmallElement(&rng);
+    for (const GroundedElement* e :
+         {&a, &b}) {
+      for (size_t i = 1; i < e->periods().size(); ++i) {
+        // Sorted, disjoint, non-adjacent.
+        EXPECT_LT(e->periods()[i - 1].end().seconds() + 1,
+                  e->periods()[i].start().seconds());
+      }
+    }
+    for (GroundedElement e : {GroundedElement::Union(a, b),
+                              GroundedElement::Intersect(a, b),
+                              GroundedElement::Difference(a, b)}) {
+      for (size_t i = 1; i < e.periods().size(); ++i) {
+        EXPECT_LT(e.periods()[i - 1].end().seconds() + 1,
+                  e.periods()[i].start().seconds());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElementPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace tip

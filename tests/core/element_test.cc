@@ -1,0 +1,199 @@
+#include "core/element.h"
+
+#include <gtest/gtest.h>
+
+namespace tip {
+namespace {
+
+TxContext Ctx(const char* now) { return TxContext(*Chronon::Parse(now)); }
+
+GroundedPeriod GP(int64_t start, int64_t end) {
+  return *GroundedPeriod::Make(*Chronon::FromSeconds(start),
+                               *Chronon::FromSeconds(end));
+}
+
+GroundedElement GE(std::vector<std::pair<int64_t, int64_t>> periods) {
+  std::vector<GroundedPeriod> out;
+  for (auto [s, e] : periods) out.push_back(GP(s, e));
+  return GroundedElement::FromPeriods(std::move(out));
+}
+
+TEST(GroundedElementTest, NormalizationSortsAndCoalesces) {
+  GroundedElement e = GE({{30, 40}, {10, 15}, {14, 20}, {21, 25}});
+  // 10..15 merges with 14..20 (overlap) and 21..25 (adjacent).
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e.periods()[0], GP(10, 25));
+  EXPECT_EQ(e.periods()[1], GP(30, 40));
+}
+
+TEST(GroundedElementTest, AlreadyCanonicalInputIsPreserved) {
+  GroundedElement e = GE({{1, 2}, {5, 6}, {9, 9}});
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e.periods()[1], GP(5, 6));
+}
+
+TEST(GroundedElementTest, UnionMergesAcrossOperands) {
+  GroundedElement a = GE({{1, 5}, {20, 30}});
+  GroundedElement b = GE({{6, 10}, {40, 50}});
+  GroundedElement u = GroundedElement::Union(a, b);
+  // {1..5} and {6..10} are adjacent -> coalesce.
+  ASSERT_EQ(u.size(), 3u);
+  EXPECT_EQ(u.periods()[0], GP(1, 10));
+  EXPECT_EQ(u.periods()[1], GP(20, 30));
+  EXPECT_EQ(u.periods()[2], GP(40, 50));
+}
+
+TEST(GroundedElementTest, UnionWithEmpty) {
+  GroundedElement a = GE({{1, 5}});
+  EXPECT_EQ(GroundedElement::Union(a, GroundedElement()), a);
+  EXPECT_EQ(GroundedElement::Union(GroundedElement(), a), a);
+  EXPECT_TRUE(GroundedElement::Union(GroundedElement(),
+                                     GroundedElement()).IsEmpty());
+}
+
+TEST(GroundedElementTest, IntersectBasics) {
+  GroundedElement a = GE({{1, 10}, {20, 30}});
+  GroundedElement b = GE({{5, 25}});
+  GroundedElement i = GroundedElement::Intersect(a, b);
+  ASSERT_EQ(i.size(), 2u);
+  EXPECT_EQ(i.periods()[0], GP(5, 10));
+  EXPECT_EQ(i.periods()[1], GP(20, 25));
+  EXPECT_TRUE(GroundedElement::Intersect(a, GroundedElement()).IsEmpty());
+}
+
+TEST(GroundedElementTest, DifferenceBasics) {
+  GroundedElement a = GE({{1, 10}, {20, 30}});
+  GroundedElement b = GE({{5, 22}});
+  GroundedElement d = GroundedElement::Difference(a, b);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.periods()[0], GP(1, 4));
+  EXPECT_EQ(d.periods()[1], GP(23, 30));
+  EXPECT_EQ(GroundedElement::Difference(a, GroundedElement()), a);
+  EXPECT_TRUE(GroundedElement::Difference(a, a).IsEmpty());
+}
+
+TEST(GroundedElementTest, DifferenceSplitsInMiddle) {
+  GroundedElement a = GE({{1, 30}});
+  GroundedElement b = GE({{5, 8}, {15, 18}});
+  GroundedElement d = GroundedElement::Difference(a, b);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.periods()[0], GP(1, 4));
+  EXPECT_EQ(d.periods()[1], GP(9, 14));
+  EXPECT_EQ(d.periods()[2], GP(19, 30));
+}
+
+TEST(GroundedElementTest, OverlapsAndContains) {
+  GroundedElement a = GE({{1, 10}, {20, 30}});
+  EXPECT_TRUE(a.Overlaps(GE({{10, 12}})));
+  EXPECT_FALSE(a.Overlaps(GE({{11, 19}})));
+  EXPECT_TRUE(a.Contains(GE({{2, 5}, {25, 30}})));
+  EXPECT_FALSE(a.Contains(GE({{2, 11}})));
+  EXPECT_TRUE(a.Contains(GroundedElement()));
+  EXPECT_FALSE(GroundedElement().Contains(a));
+  EXPECT_TRUE(a.Contains(*Chronon::FromSeconds(25)));
+  EXPECT_FALSE(a.Contains(*Chronon::FromSeconds(15)));
+}
+
+TEST(GroundedElementTest, TotalDurationAndExtent) {
+  GroundedElement a = GE({{1, 10}, {20, 30}});
+  EXPECT_EQ(a.TotalDuration().seconds(), 10 + 11);
+  EXPECT_EQ(a.Extent(), GP(1, 30));
+  EXPECT_TRUE(GroundedElement().TotalDuration().IsZero());
+}
+
+TEST(ElementTest, PaperLiteralRoundTrip) {
+  const char* text = "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}";
+  Result<Element> e = Element::Parse(text);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->ToString(), text);
+  EXPECT_EQ(e->size(), 2u);
+  EXPECT_TRUE(e->is_absolute());
+}
+
+TEST(ElementTest, EmptyLiteral) {
+  Result<Element> e = Element::Parse("{}");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->IsEmpty());
+  EXPECT_EQ(e->ToString(), "{}");
+}
+
+TEST(ElementTest, NowRelativeLiteralPreservedVerbatim) {
+  Result<Element> e = Element::Parse("{[1999-10-01, NOW]}");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e->is_absolute());
+  EXPECT_EQ(e->ToString(), "{[1999-10-01, NOW]}");
+  GroundedElement g = *e->Ground(Ctx("1999-11-15"));
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.periods()[0].end().ToString(), "1999-11-15");
+}
+
+TEST(ElementTest, ParseRejects) {
+  EXPECT_FALSE(Element::Parse("[1999-01-01, NOW]").ok());
+  EXPECT_FALSE(Element::Parse("{[1999-01-01, NOW]").ok());
+  EXPECT_FALSE(Element::Parse("{[a,b]}").ok());
+  EXPECT_FALSE(Element::Parse("{[1999-01-01, NOW] [NOW, NOW]}").ok());
+  EXPECT_FALSE(Element::Parse("{1999-01-01}").ok());
+}
+
+TEST(ElementTest, AbsoluteInputsEagerlyCanonicalized) {
+  Result<Element> e =
+      Element::Parse("{[1999-02-01, 1999-03-01], [1999-01-01, 1999-02-15]}");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->is_absolute());
+  EXPECT_EQ(e->ToString(), "{[1999-01-01, 1999-03-01]}");
+}
+
+TEST(ElementTest, GroundingCanCoalesceNowRelativeGaps) {
+  // [1999-01-01, 1999-06-30] and [NOW, NOW] merge once NOW falls inside.
+  Element e = *Element::Parse("{[1999-01-01, 1999-06-30], [NOW, NOW]}");
+  EXPECT_EQ(e.Ground(Ctx("1999-03-01"))->size(), 1u);
+  EXPECT_EQ(e.Ground(Ctx("1999-09-01"))->size(), 2u);
+}
+
+TEST(ElementTest, RoutineWrappersGroundAndCompute) {
+  TxContext ctx = Ctx("1999-11-15");
+  Element a = *Element::Parse("{[1999-01-01, 1999-01-31]}");
+  Element b = *Element::Parse("{[1999-01-20, 1999-02-10]}");
+  EXPECT_EQ(ElementUnion(a, b, ctx)->ToString(),
+            "{[1999-01-01, 1999-02-10]}");
+  EXPECT_EQ(ElementIntersect(a, b, ctx)->ToString(),
+            "{[1999-01-20, 1999-01-31]}");
+  EXPECT_EQ(ElementDifference(a, b, ctx)->ToString(),
+            "{[1999-01-01, 1999-01-19 23:59:59]}");
+  EXPECT_TRUE(*ElementOverlaps(a, b, ctx));
+  EXPECT_FALSE(*ElementContains(a, b, ctx));
+  EXPECT_EQ(ElementStart(a, ctx)->ToString(), "1999-01-01");
+  EXPECT_EQ(ElementEnd(a, ctx)->ToString(), "1999-01-31");
+  EXPECT_EQ(ElementLength(a, ctx)->seconds(), 30 * 86400 + 1);
+}
+
+TEST(ElementTest, InvertedNowPeriodsGroundToNothing) {
+  // {[1999-10-01, NOW]} browsed before its start denotes no time (the
+  // what-if semantics); other periods of the element survive.
+  Element e = *Element::Parse(
+      "{[1999-01-01, 1999-02-01], [1999-10-01, NOW]}");
+  Result<GroundedElement> early = e.Ground(Ctx("1999-09-17"));
+  ASSERT_TRUE(early.ok());
+  ASSERT_EQ(early->size(), 1u);
+  EXPECT_EQ(early->periods()[0].end().ToString(), "1999-02-01");
+  // Fully inverted element grounds empty (not an error).
+  Element open_only = *Element::Parse("{[1999-10-01, NOW]}");
+  EXPECT_TRUE(open_only.Ground(Ctx("1999-09-17"))->IsEmpty());
+  EXPECT_FALSE(open_only.Ground(Ctx("1999-10-15"))->IsEmpty());
+  // The scalar Period keeps the strict error.
+  Period p = *Period::Parse("[1999-10-01, NOW]");
+  EXPECT_FALSE(p.Ground(Ctx("1999-09-17")).ok());
+}
+
+TEST(ElementTest, AccessorsFailOnEmpty) {
+  TxContext ctx = Ctx("1999-11-15");
+  Element empty;
+  EXPECT_FALSE(ElementStart(empty, ctx).ok());
+  EXPECT_FALSE(ElementEnd(empty, ctx).ok());
+  EXPECT_FALSE(ElementFirst(empty, ctx).ok());
+  EXPECT_FALSE(ElementLast(empty, ctx).ok());
+  EXPECT_EQ(ElementLength(empty, ctx)->seconds(), 0);
+}
+
+}  // namespace
+}  // namespace tip

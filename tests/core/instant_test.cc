@@ -1,0 +1,109 @@
+#include "core/instant.h"
+
+#include <gtest/gtest.h>
+
+namespace tip {
+namespace {
+
+TxContext Ctx(const char* now) {
+  return TxContext(*Chronon::Parse(now));
+}
+
+TEST(InstantTest, AbsoluteBasics) {
+  Instant i = Instant::Absolute(*Chronon::Parse("1999-10-31"));
+  EXPECT_TRUE(i.is_absolute());
+  EXPECT_FALSE(i.is_now_relative());
+  EXPECT_EQ(i.chronon().ToString(), "1999-10-31");
+  EXPECT_EQ(i.ToString(), "1999-10-31");
+}
+
+TEST(InstantTest, NowRelativeBasics) {
+  Instant now = Instant::Now();
+  EXPECT_TRUE(now.is_now_relative());
+  EXPECT_EQ(now.ToString(), "NOW");
+  Instant yesterday = Instant::NowRelative(*Span::FromDays(-1));
+  EXPECT_EQ(yesterday.ToString(), "NOW-1");
+  Instant later = Instant::NowRelative(*Span::FromDays(2));
+  EXPECT_EQ(later.ToString(), "NOW+2");
+}
+
+TEST(InstantTest, GroundingSubstitutesTransactionTime) {
+  TxContext ctx = Ctx("1999-11-15");
+  EXPECT_EQ(Instant::Now().Ground(ctx)->ToString(), "1999-11-15");
+  // "NOW-1 becomes 1999-10-31 if today's date is 1999-11-01" (paper).
+  Instant yesterday = Instant::NowRelative(*Span::FromDays(-1));
+  EXPECT_EQ(yesterday.Ground(Ctx("1999-11-01"))->ToString(), "1999-10-31");
+}
+
+TEST(InstantTest, GroundingRangeChecked) {
+  Instant far_future = Instant::NowRelative(*Span::FromDays(365 * 9000));
+  EXPECT_FALSE(far_future.Ground(Ctx("1999-11-15")).ok());
+}
+
+TEST(InstantTest, ParseVariants) {
+  EXPECT_EQ(Instant::Parse("NOW")->ToString(), "NOW");
+  EXPECT_EQ(Instant::Parse("now")->ToString(), "NOW");
+  EXPECT_EQ(Instant::Parse("NOW-7")->ToString(), "NOW-7");
+  EXPECT_EQ(Instant::Parse("NOW+1 12:00:00")->ToString(),
+            "NOW+1 12:00:00");
+  EXPECT_EQ(Instant::Parse(" NOW - 7 ")->ToString(), "NOW-7");
+  EXPECT_EQ(Instant::Parse("1999-10-31")->ToString(), "1999-10-31");
+}
+
+TEST(InstantTest, ParseRejects) {
+  EXPECT_FALSE(Instant::Parse("NOW*3").ok());
+  EXPECT_FALSE(Instant::Parse("NOW-").ok());
+  EXPECT_FALSE(Instant::Parse("NOW--7").ok());
+  EXPECT_FALSE(Instant::Parse("yesterday").ok());
+  EXPECT_FALSE(Instant::Parse("").ok());
+}
+
+TEST(InstantTest, ArithmeticPreservesNowRelativity) {
+  // NOW-1 + 2 days == NOW+1 (the offset shifts; NOW stays symbolic).
+  Instant yesterday = *Instant::Parse("NOW-1");
+  Result<Instant> tomorrow = yesterday.Add(*Span::FromDays(2));
+  ASSERT_TRUE(tomorrow.ok());
+  EXPECT_TRUE(tomorrow->is_now_relative());
+  EXPECT_EQ(tomorrow->ToString(), "NOW+1");
+
+  Instant fixed = *Instant::Parse("1999-10-31");
+  Result<Instant> shifted = fixed.Subtract(*Span::FromDays(30));
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_TRUE(shifted->is_absolute());
+  EXPECT_EQ(shifted->ToString(), "1999-10-01");
+}
+
+TEST(InstantTest, ComparisonIsTimeDependent) {
+  // The paper: "the result of comparing a Chronon to a NOW-relative
+  // Instant may change as time advances".
+  Instant fixed = *Instant::Parse("1999-11-10");
+  Instant now = Instant::Now();
+  EXPECT_EQ(*CompareInstants(fixed, now, Ctx("1999-11-01")), 1);
+  EXPECT_EQ(*CompareInstants(fixed, now, Ctx("1999-11-10")), 0);
+  EXPECT_EQ(*CompareInstants(fixed, now, Ctx("1999-11-20")), -1);
+}
+
+TEST(InstantTest, NowRelativePairComparesByOffsetWithoutGrounding) {
+  // Two NOW-relative instants order the same at every transaction time,
+  // even when grounding would overflow the calendar.
+  Instant early = Instant::NowRelative(Span::FromSeconds(INT64_MIN / 2));
+  Instant late = Instant::NowRelative(Span::FromSeconds(INT64_MAX / 2));
+  EXPECT_EQ(*CompareInstants(early, late, Ctx("1999-11-01")), -1);
+  EXPECT_EQ(*CompareInstants(late, early, Ctx("1999-11-01")), 1);
+  EXPECT_EQ(*CompareInstants(early, early, Ctx("1999-11-01")), 0);
+}
+
+TEST(InstantTest, StructuralEquality) {
+  EXPECT_EQ(*Instant::Parse("NOW-7"), *Instant::Parse("NOW-7"));
+  EXPECT_NE(*Instant::Parse("NOW"), *Instant::Parse("1999-11-15"));
+  // Structural, not temporal: these ground to the same chronon at
+  // 1999-11-15 yet are different instants.
+  TxContext ctx = Ctx("1999-11-15");
+  Instant a = *Instant::Parse("NOW");
+  Instant b = *Instant::Parse("1999-11-15");
+  EXPECT_EQ(a.Ground(ctx)->seconds(), b.Ground(ctx)->seconds());
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace tip

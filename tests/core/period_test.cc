@@ -1,0 +1,168 @@
+#include "core/period.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tip {
+namespace {
+
+TxContext Ctx(const char* now) { return TxContext(*Chronon::Parse(now)); }
+
+GroundedPeriod GP(int64_t start, int64_t end) {
+  return *GroundedPeriod::Make(*Chronon::FromSeconds(start),
+                               *Chronon::FromSeconds(end));
+}
+
+TEST(GroundedPeriodTest, MakeValidatesOrder) {
+  EXPECT_TRUE(GroundedPeriod::Make(*Chronon::Parse("1999-01-01"),
+                                   *Chronon::Parse("1999-01-01")).ok());
+  EXPECT_FALSE(GroundedPeriod::Make(*Chronon::Parse("1999-01-02"),
+                                    *Chronon::Parse("1999-01-01")).ok());
+}
+
+TEST(GroundedPeriodTest, DurationCountsChronons) {
+  // A closed interval [s, e] contains e - s + 1 chronons.
+  EXPECT_EQ(GP(10, 10).Duration().seconds(), 1);
+  EXPECT_EQ(GP(10, 19).Duration().seconds(), 10);
+}
+
+TEST(GroundedPeriodTest, ContainsAndOverlaps) {
+  GroundedPeriod p = GP(10, 20);
+  EXPECT_TRUE(p.Contains(*Chronon::FromSeconds(10)));
+  EXPECT_TRUE(p.Contains(*Chronon::FromSeconds(20)));
+  EXPECT_FALSE(p.Contains(*Chronon::FromSeconds(21)));
+  EXPECT_TRUE(p.Contains(GP(12, 18)));
+  EXPECT_FALSE(p.Contains(GP(12, 21)));
+  EXPECT_TRUE(p.Overlaps(GP(20, 30)));   // share chronon 20
+  EXPECT_FALSE(p.Overlaps(GP(21, 30)));  // adjacent, no shared chronon
+  EXPECT_TRUE(p.Overlaps(p));
+}
+
+TEST(GroundedPeriodTest, MeetsAndBeforeAtChrononGranularity) {
+  // meets: end + 1 == start (adjacent, no gap, no overlap).
+  EXPECT_TRUE(GP(10, 20).Meets(GP(21, 30)));
+  EXPECT_FALSE(GP(10, 20).Meets(GP(22, 30)));
+  EXPECT_FALSE(GP(10, 20).Meets(GP(20, 30)));
+  EXPECT_TRUE(GP(10, 20).Before(GP(22, 30)));
+  EXPECT_FALSE(GP(10, 20).Before(GP(21, 30)));
+}
+
+TEST(GroundedPeriodTest, AllenThirteenRelationsClassified) {
+  GroundedPeriod b = GP(100, 200);
+  struct Case {
+    GroundedPeriod a;
+    AllenRelation expected;
+  };
+  const Case cases[] = {
+      {GP(10, 50), AllenRelation::kBefore},
+      {GP(10, 99), AllenRelation::kMeets},
+      {GP(50, 150), AllenRelation::kOverlaps},
+      {GP(50, 200), AllenRelation::kFinishedBy},
+      {GP(50, 250), AllenRelation::kContains},
+      {GP(100, 150), AllenRelation::kStarts},
+      {GP(100, 200), AllenRelation::kEquals},
+      {GP(100, 250), AllenRelation::kStartedBy},
+      {GP(120, 180), AllenRelation::kDuring},
+      {GP(150, 200), AllenRelation::kFinishes},
+      {GP(150, 250), AllenRelation::kOverlappedBy},
+      {GP(201, 250), AllenRelation::kMetBy},
+      {GP(250, 300), AllenRelation::kAfter},
+  };
+  std::set<AllenRelation> seen;
+  for (const Case& c : cases) {
+    EXPECT_EQ(GroundedPeriod::Allen(c.a, b), c.expected)
+        << c.a.ToString() << " vs " << b.ToString();
+    seen.insert(c.expected);
+  }
+  EXPECT_EQ(seen.size(), 13u) << "cases must cover all 13 relations";
+}
+
+TEST(GroundedPeriodTest, AllenIsExhaustiveAndExclusiveProperty) {
+  // Property: every pair of periods falls into exactly one relation,
+  // and the relation of (a, b) is the inverse of (b, a).
+  auto inverse = [](AllenRelation r) {
+    switch (r) {
+      case AllenRelation::kBefore: return AllenRelation::kAfter;
+      case AllenRelation::kAfter: return AllenRelation::kBefore;
+      case AllenRelation::kMeets: return AllenRelation::kMetBy;
+      case AllenRelation::kMetBy: return AllenRelation::kMeets;
+      case AllenRelation::kOverlaps: return AllenRelation::kOverlappedBy;
+      case AllenRelation::kOverlappedBy: return AllenRelation::kOverlaps;
+      case AllenRelation::kStarts: return AllenRelation::kStartedBy;
+      case AllenRelation::kStartedBy: return AllenRelation::kStarts;
+      case AllenRelation::kDuring: return AllenRelation::kContains;
+      case AllenRelation::kContains: return AllenRelation::kDuring;
+      case AllenRelation::kFinishes: return AllenRelation::kFinishedBy;
+      case AllenRelation::kFinishedBy: return AllenRelation::kFinishes;
+      case AllenRelation::kEquals: return AllenRelation::kEquals;
+    }
+    return AllenRelation::kEquals;
+  };
+  // Exhaustive sweep over a small universe of endpoint combinations.
+  const int kMax = 6;
+  for (int as = 0; as < kMax; ++as) {
+    for (int ae = as; ae < kMax; ++ae) {
+      for (int bs = 0; bs < kMax; ++bs) {
+        for (int be = bs; be < kMax; ++be) {
+          GroundedPeriod a = GP(as, ae), b = GP(bs, be);
+          AllenRelation ab = GroundedPeriod::Allen(a, b);
+          AllenRelation ba = GroundedPeriod::Allen(b, a);
+          EXPECT_EQ(ba, inverse(ab))
+              << a.ToString() << " vs " << b.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(GroundedPeriodTest, AllenNamesAreStable) {
+  EXPECT_EQ(AllenRelationName(AllenRelation::kBefore), "before");
+  EXPECT_EQ(AllenRelationName(AllenRelation::kMetBy), "met_by");
+  EXPECT_EQ(AllenRelationName(AllenRelation::kEquals), "equals");
+}
+
+TEST(PeriodTest, PaperExamples) {
+  // "[1999-01-01, NOW]" denotes "since 1999"; "[NOW-7, NOW]" the past
+  // week.
+  Result<Period> since99 = Period::Parse("[1999-01-01, NOW]");
+  ASSERT_TRUE(since99.ok());
+  EXPECT_EQ(since99->ToString(), "[1999-01-01, NOW]");
+  Result<Period> past_week = Period::Parse("[NOW-7, NOW]");
+  ASSERT_TRUE(past_week.ok());
+  GroundedPeriod g = *past_week->Ground(Ctx("1999-11-15"));
+  EXPECT_EQ(g.start().ToString(), "1999-11-08");
+  EXPECT_EQ(g.end().ToString(), "1999-11-15");
+}
+
+TEST(PeriodTest, MakeValidatesWhatItCan) {
+  Instant a = *Instant::Parse("1999-01-02");
+  Instant b = *Instant::Parse("1999-01-01");
+  EXPECT_FALSE(Period::Make(a, b).ok());            // both absolute
+  EXPECT_FALSE(Period::Make(*Instant::Parse("NOW"),
+                            *Instant::Parse("NOW-1")).ok());  // both rel
+  // Mixed endpoints can only be validated at grounding time.
+  Result<Period> mixed = Period::Make(*Instant::Parse("1999-12-31"),
+                                      *Instant::Parse("NOW"));
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_FALSE(mixed->Ground(Ctx("1999-11-15")).ok());  // inverted today
+  EXPECT_TRUE(mixed->Ground(Ctx("2000-01-15")).ok());   // fine later
+}
+
+TEST(PeriodTest, ParseRejects) {
+  EXPECT_FALSE(Period::Parse("1999-01-01, NOW").ok());
+  EXPECT_FALSE(Period::Parse("[1999-01-01]").ok());
+  EXPECT_FALSE(Period::Parse("[a, b, c]").ok());
+  EXPECT_FALSE(Period::Parse("[]").ok());
+  EXPECT_FALSE(Period::Parse("[1999-01-02, 1999-01-01]").ok());
+}
+
+TEST(PeriodTest, ChrononCast) {
+  Period p = Period::At(*Chronon::Parse("1999-10-31"));
+  EXPECT_EQ(p.ToString(), "[1999-10-31, 1999-10-31]");
+  GroundedPeriod g = *p.Ground(Ctx("1999-11-15"));
+  EXPECT_EQ(g.Duration().seconds(), 1);
+}
+
+}  // namespace
+}  // namespace tip

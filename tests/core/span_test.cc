@@ -1,0 +1,99 @@
+#include "core/span.h"
+
+#include <gtest/gtest.h>
+
+namespace tip {
+namespace {
+
+TEST(SpanTest, ZeroDefault) {
+  EXPECT_TRUE(Span().IsZero());
+  EXPECT_TRUE(Span::Zero().IsZero());
+  EXPECT_FALSE(Span::Zero().IsNegative());
+}
+
+TEST(SpanTest, UnitConstructors) {
+  EXPECT_EQ(Span::FromDays(1)->seconds(), 86400);
+  EXPECT_EQ(Span::FromHours(2)->seconds(), 7200);
+  EXPECT_EQ(Span::FromMinutes(3)->seconds(), 180);
+  EXPECT_EQ(Span::FromWeeks(1)->seconds(), 7 * 86400);
+  EXPECT_EQ(Span::FromDays(-2)->seconds(), -2 * 86400);
+  EXPECT_FALSE(Span::FromDays(INT64_MAX).ok());
+  EXPECT_FALSE(Span::FromWeeks(INT64_MIN / 2).ok());
+}
+
+TEST(SpanTest, ParsePaperNotation) {
+  // "7 12:00:00" denotes seven and a half days; "-7" seven days back.
+  EXPECT_EQ(Span::Parse("7 12:00:00")->seconds(),
+            7 * 86400 + 12 * 3600);
+  EXPECT_EQ(Span::Parse("-7")->seconds(), -7 * 86400);
+  EXPECT_EQ(Span::Parse("0 08:00:00")->seconds(), 8 * 3600);
+  EXPECT_EQ(Span::Parse("+1 00:00:01")->seconds(), 86401);
+  EXPECT_EQ(Span::Parse("-0 00:00:01")->seconds(), -1);
+  EXPECT_EQ(Span::Parse("0")->seconds(), 0);
+}
+
+TEST(SpanTest, ParseRejects) {
+  EXPECT_FALSE(Span::Parse("").ok());
+  EXPECT_FALSE(Span::Parse("-").ok());
+  EXPECT_FALSE(Span::Parse("7 25:00:00").ok());
+  EXPECT_FALSE(Span::Parse("7 12:61:00").ok());
+  EXPECT_FALSE(Span::Parse("7 12:00").ok());
+  EXPECT_FALSE(Span::Parse("x").ok());
+  EXPECT_FALSE(Span::Parse("1 -2:00:00").ok());
+}
+
+TEST(SpanTest, FormatRoundTrip) {
+  for (const char* text : {"7 12:00:00", "-7", "0", "1 00:00:01",
+                           "-123 23:59:59"}) {
+    Result<Span> s = Span::Parse(text);
+    ASSERT_TRUE(s.ok()) << text;
+    EXPECT_EQ(s->ToString(), text);
+  }
+}
+
+TEST(SpanTest, FormatOmitsZeroTimeOfDay) {
+  EXPECT_EQ(Span::FromDays(3)->ToString(), "3");
+  EXPECT_EQ(Span::FromSeconds(-86400).ToString(), "-1");
+  EXPECT_EQ(Span::FromSeconds(90).ToString(), "0 00:01:30");
+}
+
+TEST(SpanTest, CheckedArithmetic) {
+  Span a = *Span::FromDays(2);
+  Span b = *Span::FromDays(3);
+  EXPECT_EQ(a.Add(b)->seconds(), 5 * 86400);
+  EXPECT_EQ(a.Subtract(b)->seconds(), -86400);
+  EXPECT_EQ(a.Multiply(3)->seconds(), 6 * 86400);
+  EXPECT_EQ(b.Divide(3)->seconds(), 86400);
+  EXPECT_EQ(*b.DivideBy(a), 1);
+  EXPECT_EQ(*a.DivideBy(b), 0);
+}
+
+TEST(SpanTest, ArithmeticOverflowChecked) {
+  Span max = Span::FromSeconds(INT64_MAX);
+  EXPECT_FALSE(max.Add(Span::FromSeconds(1)).ok());
+  EXPECT_FALSE(Span::FromSeconds(INT64_MIN).Subtract(
+      Span::FromSeconds(1)).ok());
+  EXPECT_FALSE(max.Multiply(2).ok());
+  EXPECT_FALSE(Span::FromSeconds(1).Divide(0).ok());
+  EXPECT_FALSE(Span::FromSeconds(1).DivideBy(Span::Zero()).ok());
+  EXPECT_FALSE(Span::FromSeconds(INT64_MIN).Divide(-1).ok());
+  EXPECT_FALSE(Span::FromSeconds(INT64_MIN)
+                   .DivideBy(Span::FromSeconds(-1)).ok());
+}
+
+TEST(SpanTest, NegateAndAbs) {
+  EXPECT_EQ(Span::FromSeconds(5).Negate().seconds(), -5);
+  EXPECT_EQ(Span::FromSeconds(-5).Abs().seconds(), 5);
+  EXPECT_EQ(Span::FromSeconds(5).Abs().seconds(), 5);
+  // Two's-complement edge: negating INT64_MIN stays INT64_MIN.
+  EXPECT_EQ(Span::FromSeconds(INT64_MIN).Negate().seconds(), INT64_MIN);
+}
+
+TEST(SpanTest, Ordering) {
+  EXPECT_LT(Span::FromSeconds(-1), Span::Zero());
+  EXPECT_LT(Span::Zero(), Span::FromSeconds(1));
+  EXPECT_EQ(Span::FromSeconds(3), Span::FromSeconds(3));
+}
+
+}  // namespace
+}  // namespace tip

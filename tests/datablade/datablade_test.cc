@@ -1,0 +1,236 @@
+#include "datablade/datablade.h"
+
+#include <gtest/gtest.h>
+
+namespace tip::datablade {
+namespace {
+
+/// DataBlade installation, type, cast and operator behaviour exercised
+/// through SQL, exactly as an Informix user would see it.
+class DataBladeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(Install(&db_).ok());
+    types_ = *TipTypes::Lookup(db_);
+    Exec("SET NOW '1999-11-15'");
+  }
+
+  engine::ResultSet Exec(std::string_view sql) {
+    Result<engine::ResultSet> r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : engine::ResultSet{};
+  }
+
+  Status ExecErr(std::string_view sql) {
+    Result<engine::ResultSet> r = db_.Execute(sql);
+    EXPECT_FALSE(r.ok()) << sql << " unexpectedly succeeded";
+    return r.ok() ? Status::OK() : r.status();
+  }
+
+  std::string One(std::string_view sql) {
+    engine::ResultSet r = Exec(sql);
+    if (r.rows.size() != 1 || r.rows[0].size() != 1) return "<shape>";
+    return db_.types().Format(r.rows[0][0]);
+  }
+
+  engine::Database db_;
+  TipTypes types_;
+};
+
+TEST_F(DataBladeTest, InstallIsNotIdempotent) {
+  engine::Database fresh;
+  ASSERT_TRUE(Install(&fresh).ok());
+  EXPECT_EQ(Install(&fresh).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(DataBladeTest, LookupFailsWithoutInstall) {
+  engine::Database fresh;
+  EXPECT_FALSE(TipTypes::Lookup(fresh).ok());
+}
+
+TEST_F(DataBladeTest, FiveTypesRegistered) {
+  for (const char* name :
+       {"Chronon", "Span", "Instant", "Period", "Element"}) {
+    EXPECT_TRUE(db_.types().FindByName(name).ok()) << name;
+  }
+}
+
+TEST_F(DataBladeTest, StringCastsRoundTripEveryType) {
+  EXPECT_EQ(One("SELECT '1999-10-31 23:59:59'::Chronon::char"),
+            "1999-10-31 23:59:59");
+  EXPECT_EQ(One("SELECT '7 12:00:00'::Span::char"), "7 12:00:00");
+  EXPECT_EQ(One("SELECT 'NOW-7'::Instant::char"), "NOW-7");
+  EXPECT_EQ(One("SELECT '[NOW-7, NOW]'::Period::char"), "[NOW-7, NOW]");
+  EXPECT_EQ(One("SELECT '{[1999-01-01, 1999-04-30], "
+                "[1999-07-01, 1999-10-31]}'::Element::char"),
+            "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}");
+}
+
+TEST_F(DataBladeTest, MalformedLiteralsFailAtCast) {
+  EXPECT_EQ(ExecErr("SELECT 'not a date'::Chronon").code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ExecErr("SELECT '{[bad]}'::Element").code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(DataBladeTest, WideningCastsChrononToTemporalTypes) {
+  EXPECT_EQ(One("SELECT ('1999-10-31'::Chronon)::Period::char"),
+            "[1999-10-31, 1999-10-31]");
+  EXPECT_EQ(One("SELECT ('1999-10-31'::Chronon)::Element::char"),
+            "{[1999-10-31, 1999-10-31]}");
+  EXPECT_EQ(One("SELECT ('[1999-01-01, 1999-02-01]'::Period)"
+                "::Element::char"),
+            "{[1999-01-01, 1999-02-01]}");
+}
+
+TEST_F(DataBladeTest, NowRelativeInstantToChrononUsesTransactionTime) {
+  // The paper: "NOW-1 becomes 1999-10-31 if today's date is 1999-11-01".
+  Exec("SET NOW '1999-11-01'");
+  EXPECT_EQ(One("SELECT 'NOW-1'::Instant::Chronon::char"), "1999-10-31");
+  Exec("SET NOW '1999-12-01'");
+  EXPECT_EQ(One("SELECT 'NOW-1'::Instant::Chronon::char"), "1999-11-30");
+}
+
+TEST_F(DataBladeTest, ChrononArithmeticOperators) {
+  EXPECT_EQ(One("SELECT ('1999-11-02'::Chronon - '1999-11-01'::Chronon)"
+                "::char"),
+            "1");
+  EXPECT_EQ(One("SELECT ('1999-11-01'::Chronon + '7'::Span)::char"),
+            "1999-11-08");
+  EXPECT_EQ(One("SELECT ('7'::Span + '1999-11-01'::Chronon)::char"),
+            "1999-11-08");
+  EXPECT_EQ(One("SELECT ('1999-11-08'::Chronon - '7'::Span)::char"),
+            "1999-11-01");
+}
+
+TEST_F(DataBladeTest, ChrononPlusChrononIsTypeError) {
+  // The paper's canonical example of overload-resolution failure.
+  Status s = ExecErr(
+      "SELECT '1999-01-01'::Chronon + '1999-01-02'::Chronon");
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_NE(s.message().find("chronon"), std::string::npos);
+}
+
+TEST_F(DataBladeTest, SpanArithmeticOperators) {
+  EXPECT_EQ(One("SELECT ('1'::Span + '0 12:00:00'::Span)::char"),
+            "1 12:00:00");
+  EXPECT_EQ(One("SELECT ('1'::Span - '2'::Span)::char"), "-1");
+  EXPECT_EQ(One("SELECT ('7 00:00:00'::Span * 2)::char"), "14");
+  EXPECT_EQ(One("SELECT (3 * '1'::Span)::char"), "3");
+  EXPECT_EQ(One("SELECT ('7'::Span / 2)::char"), "3 12:00:00");
+  EXPECT_EQ(One("SELECT '14'::Span / '7'::Span"), "2");
+  EXPECT_EQ(One("SELECT (-('7'::Span))::char"), "-7");
+  EXPECT_EQ(One("SELECT abs('-7'::Span)::char"), "7");
+}
+
+TEST_F(DataBladeTest, InstantArithmeticPreservesNowRelativity) {
+  EXPECT_EQ(One("SELECT ('NOW-1'::Instant + '2'::Span)::char"), "NOW+1");
+  EXPECT_EQ(One("SELECT ('NOW'::Instant - '7'::Span)::char"), "NOW-7");
+  // Instant difference grounds: NOW(-0) - (NOW-7) = 7 days.
+  EXPECT_EQ(One("SELECT ('NOW'::Instant - 'NOW-7'::Instant)::char"), "7");
+}
+
+TEST_F(DataBladeTest, ComparisonOperatorsAreTemporal) {
+  EXPECT_EQ(One("SELECT '1999-01-01'::Chronon < '1999-01-02'::Chronon"),
+            "true");
+  EXPECT_EQ(One("SELECT '1'::Span < '1 00:00:01'::Span"), "true");
+  // Chronon vs NOW-relative Instant: grounded under SET NOW 1999-11-15.
+  EXPECT_EQ(One("SELECT '1999-11-14'::Chronon = 'NOW-1'::Instant"),
+            "true");
+  EXPECT_EQ(One("SELECT '1999-11-14'::Chronon < 'NOW'::Instant"), "true");
+  Exec("SET NOW '1999-11-10'");
+  EXPECT_EQ(One("SELECT '1999-11-14'::Chronon < 'NOW'::Instant"),
+            "false");
+}
+
+TEST_F(DataBladeTest, EqualityOnPeriodsAndElementsIsTemporal) {
+  EXPECT_EQ(One("SELECT '[NOW-1, NOW]'::Period = "
+                "'[1999-11-14, 1999-11-15]'::Period"),
+            "true");
+  EXPECT_EQ(One("SELECT '{[NOW, NOW]}'::Element = "
+                "'{[1999-11-15, 1999-11-15]}'::Element"),
+            "true");
+  EXPECT_EQ(One("SELECT '{[1999-01-01, 1999-01-05]}'::Element = "
+                "'{[1999-01-01, 1999-01-04]}'::Element"),
+            "false");
+}
+
+TEST_F(DataBladeTest, OrderByTemporalColumns) {
+  Exec("CREATE TABLE ev (name CHAR(10), at Instant)");
+  Exec("INSERT INTO ev VALUES ('b', 'NOW-1'), ('a', '1999-11-01'), "
+       "('c', 'NOW+1')");
+  engine::ResultSet r =
+      Exec("SELECT name FROM ev ORDER BY at");
+  ASSERT_EQ(r.rows.size(), 3u);
+  // Under NOW = 1999-11-15: 1999-11-01 < NOW-1 (11-14) < NOW+1 (11-16).
+  EXPECT_EQ(r.rows[0][0].string_value(), "a");
+  EXPECT_EQ(r.rows[1][0].string_value(), "b");
+  EXPECT_EQ(r.rows[2][0].string_value(), "c");
+}
+
+TEST_F(DataBladeTest, GroupByElementCountsTemporalDuplicatesTogether) {
+  Exec("CREATE TABLE g (v Element)");
+  Exec("INSERT INTO g VALUES ('{[1999-11-15, 1999-11-15]}'), "
+       "('{[NOW, NOW]}'), ('{[1999-01-01, 1999-01-02]}')");
+  engine::ResultSet r =
+      Exec("SELECT v, count(*) FROM g GROUP BY v ORDER BY v");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].int_value(), 1);  // january element
+  EXPECT_EQ(r.rows[1][1].int_value(), 2);  // NOW == 1999-11-15 today
+}
+
+TEST_F(DataBladeTest, BinarySendReceiveRoundTrip) {
+  const TxContext ctx(*Chronon::Parse("1999-11-15"));
+  struct Case {
+    engine::TypeId id;
+    const char* literal;
+  };
+  const Case cases[] = {
+      {types_.chronon, "1999-10-31 12:34:56"},
+      {types_.span, "-7 06:00:00"},
+      {types_.instant, "NOW-3"},
+      {types_.period, "[1999-01-01, NOW]"},
+      {types_.element, "{[1999-01-01, 1999-04-30], [1999-07-01, NOW]}"},
+  };
+  for (const Case& c : cases) {
+    const engine::TypeOps& ops = db_.types().Get(c.id).ops;
+    Result<engine::Datum> value = ops.parse(c.literal);
+    ASSERT_TRUE(value.ok()) << c.literal;
+    std::string bytes;
+    ops.serialize(*value, &bytes);
+    Result<engine::Datum> back = ops.deserialize(bytes);
+    ASSERT_TRUE(back.ok()) << c.literal;
+    // The binary format preserves NOW symbolically: formatting the
+    // received value reproduces the original (ungrounded) literal.
+    EXPECT_EQ(ops.format(*back), c.literal);
+    (void)ctx;
+  }
+}
+
+TEST_F(DataBladeTest, BinaryFormatIsCompact) {
+  // "efficient binary format": a 2-period element is 2 * 2 instants of
+  // 9 bytes plus an 8-byte count — far smaller than its text form.
+  const engine::TypeOps& ops = db_.types().Get(types_.element).ops;
+  engine::Datum v = *ops.parse(
+      "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}");
+  std::string bytes;
+  ops.serialize(v, &bytes);
+  EXPECT_EQ(bytes.size(), 8u + 4u * 9u);
+  EXPECT_LT(bytes.size(), ops.format(v).size());
+}
+
+TEST_F(DataBladeTest, DatumHelpersRoundTrip) {
+  Chronon c = *Chronon::Parse("1999-10-31");
+  EXPECT_EQ(GetChronon(MakeChronon(types_, c)), c);
+  Span s = *Span::Parse("7 12:00:00");
+  EXPECT_EQ(GetSpan(MakeSpan(types_, s)), s);
+  Instant i = *Instant::Parse("NOW-1");
+  EXPECT_EQ(GetInstant(MakeInstant(types_, i)), i);
+  Period p = *Period::Parse("[NOW-7, NOW]");
+  EXPECT_EQ(GetPeriod(MakePeriod(types_, p)), p);
+  Element e = *Element::Parse("{[1999-01-01, NOW]}");
+  EXPECT_EQ(GetElement(MakeElement(types_, e)), e);
+}
+
+}  // namespace
+}  // namespace tip::datablade

@@ -1,0 +1,119 @@
+#include "engine/index/interval_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace tip::engine {
+namespace {
+
+std::vector<RowId> Sorted(std::vector<RowId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<RowId> BruteForce(const std::vector<IntervalEntry>& entries,
+                              int64_t qs, int64_t qe) {
+  std::vector<RowId> out;
+  for (const IntervalEntry& e : entries) {
+    if (e.start <= qe && qs <= e.end) out.push_back(e.row);
+  }
+  return Sorted(std::move(out));
+}
+
+TEST(IntervalIndexTest, EmptyIndex) {
+  IntervalIndex index = IntervalIndex::Build({});
+  EXPECT_TRUE(index.empty());
+  std::vector<RowId> out;
+  index.FindOverlapping(0, 100, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntervalIndexTest, SingleEntry) {
+  IntervalIndex index = IntervalIndex::Build({{10, 20, 1}});
+  std::vector<RowId> out;
+  index.FindOverlapping(20, 30, &out);
+  EXPECT_EQ(out, std::vector<RowId>{1});
+  out.clear();
+  index.FindOverlapping(21, 30, &out);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  index.FindStabbing(15, &out);
+  EXPECT_EQ(out, std::vector<RowId>{1});
+}
+
+TEST(IntervalIndexTest, KnownLayout) {
+  std::vector<IntervalEntry> entries = {
+      {1, 5, 10}, {3, 9, 11}, {8, 12, 12}, {15, 15, 13}, {20, 30, 14},
+  };
+  IntervalIndex index = IntervalIndex::Build(entries);
+  EXPECT_EQ(index.entry_count(), 5u);
+  std::vector<RowId> out;
+  index.FindOverlapping(4, 8, &out);
+  EXPECT_EQ(Sorted(out), (std::vector<RowId>{10, 11, 12}));
+  out.clear();
+  index.FindOverlapping(13, 19, &out);
+  EXPECT_EQ(Sorted(out), std::vector<RowId>{13});
+  out.clear();
+  index.FindOverlapping(31, 40, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntervalIndexTest, AllIntervalsIdentical) {
+  // Degenerate balance case: every interval straddles every center.
+  std::vector<IntervalEntry> entries;
+  for (RowId r = 0; r < 100; ++r) entries.push_back({50, 60, r});
+  IntervalIndex index = IntervalIndex::Build(entries);
+  std::vector<RowId> out;
+  index.FindOverlapping(55, 55, &out);
+  EXPECT_EQ(out.size(), 100u);
+  out.clear();
+  index.FindOverlapping(0, 49, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+class IntervalIndexPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalIndexPropertyTest, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  std::vector<IntervalEntry> entries;
+  const int n = 300;
+  for (RowId r = 0; r < n; ++r) {
+    int64_t s = rng.Uniform(0, 1000);
+    int64_t e = s + rng.Uniform(0, 80);
+    entries.push_back({s, e, r});
+  }
+  IntervalIndex index = IntervalIndex::Build(entries);
+  for (int q = 0; q < 200; ++q) {
+    int64_t qs = rng.Uniform(-50, 1100);
+    int64_t qe = qs + rng.Uniform(0, 120);
+    std::vector<RowId> got;
+    index.FindOverlapping(qs, qe, &got);
+    EXPECT_EQ(Sorted(got), BruteForce(entries, qs, qe))
+        << "query [" << qs << ", " << qe << "]";
+  }
+}
+
+TEST_P(IntervalIndexPropertyTest, StabbingAgreesWithBruteForce) {
+  Rng rng(GetParam() ^ 0xF00D);
+  std::vector<IntervalEntry> entries;
+  for (RowId r = 0; r < 200; ++r) {
+    int64_t s = rng.Uniform(0, 500);
+    entries.push_back({s, s + rng.Uniform(0, 40), r});
+  }
+  IntervalIndex index = IntervalIndex::Build(entries);
+  for (int64_t q = -10; q <= 560; q += 7) {
+    std::vector<RowId> got;
+    index.FindStabbing(q, &got);
+    EXPECT_EQ(Sorted(got), BruteForce(entries, q, q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalIndexPropertyTest,
+                         ::testing::Values(21u, 42u, 84u));
+
+}  // namespace
+}  // namespace tip::engine

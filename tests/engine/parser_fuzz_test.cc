@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/element.h"
+#include "datablade/datablade.h"
+#include "engine/database.h"
+
+namespace tip::engine {
+namespace {
+
+/// Robustness fuzzing: the parser/binder/executor stack must never
+/// crash on malformed input — every outcome is either a result set or
+/// a clean Status. (A from-scratch recursive-descent parser earns its
+/// keep here.)
+
+// Mutates a valid statement by random byte edits.
+std::string Mutate(std::string base, Rng* rng) {
+  const int edits = static_cast<int>(rng->Uniform(1, 6));
+  static constexpr char kBytes[] =
+      "'()[]{},;:*%_\"\\<>=+-/ abcSELECTfromwhere0123456789.\n\t";
+  for (int i = 0; i < edits && !base.empty(); ++i) {
+    const size_t pos =
+        static_cast<size_t>(rng->Uniform(0, static_cast<int64_t>(
+                                                base.size()) - 1));
+    switch (rng->Uniform(0, 2)) {
+      case 0:  // replace
+        base[pos] = kBytes[rng->Uniform(0, sizeof(kBytes) - 2)];
+        break;
+      case 1:  // delete
+        base.erase(pos, 1);
+        break;
+      default:  // insert
+        base.insert(pos, 1, kBytes[rng->Uniform(0, sizeof(kBytes) - 2)]);
+        break;
+    }
+  }
+  return base;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, MutatedStatementsNeverCrash) {
+  Database db;
+  ASSERT_TRUE(datablade::Install(&db).ok());
+  ASSERT_TRUE(db.Execute("SET NOW '1999-11-15'").ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a CHAR(8), b INT, v Element)")
+                  .ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES ('x', 1, "
+                         "'{[1999-01-01, NOW]}')").ok());
+
+  const std::string seeds[] = {
+      "SELECT a, b FROM t WHERE b > 0 ORDER BY a LIMIT 3",
+      "SELECT a, length(group_union(v)) FROM t GROUP BY a",
+      "INSERT INTO t VALUES ('y', 2, '{[1999-02-01, 1999-03-01]}')",
+      "SELECT * FROM t t1, t t2 WHERE overlaps(t1.v, t2.v)",
+      "UPDATE t SET b = b + 1 WHERE contains(v, '1999-06-01'::Chronon)",
+      "SELECT CASE WHEN b IN (1, 2) THEN 'low' ELSE 'high' END FROM t",
+      "SELECT a FROM t WHERE EXISTS (SELECT b FROM t u WHERE u.b = t.b)",
+      "SELECT b FROM t UNION SELECT b + 1 FROM t ORDER BY 1",
+      "SELECT '7 12:00:00'::Span * 2, 'NOW-1'::Instant::Chronon",
+  };
+
+  Rng rng(GetParam());
+  int executed_ok = 0;
+  for (int iter = 0; iter < 800; ++iter) {
+    const std::string& base =
+        seeds[rng.Uniform(0, static_cast<int64_t>(std::size(seeds)) - 1)];
+    const std::string mutated = Mutate(base, &rng);
+    Result<ResultSet> r = db.Execute(mutated);  // must not crash
+    if (r.ok()) ++executed_ok;
+  }
+  // Sanity: mutation is gentle enough that some statements still run.
+  EXPECT_GT(executed_ok, 0);
+}
+
+TEST_P(ParserFuzzTest, RandomBytesNeverCrash) {
+  Database db;
+  ASSERT_TRUE(datablade::Install(&db).ok());
+  Rng rng(GetParam() ^ 0xBEEF);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string garbage;
+    const int64_t len = rng.Uniform(0, 120);
+    for (int64_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(1, 127)));
+    }
+    (void)db.Execute(garbage);  // any Status is fine; crashing is not
+  }
+}
+
+TEST_P(ParserFuzzTest, TemporalLiteralFuzz) {
+  Rng rng(GetParam() ^ 0xF00);
+  const std::string seeds[] = {
+      "1999-10-31 23:59:59", "7 12:00:00", "NOW-7", "[NOW-7, NOW]",
+      "{[1999-01-01, 1999-04-30], [1999-07-01, NOW]}",
+  };
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::string& base =
+        seeds[rng.Uniform(0, static_cast<int64_t>(std::size(seeds)) - 1)];
+    std::string mutated = Mutate(base, &rng);
+    (void)tip::Chronon::Parse(mutated);
+    (void)tip::Span::Parse(mutated);
+    (void)tip::Instant::Parse(mutated);
+    (void)tip::Period::Parse(mutated);
+    (void)tip::Element::Parse(mutated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(7u, 77u, 777u));
+
+}  // namespace
+}  // namespace tip::engine

@@ -1,0 +1,201 @@
+#include "engine/sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace tip::engine {
+namespace {
+
+Statement MustParse(std::string_view sql) {
+  Result<Statement> stmt = ParseStatement(sql);
+  EXPECT_TRUE(stmt.ok()) << sql << " -> " << stmt.status().ToString();
+  return stmt.ok() ? std::move(*stmt) : Statement{};
+}
+
+TEST(ParserTest, SimpleSelect) {
+  Statement s = MustParse("SELECT a, b FROM t");
+  ASSERT_EQ(s.kind, Statement::Kind::kSelect);
+  ASSERT_EQ(s.select->items.size(), 2u);
+  EXPECT_EQ(s.select->items[0].expr->text, "a");
+  ASSERT_EQ(s.select->from.size(), 1u);
+  EXPECT_EQ(s.select->from[0].ref.table, "t");
+}
+
+TEST(ParserTest, SelectStarVariants) {
+  Statement s = MustParse("SELECT *, p1.* FROM t p1");
+  EXPECT_TRUE(s.select->items[0].is_star);
+  EXPECT_EQ(s.select->items[0].star_qualifier, "");
+  EXPECT_TRUE(s.select->items[1].is_star);
+  EXPECT_EQ(s.select->items[1].star_qualifier, "p1");
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  Statement s = MustParse("SELECT a AS x, b y FROM t AS u, v w");
+  EXPECT_EQ(s.select->items[0].alias, "x");
+  EXPECT_EQ(s.select->items[1].alias, "y");
+  EXPECT_EQ(s.select->from[0].ref.alias, "u");
+  EXPECT_EQ(s.select->from[1].ref.alias, "w");
+}
+
+TEST(ParserTest, FullSelectClauses) {
+  Statement s = MustParse(
+      "SELECT DISTINCT a FROM t WHERE x > 1 GROUP BY a HAVING count(*) > 2 "
+      "ORDER BY a DESC, b ASC LIMIT 10 OFFSET 5");
+  EXPECT_TRUE(s.select->distinct);
+  EXPECT_NE(s.select->where, nullptr);
+  EXPECT_EQ(s.select->group_by.size(), 1u);
+  EXPECT_NE(s.select->having, nullptr);
+  ASSERT_EQ(s.select->order_by.size(), 2u);
+  EXPECT_TRUE(s.select->order_by[0].descending);
+  EXPECT_FALSE(s.select->order_by[1].descending);
+  EXPECT_EQ(*s.select->limit, 10);
+  EXPECT_EQ(*s.select->offset, 5);
+}
+
+TEST(ParserTest, JoinsCommaAndInner) {
+  Statement s = MustParse(
+      "SELECT * FROM a, b JOIN c ON a.x = c.x INNER JOIN d ON d.y = b.y");
+  ASSERT_EQ(s.select->from.size(), 4u);
+  EXPECT_FALSE(s.select->from[1].is_inner_join);
+  EXPECT_TRUE(s.select->from[2].is_inner_join);
+  EXPECT_NE(s.select->from[2].on, nullptr);
+  EXPECT_TRUE(s.select->from[3].is_inner_join);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  Statement s = MustParse("SELECT 1 + 2 * 3");
+  const Expr& e = *s.select->items[0].expr;
+  ASSERT_EQ(e.kind, ExprKind::kBinary);
+  EXPECT_EQ(e.text, "+");
+  EXPECT_EQ(e.args[1]->text, "*");
+}
+
+TEST(ParserTest, LogicalPrecedence) {
+  // a OR b AND c parses as a OR (b AND c); NOT binds tighter than AND.
+  Statement s = MustParse("SELECT * FROM t WHERE a OR NOT b AND c");
+  const Expr& e = *s.select->where;
+  EXPECT_EQ(e.text, "or");
+  EXPECT_EQ(e.args[1]->text, "and");
+  EXPECT_EQ(e.args[1]->args[0]->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, PostfixCastChains) {
+  Statement s = MustParse("SELECT '7'::Span * :w");
+  const Expr& mul = *s.select->items[0].expr;
+  ASSERT_EQ(mul.kind, ExprKind::kBinary);
+  EXPECT_EQ(mul.args[0]->kind, ExprKind::kCast);
+  EXPECT_EQ(mul.args[0]->text, "Span");
+  EXPECT_EQ(mul.args[1]->kind, ExprKind::kParam);
+  EXPECT_EQ(mul.args[1]->text, "w");
+
+  Statement chain = MustParse("SELECT 'NOW'::Instant::Chronon");
+  const Expr& outer = *chain.select->items[0].expr;
+  EXPECT_EQ(outer.text, "Chronon");
+  EXPECT_EQ(outer.args[0]->text, "Instant");
+}
+
+TEST(ParserTest, SqlCastSyntax) {
+  Statement s = MustParse("SELECT CAST(x AS int) FROM t");
+  EXPECT_EQ(s.select->items[0].expr->kind, ExprKind::kCast);
+  EXPECT_EQ(s.select->items[0].expr->text, "int");
+}
+
+TEST(ParserTest, BetweenInIsNullExists) {
+  Statement s = MustParse(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b NOT IN (1, 2) "
+      "AND c IS NOT NULL AND NOT EXISTS (SELECT x FROM u WHERE u.x = t.a)");
+  const Expr* e = s.select->where.get();
+  ASSERT_EQ(e->text, "and");
+  // Rightmost conjunct is the NOT(exists) (NOT parses at its own level).
+  const Expr& not_exists = *e->args[1];
+  ASSERT_EQ(not_exists.kind, ExprKind::kUnary);
+  EXPECT_EQ(not_exists.args[0]->kind, ExprKind::kExists);
+}
+
+TEST(ParserTest, CaseExpression) {
+  Statement s = MustParse(
+      "SELECT CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' "
+      "ELSE 'many' END FROM t");
+  const Expr& e = *s.select->items[0].expr;
+  ASSERT_EQ(e.kind, ExprKind::kCase);
+  EXPECT_EQ(e.args.size(), 5u);
+  EXPECT_TRUE(e.has_else);
+}
+
+TEST(ParserTest, FunctionCalls) {
+  Statement s = MustParse("SELECT count(*), f(a, g(b)) FROM t");
+  EXPECT_EQ(s.select->items[0].expr->kind, ExprKind::kFuncCall);
+  EXPECT_EQ(s.select->items[0].expr->args[0]->kind, ExprKind::kStar);
+  EXPECT_EQ(s.select->items[1].expr->args[1]->text, "g");
+}
+
+TEST(ParserTest, CreateTable) {
+  Statement s = MustParse(
+      "CREATE TABLE t (a CHAR(20), b INT, c Element)");
+  EXPECT_EQ(s.kind, Statement::Kind::kCreateTable);
+  EXPECT_EQ(s.table, "t");
+  ASSERT_EQ(s.columns.size(), 3u);
+  EXPECT_EQ(s.columns[0].type_name, "CHAR");
+  EXPECT_EQ(s.columns[2].type_name, "Element");
+}
+
+TEST(ParserTest, InsertMultiRowWithColumns) {
+  Statement s = MustParse(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  EXPECT_EQ(s.kind, Statement::Kind::kInsert);
+  EXPECT_EQ(s.insert_columns.size(), 2u);
+  EXPECT_EQ(s.insert_rows.size(), 2u);
+}
+
+TEST(ParserTest, UpdateDelete) {
+  Statement u = MustParse("UPDATE t SET a = 1, b = b + 1 WHERE c = 2");
+  EXPECT_EQ(u.kind, Statement::Kind::kUpdate);
+  EXPECT_EQ(u.update_sets.size(), 2u);
+  EXPECT_NE(u.where, nullptr);
+  Statement d = MustParse("DELETE FROM t");
+  EXPECT_EQ(d.kind, Statement::Kind::kDelete);
+  EXPECT_EQ(d.where, nullptr);
+}
+
+TEST(ParserTest, SetAndExplainAndIndexes) {
+  Statement set = MustParse("SET NOW '1999-11-15'");
+  EXPECT_EQ(set.kind, Statement::Kind::kSet);
+  EXPECT_EQ(set.option, "now");
+  Statement ex = MustParse("EXPLAIN SELECT 1");
+  EXPECT_EQ(ex.kind, Statement::Kind::kExplain);
+  Statement ci = MustParse("CREATE INDEX i ON t (valid) USING interval");
+  EXPECT_EQ(ci.kind, Statement::Kind::kCreateIndex);
+  EXPECT_EQ(ci.index_column, "valid");
+  EXPECT_EQ(ci.index_method, "interval");
+  Statement di = MustParse("DROP INDEX i ON t");
+  EXPECT_EQ(di.kind, Statement::Kind::kDropIndex);
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_EQ(MustParse("SELECT 1;").kind, Statement::Kind::kSelect);
+}
+
+TEST(ParserTest, Rejections) {
+  EXPECT_FALSE(ParseStatement("").ok());
+  EXPECT_FALSE(ParseStatement("SELEC 1").ok());
+  EXPECT_FALSE(ParseStatement("SELECT 1 extra garbage ,").ok());
+  EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO t VALUES").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t ()").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseStatement("SELECT (1 + 2").ok());
+  EXPECT_FALSE(ParseStatement("SELECT CASE END").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a IN () FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT 1 LIMIT x").ok());
+}
+
+TEST(ParserTest, BareExpressionEntryPoint) {
+  Result<ExprPtr> e = ParseExpression("1 + 2 * x");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->text, "+");
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+  EXPECT_FALSE(ParseExpression("1 2").ok());
+}
+
+}  // namespace
+}  // namespace tip::engine

@@ -1,0 +1,137 @@
+#include "engine/types/type.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tip::engine {
+namespace {
+
+TEST(DatumTest, ScalarConstructionAndAccess) {
+  EXPECT_TRUE(Datum::Null().is_null());
+  EXPECT_EQ(Datum::Null().type_id(), TypeId::kNull);
+  EXPECT_EQ(Datum::NullOf(TypeId::kInt).type_id(), TypeId::kInt);
+  EXPECT_TRUE(Datum::NullOf(TypeId::kInt).is_null());
+  EXPECT_EQ(Datum::Bool(true).bool_value(), true);
+  EXPECT_EQ(Datum::Int(-3).int_value(), -3);
+  EXPECT_DOUBLE_EQ(Datum::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Datum::String("hi").string_value(), "hi");
+}
+
+TEST(DatumTest, ExtensionPayloadSharing) {
+  const TypeId id = static_cast<TypeId>(kFirstExtensionTypeId);
+  Datum a = Datum::Make(id, std::string("payload"));
+  Datum b = a;  // refcount bump, shared payload
+  EXPECT_EQ(&a.payload(), &b.payload());
+  EXPECT_EQ(b.extension<std::string>(), "payload");
+  EXPECT_TRUE(IsExtensionType(id));
+  EXPECT_FALSE(IsExtensionType(TypeId::kInt));
+}
+
+TEST(TypeRegistryTest, BuiltinsPreRegistered) {
+  TypeRegistry reg;
+  EXPECT_EQ(*reg.FindByName("int"), TypeId::kInt);
+  EXPECT_EQ(*reg.FindByName("INTEGER"), TypeId::kInt);
+  EXPECT_EQ(*reg.FindByName("char"), TypeId::kString);
+  EXPECT_EQ(*reg.FindByName("varchar"), TypeId::kString);
+  EXPECT_EQ(*reg.FindByName("double"), TypeId::kDouble);
+  EXPECT_EQ(*reg.FindByName("boolean"), TypeId::kBool);
+  EXPECT_FALSE(reg.FindByName("nosuch").ok());
+}
+
+TEST(TypeRegistryTest, BuiltinParseFormat) {
+  TypeRegistry reg;
+  const TypeOps& int_ops = reg.Get(TypeId::kInt).ops;
+  EXPECT_EQ((*int_ops.parse("42")).int_value(), 42);
+  EXPECT_FALSE(int_ops.parse("4x").ok());
+  EXPECT_EQ(reg.Format(Datum::Int(42)), "42");
+  EXPECT_EQ(reg.Format(Datum::Null()), "NULL");
+  EXPECT_EQ(reg.Format(Datum::Bool(false)), "false");
+}
+
+TEST(TypeRegistryTest, RegisterExtensionType) {
+  TypeRegistry reg;
+  TypeOps ops;
+  ops.parse = [](std::string_view) -> Result<Datum> {
+    return Datum::Null();
+  };
+  ops.format = [](const Datum&) { return std::string("v"); };
+  Result<TypeId> id = reg.RegisterType("mytype", std::move(ops));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(IsExtensionType(*id));
+  EXPECT_EQ(*reg.FindByName("MyType"), *id);
+  EXPECT_EQ(reg.Get(*id).name, "mytype");
+  // Duplicate names rejected.
+  TypeOps dup;
+  dup.parse = [](std::string_view) -> Result<Datum> { return Datum::Null(); };
+  dup.format = [](const Datum&) { return std::string(); };
+  EXPECT_FALSE(reg.RegisterType("mytype", std::move(dup)).ok());
+}
+
+TEST(TypeRegistryTest, RegisterRequiresInputOutputFunctions) {
+  TypeRegistry reg;
+  EXPECT_FALSE(reg.RegisterType("broken", TypeOps{}).ok());
+}
+
+TEST(TypeRegistryTest, FactoryRegistrationSeesOwnId) {
+  TypeRegistry reg;
+  TypeId captured = TypeId::kNull;
+  Result<TypeId> id = reg.RegisterType("selfaware", [&](TypeId minted) {
+    captured = minted;
+    TypeOps ops;
+    ops.parse = [minted](std::string_view) -> Result<Datum> {
+      return Datum::Make(minted, int{1});
+    };
+    ops.format = [](const Datum&) { return std::string("x"); };
+    return ops;
+  });
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(captured, *id);
+  Result<Datum> value = reg.Get(*id).ops.parse("anything");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->type_id(), *id);
+}
+
+TEST(TypeRegistryTest, CompareAndHashConsistency) {
+  TypeRegistry reg;
+  TxContext ctx;
+  EXPECT_EQ(*reg.Compare(Datum::Int(1), Datum::Int(2), ctx), -1);
+  EXPECT_EQ(*reg.Compare(Datum::String("b"), Datum::String("a"), ctx), 1);
+  EXPECT_EQ(*reg.Compare(Datum::Double(1.5), Datum::Double(1.5), ctx), 0);
+  EXPECT_FALSE(reg.Compare(Datum::Int(1), Datum::String("1"), ctx).ok());
+  EXPECT_EQ(*reg.Hash(Datum::Int(7), ctx), *reg.Hash(Datum::Int(7), ctx));
+  EXPECT_TRUE(reg.IsComparable(TypeId::kInt));
+  EXPECT_TRUE(reg.IsHashable(TypeId::kString));
+}
+
+TEST(TypeRegistryTest, DoubleTotalOrderWithNaN) {
+  TypeRegistry reg;
+  TxContext ctx;
+  const double nan = std::nan("");
+  EXPECT_EQ(*reg.Compare(Datum::Double(nan), Datum::Double(nan), ctx), 0);
+  EXPECT_EQ(*reg.Compare(Datum::Double(1.0), Datum::Double(nan), ctx), -1);
+  EXPECT_EQ(*reg.Compare(Datum::Double(nan), Datum::Double(1.0), ctx), 1);
+}
+
+TEST(TypeRegistryTest, SerializeDeserializeBuiltins) {
+  TypeRegistry reg;
+  for (const Datum& d : {Datum::Int(-123456789), Datum::Double(3.25),
+                         Datum::Bool(true), Datum::String("abc")}) {
+    std::string bytes = reg.Serialize(d);
+    Result<Datum> back = reg.Get(d.type_id()).ops.deserialize(bytes);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*reg.Compare(d, *back, TxContext()), 0);
+  }
+  EXPECT_EQ(reg.Serialize(Datum::Int(0)).size(), 8u);
+  EXPECT_EQ(reg.Serialize(Datum::Bool(true)).size(), 1u);
+}
+
+TEST(TypeRegistryTest, AliasCollisionRejected) {
+  TypeRegistry reg;
+  EXPECT_FALSE(reg.AddAlias("int", TypeId::kDouble).ok());
+  EXPECT_TRUE(reg.AddAlias("int8", TypeId::kInt).ok());
+  EXPECT_EQ(*reg.FindByName("int8"), TypeId::kInt);
+}
+
+}  // namespace
+}  // namespace tip::engine

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "browser/timeline.h"
+#include "client/connection.h"
+#include "layered/layered.h"
+#include "workload/medical.h"
+
+namespace tip {
+namespace {
+
+/// Figure 1 end-to-end: client library -> engine with the TIP DataBlade
+/// installed -> browser, over the synthetic medical database, plus the
+/// layered baseline sharing the same engine. Every architectural layer
+/// participates in one flow.
+TEST(ArchitectureTest, Figure1AllLayersWiredTogether) {
+  // Client connects; the DataBlade is installed underneath.
+  Result<std::unique_ptr<client::Connection>> conn_or =
+      client::Connection::Open();
+  ASSERT_TRUE(conn_or.ok());
+  client::Connection& conn = **conn_or;
+  conn.SetNow(*Chronon::Parse("1999-11-15"));
+
+  // Workload generator populates the demo database.
+  workload::MedicalConfig config;
+  config.rows = 200;
+  config.num_patients = 12;
+  config.now_relative_fraction = 0.15;
+  Result<std::vector<workload::PrescriptionRow>> rows =
+      workload::SetUpPrescriptionTable(&conn.database(),
+                                       conn.tip_types(), config, "rx");
+  ASSERT_TRUE(rows.ok());
+
+  // An interval index over the Element column.
+  ASSERT_TRUE(conn.Execute("CREATE INDEX rx_valid ON rx (valid) "
+                           "USING interval").ok());
+
+  // A TIP temporal query through the client API with a bound parameter.
+  client::Statement stmt = conn.Prepare(
+      "SELECT patient, drug, valid FROM rx "
+      "WHERE overlaps(valid, :window) ORDER BY patient, drug LIMIT 20");
+  Result<client::ResultSet> result =
+      stmt.BindElement("window",
+                       *Element::Parse("{[1995-01-01, 1996-12-31]}"))
+          .Execute();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->row_count(), 0u);
+
+  // The browser renders the result with a window and highlights.
+  Result<browser::TimelineView> view = browser::TimelineView::Create(
+      *result, "valid", conn.database().CurrentTx());
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  Result<GroundedPeriod> extent = view->FullExtent();
+  ASSERT_TRUE(extent.ok());
+  browser::TimeWindow window{extent->start(), extent->end()};
+  std::string rendered = view->Render(window, 48);
+  EXPECT_NE(rendered.find('='), std::string::npos);
+  EXPECT_NE(rendered.find('*'), std::string::npos);
+
+  // The layered baseline flattens the same data on the same engine and
+  // agrees on a simple count.
+  ASSERT_TRUE(layered::CreateFlatPrescriptionTable(&conn.database(),
+                                                   "rx_flat").ok());
+  ASSERT_TRUE(layered::LoadFlatPrescriptions(
+      &conn.database(), *rows, "rx_flat",
+      conn.database().CurrentTx()).ok());
+  Result<client::ResultSet> tip_count = conn.Execute(
+      "SELECT count(*) FROM rx WHERE contains(valid, "
+      "'1995-06-15'::Chronon)");
+  ASSERT_TRUE(tip_count.ok());
+  engine::Params params;
+  params["t"] =
+      engine::Datum::Int(Chronon::Parse("1995-06-15")->seconds());
+  Result<engine::ResultSet> flat_rows = conn.database().Execute(
+      layered::TimesliceSql("rx_flat"), params);
+  ASSERT_TRUE(flat_rows.ok());
+  EXPECT_EQ(tip_count->GetInt(0, 0),
+            static_cast<int64_t>(flat_rows->rows.size()));
+}
+
+/// DML round trip across the stack: inserts and updates through SQL
+/// strings with TIP literals, reads through typed client getters.
+TEST(ArchitectureTest, DmlRoundTripWithTemporalLiterals) {
+  Result<std::unique_ptr<client::Connection>> conn_or =
+      client::Connection::Open();
+  ASSERT_TRUE(conn_or.ok());
+  client::Connection& conn = **conn_or;
+  conn.SetNow(*Chronon::Parse("1999-11-15"));
+
+  ASSERT_TRUE(conn.Execute("CREATE TABLE visits (who CHAR(8), "
+                           "valid Element)").ok());
+  ASSERT_TRUE(conn.Execute("INSERT INTO visits VALUES "
+                           "('ann', '{[1999-01-01, 1999-01-31 23:59:59]}'), "
+                           "('bob', '{[1999-03-01, NOW]}')").ok());
+  // Extend ann's visits via union with an update.
+  Result<client::ResultSet> updated = conn.Execute(
+      "UPDATE visits SET valid = union(valid, "
+      "'{[1999-02-01, 1999-02-14]}'::Element) WHERE who = 'ann'");
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_EQ(updated->affected_rows(), 1);
+
+  Result<client::ResultSet> readback = conn.Execute(
+      "SELECT valid FROM visits WHERE who = 'ann'");
+  ASSERT_TRUE(readback.ok());
+  // January meets February: the stored element coalesced.
+  EXPECT_EQ(readback->GetElement(0, 0).ToString(),
+            "{[1999-01-01, 1999-02-14]}");
+
+  // Delete rows not valid today; the NOW-relative row survives.
+  Result<client::ResultSet> deleted = conn.Execute(
+      "DELETE FROM visits WHERE NOT contains(valid, transaction_time())");
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted->affected_rows(), 1);
+  Result<client::ResultSet> rest = conn.Execute("SELECT who FROM visits");
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest->row_count(), 1u);
+  EXPECT_EQ(rest->GetString(0, 0), "bob");
+}
+
+}  // namespace
+}  // namespace tip

@@ -1,0 +1,187 @@
+#include "tsql2/translator.h"
+
+#include <gtest/gtest.h>
+
+#include "datablade/datablade.h"
+
+namespace tip::tsql2 {
+namespace {
+
+/// The TSQL2-flavoured sequenced layer (the paper's future work) is a
+/// *thin* translator targeting TIP routines — each TSQL2 query becomes
+/// one small TIP SQL statement, executed and checked here against
+/// hand-written TIP SQL.
+class Tsql2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(datablade::Install(&db_).ok());
+    Exec("SET NOW '1999-11-15'");
+    Exec("CREATE TABLE rx (patient CHAR(20), drug CHAR(20), "
+         "valid Element)");
+    Exec("INSERT INTO rx VALUES "
+         "('showbiz', 'diabeta', '{[1999-10-01, NOW]}'), "
+         "('showbiz', 'aspirin', '{[1999-09-15, 1999-10-20]}'), "
+         "('janedoe', 'tylenol', '{[1999-09-10, 1999-09-20]}'), "
+         "('casper',  'nothing', '{}')");
+    Exec("CREATE TABLE stay (patient CHAR(20), ward CHAR(10), "
+         "valid Element)");
+    Exec("INSERT INTO stay VALUES "
+         "('showbiz', 'west', '{[1999-10-10, 1999-10-15]}'), "
+         "('janedoe', 'east', '{[1999-09-01, 1999-09-12]}')");
+  }
+
+  engine::ResultSet Exec(std::string_view sql) {
+    Result<engine::ResultSet> r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : engine::ResultSet{};
+  }
+
+  engine::ResultSet ExecTsql2(std::string_view tsql2) {
+    Result<std::string> sql = Translate(tsql2);
+    EXPECT_TRUE(sql.ok()) << tsql2 << " -> " << sql.status().ToString();
+    if (!sql.ok()) return engine::ResultSet{};
+    return Exec(*sql);
+  }
+
+  std::string Flat(const engine::ResultSet& r) {
+    std::string out;
+    for (size_t i = 0; i < r.rows.size(); ++i) {
+      if (i > 0) out += ";";
+      for (size_t j = 0; j < r.rows[i].size(); ++j) {
+        if (j > 0) out += ",";
+        out += db_.types().Format(r.rows[i][j]);
+      }
+    }
+    return out;
+  }
+
+  engine::Database db_;
+};
+
+TEST_F(Tsql2Test, DetectsTemporalStatements) {
+  EXPECT_TRUE(IsTemporalStatement("VALIDTIME SELECT 1"));
+  EXPECT_TRUE(IsTemporalStatement("  validtime select 1"));
+  EXPECT_TRUE(IsTemporalStatement("NONSEQUENCED VALIDTIME SELECT 1"));
+  EXPECT_FALSE(IsTemporalStatement("SELECT 1"));
+  EXPECT_FALSE(IsTemporalStatement(""));
+}
+
+TEST_F(Tsql2Test, PlainSqlPassesThrough) {
+  Result<std::string> sql = Translate("SELECT patient FROM rx");
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(*sql, "SELECT patient FROM rx");
+}
+
+TEST_F(Tsql2Test, NonsequencedStripsPrefix) {
+  Result<std::string> sql = Translate(
+      "NONSEQUENCED VALIDTIME SELECT count(*) FROM rx");
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(*sql, "SELECT count(*) FROM rx");
+}
+
+TEST_F(Tsql2Test, SequencedSelectionAppendsValidAndFiltersEmpty) {
+  engine::ResultSet r = ExecTsql2(
+      "VALIDTIME SELECT patient, drug FROM rx ORDER BY patient, drug");
+  // casper's empty-element row is never valid -> excluded; every result
+  // row carries its valid element.
+  ASSERT_EQ(r.rows.size(), 3u);
+  ASSERT_EQ(r.columns.size(), 3u);
+  EXPECT_EQ(r.columns[2].name, "valid");
+  EXPECT_EQ(r.rows[0][0].string_value(), "janedoe");
+  EXPECT_EQ(db_.types().Format(r.rows[2][2]), "{[1999-10-01, NOW]}");
+}
+
+TEST_F(Tsql2Test, SequencedJoinMatchesHandWrittenTip) {
+  engine::ResultSet translated = ExecTsql2(
+      "VALIDTIME SELECT a.patient, a.drug, s.ward FROM rx a, stay s "
+      "WHERE a.patient = s.patient ORDER BY a.patient, a.drug");
+  engine::ResultSet hand = Exec(
+      "SELECT a.patient, a.drug, s.ward, "
+      "intersect(a.valid, s.valid) AS valid FROM rx a, stay s "
+      "WHERE a.patient = s.patient AND overlaps(a.valid, s.valid) "
+      "ORDER BY a.patient, a.drug");
+  ASSERT_EQ(translated.rows.size(), hand.rows.size());
+  for (size_t i = 0; i < hand.rows.size(); ++i) {
+    for (size_t j = 0; j < hand.rows[i].size(); ++j) {
+      EXPECT_EQ(db_.types().Format(translated.rows[i][j]),
+                db_.types().Format(hand.rows[i][j]));
+    }
+  }
+  // Concretely: diabeta x west-ward overlap [10-10, 10-15]; tylenol x
+  // east-ward overlap [09-10, 09-12]; aspirin x west [10-10, 10-15].
+  ASSERT_EQ(translated.rows.size(), 3u);
+  EXPECT_EQ(db_.types().Format(translated.rows[0][3]),
+            "{[1999-09-10, 1999-09-12]}");
+}
+
+TEST_F(Tsql2Test, AsOfTimeslice) {
+  engine::ResultSet r = ExecTsql2(
+      "VALIDTIME AS OF '1999-09-17' SELECT patient, drug FROM rx "
+      "ORDER BY patient");
+  // Valid on 1999-09-17: janedoe/tylenol and showbiz/aspirin.
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.columns.size(), 2u);  // snapshot: no valid column
+  EXPECT_EQ(r.rows[0][0].string_value(), "janedoe");
+  EXPECT_EQ(r.rows[1][1].string_value(), "aspirin");
+}
+
+TEST_F(Tsql2Test, AsOfNowRelative) {
+  // AS OF 'NOW-30' slices thirty days before the transaction time.
+  engine::ResultSet r = ExecTsql2(
+      "VALIDTIME AS OF 'NOW-30' SELECT patient, drug FROM rx "
+      "ORDER BY patient, drug");
+  // 1999-10-16: aspirin (09-15..10-20) and diabeta (10-01..NOW).
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].string_value(), "aspirin");
+  EXPECT_EQ(r.rows[1][1].string_value(), "diabeta");
+}
+
+TEST_F(Tsql2Test, ThreeWaySequencedJoinUsesIntersection) {
+  Exec("CREATE TABLE diet (patient CHAR(20), kind CHAR(10), "
+       "valid Element)");
+  Exec("INSERT INTO diet VALUES ('showbiz', 'lowcarb', "
+       "'{[1999-10-12, 1999-10-13]}')");
+  engine::ResultSet r = ExecTsql2(
+      "VALIDTIME SELECT a.patient FROM rx a, stay s, diet d "
+      "WHERE a.patient = s.patient AND s.patient = d.patient "
+      "AND a.drug = 'diabeta'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(db_.types().Format(r.rows[0][1]),
+            "{[1999-10-12, 1999-10-13]}");
+}
+
+TEST_F(Tsql2Test, SequencedRejectsUnsupportedShapes) {
+  EXPECT_EQ(Translate("VALIDTIME SELECT patient, count(*) FROM rx "
+                      "GROUP BY patient").status().code(),
+            StatusCode::kNotImplemented);
+  EXPECT_EQ(Translate("VALIDTIME SELECT a.x FROM a JOIN b ON a.x = b.x")
+                .status().code(),
+            StatusCode::kNotImplemented);
+  EXPECT_EQ(Translate("VALIDTIME SELECT 1 FROM a UNION SELECT 1 FROM b")
+                .status().code(),
+            StatusCode::kNotImplemented);
+  EXPECT_EQ(Translate("VALIDTIME SELECT 1").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(Translate("VALIDTIME AS OF missing SELECT 1 FROM rx")
+                .status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(Translate("NONSEQUENCED SELECT 1").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(Tsql2Test, SequencedJoinPlansThroughTheIntervalIndex) {
+  Exec("CREATE INDEX stay_valid ON stay (valid) USING interval");
+  Result<std::string> sql = Translate(
+      "VALIDTIME SELECT a.patient FROM rx a, stay s "
+      "WHERE a.patient = s.patient");
+  ASSERT_TRUE(sql.ok());
+  engine::ResultSet plan = Exec("EXPLAIN " + *sql);
+  std::string text;
+  for (const engine::Row& row : plan.rows) text += row[0].string_value();
+  // The translated overlaps() conjunct is exactly what the optimizer
+  // knows how to turn into an interval-index join.
+  EXPECT_NE(text.find("IntervalIndexJoin"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tip::tsql2

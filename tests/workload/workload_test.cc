@@ -1,0 +1,135 @@
+#include "workload/medical.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace tip::workload {
+namespace {
+
+TEST(MedicalGeneratorTest, DeterministicForSameConfig) {
+  MedicalConfig config;
+  config.rows = 50;
+  std::vector<PrescriptionRow> a = GeneratePrescriptions(config);
+  std::vector<PrescriptionRow> b = GeneratePrescriptions(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].patient, b[i].patient);
+    EXPECT_EQ(a[i].drug, b[i].drug);
+    EXPECT_EQ(a[i].valid, b[i].valid);
+  }
+}
+
+TEST(MedicalGeneratorTest, SeedChangesData) {
+  MedicalConfig a_config;
+  a_config.rows = 50;
+  MedicalConfig b_config = a_config;
+  b_config.seed = 43;
+  std::vector<PrescriptionRow> a = GeneratePrescriptions(a_config);
+  std::vector<PrescriptionRow> b = GeneratePrescriptions(b_config);
+  int differing = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].valid == b[i].valid)) ++differing;
+  }
+  EXPECT_GT(differing, 25);
+}
+
+TEST(MedicalGeneratorTest, RespectsConfigShape) {
+  MedicalConfig config;
+  config.rows = 300;
+  config.num_patients = 10;
+  config.num_drugs = 5;
+  config.min_periods = 2;
+  config.max_periods = 3;
+  config.now_relative_fraction = 0.0;
+  std::vector<PrescriptionRow> rows = GeneratePrescriptions(config);
+  ASSERT_EQ(rows.size(), 300u);
+  std::set<std::string> patients, drugs;
+  for (const PrescriptionRow& row : rows) {
+    patients.insert(row.patient);
+    drugs.insert(row.drug);
+    EXPECT_GE(row.valid.size(), 2u);
+    EXPECT_LE(row.valid.size(), 3u);
+    EXPECT_TRUE(row.valid.is_absolute());
+    EXPECT_GE(row.dosage, 1);
+  }
+  EXPECT_LE(patients.size(), 10u);
+  EXPECT_LE(drugs.size(), 5u);
+  EXPECT_GT(patients.size(), 5u);  // all ten almost surely drawn
+}
+
+TEST(MedicalGeneratorTest, NowRelativeFractionProducesOpenRows) {
+  MedicalConfig config;
+  config.rows = 400;
+  config.now_relative_fraction = 0.5;
+  std::vector<PrescriptionRow> rows = GeneratePrescriptions(config);
+  int open = 0;
+  for (const PrescriptionRow& row : rows) {
+    if (!row.valid.is_absolute()) ++open;
+  }
+  EXPECT_GT(open, 100);
+  EXPECT_LT(open, 300);
+}
+
+TEST(MedicalGeneratorTest, DobConsistentPerPatient) {
+  MedicalConfig config;
+  config.rows = 200;
+  config.num_patients = 20;
+  std::vector<PrescriptionRow> rows = GeneratePrescriptions(config);
+  std::map<std::string, Chronon> dob;
+  for (const PrescriptionRow& row : rows) {
+    auto [it, inserted] = dob.emplace(row.patient, row.patient_dob);
+    if (!inserted) {
+      EXPECT_EQ(it->second, row.patient_dob) << row.patient;
+    }
+  }
+}
+
+TEST(MedicalGeneratorTest, LoadsIntoEngine) {
+  engine::Database db;
+  ASSERT_TRUE(datablade::Install(&db).ok());
+  datablade::TipTypes types = *datablade::TipTypes::Lookup(db);
+  MedicalConfig config;
+  config.rows = 120;
+  Result<std::vector<PrescriptionRow>> rows =
+      SetUpPrescriptionTable(&db, types, config, "rx");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  Result<engine::ResultSet> count = db.Execute("SELECT count(*) FROM rx");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].int_value(), 120);
+  // Loaded elements are queryable through TIP routines.
+  Result<engine::ResultSet> lengths = db.Execute(
+      "SELECT patient, length(group_union(valid)) FROM rx "
+      "GROUP BY patient");
+  ASSERT_TRUE(lengths.ok()) << lengths.status().ToString();
+  EXPECT_GT(lengths->rows.size(), 0u);
+}
+
+TEST(RandomGroundedElementTest, CanonicalWithExactPeriodCount) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const size_t n = static_cast<size_t>(rng.Uniform(0, 20));
+    GroundedElement e =
+        RandomGroundedElement(&rng, n, 0, 3600, 7200);
+    EXPECT_EQ(e.size(), n);
+    for (size_t k = 1; k < e.periods().size(); ++k) {
+      EXPECT_LT(e.periods()[k - 1].end().seconds() + 1,
+                e.periods()[k].start().seconds());
+    }
+  }
+}
+
+TEST(RandomElementTest, MixesNowRelativeRows) {
+  Rng rng(9);
+  MedicalConfig config;
+  config.now_relative_fraction = 1.0;
+  Element e = RandomElement(&rng, config);
+  EXPECT_FALSE(e.is_absolute());
+  config.now_relative_fraction = 0.0;
+  Element abs = RandomElement(&rng, config);
+  EXPECT_TRUE(abs.is_absolute());
+}
+
+}  // namespace
+}  // namespace tip::workload

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coalesce.dir/bench_coalesce.cc.o"
+  "CMakeFiles/bench_coalesce.dir/bench_coalesce.cc.o.d"
+  "bench_coalesce"
+  "bench_coalesce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_element_ops.dir/bench_element_ops.cc.o"
+  "CMakeFiles/bench_element_ops.dir/bench_element_ops.cc.o.d"
+  "bench_element_ops"
+  "bench_element_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_element_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_now.dir/bench_now.cc.o"
+  "CMakeFiles/bench_now.dir/bench_now.cc.o.d"
+  "bench_now"
+  "bench_now.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_now.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

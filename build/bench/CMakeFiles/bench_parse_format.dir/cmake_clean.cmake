@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parse_format.dir/bench_parse_format.cc.o"
+  "CMakeFiles/bench_parse_format.dir/bench_parse_format.cc.o.d"
+  "bench_parse_format"
+  "bench_parse_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parse_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_period_index.dir/bench_period_index.cc.o"
+  "CMakeFiles/bench_period_index.dir/bench_period_index.cc.o.d"
+  "bench_period_index"
+  "bench_period_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_period_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_temporal_join.dir/bench_temporal_join.cc.o"
+  "CMakeFiles/bench_temporal_join.dir/bench_temporal_join.cc.o.d"
+  "bench_temporal_join"
+  "bench_temporal_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_temporal_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitemporal_audit.dir/bitemporal_audit.cpp.o"
+  "CMakeFiles/bitemporal_audit.dir/bitemporal_audit.cpp.o.d"
+  "bitemporal_audit"
+  "bitemporal_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitemporal_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

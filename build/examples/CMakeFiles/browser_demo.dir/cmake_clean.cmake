@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_demo.dir/browser_demo.cpp.o"
+  "CMakeFiles/browser_demo.dir/browser_demo.cpp.o.d"
+  "browser_demo"
+  "browser_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

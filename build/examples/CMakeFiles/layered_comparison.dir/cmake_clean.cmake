@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layered_comparison.dir/layered_comparison.cpp.o"
+  "CMakeFiles/layered_comparison.dir/layered_comparison.cpp.o.d"
+  "layered_comparison"
+  "layered_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layered_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

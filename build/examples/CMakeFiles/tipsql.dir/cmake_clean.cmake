@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tipsql.dir/tipsql.cpp.o"
+  "CMakeFiles/tipsql.dir/tipsql.cpp.o.d"
+  "tipsql"
+  "tipsql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tipsql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

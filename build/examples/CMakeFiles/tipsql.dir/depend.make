@@ -1,0 +1,2 @@
+# Empty dependencies file for tipsql.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_view.dir/warehouse_view.cpp.o"
+  "CMakeFiles/warehouse_view.dir/warehouse_view.cpp.o.d"
+  "warehouse_view"
+  "warehouse_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tip_browser.dir/timeline.cc.o"
+  "CMakeFiles/tip_browser.dir/timeline.cc.o.d"
+  "libtip_browser.a"
+  "libtip_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tip_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

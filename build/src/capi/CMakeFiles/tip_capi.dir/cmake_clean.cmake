@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tip_capi.dir/tip_c.cc.o"
+  "CMakeFiles/tip_capi.dir/tip_c.cc.o.d"
+  "libtip_capi.a"
+  "libtip_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tip_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

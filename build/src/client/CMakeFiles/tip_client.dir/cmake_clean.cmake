@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tip_client.dir/connection.cc.o"
+  "CMakeFiles/tip_client.dir/connection.cc.o.d"
+  "libtip_client.a"
+  "libtip_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tip_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tip_common.dir/status.cc.o"
+  "CMakeFiles/tip_common.dir/status.cc.o.d"
+  "CMakeFiles/tip_common.dir/string_util.cc.o"
+  "CMakeFiles/tip_common.dir/string_util.cc.o.d"
+  "libtip_common.a"
+  "libtip_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tip_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

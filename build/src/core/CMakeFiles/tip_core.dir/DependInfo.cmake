@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chronon.cc" "src/core/CMakeFiles/tip_core.dir/chronon.cc.o" "gcc" "src/core/CMakeFiles/tip_core.dir/chronon.cc.o.d"
+  "/root/repo/src/core/element.cc" "src/core/CMakeFiles/tip_core.dir/element.cc.o" "gcc" "src/core/CMakeFiles/tip_core.dir/element.cc.o.d"
+  "/root/repo/src/core/element_reference.cc" "src/core/CMakeFiles/tip_core.dir/element_reference.cc.o" "gcc" "src/core/CMakeFiles/tip_core.dir/element_reference.cc.o.d"
+  "/root/repo/src/core/instant.cc" "src/core/CMakeFiles/tip_core.dir/instant.cc.o" "gcc" "src/core/CMakeFiles/tip_core.dir/instant.cc.o.d"
+  "/root/repo/src/core/period.cc" "src/core/CMakeFiles/tip_core.dir/period.cc.o" "gcc" "src/core/CMakeFiles/tip_core.dir/period.cc.o.d"
+  "/root/repo/src/core/span.cc" "src/core/CMakeFiles/tip_core.dir/span.cc.o" "gcc" "src/core/CMakeFiles/tip_core.dir/span.cc.o.d"
+  "/root/repo/src/core/tx_context.cc" "src/core/CMakeFiles/tip_core.dir/tx_context.cc.o" "gcc" "src/core/CMakeFiles/tip_core.dir/tx_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

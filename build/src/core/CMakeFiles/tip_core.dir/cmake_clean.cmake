@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tip_core.dir/chronon.cc.o"
+  "CMakeFiles/tip_core.dir/chronon.cc.o.d"
+  "CMakeFiles/tip_core.dir/element.cc.o"
+  "CMakeFiles/tip_core.dir/element.cc.o.d"
+  "CMakeFiles/tip_core.dir/element_reference.cc.o"
+  "CMakeFiles/tip_core.dir/element_reference.cc.o.d"
+  "CMakeFiles/tip_core.dir/instant.cc.o"
+  "CMakeFiles/tip_core.dir/instant.cc.o.d"
+  "CMakeFiles/tip_core.dir/period.cc.o"
+  "CMakeFiles/tip_core.dir/period.cc.o.d"
+  "CMakeFiles/tip_core.dir/span.cc.o"
+  "CMakeFiles/tip_core.dir/span.cc.o.d"
+  "CMakeFiles/tip_core.dir/tx_context.cc.o"
+  "CMakeFiles/tip_core.dir/tx_context.cc.o.d"
+  "libtip_core.a"
+  "libtip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

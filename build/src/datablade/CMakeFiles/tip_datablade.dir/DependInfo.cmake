@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datablade/aggregates.cc" "src/datablade/CMakeFiles/tip_datablade.dir/aggregates.cc.o" "gcc" "src/datablade/CMakeFiles/tip_datablade.dir/aggregates.cc.o.d"
+  "/root/repo/src/datablade/casts.cc" "src/datablade/CMakeFiles/tip_datablade.dir/casts.cc.o" "gcc" "src/datablade/CMakeFiles/tip_datablade.dir/casts.cc.o.d"
+  "/root/repo/src/datablade/datablade.cc" "src/datablade/CMakeFiles/tip_datablade.dir/datablade.cc.o" "gcc" "src/datablade/CMakeFiles/tip_datablade.dir/datablade.cc.o.d"
+  "/root/repo/src/datablade/routines.cc" "src/datablade/CMakeFiles/tip_datablade.dir/routines.cc.o" "gcc" "src/datablade/CMakeFiles/tip_datablade.dir/routines.cc.o.d"
+  "/root/repo/src/datablade/types.cc" "src/datablade/CMakeFiles/tip_datablade.dir/types.cc.o" "gcc" "src/datablade/CMakeFiles/tip_datablade.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/tip_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

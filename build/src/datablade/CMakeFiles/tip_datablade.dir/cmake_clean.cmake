@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tip_datablade.dir/aggregates.cc.o"
+  "CMakeFiles/tip_datablade.dir/aggregates.cc.o.d"
+  "CMakeFiles/tip_datablade.dir/casts.cc.o"
+  "CMakeFiles/tip_datablade.dir/casts.cc.o.d"
+  "CMakeFiles/tip_datablade.dir/datablade.cc.o"
+  "CMakeFiles/tip_datablade.dir/datablade.cc.o.d"
+  "CMakeFiles/tip_datablade.dir/routines.cc.o"
+  "CMakeFiles/tip_datablade.dir/routines.cc.o.d"
+  "CMakeFiles/tip_datablade.dir/types.cc.o"
+  "CMakeFiles/tip_datablade.dir/types.cc.o.d"
+  "libtip_datablade.a"
+  "libtip_datablade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tip_datablade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

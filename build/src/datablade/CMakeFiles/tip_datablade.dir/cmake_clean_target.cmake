@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtip_datablade.a"
+)

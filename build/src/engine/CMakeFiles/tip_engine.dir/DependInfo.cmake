@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/builtins.cc" "src/engine/CMakeFiles/tip_engine.dir/builtins.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/builtins.cc.o.d"
+  "/root/repo/src/engine/catalog/aggregate_registry.cc" "src/engine/CMakeFiles/tip_engine.dir/catalog/aggregate_registry.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/catalog/aggregate_registry.cc.o.d"
+  "/root/repo/src/engine/catalog/cast_registry.cc" "src/engine/CMakeFiles/tip_engine.dir/catalog/cast_registry.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/catalog/cast_registry.cc.o.d"
+  "/root/repo/src/engine/catalog/catalog.cc" "src/engine/CMakeFiles/tip_engine.dir/catalog/catalog.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/engine/catalog/routine_registry.cc" "src/engine/CMakeFiles/tip_engine.dir/catalog/routine_registry.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/catalog/routine_registry.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/tip_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/exec/bound_expr.cc" "src/engine/CMakeFiles/tip_engine.dir/exec/bound_expr.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/exec/bound_expr.cc.o.d"
+  "/root/repo/src/engine/exec/exec_node.cc" "src/engine/CMakeFiles/tip_engine.dir/exec/exec_node.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/exec/exec_node.cc.o.d"
+  "/root/repo/src/engine/exec/planner.cc" "src/engine/CMakeFiles/tip_engine.dir/exec/planner.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/exec/planner.cc.o.d"
+  "/root/repo/src/engine/exec/result_set.cc" "src/engine/CMakeFiles/tip_engine.dir/exec/result_set.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/exec/result_set.cc.o.d"
+  "/root/repo/src/engine/index/interval_index.cc" "src/engine/CMakeFiles/tip_engine.dir/index/interval_index.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/index/interval_index.cc.o.d"
+  "/root/repo/src/engine/sql/lexer.cc" "src/engine/CMakeFiles/tip_engine.dir/sql/lexer.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/engine/sql/parser.cc" "src/engine/CMakeFiles/tip_engine.dir/sql/parser.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/sql/parser.cc.o.d"
+  "/root/repo/src/engine/storage/heap_table.cc" "src/engine/CMakeFiles/tip_engine.dir/storage/heap_table.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/storage/heap_table.cc.o.d"
+  "/root/repo/src/engine/storage/snapshot.cc" "src/engine/CMakeFiles/tip_engine.dir/storage/snapshot.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/storage/snapshot.cc.o.d"
+  "/root/repo/src/engine/types/type.cc" "src/engine/CMakeFiles/tip_engine.dir/types/type.cc.o" "gcc" "src/engine/CMakeFiles/tip_engine.dir/types/type.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

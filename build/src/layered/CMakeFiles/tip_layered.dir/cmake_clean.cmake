@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tip_layered.dir/layered.cc.o"
+  "CMakeFiles/tip_layered.dir/layered.cc.o.d"
+  "libtip_layered.a"
+  "libtip_layered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tip_layered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tip_tsql2.dir/translator.cc.o"
+  "CMakeFiles/tip_tsql2.dir/translator.cc.o.d"
+  "libtip_tsql2.a"
+  "libtip_tsql2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tip_tsql2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

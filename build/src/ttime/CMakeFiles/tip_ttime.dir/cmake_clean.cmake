@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tip_ttime.dir/tracked_table.cc.o"
+  "CMakeFiles/tip_ttime.dir/tracked_table.cc.o.d"
+  "libtip_ttime.a"
+  "libtip_ttime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tip_ttime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tip_workload.dir/medical.cc.o"
+  "CMakeFiles/tip_workload.dir/medical.cc.o.d"
+  "libtip_workload.a"
+  "libtip_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tip_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

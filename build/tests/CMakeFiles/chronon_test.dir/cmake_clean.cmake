@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronon_test.dir/core/chronon_test.cc.o"
+  "CMakeFiles/chronon_test.dir/core/chronon_test.cc.o.d"
+  "chronon_test"
+  "chronon_test.pdb"
+  "chronon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datablade_test.dir/datablade/datablade_test.cc.o"
+  "CMakeFiles/datablade_test.dir/datablade/datablade_test.cc.o.d"
+  "datablade_test"
+  "datablade_test.pdb"
+  "datablade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datablade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_property_test.dir/core/element_property_test.cc.o"
+  "CMakeFiles/element_property_test.dir/core/element_property_test.cc.o.d"
+  "element_property_test"
+  "element_property_test.pdb"
+  "element_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instant_test.dir/core/instant_test.cc.o"
+  "CMakeFiles/instant_test.dir/core/instant_test.cc.o.d"
+  "instant_test"
+  "instant_test.pdb"
+  "instant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

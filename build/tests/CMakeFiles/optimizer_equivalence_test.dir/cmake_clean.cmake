@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_equivalence_test.dir/engine/optimizer_equivalence_test.cc.o"
+  "CMakeFiles/optimizer_equivalence_test.dir/engine/optimizer_equivalence_test.cc.o.d"
+  "optimizer_equivalence_test"
+  "optimizer_equivalence_test.pdb"
+  "optimizer_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/period_test.dir/core/period_test.cc.o"
+  "CMakeFiles/period_test.dir/core/period_test.cc.o.d"
+  "period_test"
+  "period_test.pdb"
+  "period_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/period_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tip_routines_test.dir/datablade/routines_test.cc.o"
+  "CMakeFiles/tip_routines_test.dir/datablade/routines_test.cc.o.d"
+  "tip_routines_test"
+  "tip_routines_test.pdb"
+  "tip_routines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tip_routines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracked_table_test.dir/ttime/tracked_table_test.cc.o"
+  "CMakeFiles/tracked_table_test.dir/ttime/tracked_table_test.cc.o.d"
+  "tracked_table_test"
+  "tracked_table_test.pdb"
+  "tracked_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracked_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsql2_translator_test.dir/tsql2/translator_test.cc.o"
+  "CMakeFiles/tsql2_translator_test.dir/tsql2/translator_test.cc.o.d"
+  "tsql2_translator_test"
+  "tsql2_translator_test.pdb"
+  "tsql2_translator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsql2_translator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

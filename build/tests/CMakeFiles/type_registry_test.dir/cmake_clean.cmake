@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_registry_test.dir/engine/type_registry_test.cc.o"
+  "CMakeFiles/type_registry_test.dir/engine/type_registry_test.cc.o.d"
+  "type_registry_test"
+  "type_registry_test.pdb"
+  "type_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

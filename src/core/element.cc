@@ -207,14 +207,19 @@ Element Element::FromPeriods(std::vector<Period> periods) {
     return Element(std::move(periods), /*absolute_canonical=*/false);
   }
   // Eager normalization of the all-absolute fast path. Absolute periods
-  // built through the validating factories satisfy start <= end, so
-  // grounding under any context succeeds.
+  // built through the validating factories satisfy start <= end, but the
+  // unchecked Period(Instant, Instant) constructor can smuggle in an
+  // inverted absolute period, so grounding is checked: on failure we
+  // store the periods verbatim and let Element::Ground surface the
+  // error to the caller that actually evaluates the element.
   std::vector<GroundedPeriod> grounded;
   grounded.reserve(periods.size());
   TxContext ctx;  // irrelevant: no NOW-relative endpoints
   for (const Period& p : periods) {
     Result<GroundedPeriod> g = p.Ground(ctx);
-    assert(g.ok());
+    if (!g.ok()) {
+      return Element(std::move(periods), /*absolute_canonical=*/false);
+    }
     grounded.push_back(*g);
   }
   GroundedElement canonical = GroundedElement::FromPeriods(
@@ -246,9 +251,13 @@ Result<GroundedElement> Element::Ground(const TxContext& ctx) const {
       // A NOW-relative period that grounds inverted denotes "no time
       // yet" under this transaction time — e.g. {[1999-10-01, NOW]}
       // browsed with NOW overridden to 1999-09-17 — and contributes
-      // nothing (Clifford et al.'s semantics for NOW before start).
-      // Purely absolute periods cannot invert: their factories validate.
-      assert(!p.is_absolute());
+      // nothing (Clifford et al.'s semantics for NOW before start). An
+      // inverted *absolute* period has no such reading: it can only
+      // come from the unchecked Period constructor, and is an error.
+      if (p.is_absolute()) {
+        return Status::InvalidArgument("inverted absolute period " +
+                                       p.ToString() + " in Element");
+      }
       continue;
     }
     grounded.push_back(*GroundedPeriod::Make(start, end));
@@ -264,44 +273,33 @@ Result<Element> Element::Parse(std::string_view text) {
     return Status::ParseError("Element literal must be braced: '" +
                               std::string(text) + "'");
   }
-  std::string_view body = StripAsciiWhitespace(s.substr(1, s.size() - 2));
+  std::string_view rest = StripAsciiWhitespace(s.substr(1, s.size() - 2));
   std::vector<Period> periods;
-  size_t pos = 0;
-  while (pos < body.size()) {
-    size_t open = body.find('[', pos);
-    if (open == std::string_view::npos) {
-      if (!StripAsciiWhitespace(body.substr(pos)).empty()) {
-        return Status::ParseError("trailing garbage in Element literal: '" +
-                                  std::string(text) + "'");
-      }
-      break;
-    }
-    if (!StripAsciiWhitespace(body.substr(pos, open - pos)).empty() &&
-        StripAsciiWhitespace(body.substr(pos, open - pos)) != ",") {
+  // Strict grammar: '[' period ']' (',' '[' period ']')* — a comma is
+  // legal only *between* two periods, so leading, trailing and doubled
+  // commas are all rejected.
+  while (!rest.empty()) {
+    if (rest.front() != '[') {
       return Status::ParseError("unexpected text before period in Element "
                                 "literal: '" + std::string(text) + "'");
     }
-    size_t close = body.find(']', open);
+    size_t close = rest.find(']');
     if (close == std::string_view::npos) {
       return Status::ParseError("unterminated period in Element literal: '" +
                                 std::string(text) + "'");
     }
-    TIP_ASSIGN_OR_RETURN(Period p,
-                         Period::Parse(body.substr(open, close - open + 1)));
+    TIP_ASSIGN_OR_RETURN(Period p, Period::Parse(rest.substr(0, close + 1)));
     periods.push_back(p);
-    pos = close + 1;
-    // Consume an optional comma separator.
-    std::string_view rest = StripAsciiWhitespace(body.substr(pos));
-    if (!rest.empty() && rest.front() == ',') {
-      pos = body.find(',', pos) + 1;
-    } else if (!rest.empty() && rest.front() != '[') {
+    rest = StripAsciiWhitespace(rest.substr(close + 1));
+    if (rest.empty()) break;
+    if (rest.front() != ',') {
       return Status::ParseError("expected ',' between periods in Element "
                                 "literal: '" + std::string(text) + "'");
-    } else if (rest.empty()) {
-      break;
-    } else {
-      return Status::ParseError("missing ',' between periods in Element "
-                                "literal: '" + std::string(text) + "'");
+    }
+    rest = StripAsciiWhitespace(rest.substr(1));
+    if (rest.empty()) {
+      return Status::ParseError("trailing ',' in Element literal: '" +
+                                std::string(text) + "'");
     }
   }
   return Element::FromPeriods(std::move(periods));

@@ -92,6 +92,8 @@ class Element {
   /// Builds an element from arbitrary periods. All-absolute inputs are
   /// canonicalized eagerly; inputs with NOW-relative endpoints are stored
   /// verbatim (their canonical form depends on the transaction time).
+  /// An inverted absolute period (possible only via the unchecked Period
+  /// constructor) is also stored verbatim; Ground reports it as an error.
   static Element FromPeriods(std::vector<Period> periods);
 
   static Element FromGrounded(const GroundedElement& grounded);

@@ -137,39 +137,42 @@ Status RegisterAccessMethods(engine::Database* db, const TipTypes& t) {
   // Bounding-interval key extractors: the support functions the interval
   // access method needs for each indexable type. An Element's key is the
   // extent of its grounded canonical form; empty elements are unindexed.
+  // Each extractor also reports whether its key depends on NOW, which is
+  // what lets the segmented index keep absolute rows out of the
+  // NOW-dependent overlay.
+  using engine::IntervalKey;
   TIP_RETURN_IF_ERROR(db->RegisterIntervalKeyFn(
       t.element,
-      [](const Datum& v, const TxContext& ctx)
-          -> Result<std::optional<std::pair<int64_t, int64_t>>> {
-        TIP_ASSIGN_OR_RETURN(GroundedElement e, GetElement(v).Ground(ctx));
-        if (e.IsEmpty()) {
-          return std::optional<std::pair<int64_t, int64_t>>();
-        }
+      [](const Datum& v, const TxContext& ctx) -> Result<IntervalKey> {
+        const Element& element = GetElement(v);
+        const bool now_dep = !element.is_absolute();
+        TIP_ASSIGN_OR_RETURN(GroundedElement e, element.Ground(ctx));
+        if (e.IsEmpty()) return IntervalKey::Empty(now_dep);
         GroundedPeriod extent = e.Extent();
-        return std::make_optional(std::make_pair(
-            extent.start().seconds(), extent.end().seconds()));
+        return IntervalKey::Bounds(extent.start().seconds(),
+                                   extent.end().seconds(), now_dep);
       }));
   TIP_RETURN_IF_ERROR(db->RegisterIntervalKeyFn(
       t.period,
-      [](const Datum& v, const TxContext& ctx)
-          -> Result<std::optional<std::pair<int64_t, int64_t>>> {
-        TIP_ASSIGN_OR_RETURN(GroundedPeriod p, GetPeriod(v).Ground(ctx));
-        return std::make_optional(std::make_pair(p.start().seconds(),
-                                                 p.end().seconds()));
+      [](const Datum& v, const TxContext& ctx) -> Result<IntervalKey> {
+        const Period& period = GetPeriod(v);
+        TIP_ASSIGN_OR_RETURN(GroundedPeriod p, period.Ground(ctx));
+        return IntervalKey::Bounds(p.start().seconds(), p.end().seconds(),
+                                   !period.is_absolute());
       }));
   TIP_RETURN_IF_ERROR(db->RegisterIntervalKeyFn(
       t.instant,
-      [](const Datum& v, const TxContext& ctx)
-          -> Result<std::optional<std::pair<int64_t, int64_t>>> {
-        TIP_ASSIGN_OR_RETURN(Chronon c, GetInstant(v).Ground(ctx));
-        return std::make_optional(std::make_pair(c.seconds(), c.seconds()));
+      [](const Datum& v, const TxContext& ctx) -> Result<IntervalKey> {
+        const Instant& instant = GetInstant(v);
+        TIP_ASSIGN_OR_RETURN(Chronon c, instant.Ground(ctx));
+        return IntervalKey::Bounds(c.seconds(), c.seconds(),
+                                   instant.is_now_relative());
       }));
   TIP_RETURN_IF_ERROR(db->RegisterIntervalKeyFn(
       t.chronon,
-      [](const Datum& v, const TxContext&)
-          -> Result<std::optional<std::pair<int64_t, int64_t>>> {
+      [](const Datum& v, const TxContext&) -> Result<IntervalKey> {
         const int64_t s = GetChronon(v).seconds();
-        return std::make_optional(std::make_pair(s, s));
+        return IntervalKey::Bounds(s, s, /*now_dependent=*/false);
       }));
   return Status::OK();
 }

@@ -395,12 +395,70 @@ Status RegisterAggregates(Database* db) {
   return Status::OK();
 }
 
+Result<IndexStatsSnapshot> LookupIndexStats(const Database* db,
+                                            const std::string& table_name,
+                                            const std::string& index_name) {
+  TIP_ASSIGN_OR_RETURN(const Table* table,
+                       db->catalog().GetTable(table_name));
+  for (const IntervalIndexDef& def : table->interval_indexes()) {
+    if (EqualsIgnoreCase(def.name, index_name)) return def.stats();
+  }
+  return Status::NotFound("index '" + index_name + "' does not exist on '" +
+                          table->name() + "'");
+}
+
+// tip_index_stats('table', 'index')            -> formatted counter string
+// tip_index_stats('table', 'index', 'counter') -> one counter as INT
+// The observability surface for the segmented interval index: lets SQL
+// (and hence tests and benches) assert how often each segment was
+// rebuilt and how selective probes were.
+Status RegisterIndexStats(Database* db) {
+  RoutineRegistry& reg = db->routines();
+  const TypeId s = TypeId::kString;
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_index_stats", {s, s}, s,
+      [db](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        TIP_ASSIGN_OR_RETURN(
+            IndexStatsSnapshot stats,
+            LookupIndexStats(db, a[0].string_value(), a[1].string_value()));
+        return Datum::String(stats.ToString());
+      })));
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_index_stats", {s, s, s}, TypeId::kInt,
+      [db](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        TIP_ASSIGN_OR_RETURN(
+            IndexStatsSnapshot stats,
+            LookupIndexStats(db, a[0].string_value(), a[1].string_value()));
+        const std::string counter = ToLowerAscii(a[2].string_value());
+        uint64_t value;
+        if (counter == "absolute_builds") {
+          value = stats.absolute_builds;
+        } else if (counter == "overlay_builds") {
+          value = stats.overlay_builds;
+        } else if (counter == "probes") {
+          value = stats.probes;
+        } else if (counter == "rows_scanned") {
+          value = stats.rows_scanned;
+        } else if (counter == "rows_returned") {
+          value = stats.rows_returned;
+        } else {
+          return Status::InvalidArgument("unknown index counter '" +
+                                         counter + "'");
+        }
+        return Datum::Int(static_cast<int64_t>(value));
+      })));
+  return Status::OK();
+}
+
 }  // namespace
 
 Status RegisterBuiltins(Database* db) {
   TIP_RETURN_IF_ERROR(RegisterArithmetic(db));
   TIP_RETURN_IF_ERROR(RegisterCasts(db));
   TIP_RETURN_IF_ERROR(RegisterAggregates(db));
+  TIP_RETURN_IF_ERROR(RegisterIndexStats(db));
   return Status::OK();
 }
 

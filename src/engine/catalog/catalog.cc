@@ -31,6 +31,7 @@ Status Table::CreateIntervalIndex(std::string_view index_name, size_t column,
   def.name = ToLowerAscii(index_name);
   def.column = column;
   def.key_fn = std::move(key_fn);
+  def.state = std::make_unique<IntervalIndexState>();
   interval_indexes_.push_back(std::move(def));
   return Status::OK();
 }
@@ -47,30 +48,11 @@ Status Table::DropIndex(std::string_view index_name) {
                           "' does not exist");
 }
 
-Result<const IntervalIndex*> Table::GetIntervalIndex(
+Result<IntervalIndexView> Table::GetIntervalIndex(
     size_t column, const TxContext& ctx) const {
   for (const IntervalIndexDef& def : interval_indexes_) {
     if (def.column != column) continue;
-    const bool stale = def.built_version != heap_.version() ||
-                       def.built_now != ctx.now.seconds();
-    if (stale) {
-      std::vector<IntervalEntry> entries;
-      entries.reserve(heap_.row_count());
-      HeapTable::Cursor cursor = heap_.Scan();
-      RowId id;
-      const Row* row;
-      while (cursor.Next(&id, &row)) {
-        const Datum& value = (*row)[column];
-        if (value.is_null()) continue;
-        TIP_ASSIGN_OR_RETURN(auto key, def.key_fn(value, ctx));
-        if (!key.has_value()) continue;
-        entries.push_back(IntervalEntry{key->first, key->second, id});
-      }
-      def.index = IntervalIndex::Build(std::move(entries));
-      def.built_version = heap_.version();
-      def.built_now = ctx.now.seconds();
-    }
-    return &def.index;
+    return def.state->GetView(heap_, column, def.key_fn, ctx);
   }
   return Status::NotFound("no interval index on column");
 }
@@ -80,6 +62,14 @@ bool Table::HasIntervalIndex(size_t column) const {
     if (def.column == column) return true;
   }
   return false;
+}
+
+std::optional<IndexStatsSnapshot> Table::IntervalIndexStats(
+    size_t column) const {
+  for (const IntervalIndexDef& def : interval_indexes_) {
+    if (def.column == column) return def.stats();
+  }
+  return std::nullopt;
 }
 
 Result<Table*> Catalog::CreateTable(std::string_view name,

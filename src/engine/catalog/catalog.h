@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "core/tx_context.h"
 #include "engine/index/interval_index.h"
+#include "engine/index/segmented_index.h"
 #include "engine/storage/heap_table.h"
 #include "engine/types/datum.h"
 #include "engine/types/type.h"
@@ -24,29 +25,24 @@ struct Column {
   TypeId type;
 };
 
-/// Extracts the closed int64 interval covered by an indexable value —
-/// for TIP, the bounding period of an Element (grounded under `ctx`) or
-/// a Period itself. Returning nullopt skips the row (NULL or an empty
-/// Element). This is the "access method support function" an index
-/// DataBlade registers for its types.
-using IntervalKeyFn = std::function<Result<std::optional<
-    std::pair<int64_t, int64_t>>>(const Datum&, const TxContext&)>;
-
-/// A secondary interval index over one column. The index materializes
-/// lazily and is invalidated by any table write *or* by a change of the
-/// transaction time: a NOW-relative Element's bounding period moves as
-/// time advances, so an index built at one NOW is stale at another.
-/// (This is the fundamental indexing difficulty with NOW the literature
-/// discusses; rebuilding on NOW change is the simple correct policy.)
+/// A secondary interval index over one column, segmented into a
+/// persistent absolute part and a NOW-dependent overlay (see
+/// IntervalIndexState). The index materializes lazily; a table write
+/// invalidates both segments, a change of the transaction time only the
+/// overlay. (Indexing NOW-relative data is the difficulty Bliujute et
+/// al. discuss; segmenting confines the NOW-induced churn to the rows
+/// that actually mention NOW.)
 struct IntervalIndexDef {
   std::string name;
   size_t column;
   IntervalKeyFn key_fn;
 
-  // Lazily built state.
-  mutable IntervalIndex index;
-  mutable uint64_t built_version = ~uint64_t{0};
-  mutable int64_t built_now = 0;
+  /// Lazily built segments + counters. Behind a pointer both to keep
+  /// the def movable (std::mutex is not) and to give the const query
+  /// path interior mutability without `mutable` members.
+  std::unique_ptr<IntervalIndexState> state;
+
+  IndexStatsSnapshot stats() const { return state->stats(); }
 };
 
 /// A named table: schema + heap storage + secondary indexes.
@@ -73,15 +69,19 @@ class Table {
 
   Status DropIndex(std::string_view index_name);
 
-  /// Returns the (lazily rebuilt) interval index over `column` under
-  /// transaction time `ctx`; NotFound if no index covers the column.
-  /// Rebuild failures (a stored value failing to ground) surface as an
-  /// error.
-  Result<const IntervalIndex*> GetIntervalIndex(size_t column,
-                                                const TxContext& ctx) const;
+  /// Returns a probe view over the (lazily rebuilt) interval index on
+  /// `column`, consistent with transaction time `ctx`; NotFound if no
+  /// index covers the column. Rebuild failures (a stored value failing
+  /// to ground) surface as an error and leave the previous index state
+  /// intact. Safe to call concurrently from multiple threads.
+  Result<IntervalIndexView> GetIntervalIndex(size_t column,
+                                             const TxContext& ctx) const;
 
   /// True iff some interval index is declared over `column`.
   bool HasIntervalIndex(size_t column) const;
+
+  /// Counters of the interval index on `column`; nullopt if none.
+  std::optional<IndexStatsSnapshot> IntervalIndexStats(size_t column) const;
 
   const std::vector<IntervalIndexDef>& interval_indexes() const {
     return interval_indexes_;

@@ -48,8 +48,9 @@ class Database {
   const Catalog& catalog() const { return catalog_; }
 
   /// Registers the access-method support function that maps values of
-  /// `type` to their bounding interval (enables CREATE INDEX ... USING
-  /// interval and the interval join on that type).
+  /// `type` to their bounding interval and NOW-dependence (enables
+  /// CREATE INDEX ... USING interval and the interval join on that
+  /// type).
   Status RegisterIntervalKeyFn(TypeId type, IntervalKeyFn fn);
 
   /// Executes one SQL statement.

@@ -94,13 +94,12 @@ Status IntervalScanNode::Open(ExecState& state) {
   Result<Datum> probe = probe_->Eval(tuple, *state.eval);
   if (!probe.ok()) return probe.status();
   if (probe->is_null()) return Status::OK();  // no matches
-  Result<std::optional<std::pair<int64_t, int64_t>>> key =
-      probe_key_fn_(*probe, state.eval->tx);
+  Result<IntervalKey> key = probe_key_fn_(*probe, state.eval->tx);
   if (!key.ok()) return key.status();
-  if (!key->has_value()) return Status::OK();
-  TIP_ASSIGN_OR_RETURN(const IntervalIndex* index,
+  if (key->empty) return Status::OK();
+  TIP_ASSIGN_OR_RETURN(IntervalIndexView index,
                        table_->GetIntervalIndex(column_, state.eval->tx));
-  index->FindOverlapping((*key)->first, (*key)->second, &matches_);
+  index.FindOverlapping(key->start, key->end, &matches_);
   return Status::OK();
 }
 
@@ -113,6 +112,16 @@ Result<bool> IntervalScanNode::Next(ExecState&, Row* out) {
     }
   }
   return false;
+}
+
+void IntervalScanNode::Explain(int depth, std::string* out) const {
+  ExecNode::Explain(depth, out);
+  std::optional<IndexStatsSnapshot> stats =
+      table_->IntervalIndexStats(column_);
+  if (stats.has_value()) {
+    out->append(static_cast<size_t>(depth + 1) * 2, ' ');
+    out->append("IndexStats(" + stats->ToString() + ")\n");
+  }
 }
 
 // -- FilterNode --------------------------------------------------------------
@@ -335,10 +344,10 @@ Status IntervalJoinNode::Open(ExecState& state) {
   left_valid_ = false;
   matches_.clear();
   next_match_ = 0;
-  Result<const IntervalIndex*> index =
+  Result<IntervalIndexView> index =
       right_table_->GetIntervalIndex(right_column_, state.eval->tx);
   if (!index.ok()) return index.status();
-  index_ = *index;
+  index_ = std::move(*index);
   return Status::OK();
 }
 
@@ -354,9 +363,10 @@ Result<bool> IntervalJoinNode::Next(ExecState& state, Row* out) {
       TIP_ASSIGN_OR_RETURN(Datum probe,
                            left_probe_->Eval(tuple, *state.eval));
       if (!probe.is_null()) {
-        TIP_ASSIGN_OR_RETURN(auto key, probe_key_fn_(probe, state.eval->tx));
-        if (key.has_value()) {
-          index_->FindOverlapping(key->first, key->second, &matches_);
+        TIP_ASSIGN_OR_RETURN(IntervalKey key,
+                             probe_key_fn_(probe, state.eval->tx));
+        if (!key.empty) {
+          index_.FindOverlapping(key.start, key.end, &matches_);
         }
       }
     }
@@ -385,6 +395,12 @@ void IntervalJoinNode::Explain(int depth, std::string* out) const {
   left_->Explain(depth + 1, out);
   out->append(static_cast<size_t>(depth + 1) * 2, ' ');
   out->append("IndexProbe(" + right_table_->name() + ")\n");
+  std::optional<IndexStatsSnapshot> stats =
+      right_table_->IntervalIndexStats(right_column_);
+  if (stats.has_value()) {
+    out->append(static_cast<size_t>(depth + 1) * 2, ' ');
+    out->append("IndexStats(" + stats->ToString() + ")\n");
+  }
 }
 
 // -- SortNode ----------------------------------------------------------------

@@ -105,6 +105,7 @@ class IntervalScanNode final : public ExecNode {
     return "IntervalIndexScan(" + table_->name() + "." +
            table_->columns()[column_].name + ")";
   }
+  void Explain(int depth, std::string* out) const override;
 
  private:
   const Table* table_;
@@ -272,7 +273,7 @@ class IntervalJoinNode final : public ExecNode {
   IntervalKeyFn probe_key_fn_;
   BoundExprPtr residual_;  // may be null
 
-  const IntervalIndex* index_ = nullptr;
+  IntervalIndexView index_;
   Row left_row_;
   bool left_valid_ = false;
   std::vector<RowId> matches_;

@@ -1,0 +1,112 @@
+#include "engine/index/segmented_index.h"
+
+#include <utility>
+
+namespace tip::engine {
+
+std::string IndexStatsSnapshot::ToString() const {
+  return "absolute_builds=" + std::to_string(absolute_builds) +
+         " overlay_builds=" + std::to_string(overlay_builds) +
+         " probes=" + std::to_string(probes) +
+         " rows_scanned=" + std::to_string(rows_scanned) +
+         " rows_returned=" + std::to_string(rows_returned);
+}
+
+IndexStatsSnapshot IndexStats::Snapshot() const {
+  IndexStatsSnapshot out;
+  out.absolute_builds = absolute_builds_.load(std::memory_order_relaxed);
+  out.overlay_builds = overlay_builds_.load(std::memory_order_relaxed);
+  out.probes = probes_.load(std::memory_order_relaxed);
+  out.rows_scanned = rows_scanned_.load(std::memory_order_relaxed);
+  out.rows_returned = rows_returned_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void IntervalIndexView::FindOverlapping(int64_t qs, int64_t qe,
+                                        std::vector<RowId>* out) const {
+  const size_t before = out->size();
+  if (absolute_ != nullptr) absolute_->FindOverlapping(qs, qe, out);
+  if (overlay_ != nullptr) overlay_->FindOverlapping(qs, qe, out);
+  if (stats_ != nullptr) stats_->RecordProbe(out->size() - before);
+}
+
+size_t IntervalIndexView::entry_count() const {
+  size_t n = 0;
+  if (absolute_ != nullptr) n += absolute_->entry_count();
+  if (overlay_ != nullptr) n += overlay_->entry_count();
+  return n;
+}
+
+Result<IntervalIndexView> IntervalIndexState::GetView(
+    const HeapTable& heap, size_t column, const IntervalKeyFn& key_fn,
+    const TxContext& ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = ctx.now.seconds();
+
+  if (!absolute_valid_ || built_version_ != heap.version()) {
+    // Full rebuild: one scan partitions the rows into the persistent
+    // absolute segment and the NOW-dependent overlay. Everything is
+    // staged in locals and swapped in only on success.
+    std::vector<IntervalEntry> absolute_entries;
+    std::vector<IntervalEntry> overlay_entries;
+    std::vector<RowId> now_rows;
+    absolute_entries.reserve(heap.row_count());
+    uint64_t scanned = 0;
+    HeapTable::Cursor cursor = heap.Scan();
+    RowId id;
+    const Row* row;
+    while (cursor.Next(&id, &row)) {
+      ++scanned;
+      const Datum& value = (*row)[column];
+      if (value.is_null()) continue;
+      TIP_ASSIGN_OR_RETURN(IntervalKey key, key_fn(value, ctx));
+      if (key.now_dependent) {
+        now_rows.push_back(id);
+        if (!key.empty) {
+          overlay_entries.push_back(IntervalEntry{key.start, key.end, id});
+        }
+      } else if (!key.empty) {
+        absolute_entries.push_back(IntervalEntry{key.start, key.end, id});
+      }
+    }
+    absolute_ = std::make_shared<const IntervalIndex>(
+        IntervalIndex::Build(std::move(absolute_entries)));
+    now_rows_ = std::move(now_rows);
+    overlay_ = now_rows_.empty()
+                   ? nullptr
+                   : std::make_shared<const IntervalIndex>(
+                         IntervalIndex::Build(std::move(overlay_entries)));
+    built_version_ = heap.version();
+    absolute_valid_ = true;
+    overlay_now_ = now;
+    overlay_valid_ = true;
+    stats_->RecordAbsoluteBuild(scanned);
+    if (!now_rows_.empty()) stats_->RecordOverlayBuild(0);
+  } else if (!now_rows_.empty() &&
+             (!overlay_valid_ || overlay_now_ != now)) {
+    // The heap is unchanged but the transaction time moved: re-ground
+    // only the NOW-dependent rows. An all-absolute index skips this
+    // entirely — its answers are NOW-invariant.
+    std::vector<IntervalEntry> overlay_entries;
+    overlay_entries.reserve(now_rows_.size());
+    for (RowId id : now_rows_) {
+      const Row* row = heap.Get(id);
+      if (row == nullptr) continue;  // unreachable: version unchanged
+      const Datum& value = (*row)[column];
+      if (value.is_null()) continue;
+      TIP_ASSIGN_OR_RETURN(IntervalKey key, key_fn(value, ctx));
+      if (!key.empty) {
+        overlay_entries.push_back(IntervalEntry{key.start, key.end, id});
+      }
+    }
+    overlay_ = std::make_shared<const IntervalIndex>(
+        IntervalIndex::Build(std::move(overlay_entries)));
+    overlay_now_ = now;
+    overlay_valid_ = true;
+    stats_->RecordOverlayBuild(now_rows_.size());
+  }
+
+  return IntervalIndexView(absolute_, overlay_, stats_);
+}
+
+}  // namespace tip::engine

@@ -135,6 +135,45 @@ TEST(ElementTest, ParseRejects) {
   EXPECT_FALSE(Element::Parse("{1999-01-01}").ok());
 }
 
+TEST(ElementTest, ParseRejectsMisplacedCommas) {
+  // A comma is a separator between two periods, never a prefix, suffix,
+  // or doubled separator.
+  EXPECT_FALSE(Element::Parse("{, [2020-01-01, 2020-02-01]}").ok());
+  EXPECT_FALSE(Element::Parse("{,[2020-01-01, 2020-02-01]}").ok());
+  EXPECT_FALSE(Element::Parse("{[2020-01-01, 2020-02-01],}").ok());
+  EXPECT_FALSE(Element::Parse(
+                   "{[2020-01-01, 2020-02-01],, [2020-03-01, 2020-04-01]}")
+                   .ok());
+  EXPECT_FALSE(Element::Parse("{,}").ok());
+  // The well-formed forms still parse.
+  EXPECT_TRUE(Element::Parse("{[2020-01-01, 2020-02-01]}").ok());
+  EXPECT_TRUE(Element::Parse(
+                  "{[2020-01-01, 2020-02-01], [2020-03-01, 2020-04-01]}")
+                  .ok());
+  EXPECT_TRUE(
+      Element::Parse("{ [2020-01-01, 2020-02-01] , [2020-03-01, NOW] }")
+          .ok());
+}
+
+TEST(ElementTest, FromPeriodsToleratesInvertedAbsolutePeriod) {
+  // The unchecked Period(Instant, Instant) constructor can produce an
+  // inverted absolute period; FromPeriods must not dereference the
+  // failed grounding (release-mode UB before the checked path) and
+  // Ground must report the error instead of silently dropping the
+  // period.
+  Period inverted(Instant::Absolute(*Chronon::Parse("1999-06-01")),
+                  Instant::Absolute(*Chronon::Parse("1999-01-01")));
+  Element e = Element::FromPeriods({inverted});
+  EXPECT_FALSE(e.is_absolute());  // not eagerly canonicalized
+  Result<GroundedElement> g = e.Ground(Ctx("1999-11-15"));
+  EXPECT_FALSE(g.ok());
+  // A NOW-relative inversion still means "no time yet", not an error.
+  Element open = *Element::Parse("{[1999-10-01, NOW]}");
+  Result<GroundedElement> before_start = open.Ground(Ctx("1999-09-17"));
+  ASSERT_TRUE(before_start.ok());
+  EXPECT_TRUE(before_start->IsEmpty());
+}
+
 TEST(ElementTest, AbsoluteInputsEagerlyCanonicalized) {
   Result<Element> e =
       Element::Parse("{[1999-02-01, 1999-03-01], [1999-01-01, 1999-02-15]}");

@@ -3,8 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
+#include "datablade/datablade.h"
+#include "engine/database.h"
 
 namespace tip::engine {
 namespace {
@@ -114,6 +120,200 @@ TEST_P(IntervalIndexPropertyTest, StabbingAgreesWithBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IntervalIndexPropertyTest,
                          ::testing::Values(21u, 42u, 84u));
+
+// -- Segmented index staleness semantics (SQL level) -------------------------
+//
+// The segmented index splits each interval index into a persistent
+// absolute segment (rebuilt only on heap writes) and a NOW-dependent
+// overlay (rebuilt only on NOW changes). These tests pin down exactly
+// which segment rebuilds when, asserted through the tip_index_stats()
+// counters.
+
+class SegmentedIndexSqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(datablade::Install(&db_).ok());
+    Exec("CREATE TABLE t (valid Element)");
+  }
+
+  ResultSet Exec(const std::string& sql) {
+    Result<ResultSet> r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    return r.ok() ? std::move(*r) : ResultSet{};
+  }
+
+  int64_t Count(const std::string& window) {
+    ResultSet r = Exec("SELECT count(*) FROM t WHERE overlaps(valid, '" +
+                       window + "'::Element)");
+    return r.rows[0][0].int_value();
+  }
+
+  int64_t Counter(const std::string& name) {
+    ResultSet r =
+        Exec("SELECT tip_index_stats('t', 'idx', '" + name + "')");
+    return r.rows[0][0].int_value();
+  }
+
+  Database db_;
+};
+
+TEST_F(SegmentedIndexSqlTest, NowOverrideChangesAnswerForNowRelativeRows) {
+  Exec("INSERT INTO t VALUES ('{[1999-01-01, 1999-03-01]}')");
+  Exec("INSERT INTO t VALUES ('{[1999-10-01, NOW]}')");
+  Exec("CREATE INDEX idx ON t (valid) USING interval");
+
+  const std::string window = "{[1999-11-01, 1999-12-31]}";
+  Exec("SET NOW '1999-11-15'");
+  EXPECT_EQ(Count(window), 1);  // open prescription reaches into the window
+  Exec("SET NOW '1999-09-17'");
+  EXPECT_EQ(Count(window), 0);  // NOW before start: the open row is empty
+  Exec("SET NOW '2000-01-10'");
+  EXPECT_EQ(Count(window), 1);
+}
+
+TEST_F(SegmentedIndexSqlTest, AllAbsoluteTableNeverRebuildsOnNowChanges) {
+  for (int i = 0; i < 8; ++i) {
+    Exec("INSERT INTO t VALUES ('{[1999-0" + std::to_string(i + 1) +
+         "-01, 1999-0" + std::to_string(i + 1) + "-20]}')");
+  }
+  Exec("CREATE INDEX idx ON t (valid) USING interval");
+
+  const std::string window = "{[1999-03-15, 1999-05-10]}";
+  const char* nows[] = {"'1999-11-15'", "'2000-06-01'", "'1999-11-15'",
+                        "'1980-01-01'", "'2000-06-01'"};
+  int64_t expected = -1;
+  for (const char* now : nows) {
+    Exec(std::string("SET NOW ") + now);
+    const int64_t got = Count(window);
+    if (expected < 0) expected = got;
+    EXPECT_EQ(got, expected) << "answer drifted across NOW overrides";
+  }
+  EXPECT_EQ(expected, 3);
+
+  // One absolute build, zero overlay rebuilds: NOW changes are free.
+  EXPECT_EQ(Counter("absolute_builds"), 1);
+  EXPECT_EQ(Counter("overlay_builds"), 0);
+  EXPECT_EQ(Counter("probes"), static_cast<int64_t>(std::size(nows)));
+  EXPECT_EQ(Counter("rows_scanned"), 8);
+}
+
+TEST_F(SegmentedIndexSqlTest, MixedTableRebuildsOnlyTheOverlay) {
+  Exec("INSERT INTO t VALUES ('{[1999-01-01, 1999-03-01]}')");
+  Exec("INSERT INTO t VALUES ('{[1999-04-01, 1999-05-01]}')");
+  Exec("INSERT INTO t VALUES ('{[1999-10-01, NOW]}')");
+  Exec("CREATE INDEX idx ON t (valid) USING interval");
+
+  const std::string window = "{[1999-11-01, 1999-12-31]}";
+  Exec("SET NOW '1999-11-15'");
+  EXPECT_EQ(Count(window), 1);
+  EXPECT_EQ(Counter("absolute_builds"), 1);
+  EXPECT_EQ(Counter("overlay_builds"), 1);  // built with the full scan
+
+  Exec("SET NOW '2000-02-01'");
+  EXPECT_EQ(Count(window), 1);
+  EXPECT_EQ(Counter("absolute_builds"), 1);  // untouched
+  EXPECT_EQ(Counter("overlay_builds"), 2);   // re-grounded for the new NOW
+
+  // Same NOW again: nothing rebuilds.
+  EXPECT_EQ(Count(window), 1);
+  EXPECT_EQ(Counter("absolute_builds"), 1);
+  EXPECT_EQ(Counter("overlay_builds"), 2);
+}
+
+TEST_F(SegmentedIndexSqlTest, HeapMutationInvalidatesAbsoluteSegment) {
+  Exec("INSERT INTO t VALUES ('{[1999-01-01, 1999-03-01]}')");
+  Exec("CREATE INDEX idx ON t (valid) USING interval");
+  Exec("SET NOW '1999-11-15'");
+
+  const std::string window = "{[1999-02-01, 1999-02-10]}";
+  EXPECT_EQ(Count(window), 1);
+  EXPECT_EQ(Counter("absolute_builds"), 1);
+
+  Exec("INSERT INTO t VALUES ('{[1999-02-05, 1999-06-01]}')");
+  EXPECT_EQ(Count(window), 2);
+  EXPECT_EQ(Counter("absolute_builds"), 2);
+
+  Exec("DELETE FROM t WHERE overlaps(valid, '{[1999-05-01, 1999-06-01]}'"
+       "::Element)");
+  EXPECT_EQ(Count(window), 1);
+  EXPECT_EQ(Counter("absolute_builds"), 3);
+}
+
+TEST_F(SegmentedIndexSqlTest, IndexAgreesWithSeqScanAcrossNowOverrides) {
+  for (int i = 0; i < 6; ++i) {
+    Exec("INSERT INTO t VALUES ('{[1999-0" + std::to_string(i + 1) +
+         "-01, 1999-0" + std::to_string(i + 1) + "-25]}')");
+  }
+  Exec("INSERT INTO t VALUES ('{[1999-10-01, NOW]}')");
+  Exec("INSERT INTO t VALUES ('{[NOW-30, NOW]}')");
+  Exec("CREATE INDEX idx ON t (valid) USING interval");
+
+  for (const char* now : {"'1999-11-15'", "'1999-09-17'", "'2000-06-01'"}) {
+    Exec(std::string("SET NOW ") + now);
+    for (const char* window :
+         {"{[1999-03-15, 1999-05-10]}", "{[1999-11-01, 1999-12-31]}",
+          "{[2000-05-01, 2000-07-01]}"}) {
+      Exec("SET interval_join off");
+      const int64_t scanned = Count(window);
+      Exec("SET interval_join on");
+      EXPECT_EQ(Count(window), scanned)
+          << "NOW " << now << " window " << window;
+    }
+  }
+}
+
+TEST(SegmentedIndexConcurrencyTest, ConcurrentGetIntervalIndexIsRaceFree) {
+  Database db;
+  ASSERT_TRUE(datablade::Install(&db).ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (valid Element)").ok());
+  // 40 absolute rows far from the probe window, 10 open-ended rows
+  // whose overlap with the window depends on NOW.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        db.Execute("INSERT INTO t VALUES ('{[1990-01-01, 1990-06-01]}')")
+            .ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        db.Execute("INSERT INTO t VALUES ('{[1999-10-01, NOW]}')").ok());
+  }
+  ASSERT_TRUE(
+      db.Execute("CREATE INDEX idx ON t (valid) USING interval").ok());
+  const Table* table = *db.catalog().GetTable("t");
+
+  // Probe window [1999-11-01, 2000-01-31].
+  const int64_t qs = Chronon::Parse("1999-11-01")->seconds();
+  const int64_t qe = Chronon::Parse("2000-01-31")->seconds();
+  // Under now_in the open rows reach into the window; under now_out
+  // (NOW before their start) they cover no time at all.
+  const TxContext now_in(*Chronon::Parse("1999-11-15"));
+  const TxContext now_out(*Chronon::Parse("1999-09-17"));
+
+  // The two NOW contexts deliberately alternate across threads so the
+  // overlay thrashes while other threads hold and probe views.
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const bool in = (t + i) % 2 == 0;
+        const TxContext& ctx = in ? now_in : now_out;
+        Result<IntervalIndexView> view = table->GetIntervalIndex(0, ctx);
+        if (!view.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        std::vector<RowId> out;
+        view->FindOverlapping(qs, qe, &out);
+        if (out.size() != (in ? 10u : 0u)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
 
 }  // namespace
 }  // namespace tip::engine

@@ -160,10 +160,10 @@ TEST(CatalogTest, TableLifecycle) {
 TEST(CatalogTest, IntervalIndexLifecycleAndStaleness) {
   Catalog catalog;
   Table* table = *catalog.CreateTable("t", {{"v", TypeId::kInt}});
-  IntervalKeyFn key = [](const Datum& d, const TxContext&)
-      -> Result<std::optional<std::pair<int64_t, int64_t>>> {
+  IntervalKeyFn key = [](const Datum& d,
+                         const TxContext&) -> Result<IntervalKey> {
     const int64_t s = d.int_value();
-    return std::make_optional(std::make_pair(s, s + 9));
+    return IntervalKey::Bounds(s, s + 9, /*now_dependent=*/false);
   };
   ASSERT_TRUE(table->CreateIntervalIndex("i", 0, key).ok());
   EXPECT_FALSE(table->CreateIntervalIndex("i", 0, key).ok());
@@ -172,15 +172,21 @@ TEST(CatalogTest, IntervalIndexLifecycleAndStaleness) {
   table->heap().Insert(Row{Datum::Int(0)});
   table->heap().Insert(Row{Datum::Int(100)});
   TxContext ctx;
-  Result<const IntervalIndex*> index = table->GetIntervalIndex(0, ctx);
+  Result<IntervalIndexView> index = table->GetIntervalIndex(0, ctx);
   ASSERT_TRUE(index.ok());
-  EXPECT_EQ((*index)->entry_count(), 2u);
+  EXPECT_EQ(index->entry_count(), 2u);
 
   // The index lazily rebuilds after writes.
   table->heap().Insert(Row{Datum::Int(200)});
   index = table->GetIntervalIndex(0, ctx);
   ASSERT_TRUE(index.ok());
-  EXPECT_EQ((*index)->entry_count(), 3u);
+  EXPECT_EQ(index->entry_count(), 3u);
+
+  // Two heap-version rebuilds, none caused by NOW (all-absolute keys).
+  std::optional<IndexStatsSnapshot> stats = table->IntervalIndexStats(0);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->absolute_builds, 2u);
+  EXPECT_EQ(stats->overlay_builds, 0u);
 
   ASSERT_TRUE(table->DropIndex("i").ok());
   EXPECT_FALSE(table->HasIntervalIndex(0));

@@ -13,8 +13,19 @@
 // The paper argues the layered translation is "very complex and
 // potentially difficult to optimize"; the series below quantifies it:
 // tip and client scale near-linearly, layered blows up cubically.
+//
+// EXP-COALESCE-SCALING: the same group_union aggregation on one large
+// table under the morsel-driven parallel executor at 1/2/4/8 workers
+// (SET parallel_workers). Workers aggregate thread-local partial
+// states which group_union merges (concatenation) before one final
+// sort-and-coalesce; the 1-worker row runs the unchanged serial plan.
+//
+// Results are also written to BENCH_coalesce.json.
 
 #include <cinttypes>
+
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "layered/layered.h"
@@ -24,6 +35,13 @@ int main() {
   std::printf("EXP-COALESCE: coalesced total validity per patient\n");
   std::printf("%8s %10s %12s %12s %12s %10s\n", "rows", "flat_rows",
               "tip_ms", "layered_ms", "client_ms", "agree");
+
+  struct StrategyRow {
+    int64_t rows, flat_rows;
+    double tip_ms, layered_ms, client_ms;
+    bool agree;
+  };
+  std::vector<StrategyRow> strategy_rows;
 
   for (int64_t rows : {25, 50, 100, 200, 400}) {
     std::unique_ptr<client::Connection> conn = bench::OpenTip();
@@ -79,10 +97,110 @@ int main() {
     std::printf("%8" PRId64 " %10" PRId64 " %12.2f %12.2f %12.2f %10s\n",
                 rows, flat_rows, tip_ms, layered_ms, client_ms,
                 agree ? "yes" : "NO");
+    strategy_rows.push_back(StrategyRow{rows, flat_rows, tip_ms,
+                                        layered_ms, client_ms, agree});
   }
   std::printf(
       "\nshape check: layered_ms grows ~cubically with rows while tip_ms"
       "\nand client_ms stay near-linear — the integrated-DataBlade"
       "\nadvantage the paper argues for in Section 5.\n");
+
+  // ---- EXP-COALESCE-SCALING ----------------------------------------------
+  constexpr int64_t kScalingRows = 20000;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::unique_ptr<client::Connection> conn = bench::OpenTip();
+  engine::Database& db = conn->database();
+
+  workload::MedicalConfig config;
+  config.rows = kScalingRows;
+  config.num_patients = 2000;
+  config.num_drugs = 50;
+  config.now_relative_fraction = 0.1;
+  bench::CheckResult(workload::SetUpPrescriptionTable(
+                         &db, conn->tip_types(), config, "rx"),
+                     "setup scaling rx");
+
+  const std::string agg_query =
+      "SELECT patient, length(group_union(valid)) / '0 00:00:01'::Span "
+      "FROM rx GROUP BY patient ORDER BY patient";
+
+  engine::ResultSet serial_result;
+  const double serial_ms = bench::MedianTimeMs(
+      [&] { serial_result = bench::MustExec(&db, agg_query); });
+
+  std::printf("\nEXP-COALESCE-SCALING: group_union over %" PRId64
+              " rows, %u hardware thread(s); serial %.2f ms\n",
+              kScalingRows, hw, serial_ms);
+  std::printf("%8s %10s %9s %7s\n", "workers", "ms", "speedup", "agree");
+
+  struct ScalingRow {
+    int workers;
+    double ms;
+    bool agree;
+  };
+  std::vector<ScalingRow> scaling_rows;
+
+  bench::MustExec(&db, "SET parallel_min_rows 1");
+  for (int workers : {1, 2, 4, 8}) {
+    bench::MustExec(&db,
+                    "SET parallel_workers " + std::to_string(workers));
+    engine::ResultSet result;
+    const double ms = bench::MedianTimeMs(
+        [&] { result = bench::MustExec(&db, agg_query); });
+
+    bool agree = result.rows.size() == serial_result.rows.size();
+    for (size_t i = 0; agree && i < result.rows.size(); ++i) {
+      agree = result.rows[i][0].string_value() ==
+                  serial_result.rows[i][0].string_value() &&
+              result.rows[i][1].int_value() ==
+                  serial_result.rows[i][1].int_value();
+    }
+    std::printf("%8d %10.2f %8.2fx %7s\n", workers, ms, serial_ms / ms,
+                agree ? "yes" : "NO");
+    scaling_rows.push_back(ScalingRow{workers, ms, agree});
+  }
+  bench::MustExec(&db, "SET parallel_workers 1");
+  std::printf(
+      "\nshape check: the 1-worker row matches the serial baseline (same"
+      "\nplan); with more hardware threads the partial-aggregation rows"
+      "\ndrop toward serial_ms / min(workers, cores).\n");
+
+  // ---- machine-readable output -------------------------------------------
+  const char* json_path = "BENCH_coalesce.json";
+  std::FILE* json = std::fopen(json_path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"coalesce\",\n");
+  std::fprintf(json, "  \"strategies\": [\n");
+  for (size_t i = 0; i < strategy_rows.size(); ++i) {
+    const StrategyRow& s = strategy_rows[i];
+    std::fprintf(json,
+                 "    {\"rows\": %" PRId64 ", \"flat_rows\": %" PRId64
+                 ", \"tip_ms\": %.3f, \"layered_ms\": %.3f"
+                 ", \"client_ms\": %.3f, \"agree\": %s}%s\n",
+                 s.rows, s.flat_rows, s.tip_ms, s.layered_ms, s.client_ms,
+                 s.agree ? "true" : "false",
+                 i + 1 < strategy_rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"scaling\": {\n");
+  std::fprintf(json, "    \"rows\": %" PRId64 ",\n", kScalingRows);
+  std::fprintf(json, "    \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(json, "    \"serial_ms\": %.3f,\n", serial_ms);
+  std::fprintf(json, "    \"workers\": [\n");
+  for (size_t i = 0; i < scaling_rows.size(); ++i) {
+    const ScalingRow& s = scaling_rows[i];
+    std::fprintf(json,
+                 "      {\"workers\": %d, \"ms\": %.3f"
+                 ", \"speedup\": %.3f, \"agree\": %s}%s\n",
+                 s.workers, s.ms, serial_ms / s.ms,
+                 s.agree ? "true" : "false",
+                 i + 1 < scaling_rows.size() ? "," : "");
+  }
+  std::fprintf(json, "    ]\n  }\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", json_path);
   return 0;
 }

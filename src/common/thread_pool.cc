@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace tip {
+
+namespace {
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t max_threads)
+    : max_threads_(std::max<size_t>(max_threads, 1)) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+size_t ThreadPool::DefaultMaxThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max<size_t>(hw, 8);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: pool threads must never outlive their pool, and
+  // static destruction order at exit cannot guarantee that for a
+  // process-wide singleton used from other static-lifetime objects.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    // Grow only when no idle worker can pick the task up.
+    if (idle_ == 0 && threads_.size() < max_threads_) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    while (queue_.empty() && !stopping_) {
+      ++idle_;
+      cv_.wait(lock);
+      --idle_;
+    }
+    if (queue_.empty()) return;  // stopping_
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+void ThreadPool::RunOnWorkers(size_t workers,
+                              const std::function<void(size_t)>& body) {
+  if (workers <= 1 || t_on_worker_thread) {
+    // Nested fork-join (a parallel node inside a correlated subplan
+    // already running on a pool thread) executes inline: correct,
+    // deadlock-free, and the outer fan-out keeps all threads busy.
+    for (size_t w = 0; w < std::max<size_t>(workers, 1); ++w) body(w);
+    return;
+  }
+
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending;
+  };
+  auto join = std::make_shared<Join>();
+  join->pending = workers - 1;
+
+  for (size_t w = 1; w < workers; ++w) {
+    // `body` is captured by reference: RunOnWorkers blocks until every
+    // task signals completion, so the reference cannot dangle.
+    Submit([join, &body, w] {
+      body(w);
+      {
+        std::lock_guard<std::mutex> lock(join->mu);
+        --join->pending;
+      }
+      join->cv.notify_one();
+    });
+  }
+  body(0);
+  std::unique_lock<std::mutex> lock(join->mu);
+  join->cv.wait(lock, [&] { return join->pending == 0; });
+}
+
+}  // namespace tip

@@ -1,0 +1,72 @@
+#ifndef TIP_COMMON_THREAD_POOL_H_
+#define TIP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tip {
+
+/// A lazily grown pool of worker threads for intra-query parallelism.
+/// Threads are spawned on demand up to `max_threads` and live until the
+/// pool is destroyed, so repeated parallel queries do not pay a
+/// thread-start per morsel batch.
+///
+/// The only execution primitive is the fork-join `RunOnWorkers`: the
+/// caller participates as worker 0 and the call does not return until
+/// every worker body has finished, which keeps lifetime reasoning
+/// simple (captured references outlive all workers by construction).
+/// A body invoked on a pool thread that itself calls `RunOnWorkers`
+/// runs its sub-bodies inline — nested parallelism degrades to serial
+/// instead of deadlocking on a saturated pool.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t max_threads = DefaultMaxThreads());
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all worker threads. No RunOnWorkers call may be in flight.
+  ~ThreadPool();
+
+  /// Runs `body(w)` once for each worker index w in [0, workers):
+  /// worker 0 on the calling thread, the rest on pool threads. Blocks
+  /// until all bodies complete. `body` must be safe to invoke
+  /// concurrently from multiple threads.
+  void RunOnWorkers(size_t workers, const std::function<void(size_t)>& body);
+
+  size_t max_threads() const { return max_threads_; }
+
+  /// True when the calling thread is one of this process's pool
+  /// workers (any pool): used to serialize nested parallelism.
+  static bool OnWorkerThread();
+
+  /// hardware_concurrency, but at least 8 so scaling experiments can
+  /// oversubscribe small machines deterministically.
+  static size_t DefaultMaxThreads();
+
+  /// The process-wide pool shared by query execution. Never destroyed
+  /// (intentionally leaked) so worker threads cannot race static
+  /// destruction at exit.
+  static ThreadPool& Shared();
+
+ private:
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  const size_t max_threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t idle_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace tip
+
+#endif  // TIP_COMMON_THREAD_POOL_H_

@@ -31,6 +31,21 @@ class GroupUnionState final : public AggregateState {
     return Status::OK();
   }
 
+  /// Partial union states just concatenate their period vectors — the
+  /// sort-and-coalesce still happens exactly once, at Final, so the
+  /// parallel aggregation keeps the serial path's O(n log n) bound.
+  Status Merge(AggregateState&& other, EvalContext&) override {
+    GroupUnionState& o = static_cast<GroupUnionState&>(other);
+    if (periods_.empty()) {
+      periods_ = std::move(o.periods_);
+    } else {
+      periods_.insert(periods_.end(),
+                      std::make_move_iterator(o.periods_.begin()),
+                      std::make_move_iterator(o.periods_.end()));
+    }
+    return Status::OK();
+  }
+
   Result<Datum> Final(EvalContext&) override {
     return MakeElement(*t_, Element::FromGrounded(
                                 GroundedElement::FromPeriods(
@@ -50,12 +65,28 @@ class GroupIntersectState final : public AggregateState {
   explicit GroupIntersectState(const TipTypes* t) : t_(t) {}
 
   Status Step(const Datum& value, EvalContext& ctx) override {
+    // Once the accumulator is empty it can never grow again; skip the
+    // grounding and intersection work for every remaining row.
+    if (acc_.has_value() && acc_->IsEmpty()) return Status::OK();
     TIP_ASSIGN_OR_RETURN(GroundedElement e,
                          GetElement(value).Ground(ctx.tx));
     if (!acc_.has_value()) {
       acc_ = std::move(e);
     } else {
       acc_ = GroundedElement::Intersect(*acc_, e);
+    }
+    return Status::OK();
+  }
+
+  /// An unset accumulator is the identity (no rows seen); otherwise the
+  /// merged state is the pairwise intersection of the partials.
+  Status Merge(AggregateState&& other, EvalContext&) override {
+    GroupIntersectState& o = static_cast<GroupIntersectState&>(other);
+    if (!o.acc_.has_value()) return Status::OK();
+    if (!acc_.has_value()) {
+      acc_ = std::move(o.acc_);
+    } else if (!acc_->IsEmpty()) {
+      acc_ = GroundedElement::Intersect(*acc_, *o.acc_);
     }
     return Status::OK();
   }
@@ -81,6 +112,14 @@ class SumSpanState final : public AggregateState {
 
   Status Step(const Datum& value, EvalContext&) override {
     TIP_ASSIGN_OR_RETURN(sum_, sum_.Add(GetSpan(value)));
+    seen_ = true;
+    return Status::OK();
+  }
+
+  Status Merge(AggregateState&& other, EvalContext&) override {
+    const SumSpanState& o = static_cast<SumSpanState&>(other);
+    if (!o.seen_) return Status::OK();
+    TIP_ASSIGN_OR_RETURN(sum_, sum_.Add(o.sum_));
     seen_ = true;
     return Status::OK();
   }
@@ -111,6 +150,7 @@ Status RegisterAggregates(engine::Database* db, const TipTypes& t) {
   group_union.make_state = [shared] {
     return std::make_unique<GroupUnionState>(shared.get());
   };
+  group_union.mergeable = true;
   TIP_RETURN_IF_ERROR(reg.Register(std::move(group_union)));
 
   AggregateDef group_intersect;
@@ -120,6 +160,7 @@ Status RegisterAggregates(engine::Database* db, const TipTypes& t) {
   group_intersect.make_state = [shared] {
     return std::make_unique<GroupIntersectState>(shared.get());
   };
+  group_intersect.mergeable = true;
   TIP_RETURN_IF_ERROR(reg.Register(std::move(group_intersect)));
 
   AggregateDef sum_span;
@@ -129,6 +170,7 @@ Status RegisterAggregates(engine::Database* db, const TipTypes& t) {
   sum_span.make_state = [shared] {
     return std::make_unique<SumSpanState>(shared.get());
   };
+  sum_span.mergeable = true;
   TIP_RETURN_IF_ERROR(reg.Register(std::move(sum_span)));
   return Status::OK();
 }

@@ -269,6 +269,10 @@ class CountState final : public AggregateState {
     return Status::OK();
   }
   Result<Datum> Final(EvalContext&) override { return Datum::Int(count_); }
+  Status Merge(AggregateState&& other, EvalContext&) override {
+    count_ += static_cast<CountState&>(other).count_;
+    return Status::OK();
+  }
 
  private:
   int64_t count_ = 0;
@@ -284,6 +288,13 @@ class SumIntState final : public AggregateState {
   Result<Datum> Final(EvalContext&) override {
     // SQL: SUM over the empty set is NULL.
     return seen_ ? Datum::Int(sum_) : Datum::NullOf(TypeId::kInt);
+  }
+  Status Merge(AggregateState&& other, EvalContext&) override {
+    const SumIntState& o = static_cast<SumIntState&>(other);
+    if (!o.seen_) return Status::OK();
+    TIP_ASSIGN_OR_RETURN(sum_, CheckedAdd(sum_, o.sum_));
+    seen_ = true;
+    return Status::OK();
   }
 
  private:
@@ -301,6 +312,14 @@ class SumDoubleState final : public AggregateState {
   Result<Datum> Final(EvalContext&) override {
     return seen_ ? Datum::Double(sum_) : Datum::NullOf(TypeId::kDouble);
   }
+  Status Merge(AggregateState&& other, EvalContext&) override {
+    const SumDoubleState& o = static_cast<SumDoubleState&>(other);
+    if (o.seen_) {
+      sum_ += o.sum_;
+      seen_ = true;
+    }
+    return Status::OK();
+  }
 
  private:
   double sum_ = 0;
@@ -317,6 +336,12 @@ class AvgState final : public AggregateState {
   Result<Datum> Final(EvalContext&) override {
     if (count_ == 0) return Datum::NullOf(TypeId::kDouble);
     return Datum::Double(sum_ / static_cast<double>(count_));
+  }
+  Status Merge(AggregateState&& other, EvalContext&) override {
+    const AvgState& o = static_cast<AvgState&>(other);
+    sum_ += o.sum_;
+    count_ += o.count_;
+    return Status::OK();
   }
 
  private:
@@ -342,6 +367,11 @@ class MinMaxState final : public AggregateState {
   Result<Datum> Final(EvalContext&) override {
     return seen_ ? best_ : Datum::Null();
   }
+  Status Merge(AggregateState&& other, EvalContext& ctx) override {
+    MinMaxState& o = static_cast<MinMaxState&>(other);
+    if (!o.seen_) return Status::OK();
+    return Step(o.best_, ctx);
+  }
 
  private:
   const TypeRegistry* types_;
@@ -359,6 +389,7 @@ Status RegisterAggregates(Database* db) {
   count.any_param = true;
   count.result = TypeId::kInt;
   count.make_state = [] { return std::make_unique<CountState>(); };
+  count.mergeable = true;
   TIP_RETURN_IF_ERROR(reg.Register(std::move(count)));
 
   AggregateDef sum_int;
@@ -366,6 +397,7 @@ Status RegisterAggregates(Database* db) {
   sum_int.param = TypeId::kInt;
   sum_int.result = TypeId::kInt;
   sum_int.make_state = [] { return std::make_unique<SumIntState>(); };
+  sum_int.mergeable = true;
   TIP_RETURN_IF_ERROR(reg.Register(std::move(sum_int)));
 
   AggregateDef sum_double;
@@ -373,6 +405,7 @@ Status RegisterAggregates(Database* db) {
   sum_double.param = TypeId::kDouble;
   sum_double.result = TypeId::kDouble;
   sum_double.make_state = [] { return std::make_unique<SumDoubleState>(); };
+  sum_double.mergeable = true;
   TIP_RETURN_IF_ERROR(reg.Register(std::move(sum_double)));
 
   AggregateDef avg;
@@ -380,6 +413,7 @@ Status RegisterAggregates(Database* db) {
   avg.param = TypeId::kDouble;
   avg.result = TypeId::kDouble;
   avg.make_state = [] { return std::make_unique<AvgState>(); };
+  avg.mergeable = true;
   TIP_RETURN_IF_ERROR(reg.Register(std::move(avg)));
 
   for (bool is_max : {false, true}) {
@@ -390,6 +424,7 @@ Status RegisterAggregates(Database* db) {
     def.make_state = [types, is_max] {
       return std::make_unique<MinMaxState>(types, is_max);
     };
+    def.mergeable = true;
     TIP_RETURN_IF_ERROR(reg.Register(std::move(def)));
   }
   return Status::OK();

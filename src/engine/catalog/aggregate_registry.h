@@ -23,6 +23,19 @@ class AggregateState {
 
   virtual Status Step(const Datum& value, EvalContext& ctx) = 0;
   virtual Result<Datum> Final(EvalContext& ctx) = 0;
+
+  /// Folds another partial state of the *same* aggregate into this one,
+  /// leaving `other` in an unspecified (destructible) state. Parallel
+  /// aggregation builds one state per worker per group and merges them
+  /// before Final; implementations may therefore assume Step is never
+  /// called after Merge. Only invoked when the owning AggregateDef is
+  /// marked `mergeable`; the default rejects the call so partial
+  /// aggregation can never silently corrupt a non-mergeable aggregate.
+  virtual Status Merge(AggregateState&& other, EvalContext& ctx) {
+    (void)other;
+    (void)ctx;
+    return Status::Internal("aggregate state is not mergeable");
+  }
 };
 
 /// One registered aggregate overload. User-defined aggregates (the TIP
@@ -39,6 +52,10 @@ struct AggregateDef {
   bool any_param = false;
   /// The result type equals the input type (MIN/MAX).
   bool result_same_as_param = false;
+  /// States of this aggregate support Merge, making it eligible for
+  /// parallel partial aggregation. Defaults to false: an aggregate
+  /// without an explicit Merge runs single-threaded.
+  bool mergeable = false;
 };
 
 /// An aggregate selected by overload resolution, with an optional

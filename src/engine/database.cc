@@ -45,6 +45,24 @@ Result<bool> ParseOnOff(const std::string& word) {
   return Status::InvalidArgument("expected ON or OFF, got '" + word + "'");
 }
 
+Result<int64_t> ParseCount(const std::string& word) {
+  if (word.empty()) {
+    return Status::InvalidArgument("expected a non-negative integer");
+  }
+  int64_t v = 0;
+  for (char ch : word) {
+    if (ch < '0' || ch > '9') {
+      return Status::InvalidArgument(
+          "expected a non-negative integer, got '" + word + "'");
+    }
+    v = v * 10 + (ch - '0');
+    if (v > 1000000000) {
+      return Status::InvalidArgument("value out of range: '" + word + "'");
+    }
+  }
+  return v;
+}
+
 }  // namespace
 
 Database::Database() {
@@ -65,11 +83,13 @@ Status Database::RegisterIntervalKeyFn(TypeId type, IntervalKeyFn fn) {
 }
 
 TxContext Database::CurrentTx() const {
+  std::lock_guard<std::mutex> lock(session_mu_);
   if (now_override_.has_value()) return TxContext(*now_override_);
   return TxContext::FromSystemClock();
 }
 
 void Database::SetNowOverride(std::optional<Chronon> now) {
+  std::lock_guard<std::mutex> lock(session_mu_);
   now_override_ = now;
 }
 
@@ -118,6 +138,9 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
   pctx.interval_key_fns = &interval_key_fns_;
   pctx.enable_hash_join = enable_hash_join_;
   pctx.enable_interval_join = enable_interval_join_;
+  pctx.parallel_workers = parallel_workers_;
+  pctx.parallel_min_rows = parallel_min_rows_;
+  pctx.parallel_stats = &parallel_stats_;
 
   EvalContext eval(CurrentTx());
   ExecState state;
@@ -297,12 +320,12 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
       ResultSet result;
       if (stmt.option == "now") {
         if (word == "default" || word == "system") {
-          now_override_.reset();
+          SetNowOverride(std::nullopt);
           result.message = "SET NOW DEFAULT";
           return result;
         }
         TIP_ASSIGN_OR_RETURN(Chronon now, Chronon::Parse(word));
-        now_override_ = now;
+        SetNowOverride(now);
         result.message = "SET NOW " + now.ToString();
         return result;
       }
@@ -315,6 +338,22 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
           stmt.option == "interval_index") {
         TIP_ASSIGN_OR_RETURN(enable_interval_join_, ParseOnOff(word));
         result.message = "SET INTERVAL_JOIN";
+        return result;
+      }
+      if (stmt.option == "parallel_workers") {
+        TIP_ASSIGN_OR_RETURN(int64_t n, ParseCount(word));
+        if (n < 1) {
+          return Status::InvalidArgument(
+              "parallel_workers must be at least 1");
+        }
+        parallel_workers_ = static_cast<size_t>(n);
+        result.message = "SET PARALLEL_WORKERS " + std::to_string(n);
+        return result;
+      }
+      if (stmt.option == "parallel_min_rows") {
+        TIP_ASSIGN_OR_RETURN(int64_t n, ParseCount(word));
+        parallel_min_rows_ = static_cast<size_t>(n);
+        result.message = "SET PARALLEL_MIN_ROWS " + std::to_string(n);
         return result;
       }
       return Status::InvalidArgument("unknown option '" + stmt.option +

@@ -1,7 +1,9 @@
 #ifndef TIP_ENGINE_DATABASE_H_
 #define TIP_ENGINE_DATABASE_H_
 
+#include <cstddef>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -14,6 +16,7 @@
 #include "engine/catalog/cast_registry.h"
 #include "engine/catalog/catalog.h"
 #include "engine/catalog/routine_registry.h"
+#include "engine/exec/parallel_exec.h"
 #include "engine/exec/result_set.h"
 #include "engine/types/type.h"
 
@@ -29,8 +32,14 @@ using Params = std::map<std::string, Datum, std::less<>>;
 /// and their routine/cast/aggregate catalog entries, after which SQL
 /// statements can use them as if they were built in.
 ///
-/// Not thread-safe: one Database per thread of control (matching the
-/// single-connection scope of the demo).
+/// Thread-safety: concurrent Execute calls running read-only statements
+/// (SELECT / EXPLAIN) are safe against each other and against SET NOW
+/// from another thread — the NOW override sits behind a mutex and each
+/// statement captures a single TxContext up front, so a query sees one
+/// consistent NOW even if the override flips mid-run. Statements that
+/// write (INSERT / UPDATE / DELETE / DDL) and changes to the other
+/// session options must be serialized externally against all other
+/// statements on the same Database.
 class Database {
  public:
   Database();
@@ -70,14 +79,27 @@ class Database {
   TxContext CurrentTx() const;
 
   /// Overrides NOW for subsequent statements (the Browser's what-if
-  /// mechanism); nullopt restores the system clock.
+  /// mechanism); nullopt restores the system clock. Safe to call while
+  /// other threads run read-only statements.
   void SetNowOverride(std::optional<Chronon> now);
-  std::optional<Chronon> now_override() const { return now_override_; }
+  std::optional<Chronon> now_override() const {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    return now_override_;
+  }
 
   void set_hash_join_enabled(bool on) { enable_hash_join_ = on; }
   bool hash_join_enabled() const { return enable_hash_join_; }
   void set_interval_join_enabled(bool on) { enable_interval_join_ = on; }
   bool interval_join_enabled() const { return enable_interval_join_; }
+
+  /// Degree of parallelism for eligible scans/aggregations/joins
+  /// (SET PARALLEL_WORKERS n). 1 = serial plans only (the default).
+  void set_parallel_workers(size_t n) { parallel_workers_ = n; }
+  size_t parallel_workers() const { return parallel_workers_; }
+  /// Minimum estimated scan input before a parallel plan is considered
+  /// (SET PARALLEL_MIN_ROWS n).
+  void set_parallel_min_rows(size_t n) { parallel_min_rows_ = n; }
+  size_t parallel_min_rows() const { return parallel_min_rows_; }
 
  private:
   Result<ResultSet> ExecuteParsed(const struct Statement& stmt,
@@ -90,9 +112,17 @@ class Database {
   Catalog catalog_;
   std::map<TypeId, IntervalKeyFn> interval_key_fns_;
 
+  /// Guards now_override_: the one piece of session state another
+  /// thread may legitimately change while queries run (the NOW-flip
+  /// scenario the segmented index is built for).
+  mutable std::mutex session_mu_;
   std::optional<Chronon> now_override_;
   bool enable_hash_join_ = true;
   bool enable_interval_join_ = true;
+  size_t parallel_workers_ = 1;
+  size_t parallel_min_rows_ = 4096;
+  /// Per-table counters from parallel runs, shown by EXPLAIN.
+  ParallelStatsRegistry parallel_stats_;
   /// Names created via CREATE FUNCTION (the only ones DROP FUNCTION
   /// may remove).
   std::set<std::string> sql_functions_;

@@ -1,58 +1,24 @@
 #include "engine/exec/exec_node.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "engine/exec/row_utils.h"
 
 namespace tip::engine {
 
-namespace {
-
-// Evaluates a predicate over `tuple`; NULL counts as false.
-Result<bool> PredicatePasses(const BoundExpr& predicate,
-                             const TupleCtx& tuple, EvalContext& ctx) {
-  TIP_ASSIGN_OR_RETURN(Datum v, predicate.Eval(tuple, ctx));
-  return !v.is_null() && v.bool_value();
-}
-
-// Combines per-column hashes the boost::hash_combine way.
-uint64_t CombineHashes(uint64_t seed, uint64_t h) {
-  return seed ^ (h + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
-}
-
-Result<uint64_t> HashDatums(const std::vector<Datum>& values,
-                            const TypeRegistry& types, const TxContext& tx) {
-  uint64_t seed = 0;
-  for (const Datum& v : values) {
-    TIP_ASSIGN_OR_RETURN(uint64_t h, types.Hash(v, tx));
-    seed = CombineHashes(seed, h);
-  }
-  return seed;
-}
-
-// Row equality for grouping / DISTINCT: NULLs compare equal to NULLs
-// (SQL's "not distinct from" semantics used by GROUP BY).
-Result<bool> DatumsEqual(const std::vector<Datum>& a,
-                         const std::vector<Datum>& b,
-                         const TypeRegistry& types, const TxContext& tx) {
-  assert(a.size() == b.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    const bool an = a[i].is_null(), bn = b[i].is_null();
-    if (an || bn) {
-      if (an != bn) return false;
-      continue;
-    }
-    TIP_ASSIGN_OR_RETURN(int c, types.Compare(a[i], b[i], tx));
-    if (c != 0) return false;
-  }
-  return true;
-}
-
-}  // namespace
+using exec_util::DatumsEqual;
+using exec_util::HashDatums;
+using exec_util::PredicatePasses;
 
 void ExecNode::Explain(int depth, std::string* out) const {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   out->append(DebugName());
   out->push_back('\n');
+}
+
+Result<const Row*> ExecNode::NextBorrowed(ExecState& state) {
+  TIP_ASSIGN_OR_RETURN(bool has_row, Next(state, &borrow_buf_));
+  return has_row ? &borrow_buf_ : nullptr;
 }
 
 // -- SingleRowNode -----------------------------------------------------------
@@ -76,12 +42,18 @@ Status SeqScanNode::Open(ExecState&) {
   return Status::OK();
 }
 
-Result<bool> SeqScanNode::Next(ExecState&, Row* out) {
-  RowId id;
-  const Row* row;
-  if (!cursor_.Next(&id, &row)) return false;
+Result<bool> SeqScanNode::Next(ExecState& state, Row* out) {
+  TIP_ASSIGN_OR_RETURN(const Row* row, NextBorrowed(state));
+  if (row == nullptr) return false;
   *out = *row;
   return true;
+}
+
+Result<const Row*> SeqScanNode::NextBorrowed(ExecState&) {
+  RowId id;
+  const Row* row;
+  if (!cursor_.Next(&id, &row)) return nullptr;
+  return row;
 }
 
 // -- IntervalScanNode --------------------------------------------------------
@@ -103,15 +75,19 @@ Status IntervalScanNode::Open(ExecState& state) {
   return Status::OK();
 }
 
-Result<bool> IntervalScanNode::Next(ExecState&, Row* out) {
+Result<bool> IntervalScanNode::Next(ExecState& state, Row* out) {
+  TIP_ASSIGN_OR_RETURN(const Row* row, NextBorrowed(state));
+  if (row == nullptr) return false;
+  *out = *row;
+  return true;
+}
+
+Result<const Row*> IntervalScanNode::NextBorrowed(ExecState&) {
   while (next_ < matches_.size()) {
     const Row* row = table_->heap().Get(matches_[next_++]);
-    if (row != nullptr) {
-      *out = *row;
-      return true;
-    }
+    if (row != nullptr) return row;
   }
-  return false;
+  return nullptr;
 }
 
 void IntervalScanNode::Explain(int depth, std::string* out) const {
@@ -129,13 +105,20 @@ void IntervalScanNode::Explain(int depth, std::string* out) const {
 Status FilterNode::Open(ExecState& state) { return child_->Open(state); }
 
 Result<bool> FilterNode::Next(ExecState& state, Row* out) {
+  TIP_ASSIGN_OR_RETURN(const Row* row, NextBorrowed(state));
+  if (row == nullptr) return false;
+  *out = *row;
+  return true;
+}
+
+Result<const Row*> FilterNode::NextBorrowed(ExecState& state) {
   for (;;) {
-    TIP_ASSIGN_OR_RETURN(bool has_row, child_->Next(state, out));
-    if (!has_row) return false;
-    TupleCtx tuple{out, state.outer};
+    TIP_ASSIGN_OR_RETURN(const Row* row, child_->NextBorrowed(state));
+    if (row == nullptr) return nullptr;
+    TupleCtx tuple{row, state.outer};
     TIP_ASSIGN_OR_RETURN(bool pass,
                          PredicatePasses(*predicate_, tuple, *state.eval));
-    if (pass) return true;
+    if (pass) return row;
   }
 }
 
@@ -149,10 +132,9 @@ void FilterNode::Explain(int depth, std::string* out) const {
 Status ProjectNode::Open(ExecState& state) { return child_->Open(state); }
 
 Result<bool> ProjectNode::Next(ExecState& state, Row* out) {
-  Row input;
-  TIP_ASSIGN_OR_RETURN(bool has_row, child_->Next(state, &input));
-  if (!has_row) return false;
-  TupleCtx tuple{&input, state.outer};
+  TIP_ASSIGN_OR_RETURN(const Row* input, child_->NextBorrowed(state));
+  if (input == nullptr) return false;
+  TupleCtx tuple{input, state.outer};
   out->clear();
   out->reserve(exprs_.size());
   for (const BoundExprPtr& expr : exprs_) {
@@ -199,16 +181,16 @@ Result<bool> NestedLoopJoinNode::Next(ExecState& state, Row* out) {
       outer_valid_ = true;
       TIP_RETURN_IF_ERROR(inner_->Open(state));
     }
-    Row inner_row;
-    TIP_ASSIGN_OR_RETURN(bool has_inner, inner_->Next(state, &inner_row));
-    if (!has_inner) {
+    TIP_ASSIGN_OR_RETURN(const Row* inner_row,
+                         inner_->NextBorrowed(state));
+    if (inner_row == nullptr) {
       outer_valid_ = false;
       continue;
     }
     out->clear();
-    out->reserve(outer_row_.size() + inner_row.size());
+    out->reserve(outer_row_.size() + inner_row->size());
     out->insert(out->end(), outer_row_.begin(), outer_row_.end());
-    out->insert(out->end(), inner_row.begin(), inner_row.end());
+    out->insert(out->end(), inner_row->begin(), inner_row->end());
     if (predicate_ != nullptr) {
       TupleCtx tuple{out, state.outer};
       TIP_ASSIGN_OR_RETURN(bool pass,
@@ -341,7 +323,7 @@ void HashJoinNode::Explain(int depth, std::string* out) const {
 
 Status IntervalJoinNode::Open(ExecState& state) {
   TIP_RETURN_IF_ERROR(left_->Open(state));
-  left_valid_ = false;
+  left_row_ = nullptr;
   matches_.clear();
   next_match_ = 0;
   Result<IntervalIndexView> index =
@@ -353,13 +335,14 @@ Status IntervalJoinNode::Open(ExecState& state) {
 
 Result<bool> IntervalJoinNode::Next(ExecState& state, Row* out) {
   for (;;) {
-    if (!left_valid_) {
-      TIP_ASSIGN_OR_RETURN(bool has_row, left_->Next(state, &left_row_));
-      if (!has_row) return false;
-      left_valid_ = true;
+    if (left_row_ == nullptr) {
+      // The borrowed left row stays valid while we drain its matches:
+      // the contract only invalidates it at the next call into left_.
+      TIP_ASSIGN_OR_RETURN(left_row_, left_->NextBorrowed(state));
+      if (left_row_ == nullptr) return false;
       matches_.clear();
       next_match_ = 0;
-      TupleCtx tuple{&left_row_, state.outer};
+      TupleCtx tuple{left_row_, state.outer};
       TIP_ASSIGN_OR_RETURN(Datum probe,
                            left_probe_->Eval(tuple, *state.eval));
       if (!probe.is_null()) {
@@ -374,8 +357,8 @@ Result<bool> IntervalJoinNode::Next(ExecState& state, Row* out) {
       const Row* right_row = right_table_->heap().Get(matches_[next_match_++]);
       if (right_row == nullptr) continue;
       out->clear();
-      out->reserve(left_row_.size() + right_row->size());
-      out->insert(out->end(), left_row_.begin(), left_row_.end());
+      out->reserve(left_row_->size() + right_row->size());
+      out->insert(out->end(), left_row_->begin(), left_row_->end());
       out->insert(out->end(), right_row->begin(), right_row->end());
       if (residual_ != nullptr) {
         TupleCtx tuple{out, state.outer};
@@ -386,7 +369,7 @@ Result<bool> IntervalJoinNode::Next(ExecState& state, Row* out) {
       }
       return true;
     }
-    left_valid_ = false;
+    left_row_ = nullptr;
   }
 }
 
@@ -507,12 +490,11 @@ Status AggregateNode::Open(ExecState& state) {
   next_ = 0;
 
   TIP_RETURN_IF_ERROR(child_->Open(state));
-  Row row;
   for (;;) {
-    Result<bool> has_row = child_->Next(state, &row);
-    if (!has_row.ok()) return has_row.status();
-    if (!*has_row) break;
-    TupleCtx tuple{&row, state.outer};
+    Result<const Row*> row = child_->NextBorrowed(state);
+    if (!row.ok()) return row.status();
+    if (*row == nullptr) break;
+    TupleCtx tuple{*row, state.outer};
 
     std::vector<Datum> keys;
     keys.reserve(group_exprs_.size());
@@ -588,15 +570,15 @@ Status DistinctNode::Open(ExecState& state) {
 
 Result<bool> DistinctNode::Next(ExecState& state, Row* out) {
   for (;;) {
-    TIP_ASSIGN_OR_RETURN(bool has_row, child_->Next(state, out));
-    if (!has_row) return false;
+    TIP_ASSIGN_OR_RETURN(const Row* row, child_->NextBorrowed(state));
+    if (row == nullptr) return false;
     TIP_ASSIGN_OR_RETURN(uint64_t h,
-                         HashDatums(*out, *types_, state.eval->tx));
+                         HashDatums(*row, *types_, state.eval->tx));
     bool duplicate = false;
     auto [begin, end] = seen_index_.equal_range(h);
     for (auto it = begin; it != end; ++it) {
       TIP_ASSIGN_OR_RETURN(bool equal,
-                           DatumsEqual(seen_rows_[it->second], *out,
+                           DatumsEqual(seen_rows_[it->second], *row,
                                        *types_, state.eval->tx));
       if (equal) {
         duplicate = true;
@@ -605,7 +587,8 @@ Result<bool> DistinctNode::Next(ExecState& state, Row* out) {
     }
     if (duplicate) continue;
     seen_index_.emplace(h, seen_rows_.size());
-    seen_rows_.push_back(*out);
+    seen_rows_.push_back(*row);
+    *out = *row;
     return true;
   }
 }

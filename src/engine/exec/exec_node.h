@@ -40,6 +40,15 @@ class ExecNode {
   /// Returns true and fills `out` with the next row, or false at end.
   virtual Result<bool> Next(ExecState& state, Row* out) = 0;
 
+  /// Like Next, but lends the row instead of copying it: the returned
+  /// pointer (nullptr at end of stream) is valid only until the next
+  /// Open/Next/NextBorrowed call on this node. Scan-shaped operators
+  /// override this to hand out pointers straight into heap storage;
+  /// the default adapter materializes into an internal buffer, so every
+  /// node supports borrowing. Consumers that only read the row (filter,
+  /// project, aggregate input) should prefer this over Next.
+  virtual Result<const Row*> NextBorrowed(ExecState& state);
+
   /// Number of columns this node emits.
   virtual size_t output_arity() const = 0;
 
@@ -49,6 +58,9 @@ class ExecNode {
 
  protected:
   ExecNode() = default;
+
+ private:
+  Row borrow_buf_;  // backing storage for the default NextBorrowed
 };
 
 using ExecNodePtr = std::unique_ptr<ExecNode>;
@@ -75,6 +87,7 @@ class SeqScanNode final : public ExecNode {
 
   Status Open(ExecState&) override;
   Result<bool> Next(ExecState&, Row* out) override;
+  Result<const Row*> NextBorrowed(ExecState&) override;
   size_t output_arity() const override { return table_->columns().size(); }
   std::string DebugName() const override {
     return "SeqScan(" + table_->name() + ")";
@@ -100,6 +113,7 @@ class IntervalScanNode final : public ExecNode {
 
   Status Open(ExecState& state) override;
   Result<bool> Next(ExecState&, Row* out) override;
+  Result<const Row*> NextBorrowed(ExecState&) override;
   size_t output_arity() const override { return table_->columns().size(); }
   std::string DebugName() const override {
     return "IntervalIndexScan(" + table_->name() + "." +
@@ -125,6 +139,7 @@ class FilterNode final : public ExecNode {
 
   Status Open(ExecState& state) override;
   Result<bool> Next(ExecState& state, Row* out) override;
+  Result<const Row*> NextBorrowed(ExecState& state) override;
   size_t output_arity() const override { return child_->output_arity(); }
   std::string DebugName() const override { return "Filter"; }
   void Explain(int depth, std::string* out) const override;
@@ -274,8 +289,7 @@ class IntervalJoinNode final : public ExecNode {
   BoundExprPtr residual_;  // may be null
 
   IntervalIndexView index_;
-  Row left_row_;
-  bool left_valid_ = false;
+  const Row* left_row_ = nullptr;  // borrowed from left_
   std::vector<RowId> matches_;
   size_t next_match_ = 0;
 };

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "engine/exec/parallel_exec.h"
 
 namespace tip::engine {
 
@@ -645,6 +646,31 @@ class SelectPlanner {
     return it == ctx_.interval_key_fns->end() ? nullptr : &it->second;
   }
 
+  // True when a morsel-parallel operator over `table` is worth planning:
+  // the session asked for workers and the estimated input (the heap's
+  // live row count) clears the threshold.
+  bool ParallelEligible(const Table* table) const {
+    return ctx_.parallel_workers >= 2 && table != nullptr &&
+           table->heap().row_count() >= ctx_.parallel_min_rows;
+  }
+
+  ParallelStats* StatsFor(const Table* table) const {
+    if (ctx_.parallel_stats == nullptr) return nullptr;
+    return ctx_.parallel_stats->ForTable(table->name());
+  }
+
+  // Binds `scan0_pushed_` against table 0's scan scope (binding is
+  // pure, so re-binding conjuncts already placed in a scan is safe).
+  Result<BoundExprPtr> BindScanZeroPredicate() {
+    std::vector<BoundExprPtr> preds;
+    ExprBinder binder(ctx_, &table_scopes_[0]);
+    for (const Conjunct* c : scan0_pushed_) {
+      TIP_ASSIGN_OR_RETURN(BoundExprPtr p, binder.Bind(*c->expr));
+      preds.push_back(std::move(p));
+    }
+    return AndTogether(std::move(preds));
+  }
+
   const SelectStmt& select_;
   const PlannerContext& ctx_;
   const Scope* outer_;
@@ -655,6 +681,13 @@ class SelectPlanner {
   std::vector<Scope> table_scopes_;  // per-table scopes for inner sides
   std::vector<PlannedSelect> subplans_;  // derived tables (root else null)
   std::vector<Conjunct> conjuncts_;
+
+  // Shape of table 0's scan, recorded by BuildScan so later phases can
+  // fuse a parallel operator over it: true only when table 0 is a base
+  // table scanned heap-order (no interval index scan), with
+  // `scan0_pushed_` as the complete set of conjuncts pushed into it.
+  bool scan0_plain_heap_ = false;
+  std::vector<const Conjunct*> scan0_pushed_;
 };
 
 Status SelectPlanner::BuildScope() {
@@ -781,6 +814,28 @@ Result<ExecNodePtr> SelectPlanner::BuildScan(size_t table_pos,
     TIP_ASSIGN_OR_RETURN(scan,
                          TryIntervalScan(table_pos, scan_scope, pushed));
     if (scan == nullptr) {
+      // Plain heap scan. Record table 0's shape so the aggregate /
+      // interval-join fusion hooks can replace this subtree with a
+      // fused morsel-parallel operator later.
+      if (table_pos == 0) {
+        scan0_plain_heap_ = true;
+        scan0_pushed_.assign(pushed.begin(), pushed.end());
+      }
+      if (ParallelEligible(table)) {
+        // Morsel-parallel scan with the filter run inside the workers.
+        // Only non-subquery conjuncts are ever pushed into scans, so
+        // evaluating them from worker threads is safe.
+        std::vector<BoundExprPtr> preds;
+        ExprBinder binder(ctx_, &scan_scope);
+        for (Conjunct* c : pushed) {
+          TIP_ASSIGN_OR_RETURN(BoundExprPtr p, binder.Bind(*c->expr));
+          preds.push_back(std::move(p));
+          c->placed = true;
+        }
+        return ExecNodePtr(new ParallelScanNode(
+            table, AndTogether(std::move(preds)), ctx_.parallel_workers,
+            StatsFor(table)));
+      }
       scan = ExecNodePtr(new SeqScanNode(table));
     }
   }
@@ -868,6 +923,19 @@ Result<ExecNodePtr> SelectPlanner::JoinNext(ExecNodePtr left,
                                full_binder.Bind(*rc->expr));
           residuals.push_back(std::move(p));
           rc->placed = true;
+        }
+        // Morsel-parallel variant: valid only when the left subtree is
+        // exactly table 0's plain heap scan (so it can be re-expressed
+        // as a worker-side morsel loop) and the scan is large enough to
+        // split. Workers probe the shared immutable index view.
+        if (table_pos == 1 && scan0_plain_heap_ &&
+            ParallelEligible(layout_.tables[0])) {
+          TIP_ASSIGN_OR_RETURN(BoundExprPtr left_pred,
+                               BindScanZeroPredicate());
+          return ExecNodePtr(new ParallelIntervalJoinNode(
+              layout_.tables[0], std::move(left_pred), table, res->index,
+              std::move(probe), *key_fn, AndTogether(std::move(residuals)),
+              ctx_.parallel_workers, StatsFor(layout_.tables[0])));
         }
         return ExecNodePtr(new IntervalJoinNode(
             std::move(left), table, res->index, std::move(probe), *key_fn,
@@ -1137,9 +1205,33 @@ Result<PlannedSelect> SelectPlanner::Plan() {
                               spec.agg.result});
       specs.push_back(std::move(spec));
     }
-    plan = ExecNodePtr(new AggregateNode(std::move(plan),
-                                         std::move(group_bound),
-                                         std::move(specs), ctx_.types));
+    // Fuse scan + filter + aggregation into one morsel-parallel
+    // operator when the whole input pipeline is just table 0's plain
+    // heap scan with fully pushed conjuncts (a subquery conjunct would
+    // have left a Filter above the scan, and subqueries cannot run on
+    // worker threads) and every aggregate supports Merge. Group keys
+    // and aggregate arguments are subquery-free here: grouped queries
+    // reject subqueries above the aggregation outright.
+    bool fuse_parallel =
+        layout_.tables.size() == 1 && layout_.tables[0] != nullptr &&
+        scan0_plain_heap_ && ParallelEligible(layout_.tables[0]);
+    for (const Conjunct& c : conjuncts_) {
+      if (c.info.has_subquery) fuse_parallel = false;
+    }
+    for (const AggregateSpec& spec : specs) {
+      if (!spec.agg.def->mergeable) fuse_parallel = false;
+    }
+    if (fuse_parallel) {
+      TIP_ASSIGN_OR_RETURN(BoundExprPtr pred, BindScanZeroPredicate());
+      plan = ExecNodePtr(new ParallelAggregateNode(
+          layout_.tables[0], std::move(pred), std::move(group_bound),
+          std::move(specs), ctx_.types, ctx_.parallel_workers,
+          StatsFor(layout_.tables[0])));
+    } else {
+      plan = ExecNodePtr(new AggregateNode(std::move(plan),
+                                           std::move(group_bound),
+                                           std::move(specs), ctx_.types));
+    }
     output_binder.SetReplacements(&replacements);
 
     if (select_.having != nullptr) {

@@ -17,6 +17,8 @@
 
 namespace tip::engine {
 
+class ParallelStatsRegistry;
+
 /// Everything the binder/planner needs from the database instance.
 struct PlannerContext {
   const TypeRegistry* types = nullptr;
@@ -33,6 +35,16 @@ struct PlannerContext {
   // Session optimizer toggles (SET ... on the connection).
   bool enable_hash_join = true;
   bool enable_interval_join = true;
+
+  // Parallel execution (SET parallel_workers / parallel_min_rows).
+  // Parallel operators are only planned with parallel_workers >= 2 and
+  // an estimated scan input of at least parallel_min_rows rows, so the
+  // default session runs the unchanged serial plans.
+  size_t parallel_workers = 1;
+  size_t parallel_min_rows = 4096;
+  /// Session-owned per-table counters published by parallel operators
+  /// and read back by EXPLAIN; may be null (no recording).
+  ParallelStatsRegistry* parallel_stats = nullptr;
 };
 
 /// Name-resolution scope: the flattened columns of a FROM clause, with a

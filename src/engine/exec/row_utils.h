@@ -1,0 +1,61 @@
+#ifndef TIP_ENGINE_EXEC_ROW_UTILS_H_
+#define TIP_ENGINE_EXEC_ROW_UTILS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/exec/bound_expr.h"
+#include "engine/types/datum.h"
+#include "engine/types/eval_context.h"
+#include "engine/types/type.h"
+
+namespace tip::engine::exec_util {
+
+/// Evaluates a predicate over `tuple`; NULL counts as false.
+inline Result<bool> PredicatePasses(const BoundExpr& predicate,
+                                    const TupleCtx& tuple,
+                                    EvalContext& ctx) {
+  TIP_ASSIGN_OR_RETURN(Datum v, predicate.Eval(tuple, ctx));
+  return !v.is_null() && v.bool_value();
+}
+
+/// Combines per-column hashes the boost::hash_combine way.
+inline uint64_t CombineHashes(uint64_t seed, uint64_t h) {
+  return seed ^ (h + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
+}
+
+inline Result<uint64_t> HashDatums(const std::vector<Datum>& values,
+                                   const TypeRegistry& types,
+                                   const TxContext& tx) {
+  uint64_t seed = 0;
+  for (const Datum& v : values) {
+    TIP_ASSIGN_OR_RETURN(uint64_t h, types.Hash(v, tx));
+    seed = CombineHashes(seed, h);
+  }
+  return seed;
+}
+
+/// Row equality for grouping / DISTINCT: NULLs compare equal to NULLs
+/// (SQL's "not distinct from" semantics used by GROUP BY).
+inline Result<bool> DatumsEqual(const std::vector<Datum>& a,
+                                const std::vector<Datum>& b,
+                                const TypeRegistry& types,
+                                const TxContext& tx) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const bool an = a[i].is_null(), bn = b[i].is_null();
+    if (an || bn) {
+      if (an != bn) return false;
+      continue;
+    }
+    TIP_ASSIGN_OR_RETURN(int c, types.Compare(a[i], b[i], tx));
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace tip::engine::exec_util
+
+#endif  // TIP_ENGINE_EXEC_ROW_UTILS_H_

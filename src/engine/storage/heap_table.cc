@@ -54,7 +54,7 @@ const Row* HeapTable::Get(RowId id) const {
 }
 
 bool HeapTable::Cursor::Next(RowId* id, const Row** row) {
-  while (page_ < table_->pages_.size()) {
+  while (page_ < page_end_ && page_ < table_->pages_.size()) {
     const Page& page = *table_->pages_[page_];
     while (slot_ < page.rows.size()) {
       const uint32_t slot = slot_++;

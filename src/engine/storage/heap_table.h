@@ -1,6 +1,8 @@
 #ifndef TIP_ENGINE_STORAGE_HEAP_TABLE_H_
 #define TIP_ENGINE_STORAGE_HEAP_TABLE_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -53,21 +55,35 @@ class HeapTable {
   /// Number of live rows.
   size_t row_count() const { return live_rows_; }
 
-  /// Forward scan over live rows in row-id order.
+  /// Number of allocated pages (the unit morsels are carved from).
+  uint32_t page_count() const {
+    return static_cast<uint32_t>(pages_.size());
+  }
+
+  /// Forward scan over live rows in row-id order, restricted to pages
+  /// in [page_begin, page_end).
   class Cursor {
    public:
-    explicit Cursor(const HeapTable* table) : table_(table) {}
+    explicit Cursor(const HeapTable* table)
+        : Cursor(table, 0, table->page_count()) {}
+    Cursor(const HeapTable* table, uint32_t page_begin, uint32_t page_end)
+        : table_(table), page_(page_begin), page_end_(page_end) {}
 
-    /// Advances to the next live row; returns false at end of table.
+    /// Advances to the next live row; returns false at end of range.
     bool Next(RowId* id, const Row** row);
 
    private:
     const HeapTable* table_;
-    uint32_t page_ = 0;
+    uint32_t page_;
+    uint32_t page_end_;
     uint32_t slot_ = 0;
   };
 
   Cursor Scan() const { return Cursor(this); }
+  /// Scan over the page range [page_begin, page_end) only.
+  Cursor ScanPages(uint32_t page_begin, uint32_t page_end) const {
+    return Cursor(this, page_begin, std::min(page_end, page_count()));
+  }
 
   /// Monotonically increasing change counter; bumped by every write.
   /// Indexes use it to detect staleness.
@@ -82,6 +98,41 @@ class HeapTable {
   std::vector<std::unique_ptr<Page>> pages_;
   size_t live_rows_ = 0;
   uint64_t version_ = 0;
+};
+
+/// One contiguous page range of a heap, claimed by a scan worker.
+struct Morsel {
+  uint32_t page_begin = 0;
+  uint32_t page_end = 0;  // exclusive
+};
+
+/// Carves a heap into fixed-size morsels handed out atomically: any
+/// number of workers call Next concurrently until the table is
+/// exhausted, so fast workers naturally take more morsels than slow
+/// ones (morsel-driven scheduling). The heap must not be written to
+/// while a MorselSource over it is in use.
+class MorselSource {
+ public:
+  MorselSource(const HeapTable* table, uint32_t pages_per_morsel)
+      : table_(table),
+        pages_per_morsel_(std::max<uint32_t>(pages_per_morsel, 1)) {}
+
+  /// Claims the next unclaimed page range; false when the heap is
+  /// exhausted. Thread-safe.
+  bool Next(Morsel* out) {
+    const uint32_t total = table_->page_count();
+    const uint32_t begin =
+        next_page_.fetch_add(pages_per_morsel_, std::memory_order_relaxed);
+    if (begin >= total) return false;
+    out->page_begin = begin;
+    out->page_end = std::min(begin + pages_per_morsel_, total);
+    return true;
+  }
+
+ private:
+  const HeapTable* table_;
+  const uint32_t pages_per_morsel_;
+  std::atomic<uint32_t> next_page_{0};
 };
 
 }  // namespace tip::engine

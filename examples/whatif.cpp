@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "browser/whatif_session.h"
 #include "client/connection.h"
 
 int main() {
@@ -63,6 +64,26 @@ int main() {
     std::printf("== active in the 30 days before %s ==\n", now);
     tip::Result<tip::client::ResultSet> r = conn.Execute(recent);
     if (r.ok()) std::printf("%s\n", r->ToTable().c_str());
+  }
+
+  // The Browser's interactive loop: dragging the NOW slider issues a
+  // Begin per stop, each cancelling whatever evaluation the previous
+  // stop left in flight; only the final position is waited for.
+  tip::browser::WhatIfSession session(
+      &conn, "SELECT who, project, valid FROM assignment ORDER BY who",
+      "valid");
+  for (const char* now : {"1999-02-01", "1999-04-01", "1999-07-01"}) {
+    session.Begin(*tip::Chronon::Parse(now));
+  }
+  tip::Result<tip::browser::TimelineView> view = session.Wait();
+  if (view.ok()) {
+    std::printf("== browsing under the final slider position ==\n");
+    tip::Result<tip::browser::TimeWindow> window =
+        view->WindowAt(0.0, *tip::Span::FromDays(400));
+    if (window.ok()) std::printf("%s", view->Render(*window, 48).c_str());
+    std::printf("(%zu evaluations started, %zu cancelled mid-drag)\n",
+                session.evaluations_started(),
+                session.evaluations_cancelled());
   }
   return EXIT_SUCCESS;
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds the concurrency- and robustness-labeled tests under
+# AddressSanitizer and ThreadSanitizer and runs them. Any sanitizer
+# report fails the run (halt_on_error), so a green exit means both
+# labels are ASan- and TSan-clean.
+#
+# Usage: scripts/check_sanitizers.sh [build-root]
+#   build-root defaults to build-sanitize/ next to the source tree;
+#   one subdirectory per sanitizer is configured inside it.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+root="${1:-$repo/build-sanitize}"
+labels='concurrency|robustness'
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_one() {
+  local sanitizer="$1"
+  local dir="$root/$sanitizer"
+  echo "== TIP_SANITIZE=$sanitizer: configure + build ($dir) =="
+  cmake -S "$repo" -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTIP_SANITIZE="$sanitizer" >/dev/null
+  cmake --build "$dir" -j "$jobs" >/dev/null
+  echo "== TIP_SANITIZE=$sanitizer: ctest -L '$labels' =="
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$dir" -L "$labels" -j "$jobs" --output-on-failure
+}
+
+run_one address
+run_one thread
+echo "sanitizers clean: $labels under ASan and TSan"

@@ -1,0 +1,71 @@
+#include "browser/whatif_session.h"
+
+#include <utility>
+
+namespace tip::browser {
+
+WhatIfSession::WhatIfSession(client::Connection* conn, std::string sql,
+                             std::string temporal_column)
+    : conn_(conn),
+      sql_(std::move(sql)),
+      temporal_column_(std::move(temporal_column)) {}
+
+WhatIfSession::~WhatIfSession() { (void)CancelInFlight(); }
+
+bool WhatIfSession::CancelInFlight() {
+  if (!worker_.joinable()) return false;
+  bool abandoned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    abandoned = in_flight_;
+  }
+  if (abandoned) {
+    // The previous evaluation is still inside Execute: interrupt it via
+    // the thread-safe cancel path rather than waiting it out. If it
+    // finishes on its own before the flag is observed, the join below
+    // is immediate and its (stale) result is simply discarded.
+    conn_->Cancel();
+    ++cancelled_;
+  }
+  worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  latest_.reset();
+  in_flight_ = false;
+  return abandoned;
+}
+
+void WhatIfSession::Begin(std::optional<Chronon> now) {
+  (void)CancelInFlight();
+  // The worker is joined, so the connection is ours again: adjust NOW
+  // before the new evaluation starts.
+  if (now.has_value()) {
+    conn_->SetNow(*now);
+  } else {
+    conn_->ClearNow();
+  }
+  ++started_;
+  in_flight_ = true;
+  worker_ = std::thread([this] {
+    Result<client::ResultSet> result = conn_->Execute(sql_);
+    Result<TimelineView> view =
+        result.ok() ? TimelineView::Create(*result, temporal_column_,
+                                           conn_->database().CurrentTx())
+                    : result.status();
+    std::lock_guard<std::mutex> lock(mu_);
+    latest_.emplace(std::move(view));
+    in_flight_ = false;
+  });
+}
+
+Result<TimelineView> WhatIfSession::Wait() {
+  if (worker_.joinable()) worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!latest_.has_value()) {
+    return Status::InvalidArgument("WhatIfSession::Wait without Begin");
+  }
+  Result<TimelineView> out = std::move(*latest_);
+  latest_.reset();
+  return out;
+}
+
+}  // namespace tip::browser

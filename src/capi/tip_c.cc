@@ -67,6 +67,28 @@ int tip_clear_now(tip_connection* conn) {
   return 0;
 }
 
+int tip_cancel(tip_connection* conn) {
+  if (conn == nullptr) return -1;
+  /* No last_error write here: the racing tip_exec owns that field. */
+  conn->impl->Cancel();
+  return 0;
+}
+
+int tip_set_timeout_ms(tip_connection* conn, long long ms) {
+  if (conn == nullptr || ms < 0) return -1;
+  conn->impl->SetStatementTimeoutMs(ms);
+  conn->last_error.clear();
+  return 0;
+}
+
+int tip_set_memory_limit_kb(tip_connection* conn,
+                            unsigned long long kb) {
+  if (conn == nullptr) return -1;
+  conn->impl->SetMemoryLimitKb(static_cast<size_t>(kb));
+  conn->last_error.clear();
+  return 0;
+}
+
 int tip_exec(tip_connection* conn, const char* sql, tip_result** out) {
   if (out != nullptr) *out = nullptr;
   if (conn == nullptr || sql == nullptr) return -1;

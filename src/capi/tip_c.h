@@ -10,7 +10,9 @@
  *
  * Every fallible call returns 0 on success and -1 on failure;
  * tip_last_error() describes the most recent failure on the
- * connection. All handles are single-threaded.
+ * connection. All handles are single-threaded, with one exception:
+ * tip_cancel may be called from any thread to interrupt a blocked
+ * tip_exec on the same connection.
  */
 
 #include <stddef.h>
@@ -35,6 +37,21 @@ const char* tip_last_error(const tip_connection* conn);
  * `chronon_literal` uses the paper's notation, e.g. "1999-11-15". */
 int tip_set_now(tip_connection* conn, const char* chronon_literal);
 int tip_clear_now(tip_connection* conn);
+
+/* Requests cancellation of every statement currently executing on the
+ * connection. Thread-safe: this is the one call that may target a
+ * connection from another thread while tip_exec is blocked on it. The
+ * interrupted tip_exec fails with a "cancelled" error and leaves the
+ * database unchanged. Does not touch last_error itself. */
+int tip_cancel(tip_connection* conn);
+
+/* Statement guardrails for subsequent statements (0 = no limit): a
+ * wall-clock timeout and an approximate memory budget. A tripped guard
+ * fails the statement with a "deadline exceeded" / "resource
+ * exhausted" error without disturbing stored data. */
+int tip_set_timeout_ms(tip_connection* conn, long long ms);
+int tip_set_memory_limit_kb(tip_connection* conn,
+                            unsigned long long kb);
 
 /* Executes one SQL statement. On success, `*out` (if out != NULL)
  * receives a result handle the caller frees with tip_result_free;

@@ -36,6 +36,16 @@ std::optional<Chronon> Connection::now_override() const {
   return db_->now_override();
 }
 
+void Connection::Cancel() { db_->CancelActiveStatements(); }
+
+void Connection::SetStatementTimeoutMs(int64_t ms) {
+  db_->set_statement_timeout_ms(ms);
+}
+
+void Connection::SetMemoryLimitKb(size_t kb) {
+  db_->set_memory_limit_kb(kb);
+}
+
 Statement& Statement::BindInt(std::string_view name, int64_t value) {
   params_[std::string(name)] = engine::Datum::Int(value);
   return *this;

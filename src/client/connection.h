@@ -47,6 +47,19 @@ class Connection {
   void ClearNow();
   std::optional<Chronon> now_override() const;
 
+  /// Requests cancellation of every statement currently executing on
+  /// this connection's database. This is the one Connection entry point
+  /// that is safe to call from another thread while Execute is blocked;
+  /// the interrupted statement fails with Status::Cancelled and leaves
+  /// tables, indexes and session state untouched.
+  void Cancel();
+
+  /// Statement guardrails applied to subsequent statements (0 = no
+  /// limit): wall-clock timeout and approximate memory budget. The
+  /// equivalents of `SET statement_timeout_ms` / `SET memory_limit_kb`.
+  void SetStatementTimeoutMs(int64_t ms);
+  void SetMemoryLimitKb(size_t kb);
+
   /// The engine type ids of the five TIP types (customized type
   /// mapping, a la JDBC 2.0).
   const datablade::TipTypes& tip_types() const { return types_; }

@@ -1,0 +1,40 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace tip {
+
+namespace {
+
+// Table for the reflected IEEE polynomial 0xEDB88320.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, std::string_view bytes) {
+  const std::array<uint32_t, 256>& table = Table();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (unsigned char byte : bytes) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(std::string_view bytes) { return Crc32Update(0, bytes); }
+
+}  // namespace tip

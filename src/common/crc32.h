@@ -1,0 +1,20 @@
+#ifndef TIP_COMMON_CRC32_H_
+#define TIP_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tip {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG one), table-driven.
+/// Used to checksum snapshot sections so torn or bit-rotted files are
+/// detected at load instead of silently misread.
+uint32_t Crc32(std::string_view bytes);
+
+/// Incremental form: `crc` is the value returned by a previous call
+/// (start from 0).
+uint32_t Crc32Update(uint32_t crc, std::string_view bytes);
+
+}  // namespace tip
+
+#endif  // TIP_COMMON_CRC32_H_

@@ -1,0 +1,55 @@
+#include "common/exec_guard.h"
+
+#include <string>
+
+#include "common/fault_injection.h"
+
+namespace tip {
+
+namespace {
+
+// Bumps `counter` exactly once per guard lifetime, guarded by `flag`.
+void RecordOnce(std::atomic<bool>& flag, GuardEvents* events,
+                std::atomic<uint64_t> GuardEvents::* counter) {
+  if (events == nullptr) return;
+  bool expected = false;
+  if (flag.compare_exchange_strong(expected, true,
+                                   std::memory_order_relaxed)) {
+    (events->*counter).fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+Status ExecGuard::TripCancelled() {
+  RecordOnce(event_recorded_, events_, &GuardEvents::cancels);
+  return Status::Cancelled("statement cancelled");
+}
+
+Status ExecGuard::CheckDeadline() {
+  if (Clock::now() < deadline_) return Status::OK();
+  RecordOnce(event_recorded_, events_, &GuardEvents::timeouts);
+  // Sticky: once the deadline has passed, every later check fails too.
+  return Status::DeadlineExceeded(
+      "statement timeout after " + std::to_string(timeout_ms_) + " ms");
+}
+
+Status ExecGuard::Reserve(size_t bytes) {
+  TIP_RETURN_IF_ERROR(fault::MaybeFail("guard.reserve"));
+  const size_t used =
+      bytes_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  size_t peak = bytes_peak_.load(std::memory_order_relaxed);
+  while (used > peak &&
+         !bytes_peak_.compare_exchange_weak(peak, used,
+                                            std::memory_order_relaxed)) {
+  }
+  if (memory_limit_ != 0 && used > memory_limit_) {
+    RecordOnce(event_recorded_, events_, &GuardEvents::oom);
+    return Status::ResourceExhausted(
+        "statement memory limit exceeded: " + std::to_string(used) +
+        " bytes used, limit " + std::to_string(memory_limit_));
+  }
+  return Status::OK();
+}
+
+}  // namespace tip

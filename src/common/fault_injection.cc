@@ -1,0 +1,156 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/string_util.h"
+
+namespace tip::fault {
+
+namespace {
+
+constexpr char kInjectedPrefix[] = "fault injected at ";
+
+struct PointState {
+  bool armed = false;
+  uint64_t fail_at = 0;    // fail when armed_hits == fail_at
+  uint64_t armed_hits = 0; // hits since arming
+  uint64_t total_hits = 0; // hits since process start
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, PointState> points;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+// Count of armed points; MaybeFail's lock-free fast path when zero.
+std::atomic<int> g_armed_points{0};
+std::once_flag g_env_once;
+
+}  // namespace
+
+void InjectAt(const std::string& point, uint64_t nth) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  PointState& state = reg.points[point];
+  if (!state.armed) g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  state.armed = true;
+  state.fail_at = nth;
+  state.armed_hits = 0;
+}
+
+void Clear(const std::string& point) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(point);
+  if (it != reg.points.end() && it->second.armed) {
+    it->second.armed = false;
+    g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ClearAll() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, state] : reg.points) {
+    if (state.armed) {
+      state.armed = false;
+      g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t HitCount(const std::string& point) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(point);
+  return it == reg.points.end() ? 0 : it->second.total_hits;
+}
+
+std::vector<std::string> ArmedPoints() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::string> out;
+  for (const auto& [name, state] : reg.points) {
+    if (state.armed) out.push_back(name);
+  }
+  return out;
+}
+
+Status MaybeFail(const char* point) {
+  ApplyEnvOnce();
+  if (g_armed_points.load(std::memory_order_relaxed) == 0) {
+    return Status::OK();
+  }
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  PointState& state = reg.points[point];
+  ++state.total_hits;
+  if (!state.armed) return Status::OK();
+  const uint64_t hit = state.armed_hits++;
+  if (hit != state.fail_at) return Status::OK();
+  state.armed = false;  // one-shot
+  g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+  return Status::Internal(kInjectedPrefix + std::string(point));
+}
+
+bool IsInjected(const Status& status) {
+  return status.code() == StatusCode::kInternal &&
+         status.message().rfind(kInjectedPrefix, 0) == 0;
+}
+
+Status ApplySpec(const std::string& spec) {
+  const std::string word = ToLowerAscii(StripAsciiWhitespace(spec));
+  if (word.empty() || word == "off" || word == "none" || word == "clear") {
+    ClearAll();
+    return Status::OK();
+  }
+  // Validate the whole spec before arming anything.
+  struct Arm {
+    std::string point;
+    uint64_t nth;
+  };
+  std::vector<Arm> arms;
+  for (std::string_view entry : SplitString(word, ',')) {
+    entry = StripAsciiWhitespace(entry);
+    if (entry.empty()) continue;
+    const size_t colon = entry.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 == entry.size()) {
+      return Status::InvalidArgument(
+          "fault spec entry must be 'point:n', got '" + std::string(entry) +
+          "'");
+    }
+    Result<int64_t> nth = ParseInt64(entry.substr(colon + 1));
+    if (!nth.ok() || *nth < 0) {
+      return Status::InvalidArgument("fault spec count must be a "
+                                     "non-negative integer in '" +
+                                     std::string(entry) + "'");
+    }
+    arms.push_back({std::string(entry.substr(0, colon)),
+                    static_cast<uint64_t>(*nth)});
+  }
+  if (arms.empty()) {
+    return Status::InvalidArgument("empty fault spec '" + spec + "'");
+  }
+  for (const Arm& arm : arms) InjectAt(arm.point, arm.nth);
+  return Status::OK();
+}
+
+void ApplyEnvOnce() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("TIP_FAULT_INJECT");
+    if (env == nullptr || *env == '\0') return;
+    // A malformed env spec is ignored rather than fatal: fault
+    // injection must never take the production path down.
+    (void)ApplySpec(env);
+  });
+}
+
+}  // namespace tip::fault

@@ -1,0 +1,66 @@
+#ifndef TIP_COMMON_FAULT_INJECTION_H_
+#define TIP_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// Deterministic fault injection for testing error paths.
+///
+/// Code under test declares named *injection points* by calling
+/// `MaybeFail("area.operation")` at the spot where a real failure could
+/// occur (an I/O call, an allocation, a thread dispatch). In production
+/// nothing is armed and MaybeFail is one relaxed atomic load. Tests (or
+/// the TIP_FAULT_INJECT environment variable, or `SET fault_inject`)
+/// arm a point with `InjectAt(point, n)`: the n-th subsequent hit of
+/// that point (0-based) fails with `Status::Internal`, and every hit
+/// after it succeeds again — "kill exactly the k-th write" semantics,
+/// which is what crash-recovery tests need.
+///
+/// Point naming convention: `<subsystem>.<operation>`, lower-case,
+/// e.g. "snapshot.write", "snapshot.fsync", "threadpool.dispatch",
+/// "guard.reserve". Points are not pre-registered; arming an unknown
+/// name simply never fires, and HitCount reports how often a name was
+/// reached so tests can assert coverage.
+namespace tip::fault {
+
+/// Arms `point` to fail on its `nth` next hit (0 = the very next one).
+/// Re-arming replaces any previous arming of the same point.
+void InjectAt(const std::string& point, uint64_t nth);
+
+/// Disarms one point / all points. Hit counters survive ClearAll so
+/// tests can still assert coverage after a run.
+void Clear(const std::string& point);
+void ClearAll();
+
+/// Times `point` has been reached (armed or not) since process start.
+uint64_t HitCount(const std::string& point);
+
+/// Names of all currently armed points (diagnostics).
+std::vector<std::string> ArmedPoints();
+
+/// The injection hook. Returns OK unless `point` is armed and this hit
+/// is the chosen one, in which case it returns
+/// `Status::Internal("fault injected at <point>")` and disarms.
+/// Fast path when nothing is armed anywhere: one atomic load, no lock.
+Status MaybeFail(const char* point);
+
+/// True when the given status came from MaybeFail (tests distinguishing
+/// injected faults from genuine errors).
+bool IsInjected(const Status& status);
+
+/// Parses and applies a TIP_FAULT_INJECT-style spec:
+///   "point:n[,point:n...]" arms, "off" / "none" / "clear" clears all.
+/// Returns InvalidArgument on malformed specs.
+Status ApplySpec(const std::string& spec);
+
+/// Applies the TIP_FAULT_INJECT environment variable once per process
+/// (called lazily from MaybeFail; exposed for tests).
+void ApplyEnvOnce();
+
+}  // namespace tip::fault
+
+#endif  // TIP_COMMON_FAULT_INJECTION_H_

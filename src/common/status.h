@@ -23,6 +23,15 @@ enum class StatusCode : int {
   kTypeError = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  // Statement lifecycle outcomes: a statement aborted by
+  // Connection::Cancel(), by its SET statement_timeout_ms deadline, or
+  // by its SET memory_limit_kb budget (also adversarial literal sizes).
+  kCancelled = 9,
+  kDeadlineExceeded = 10,
+  kResourceExhausted = 11,
+  // Persistent state that fails validation: torn/truncated/bit-rotted
+  // snapshot files.
+  kCorruption = 12,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "ParseError").
@@ -68,6 +77,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

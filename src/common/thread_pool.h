@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace tip {
 
 /// A lazily grown pool of worker threads for intra-query parallelism.
@@ -35,11 +37,27 @@ class ThreadPool {
 
   /// Runs `body(w)` once for each worker index w in [0, workers):
   /// worker 0 on the calling thread, the rest on pool threads. Blocks
-  /// until all bodies complete. `body` must be safe to invoke
-  /// concurrently from multiple threads.
-  void RunOnWorkers(size_t workers, const std::function<void(size_t)>& body);
+  /// until all bodies complete — every body runs to its own completion
+  /// even when another has already failed (bodies that want to stop
+  /// early share a flag, as the parallel operators do).
+  ///
+  /// Error contract: the returned Status is the first error by worker
+  /// index — a body's non-OK Status, or Internal("worker exception:
+  /// ...") when a body throws (the exception is captured, never
+  /// propagated into the pool thread). OK only when every body
+  /// returned OK. `body` must be safe to invoke concurrently from
+  /// multiple threads.
+  Status RunOnWorkers(size_t workers,
+                      const std::function<Status(size_t)>& body);
 
   size_t max_threads() const { return max_threads_; }
+
+  /// Approximate number of pool workers a new RunOnWorkers call could
+  /// put to work right now: capacity not currently running or queued.
+  /// Racy by nature (other statements submit concurrently) — callers
+  /// use it as a planning hint to degrade to serial under saturation,
+  /// never for correctness.
+  size_t ApproxAvailable() const;
 
   /// True when the calling thread is one of this process's pool
   /// workers (any pool): used to serialize nested parallelism.
@@ -55,11 +73,15 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
+  /// Enqueues `task`, growing the pool if needed. If the pool cannot
+  /// dispatch (thread creation fails, or the "threadpool.dispatch"
+  /// fault point fires), the task runs inline on the caller — slower
+  /// but never lost.
   void Submit(std::function<void()> task);
   void WorkerLoop();
 
   const size_t max_threads_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/string_util.h"
+#include "core/parse_limits.h"
 
 namespace tip {
 
@@ -268,6 +269,11 @@ Result<GroundedElement> Element::Ground(const TxContext& ctx) const {
 }
 
 Result<Element> Element::Parse(std::string_view text) {
+  if (text.size() > kMaxLiteralBytes) {
+    return Status::ResourceExhausted("Element literal exceeds " +
+                                     std::to_string(kMaxLiteralBytes) +
+                                     " bytes");
+  }
   std::string_view s = StripAsciiWhitespace(text);
   if (s.size() < 2 || s.front() != '{' || s.back() != '}') {
     return Status::ParseError("Element literal must be braced: '" +
@@ -289,6 +295,11 @@ Result<Element> Element::Parse(std::string_view text) {
                                 std::string(text) + "'");
     }
     TIP_ASSIGN_OR_RETURN(Period p, Period::Parse(rest.substr(0, close + 1)));
+    if (periods.size() >= kMaxElementPeriods) {
+      return Status::ResourceExhausted("Element literal exceeds " +
+                                       std::to_string(kMaxElementPeriods) +
+                                       " periods");
+    }
     periods.push_back(p);
     rest = StripAsciiWhitespace(rest.substr(close + 1));
     if (rest.empty()) break;

@@ -1,0 +1,18 @@
+#ifndef TIP_CORE_PARSE_LIMITS_H_
+#define TIP_CORE_PARSE_LIMITS_H_
+
+#include <cstddef>
+
+namespace tip {
+
+/// Caps on temporal literal parsing. Literals arrive from untrusted
+/// places (SQL text, snapshot payloads, the C API), so the parsers
+/// refuse pathological inputs with Status::ResourceExhausted *before*
+/// allocating for them — no real TIP literal is within orders of
+/// magnitude of these.
+inline constexpr size_t kMaxLiteralBytes = 16u << 20;  // 16 MiB of text
+inline constexpr size_t kMaxElementPeriods = 1u << 20;  // 1M periods
+
+}  // namespace tip
+
+#endif  // TIP_CORE_PARSE_LIMITS_H_

@@ -1,6 +1,7 @@
 #include "core/period.h"
 
 #include "common/string_util.h"
+#include "core/parse_limits.h"
 
 namespace tip {
 
@@ -92,6 +93,11 @@ Result<GroundedPeriod> Period::Ground(const TxContext& ctx) const {
 }
 
 Result<Period> Period::Parse(std::string_view text) {
+  if (text.size() > kMaxLiteralBytes) {
+    return Status::ResourceExhausted("Period literal exceeds " +
+                                     std::to_string(kMaxLiteralBytes) +
+                                     " bytes");
+  }
   std::string_view s = StripAsciiWhitespace(text);
   if (s.size() < 2 || s.front() != '[' || s.back() != ']') {
     return Status::ParseError("Period literal must be bracketed: '" +

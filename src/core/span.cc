@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/string_util.h"
+#include "core/parse_limits.h"
 
 namespace tip {
 namespace {
@@ -36,6 +37,11 @@ Result<Span> Span::FromWeeks(int64_t weeks) {
 }
 
 Result<Span> Span::Parse(std::string_view text) {
+  if (text.size() > kMaxLiteralBytes) {
+    return Status::ResourceExhausted("Span literal exceeds " +
+                                     std::to_string(kMaxLiteralBytes) +
+                                     " bytes");
+  }
   std::string_view s = StripAsciiWhitespace(text);
   if (s.empty()) return Status::ParseError("empty Span literal");
   bool negative = false;

@@ -1,6 +1,9 @@
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "common/string_util.h"
 #include "engine/database.h"
@@ -487,6 +490,69 @@ Status RegisterIndexStats(Database* db) {
   return Status::OK();
 }
 
+// tip_guard_stats()          -> formatted lifecycle counters
+// tip_guard_stats('counter') -> one counter as INT
+// The observability surface for the statement lifecycle guard: how often
+// statements on this session hit timeouts, cancels, memory budgets, or
+// degraded a parallel plan to serial.
+Status RegisterGuardStats(Database* db) {
+  RoutineRegistry& reg = db->routines();
+  const TypeId s = TypeId::kString;
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_guard_stats", {}, s,
+      [db](const std::vector<Datum>&, EvalContext&) -> Result<Datum> {
+        const GuardEvents& ev = db->guard_events();
+        return Datum::String(
+            "timeouts=" +
+            std::to_string(ev.timeouts.load(std::memory_order_relaxed)) +
+            " cancels=" +
+            std::to_string(ev.cancels.load(std::memory_order_relaxed)) +
+            " oom=" + std::to_string(ev.oom.load(std::memory_order_relaxed)) +
+            " parallel_fallbacks=" +
+            std::to_string(
+                ev.parallel_fallbacks.load(std::memory_order_relaxed)));
+      })));
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_guard_stats", {s}, TypeId::kInt,
+      [db](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        const GuardEvents& ev = db->guard_events();
+        const std::string counter = ToLowerAscii(a[0].string_value());
+        uint64_t value;
+        if (counter == "timeouts") {
+          value = ev.timeouts.load(std::memory_order_relaxed);
+        } else if (counter == "cancels") {
+          value = ev.cancels.load(std::memory_order_relaxed);
+        } else if (counter == "oom") {
+          value = ev.oom.load(std::memory_order_relaxed);
+        } else if (counter == "parallel_fallbacks") {
+          value = ev.parallel_fallbacks.load(std::memory_order_relaxed);
+        } else {
+          return Status::InvalidArgument("unknown guard counter '" + counter +
+                                         "'");
+        }
+        return Datum::Int(static_cast<int64_t>(value));
+      })));
+
+  // tip_sleep_ms(n) -> n after sleeping ~n milliseconds in 1ms slices,
+  // checking the statement guard between slices. Exists so tests and
+  // demos can hold a statement open long enough to cancel or time it
+  // out deterministically.
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_sleep_ms", {TypeId::kInt}, TypeId::kInt,
+      [](const std::vector<Datum>& a, EvalContext& eval) -> Result<Datum> {
+        const int64_t ms = a[0].int_value();
+        for (int64_t slept = 0; slept < ms; ++slept) {
+          TIP_RETURN_IF_ERROR(eval.CheckGuardNow());
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        TIP_RETURN_IF_ERROR(eval.CheckGuardNow());
+        return Datum::Int(ms);
+      })));
+  return Status::OK();
+}
+
 }  // namespace
 
 Status RegisterBuiltins(Database* db) {
@@ -494,6 +560,7 @@ Status RegisterBuiltins(Database* db) {
   TIP_RETURN_IF_ERROR(RegisterCasts(db));
   TIP_RETURN_IF_ERROR(RegisterAggregates(db));
   TIP_RETURN_IF_ERROR(RegisterIndexStats(db));
+  TIP_RETURN_IF_ERROR(RegisterGuardStats(db));
   return Status::OK();
 }
 

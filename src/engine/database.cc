@@ -4,9 +4,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "engine/exec/exec_node.h"
 #include "engine/exec/planner.h"
+#include "engine/exec/row_utils.h"
 #include "engine/sql/ast.h"
 #include "engine/sql/parser.h"
 
@@ -93,6 +95,21 @@ void Database::SetNowOverride(std::optional<Chronon> now) {
   now_override_ = now;
 }
 
+void Database::CancelActiveStatements() {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  for (ExecGuard* guard : active_guards_) guard->Cancel();
+}
+
+void Database::RegisterGuard(ExecGuard* guard) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  active_guards_.insert(guard);
+}
+
+void Database::DeregisterGuard(ExecGuard* guard) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  active_guards_.erase(guard);
+}
+
 Result<ResultSet> Database::Execute(std::string_view sql) {
   TIP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   return ExecuteParsed(stmt, nullptr);
@@ -146,6 +163,27 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
   ExecState state;
   state.eval = &eval;
 
+  // Every statement executes under a stack-owned lifecycle guard:
+  // deadline, cancel flag and memory budget travel to the operators via
+  // the EvalContext. The guard is visible to other threads (for
+  // Connection::Cancel) only while registered, and RAII deregistration
+  // covers every return path out of the switch below.
+  ExecGuard guard;
+  if (statement_guard_enabled_) {
+    guard.SetTimeout(statement_timeout_ms_);
+    guard.SetMemoryLimit(memory_limit_kb_ * 1024);
+    guard.set_events(&guard_events_);
+    eval.guard = &guard;
+    RegisterGuard(&guard);
+  }
+  struct GuardScope {
+    Database* db;
+    ExecGuard* guard;
+    ~GuardScope() {
+      if (guard != nullptr) db->DeregisterGuard(guard);
+    }
+  } guard_scope{this, eval.guard};
+
   switch (stmt.kind) {
     case Statement::Kind::kSelect: {
       TIP_ASSIGN_OR_RETURN(PlannedSelect plan,
@@ -158,8 +196,11 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
       TIP_RETURN_IF_ERROR(plan.root->Open(state));
       Row row;
       for (;;) {
+        TIP_RETURN_IF_ERROR(eval.CheckGuard());
         TIP_ASSIGN_OR_RETURN(bool has_row, plan.root->Next(state, &row));
         if (!has_row) break;
+        TIP_RETURN_IF_ERROR(
+            eval.ReserveMemory(exec_util::ApproxRowBytes(row)));
         result.rows.push_back(std::move(row));
       }
       return result;
@@ -175,6 +216,22 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
       for (std::string_view line : SplitString(text, '\n')) {
         if (line.empty()) continue;
         result.rows.push_back(Row{Datum::String(std::string(line))});
+      }
+      // Lifecycle events observed this session, appended only once any
+      // exist so plans from untroubled sessions are unchanged.
+      const uint64_t timeouts =
+          guard_events_.timeouts.load(std::memory_order_relaxed);
+      const uint64_t cancels =
+          guard_events_.cancels.load(std::memory_order_relaxed);
+      const uint64_t oom = guard_events_.oom.load(std::memory_order_relaxed);
+      const uint64_t fallbacks =
+          guard_events_.parallel_fallbacks.load(std::memory_order_relaxed);
+      if (timeouts + cancels + oom + fallbacks > 0) {
+        result.rows.push_back(Row{Datum::String(
+            "GuardStats(timeouts=" + std::to_string(timeouts) +
+            " cancels=" + std::to_string(cancels) +
+            " oom=" + std::to_string(oom) +
+            " parallel_fallbacks=" + std::to_string(fallbacks) + ")")});
       }
       return result;
     }
@@ -219,8 +276,13 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
           targets.push_back(static_cast<size_t>(idx));
         }
       }
-      int64_t inserted = 0;
+      // Evaluate every value row before touching the heap: a statement
+      // aborted mid-way (cancel, timeout, memory budget, eval error)
+      // must leave the table exactly as it was.
+      std::vector<Row> staged;
+      staged.reserve(stmt.insert_rows.size());
       for (const std::vector<ExprPtr>& value_row : stmt.insert_rows) {
+        TIP_RETURN_IF_ERROR(eval.CheckGuard());
         if (value_row.size() != targets.size()) {
           return Status::InvalidArgument(
               "INSERT value count does not match column count");
@@ -236,11 +298,13 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
           TIP_ASSIGN_OR_RETURN(Datum v, bound->Eval(tuple, eval));
           row[targets[i]] = std::move(v);
         }
-        table->heap().Insert(std::move(row));
-        ++inserted;
+        TIP_RETURN_IF_ERROR(
+            eval.ReserveMemory(exec_util::ApproxRowBytes(row)));
+        staged.push_back(std::move(row));
       }
+      for (Row& row : staged) table->heap().Insert(std::move(row));
       ResultSet result;
-      result.affected_rows = inserted;
+      result.affected_rows = static_cast<int64_t>(staged.size());
       return result;
     }
 
@@ -278,12 +342,16 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
       }
 
       // Phase 1: evaluate against a stable snapshot of matching rows.
+      // Guard checks live here only — once phase 2 starts applying, the
+      // statement runs to completion so an abort cannot leave a
+      // half-updated table.
       std::vector<std::pair<RowId, Row>> changes;
       std::vector<RowId> deletions;
       HeapTable::Cursor cursor = table->heap().Scan();
       RowId id;
       const Row* row;
       while (cursor.Next(&id, &row)) {
+        TIP_RETURN_IF_ERROR(eval.CheckGuard());
         TupleCtx tuple{row, nullptr};
         if (where != nullptr) {
           TIP_ASSIGN_OR_RETURN(Datum pass, where->Eval(tuple, eval));
@@ -297,6 +365,8 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
             TIP_ASSIGN_OR_RETURN(Datum v, expr->Eval(tuple, eval));
             updated[idx] = std::move(v);
           }
+          TIP_RETURN_IF_ERROR(
+              eval.ReserveMemory(exec_util::ApproxRowBytes(updated)));
           changes.emplace_back(id, std::move(updated));
         }
       }
@@ -354,6 +424,30 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
         TIP_ASSIGN_OR_RETURN(int64_t n, ParseCount(word));
         parallel_min_rows_ = static_cast<size_t>(n);
         result.message = "SET PARALLEL_MIN_ROWS " + std::to_string(n);
+        return result;
+      }
+      if (stmt.option == "statement_timeout_ms") {
+        TIP_ASSIGN_OR_RETURN(int64_t n, ParseCount(word));
+        statement_timeout_ms_ = n;
+        result.message = "SET STATEMENT_TIMEOUT_MS " + std::to_string(n);
+        return result;
+      }
+      if (stmt.option == "memory_limit_kb") {
+        TIP_ASSIGN_OR_RETURN(int64_t n, ParseCount(word));
+        memory_limit_kb_ = static_cast<size_t>(n);
+        result.message = "SET MEMORY_LIMIT_KB " + std::to_string(n);
+        return result;
+      }
+      if (stmt.option == "statement_guard") {
+        TIP_ASSIGN_OR_RETURN(statement_guard_enabled_, ParseOnOff(word));
+        result.message = "SET STATEMENT_GUARD";
+        return result;
+      }
+      if (stmt.option == "fault_inject") {
+        // 'point:n[,point:n...]' arms deterministic fault points;
+        // 'off' clears them all. Same grammar as TIP_FAULT_INJECT.
+        TIP_RETURN_IF_ERROR(fault::ApplySpec(word));
+        result.message = "SET FAULT_INJECT " + word;
         return result;
       }
       return Status::InvalidArgument("unknown option '" + stmt.option +

@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/exec_guard.h"
 #include "common/status.h"
 #include "core/chronon.h"
 #include "core/tx_context.h"
@@ -101,9 +102,34 @@ class Database {
   void set_parallel_min_rows(size_t n) { parallel_min_rows_ = n; }
   size_t parallel_min_rows() const { return parallel_min_rows_; }
 
+  // -- Statement lifecycle ---------------------------------------------------
+
+  /// Wall-clock budget for each subsequent statement
+  /// (SET STATEMENT_TIMEOUT_MS n). 0 = unlimited (the default).
+  void set_statement_timeout_ms(int64_t ms) { statement_timeout_ms_ = ms; }
+  int64_t statement_timeout_ms() const { return statement_timeout_ms_; }
+
+  /// Approximate memory budget for each subsequent statement's buffering
+  /// (SET MEMORY_LIMIT_KB n). 0 = unlimited (the default).
+  void set_memory_limit_kb(size_t kb) { memory_limit_kb_ = kb; }
+  size_t memory_limit_kb() const { return memory_limit_kb_; }
+
+  /// Requests cancellation of every statement currently executing on
+  /// this Database. Thread-safe (the point of it: it is called from a
+  /// different thread than the one stuck inside Execute). Statements
+  /// abort at their next cooperative check with Status::Cancelled;
+  /// statements that start after this call are unaffected.
+  void CancelActiveStatements();
+
+  /// Session-lifetime lifecycle event counters (timeouts, cancels, oom,
+  /// parallel fallbacks), surfaced in SQL as tip_guard_stats().
+  const GuardEvents& guard_events() const { return guard_events_; }
+
  private:
   Result<ResultSet> ExecuteParsed(const struct Statement& stmt,
                                   const Params* params);
+  void RegisterGuard(ExecGuard* guard);
+  void DeregisterGuard(ExecGuard* guard);
 
   TypeRegistry types_;
   RoutineRegistry routines_;
@@ -112,11 +138,23 @@ class Database {
   Catalog catalog_;
   std::map<TypeId, IntervalKeyFn> interval_key_fns_;
 
-  /// Guards now_override_: the one piece of session state another
-  /// thread may legitimately change while queries run (the NOW-flip
-  /// scenario the segmented index is built for).
+  /// Guards now_override_ and active_guards_: the session state other
+  /// threads may legitimately touch while queries run (the NOW-flip
+  /// scenario the segmented index is built for, and cross-thread
+  /// cancellation).
   mutable std::mutex session_mu_;
   std::optional<Chronon> now_override_;
+  /// Guards of statements currently inside ExecuteParsed, so
+  /// CancelActiveStatements can reach them from another thread. Entries
+  /// are stack-owned by their Execute call and deregistered on unwind.
+  std::set<ExecGuard*> active_guards_;
+  int64_t statement_timeout_ms_ = 0;
+  size_t memory_limit_kb_ = 0;
+  /// SET STATEMENT_GUARD OFF disables guard creation entirely — the
+  /// pre-guardrail execution path, kept addressable so the guard's
+  /// overhead stays measurable in-binary (bench_guard_overhead).
+  bool statement_guard_enabled_ = true;
+  GuardEvents guard_events_;
   bool enable_hash_join_ = true;
   bool enable_interval_join_ = true;
   size_t parallel_workers_ = 1;

@@ -113,6 +113,7 @@ Result<bool> FilterNode::Next(ExecState& state, Row* out) {
 
 Result<const Row*> FilterNode::NextBorrowed(ExecState& state) {
   for (;;) {
+    TIP_RETURN_IF_ERROR(state.eval->CheckGuard());
     TIP_ASSIGN_OR_RETURN(const Row* row, child_->NextBorrowed(state));
     if (row == nullptr) return nullptr;
     TupleCtx tuple{row, state.outer};
@@ -175,6 +176,7 @@ Status NestedLoopJoinNode::Open(ExecState& state) {
 
 Result<bool> NestedLoopJoinNode::Next(ExecState& state, Row* out) {
   for (;;) {
+    TIP_RETURN_IF_ERROR(state.eval->CheckGuard());
     if (!outer_valid_) {
       TIP_ASSIGN_OR_RETURN(bool has_row, outer_->Next(state, &outer_row_));
       if (!has_row) return false;
@@ -219,6 +221,7 @@ Status HashJoinNode::Open(ExecState& state) {
   TIP_RETURN_IF_ERROR(right_->Open(state));
   Row row;
   for (;;) {
+    TIP_RETURN_IF_ERROR(state.eval->CheckGuard());
     Result<bool> has_row = right_->Next(state, &row);
     if (!has_row.ok()) return has_row.status();
     if (!*has_row) break;
@@ -238,6 +241,8 @@ Status HashJoinNode::Open(ExecState& state) {
     if (null_key) continue;  // NULL never joins
     Result<uint64_t> h = HashDatums(keys, *types_, state.eval->tx);
     if (!h.ok()) return h.status();
+    TIP_RETURN_IF_ERROR(
+        state.eval->ReserveMemory(exec_util::ApproxRowBytes(row)));
     build_index_.emplace(*h, build_rows_.size());
     build_rows_.push_back(std::move(row));
   }
@@ -263,6 +268,7 @@ Result<bool> HashJoinNode::KeysEqual(const Row& left_row,
 
 Result<bool> HashJoinNode::Next(ExecState& state, Row* out) {
   for (;;) {
+    TIP_RETURN_IF_ERROR(state.eval->CheckGuard());
     if (!probe_valid_) {
       TIP_ASSIGN_OR_RETURN(bool has_row, left_->Next(state, &probe_row_));
       if (!has_row) return false;
@@ -335,6 +341,7 @@ Status IntervalJoinNode::Open(ExecState& state) {
 
 Result<bool> IntervalJoinNode::Next(ExecState& state, Row* out) {
   for (;;) {
+    TIP_RETURN_IF_ERROR(state.eval->CheckGuard());
     if (left_row_ == nullptr) {
       // The borrowed left row stays valid while we drain its matches:
       // the contract only invalidates it at the next call into left_.
@@ -394,9 +401,12 @@ Status SortNode::Open(ExecState& state) {
   TIP_RETURN_IF_ERROR(child_->Open(state));
   Row row;
   for (;;) {
+    TIP_RETURN_IF_ERROR(state.eval->CheckGuard());
     Result<bool> has_row = child_->Next(state, &row);
     if (!has_row.ok()) return has_row.status();
     if (!*has_row) break;
+    TIP_RETURN_IF_ERROR(
+        state.eval->ReserveMemory(exec_util::ApproxRowBytes(row)));
     rows_.push_back(std::move(row));
   }
 
@@ -472,6 +482,9 @@ Result<AggregateNode::Group*> AggregateNode::FindOrCreateGroup(
                     state.eval->tx));
     if (equal) return &groups_[it->second];
   }
+  // Each group buffers its keys plus one aggregate state apiece.
+  TIP_RETURN_IF_ERROR(state.eval->ReserveMemory(
+      exec_util::ApproxRowBytes(keys) + aggregates_.size() * 64));
   Group group;
   group.keys = keys;
   group.states.reserve(aggregates_.size());
@@ -491,6 +504,7 @@ Status AggregateNode::Open(ExecState& state) {
 
   TIP_RETURN_IF_ERROR(child_->Open(state));
   for (;;) {
+    TIP_RETURN_IF_ERROR(state.eval->CheckGuard());
     Result<const Row*> row = child_->NextBorrowed(state);
     if (!row.ok()) return row.status();
     if (*row == nullptr) break;
@@ -570,6 +584,7 @@ Status DistinctNode::Open(ExecState& state) {
 
 Result<bool> DistinctNode::Next(ExecState& state, Row* out) {
   for (;;) {
+    TIP_RETURN_IF_ERROR(state.eval->CheckGuard());
     TIP_ASSIGN_OR_RETURN(const Row* row, child_->NextBorrowed(state));
     if (row == nullptr) return false;
     TIP_ASSIGN_OR_RETURN(uint64_t h,
@@ -586,6 +601,8 @@ Result<bool> DistinctNode::Next(ExecState& state, Row* out) {
       }
     }
     if (duplicate) continue;
+    TIP_RETURN_IF_ERROR(
+        state.eval->ReserveMemory(exec_util::ApproxRowBytes(*row)));
     seen_index_.emplace(h, seen_rows_.size());
     seen_rows_.push_back(*row);
     *out = *row;
@@ -635,11 +652,14 @@ Status SetOpNode::Open(ExecState& state) {
   TIP_RETURN_IF_ERROR(right_->Open(state));
   Row row;
   for (;;) {
+    TIP_RETURN_IF_ERROR(state.eval->CheckGuard());
     Result<bool> has_row = right_->Next(state, &row);
     if (!has_row.ok()) return has_row.status();
     if (!*has_row) break;
     Result<uint64_t> h = HashDatums(row, *types_, state.eval->tx);
     if (!h.ok()) return h.status();
+    TIP_RETURN_IF_ERROR(
+        state.eval->ReserveMemory(exec_util::ApproxRowBytes(row)));
     right_index_.emplace(*h, right_rows_.size());
     right_rows_.push_back(std::move(row));
   }
@@ -660,6 +680,7 @@ Result<bool> SetOpNode::Contains(const Row& row, uint64_t hash,
 
 Result<bool> SetOpNode::Next(ExecState& state, Row* out) {
   for (;;) {
+    TIP_RETURN_IF_ERROR(state.eval->CheckGuard());
     TIP_ASSIGN_OR_RETURN(bool has_row, left_->Next(state, out));
     if (!has_row) return false;
     TIP_ASSIGN_OR_RETURN(uint64_t h,
@@ -680,6 +701,8 @@ Result<bool> SetOpNode::Next(ExecState& state, Row* out) {
     if (seen) continue;
     TIP_ASSIGN_OR_RETURN(bool in_right, Contains(*out, h, state));
     if (in_right != (op_ == Op::kIntersect)) continue;
+    TIP_RETURN_IF_ERROR(
+        state.eval->ReserveMemory(exec_util::ApproxRowBytes(*out)));
     emitted_index_.emplace(h, emitted_rows_.size());
     emitted_rows_.push_back(*out);
     return true;

@@ -1,8 +1,10 @@
 #include "engine/exec/parallel_exec.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "engine/exec/row_utils.h"
 
 namespace tip::engine {
@@ -17,6 +19,38 @@ size_t EffectiveWorkers(size_t requested, size_t num_morsels) {
 
 size_t NumMorsels(const HeapTable& heap) {
   return (heap.page_count() + kPagesPerMorsel - 1) / kPagesPerMorsel;
+}
+
+// Degrades gracefully under pool saturation: never ask for more workers
+// than the shared pool can actually serve right now (+1 because the
+// caller participates as worker 0). A statement forced below its
+// requested fan-out records a parallel_fallbacks event.
+size_t PlanWorkers(size_t requested, size_t num_morsels, ExecGuard* guard) {
+  size_t n = EffectiveWorkers(requested, num_morsels);
+  if (n <= 1) return n;
+  const size_t avail = ThreadPool::Shared().ApproxAvailable() + 1;
+  if (avail < n) {
+    n = std::max<size_t>(avail, 1);
+    if (guard != nullptr) guard->RecordParallelFallback();
+  }
+  return n;
+}
+
+// A worker body failure that is infrastructure (a thrown exception
+// captured by the pool), not the query's own error: the statement
+// retries serially instead of failing.
+bool IsWorkerInfraFailure(const Status& s) {
+  return s.code() == StatusCode::kInternal &&
+         s.message().rfind("worker exception: ", 0) == 0;
+}
+
+// Deterministic infra-failure hook: a fired "parallel.worker" fault
+// simulates a crashing worker body via a real exception, exercising the
+// pool's exception capture and the serial-retry path. One-shot, so the
+// retry does not re-fire.
+void MaybeThrowWorkerFault() {
+  Status f = fault::MaybeFail("parallel.worker");
+  if (!f.ok()) throw std::runtime_error(std::string(f.message()));
 }
 
 void AppendIndent(int depth, std::string* out) {
@@ -82,54 +116,68 @@ Status ParallelScanNode::Open(ExecState& state) {
   next_ = 0;
   const HeapTable& heap = table_->heap();
   const size_t num_morsels = NumMorsels(heap);
-  const size_t n = EffectiveWorkers(workers_, num_morsels);
-
-  // Each morsel gets its own output slot (workers claim disjoint
-  // morsels, so slots are written without synchronization); stitching
-  // slots back together in morsel order reproduces the serial scan's
-  // row-id output order exactly.
-  std::vector<std::vector<RowId>> per_morsel(num_morsels);
-  std::vector<WorkerCounters> counters(n);
-  std::vector<Status> statuses(n);
-  MorselSource source(&heap, kPagesPerMorsel);
-  std::atomic<bool> failed{false};
+  ExecGuard* guard = state.eval->guard;
   const TupleCtx* outer = state.outer;
   const TxContext tx = state.eval->tx;
 
-  auto body = [&](size_t w) -> Status {
-    EvalContext eval(tx);  // worker-private: EvalContext is not shared
-    WorkerCounters& c = counters[w];
-    Morsel m;
-    while (!failed.load(std::memory_order_relaxed) && source.Next(&m)) {
-      ++c.morsels;
-      std::vector<RowId>& out_ids =
-          per_morsel[m.page_begin / kPagesPerMorsel];
-      HeapTable::Cursor cursor = heap.ScanPages(m.page_begin, m.page_end);
-      RowId id;
-      const Row* row;
-      while (cursor.Next(&id, &row)) {
-        ++c.rows_in;
-        if (predicate_ != nullptr) {
-          TupleCtx tuple{row, outer};
-          TIP_ASSIGN_OR_RETURN(
-              bool pass,
-              exec_util::PredicatePasses(*predicate_, tuple, eval));
-          if (!pass) continue;
+  std::vector<std::vector<RowId>> per_morsel(num_morsels);
+  std::vector<WorkerCounters> counters;
+
+  auto attempt = [&](size_t n) -> Status {
+    for (std::vector<RowId>& ids : per_morsel) ids.clear();
+    counters.assign(n, WorkerCounters{});
+    MorselSource source(&heap, kPagesPerMorsel);
+    std::atomic<bool> failed{false};
+
+    auto body = [&](size_t w) -> Status {
+      MaybeThrowWorkerFault();
+      EvalContext eval(tx, guard);  // worker-private: not shared
+      WorkerCounters& c = counters[w];
+      Morsel m;
+      while (!failed.load(std::memory_order_relaxed) && source.Next(&m)) {
+        TIP_RETURN_IF_ERROR(eval.CheckGuardNow());
+        ++c.morsels;
+        std::vector<RowId>& out_ids =
+            per_morsel[m.page_begin / kPagesPerMorsel];
+        HeapTable::Cursor cursor = heap.ScanPages(m.page_begin, m.page_end);
+        RowId id;
+        const Row* row;
+        while (cursor.Next(&id, &row)) {
+          TIP_RETURN_IF_ERROR(eval.CheckGuard());
+          ++c.rows_in;
+          if (predicate_ != nullptr) {
+            TupleCtx tuple{row, outer};
+            TIP_ASSIGN_OR_RETURN(
+                bool pass,
+                exec_util::PredicatePasses(*predicate_, tuple, eval));
+            if (!pass) continue;
+          }
+          ++c.rows_out;
+          out_ids.push_back(id);
         }
-        ++c.rows_out;
-        out_ids.push_back(id);
+        TIP_RETURN_IF_ERROR(
+            eval.ReserveMemory(out_ids.capacity() * sizeof(RowId)));
       }
-    }
-    return Status::OK();
+      return Status::OK();
+    };
+    return ThreadPool::Shared().RunOnWorkers(n, [&](size_t w) -> Status {
+      Status s = body(w);
+      if (!s.ok()) failed.store(true, std::memory_order_relaxed);
+      return s;
+    });
   };
-  ThreadPool::Shared().RunOnWorkers(n, [&](size_t w) {
-    Status s = body(w);
-    if (!s.ok()) {
-      statuses[w] = std::move(s);
-      failed.store(true, std::memory_order_relaxed);
-    }
-  });
-  for (Status& s : statuses) TIP_RETURN_IF_ERROR(s);
+
+  const size_t n = PlanWorkers(workers_, num_morsels, guard);
+  Status run = attempt(n);
+  // One serial retry even when n == 1: a single-morsel plan still
+  // runs its body through the pool's exception capture, and a
+  // transient worker crash should not fail the statement at any
+  // planned width.
+  if (IsWorkerInfraFailure(run)) {
+    if (guard != nullptr) guard->RecordParallelFallback();
+    run = attempt(1);
+  }
+  TIP_RETURN_IF_ERROR(run);
 
   size_t total = 0;
   for (const std::vector<RowId>& ids : per_morsel) total += ids.size();
@@ -177,6 +225,10 @@ Result<ParallelAggregateNode::Group*> ParallelAggregateNode::FindOrCreateGroup(
                                                 keys, *types_, eval.tx));
     if (equal) return &local.groups[it->second];
   }
+  // Each group buffers its keys plus one aggregate state apiece; charge
+  // the statement budget as the group table grows.
+  TIP_RETURN_IF_ERROR(eval.ReserveMemory(exec_util::ApproxRowBytes(keys) +
+                                         aggregates_.size() * 64));
   Group group;
   group.hash = hash;
   group.keys = keys;
@@ -196,11 +248,13 @@ Status ParallelAggregateNode::ScanWorker(LocalAgg& local, MorselSource& source,
   const HeapTable& heap = table_->heap();
   Morsel m;
   while (!failed.load(std::memory_order_relaxed) && source.Next(&m)) {
+    TIP_RETURN_IF_ERROR(eval.CheckGuardNow());
     ++local.counters.morsels;
     HeapTable::Cursor cursor = heap.ScanPages(m.page_begin, m.page_end);
     RowId id;
     const Row* row;
     while (cursor.Next(&id, &row)) {
+      TIP_RETURN_IF_ERROR(eval.CheckGuard());
       ++local.counters.rows_in;
       TupleCtx tuple{row, outer};
       if (predicate_ != nullptr) {
@@ -243,21 +297,34 @@ Status ParallelAggregateNode::Open(ExecState& state) {
   next_ = 0;
   const HeapTable& heap = table_->heap();
   const size_t num_morsels = NumMorsels(heap);
-  const size_t n = EffectiveWorkers(workers_, num_morsels);
-
-  std::vector<LocalAgg> locals(n);
-  MorselSource source(&heap, kPagesPerMorsel);
-  std::atomic<bool> failed{false};
+  ExecGuard* guard = state.eval->guard;
   const TupleCtx* outer = state.outer;
   const TxContext tx = state.eval->tx;
 
-  ThreadPool::Shared().RunOnWorkers(n, [&](size_t w) {
-    EvalContext eval(tx);
-    LocalAgg& local = locals[w];
-    local.status = ScanWorker(local, source, failed, outer, eval);
-    if (!local.status.ok()) failed.store(true, std::memory_order_relaxed);
-  });
-  for (LocalAgg& local : locals) TIP_RETURN_IF_ERROR(local.status);
+  std::vector<LocalAgg> locals;
+
+  auto attempt = [&](size_t n) -> Status {
+    locals.clear();
+    locals.resize(n);
+    MorselSource source(&heap, kPagesPerMorsel);
+    std::atomic<bool> failed{false};
+    return ThreadPool::Shared().RunOnWorkers(n, [&](size_t w) -> Status {
+      MaybeThrowWorkerFault();
+      EvalContext eval(tx, guard);
+      LocalAgg& local = locals[w];
+      local.status = ScanWorker(local, source, failed, outer, eval);
+      if (!local.status.ok()) failed.store(true, std::memory_order_relaxed);
+      return local.status;
+    });
+  };
+
+  const size_t n = PlanWorkers(workers_, num_morsels, guard);
+  Status run = attempt(n);
+  if (IsWorkerInfraFailure(run)) {
+    if (guard != nullptr) guard->RecordParallelFallback();
+    run = attempt(1);
+  }
+  TIP_RETURN_IF_ERROR(run);
 
   // Fold the thread-local partials into worker 0's table. Groups whole
   // to one worker move over; shared groups merge state-by-state.
@@ -346,76 +413,92 @@ Status ParallelIntervalJoinNode::Open(ExecState& state) {
 
   const HeapTable& heap = left_table_->heap();
   const size_t num_morsels = NumMorsels(heap);
-  const size_t n = EffectiveWorkers(workers_, num_morsels);
-
-  std::vector<std::vector<Row>> per_morsel(num_morsels);
-  std::vector<WorkerCounters> counters(n);
-  std::vector<Status> statuses(n);
-  MorselSource source(&heap, kPagesPerMorsel);
-  std::atomic<bool> failed{false};
+  ExecGuard* guard = state.eval->guard;
   const TupleCtx* outer = state.outer;
   const TxContext tx = state.eval->tx;
 
-  auto body = [&](size_t w) -> Status {
-    EvalContext eval(tx);
-    WorkerCounters& c = counters[w];
-    std::vector<RowId> matches;
-    Morsel m;
-    while (!failed.load(std::memory_order_relaxed) && source.Next(&m)) {
-      ++c.morsels;
-      std::vector<Row>& out_rows = per_morsel[m.page_begin / kPagesPerMorsel];
-      HeapTable::Cursor cursor = heap.ScanPages(m.page_begin, m.page_end);
-      RowId id;
-      const Row* row;
-      while (cursor.Next(&id, &row)) {
-        ++c.rows_in;
-        TupleCtx left_tuple{row, outer};
-        if (left_predicate_ != nullptr) {
-          TIP_ASSIGN_OR_RETURN(
-              bool pass,
-              exec_util::PredicatePasses(*left_predicate_, left_tuple, eval));
-          if (!pass) continue;
-        }
-        matches.clear();
-        TIP_ASSIGN_OR_RETURN(Datum probe,
-                             left_probe_->Eval(left_tuple, eval));
-        if (!probe.is_null()) {
-          TIP_ASSIGN_OR_RETURN(IntervalKey key,
-                               probe_key_fn_(probe, eval.tx));
-          if (!key.empty) {
-            index.FindOverlapping(key.start, key.end, &matches);
-          }
-        }
-        for (RowId rid : matches) {
-          const Row* right_row = right_table_->heap().Get(rid);
-          if (right_row == nullptr) continue;
-          Row combined;
-          combined.reserve(row->size() + right_row->size());
-          combined.insert(combined.end(), row->begin(), row->end());
-          combined.insert(combined.end(), right_row->begin(),
-                          right_row->end());
-          if (residual_ != nullptr) {
-            TupleCtx tuple{&combined, outer};
+  std::vector<std::vector<Row>> per_morsel(num_morsels);
+  std::vector<WorkerCounters> counters;
+
+  auto attempt = [&](size_t n) -> Status {
+    for (std::vector<Row>& rows : per_morsel) rows.clear();
+    counters.assign(n, WorkerCounters{});
+    MorselSource source(&heap, kPagesPerMorsel);
+    std::atomic<bool> failed{false};
+
+    auto body = [&](size_t w) -> Status {
+      MaybeThrowWorkerFault();
+      EvalContext eval(tx, guard);
+      WorkerCounters& c = counters[w];
+      std::vector<RowId> matches;
+      Morsel m;
+      while (!failed.load(std::memory_order_relaxed) && source.Next(&m)) {
+        TIP_RETURN_IF_ERROR(eval.CheckGuardNow());
+        ++c.morsels;
+        std::vector<Row>& out_rows =
+            per_morsel[m.page_begin / kPagesPerMorsel];
+        HeapTable::Cursor cursor = heap.ScanPages(m.page_begin, m.page_end);
+        RowId id;
+        const Row* row;
+        size_t morsel_bytes = 0;
+        while (cursor.Next(&id, &row)) {
+          TIP_RETURN_IF_ERROR(eval.CheckGuard());
+          ++c.rows_in;
+          TupleCtx left_tuple{row, outer};
+          if (left_predicate_ != nullptr) {
             TIP_ASSIGN_OR_RETURN(
-                bool pass,
-                exec_util::PredicatePasses(*residual_, tuple, eval));
+                bool pass, exec_util::PredicatePasses(*left_predicate_,
+                                                      left_tuple, eval));
             if (!pass) continue;
           }
-          ++c.rows_out;
-          out_rows.push_back(std::move(combined));
+          matches.clear();
+          TIP_ASSIGN_OR_RETURN(Datum probe,
+                               left_probe_->Eval(left_tuple, eval));
+          if (!probe.is_null()) {
+            TIP_ASSIGN_OR_RETURN(IntervalKey key,
+                                 probe_key_fn_(probe, eval.tx));
+            if (!key.empty) {
+              index.FindOverlapping(key.start, key.end, &matches);
+            }
+          }
+          for (RowId rid : matches) {
+            const Row* right_row = right_table_->heap().Get(rid);
+            if (right_row == nullptr) continue;
+            Row combined;
+            combined.reserve(row->size() + right_row->size());
+            combined.insert(combined.end(), row->begin(), row->end());
+            combined.insert(combined.end(), right_row->begin(),
+                            right_row->end());
+            if (residual_ != nullptr) {
+              TupleCtx tuple{&combined, outer};
+              TIP_ASSIGN_OR_RETURN(
+                  bool pass,
+                  exec_util::PredicatePasses(*residual_, tuple, eval));
+              if (!pass) continue;
+            }
+            ++c.rows_out;
+            morsel_bytes += exec_util::ApproxRowBytes(combined);
+            out_rows.push_back(std::move(combined));
+          }
         }
+        TIP_RETURN_IF_ERROR(eval.ReserveMemory(morsel_bytes));
       }
-    }
-    return Status::OK();
+      return Status::OK();
+    };
+    return ThreadPool::Shared().RunOnWorkers(n, [&](size_t w) -> Status {
+      Status s = body(w);
+      if (!s.ok()) failed.store(true, std::memory_order_relaxed);
+      return s;
+    });
   };
-  ThreadPool::Shared().RunOnWorkers(n, [&](size_t w) {
-    Status s = body(w);
-    if (!s.ok()) {
-      statuses[w] = std::move(s);
-      failed.store(true, std::memory_order_relaxed);
-    }
-  });
-  for (Status& s : statuses) TIP_RETURN_IF_ERROR(s);
+
+  const size_t n = PlanWorkers(workers_, num_morsels, guard);
+  Status run = attempt(n);
+  if (IsWorkerInfraFailure(run)) {
+    if (guard != nullptr) guard->RecordParallelFallback();
+    run = attempt(1);
+  }
+  TIP_RETURN_IF_ERROR(run);
 
   size_t total = 0;
   for (const std::vector<Row>& rows : per_morsel) total += rows.size();

@@ -56,6 +56,28 @@ inline Result<bool> DatumsEqual(const std::vector<Datum>& a,
   return true;
 }
 
+/// Approximate heap footprint of one materialized row, used for
+/// statement memory accounting (ExecGuard::Reserve). Deliberately an
+/// estimate — string bytes are exact, extension payloads are charged a
+/// flat 64 bytes — because the budget protects against runaway
+/// buffering, not byte-exact quotas.
+inline size_t ApproxDatumBytes(const Datum& d) {
+  size_t bytes = sizeof(Datum);
+  if (d.is_null()) return bytes;
+  if (d.type_id() == TypeId::kString) {
+    bytes += d.string_value().size();
+  } else if (IsExtensionType(d.type_id())) {
+    bytes += 64;
+  }
+  return bytes;
+}
+
+inline size_t ApproxRowBytes(const Row& row) {
+  size_t bytes = sizeof(Row);
+  for (const Datum& d : row) bytes += ApproxDatumBytes(d);
+  return bytes;
+}
+
 }  // namespace tip::engine::exec_util
 
 #endif  // TIP_ENGINE_EXEC_ROW_UTILS_H_

@@ -1,16 +1,30 @@
 #include "engine/storage/snapshot.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
+#include "common/crc32.h"
+#include "common/fault_injection.h"
 #include "engine/database.h"
 
 namespace tip::engine {
 
 namespace {
 
-constexpr char kMagic[] = "TIPSNAP1";
+constexpr char kMagicV1[] = "TIPSNAP1";
+constexpr char kMagicV2[] = "TIPSNAP2";
 constexpr size_t kMagicLen = 8;
+constexpr char kFooterMagic[] = "TIPFOOT1";
+
+// Structural sanity caps. A legitimate snapshot never gets near these;
+// a garbage length field almost always does, so they turn attempted
+// huge allocations into clean Corruption errors.
+constexpr uint64_t kMaxTables = 1u << 20;
+constexpr uint64_t kMaxColumns = 1u << 16;
+constexpr uint64_t kMaxIndexes = 1u << 16;
 
 void PutU64(uint64_t v, std::string* out) {
   char buf[8];
@@ -18,19 +32,26 @@ void PutU64(uint64_t v, std::string* out) {
   out->append(buf, 8);
 }
 
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
 void PutString(std::string_view s, std::string* out) {
   PutU64(s.size(), out);
   out->append(s);
 }
 
-/// Sequential reader over the snapshot bytes with bounds checking.
+/// Sequential reader over snapshot bytes. Every read is bounds-checked;
+/// running past the buffer is a Corruption, never an overread.
 class Reader {
  public:
   explicit Reader(std::string_view bytes) : bytes_(bytes) {}
 
   Result<uint64_t> U64() {
-    if (pos_ + 8 > bytes_.size()) {
-      return Status::InvalidArgument("truncated snapshot");
+    if (bytes_.size() - pos_ < 8) {
+      return Status::Corruption("truncated snapshot");
     }
     uint64_t v;
     std::memcpy(&v, bytes_.data() + pos_, 8);
@@ -38,9 +59,19 @@ class Reader {
     return v;
   }
 
+  Result<uint32_t> U32() {
+    if (bytes_.size() - pos_ < 4) {
+      return Status::Corruption("truncated snapshot");
+    }
+    uint32_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
   Result<std::string_view> Bytes(uint64_t n) {
     if (n > bytes_.size() - pos_) {
-      return Status::InvalidArgument("truncated snapshot");
+      return Status::Corruption("truncated snapshot");
     }
     std::string_view out = bytes_.substr(pos_, n);
     pos_ += n;
@@ -53,82 +84,175 @@ class Reader {
   }
 
   bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+  size_t pos() const { return pos_; }
 
  private:
   std::string_view bytes_;
   size_t pos_ = 0;
 };
 
-}  // namespace
-
-Result<std::string> SaveSnapshot(const Database& db) {
+/// Serializes one table into a v2 section body (also the v1 per-table
+/// grammar).
+Status AppendTableBody(const Database& db, const std::string& name,
+                       std::string* out) {
   const TypeRegistry& types = db.types();
-  std::string out(kMagic, kMagicLen);
-  const std::vector<std::string> names = db.catalog().TableNames();
-  PutU64(names.size(), &out);
-  for (const std::string& name : names) {
-    TIP_ASSIGN_OR_RETURN(const Table* table, db.catalog().GetTable(name));
-    PutString(table->name(), &out);
-    PutU64(table->columns().size(), &out);
-    for (const Column& col : table->columns()) {
-      PutString(col.name, &out);
-      PutString(types.Get(col.type).name, &out);
-    }
-    PutU64(table->interval_indexes().size(), &out);
-    for (const IntervalIndexDef& index : table->interval_indexes()) {
-      PutString(index.name, &out);
-      PutU64(index.column, &out);
-    }
-    PutU64(table->heap().row_count(), &out);
-    HeapTable::Cursor cursor = table->heap().Scan();
-    RowId id;
-    const Row* row;
-    while (cursor.Next(&id, &row)) {
-      for (const Datum& value : *row) {
-        if (value.is_null()) {
-          out.push_back(0);
-          continue;
-        }
-        out.push_back(1);
-        PutString(types.Serialize(value), &out);
+  TIP_ASSIGN_OR_RETURN(const Table* table, db.catalog().GetTable(name));
+  PutString(table->name(), out);
+  PutU64(table->columns().size(), out);
+  for (const Column& col : table->columns()) {
+    PutString(col.name, out);
+    PutString(types.Get(col.type).name, out);
+  }
+  PutU64(table->interval_indexes().size(), out);
+  for (const IntervalIndexDef& index : table->interval_indexes()) {
+    PutString(index.name, out);
+    PutU64(index.column, out);
+  }
+  PutU64(table->heap().row_count(), out);
+  HeapTable::Cursor cursor = table->heap().Scan();
+  RowId id;
+  const Row* row;
+  while (cursor.Next(&id, &row)) {
+    for (const Datum& value : *row) {
+      if (value.is_null()) {
+        out->push_back(0);
+        continue;
       }
+      out->push_back(1);
+      PutString(types.Serialize(value), out);
     }
-  }
-  return out;
-}
-
-Status SaveSnapshotToFile(const Database& db, std::string_view path) {
-  TIP_ASSIGN_OR_RETURN(std::string bytes, SaveSnapshot(db));
-  std::FILE* f = std::fopen(std::string(path).c_str(), "wb");
-  if (f == nullptr) {
-    return Status::InvalidArgument("cannot open '" + std::string(path) +
-                                   "' for writing");
-  }
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const int close_rc = std::fclose(f);
-  if (written != bytes.size() || close_rc != 0) {
-    return Status::Internal("short write to '" + std::string(path) + "'");
   }
   return Status::OK();
 }
 
-Status LoadSnapshot(Database* db, std::string_view bytes) {
-  if (bytes.size() < kMagicLen ||
-      std::memcmp(bytes.data(), kMagic, kMagicLen) != 0) {
-    return Status::InvalidArgument("not a TIP snapshot");
-  }
-  Reader reader(bytes.substr(kMagicLen));
+/// Parses one table section body and creates the table. The body must
+/// be consumed exactly. On success appends the created table's name to
+/// `created` so a later failure can undo the whole load.
+Status ApplyTableBody(Database* db, std::string_view body,
+                      std::vector<std::string>* created) {
+  Reader reader(body);
   const TypeRegistry& types = db->types();
 
+  TIP_ASSIGN_OR_RETURN(std::string_view name, reader.String());
+  TIP_ASSIGN_OR_RETURN(uint64_t column_count, reader.U64());
+  // Each column needs at least two length prefixes; a count the
+  // remaining bytes cannot possibly hold is garbage, and must be caught
+  // BEFORE reserve() turns it into a giant allocation.
+  if (column_count > kMaxColumns ||
+      column_count * 16 > reader.remaining()) {
+    return Status::Corruption("snapshot column count out of bounds");
+  }
+  std::vector<Column> columns;
+  columns.reserve(column_count);
+  for (uint64_t c = 0; c < column_count; ++c) {
+    TIP_ASSIGN_OR_RETURN(std::string_view col_name, reader.String());
+    TIP_ASSIGN_OR_RETURN(std::string_view type_name, reader.String());
+    Result<TypeId> type = types.FindByName(type_name);
+    if (!type.ok()) {
+      return Status::NotFound(
+          "snapshot uses type '" + std::string(type_name) +
+          "', which is not installed (install the DataBlade first?)");
+    }
+    columns.push_back({std::string(col_name), *type});
+  }
+  if (columns.empty()) {
+    return Status::Corruption("snapshot table has no columns");
+  }
+  TIP_ASSIGN_OR_RETURN(Table * table,
+                       db->catalog().CreateTable(name, std::move(columns)));
+  created->push_back(table->name());
+
+  TIP_ASSIGN_OR_RETURN(uint64_t index_count, reader.U64());
+  if (index_count > kMaxIndexes || index_count * 16 > reader.remaining()) {
+    return Status::Corruption("snapshot index count out of bounds");
+  }
+  for (uint64_t i = 0; i < index_count; ++i) {
+    TIP_ASSIGN_OR_RETURN(std::string_view index_name, reader.String());
+    TIP_ASSIGN_OR_RETURN(uint64_t column, reader.U64());
+    if (column >= table->columns().size()) {
+      return Status::Corruption("snapshot index column out of range");
+    }
+    // Recreate through the same path CREATE INDEX uses so the access
+    // method's key function is re-attached.
+    const std::string sql = "CREATE INDEX " + std::string(index_name) +
+                            " ON " + table->name() + " (" +
+                            table->columns()[column].name +
+                            ") USING interval";
+    TIP_ASSIGN_OR_RETURN(ResultSet created_index, db->Execute(sql));
+    (void)created_index;
+  }
+
+  TIP_ASSIGN_OR_RETURN(uint64_t row_count, reader.U64());
+  // Each row carries at least one flag byte per column.
+  const uint64_t min_bytes_per_row = table->columns().size();
+  if (min_bytes_per_row != 0 &&
+      row_count > reader.remaining() / min_bytes_per_row) {
+    return Status::Corruption("snapshot row count out of bounds");
+  }
+  for (uint64_t r = 0; r < row_count; ++r) {
+    Row row;
+    row.reserve(table->columns().size());
+    for (const Column& col : table->columns()) {
+      TIP_ASSIGN_OR_RETURN(std::string_view flag, reader.Bytes(1));
+      if (flag[0] == 0) {
+        row.push_back(Datum::NullOf(col.type));
+        continue;
+      }
+      if (flag[0] != 1) {
+        return Status::Corruption("snapshot null flag is neither 0 nor 1");
+      }
+      TIP_ASSIGN_OR_RETURN(std::string_view payload, reader.String());
+      const TypeOps& ops = types.Get(col.type).ops;
+      Result<Datum> value = ops.deserialize ? ops.deserialize(payload)
+                                            : ops.parse(payload);
+      if (!value.ok()) return value.status();
+      row.push_back(std::move(*value));
+    }
+    table->heap().Insert(std::move(row));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in snapshot table section");
+  }
+  return Status::OK();
+}
+
+/// Undo for a failed load: drops the tables the load created, restoring
+/// the all-or-nothing contract.
+void DropCreated(Database* db, const std::vector<std::string>& created) {
+  for (const std::string& name : created) {
+    (void)db->catalog().DropTable(name);
+  }
+}
+
+/// Legacy v1 loader: one unframed stream, no checksums. Kept so
+/// pre-existing snapshot files stay loadable; all bounds checks apply.
+Status LoadSnapshotV1(Database* db, std::string_view payload,
+                      std::vector<std::string>* created) {
+  Reader reader(payload);
   TIP_ASSIGN_OR_RETURN(uint64_t table_count, reader.U64());
+  if (table_count > kMaxTables) {
+    return Status::Corruption("snapshot table count out of bounds");
+  }
   for (uint64_t t = 0; t < table_count; ++t) {
-    TIP_ASSIGN_OR_RETURN(std::string_view name, reader.String());
-    TIP_ASSIGN_OR_RETURN(uint64_t column_count, reader.U64());
+    // v1 has no section framing: each table grammar is parsed in place
+    // over the rest of the stream (ApplyTableBody can't be reused — it
+    // requires exact consumption of a framed body).
+    TIP_ASSIGN_OR_RETURN(std::string_view rest,
+                         reader.Bytes(reader.remaining()));
+    Reader body(rest);
+    const TypeRegistry& types = db->types();
+    TIP_ASSIGN_OR_RETURN(std::string_view name, body.String());
+    TIP_ASSIGN_OR_RETURN(uint64_t column_count, body.U64());
+    if (column_count > kMaxColumns ||
+        column_count * 16 > body.remaining()) {
+      return Status::Corruption("snapshot column count out of bounds");
+    }
     std::vector<Column> columns;
     columns.reserve(column_count);
     for (uint64_t c = 0; c < column_count; ++c) {
-      TIP_ASSIGN_OR_RETURN(std::string_view col_name, reader.String());
-      TIP_ASSIGN_OR_RETURN(std::string_view type_name, reader.String());
+      TIP_ASSIGN_OR_RETURN(std::string_view col_name, body.String());
+      TIP_ASSIGN_OR_RETURN(std::string_view type_name, body.String());
       Result<TypeId> type = types.FindByName(type_name);
       if (!type.ok()) {
         return Status::NotFound(
@@ -140,48 +264,251 @@ Status LoadSnapshot(Database* db, std::string_view bytes) {
     TIP_ASSIGN_OR_RETURN(Table * table,
                          db->catalog().CreateTable(name,
                                                    std::move(columns)));
+    created->push_back(table->name());
 
-    TIP_ASSIGN_OR_RETURN(uint64_t index_count, reader.U64());
+    TIP_ASSIGN_OR_RETURN(uint64_t index_count, body.U64());
+    if (index_count > kMaxIndexes || index_count * 16 > body.remaining()) {
+      return Status::Corruption("snapshot index count out of bounds");
+    }
     for (uint64_t i = 0; i < index_count; ++i) {
-      TIP_ASSIGN_OR_RETURN(std::string_view index_name, reader.String());
-      TIP_ASSIGN_OR_RETURN(uint64_t column, reader.U64());
+      TIP_ASSIGN_OR_RETURN(std::string_view index_name, body.String());
+      TIP_ASSIGN_OR_RETURN(uint64_t column, body.U64());
       if (column >= table->columns().size()) {
-        return Status::InvalidArgument("snapshot index column out of "
-                                       "range");
+        return Status::Corruption("snapshot index column out of range");
       }
-      // Recreate through the same path CREATE INDEX uses so the access
-      // method's key function is re-attached.
       const std::string sql = "CREATE INDEX " + std::string(index_name) +
                               " ON " + table->name() + " (" +
                               table->columns()[column].name +
                               ") USING interval";
-      TIP_ASSIGN_OR_RETURN(ResultSet created, db->Execute(sql));
-      (void)created;
+      TIP_ASSIGN_OR_RETURN(ResultSet created_index, db->Execute(sql));
+      (void)created_index;
     }
 
-    TIP_ASSIGN_OR_RETURN(uint64_t row_count, reader.U64());
+    TIP_ASSIGN_OR_RETURN(uint64_t row_count, body.U64());
+    const uint64_t min_bytes_per_row = table->columns().size();
+    if (min_bytes_per_row != 0 &&
+        row_count > body.remaining() / min_bytes_per_row) {
+      return Status::Corruption("snapshot row count out of bounds");
+    }
     for (uint64_t r = 0; r < row_count; ++r) {
       Row row;
       row.reserve(table->columns().size());
       for (const Column& col : table->columns()) {
-        TIP_ASSIGN_OR_RETURN(std::string_view flag, reader.Bytes(1));
+        TIP_ASSIGN_OR_RETURN(std::string_view flag, body.Bytes(1));
         if (flag[0] == 0) {
           row.push_back(Datum::NullOf(col.type));
           continue;
         }
-        TIP_ASSIGN_OR_RETURN(std::string_view payload, reader.String());
+        if (flag[0] != 1) {
+          return Status::Corruption(
+              "snapshot null flag is neither 0 nor 1");
+        }
+        TIP_ASSIGN_OR_RETURN(std::string_view payload, body.String());
         const TypeOps& ops = types.Get(col.type).ops;
-        Result<Datum> value = ops.deserialize
-                                  ? ops.deserialize(payload)
-                                  : ops.parse(payload);
+        Result<Datum> value = ops.deserialize ? ops.deserialize(payload)
+                                              : ops.parse(payload);
         if (!value.ok()) return value.status();
         row.push_back(std::move(*value));
       }
       table->heap().Insert(std::move(row));
     }
+    // Re-frame the outer reader to just after this table.
+    reader = Reader(rest.substr(body.pos()));
   }
   if (!reader.AtEnd()) {
-    return Status::InvalidArgument("trailing bytes after snapshot");
+    return Status::Corruption("trailing bytes after snapshot");
+  }
+  return Status::OK();
+}
+
+/// Splits a v2 stream into its CRC-verified section bodies. `strict`
+/// demands a valid footer and exact framing; salvage mode records
+/// problems in `report` and returns whatever sections survived.
+Status ReadV2Sections(std::string_view bytes,
+                      std::vector<std::string_view>* sections, bool strict,
+                      SalvageReport* report) {
+  Reader reader(bytes.substr(kMagicLen));
+  TIP_ASSIGN_OR_RETURN(uint64_t table_count, reader.U64());
+  if (table_count > kMaxTables) {
+    return Status::Corruption("snapshot table count out of bounds");
+  }
+  for (uint64_t t = 0; t < table_count; ++t) {
+    Result<uint64_t> len = reader.U64();
+    Result<uint32_t> crc = len.ok() ? reader.U32() : len.status();
+    Result<std::string_view> body =
+        crc.ok() ? reader.Bytes(*len) : crc.status();
+    if (!body.ok()) {
+      if (strict) {
+        return Status::Corruption("truncated snapshot (table section " +
+                                  std::to_string(t) + " of " +
+                                  std::to_string(table_count) + ")");
+      }
+      if (report != nullptr) {
+        report->tables_skipped += table_count - t;
+        report->detail += "section " + std::to_string(t) +
+                          ": truncated, remaining sections lost\n";
+      }
+      return Status::OK();
+    }
+    if (Crc32(*body) != *crc) {
+      if (strict) {
+        return Status::Corruption("snapshot section " + std::to_string(t) +
+                                  " checksum mismatch");
+      }
+      if (report != nullptr) {
+        report->tables_skipped += 1;
+        report->detail +=
+            "section " + std::to_string(t) + ": checksum mismatch\n";
+      }
+      continue;
+    }
+    sections->push_back(*body);
+  }
+  // Footer: length-prefixed so a reader can confirm the file really
+  // ends where the writer intended.
+  const size_t payload_bytes = kMagicLen + reader.pos();
+  Result<uint64_t> footer_len = reader.U64();
+  Result<std::string_view> footer =
+      footer_len.ok() ? reader.Bytes(*footer_len) : footer_len.status();
+  Status footer_status = Status::OK();
+  if (!footer.ok()) {
+    footer_status = Status::Corruption("truncated snapshot (missing footer)");
+  } else {
+    Reader f(*footer);
+    Result<std::string_view> magic = f.Bytes(kMagicLen);
+    if (!magic.ok() ||
+        std::memcmp(magic->data(), kFooterMagic, kMagicLen) != 0) {
+      footer_status = Status::Corruption("snapshot footer magic mismatch");
+    } else {
+      TIP_ASSIGN_OR_RETURN(uint64_t footer_tables, f.U64());
+      TIP_ASSIGN_OR_RETURN(uint64_t footer_payload, f.U64());
+      TIP_ASSIGN_OR_RETURN(uint32_t footer_crc, f.U32());
+      const std::string_view footer_head =
+          footer->substr(0, footer->size() - 4);
+      if (Crc32(footer_head) != footer_crc) {
+        footer_status = Status::Corruption("snapshot footer checksum "
+                                           "mismatch");
+      } else if (footer_tables != table_count ||
+                 footer_payload != payload_bytes) {
+        footer_status =
+            Status::Corruption("snapshot footer disagrees with contents");
+      } else if (!f.AtEnd() || !reader.AtEnd()) {
+        footer_status =
+            Status::Corruption("trailing bytes after snapshot footer");
+      }
+    }
+  }
+  if (!footer_status.ok()) {
+    if (strict) return footer_status;
+    if (report != nullptr) {
+      report->detail += std::string(footer_status.message()) + "\n";
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> SaveSnapshot(const Database& db) {
+  std::string out(kMagicV2, kMagicLen);
+  const std::vector<std::string> names = db.catalog().TableNames();
+  PutU64(names.size(), &out);
+  for (const std::string& name : names) {
+    std::string body;
+    TIP_RETURN_IF_ERROR(AppendTableBody(db, name, &body));
+    PutU64(body.size(), &out);
+    PutU32(Crc32(body), &out);
+    out.append(body);
+  }
+  std::string footer(kFooterMagic, kMagicLen);
+  PutU64(names.size(), &footer);
+  PutU64(out.size(), &footer);
+  PutU32(Crc32(footer), &footer);
+  PutU64(footer.size(), &out);
+  out.append(footer);
+  return out;
+}
+
+Status SaveSnapshotToFile(const Database& db, std::string_view path) {
+  TIP_ASSIGN_OR_RETURN(std::string bytes, SaveSnapshot(db));
+
+  // Crash safety: write + fsync a temp file, then atomically rename it
+  // over the destination. A crash at any point leaves either the old
+  // snapshot or the complete new one — never a torn file — and the
+  // fault points let tests kill the save at each step.
+  const std::string dest(path);
+  const std::string tmp = dest + ".tmp";
+  Status inject = fault::MaybeFail("snapshot.open");
+  std::FILE* f = inject.ok() ? std::fopen(tmp.c_str(), "wb") : nullptr;
+  if (f == nullptr) {
+    if (!inject.ok()) return inject;
+    return Status::InvalidArgument("cannot open '" + tmp + "' for writing");
+  }
+  inject = fault::MaybeFail("snapshot.write");
+  const size_t written =
+      inject.ok() ? std::fwrite(bytes.data(), 1, bytes.size(), f) : 0;
+  if (written != bytes.size()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    if (!inject.ok()) return inject;
+    return Status::Internal("short write to '" + tmp + "'");
+  }
+  inject = fault::MaybeFail("snapshot.fsync");
+  const bool synced =
+      inject.ok() && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  if (!synced) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    if (!inject.ok()) return inject;
+    return Status::Internal("fsync of '" + tmp + "' failed");
+  }
+  inject = fault::MaybeFail("snapshot.close");
+  if (!inject.ok() || std::fclose(f) != 0) {
+    if (inject.ok()) f = nullptr;  // fclose already released it
+    if (f != nullptr) std::fclose(f);
+    std::remove(tmp.c_str());
+    if (!inject.ok()) return inject;
+    return Status::Internal("close of '" + tmp + "' failed");
+  }
+  inject = fault::MaybeFail("snapshot.rename");
+  if (!inject.ok() || std::rename(tmp.c_str(), dest.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    if (!inject.ok()) return inject;
+    return Status::Internal("rename of '" + tmp + "' over '" + dest +
+                            "' failed");
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshot(Database* db, std::string_view bytes) {
+  if (bytes.size() < kMagicLen) {
+    return Status::Corruption("not a TIP snapshot");
+  }
+  std::vector<std::string> created;
+  if (std::memcmp(bytes.data(), kMagicV1, kMagicLen) == 0) {
+    Status s = LoadSnapshotV1(db, bytes.substr(kMagicLen), &created);
+    if (!s.ok()) DropCreated(db, created);
+    return s;
+  }
+  if (std::memcmp(bytes.data(), kMagicV2, kMagicLen) != 0) {
+    return Status::Corruption("not a TIP snapshot");
+  }
+
+  // Phase 1: verify all framing and checksums before touching the
+  // catalog, so most corrupt files fail with the database untouched.
+  std::vector<std::string_view> sections;
+  TIP_RETURN_IF_ERROR(
+      ReadV2Sections(bytes, &sections, /*strict=*/true, nullptr));
+
+  // Phase 2: apply. Section contents can still fail (unknown type,
+  // name collision), in which case everything created so far is
+  // dropped.
+  for (std::string_view body : sections) {
+    Status s = ApplyTableBody(db, body, &created);
+    if (!s.ok()) {
+      DropCreated(db, created);
+      return s;
+    }
   }
   return Status::OK();
 }
@@ -199,6 +526,35 @@ Status LoadSnapshotFromFile(Database* db, std::string_view path) {
   }
   std::fclose(f);
   return LoadSnapshot(db, bytes);
+}
+
+Status SalvageSnapshot(Database* db, std::string_view bytes,
+                       SalvageReport* report) {
+  SalvageReport local;
+  if (report == nullptr) report = &local;
+  *report = SalvageReport{};
+  if (bytes.size() < kMagicLen ||
+      std::memcmp(bytes.data(), kMagicV2, kMagicLen) != 0) {
+    return Status::Corruption("not a TIP v2 snapshot");
+  }
+  std::vector<std::string_view> sections;
+  TIP_RETURN_IF_ERROR(
+      ReadV2Sections(bytes, &sections, /*strict=*/false, report));
+  for (size_t i = 0; i < sections.size(); ++i) {
+    // Per-table isolation: a section that fails to apply is dropped
+    // (with its half-created table) without giving up on the rest.
+    std::vector<std::string> created;
+    Status s = ApplyTableBody(db, sections[i], &created);
+    if (!s.ok()) {
+      DropCreated(db, created);
+      report->tables_skipped += 1;
+      report->detail += "section " + std::to_string(i) +
+                        ": " + std::string(s.message()) + "\n";
+      continue;
+    }
+    report->tables_recovered += 1;
+  }
+  return Status::OK();
 }
 
 }  // namespace tip::engine

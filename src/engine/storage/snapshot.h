@@ -1,6 +1,7 @@
 #ifndef TIP_ENGINE_STORAGE_SNAPSHOT_H_
 #define TIP_ENGINE_STORAGE_SNAPSHOT_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 
@@ -15,26 +16,56 @@ class Database;
 /// send/receive support functions (the "efficient binary format"). NOW
 /// stays symbolic in the snapshot: open-ended rows reload open-ended.
 ///
-/// Format (little-endian, length-prefixed):
-///   "TIPSNAP1" | #tables | per table:
+/// Format v2 (little-endian, length-prefixed, crash-detectable):
+///   "TIPSNAP2" | #tables | per table section:
+///     body length | body CRC-32 | body
+///   | footer length | footer:
+///     "TIPFOOT1" | #tables | payload bytes | footer CRC-32
+/// where each section body is:
 ///     name | #columns | (column name, type name)* |
 ///     #indexes | (index name, column position)* |
 ///     #rows | per row: (null flag | payload length | payload)*
+///
+/// Every section CRC is verified before any table is created, so a
+/// torn or bit-rotted file fails with Status::Corruption and leaves the
+/// database untouched. The footer pins the table count and payload
+/// size, so truncation after the last section is also detected.
 ///
 /// Types are recorded by *name*, so a snapshot can only be restored
 /// into a database with the same extensions installed (for TIP data,
 /// install the DataBlade first); unknown type names fail cleanly.
 Result<std::string> SaveSnapshot(const Database& db);
 
-/// Writes SaveSnapshot's bytes to `path`.
+/// Writes SaveSnapshot's bytes crash-safely: to `path`.tmp first, then
+/// fsync, then an atomic rename over `path` — a crash mid-save leaves
+/// any previous snapshot at `path` intact. Fault points:
+/// "snapshot.open", "snapshot.write", "snapshot.fsync",
+/// "snapshot.close", "snapshot.rename".
 Status SaveSnapshotToFile(const Database& db, std::string_view path);
 
-/// Restores a snapshot into `db`. Fails with AlreadyExists if any
-/// snapshotted table already exists (restore into a fresh database).
+/// Restores a snapshot (v2 or legacy v1) into `db`. Fails with
+/// Status::Corruption on any framing, bounds or checksum violation and
+/// with AlreadyExists if any snapshotted table already exists (restore
+/// into a fresh database). A failed load drops every table it had
+/// already created: all or nothing.
 Status LoadSnapshot(Database* db, std::string_view bytes);
 
 /// Reads `path` and restores it.
 Status LoadSnapshotFromFile(Database* db, std::string_view path);
+
+/// What SalvageSnapshot managed to pull out of a damaged file.
+struct SalvageReport {
+  size_t tables_recovered = 0;
+  size_t tables_skipped = 0;  // bad CRC, parse failure, or truncated
+  std::string detail;         // one line per skipped section
+};
+
+/// Best-effort recovery from a damaged v2 snapshot: loads every table
+/// section whose CRC and contents check out, skips the rest, and
+/// tolerates a truncated tail or missing footer. Only the magic must be
+/// intact. `report` (optional) says what was kept and what was lost.
+Status SalvageSnapshot(Database* db, std::string_view bytes,
+                       SalvageReport* report);
 
 }  // namespace tip::engine
 

@@ -18,7 +18,10 @@ namespace {
 TEST(ThreadPoolTest, RunsEveryWorkerExactlyOnce) {
   ThreadPool pool;
   std::vector<std::atomic<int>> hits(8);
-  pool.RunOnWorkers(8, [&](size_t w) { hits[w].fetch_add(1); });
+  ASSERT_TRUE(pool.RunOnWorkers(8, [&](size_t w) {
+                    hits[w].fetch_add(1);
+                    return Status::OK();
+                  }).ok());
   for (size_t w = 0; w < hits.size(); ++w) {
     EXPECT_EQ(hits[w].load(), 1) << "worker " << w;
   }
@@ -28,7 +31,10 @@ TEST(ThreadPoolTest, SingleWorkerRunsInline) {
   ThreadPool pool;
   const std::thread::id caller = std::this_thread::get_id();
   std::thread::id seen;
-  pool.RunOnWorkers(1, [&](size_t) { seen = std::this_thread::get_id(); });
+  ASSERT_TRUE(pool.RunOnWorkers(1, [&](size_t) {
+                    seen = std::this_thread::get_id();
+                    return Status::OK();
+                  }).ok());
   EXPECT_EQ(seen, caller);
 }
 
@@ -36,9 +42,10 @@ TEST(ThreadPoolTest, CallerParticipatesAsWorkerZero) {
   ThreadPool pool;
   const std::thread::id caller = std::this_thread::get_id();
   std::thread::id worker0;
-  pool.RunOnWorkers(4, [&](size_t w) {
-    if (w == 0) worker0 = std::this_thread::get_id();
-  });
+  ASSERT_TRUE(pool.RunOnWorkers(4, [&](size_t w) {
+                    if (w == 0) worker0 = std::this_thread::get_id();
+                    return Status::OK();
+                  }).ok());
   EXPECT_EQ(worker0, caller);
 }
 
@@ -48,9 +55,12 @@ TEST(ThreadPoolTest, NestedParallelismRunsInlineWithoutDeadlock) {
   // execution instead of deadlocking a saturated pool.
   ThreadPool pool;
   std::atomic<int> inner_runs{0};
-  pool.RunOnWorkers(4, [&](size_t) {
-    pool.RunOnWorkers(4, [&](size_t) { inner_runs.fetch_add(1); });
-  });
+  ASSERT_TRUE(pool.RunOnWorkers(4, [&](size_t) {
+                    return pool.RunOnWorkers(4, [&](size_t) {
+                      inner_runs.fetch_add(1);
+                      return Status::OK();
+                    });
+                  }).ok());
   EXPECT_EQ(inner_runs.load(), 16);
 }
 
@@ -58,9 +68,12 @@ TEST(ThreadPoolTest, OnWorkerThreadFlag) {
   ThreadPool pool;
   EXPECT_FALSE(ThreadPool::OnWorkerThread());
   std::atomic<int> on_pool{0};
-  pool.RunOnWorkers(4, [&](size_t w) {
-    if (w != 0 && ThreadPool::OnWorkerThread()) on_pool.fetch_add(1);
-  });
+  ASSERT_TRUE(pool.RunOnWorkers(4, [&](size_t w) {
+                    if (w != 0 && ThreadPool::OnWorkerThread()) {
+                      on_pool.fetch_add(1);
+                    }
+                    return Status::OK();
+                  }).ok());
   EXPECT_EQ(on_pool.load(), 3);
   EXPECT_FALSE(ThreadPool::OnWorkerThread());
 }

@@ -1,0 +1,113 @@
+#include "common/exec_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace tip {
+namespace {
+
+TEST(ExecGuardTest, UnarmedGuardAlwaysPasses) {
+  ExecGuard guard;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(guard.Check().ok());
+  }
+  EXPECT_TRUE(guard.CheckNow().ok());
+  EXPECT_TRUE(guard.Reserve(1 << 30).ok());  // no limit armed
+}
+
+TEST(ExecGuardTest, CancelTripsEveryLaterCheck) {
+  ExecGuard guard;
+  EXPECT_TRUE(guard.Check().ok());
+  guard.Cancel();
+  // Sticky: once tripped, every check fails with the same code.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(guard.Check().code(), StatusCode::kCancelled);
+    EXPECT_EQ(guard.CheckNow().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(ExecGuardTest, CancelIsVisibleAcrossThreads) {
+  ExecGuard guard;
+  std::thread canceller([&guard] { guard.Cancel(); });
+  canceller.join();
+  EXPECT_EQ(guard.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecGuardTest, DeadlineTripsWithinOneCheckNow) {
+  ExecGuard guard;
+  guard.SetTimeout(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(guard.CheckNow().code(), StatusCode::kDeadlineExceeded);
+  // Sticky via the strided path too: drive past one stride.
+  Status last = Status::OK();
+  for (uint64_t i = 0; i <= ExecGuard::kDeadlineStride; ++i) {
+    Status s = guard.Check();
+    if (!s.ok()) last = s;
+  }
+  EXPECT_EQ(last.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecGuardTest, ZeroTimeoutDisarmsDeadline) {
+  ExecGuard guard;
+  guard.SetTimeout(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(guard.CheckNow().ok());
+}
+
+TEST(ExecGuardTest, MemoryBudgetAccountsAndTrips) {
+  ExecGuard guard;
+  guard.SetMemoryLimit(1000);
+  EXPECT_TRUE(guard.Reserve(400).ok());
+  EXPECT_TRUE(guard.Reserve(400).ok());
+  EXPECT_EQ(guard.bytes_used(), 800u);
+  Status s = guard.Reserve(400);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(guard.bytes_peak(), 1200u);
+  // Release rewinds usage; a fresh reserve under the limit passes
+  // (the budget is a live accountant, not a one-way trip).
+  guard.Release(1200);
+  EXPECT_EQ(guard.bytes_used(), 0u);
+  EXPECT_TRUE(guard.Reserve(500).ok());
+}
+
+TEST(ExecGuardTest, EventsCountedOncePerGuard) {
+  GuardEvents events;
+  {
+    ExecGuard guard;
+    guard.set_events(&events);
+    guard.Cancel();
+    for (int i = 0; i < 5; ++i) (void)guard.Check();
+  }
+  EXPECT_EQ(events.cancels.load(), 1u);
+  {
+    ExecGuard guard;
+    guard.set_events(&events);
+    guard.SetMemoryLimit(10);
+    for (int i = 0; i < 5; ++i) (void)guard.Reserve(100);
+  }
+  EXPECT_EQ(events.oom.load(), 1u);
+  EXPECT_EQ(events.timeouts.load(), 0u);
+}
+
+TEST(ExecGuardTest, ConcurrentChecksAndReservesAreSafe) {
+  ExecGuard guard;
+  guard.SetMemoryLimit(0);  // unlimited: exercise accounting only
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&guard] {
+      for (int i = 0; i < 10000; ++i) {
+        ASSERT_TRUE(guard.Check().ok());
+        ASSERT_TRUE(guard.Reserve(8).ok());
+        guard.Release(8);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(guard.bytes_used(), 0u);
+}
+
+}  // namespace
+}  // namespace tip

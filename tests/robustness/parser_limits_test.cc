@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/element.h"
+#include "core/parse_limits.h"
+#include "core/period.h"
+#include "core/span.h"
+
+namespace tip {
+namespace {
+
+// A pathological literal must be refused with ResourceExhausted BEFORE
+// the parser allocates proportionally to it; these tests hand each
+// parser an input just past its cap and expect the clean refusal.
+
+std::string HugeText(size_t bytes, char fill) {
+  return std::string(bytes, fill);
+}
+
+TEST(ParserLimitsTest, ElementInputByteCap) {
+  const std::string big = "{" + HugeText(kMaxLiteralBytes, ' ') + "}";
+  Result<Element> r = Element::Parse(big);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParserLimitsTest, ElementPeriodCountCap) {
+  // More periods than the cap, but under the byte cap — the count
+  // check has to fire on its own, so use the shortest period literal
+  // there is ("[NOW,NOW]", 10 bytes with its comma).
+  std::string big = "{";
+  const std::string one = "[NOW,NOW]";
+  big.reserve((one.size() + 1) * (kMaxElementPeriods + 2));
+  for (size_t i = 0; i <= kMaxElementPeriods; ++i) {
+    if (i > 0) big += ',';
+    big += one;
+  }
+  big += "}";
+  ASSERT_LE(big.size(), kMaxLiteralBytes);  // byte cap is not what trips
+  Result<Element> r = Element::Parse(big);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("periods"), std::string::npos);
+}
+
+TEST(ParserLimitsTest, PeriodInputByteCap) {
+  const std::string big = "[" + HugeText(kMaxLiteralBytes, ' ') + "]";
+  Result<Period> r = Period::Parse(big);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParserLimitsTest, SpanInputByteCap) {
+  const std::string big = HugeText(kMaxLiteralBytes + 1, '7');
+  Result<Span> r = Span::Parse(big);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParserLimitsTest, OrdinaryLiteralsStillParse) {
+  EXPECT_TRUE(Element::Parse("{[1999-01-01, NOW]}").ok());
+  EXPECT_TRUE(Period::Parse("[1999-01-01, 1999-12-31]").ok());
+  EXPECT_TRUE(Span::Parse("14 06:30:00").ok());
+}
+
+}  // namespace
+}  // namespace tip

@@ -1,0 +1,174 @@
+// Crash-safety of the snapshot subsystem: a save killed by an injected
+// fault at any I/O step must leave the previous snapshot intact, a
+// damaged file must fail to load with Status::Corruption and leave the
+// database untouched, and SalvageSnapshot must recover every section
+// whose checksum still verifies.
+
+#include "engine/storage/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/fault_injection.h"
+#include "datablade/datablade.h"
+#include "engine/database.h"
+
+namespace tip::engine {
+namespace {
+
+class SnapshotFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::ClearAll();
+    ASSERT_TRUE(datablade::Install(&db_).ok());
+    Exec(&db_, "SET NOW '1999-11-15'");
+    Exec(&db_, "CREATE TABLE a (id INT, valid Element)");
+    Exec(&db_, "INSERT INTO a VALUES (1, '{[1999-01-01, NOW]}'), "
+               "(2, '{[1998-01-01, 1998-06-01]}')");
+    Exec(&db_, "CREATE TABLE b (name CHAR(8), stay Period)");
+    Exec(&db_, "INSERT INTO b VALUES ('ada', '[1999-03-01, NOW]')");
+    path_ = ::testing::TempDir() + "/tip_fault_snapshot.bin";
+    std::remove(path_.c_str());
+  }
+
+  void TearDown() override {
+    fault::ClearAll();
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  static ResultSet Exec(Database* db, std::string_view sql) {
+    Result<ResultSet> r = db->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : ResultSet{};
+  }
+
+  static std::string ReadFile(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return {};
+    std::string bytes;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+    return bytes;
+  }
+
+  static Database MakeTarget() { return Database{}; }
+
+  Database db_;
+  std::string path_;
+};
+
+TEST_F(SnapshotFaultTest, FaultAtEveryStepPreservesPreviousSnapshot) {
+  // Establish a good snapshot, then fail each I/O step of a re-save in
+  // turn: the file on disk must still be the good one afterwards.
+  ASSERT_TRUE(SaveSnapshotToFile(db_, path_).ok());
+  const std::string good = ReadFile(path_);
+  ASSERT_FALSE(good.empty());
+  Exec(&db_, "INSERT INTO a VALUES (3, '{[1999-05-01, NOW]}')");
+  for (const char* point : {"snapshot.open", "snapshot.write",
+                            "snapshot.fsync", "snapshot.close",
+                            "snapshot.rename"}) {
+    fault::InjectAt(point, 0);
+    Status s = SaveSnapshotToFile(db_, path_);
+    ASSERT_FALSE(s.ok()) << point;
+    EXPECT_TRUE(fault::IsInjected(s)) << point << ": " << s.ToString();
+    EXPECT_EQ(ReadFile(path_), good) << point;
+    // The temp file must not be left behind either.
+    EXPECT_TRUE(ReadFile(path_ + ".tmp").empty()) << point;
+  }
+  fault::ClearAll();
+  // With no faults armed the re-save goes through and loads cleanly.
+  ASSERT_TRUE(SaveSnapshotToFile(db_, path_).ok());
+  Database restored;
+  ASSERT_TRUE(datablade::Install(&restored).ok());
+  ASSERT_TRUE(LoadSnapshotFromFile(&restored, path_).ok());
+  EXPECT_EQ(Exec(&restored, "SELECT count(*) FROM a")
+                .rows[0][0].int_value(),
+            3);
+}
+
+TEST_F(SnapshotFaultTest, BitFlipAnywhereIsCorruption) {
+  Result<std::string> bytes = SaveSnapshot(db_);
+  ASSERT_TRUE(bytes.ok());
+  // Flip one byte at a spread of offsets past the magic; every load
+  // must fail (almost always Corruption — a flip inside a length field
+  // can also surface as another clean error) and must create no table.
+  for (size_t pos = 8; pos < bytes->size(); pos += 13) {
+    std::string damaged = *bytes;
+    damaged[pos] = static_cast<char>(damaged[pos] ^ 0x40);
+    Database target;
+    ASSERT_TRUE(datablade::Install(&target).ok());
+    Status s = LoadSnapshot(&target, damaged);
+    EXPECT_FALSE(s.ok()) << "flip at " << pos;
+    EXPECT_TRUE(target.catalog().TableNames().empty())
+        << "flip at " << pos << " left tables behind";
+  }
+}
+
+TEST_F(SnapshotFaultTest, TruncationIsCorruption) {
+  Result<std::string> bytes = SaveSnapshot(db_);
+  ASSERT_TRUE(bytes.ok());
+  for (size_t cut : {size_t{9}, size_t{24}, bytes->size() / 2,
+                     bytes->size() - 5, bytes->size() - 1}) {
+    Database target;
+    ASSERT_TRUE(datablade::Install(&target).ok());
+    Status s =
+        LoadSnapshot(&target, std::string_view(*bytes).substr(0, cut));
+    ASSERT_FALSE(s.ok()) << "cut at " << cut;
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+    EXPECT_TRUE(target.catalog().TableNames().empty());
+  }
+}
+
+TEST_F(SnapshotFaultTest, SalvageRecoversIntactSections) {
+  Result<std::string> bytes = SaveSnapshot(db_);
+  ASSERT_TRUE(bytes.ok());
+  // Damage the FIRST table's section body (right after the 8-byte
+  // magic, 8-byte table count and 12-byte section header) so its CRC
+  // fails, leaving the second section and the footer intact.
+  std::string damaged = *bytes;
+  damaged[8 + 8 + 12 + 4] ^= 0x01;
+  Database strict;
+  ASSERT_TRUE(datablade::Install(&strict).ok());
+  EXPECT_EQ(LoadSnapshot(&strict, damaged).code(), StatusCode::kCorruption);
+
+  Database target;
+  ASSERT_TRUE(datablade::Install(&target).ok());
+  SalvageReport report;
+  ASSERT_TRUE(SalvageSnapshot(&target, damaged, &report).ok());
+  EXPECT_EQ(report.tables_recovered, 1u);
+  EXPECT_EQ(report.tables_skipped, 1u);
+  EXPECT_NE(report.detail.find("checksum"), std::string::npos)
+      << report.detail;
+  EXPECT_EQ(target.catalog().TableNames().size(), 1u);
+
+  // A truncated tail that chops the footer off: every section is still
+  // intact, so salvage recovers both tables and only notes the missing
+  // footer in the detail.
+  Database tail_target;
+  ASSERT_TRUE(datablade::Install(&tail_target).ok());
+  SalvageReport tail_report;
+  ASSERT_TRUE(SalvageSnapshot(&tail_target,
+                              std::string_view(*bytes)
+                                  .substr(0, bytes->size() - 10),
+                              &tail_report)
+                  .ok());
+  EXPECT_EQ(tail_report.tables_recovered, 2u);
+  EXPECT_EQ(tail_report.tables_skipped, 0u);
+  EXPECT_FALSE(tail_report.detail.empty());
+}
+
+TEST_F(SnapshotFaultTest, SalvageRejectsForeignBytes) {
+  Database target;
+  SalvageReport report;
+  EXPECT_EQ(SalvageSnapshot(&target, "definitely not a snapshot", &report)
+                .code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace tip::engine

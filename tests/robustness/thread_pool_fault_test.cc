@@ -1,0 +1,180 @@
+// ThreadPool error propagation and the engine's graceful degradation:
+// a worker's Status or exception must surface as the fork-join's first
+// error, an injected dispatch fault must fall back to inline
+// execution, and a parallel plan whose worker dies must retry serially
+// and still produce the right answer.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "common/fault_injection.h"
+#include "datablade/datablade.h"
+#include "engine/database.h"
+
+namespace tip {
+namespace {
+
+TEST(ThreadPoolFaultTest, FirstErrorByWorkerIndexWins) {
+  ThreadPool pool(4);
+  Status s = pool.RunOnWorkers(4, [](size_t w) -> Status {
+    if (w == 3) return Status::Internal("worker three failed");
+    if (w == 1) return Status::InvalidArgument("worker one failed");
+    return Status::OK();
+  });
+  ASSERT_FALSE(s.ok());
+  // Both workers failed; the LOWEST index is reported, making the
+  // result deterministic regardless of scheduling.
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("worker one"), std::string::npos);
+}
+
+TEST(ThreadPoolFaultTest, WorkerExceptionBecomesStatus) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  Status s = pool.RunOnWorkers(2, [&ran](size_t w) -> Status {
+    ran.fetch_add(1);
+    if (w == 1) throw std::runtime_error("boom");
+    return Status::OK();
+  });
+  EXPECT_EQ(ran.load(), 2);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("worker exception"), std::string::npos);
+  EXPECT_NE(s.message().find("boom"), std::string::npos);
+  // The pool survives the exception and keeps serving.
+  EXPECT_TRUE(pool.RunOnWorkers(2, [](size_t) { return Status::OK(); })
+                  .ok());
+}
+
+TEST(ThreadPoolFaultTest, DispatchFaultRunsTaskInline) {
+  fault::ClearAll();
+  ThreadPool pool(2);
+  // Arm the dispatch point: the submit must degrade to running the
+  // task on the caller, not lose it.
+  fault::InjectAt("threadpool.dispatch", 0);
+  std::atomic<int> ran{0};
+  Status s = pool.RunOnWorkers(2, [&ran](size_t) -> Status {
+    ran.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(ran.load(), 2);
+  fault::ClearAll();
+}
+
+TEST(ThreadPoolFaultTest, ApproxAvailableTracksLoad) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.ApproxAvailable(), 3u);
+  std::atomic<bool> release{false};
+  std::atomic<int> started{0};
+  // A fork-join held open from an outside thread keeps two pool
+  // workers busy (worker 0 is the outside thread itself).
+  std::thread runner([&] {
+    Status s = pool.RunOnWorkers(3, [&](size_t) -> Status {
+      started.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+      return Status::OK();
+    });
+    EXPECT_TRUE(s.ok());
+  });
+  while (started.load() < 3) std::this_thread::yield();
+  EXPECT_LE(pool.ApproxAvailable(), 1u);
+  release.store(true);
+  runner.join();
+  // Pool threads re-idle shortly after the join completes.
+  for (int i = 0; i < 2000 && pool.ApproxAvailable() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.ApproxAvailable(), 3u);
+}
+
+class ParallelFallbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::ClearAll();
+    ASSERT_TRUE(datablade::Install(&db_).ok());
+    Exec("SET NOW '1999-11-15'");
+    Exec("SET parallel_workers 4");
+    Exec("SET parallel_min_rows 1");
+    Exec("CREATE TABLE t (id INT, grp INT)");
+    // At 256 rows/page and 8 pages/morsel, a genuinely parallel plan
+    // (>= 2 morsels, so >= 2 workers) needs more than 2048 rows.
+    for (int batch = 0; batch < 10; ++batch) {
+      std::string insert = "INSERT INTO t VALUES ";
+      for (int i = 0; i < 512; ++i) {
+        const int id = batch * 512 + i;
+        if (i > 0) insert += ", ";
+        insert +=
+            "(" + std::to_string(id) + ", " + std::to_string(id % 5) + ")";
+      }
+      Exec(insert);
+    }
+  }
+
+  void TearDown() override { fault::ClearAll(); }
+
+  engine::ResultSet Exec(std::string_view sql) {
+    Result<engine::ResultSet> r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : engine::ResultSet{};
+  }
+
+  engine::Database db_;
+};
+
+TEST_F(ParallelFallbackTest, DeadWorkerRetriesSeriallyWithSameAnswer) {
+  const engine::ResultSet expect =
+      Exec("SELECT grp, count(*) FROM t GROUP BY grp ORDER BY grp");
+  const int64_t before =
+      Exec("SELECT tip_guard_stats('parallel_fallbacks')")
+          .rows[0][0].int_value();
+  // Kill the first parallel worker launched: the operator must retry
+  // the whole fork-join serially and return the identical result.
+  fault::InjectAt("parallel.worker", 0);
+  const engine::ResultSet got =
+      Exec("SELECT grp, count(*) FROM t GROUP BY grp ORDER BY grp");
+  ASSERT_EQ(got.rows.size(), expect.rows.size());
+  for (size_t i = 0; i < expect.rows.size(); ++i) {
+    EXPECT_EQ(got.rows[i][0].int_value(), expect.rows[i][0].int_value());
+    EXPECT_EQ(got.rows[i][1].int_value(), expect.rows[i][1].int_value());
+  }
+  const int64_t after =
+      Exec("SELECT tip_guard_stats('parallel_fallbacks')")
+          .rows[0][0].int_value();
+  EXPECT_GE(after, before + 1);
+}
+
+TEST_F(ParallelFallbackTest, DeadWorkerOnSingleMorselPlanRetries) {
+  // A table small enough for one morsel plans the parallel operator at
+  // n = 1; a worker crash there must get the same serial retry instead
+  // of failing the statement.
+  Exec("CREATE TABLE small (id INT, grp INT)");
+  std::string insert = "INSERT INTO small VALUES ";
+  for (int i = 0; i < 300; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(i) + ", " + std::to_string(i % 3) + ")";
+  }
+  Exec(insert);
+  const int64_t before =
+      Exec("SELECT tip_guard_stats('parallel_fallbacks')")
+          .rows[0][0].int_value();
+  fault::InjectAt("parallel.worker", 0);
+  const engine::ResultSet got =
+      Exec("SELECT grp, count(*) FROM small GROUP BY grp ORDER BY grp");
+  ASSERT_EQ(got.rows.size(), 3u);
+  EXPECT_EQ(got.rows[0][1].int_value(), 100);
+  const int64_t after =
+      Exec("SELECT tip_guard_stats('parallel_fallbacks')")
+          .rows[0][0].int_value();
+  EXPECT_GE(after, before + 1);
+}
+
+}  // namespace
+}  // namespace tip

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the crash-torture harness under AddressSanitizer and runs the
+# durability label: the fork/kill/recover iterations of the torture
+# test plus the WAL and recovery suites. Any sanitizer report fails
+# the run (halt_on_error), so a green exit means recovery after a kill
+# at every armed I/O point is ASan-clean.
+#
+# Usage: scripts/check_crash.sh [build-root]
+#   build-root defaults to build-sanitize/ next to the source tree;
+#   the address/ subdirectory inside it is shared with
+#   check_sanitizers.sh, so running both does not rebuild.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+root="${1:-$repo/build-sanitize}"
+dir="$root/address"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== TIP_SANITIZE=address: configure + build ($dir) =="
+cmake -S "$repo" -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTIP_SANITIZE=address >/dev/null
+cmake --build "$dir" -j "$jobs" >/dev/null
+
+echo "== crash torture: ctest -L durability under ASan =="
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  ctest --test-dir "$dir" -L durability -j "$jobs" --output-on-failure
+echo "crash torture clean under ASan"

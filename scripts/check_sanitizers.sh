@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Builds the concurrency- and robustness-labeled tests under
-# AddressSanitizer and ThreadSanitizer and runs them. Any sanitizer
+# Builds the concurrency-, robustness- and durability-labeled tests
+# under AddressSanitizer and ThreadSanitizer and runs them. Any sanitizer
 # report fails the run (halt_on_error), so a green exit means both
 # labels are ASan- and TSan-clean.
 #
@@ -11,7 +11,7 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 root="${1:-$repo/build-sanitize}"
-labels='concurrency|robustness'
+labels='concurrency|robustness|durability'
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 run_one() {
@@ -29,4 +29,7 @@ run_one() {
 
 run_one address
 run_one thread
+# The crash-torture harness gets a dedicated pass (reuses the address
+# build directory, so this adds no rebuild).
+"$repo/scripts/check_crash.sh" "$root"
 echo "sanitizers clean: $labels under ASan and TSan"

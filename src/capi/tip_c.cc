@@ -42,6 +42,16 @@ tip_connection* tip_open(void) {
   return out;
 }
 
+tip_connection* tip_open_dir(const char* dir) {
+  if (dir == nullptr) return nullptr;
+  tip::Result<std::unique_ptr<tip::client::Connection>> conn =
+      tip::client::Connection::OpenDurable(dir);
+  if (!conn.ok()) return nullptr;
+  auto* out = new tip_connection;
+  out->impl = std::move(*conn);
+  return out;
+}
+
 void tip_close(tip_connection* conn) { delete conn; }
 
 const char* tip_last_error(const tip_connection* conn) {
@@ -85,6 +95,45 @@ int tip_set_memory_limit_kb(tip_connection* conn,
                             unsigned long long kb) {
   if (conn == nullptr) return -1;
   conn->impl->SetMemoryLimitKb(static_cast<size_t>(kb));
+  conn->last_error.clear();
+  return 0;
+}
+
+int tip_set_wal_mode(tip_connection* conn, const char* mode) {
+  if (conn == nullptr || mode == nullptr) return -1;
+  tip::Result<tip::engine::WalMode> parsed =
+      tip::engine::ParseWalMode(mode);
+  if (!parsed.ok()) {
+    conn->last_error = parsed.status().ToString();
+    return -1;
+  }
+  tip::Status status = conn->impl->SetWalMode(*parsed);
+  if (!status.ok()) {
+    conn->last_error = status.ToString();
+    return -1;
+  }
+  conn->last_error.clear();
+  return 0;
+}
+
+int tip_checkpoint(tip_connection* conn) {
+  if (conn == nullptr) return -1;
+  tip::Status status = conn->impl->Checkpoint();
+  if (!status.ok()) {
+    conn->last_error = status.ToString();
+    return -1;
+  }
+  conn->last_error.clear();
+  return 0;
+}
+
+int tip_sync_wal(tip_connection* conn) {
+  if (conn == nullptr) return -1;
+  tip::Status status = conn->impl->SyncWal();
+  if (!status.ok()) {
+    conn->last_error = status.ToString();
+    return -1;
+  }
   conn->last_error.clear();
   return 0;
 }

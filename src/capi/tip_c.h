@@ -27,6 +27,13 @@ typedef struct tip_result tip_result;
 /* Opens an embedded database with the TIP DataBlade installed.
  * Returns NULL on failure. */
 tip_connection* tip_open(void);
+
+/* Opens a durable database homed in directory `dir` (created if
+ * absent) and runs crash recovery: the last checkpoint snapshot is
+ * restored and the write-ahead log replayed, with any torn tail
+ * truncated. Subsequent statements are logged per `SET wal_mode`
+ * (off|async|group|sync; default group). Returns NULL on failure. */
+tip_connection* tip_open_dir(const char* dir);
 void tip_close(tip_connection* conn);
 
 /* The message of the last failed call on `conn` ("" if none). The
@@ -52,6 +59,18 @@ int tip_cancel(tip_connection* conn);
 int tip_set_timeout_ms(tip_connection* conn, long long ms);
 int tip_set_memory_limit_kb(tip_connection* conn,
                             unsigned long long kb);
+
+/* Durability controls for connections opened with tip_open_dir (they
+ * fail on a non-durable connection where noted).
+ *
+ * tip_set_wal_mode: "off", "async", "group" or "sync" (works on any
+ * connection; takes effect once a durable directory is attached).
+ * tip_checkpoint: snapshots the database and truncates the WAL.
+ * tip_sync_wal: forces the group-commit tail to disk (no-op when not
+ * durable). */
+int tip_set_wal_mode(tip_connection* conn, const char* mode);
+int tip_checkpoint(tip_connection* conn);
+int tip_sync_wal(tip_connection* conn);
 
 /* Executes one SQL statement. On success, `*out` (if out != NULL)
  * receives a result handle the caller frees with tip_result_free;

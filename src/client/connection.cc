@@ -12,6 +12,20 @@ Result<std::unique_ptr<Connection>> Connection::Open() {
       new Connection(raw, std::move(db), types));
 }
 
+Result<std::unique_ptr<Connection>> Connection::OpenDurable(
+    const std::string& dir, engine::RecoveryReport* report) {
+  auto db = std::make_unique<engine::Database>();
+  // Extensions first: recovery re-executes statements that may use the
+  // TIP types, and snapshots resolve types by name.
+  TIP_RETURN_IF_ERROR(datablade::Install(db.get()));
+  TIP_RETURN_IF_ERROR(db->AttachDurableDir(dir, report));
+  TIP_ASSIGN_OR_RETURN(datablade::TipTypes types,
+                       datablade::TipTypes::Lookup(*db));
+  engine::Database* raw = db.get();
+  return std::unique_ptr<Connection>(
+      new Connection(raw, std::move(db), types));
+}
+
 Result<std::unique_ptr<Connection>> Connection::Attach(
     engine::Database* db) {
   TIP_ASSIGN_OR_RETURN(datablade::TipTypes types,
@@ -45,6 +59,15 @@ void Connection::SetStatementTimeoutMs(int64_t ms) {
 void Connection::SetMemoryLimitKb(size_t kb) {
   db_->set_memory_limit_kb(kb);
 }
+
+Status Connection::SetWalMode(engine::WalMode mode) {
+  db_->set_wal_mode(mode);
+  return Status::OK();
+}
+
+Status Connection::Checkpoint() { return db_->Checkpoint(); }
+
+Status Connection::SyncWal() { return db_->SyncWal(); }
 
 Statement& Statement::BindInt(std::string_view name, int64_t value) {
   params_[std::string(name)] = engine::Datum::Int(value);

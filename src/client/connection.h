@@ -27,6 +27,14 @@ class Connection {
   /// Opens a fresh embedded database with the TIP DataBlade installed.
   static Result<std::unique_ptr<Connection>> Open();
 
+  /// Opens a *durable* database homed in `dir`: installs the DataBlade,
+  /// then runs crash recovery (checkpoint snapshot + WAL replay; see
+  /// Database::AttachDurableDir). Subsequent statements are logged
+  /// according to `SET wal_mode`. `report` (optional) says what
+  /// recovery found.
+  static Result<std::unique_ptr<Connection>> OpenDurable(
+      const std::string& dir, engine::RecoveryReport* report = nullptr);
+
   /// Attaches to an existing TIP-enabled database (not owned). Fails if
   /// the DataBlade is not installed.
   static Result<std::unique_ptr<Connection>> Attach(engine::Database* db);
@@ -59,6 +67,14 @@ class Connection {
   /// equivalents of `SET statement_timeout_ms` / `SET memory_limit_kb`.
   void SetStatementTimeoutMs(int64_t ms);
   void SetMemoryLimitKb(size_t kb);
+
+  /// Durability controls (no-ops / errors unless opened via
+  /// OpenDurable). SetWalMode is `SET wal_mode`; Checkpoint snapshots
+  /// the database and truncates the WAL; SyncWal forces the
+  /// group-commit tail to disk.
+  Status SetWalMode(engine::WalMode mode);
+  Status Checkpoint();
+  Status SyncWal();
 
   /// The engine type ids of the five TIP types (customized type
   /// mapping, a la JDBC 2.0).

@@ -1,36 +1,70 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace tip {
 
 namespace {
 
-// Table for the reflected IEEE polynomial 0xEDB88320.
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-eight tables for the reflected IEEE polynomial
+// 0xEDB88320: tables[0] is the classic byte-at-a-time table and
+// tables[k][b] folds byte b through k additional zero bytes, so the
+// hot loop consumes eight input bytes with eight independent lookups
+// instead of eight serially dependent ones. The produced values are
+// bit-identical to the byte-at-a-time algorithm (same polynomial,
+// same reflection), so existing snapshots and WAL frames verify
+// unchanged. The 64-bit fold assumes little-endian loads, like the
+// rest of the wire format.
+using SliceTables = std::array<std::array<uint32_t, 256>, 8>;
+
+SliceTables BuildTables() {
+  SliceTables tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
       c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables[0][i];
+    for (size_t k = 1; k < 8; ++k) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[k][i] = c;
+    }
+  }
+  return tables;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const std::array<uint32_t, 256> table = BuildTable();
-  return table;
+const SliceTables& Tables() {
+  static const SliceTables tables = BuildTables();
+  return tables;
 }
 
 }  // namespace
 
 uint32_t Crc32Update(uint32_t crc, std::string_view bytes) {
-  const std::array<uint32_t, 256>& table = Table();
+  const SliceTables& t = Tables();
   uint32_t c = crc ^ 0xFFFFFFFFu;
-  for (unsigned char byte : bytes) {
-    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  const char* p = bytes.data();
+  size_t n = bytes.size();
+  while (n >= 8) {
+    uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    c ^= lo;
+    c = t[7][c & 0xFFu] ^ t[6][(c >> 8) & 0xFFu] ^
+        t[5][(c >> 16) & 0xFFu] ^ t[4][c >> 24] ^ t[3][hi & 0xFFu] ^
+        t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^
+        t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = t[0][(c ^ static_cast<unsigned char>(*p)) & 0xFFu] ^ (c >> 8);
+    ++p;
+    --n;
   }
   return c ^ 0xFFFFFFFFu;
 }

@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 
+#include "common/rng.h"
 #include "common/string_util.h"
 
 namespace tip::fault {
@@ -11,10 +12,17 @@ namespace tip::fault {
 namespace {
 
 constexpr char kInjectedPrefix[] = "fault injected at ";
+constexpr uint64_t kDefaultSeed = 0x71b1;
+
+enum class Trigger { kNth, kEvery, kProb };
 
 struct PointState {
   bool armed = false;
-  uint64_t fail_at = 0;    // fail when armed_hits == fail_at
+  Trigger trigger = Trigger::kNth;
+  bool kill = false;       // fire by exiting the process, not by Status
+  uint64_t fail_at = 0;    // kNth: fail when armed_hits == fail_at
+  uint64_t every_n = 1;    // kEvery: fail when armed_hits % every_n == 0
+  double prob = 0.0;       // kProb
   uint64_t armed_hits = 0; // hits since arming
   uint64_t total_hits = 0; // hits since process start
 };
@@ -22,6 +30,7 @@ struct PointState {
 struct Registry {
   std::mutex mu;
   std::map<std::string, PointState> points;
+  Rng rng{kDefaultSeed};
 };
 
 Registry& registry() {
@@ -33,16 +42,55 @@ Registry& registry() {
 std::atomic<int> g_armed_points{0};
 std::once_flag g_env_once;
 
-}  // namespace
-
-void InjectAt(const std::string& point, uint64_t nth) {
+// Replaces the state of `point` under the registry lock, keeping the
+// armed-point count in step.
+void Arm(const std::string& point, const PointState& next) {
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mu);
   PointState& state = reg.points[point];
   if (!state.armed) g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t total = state.total_hits;
+  state = next;
   state.armed = true;
-  state.fail_at = nth;
   state.armed_hits = 0;
+  state.total_hits = total;
+}
+
+}  // namespace
+
+void InjectAt(const std::string& point, uint64_t nth) {
+  PointState s;
+  s.trigger = Trigger::kNth;
+  s.fail_at = nth;
+  Arm(point, s);
+}
+
+void InjectEvery(const std::string& point, uint64_t n) {
+  PointState s;
+  s.trigger = Trigger::kEvery;
+  s.every_n = n == 0 ? 1 : n;
+  Arm(point, s);
+}
+
+void InjectProb(const std::string& point, double p) {
+  PointState s;
+  s.trigger = Trigger::kProb;
+  s.prob = p;
+  Arm(point, s);
+}
+
+void KillAt(const std::string& point, uint64_t nth) {
+  PointState s;
+  s.trigger = Trigger::kNth;
+  s.fail_at = nth;
+  s.kill = true;
+  Arm(point, s);
+}
+
+void SetSeed(uint64_t seed) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.rng = Rng(seed);
 }
 
 void Clear(const std::string& point) {
@@ -94,9 +142,29 @@ Status MaybeFail(const char* point) {
   ++state.total_hits;
   if (!state.armed) return Status::OK();
   const uint64_t hit = state.armed_hits++;
-  if (hit != state.fail_at) return Status::OK();
-  state.armed = false;  // one-shot
-  g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+  bool fire = false;
+  switch (state.trigger) {
+    case Trigger::kNth:
+      fire = hit == state.fail_at;
+      break;
+    case Trigger::kEvery:
+      // 1-based: every:1 fires each hit, every:3 on hits 2, 5, 8, ...
+      fire = (hit + 1) % state.every_n == 0;
+      break;
+    case Trigger::kProb:
+      fire = reg.rng.NextBool(state.prob);
+      break;
+  }
+  if (!fire) return Status::OK();
+  if (state.kill) {
+    // The crash-torture trigger: die exactly here, no unwinding, no
+    // atexit — the closest in-process stand-in for kill -9.
+    std::_Exit(kKillExitCode);
+  }
+  if (state.trigger == Trigger::kNth) {
+    state.armed = false;  // one-shot
+    g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+  }
   return Status::Internal(kInjectedPrefix + std::string(point));
 }
 
@@ -113,33 +181,89 @@ Status ApplySpec(const std::string& spec) {
   }
   // Validate the whole spec before arming anything.
   struct Arm {
+    enum class What { kNth, kEvery, kProb, kKill, kSeed } what;
     std::string point;
-    uint64_t nth;
+    uint64_t n = 0;
+    double p = 0.0;
   };
   std::vector<Arm> arms;
   for (std::string_view entry : SplitString(word, ',')) {
     entry = StripAsciiWhitespace(entry);
     if (entry.empty()) continue;
-    const size_t colon = entry.rfind(':');
-    if (colon == std::string_view::npos || colon == 0 ||
-        colon + 1 == entry.size()) {
-      return Status::InvalidArgument(
-          "fault spec entry must be 'point:n', got '" + std::string(entry) +
-          "'");
+    std::vector<std::string_view> parts;
+    for (std::string_view part : SplitString(entry, ':')) {
+      parts.push_back(StripAsciiWhitespace(part));
     }
-    Result<int64_t> nth = ParseInt64(entry.substr(colon + 1));
-    if (!nth.ok() || *nth < 0) {
+    const Status malformed = Status::InvalidArgument(
+        "fault spec entry must be 'point:n', 'point:every:n', "
+        "'point:prob:p', 'point:kill:n' or 'seed:n', got '" +
+        std::string(entry) + "'");
+    if (parts.size() < 2 || parts.size() > 3 || parts[0].empty()) {
+      return malformed;
+    }
+    Arm arm;
+    arm.point = std::string(parts[0]);
+    std::string_view count = parts.back();
+    if (parts.size() == 2) {
+      arm.what = arm.point == "seed" ? Arm::What::kSeed : Arm::What::kNth;
+    } else if (parts[1] == "every") {
+      arm.what = Arm::What::kEvery;
+    } else if (parts[1] == "kill") {
+      arm.what = Arm::What::kKill;
+    } else if (parts[1] == "prob") {
+      arm.what = Arm::What::kProb;
+      // Probability parses as a decimal in [0, 1]; everything else
+      // below parses as a non-negative integer.
+      const std::string text(count);
+      char* end = nullptr;
+      arm.p = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0' || arm.p < 0.0 ||
+          arm.p > 1.0) {
+        return Status::InvalidArgument(
+            "fault spec probability must be a decimal in [0, 1] in '" +
+            std::string(entry) + "'");
+      }
+      arms.push_back(arm);
+      continue;
+    } else {
+      return malformed;
+    }
+    Result<int64_t> n = ParseInt64(count);
+    if (!n.ok() || *n < 0) {
       return Status::InvalidArgument("fault spec count must be a "
                                      "non-negative integer in '" +
                                      std::string(entry) + "'");
     }
-    arms.push_back({std::string(entry.substr(0, colon)),
-                    static_cast<uint64_t>(*nth)});
+    if (arm.what == Arm::What::kEvery && *n == 0) {
+      return Status::InvalidArgument("fault spec 'every' count must be "
+                                     "at least 1 in '" +
+                                     std::string(entry) + "'");
+    }
+    arm.n = static_cast<uint64_t>(*n);
+    arms.push_back(arm);
   }
   if (arms.empty()) {
     return Status::InvalidArgument("empty fault spec '" + spec + "'");
   }
-  for (const Arm& arm : arms) InjectAt(arm.point, arm.nth);
+  for (const Arm& arm : arms) {
+    switch (arm.what) {
+      case Arm::What::kNth:
+        InjectAt(arm.point, arm.n);
+        break;
+      case Arm::What::kEvery:
+        InjectEvery(arm.point, arm.n);
+        break;
+      case Arm::What::kProb:
+        InjectProb(arm.point, arm.p);
+        break;
+      case Arm::What::kKill:
+        KillAt(arm.point, arm.n);
+        break;
+      case Arm::What::kSeed:
+        SetSeed(arm.n);
+        break;
+    }
+  }
   return Status::OK();
 }
 

@@ -15,21 +15,54 @@
 /// occur (an I/O call, an allocation, a thread dispatch). In production
 /// nothing is armed and MaybeFail is one relaxed atomic load. Tests (or
 /// the TIP_FAULT_INJECT environment variable, or `SET fault_inject`)
-/// arm a point with `InjectAt(point, n)`: the n-th subsequent hit of
-/// that point (0-based) fails with `Status::Internal`, and every hit
-/// after it succeeds again — "kill exactly the k-th write" semantics,
-/// which is what crash-recovery tests need.
+/// arm a point in one of three trigger modes:
+///
+///   InjectAt(point, n)    — the n-th subsequent hit (0-based) fails,
+///                           then the point disarms ("kill exactly the
+///                           k-th write", what crash-recovery tests
+///                           need).
+///   InjectEvery(point, n) — every n-th hit fails, indefinitely
+///                           (repeated failures: retry loops, flaky
+///                           disks).
+///   InjectProb(point, p)  — each hit fails with probability p, drawn
+///                           from a deterministic Rng (src/common/rng.h)
+///                           shared by all probabilistic points and
+///                           reseedable with SetSeed, so a randomized
+///                           torture run is replayable from its seed.
+///
+/// `KillAt(point, n)` arms the crash-torture variant: instead of
+/// returning an error Status, the n-th hit terminates the process
+/// immediately (`_Exit`), simulating kill -9 at that exact syscall.
 ///
 /// Point naming convention: `<subsystem>.<operation>`, lower-case,
-/// e.g. "snapshot.write", "snapshot.fsync", "threadpool.dispatch",
-/// "guard.reserve". Points are not pre-registered; arming an unknown
-/// name simply never fires, and HitCount reports how often a name was
-/// reached so tests can assert coverage.
+/// e.g. "snapshot.write", "wal.fsync", "checkpoint.commit",
+/// "threadpool.dispatch", "guard.reserve". Points are not
+/// pre-registered; arming an unknown name simply never fires, and
+/// HitCount reports how often a name was reached so tests can assert
+/// coverage.
 namespace tip::fault {
 
-/// Arms `point` to fail on its `nth` next hit (0 = the very next one).
-/// Re-arming replaces any previous arming of the same point.
+/// Exit code used by KillAt (chosen to look like SIGKILL's 128+9).
+inline constexpr int kKillExitCode = 137;
+
+/// Arms `point` to fail on its `nth` next hit (0 = the very next one),
+/// one-shot. Re-arming replaces any previous arming of the same point.
 void InjectAt(const std::string& point, uint64_t nth);
+
+/// Arms `point` to fail on every `n`-th hit (n >= 1), staying armed.
+void InjectEvery(const std::string& point, uint64_t n);
+
+/// Arms `point` to fail each hit with probability `p` in [0, 1],
+/// staying armed. Draws come from the registry's deterministic Rng.
+void InjectProb(const std::string& point, double p);
+
+/// Arms `point` to terminate the process (`_Exit(kKillExitCode)`) on
+/// its `nth` next hit — the crash-torture trigger.
+void KillAt(const std::string& point, uint64_t nth);
+
+/// Reseeds the Rng behind InjectProb (default seed is fixed, so runs
+/// are deterministic even without calling this).
+void SetSeed(uint64_t seed);
 
 /// Disarms one point / all points. Hit counters survive ClearAll so
 /// tests can still assert coverage after a run.
@@ -43,17 +76,24 @@ uint64_t HitCount(const std::string& point);
 std::vector<std::string> ArmedPoints();
 
 /// The injection hook. Returns OK unless `point` is armed and this hit
-/// is the chosen one, in which case it returns
-/// `Status::Internal("fault injected at <point>")` and disarms.
-/// Fast path when nothing is armed anywhere: one atomic load, no lock.
+/// fires per the point's trigger mode, in which case it returns
+/// `Status::Internal("fault injected at <point>")` (or exits the
+/// process for a KillAt arming). Fast path when nothing is armed
+/// anywhere: one atomic load, no lock.
 Status MaybeFail(const char* point);
 
 /// True when the given status came from MaybeFail (tests distinguishing
 /// injected faults from genuine errors).
 bool IsInjected(const Status& status);
 
-/// Parses and applies a TIP_FAULT_INJECT-style spec:
-///   "point:n[,point:n...]" arms, "off" / "none" / "clear" clears all.
+/// Parses and applies a TIP_FAULT_INJECT-style spec — entries separated
+/// by commas:
+///   point:n          one-shot nth-hit arming
+///   point:every:n    every n-th hit
+///   point:prob:p     probability p per hit (decimal in [0, 1])
+///   point:kill:n     process exit on the nth hit
+///   seed:n           reseed the Rng behind prob points
+///   off | none | clear   disarm everything
 /// Returns InvalidArgument on malformed specs.
 Status ApplySpec(const std::string& spec);
 

@@ -553,6 +553,72 @@ Status RegisterGuardStats(Database* db) {
   return Status::OK();
 }
 
+// tip_wal_stats()          -> formatted durability counters
+// tip_wal_stats('counter') -> one counter as INT
+// tip_checkpoint()         -> takes a checkpoint, returns its LSN
+// The observability surface for the durability subsystem, mirroring
+// tip_index_stats / tip_guard_stats: append and fsync traffic, group-
+// commit effectiveness, and what recovery had to do.
+Status RegisterWalStats(Database* db) {
+  RoutineRegistry& reg = db->routines();
+  const TypeId s = TypeId::kString;
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_wal_stats", {}, s,
+      [db](const std::vector<Datum>&, EvalContext&) -> Result<Datum> {
+        const DurabilityStats stats = db->durability_stats();
+        return Datum::String(
+            "mode=" + std::string(WalModeName(db->wal_mode())) + " " +
+            stats.wal.ToString() +
+            " checkpoints=" + std::to_string(stats.checkpoints) +
+            " recoveries=" + std::to_string(stats.recoveries_run) +
+            " replayed=" + std::to_string(stats.records_replayed) +
+            " torn_tails=" + std::to_string(stats.torn_tail_truncations));
+      })));
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_wal_stats", {s}, TypeId::kInt,
+      [db](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        const DurabilityStats stats = db->durability_stats();
+        const std::string counter = ToLowerAscii(a[0].string_value());
+        uint64_t value;
+        if (counter == "records_appended") {
+          value = stats.wal.records_appended;
+        } else if (counter == "bytes_written") {
+          value = stats.wal.bytes_written;
+        } else if (counter == "fsyncs") {
+          value = stats.wal.fsyncs;
+        } else if (counter == "rotations") {
+          value = stats.wal.rotations;
+        } else if (counter == "max_batch_records") {
+          value = stats.wal.max_batch_records;
+        } else if (counter == "checkpoints") {
+          value = stats.checkpoints;
+        } else if (counter == "recoveries_run") {
+          value = stats.recoveries_run;
+        } else if (counter == "records_replayed") {
+          value = stats.records_replayed;
+        } else if (counter == "torn_tail_truncations") {
+          value = stats.torn_tail_truncations;
+        } else {
+          return Status::InvalidArgument("unknown wal counter '" + counter +
+                                         "'");
+        }
+        return Datum::Int(static_cast<int64_t>(value));
+      })));
+
+  // tip_checkpoint() lets the torture harness (and operators) force a
+  // snapshot + WAL truncation through plain SQL over the C API.
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_checkpoint", {}, TypeId::kInt,
+      [db](const std::vector<Datum>&, EvalContext&) -> Result<Datum> {
+        TIP_RETURN_IF_ERROR(db->Checkpoint());
+        return Datum::Int(
+            static_cast<int64_t>(db->durability_stats().checkpoints));
+      })));
+  return Status::OK();
+}
+
 }  // namespace
 
 Status RegisterBuiltins(Database* db) {
@@ -561,6 +627,7 @@ Status RegisterBuiltins(Database* db) {
   TIP_RETURN_IF_ERROR(RegisterAggregates(db));
   TIP_RETURN_IF_ERROR(RegisterIndexStats(db));
   TIP_RETURN_IF_ERROR(RegisterGuardStats(db));
+  TIP_RETURN_IF_ERROR(RegisterWalStats(db));
   return Status::OK();
 }
 

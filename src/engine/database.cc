@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/durable_fs.h"
 #include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "engine/exec/exec_node.h"
@@ -11,6 +12,8 @@
 #include "engine/exec/row_utils.h"
 #include "engine/sql/ast.h"
 #include "engine/sql/parser.h"
+#include "engine/storage/recovery.h"
+#include "engine/storage/snapshot.h"
 
 namespace tip::engine {
 
@@ -112,13 +115,13 @@ void Database::DeregisterGuard(ExecGuard* guard) {
 
 Result<ResultSet> Database::Execute(std::string_view sql) {
   TIP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  return ExecuteParsed(stmt, nullptr);
+  return ExecuteParsed(stmt, nullptr, sql);
 }
 
 Result<ResultSet> Database::Execute(std::string_view sql,
                                     const Params& params) {
   TIP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  return ExecuteParsed(stmt, &params);
+  return ExecuteParsed(stmt, &params, sql);
 }
 
 Result<ResultSet> Database::ExecuteScript(std::string_view script) {
@@ -144,7 +147,8 @@ Result<ResultSet> Database::ExecuteScript(std::string_view script) {
 }
 
 Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
-                                          const Params* params) {
+                                          const Params* params,
+                                          std::string_view sql) {
   PlannerContext pctx;
   pctx.types = &types_;
   pctx.routines = &routines_;
@@ -233,6 +237,18 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
             " oom=" + std::to_string(oom) +
             " parallel_fallbacks=" + std::to_string(fallbacks) + ")")});
       }
+      // Durability counters, present only once a WAL is attached so
+      // plans from non-durable sessions are unchanged.
+      if (wal_ != nullptr) {
+        result.rows.push_back(Row{Datum::String(
+            "WalStats(mode=" + std::string(WalModeName(wal_mode_)) + " " +
+            wal_->stats().ToString() +
+            " checkpoints=" + std::to_string(durability_.checkpoints) +
+            " recoveries=" + std::to_string(durability_.recoveries_run) +
+            " replayed=" + std::to_string(durability_.records_replayed) +
+            " torn_tails=" +
+            std::to_string(durability_.torn_tail_truncations) + ")")});
+      }
       return result;
     }
 
@@ -247,12 +263,23 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
                            catalog_.CreateTable(stmt.table,
                                                 std::move(columns)));
       (void)table;
+      TIP_RETURN_IF_ERROR(LogAppliedDdl(
+          sql, [this, &stmt] { (void)catalog_.DropTable(stmt.table); }));
       ResultSet result;
       result.message = "CREATE TABLE";
       return result;
     }
 
     case Statement::Kind::kDropTable: {
+      // Validate before logging: the drop itself cannot fail once the
+      // table is known to exist, so log-then-apply is safe (there is no
+      // undo for a drop).
+      TIP_ASSIGN_OR_RETURN(Table * doomed, catalog_.GetTable(stmt.table));
+      (void)doomed;
+      if (ShouldLogWal()) {
+        TIP_RETURN_IF_ERROR(
+            AppendWal(WalRecordKind::kDdl, EncodeDdlBody(sql)));
+      }
       TIP_RETURN_IF_ERROR(catalog_.DropTable(stmt.table));
       ResultSet result;
       result.message = "DROP TABLE";
@@ -302,6 +329,14 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
             eval.ReserveMemory(exec_util::ApproxRowBytes(row)));
         staged.push_back(std::move(row));
       }
+      // Write-ahead: the record hits the log (and, per wal_mode, disk)
+      // before the heap changes; past this point the statement cannot
+      // fail, so the log never holds a record for a failed statement.
+      if (ShouldLogWal() && !staged.empty()) {
+        TIP_RETURN_IF_ERROR(
+            AppendWal(WalRecordKind::kInsert,
+                      EncodeInsertBody(table->name(), staged, types_)));
+      }
       for (Row& row : staged) table->heap().Insert(std::move(row));
       ResultSet result;
       result.affected_rows = static_cast<int64_t>(staged.size());
@@ -347,10 +382,17 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
       // half-updated table.
       std::vector<std::pair<RowId, Row>> changes;
       std::vector<RowId> deletions;
+      // Rows are addressed in the WAL by live ordinal (position in this
+      // scan), not RowId: snapshot restore compacts tombstones, so the
+      // same logical row replays under a different RowId but the same
+      // ordinal.
+      std::vector<uint64_t> delete_ordinals;
+      std::vector<uint64_t> change_ordinals;
+      uint64_t ordinal = 0;
       HeapTable::Cursor cursor = table->heap().Scan();
       RowId id;
       const Row* row;
-      while (cursor.Next(&id, &row)) {
+      for (; cursor.Next(&id, &row); ++ordinal) {
         TIP_RETURN_IF_ERROR(eval.CheckGuard());
         TupleCtx tuple{row, nullptr};
         if (where != nullptr) {
@@ -359,6 +401,7 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
         }
         if (stmt.kind == Statement::Kind::kDelete) {
           deletions.push_back(id);
+          delete_ordinals.push_back(ordinal);
         } else {
           Row updated = *row;
           for (const auto& [idx, expr] : sets) {
@@ -368,7 +411,20 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
           TIP_RETURN_IF_ERROR(
               eval.ReserveMemory(exec_util::ApproxRowBytes(updated)));
           changes.emplace_back(id, std::move(updated));
+          change_ordinals.push_back(ordinal);
         }
+      }
+      // Write-ahead, between the last failure point and the apply.
+      if (ShouldLogWal() && !(deletions.empty() && changes.empty())) {
+        std::vector<std::pair<uint64_t, const Row*>> updates;
+        updates.reserve(changes.size());
+        for (size_t i = 0; i < changes.size(); ++i) {
+          updates.emplace_back(change_ordinals[i], &changes[i].second);
+        }
+        TIP_RETURN_IF_ERROR(AppendWal(
+            WalRecordKind::kMutate,
+            EncodeMutateBody(table->name(), delete_ordinals, updates,
+                             types_)));
       }
       // Phase 2: apply.
       for (RowId victim : deletions) {
@@ -443,8 +499,30 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
         result.message = "SET STATEMENT_GUARD";
         return result;
       }
+      if (stmt.option == "wal_mode") {
+        TIP_ASSIGN_OR_RETURN(WalMode mode, ParseWalMode(word));
+        // Leaving a buffered mode must not abandon its pending tail:
+        // those statements were acknowledged under the old contract.
+        if (wal_ != nullptr && mode != wal_mode_) {
+          TIP_RETURN_IF_ERROR(wal_->Sync());
+        }
+        wal_mode_ = mode;
+        result.message = "SET WAL_MODE " + std::string(WalModeName(mode));
+        return result;
+      }
+      if (stmt.option == "wal_group_size") {
+        TIP_ASSIGN_OR_RETURN(int64_t n, ParseCount(word));
+        if (n < 1) {
+          return Status::InvalidArgument(
+              "wal_group_size must be at least 1");
+        }
+        set_wal_group_size(static_cast<uint64_t>(n));
+        result.message = "SET WAL_GROUP_SIZE " + std::to_string(n);
+        return result;
+      }
       if (stmt.option == "fault_inject") {
-        // 'point:n[,point:n...]' arms deterministic fault points;
+        // 'point:n[,point:every:n|point:prob:p|point:kill:n...]' arms
+        // deterministic fault points; 'seed:n' reseeds prob triggers;
         // 'off' clears them all. Same grammar as TIP_FAULT_INJECT.
         TIP_RETURN_IF_ERROR(fault::ApplySpec(word));
         result.message = "SET FAULT_INJECT " + word;
@@ -476,6 +554,9 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
       }
       TIP_RETURN_IF_ERROR(table->CreateIntervalIndex(
           stmt.index_name, static_cast<size_t>(idx), it->second));
+      TIP_RETURN_IF_ERROR(LogAppliedDdl(sql, [table, &stmt] {
+        (void)table->DropIndex(stmt.index_name);
+      }));
       ResultSet result;
       result.message = "CREATE INDEX";
       return result;
@@ -540,6 +621,13 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
       };
       TIP_RETURN_IF_ERROR(routines_.Register(std::move(routine)));
       sql_functions_.insert(name);
+      TIP_RETURN_IF_ERROR(LogAppliedDdl(sql, [this, &name] {
+        (void)routines_.Remove(name);
+        sql_functions_.erase(name);
+      }));
+      // Snapshots store only tables, so the function's text also rides
+      // in every later checkpoint's metadata.
+      sql_function_ddl_[name] = std::string(sql);
       ResultSet result;
       result.message = "CREATE FUNCTION";
       return result;
@@ -552,8 +640,13 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
             "function '" + name +
             "' does not exist or was not created with CREATE FUNCTION");
       }
+      if (ShouldLogWal()) {
+        TIP_RETURN_IF_ERROR(
+            AppendWal(WalRecordKind::kDdl, EncodeDdlBody(sql)));
+      }
       TIP_RETURN_IF_ERROR(routines_.Remove(name));
       sql_functions_.erase(name);
+      sql_function_ddl_.erase(name);
       ResultSet result;
       result.message = "DROP FUNCTION";
       return result;
@@ -561,6 +654,21 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
 
     case Statement::Kind::kDropIndex: {
       TIP_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+      bool exists = false;
+      for (const IntervalIndexDef& def : table->interval_indexes()) {
+        if (EqualsIgnoreCase(def.name, stmt.index_name)) {
+          exists = true;
+          break;
+        }
+      }
+      if (!exists) {
+        return Status::NotFound("index '" + stmt.index_name +
+                                "' does not exist");
+      }
+      if (ShouldLogWal()) {
+        TIP_RETURN_IF_ERROR(
+            AppendWal(WalRecordKind::kDdl, EncodeDdlBody(sql)));
+      }
       TIP_RETURN_IF_ERROR(table->DropIndex(stmt.index_name));
       ResultSet result;
       result.message = "DROP INDEX";
@@ -568,6 +676,149 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
     }
   }
   return Status::Internal("unhandled statement kind");
+}
+
+Status Database::AppendWal(WalRecordKind kind, std::string_view body) {
+  return wal_->Append(kind, body, wal_mode_).status();
+}
+
+Status Database::LogAppliedDdl(std::string_view sql,
+                               const std::function<void()>& undo) {
+  if (!ShouldLogWal()) return Status::OK();
+  Status logged = AppendWal(WalRecordKind::kDdl, EncodeDdlBody(sql));
+  if (!logged.ok()) undo();
+  return logged;
+}
+
+Status Database::AttachDurableDir(const std::string& dir,
+                                  RecoveryReport* report) {
+  RecoveryReport local;
+  if (report == nullptr) report = &local;
+  *report = RecoveryReport{};
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("a durable directory is already attached");
+  }
+  if (!catalog_.TableNames().empty()) {
+    return Status::InvalidArgument(
+        "attach the durable directory to a fresh database (install "
+        "extensions first, create tables after)");
+  }
+  TIP_RETURN_IF_ERROR(fs::EnsureDir(dir));
+
+  // Everything below re-executes recorded statements; none of them may
+  // be logged again. RAII so every error return clears the flag.
+  replaying_ = true;
+  struct ReplayScope {
+    Database* db;
+    ~ReplayScope() { db->replaying_ = false; }
+  } replay_scope{this};
+
+  TIP_ASSIGN_OR_RETURN(std::optional<CheckpointMeta> meta,
+                       ReadCheckpointMeta(dir));
+  uint64_t checkpoint_lsn = 1;
+  if (meta.has_value()) {
+    checkpoint_lsn = meta->lsn;
+    TIP_RETURN_IF_ERROR(
+        LoadSnapshotFromFile(this, dir + "/" + meta->snapshot_file));
+    report->snapshot_loaded = true;
+    for (const std::string& ddl : meta->function_ddl) {
+      Result<ResultSet> created = Execute(ddl);
+      if (!created.ok()) {
+        return Status::Corruption(
+            "checkpointed CREATE FUNCTION failed to replay: " +
+            created.status().ToString());
+      }
+    }
+  }
+  report->checkpoint_lsn = checkpoint_lsn;
+
+  std::vector<WalRecord> records;
+  WalOpenReport wal_report;
+  TIP_ASSIGN_OR_RETURN(
+      std::unique_ptr<Wal> wal,
+      Wal::Open(dir + "/wal.log", checkpoint_lsn, &records, &wal_report));
+  report->created = wal_report.created && !meta.has_value();
+  report->torn_tail = wal_report.torn_tail;
+  report->torn_bytes_truncated = wal_report.torn_bytes_truncated;
+  for (const WalRecord& record : records) {
+    // Records the checkpoint snapshot already covers: a crash between
+    // publishing the checkpoint and rotating the log leaves them behind
+    // legitimately; they must be skipped, never double-applied.
+    if (record.lsn < checkpoint_lsn) continue;
+    Status applied = ApplyWalRecord(this, record);
+    if (!applied.ok()) {
+      return Status::Corruption("WAL record " + std::to_string(record.lsn) +
+                                " failed to replay: " + applied.ToString());
+    }
+    ++report->wal_records_replayed;
+  }
+
+  // Warm every interval index once, after the last replayed write, so
+  // recovery pays one rebuild per index instead of one per replayed
+  // statement on first use. Failures are non-fatal: the index rebuilds
+  // lazily on first probe anyway.
+  const TxContext tx = CurrentTx();
+  for (const std::string& name : catalog_.TableNames()) {
+    Result<Table*> table = catalog_.GetTable(name);
+    if (!table.ok()) continue;
+    for (const IntervalIndexDef& def : (*table)->interval_indexes()) {
+      (void)(*table)->GetIntervalIndex(def.column, tx);
+    }
+  }
+
+  durable_dir_ = dir;
+  wal_ = std::move(wal);
+  wal_->set_group_records(wal_group_size_);
+  durability_.recoveries_run += 1;
+  durability_.records_replayed += report->wal_records_replayed;
+  if (report->torn_tail) durability_.torn_tail_truncations += 1;
+  RemoveStaleSnapshots(dir, meta.has_value() ? meta->snapshot_file : "");
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("no durable directory attached");
+  }
+  TIP_RETURN_IF_ERROR(fault::MaybeFail("checkpoint.begin"));
+  // `lsn` is the first LSN the snapshot does NOT cover. No writes can
+  // interleave here (writers are serialized externally), so the
+  // snapshot taken next covers exactly [.., lsn).
+  const uint64_t lsn = wal_->next_lsn();
+  const std::string file = "snapshot." + std::to_string(lsn) + ".tip";
+  TIP_RETURN_IF_ERROR(SaveSnapshotToFile(*this, durable_dir_ + "/" + file));
+
+  CheckpointMeta meta;
+  meta.lsn = lsn;
+  meta.snapshot_file = file;
+  for (const auto& [name, ddl] : sql_function_ddl_) {
+    meta.function_ddl.push_back(ddl);
+  }
+  TIP_RETURN_IF_ERROR(fault::MaybeFail("checkpoint.commit"));
+  TIP_RETURN_IF_ERROR(WriteCheckpointMeta(durable_dir_, meta));
+  durability_.checkpoints += 1;
+
+  // Published. A failure past this point costs only disk space: the old
+  // log's records sit below `lsn` and recovery skips them.
+  Status rotated = wal_->Rotate(lsn);
+  RemoveStaleSnapshots(durable_dir_, file);
+  return rotated;
+}
+
+Status Database::SyncWal() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Sync();
+}
+
+void Database::set_wal_group_size(uint64_t n) {
+  wal_group_size_ = n == 0 ? 1 : n;
+  if (wal_ != nullptr) wal_->set_group_records(wal_group_size_);
+}
+
+DurabilityStats Database::durability_stats() const {
+  DurabilityStats stats = durability_;
+  if (wal_ != nullptr) stats.wal = wal_->stats();
+  return stats;
 }
 
 }  // namespace tip::engine

@@ -2,7 +2,10 @@
 #define TIP_ENGINE_DATABASE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -19,9 +22,30 @@
 #include "engine/catalog/routine_registry.h"
 #include "engine/exec/parallel_exec.h"
 #include "engine/exec/result_set.h"
+#include "engine/storage/wal.h"
 #include "engine/types/type.h"
 
 namespace tip::engine {
+
+/// What Database::AttachDurableDir found on disk and did about it.
+struct RecoveryReport {
+  bool created = false;          // fresh directory: no snapshot, no WAL
+  bool snapshot_loaded = false;  // a checkpoint snapshot was restored
+  uint64_t checkpoint_lsn = 1;   // WAL records below this were skipped
+  uint64_t wal_records_replayed = 0;
+  bool torn_tail = false;        // the WAL ended mid-append and was truncated
+  uint64_t torn_bytes_truncated = 0;
+};
+
+/// Durability counters, surfaced in SQL as tip_wal_stats() and in
+/// EXPLAIN output (same shape as tip_index_stats / tip_guard_stats).
+struct DurabilityStats {
+  WalStatsSnapshot wal;  // append-path counters from the live WAL
+  uint64_t checkpoints = 0;
+  uint64_t recoveries_run = 0;
+  uint64_t records_replayed = 0;
+  uint64_t torn_tail_truncations = 0;
+};
 
 /// Host parameters for a statement (`:name` placeholders).
 using Params = std::map<std::string, Datum, std::less<>>;
@@ -125,9 +149,61 @@ class Database {
   /// parallel fallbacks), surfaced in SQL as tip_guard_stats().
   const GuardEvents& guard_events() const { return guard_events_; }
 
+  // -- Durability ------------------------------------------------------------
+
+  /// Attaches `dir` as this database's durable home and runs crash
+  /// recovery: reads the checkpoint metadata, restores its snapshot and
+  /// CREATE FUNCTION statements, replays the write-ahead log past the
+  /// checkpoint LSN (truncating a torn tail first), and warms the
+  /// interval indexes once at the end. Must be called on a database
+  /// with no tables yet (install extensions first, then attach).
+  /// Afterwards every DML/DDL statement is logged before it is
+  /// acknowledged, according to wal_mode().
+  Status AttachDurableDir(const std::string& dir,
+                          RecoveryReport* report = nullptr);
+  bool durable() const { return wal_ != nullptr; }
+  const std::string& durable_dir() const { return durable_dir_; }
+
+  /// Takes a checkpoint: writes snapshot.<lsn>.tip, atomically
+  /// publishes the CHECKPOINT metadata (snapshot name + LSN + live
+  /// CREATE FUNCTION statements), then truncates the WAL by rotating it
+  /// to a fresh file starting at <lsn>. A crash anywhere in between
+  /// recovers from whichever checkpoint was last published. Fault
+  /// points: "checkpoint.begin", "checkpoint.commit", plus the
+  /// "snapshot.*", "checkpoint.meta.*" and "wal.rotate*" write steps.
+  Status Checkpoint();
+
+  /// SET WAL_MODE off|async|group|sync (applies to the next statement).
+  void set_wal_mode(WalMode mode) { wal_mode_ = mode; }
+  WalMode wal_mode() const { return wal_mode_; }
+
+  /// SET WAL_GROUP_SIZE n: records per fsync in group mode.
+  void set_wal_group_size(uint64_t n);
+  uint64_t wal_group_size() const { return wal_group_size_; }
+
+  /// Forces the group-commit tail to disk. OK when not durable.
+  Status SyncWal();
+
+  /// Counters for tip_wal_stats(); `wal` is live only when durable.
+  DurabilityStats durability_stats() const;
+
  private:
   Result<ResultSet> ExecuteParsed(const struct Statement& stmt,
-                                  const Params* params);
+                                  const Params* params, std::string_view sql);
+
+  /// True when the statement being executed must be appended to the
+  /// WAL: a log is attached, logging is on, and we are not replaying
+  /// (recovery re-executes statements through the same code paths).
+  bool ShouldLogWal() const {
+    return wal_ != nullptr && !replaying_ && wal_mode_ != WalMode::kOff;
+  }
+  Status AppendWal(WalRecordKind kind, std::string_view body);
+  /// Logs an already-applied DDL statement; on a WAL failure runs
+  /// `undo` so the in-memory state never gets ahead of the durable log
+  /// (a logged-but-failed or applied-but-unlogged statement would make
+  /// replay diverge from the acknowledged history).
+  Status LogAppliedDdl(std::string_view sql,
+                       const std::function<void()>& undo);
   void RegisterGuard(ExecGuard* guard);
   void DeregisterGuard(ExecGuard* guard);
 
@@ -164,6 +240,19 @@ class Database {
   /// Names created via CREATE FUNCTION (the only ones DROP FUNCTION
   /// may remove).
   std::set<std::string> sql_functions_;
+
+  // -- Durability state ------------------------------------------------------
+  std::string durable_dir_;
+  std::unique_ptr<Wal> wal_;
+  WalMode wal_mode_ = WalMode::kGroup;
+  uint64_t wal_group_size_ = Wal::kDefaultGroupRecords;
+  /// True while AttachDurableDir restores state: suppresses re-logging
+  /// of the statements being replayed.
+  bool replaying_ = false;
+  /// CREATE FUNCTION text by function name, carried in the checkpoint
+  /// metadata because snapshots store only tables.
+  std::map<std::string, std::string> sql_function_ddl_;
+  DurabilityStats durability_;
 };
 
 /// Registers the engine's builtin routines (arithmetic, string ops,

@@ -1,18 +1,21 @@
 #include "engine/storage/snapshot.h"
 
-#include <unistd.h>
-
-#include <cstdio>
 #include <cstring>
 #include <vector>
 
 #include "common/crc32.h"
-#include "common/fault_injection.h"
+#include "common/durable_fs.h"
 #include "engine/database.h"
+#include "engine/storage/wire_format.h"
 
 namespace tip::engine {
 
 namespace {
+
+using wire::PutString;
+using wire::PutU32;
+using wire::PutU64;
+using wire::Reader;
 
 constexpr char kMagicV1[] = "TIPSNAP1";
 constexpr char kMagicV2[] = "TIPSNAP2";
@@ -25,72 +28,6 @@ constexpr char kFooterMagic[] = "TIPFOOT1";
 constexpr uint64_t kMaxTables = 1u << 20;
 constexpr uint64_t kMaxColumns = 1u << 16;
 constexpr uint64_t kMaxIndexes = 1u << 16;
-
-void PutU64(uint64_t v, std::string* out) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  out->append(buf, 8);
-}
-
-void PutU32(uint32_t v, std::string* out) {
-  char buf[4];
-  std::memcpy(buf, &v, 4);
-  out->append(buf, 4);
-}
-
-void PutString(std::string_view s, std::string* out) {
-  PutU64(s.size(), out);
-  out->append(s);
-}
-
-/// Sequential reader over snapshot bytes. Every read is bounds-checked;
-/// running past the buffer is a Corruption, never an overread.
-class Reader {
- public:
-  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
-
-  Result<uint64_t> U64() {
-    if (bytes_.size() - pos_ < 8) {
-      return Status::Corruption("truncated snapshot");
-    }
-    uint64_t v;
-    std::memcpy(&v, bytes_.data() + pos_, 8);
-    pos_ += 8;
-    return v;
-  }
-
-  Result<uint32_t> U32() {
-    if (bytes_.size() - pos_ < 4) {
-      return Status::Corruption("truncated snapshot");
-    }
-    uint32_t v;
-    std::memcpy(&v, bytes_.data() + pos_, 4);
-    pos_ += 4;
-    return v;
-  }
-
-  Result<std::string_view> Bytes(uint64_t n) {
-    if (n > bytes_.size() - pos_) {
-      return Status::Corruption("truncated snapshot");
-    }
-    std::string_view out = bytes_.substr(pos_, n);
-    pos_ += n;
-    return out;
-  }
-
-  Result<std::string_view> String() {
-    TIP_ASSIGN_OR_RETURN(uint64_t n, U64());
-    return Bytes(n);
-  }
-
-  bool AtEnd() const { return pos_ == bytes_.size(); }
-  size_t remaining() const { return bytes_.size() - pos_; }
-  size_t pos() const { return pos_; }
-
- private:
-  std::string_view bytes_;
-  size_t pos_ = 0;
-};
 
 /// Serializes one table into a v2 section body (also the v1 per-table
 /// grammar).
@@ -432,52 +369,12 @@ Result<std::string> SaveSnapshot(const Database& db) {
 Status SaveSnapshotToFile(const Database& db, std::string_view path) {
   TIP_ASSIGN_OR_RETURN(std::string bytes, SaveSnapshot(db));
 
-  // Crash safety: write + fsync a temp file, then atomically rename it
-  // over the destination. A crash at any point leaves either the old
-  // snapshot or the complete new one — never a torn file — and the
+  // Crash safety: write + fsync a temp file, atomically rename it over
+  // the destination, then fsync the parent directory (the rename alone
+  // is not durable on ext4/XFS). A crash at any point leaves either the
+  // old snapshot or the complete new one — never a torn file — and the
   // fault points let tests kill the save at each step.
-  const std::string dest(path);
-  const std::string tmp = dest + ".tmp";
-  Status inject = fault::MaybeFail("snapshot.open");
-  std::FILE* f = inject.ok() ? std::fopen(tmp.c_str(), "wb") : nullptr;
-  if (f == nullptr) {
-    if (!inject.ok()) return inject;
-    return Status::InvalidArgument("cannot open '" + tmp + "' for writing");
-  }
-  inject = fault::MaybeFail("snapshot.write");
-  const size_t written =
-      inject.ok() ? std::fwrite(bytes.data(), 1, bytes.size(), f) : 0;
-  if (written != bytes.size()) {
-    std::fclose(f);
-    std::remove(tmp.c_str());
-    if (!inject.ok()) return inject;
-    return Status::Internal("short write to '" + tmp + "'");
-  }
-  inject = fault::MaybeFail("snapshot.fsync");
-  const bool synced =
-      inject.ok() && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
-  if (!synced) {
-    std::fclose(f);
-    std::remove(tmp.c_str());
-    if (!inject.ok()) return inject;
-    return Status::Internal("fsync of '" + tmp + "' failed");
-  }
-  inject = fault::MaybeFail("snapshot.close");
-  if (!inject.ok() || std::fclose(f) != 0) {
-    if (inject.ok()) f = nullptr;  // fclose already released it
-    if (f != nullptr) std::fclose(f);
-    std::remove(tmp.c_str());
-    if (!inject.ok()) return inject;
-    return Status::Internal("close of '" + tmp + "' failed");
-  }
-  inject = fault::MaybeFail("snapshot.rename");
-  if (!inject.ok() || std::rename(tmp.c_str(), dest.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    if (!inject.ok()) return inject;
-    return Status::Internal("rename of '" + tmp + "' over '" + dest +
-                            "' failed");
-  }
-  return Status::OK();
+  return fs::AtomicWriteFile(std::string(path), bytes, "snapshot");
 }
 
 Status LoadSnapshot(Database* db, std::string_view bytes) {
@@ -514,17 +411,7 @@ Status LoadSnapshot(Database* db, std::string_view bytes) {
 }
 
 Status LoadSnapshotFromFile(Database* db, std::string_view path) {
-  std::FILE* f = std::fopen(std::string(path).c_str(), "rb");
-  if (f == nullptr) {
-    return Status::NotFound("cannot open '" + std::string(path) + "'");
-  }
-  std::string bytes;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    bytes.append(buf, n);
-  }
-  std::fclose(f);
+  TIP_ASSIGN_OR_RETURN(std::string bytes, fs::ReadFile(std::string(path)));
   return LoadSnapshot(db, bytes);
 }
 

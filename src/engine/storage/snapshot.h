@@ -37,10 +37,12 @@ class Database;
 Result<std::string> SaveSnapshot(const Database& db);
 
 /// Writes SaveSnapshot's bytes crash-safely: to `path`.tmp first, then
-/// fsync, then an atomic rename over `path` — a crash mid-save leaves
-/// any previous snapshot at `path` intact. Fault points:
-/// "snapshot.open", "snapshot.write", "snapshot.fsync",
-/// "snapshot.close", "snapshot.rename".
+/// fsync, then an atomic rename over `path`, then an fsync of the
+/// parent directory (without which the rename itself can be rolled
+/// back by a power cut) — a crash mid-save leaves any previous
+/// snapshot at `path` intact. Fault points: "snapshot.open",
+/// "snapshot.write", "snapshot.fsync", "snapshot.close",
+/// "snapshot.rename", "snapshot.dirsync".
 Status SaveSnapshotToFile(const Database& db, std::string_view path);
 
 /// Restores a snapshot (v2 or legacy v1) into `db`. Fails with

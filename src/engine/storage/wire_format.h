@@ -1,0 +1,123 @@
+#ifndef TIP_ENGINE_STORAGE_WIRE_FORMAT_H_
+#define TIP_ENGINE_STORAGE_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+/// The little-endian, length-prefixed wire grammar shared by the
+/// snapshot and WAL file formats: fixed-width integers plus
+/// u64-length-prefixed byte strings, with a bounds-checked sequential
+/// reader. Kept header-only and trivial on purpose — the durability of
+/// the whole system rests on this encoding being impossible to get
+/// wrong.
+namespace tip::engine::wire {
+
+inline void PutU64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+inline void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+inline void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutString(std::string_view s, std::string* out) {
+  PutU64(s.size(), out);
+  out->append(s);
+}
+
+/// LEB128 variable-width integer: 7 value bits per byte, high bit set
+/// on every byte but the last. Used where an 8-byte length prefix
+/// would dominate the payload (the WAL's per-value row images).
+inline void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Sequential reader over serialized bytes. Every read is
+/// bounds-checked; running past the buffer is a Corruption, never an
+/// overread.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint64_t> U64() {
+    if (bytes_.size() - pos_ < 8) {
+      return Status::Corruption("truncated record");
+    }
+    uint64_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<uint32_t> U32() {
+    if (bytes_.size() - pos_ < 4) {
+      return Status::Corruption("truncated record");
+    }
+    uint32_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint8_t> U8() {
+    if (bytes_.size() - pos_ < 1) {
+      return Status::Corruption("truncated record");
+    }
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+
+  Result<std::string_view> Bytes(uint64_t n) {
+    if (n > bytes_.size() - pos_) {
+      return Status::Corruption("truncated record");
+    }
+    std::string_view out = bytes_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  Result<std::string_view> String() {
+    TIP_ASSIGN_OR_RETURN(uint64_t n, U64());
+    return Bytes(n);
+  }
+
+  Result<uint64_t> Varint() {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= bytes_.size()) {
+        return Status::Corruption("truncated record");
+      }
+      const uint8_t byte = static_cast<uint8_t>(bytes_[pos_++]);
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return v;
+    }
+    return Status::Corruption("varint runs past 64 bits");
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tip::engine::wire
+
+#endif  // TIP_ENGINE_STORAGE_WIRE_FORMAT_H_

@@ -284,14 +284,18 @@ Result<uint64_t> TypeRegistry::Hash(const Datum& d,
 
 std::string TypeRegistry::Serialize(const Datum& d) const {
   std::string out;
-  if (d.is_null()) return out;
+  SerializeTo(d, &out);
+  return out;
+}
+
+void TypeRegistry::SerializeTo(const Datum& d, std::string* out) const {
+  if (d.is_null()) return;
   const TypeInfo& info = Get(d.type_id());
   if (info.ops.serialize) {
-    info.ops.serialize(d, &out);
+    info.ops.serialize(d, out);
   } else {
-    out = info.ops.format(d);
+    out->append(info.ops.format(d));
   }
-  return out;
 }
 
 bool TypeRegistry::IsComparable(TypeId id) const {

@@ -94,6 +94,10 @@ class TypeRegistry {
   /// Serializes `d` in the type's binary format (text fallback).
   std::string Serialize(const Datum& d) const;
 
+  /// Serialize, appended to `out` — no temporary per value, for the
+  /// row-image hot paths (WAL append, snapshot save).
+  void SerializeTo(const Datum& d, std::string* out) const;
+
   /// True iff the type supports ordering comparisons.
   bool IsComparable(TypeId id) const;
   /// True iff the type supports hashing.

@@ -1,0 +1,186 @@
+// Trigger modes of the fault-injection registry: one-shot nth-hit,
+// every:n, prob:p (deterministic, reseedable), the kill trigger, the
+// TIP_FAULT_INJECT / SET fault_inject spec grammar, and hit-count
+// bookkeeping.
+
+#include "common/fault_injection.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/storage/snapshot.h"
+
+namespace tip {
+namespace {
+
+class FaultModesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::ClearAll(); }
+  void TearDown() override { fault::ClearAll(); }
+
+  /// Drives `point` `hits` times and returns one bool per hit: did it
+  /// fire?
+  static std::vector<bool> Drive(const char* point, int hits) {
+    std::vector<bool> fired;
+    fired.reserve(hits);
+    for (int i = 0; i < hits; ++i) {
+      fired.push_back(!fault::MaybeFail(point).ok());
+    }
+    return fired;
+  }
+
+  static int CountFired(const std::vector<bool>& fired) {
+    return static_cast<int>(std::count(fired.begin(), fired.end(), true));
+  }
+};
+
+TEST_F(FaultModesTest, NthHitIsOneShot) {
+  fault::InjectAt("test.nth", 2);
+  std::vector<bool> fired = Drive("test.nth", 6);
+  EXPECT_EQ(fired, std::vector<bool>({false, false, true, false, false,
+                                      false}));
+  // The point disarmed itself after firing.
+  EXPECT_TRUE(fault::ArmedPoints().empty());
+}
+
+TEST_F(FaultModesTest, EveryNFiresPeriodicallyAndStaysArmed) {
+  fault::InjectEvery("test.every", 3);
+  std::vector<bool> fired = Drive("test.every", 9);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(fired[i], i % 3 == 2) << "hit " << i;
+  }
+  // Unlike the one-shot mode it keeps firing until cleared.
+  EXPECT_EQ(fault::ArmedPoints(), std::vector<std::string>{"test.every"});
+  fault::Clear("test.every");
+  EXPECT_EQ(CountFired(Drive("test.every", 3)), 0);
+
+  fault::InjectEvery("test.each", 1);
+  EXPECT_EQ(CountFired(Drive("test.each", 4)), 4);
+}
+
+TEST_F(FaultModesTest, ProbabilityEndpointsAreExact) {
+  fault::InjectProb("test.never", 0.0);
+  EXPECT_EQ(CountFired(Drive("test.never", 50)), 0);
+  fault::InjectProb("test.always", 1.0);
+  EXPECT_EQ(CountFired(Drive("test.always", 50)), 50);
+  // prob stays armed, like every:n.
+  EXPECT_FALSE(fault::ArmedPoints().empty());
+}
+
+TEST_F(FaultModesTest, ProbabilityIsDeterministicUnderASeed) {
+  fault::SetSeed(12345);
+  fault::InjectProb("test.prob", 0.5);
+  const std::vector<bool> first = Drive("test.prob", 64);
+
+  fault::SetSeed(12345);
+  fault::InjectProb("test.prob", 0.5);  // re-arm resets the hit counter
+  const std::vector<bool> second = Drive("test.prob", 64);
+
+  EXPECT_EQ(first, second) << "same seed must give the same fault pattern";
+  // ... and the pattern is an actual coin flip, not a constant.
+  EXPECT_GT(CountFired(first), 0);
+  EXPECT_LT(CountFired(first), 64);
+
+  // A different seed gives a different (still deterministic) pattern.
+  fault::SetSeed(99999);
+  fault::InjectProb("test.prob", 0.5);
+  EXPECT_NE(Drive("test.prob", 64), first);
+}
+
+TEST_F(FaultModesTest, KillTriggerExitsTheProcess) {
+  // The kill trigger must never fire in the parent (it would take the
+  // whole test run down), so exercise it in a fork.
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    fault::ClearAll();
+    if (!fault::ApplySpec("test.kill:kill:1").ok()) std::_Exit(3);
+    (void)fault::MaybeFail("test.kill");  // hit 0: survives
+    (void)fault::MaybeFail("test.kill");  // hit 1: _Exit(137)
+    std::_Exit(0);                        // not reached
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), fault::kKillExitCode);
+}
+
+TEST_F(FaultModesTest, ApplySpecGrammar) {
+  ASSERT_TRUE(
+      fault::ApplySpec("a.b:2, c.d:every:3, e.f:prob:0.25, seed:99").ok());
+  std::vector<std::string> armed = fault::ArmedPoints();
+  EXPECT_EQ(armed.size(), 3u);
+  EXPECT_NE(std::find(armed.begin(), armed.end(), "a.b"), armed.end());
+  EXPECT_NE(std::find(armed.begin(), armed.end(), "c.d"), armed.end());
+  EXPECT_NE(std::find(armed.begin(), armed.end(), "e.f"), armed.end());
+  ASSERT_TRUE(fault::ApplySpec("off").ok());
+  EXPECT_TRUE(fault::ArmedPoints().empty());
+
+  // kill:n parses and arms (fired only under a fork, tested above).
+  ASSERT_TRUE(fault::ApplySpec("g.h:kill:5").ok());
+  EXPECT_EQ(fault::ArmedPoints(), std::vector<std::string>{"g.h"});
+  fault::ClearAll();
+
+  // Malformed specs arm nothing.
+  for (const char* bad :
+       {"justaword", "p:q:r:s", "p:prob:1.5", "p:prob:x", "p:every:0",
+        "p:-1", "p:every:-2", ",,"}) {
+    EXPECT_FALSE(fault::ApplySpec(bad).ok()) << bad;
+    EXPECT_TRUE(fault::ArmedPoints().empty()) << bad;
+  }
+  // A spec with one bad entry is rejected atomically: the good entry
+  // before it must not be armed either.
+  EXPECT_FALSE(fault::ApplySpec("a.b:1,p:prob:nope").ok());
+  EXPECT_TRUE(fault::ArmedPoints().empty());
+}
+
+TEST_F(FaultModesTest, HitCountsSurviveClearAll) {
+  fault::InjectAt("test.other", 1000);  // keep the registry hot
+  const uint64_t before = fault::HitCount("test.counted");
+  (void)fault::MaybeFail("test.counted");
+  (void)fault::MaybeFail("test.counted");
+  EXPECT_EQ(fault::HitCount("test.counted"), before + 2);
+  fault::ClearAll();
+  EXPECT_EQ(fault::HitCount("test.counted"), before + 2);
+}
+
+TEST_F(FaultModesTest, EveryModeKeepsFailingARealOperation) {
+  // Integration: an every:1 arming on the snapshot's open step makes
+  // SaveSnapshotToFile fail repeatedly — unlike a one-shot arming,
+  // which statement_lifecycle_test shows succeeding on retry.
+  engine::Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+  const std::string path =
+      ::testing::TempDir() + "/tip_fault_modes_snapshot.bin";
+  std::remove(path.c_str());
+  ASSERT_TRUE(db.Execute("SET fault_inject 'snapshot.open:every:1'").ok());
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    Status s = engine::SaveSnapshotToFile(db, path);
+    ASSERT_FALSE(s.ok()) << "attempt " << attempt;
+    EXPECT_TRUE(fault::IsInjected(s));
+  }
+  ASSERT_TRUE(db.Execute("SET fault_inject 'off'").ok());
+  EXPECT_TRUE(engine::SaveSnapshotToFile(db, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultModesTest, InjectedStatusesAreDistinguishable) {
+  fault::InjectAt("test.mark", 0);
+  Status injected = fault::MaybeFail("test.mark");
+  ASSERT_FALSE(injected.ok());
+  EXPECT_TRUE(fault::IsInjected(injected));
+  EXPECT_FALSE(fault::IsInjected(Status::Internal("disk on fire")));
+  EXPECT_FALSE(fault::IsInjected(Status::OK()));
+}
+
+}  // namespace
+}  // namespace tip

@@ -29,7 +29,10 @@ class SnapshotFaultTest : public ::testing::Test {
                "(2, '{[1998-01-01, 1998-06-01]}')");
     Exec(&db_, "CREATE TABLE b (name CHAR(8), stay Period)");
     Exec(&db_, "INSERT INTO b VALUES ('ada', '[1999-03-01, NOW]')");
-    path_ = ::testing::TempDir() + "/tip_fault_snapshot.bin";
+    // Unique per test case: ctest runs the cases as parallel processes.
+    path_ = ::testing::TempDir() + "/tip_fault_snapshot_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
     std::remove(path_.c_str());
   }
 
@@ -160,6 +163,100 @@ TEST_F(SnapshotFaultTest, SalvageRecoversIntactSections) {
   EXPECT_EQ(tail_report.tables_recovered, 2u);
   EXPECT_EQ(tail_report.tables_skipped, 0u);
   EXPECT_FALSE(tail_report.detail.empty());
+}
+
+TEST_F(SnapshotFaultTest, DirsyncFaultFailsSaveButLeavesTheRenamedFile) {
+  // The directory fsync is the LAST step of the atomic save: when it
+  // fails the rename has already happened, so unlike every earlier
+  // step the bytes at the destination are the NEW snapshot. The save
+  // must still report the failure (the rename is not yet power-cut
+  // durable), but what is on disk must be complete and loadable.
+  ASSERT_TRUE(SaveSnapshotToFile(db_, path_).ok());
+  Exec(&db_, "INSERT INTO a VALUES (3, '{[1999-05-01, NOW]}')");
+  fault::InjectAt("snapshot.dirsync", 0);
+  Status s = SaveSnapshotToFile(db_, path_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(fault::IsInjected(s)) << s.ToString();
+  fault::ClearAll();
+  Database restored;
+  ASSERT_TRUE(datablade::Install(&restored).ok());
+  ASSERT_TRUE(LoadSnapshotFromFile(&restored, path_).ok());
+  EXPECT_EQ(Exec(&restored, "SELECT count(*) FROM a")
+                .rows[0][0].int_value(),
+            3);
+}
+
+TEST_F(SnapshotFaultTest, SalvageHandlesZeroLengthAndMidSectionDamage) {
+  Result<std::string> bytes = SaveSnapshot(db_);
+  ASSERT_TRUE(bytes.ok());
+  // v2 framing constants: 8-byte magic, 8-byte table count, 12-byte
+  // section header (u64 body length | u32 CRC), and a 36-byte trailer
+  // (u64 footer length | 28-byte footer).
+  const size_t kSectionStart = 8 + 8 + 12;
+  const size_t kTrailerBytes = 8 + 28;
+
+  {
+    // Zero-length file: no magic, so both strict and salvage refuse.
+    Database target;
+    SalvageReport report;
+    EXPECT_EQ(SalvageSnapshot(&target, "", &report).code(),
+              StatusCode::kCorruption);
+    EXPECT_EQ(LoadSnapshot(&target, "").code(), StatusCode::kCorruption);
+    EXPECT_TRUE(target.catalog().TableNames().empty());
+  }
+  {
+    // Truncation inside the FIRST section body: its length prefix now
+    // points past the end of the file, so no section boundary can be
+    // trusted — salvage keeps nothing, but fails soft.
+    Database target;
+    ASSERT_TRUE(datablade::Install(&target).ok());
+    SalvageReport report;
+    Status s = SalvageSnapshot(
+        &target, std::string_view(*bytes).substr(0, kSectionStart + 5),
+        &report);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(report.tables_recovered, 0u);
+    EXPECT_GE(report.tables_skipped, 1u);
+    EXPECT_FALSE(report.detail.empty());
+    EXPECT_TRUE(target.catalog().TableNames().empty());
+  }
+  {
+    // Truncation inside the SECOND section body: the first section is
+    // whole and comes back; the torn one is skipped.
+    Database target;
+    ASSERT_TRUE(datablade::Install(&target).ok());
+    SalvageReport report;
+    Status s = SalvageSnapshot(
+        &target,
+        std::string_view(*bytes)
+            .substr(0, bytes->size() - kTrailerBytes - 5),
+        &report);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(report.tables_recovered, 1u);
+    EXPECT_GE(report.tables_skipped, 1u);
+    EXPECT_EQ(target.catalog().TableNames().size(), 1u);
+  }
+  {
+    // Bit flip inside the SECOND section body (framing intact): the
+    // damaged section fails its CRC and is skipped; the first section
+    // and the footer survive.
+    std::string damaged = *bytes;
+    damaged[bytes->size() - kTrailerBytes - 5] ^= 0x10;
+    Database target;
+    ASSERT_TRUE(datablade::Install(&target).ok());
+    SalvageReport report;
+    ASSERT_TRUE(SalvageSnapshot(&target, damaged, &report).ok());
+    EXPECT_EQ(report.tables_recovered, 1u);
+    EXPECT_EQ(report.tables_skipped, 1u);
+    EXPECT_NE(report.detail.find("checksum"), std::string::npos)
+        << report.detail;
+    EXPECT_EQ(target.catalog().TableNames().size(), 1u);
+    // Strict load of the same bytes refuses outright.
+    Database strict;
+    ASSERT_TRUE(datablade::Install(&strict).ok());
+    EXPECT_EQ(LoadSnapshot(&strict, damaged).code(),
+              StatusCode::kCorruption);
+  }
 }
 
 TEST_F(SnapshotFaultTest, SalvageRejectsForeignBytes) {

@@ -64,7 +64,10 @@ int tip_set_memory_limit_kb(tip_connection* conn,
  * fail on a non-durable connection where noted).
  *
  * tip_set_wal_mode: "off", "async", "group" or "sync" (works on any
- * connection; takes effect once a durable directory is attached).
+ * connection; takes effect once a durable directory is attached). On a
+ * durable connection, switching into or out of "off" forces a
+ * checkpoint so the log is re-baselined across the unlogged gap; if
+ * that checkpoint fails the mode is unchanged and -1 is returned.
  * tip_checkpoint: snapshots the database and truncates the WAL.
  * tip_sync_wal: forces the group-commit tail to disk (no-op when not
  * durable). */

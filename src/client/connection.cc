@@ -61,8 +61,7 @@ void Connection::SetMemoryLimitKb(size_t kb) {
 }
 
 Status Connection::SetWalMode(engine::WalMode mode) {
-  db_->set_wal_mode(mode);
-  return Status::OK();
+  return db_->set_wal_mode(mode);
 }
 
 Status Connection::Checkpoint() { return db_->Checkpoint(); }

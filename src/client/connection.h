@@ -69,9 +69,11 @@ class Connection {
   void SetMemoryLimitKb(size_t kb);
 
   /// Durability controls (no-ops / errors unless opened via
-  /// OpenDurable). SetWalMode is `SET wal_mode`; Checkpoint snapshots
-  /// the database and truncates the WAL; SyncWal forces the
-  /// group-commit tail to disk.
+  /// OpenDurable). SetWalMode is `SET wal_mode` — on a durable
+  /// connection a transition into or out of `off` forces a checkpoint
+  /// to re-baseline the log, and fails without changing the mode if
+  /// the checkpoint fails; Checkpoint snapshots the database and
+  /// truncates the WAL; SyncWal forces the group-commit tail to disk.
   Status SetWalMode(engine::WalMode mode);
   Status Checkpoint();
   Status SyncWal();

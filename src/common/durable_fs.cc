@@ -52,13 +52,28 @@ Status EnsureDir(const std::string& dir) {
 Result<std::string> ReadFile(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    return Status::NotFound("cannot open '" + path + "'");
+    // Only a genuinely absent file is NotFound. Callers on the recovery
+    // path treat NotFound as "fresh state, create it" — mapping EACCES,
+    // EMFILE or EIO there would overwrite durable data we merely failed
+    // to open.
+    if (errno == ENOENT) {
+      return Status::NotFound("'" + path + "' does not exist");
+    }
+    return Status::Internal("cannot open '" + path +
+                            "': " + std::strerror(errno));
   }
   std::string bytes;
   char buf[1 << 16];
   size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  // A mid-read I/O error truncates the loop exactly like EOF does; only
+  // ferror tells them apart, and a caller handed the short prefix would
+  // mistake it for a torn file.
+  const bool failed = std::ferror(f) != 0;
   std::fclose(f);
+  if (failed) {
+    return Status::Internal("I/O error while reading '" + path + "'");
+  }
   return bytes;
 }
 

@@ -29,7 +29,10 @@ std::string ParentDir(std::string_view path);
 /// already exists and is a directory.
 Status EnsureDir(const std::string& dir);
 
-/// Reads a whole file. NotFound if it cannot be opened.
+/// Reads a whole file. NotFound only when the file does not exist
+/// (ENOENT); any other open failure or a mid-read I/O error is
+/// Internal, never a short result — recovery callers rely on the
+/// distinction to tell "fresh state" from "state we failed to read".
 Result<std::string> ReadFile(const std::string& path);
 
 /// Writes `bytes` crash-safely over `path`: <path>.tmp + fsync +

@@ -501,12 +501,7 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
       }
       if (stmt.option == "wal_mode") {
         TIP_ASSIGN_OR_RETURN(WalMode mode, ParseWalMode(word));
-        // Leaving a buffered mode must not abandon its pending tail:
-        // those statements were acknowledged under the old contract.
-        if (wal_ != nullptr && mode != wal_mode_) {
-          TIP_RETURN_IF_ERROR(wal_->Sync());
-        }
-        wal_mode_ = mode;
+        TIP_RETURN_IF_ERROR(set_wal_mode(mode));
         result.message = "SET WAL_MODE " + std::string(WalModeName(mode));
         return result;
       }
@@ -776,10 +771,35 @@ Status Database::AttachDurableDir(const std::string& dir,
   return Status::OK();
 }
 
+Status Database::set_wal_mode(WalMode mode) {
+  if (wal_ == nullptr || mode == wal_mode_) {
+    wal_mode_ = mode;
+    return Status::OK();
+  }
+  // Leaving a buffered mode must not abandon its pending tail: those
+  // statements were acknowledged under the old contract.
+  TIP_RETURN_IF_ERROR(wal_->Sync());
+  // Crossing the `off` boundary in either direction re-baselines the
+  // log with a checkpoint. Without it, records appended after an
+  // unlogged gap encode mutate ordinals against a state that includes
+  // the gap's writes — state the log never saw — and replay would
+  // resolve them to the wrong rows. The checkpoint snapshots the
+  // current state and rotates the log, so whatever is appended next
+  // replays against exactly the state it was logged under. If the
+  // checkpoint fails, refuse the transition: the old mode keeps its
+  // (still consistent) contract.
+  if (mode == WalMode::kOff || wal_mode_ == WalMode::kOff) {
+    TIP_RETURN_IF_ERROR(Checkpoint());
+  }
+  wal_mode_ = mode;
+  return Status::OK();
+}
+
 Status Database::Checkpoint() {
   if (wal_ == nullptr) {
     return Status::InvalidArgument("no durable directory attached");
   }
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
   TIP_RETURN_IF_ERROR(fault::MaybeFail("checkpoint.begin"));
   // `lsn` is the first LSN the snapshot does NOT cover. No writes can
   // interleave here (writers are serialized externally), so the

@@ -171,10 +171,20 @@ class Database {
   /// recovers from whichever checkpoint was last published. Fault
   /// points: "checkpoint.begin", "checkpoint.commit", plus the
   /// "snapshot.*", "checkpoint.meta.*" and "wal.rotate*" write steps.
+  /// Checkpoints serialize on an internal mutex, so concurrent callers
+  /// (tip_checkpoint() evaluated per-row or from parallel workers) run
+  /// one at a time instead of racing on the CHECKPOINT metadata and the
+  /// stale-snapshot sweep.
   Status Checkpoint();
 
   /// SET WAL_MODE off|async|group|sync (applies to the next statement).
-  void set_wal_mode(WalMode mode) { wal_mode_ = mode; }
+  /// On a durable database, leaving a buffered mode first syncs the
+  /// pending group-commit tail, and any transition into or out of `off`
+  /// forces a Checkpoint(): records appended after an unlogged gap
+  /// would encode ordinals against a state the log never saw, so the
+  /// log must be re-baselined at the boundary. If that checkpoint
+  /// fails, the transition is refused and the mode is unchanged.
+  Status set_wal_mode(WalMode mode);
   WalMode wal_mode() const { return wal_mode_; }
 
   /// SET WAL_GROUP_SIZE n: records per fsync in group mode.
@@ -242,6 +252,9 @@ class Database {
   std::set<std::string> sql_functions_;
 
   // -- Durability state ------------------------------------------------------
+  /// Serializes Checkpoint() against itself; everything else about
+  /// checkpointing still assumes writers are serialized externally.
+  mutable std::mutex checkpoint_mu_;
   std::string durable_dir_;
   std::unique_ptr<Wal> wal_;
   WalMode wal_mode_ = WalMode::kGroup;

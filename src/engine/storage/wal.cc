@@ -96,6 +96,13 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
   uint64_t next_lsn = start_lsn;
   uint64_t valid_end = kHeaderLen;
   if (!bytes.ok()) {
+    // Only a genuinely absent file means "no log yet". Any other
+    // failure (EACCES, EMFILE, a mid-read I/O error) must propagate:
+    // writing a fresh header here would overwrite a log we merely
+    // failed to read, silently discarding acknowledged records.
+    if (bytes.status().code() != StatusCode::kNotFound) {
+      return bytes.status();
+    }
     // No log yet: create one durably (file + parent directory entry).
     report->created = true;
     TIP_RETURN_IF_ERROR(
@@ -237,8 +244,16 @@ Status Wal::AppendLocked(WalRecordKind kind, std::string_view body,
     synced = SyncLocked();
   }
   if (!synced.ok()) {
-    rollback();
-    --pending_records_;
+    // broken_ means the fdatasync itself failed: the durable extent of
+    // the file is unknowable (earlier batch records may already be
+    // gone from the page cache), so truncating our frame back off
+    // would be theater. The poisoned log refuses everything anyway;
+    // reopening re-derives the true tail from disk. An injected fault
+    // fires *before* the real fsync, so there rollback is still exact.
+    if (!broken_) {
+      rollback();
+      --pending_records_;
+    }
     return synced;
   }
   *lsn = next_lsn_++;
@@ -262,6 +277,12 @@ Status Wal::SyncLocked() {
   // both of which it flushes; the timestamp metadata fsync would also
   // journal is not needed to replay the log.
   if (::fdatasync(fd_) != 0) {
+    // Fail-stop, the fsyncgate lesson: the kernel may have dropped the
+    // dirty pages and cleared the error, so a retry would "succeed"
+    // without the earlier records of this batch ever reaching disk.
+    // Poison the log; the operator must reopen and recover from what is
+    // actually durable.
+    broken_ = true;
     return Status::Internal("fsync of WAL '" + path_ +
                             "' failed: " + std::strerror(errno));
   }

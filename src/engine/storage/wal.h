@@ -116,7 +116,11 @@ class Wal {
                           WalMode mode);
 
   /// Fsyncs any records appended since the last fsync (the group-commit
-  /// tail). No-op when nothing is pending.
+  /// tail). No-op when nothing is pending. A *failed* fsync poisons the
+  /// log (fail-stop): after it the kernel may have dropped the dirty
+  /// pages and cleared the error, so retrying could report durability
+  /// that never happened — further appends are refused and the database
+  /// must be reopened to recover from what actually reached disk.
   Status Sync();
 
   /// Replaces the log with a fresh, empty one starting at `start_lsn`

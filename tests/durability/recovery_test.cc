@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "client/connection.h"
@@ -222,19 +224,77 @@ TEST_F(RecoveryTest, WalModeOffSkipsLoggingAndLosesThatWork) {
     std::unique_ptr<Database> db = OpenDb(dir);
     Exec(db.get(), "CREATE TABLE t (x INT)");
     Exec(db.get(), "INSERT INTO t VALUES (1)");
+    // The transition itself checkpoints (re-baselining the log), so
+    // everything up to here is durable; the off-period write is not.
     Exec(db.get(), "SET wal_mode 'off'");
     Exec(db.get(), "INSERT INTO t VALUES (2)");  // acknowledged, not logged
-    Exec(db.get(), "SET wal_mode 'group'");
-    Exec(db.get(), "INSERT INTO t VALUES (3)");
-    EXPECT_EQ(Count(db.get(), "t"), 3);
+    EXPECT_EQ(Count(db.get(), "t"), 2);
   }
-  // Row 2 was written under wal_mode off: by contract it does not
-  // survive a restart without a checkpoint.
+  // Dying while still in off mode loses the unlogged row: that is the
+  // contract `off` buys its speed with.
+  std::unique_ptr<Database> db = OpenDb(dir);
+  ResultSet rows = Exec(db.get(), "SELECT x FROM t ORDER BY x");
+  ASSERT_EQ(rows.rows.size(), 1u);
+  EXPECT_EQ(rows.rows[0][0].int_value(), 1);
+}
+
+TEST_F(RecoveryTest, WalModeOffTransitionsRebaselineTheLog) {
+  const std::string dir = FreshDir("off_rebaseline");
+  {
+    std::unique_ptr<Database> db = OpenDb(dir);
+    Exec(db.get(), "CREATE TABLE t (x INT)");
+    Exec(db.get(), "INSERT INTO t VALUES (1), (2), (3)");
+    // Unlogged gap that changes the live-ordinal mapping: without the
+    // checkpoint forced at each off boundary, the mutate record logged
+    // after the gap would replay against the pre-gap state and resolve
+    // its ordinal to the wrong row (x=1 instead of x=2).
+    Exec(db.get(), "SET wal_mode 'off'");
+    Exec(db.get(), "DELETE FROM t WHERE x = 1");
+    Exec(db.get(), "SET wal_mode 'group'");
+    Exec(db.get(), "UPDATE t SET x = 20 WHERE x = 2");
+    // Dirty shutdown: the update is recovered from the WAL alone.
+  }
   std::unique_ptr<Database> db = OpenDb(dir);
   ResultSet rows = Exec(db.get(), "SELECT x FROM t ORDER BY x");
   ASSERT_EQ(rows.rows.size(), 2u);
-  EXPECT_EQ(rows.rows[0][0].int_value(), 1);
-  EXPECT_EQ(rows.rows[1][0].int_value(), 3);
+  EXPECT_EQ(rows.rows[0][0].int_value(), 3);
+  EXPECT_EQ(rows.rows[1][0].int_value(), 20);
+  // The off-period delete survived too: the boundary checkpoint made
+  // it durable even though it was never logged.
+  EXPECT_EQ(Exec(db.get(), "SELECT count(*) FROM t WHERE x = 1")
+                .rows[0][0]
+                .int_value(),
+            0);
+}
+
+TEST_F(RecoveryTest, WalModeOffTransitionIsRefusedWhenCheckpointFails) {
+  const std::string dir = FreshDir("off_refused");
+  std::unique_ptr<Database> db = OpenDb(dir);
+  Exec(db.get(), "CREATE TABLE t (x INT)");
+  Exec(db.get(), "INSERT INTO t VALUES (1)");
+
+  // If the re-baselining checkpoint cannot be taken, the mode must not
+  // change — flipping anyway would either lose the gap's writes (into
+  // off) or corrupt replay (out of off).
+  fault::InjectAt("checkpoint.begin", 0);
+  EXPECT_FALSE(db->Execute("SET wal_mode 'off'").ok());
+  fault::ClearAll();
+  EXPECT_EQ(db->wal_mode(), WalMode::kGroup);
+
+  Exec(db.get(), "SET wal_mode 'off'");
+  EXPECT_EQ(db->wal_mode(), WalMode::kOff);
+  fault::InjectAt("checkpoint.begin", 0);
+  EXPECT_FALSE(db->Execute("SET wal_mode 'sync'").ok());
+  fault::ClearAll();
+  EXPECT_EQ(db->wal_mode(), WalMode::kOff);
+
+  // Transitions that stay on the logging side need no checkpoint and
+  // are unaffected by the armed point.
+  Exec(db.get(), "SET wal_mode 'group'");
+  fault::InjectAt("checkpoint.begin", 0);
+  Exec(db.get(), "SET wal_mode 'sync'");
+  fault::ClearAll();
+  EXPECT_EQ(db->wal_mode(), WalMode::kSync);
 }
 
 TEST_F(RecoveryTest, FunctionsTravelInCheckpointMetadata) {
@@ -371,6 +431,37 @@ TEST_F(RecoveryTest, WalAppendFaultFailsTheStatementAndAppliesNothing) {
   EXPECT_EQ(Count(recovered.get(), "t"), 0);
   EXPECT_EQ(Count(recovered.get(), "u"), 0);
   EXPECT_EQ(Exec(recovered.get(), "SELECT f(9)").rows[0][0].int_value(), 9);
+}
+
+TEST_F(RecoveryTest, ConcurrentCheckpointsSerializeAndStayRecoverable) {
+  const std::string dir = FreshDir("ckpt_race");
+  std::unique_ptr<Database> db = OpenDb(dir);
+  Exec(db.get(), "CREATE TABLE t (x INT)");
+  Exec(db.get(), "INSERT INTO t VALUES (1), (2), (3)");
+
+  // tip_checkpoint() is an ordinary routine, so it can fire per row —
+  // three checkpoints back to back must publish cleanly.
+  EXPECT_EQ(Exec(db.get(), "SELECT tip_checkpoint() FROM t").rows.size(),
+            3u);
+
+  // And from several threads at once: the internal mutex serializes
+  // them, so none may fail, none may unlink the snapshot another just
+  // published, and the directory must stay recoverable.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&db, &failures] {
+      for (int j = 0; j < 8; ++j) {
+        if (!db->Checkpoint().ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  db.reset();
+  std::unique_ptr<Database> recovered = OpenDb(dir);
+  EXPECT_EQ(Count(recovered.get(), "t"), 3);
 }
 
 TEST_F(RecoveryTest, StatsBuiltinsAndExplainSurfaceDurabilityCounters) {

@@ -8,12 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/durable_fs.h"
 #include "common/fault_injection.h"
 
 namespace tip::engine {
@@ -307,6 +311,36 @@ TEST_F(WalTest, AppendFaultRollsTheFrameBackOffTheFile) {
   ASSERT_EQ(records.size(), 2u);
   EXPECT_EQ(records[0].body, "good");
   EXPECT_EQ(records[1].body, "good2");
+}
+
+TEST_F(WalTest, ReadFileDistinguishesAbsentFromUnreadable) {
+  // Absent file: NotFound, the one case recovery may treat as "fresh
+  // state".
+  EXPECT_EQ(fs::ReadFile(path_).status().code(), StatusCode::kNotFound);
+  // Openable but unreadable (a directory reads as EISDIR): anything
+  // but NotFound — mapping this to NotFound is what let recovery
+  // overwrite state it merely failed to read.
+  ASSERT_EQ(::mkdir(path_.c_str(), 0755), 0);
+  Result<std::string> bytes = fs::ReadFile(path_);
+  EXPECT_FALSE(bytes.ok());
+  EXPECT_NE(bytes.status().code(), StatusCode::kNotFound);
+  ::rmdir(path_.c_str());
+}
+
+TEST_F(WalTest, OpenPropagatesUnreadableLogInsteadOfCreating) {
+  // When the log exists but cannot be read, Open must fail — never
+  // "create" a fresh empty header over it, which would silently
+  // discard every acknowledged record.
+  ASSERT_EQ(::mkdir(path_.c_str(), 0755), 0);
+  WalOpenReport report;
+  Result<std::unique_ptr<Wal>> wal = Wal::Open(path_, 1, nullptr, &report);
+  EXPECT_FALSE(wal.ok());
+  EXPECT_NE(wal.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(report.created);
+  struct stat st;
+  ASSERT_EQ(::stat(path_.c_str(), &st), 0);
+  EXPECT_TRUE(S_ISDIR(st.st_mode));  // untouched
+  ::rmdir(path_.c_str());
 }
 
 TEST_F(WalTest, ParseWalModeRoundTrip) {

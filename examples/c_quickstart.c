@@ -61,6 +61,21 @@ int main(void) {
   /* Errors surface through tip_last_error: */
   run(conn, "SELECT '1999-01-01'::Chronon + '1999-01-02'::Chronon");
 
+  /* Multi-statement transactions: both statements share one NOW, and
+   * tip_rollback undoes them both (tables, indexes and the WAL). */
+  if (tip_begin(conn) != 0) {
+    printf("error: %s\n", tip_last_error(conn));
+  } else {
+    run(conn, "INSERT INTO Prescription VALUES "
+              "('Mr.Showbiz', 'Insulin', '{[NOW, 9999-12-31]}')");
+    run(conn, "UPDATE Prescription SET drug = 'Insulin-R' "
+              "WHERE drug = 'Insulin'");
+    if (tip_rollback(conn) != 0) {
+      printf("error: %s\n", tip_last_error(conn));
+    }
+  }
+  run(conn, "SELECT count(*) AS after_rollback FROM Prescription");
+
   tip_close(conn);
   return 0;
 }

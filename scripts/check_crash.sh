@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Builds the crash-torture harness under AddressSanitizer and runs the
-# durability label: the fork/kill/recover iterations of the torture
-# test plus the WAL and recovery suites. Any sanitizer report fails
+# durability and transactions labels: the fork/kill/recover iterations
+# of the torture test (auto-commit and transactional traces) plus the
+# WAL, recovery and transaction suites. Any sanitizer report fails
 # the run (halt_on_error), so a green exit means recovery after a kill
 # at every armed I/O point is ASan-clean.
 #
@@ -21,7 +22,8 @@ cmake -S "$repo" -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTIP_SANITIZE=address >/dev/null
 cmake --build "$dir" -j "$jobs" >/dev/null
 
-echo "== crash torture: ctest -L durability under ASan =="
+echo "== crash torture: ctest -L 'durability|transactions' under ASan =="
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
-  ctest --test-dir "$dir" -L durability -j "$jobs" --output-on-failure
+  ctest --test-dir "$dir" -L 'durability|transactions' -j "$jobs" \
+  --output-on-failure
 echo "crash torture clean under ASan"

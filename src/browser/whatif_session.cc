@@ -46,11 +46,28 @@ void WhatIfSession::Begin(std::optional<Chronon> now) {
   ++started_;
   in_flight_ = true;
   worker_ = std::thread([this] {
-    Result<client::ResultSet> result = conn_->Execute(sql_);
-    Result<TimelineView> view =
-        result.ok() ? TimelineView::Create(*result, temporal_column_,
-                                           conn_->database().CurrentTx())
-                    : result.status();
+    // Each what-if evaluation runs as one transaction: the NOW set
+    // above is pinned at Begin, so the query and the TimelineView it
+    // feeds see the same grounding even if another controller flips
+    // the session override mid-evaluation.
+    Result<TimelineView> view = [&]() -> Result<TimelineView> {
+      TIP_RETURN_IF_ERROR(conn_->Begin());
+      Result<client::ResultSet> result = conn_->Execute(sql_);
+      if (!result.ok()) {
+        // Fatal failures (a cancel from CancelInFlight, a timeout)
+        // already aborted the transaction; close it ourselves only if
+        // a plain validation error left it open.
+        if (conn_->in_transaction()) (void)conn_->Rollback();
+        return result.status();
+      }
+      // Read the pinned context before COMMIT releases it.
+      const TxContext tx = conn_->database().CurrentTx();
+      Result<TimelineView> created =
+          TimelineView::Create(*result, temporal_column_, tx);
+      Status committed = conn_->Commit();
+      if (created.ok() && !committed.ok()) return committed;
+      return created;
+    }();
     std::lock_guard<std::mutex> lock(mu_);
     latest_.emplace(std::move(view));
     in_flight_ = false;

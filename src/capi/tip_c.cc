@@ -138,6 +138,44 @@ int tip_sync_wal(tip_connection* conn) {
   return 0;
 }
 
+int tip_begin(tip_connection* conn) {
+  if (conn == nullptr) return -1;
+  tip::Status status = conn->impl->Begin();
+  if (!status.ok()) {
+    conn->last_error = status.ToString();
+    return -1;
+  }
+  conn->last_error.clear();
+  return 0;
+}
+
+int tip_commit(tip_connection* conn) {
+  if (conn == nullptr) return -1;
+  tip::Status status = conn->impl->Commit();
+  if (!status.ok()) {
+    conn->last_error = status.ToString();
+    return -1;
+  }
+  conn->last_error.clear();
+  return 0;
+}
+
+int tip_rollback(tip_connection* conn) {
+  if (conn == nullptr) return -1;
+  tip::Status status = conn->impl->Rollback();
+  if (!status.ok()) {
+    conn->last_error = status.ToString();
+    return -1;
+  }
+  conn->last_error.clear();
+  return 0;
+}
+
+int tip_in_transaction(const tip_connection* conn) {
+  if (conn == nullptr) return -1;
+  return conn->impl->in_transaction() ? 1 : 0;
+}
+
 int tip_exec(tip_connection* conn, const char* sql, tip_result** out) {
   if (out != nullptr) *out = nullptr;
   if (conn == nullptr || sql == nullptr) return -1;

@@ -75,6 +75,19 @@ int tip_set_wal_mode(tip_connection* conn, const char* mode);
 int tip_checkpoint(tip_connection* conn);
 int tip_sync_wal(tip_connection* conn);
 
+/* Transaction control, equivalent to executing BEGIN / COMMIT /
+ * ROLLBACK. Statements between tip_begin and tip_commit evaluate under
+ * one pinned NOW and are atomic: tip_rollback — or a fatal statement
+ * error, or a crash before tip_commit reaches disk — restores the
+ * pre-begin state exactly. Auto-commit remains the default. DDL,
+ * tip_set_wal_mode and tip_checkpoint are refused while a transaction
+ * is open. tip_in_transaction returns 1 between begin and
+ * commit/rollback, else 0 (-1 on a null connection). */
+int tip_begin(tip_connection* conn);
+int tip_commit(tip_connection* conn);
+int tip_rollback(tip_connection* conn);
+int tip_in_transaction(const tip_connection* conn);
+
 /* Executes one SQL statement. On success, `*out` (if out != NULL)
  * receives a result handle the caller frees with tip_result_free;
  * pass NULL to discard the result. */

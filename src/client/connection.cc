@@ -42,6 +42,14 @@ Statement Connection::Prepare(std::string_view sql) {
   return Statement(this, std::string(sql));
 }
 
+Status Connection::Begin() { return db_->BeginTransaction(); }
+
+Status Connection::Commit() { return db_->CommitTransaction(); }
+
+Status Connection::Rollback() { return db_->RollbackTransaction(); }
+
+bool Connection::in_transaction() const { return db_->InTransaction(); }
+
 void Connection::SetNow(Chronon now) { db_->SetNowOverride(now); }
 
 void Connection::ClearNow() { db_->SetNowOverride(std::nullopt); }

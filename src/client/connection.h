@@ -48,6 +48,16 @@ class Connection {
   /// Prepares a statement for (repeated) parameterized execution.
   Statement Prepare(std::string_view sql);
 
+  /// Transaction control, the client face of BEGIN/COMMIT/ROLLBACK.
+  /// Statements between Begin and Commit share one pinned NOW and are
+  /// atomic: Rollback (or a fatal statement error, or a crash before
+  /// Commit) restores the pre-Begin state exactly. Auto-commit remains
+  /// the default — statements outside a transaction behave as before.
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+  bool in_transaction() const;
+
   /// Overrides the interpretation of NOW for subsequent statements on
   /// this connection; what-if analysis per the TIP Browser.
   void SetNow(Chronon now);

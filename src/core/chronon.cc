@@ -75,6 +75,15 @@ Result<int32_t> ParseNumber(std::string_view s, size_t* pos, int max_digits) {
                               std::to_string(start) + " in '" +
                               std::string(s) + "'");
   }
+  // A longer digit run must be rejected, not split: stopping at
+  // max_digits would silently read '20251' as year 2025 and leave the
+  // '1' to fail (or worse, parse) as the next field.
+  if (*pos < s.size() && s[*pos] >= '0' && s[*pos] <= '9') {
+    return Status::ParseError("too many digits at offset " +
+                              std::to_string(start) + " in '" +
+                              std::string(s) + "' (at most " +
+                              std::to_string(max_digits) + " expected)");
+  }
   return value;
 }
 

@@ -570,10 +570,15 @@ Status RegisterWalStats(Database* db) {
         return Datum::String(
             "mode=" + std::string(WalModeName(db->wal_mode())) + " " +
             stats.wal.ToString() +
+            " next_lsn=" + std::to_string(stats.wal_next_lsn) +
             " checkpoints=" + std::to_string(stats.checkpoints) +
             " recoveries=" + std::to_string(stats.recoveries_run) +
             " replayed=" + std::to_string(stats.records_replayed) +
-            " torn_tails=" + std::to_string(stats.torn_tail_truncations));
+            " torn_tails=" + std::to_string(stats.torn_tail_truncations) +
+            " txns_committed=" + std::to_string(stats.txns_committed) +
+            " txns_rolled_back=" + std::to_string(stats.txns_rolled_back) +
+            " txn_records_discarded=" +
+            std::to_string(stats.txn_records_discarded));
       })));
 
   TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
@@ -600,6 +605,14 @@ Status RegisterWalStats(Database* db) {
           value = stats.records_replayed;
         } else if (counter == "torn_tail_truncations") {
           value = stats.torn_tail_truncations;
+        } else if (counter == "next_lsn") {
+          value = stats.wal_next_lsn;
+        } else if (counter == "txns_committed") {
+          value = stats.txns_committed;
+        } else if (counter == "txns_rolled_back") {
+          value = stats.txns_rolled_back;
+        } else if (counter == "txn_records_discarded") {
+          value = stats.txn_records_discarded;
         } else {
           return Status::InvalidArgument("unknown wal counter '" + counter +
                                          "'");

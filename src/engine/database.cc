@@ -89,6 +89,10 @@ Status Database::RegisterIntervalKeyFn(TypeId type, IntervalKeyFn fn) {
 
 TxContext Database::CurrentTx() const {
   std::lock_guard<std::mutex> lock(session_mu_);
+  // The paper grounds NOW against the *transaction* time: while a
+  // transaction is open its pinned context is authoritative, and a NOW
+  // override flipped meanwhile waits for the transaction to close.
+  if (txn_pin_.has_value()) return *txn_pin_;
   if (now_override_.has_value()) return TxContext(*now_override_);
   return TxContext::FromSystemClock();
 }
@@ -146,9 +150,52 @@ Result<ResultSet> Database::ExecuteScript(std::string_view script) {
   return last;
 }
 
+bool Database::IsTxnFatal(StatusCode code) {
+  switch (code) {
+    // The guard contract: cancel/timeout/memory inside a transaction
+    // aborts it — the client asked for the statement to stop, and the
+    // transaction's remaining statements would run against a NOW and a
+    // state the client no longer believes in.
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    // I/O failures (a poisoned or unwritable WAL): how much of the
+    // statement became durable is unknowable, so the bracket must go.
+    case StatusCode::kInternal:
+    case StatusCode::kCorruption:
+      return true;
+    default:
+      // Validation errors (parse, unknown table, type mismatch...):
+      // statement-level atomicity already left the tables untouched,
+      // so the transaction can continue — the SQL error contract.
+      return false;
+  }
+}
+
 Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
                                           const Params* params,
                                           std::string_view sql) {
+  Result<ResultSet> result = ExecuteStatement(stmt, params, sql);
+  // Only the transaction's own thread may trip the auto-abort: a
+  // concurrent read-only statement on another thread (a stats poll that
+  // got cancelled, say) must not tear down a transaction it is not part
+  // of — and must not touch txn_ at all, which belongs to the owner.
+  if (!result.ok() && IsTxnFatal(result.status().code()) &&
+      txn_owner_.load(std::memory_order_acquire) ==
+          std::this_thread::get_id() &&
+      txn_ != nullptr) {
+    // Roll the whole transaction back; the statement's own error stays
+    // the one reported (the rollback is a consequence, and its only
+    // failure mode — a WAL rewind error — poisons the log, which later
+    // statements will surface).
+    (void)RollbackTransaction();
+  }
+  return result;
+}
+
+Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
+                                             const Params* params,
+                                             std::string_view sql) {
   PlannerContext pctx;
   pctx.types = &types_;
   pctx.routines = &routines_;
@@ -240,19 +287,35 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
       // Durability counters, present only once a WAL is attached so
       // plans from non-durable sessions are unchanged.
       if (wal_ != nullptr) {
+        const auto& d = durability_;
         result.rows.push_back(Row{Datum::String(
             "WalStats(mode=" + std::string(WalModeName(wal_mode_)) + " " +
-            wal_->stats().ToString() +
-            " checkpoints=" + std::to_string(durability_.checkpoints) +
-            " recoveries=" + std::to_string(durability_.recoveries_run) +
-            " replayed=" + std::to_string(durability_.records_replayed) +
+            wal_->stats().ToString() + " next_lsn=" +
+            std::to_string(wal_->next_lsn()) + " checkpoints=" +
+            std::to_string(d.checkpoints.load(std::memory_order_relaxed)) +
+            " recoveries=" +
+            std::to_string(d.recoveries_run.load(std::memory_order_relaxed)) +
+            " replayed=" +
+            std::to_string(
+                d.records_replayed.load(std::memory_order_relaxed)) +
             " torn_tails=" +
-            std::to_string(durability_.torn_tail_truncations) + ")")});
+            std::to_string(
+                d.torn_tail_truncations.load(std::memory_order_relaxed)) +
+            " txns_committed=" +
+            std::to_string(d.txns_committed.load(std::memory_order_relaxed)) +
+            " txns_rolled_back=" +
+            std::to_string(
+                d.txns_rolled_back.load(std::memory_order_relaxed)) +
+            " txn_records_discarded=" +
+            std::to_string(
+                d.txn_records_discarded.load(std::memory_order_relaxed)) +
+            ")")});
       }
       return result;
     }
 
     case Statement::Kind::kCreateTable: {
+      TIP_RETURN_IF_ERROR(RefuseInTransaction("CREATE TABLE"));
       std::vector<Column> columns;
       for (const ColumnDef& def : stmt.columns) {
         TIP_ASSIGN_OR_RETURN(TypeId type,
@@ -271,6 +334,7 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
     }
 
     case Statement::Kind::kDropTable: {
+      TIP_RETURN_IF_ERROR(RefuseInTransaction("DROP TABLE"));
       // Validate before logging: the drop itself cannot fail once the
       // table is known to exist, so log-then-apply is safe (there is no
       // undo for a drop).
@@ -333,10 +397,12 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
       // before the heap changes; past this point the statement cannot
       // fail, so the log never holds a record for a failed statement.
       if (ShouldLogWal() && !staged.empty()) {
+        TIP_RETURN_IF_ERROR(EnsureTxnWalBracket());
         TIP_RETURN_IF_ERROR(
             AppendWal(WalRecordKind::kInsert,
                       EncodeInsertBody(table->name(), staged, types_)));
       }
+      CaptureTxnUndo(table);
       for (Row& row : staged) table->heap().Insert(std::move(row));
       ResultSet result;
       result.affected_rows = static_cast<int64_t>(staged.size());
@@ -416,6 +482,7 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
       }
       // Write-ahead, between the last failure point and the apply.
       if (ShouldLogWal() && !(deletions.empty() && changes.empty())) {
+        TIP_RETURN_IF_ERROR(EnsureTxnWalBracket());
         std::vector<std::pair<uint64_t, const Row*>> updates;
         updates.reserve(changes.size());
         for (size_t i = 0; i < changes.size(); ++i) {
@@ -426,6 +493,7 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
             EncodeMutateBody(table->name(), delete_ordinals, updates,
                              types_)));
       }
+      CaptureTxnUndo(table);
       // Phase 2: apply.
       for (RowId victim : deletions) {
         TIP_RETURN_IF_ERROR(table->heap().Delete(victim));
@@ -445,6 +513,10 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
       TIP_ASSIGN_OR_RETURN(std::string word, SetValueWord(*stmt.value));
       ResultSet result;
       if (stmt.option == "now") {
+        // The pinned TxContext is authoritative mid-transaction:
+        // re-grounding NOW here would silently make the transaction's
+        // remaining statements disagree with its earlier ones.
+        TIP_RETURN_IF_ERROR(RefuseInTransaction("SET NOW"));
         if (word == "default" || word == "system") {
           SetNowOverride(std::nullopt);
           result.message = "SET NOW DEFAULT";
@@ -500,6 +572,10 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
         return result;
       }
       if (stmt.option == "wal_mode") {
+        // The commit record carries the mode the transaction's
+        // statements were acknowledged under; switching mid-bracket
+        // (especially across `off`, which checkpoints) would tear it.
+        TIP_RETURN_IF_ERROR(RefuseInTransaction("SET WAL_MODE"));
         TIP_ASSIGN_OR_RETURN(WalMode mode, ParseWalMode(word));
         TIP_RETURN_IF_ERROR(set_wal_mode(mode));
         result.message = "SET WAL_MODE " + std::string(WalModeName(mode));
@@ -528,6 +604,7 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
     }
 
     case Statement::Kind::kCreateIndex: {
+      TIP_RETURN_IF_ERROR(RefuseInTransaction("CREATE INDEX"));
       TIP_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
       if (!EqualsIgnoreCase(stmt.index_method, "interval")) {
         return Status::NotImplemented("unknown index method '" +
@@ -558,6 +635,7 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
     }
 
     case Statement::Kind::kCreateFunction: {
+      TIP_RETURN_IF_ERROR(RefuseInTransaction("CREATE FUNCTION"));
       const std::string name = ToLowerAscii(stmt.function_name);
       std::vector<Column> params;
       std::vector<TypeId> param_types;
@@ -629,6 +707,7 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
     }
 
     case Statement::Kind::kDropFunction: {
+      TIP_RETURN_IF_ERROR(RefuseInTransaction("DROP FUNCTION"));
       const std::string name = ToLowerAscii(stmt.function_name);
       if (sql_functions_.count(name) == 0) {
         return Status::NotFound(
@@ -648,6 +727,7 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
     }
 
     case Statement::Kind::kDropIndex: {
+      TIP_RETURN_IF_ERROR(RefuseInTransaction("DROP INDEX"));
       TIP_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
       bool exists = false;
       for (const IntervalIndexDef& def : table->interval_indexes()) {
@@ -669,12 +749,134 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
       result.message = "DROP INDEX";
       return result;
     }
+
+    case Statement::Kind::kBegin: {
+      TIP_RETURN_IF_ERROR(BeginTransaction());
+      ResultSet result;
+      result.message = "BEGIN";
+      return result;
+    }
+
+    case Statement::Kind::kCommit: {
+      TIP_RETURN_IF_ERROR(CommitTransaction());
+      ResultSet result;
+      result.message = "COMMIT";
+      return result;
+    }
+
+    case Statement::Kind::kRollback: {
+      TIP_RETURN_IF_ERROR(RollbackTransaction());
+      ResultSet result;
+      result.message = "ROLLBACK";
+      return result;
+    }
   }
   return Status::Internal("unhandled statement kind");
 }
 
 Status Database::AppendWal(WalRecordKind kind, std::string_view body) {
-  return wal_->Append(kind, body, wal_mode_).status();
+  // Inside a transaction durability is deferred to the commit point:
+  // records ride in async mode and the TXN_COMMIT append carries the
+  // session's wal_mode, so a sync-mode transaction costs one fsync per
+  // transaction, not one per statement.
+  const WalMode mode =
+      txn_ != nullptr ? WalMode::kAsync : wal_mode_.load();
+  return wal_->Append(kind, body, mode).status();
+}
+
+Status Database::RefuseInTransaction(std::string_view what) const {
+  if (txn_ == nullptr) return Status::OK();
+  return Status::InvalidArgument(std::string(what) +
+                                 " is not allowed inside a transaction; "
+                                 "COMMIT or ROLLBACK first");
+}
+
+Status Database::EnsureTxnWalBracket() {
+  if (txn_ == nullptr || txn_->bracketed) return Status::OK();
+  // Mark first: if the bracket append itself fails it rolls its own
+  // frame back, and with `bracketed` still false nothing will try to
+  // rewind to the mark.
+  txn_->mark = wal_->Mark();
+  TIP_RETURN_IF_ERROR(
+      wal_->Append(WalRecordKind::kTxnBegin, "", WalMode::kAsync).status());
+  txn_->bracketed = true;
+  return Status::OK();
+}
+
+void Database::CaptureTxnUndo(Table* table) {
+  if (txn_ == nullptr) return;
+  if (txn_->undo.find(table->name()) != txn_->undo.end()) return;
+  txn_->undo.emplace(table->name(), table->heap().SnapshotLiveRows());
+}
+
+Status Database::BeginTransaction() {
+  if (txn_ != nullptr) {
+    return Status::InvalidArgument("a transaction is already open");
+  }
+  auto txn = std::make_unique<TxnState>();
+  txn->tx = CurrentTx();  // pin NOW for the whole transaction
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    txn_pin_ = txn->tx;
+  }
+  txn_ = std::move(txn);
+  txn_owner_.store(std::this_thread::get_id(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status Database::CommitTransaction() {
+  if (txn_ == nullptr) {
+    return Status::InvalidArgument("no transaction is open");
+  }
+  if (txn_->bracketed) {
+    // The commit record is appended under the session's wal_mode: this
+    // is the point where the whole transaction reaches disk (sync) or
+    // joins the group-commit batch. A commit that cannot be logged is
+    // a rollback — the bracket must never be left dangling.
+    Status logged =
+        wal_->Append(WalRecordKind::kTxnCommit, "", wal_mode_).status();
+    if (!logged.ok()) {
+      (void)RollbackTransaction();
+      return logged;
+    }
+  }
+  txn_.reset();
+  txn_owner_.store(std::thread::id(), std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    txn_pin_.reset();
+  }
+  durability_.txns_committed.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Database::RollbackTransaction() {
+  if (txn_ == nullptr) {
+    return Status::InvalidArgument("no transaction is open");
+  }
+  // Memory first: restore every touched table's undo image. The heap
+  // version counter advances, so interval indexes over these tables
+  // lazily rebuild to the restored (pre-BEGIN) contents.
+  for (auto& [name, rows] : txn_->undo) {
+    Result<Table*> table = catalog_.GetTable(name);
+    // DDL is refused inside transactions, so the table must still
+    // exist; a miss here would be an engine bug, not a user error.
+    if (table.ok()) (*table)->heap().ResetTo(std::move(rows));
+  }
+  // Then the log: rewind to the pre-bracket mark, un-assigning the
+  // transaction's LSNs — tip_wal_stats() reads exactly as it did
+  // before BEGIN. On failure the log is poisoned (fail-stop); the
+  // in-memory rollback above already succeeded either way.
+  Status rewound = Status::OK();
+  if (txn_->bracketed) rewound = wal_->ResetToMark(txn_->mark);
+  txn_.reset();
+  txn_owner_.store(std::thread::id(), std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    txn_pin_.reset();
+  }
+  durability_.txns_rolled_back.fetch_add(1, std::memory_order_relaxed);
+  return rewound;
 }
 
 Status Database::LogAppliedDdl(std::string_view sql,
@@ -693,6 +895,7 @@ Status Database::AttachDurableDir(const std::string& dir,
   if (wal_ != nullptr) {
     return Status::InvalidArgument("a durable directory is already attached");
   }
+  TIP_RETURN_IF_ERROR(RefuseInTransaction("ATTACH"));
   if (!catalog_.TableNames().empty()) {
     return Status::InvalidArgument(
         "attach the durable directory to a fresh database (install "
@@ -735,17 +938,71 @@ Status Database::AttachDurableDir(const std::string& dir,
   report->created = wal_report.created && !meta.has_value();
   report->torn_tail = wal_report.torn_tail;
   report->torn_bytes_truncated = wal_report.torn_bytes_truncated;
+  // Transaction-aware replay: records between TXN_BEGIN and TXN_COMMIT
+  // are buffered and applied only once the commit bracket is seen. An
+  // abort bracket — or end of log with the bracket still open (the
+  // crash-before-commit case) — discards the buffer, so recovery never
+  // surfaces a partial transaction.
+  std::vector<const WalRecord*> txn_buffer;
+  bool in_txn = false;
   for (const WalRecord& record : records) {
     // Records the checkpoint snapshot already covers: a crash between
     // publishing the checkpoint and rotating the log leaves them behind
     // legitimately; they must be skipped, never double-applied.
     if (record.lsn < checkpoint_lsn) continue;
+    if (record.kind == WalRecordKind::kTxnBegin) {
+      if (in_txn) {
+        return Status::Corruption("WAL record " + std::to_string(record.lsn) +
+                                  ": TXN_BEGIN inside an open transaction");
+      }
+      in_txn = true;
+      continue;
+    }
+    if (record.kind == WalRecordKind::kTxnCommit) {
+      if (!in_txn) {
+        return Status::Corruption("WAL record " + std::to_string(record.lsn) +
+                                  ": TXN_COMMIT without TXN_BEGIN");
+      }
+      for (const WalRecord* buffered : txn_buffer) {
+        Status applied = ApplyWalRecord(this, *buffered);
+        if (!applied.ok()) {
+          return Status::Corruption(
+              "WAL record " + std::to_string(buffered->lsn) +
+              " failed to replay: " + applied.ToString());
+        }
+        ++report->wal_records_replayed;
+      }
+      txn_buffer.clear();
+      in_txn = false;
+      ++report->txns_replayed;
+      continue;
+    }
+    if (record.kind == WalRecordKind::kTxnAbort) {
+      if (!in_txn) {
+        return Status::Corruption("WAL record " + std::to_string(record.lsn) +
+                                  ": TXN_ABORT without TXN_BEGIN");
+      }
+      report->txn_records_discarded += txn_buffer.size();
+      txn_buffer.clear();
+      in_txn = false;
+      continue;
+    }
+    if (in_txn) {
+      txn_buffer.push_back(&record);
+      continue;
+    }
     Status applied = ApplyWalRecord(this, record);
     if (!applied.ok()) {
       return Status::Corruption("WAL record " + std::to_string(record.lsn) +
                                 " failed to replay: " + applied.ToString());
     }
     ++report->wal_records_replayed;
+  }
+  if (in_txn) {
+    // Uncommitted tail: the writer crashed mid-transaction. Atomicity
+    // says these records never happened.
+    report->txn_records_discarded += txn_buffer.size();
+    txn_buffer.clear();
   }
 
   // Warm every interval index once, after the last replayed write, so
@@ -764,9 +1021,14 @@ Status Database::AttachDurableDir(const std::string& dir,
   durable_dir_ = dir;
   wal_ = std::move(wal);
   wal_->set_group_records(wal_group_size_);
-  durability_.recoveries_run += 1;
-  durability_.records_replayed += report->wal_records_replayed;
-  if (report->torn_tail) durability_.torn_tail_truncations += 1;
+  durability_.recoveries_run.fetch_add(1, std::memory_order_relaxed);
+  durability_.records_replayed.fetch_add(report->wal_records_replayed,
+                                         std::memory_order_relaxed);
+  if (report->torn_tail) {
+    durability_.torn_tail_truncations.fetch_add(1, std::memory_order_relaxed);
+  }
+  durability_.txn_records_discarded.fetch_add(report->txn_records_discarded,
+                                              std::memory_order_relaxed);
   RemoveStaleSnapshots(dir, meta.has_value() ? meta->snapshot_file : "");
   return Status::OK();
 }
@@ -799,6 +1061,18 @@ Status Database::Checkpoint() {
   if (wal_ == nullptr) {
     return Status::InvalidArgument("no durable directory attached");
   }
+  {
+    // Probe via the pin, not txn_: tip_checkpoint() may run from a
+    // worker thread and the pin is the one piece of transaction state
+    // published under a lock. A checkpoint taken mid-transaction would
+    // snapshot uncommitted rows and rotate away the open bracket.
+    std::lock_guard<std::mutex> session_lock(session_mu_);
+    if (txn_pin_.has_value()) {
+      return Status::InvalidArgument(
+          "CHECKPOINT is not allowed inside a transaction; "
+          "COMMIT or ROLLBACK first");
+    }
+  }
   std::lock_guard<std::mutex> lock(checkpoint_mu_);
   TIP_RETURN_IF_ERROR(fault::MaybeFail("checkpoint.begin"));
   // `lsn` is the first LSN the snapshot does NOT cover. No writes can
@@ -816,7 +1090,7 @@ Status Database::Checkpoint() {
   }
   TIP_RETURN_IF_ERROR(fault::MaybeFail("checkpoint.commit"));
   TIP_RETURN_IF_ERROR(WriteCheckpointMeta(durable_dir_, meta));
-  durability_.checkpoints += 1;
+  durability_.checkpoints.fetch_add(1, std::memory_order_relaxed);
 
   // Published. A failure past this point costs only disk space: the old
   // log's records sit below `lsn` and recovery skips them.
@@ -836,8 +1110,24 @@ void Database::set_wal_group_size(uint64_t n) {
 }
 
 DurabilityStats Database::durability_stats() const {
-  DurabilityStats stats = durability_;
-  if (wal_ != nullptr) stats.wal = wal_->stats();
+  DurabilityStats stats;
+  stats.checkpoints = durability_.checkpoints.load(std::memory_order_relaxed);
+  stats.recoveries_run =
+      durability_.recoveries_run.load(std::memory_order_relaxed);
+  stats.records_replayed =
+      durability_.records_replayed.load(std::memory_order_relaxed);
+  stats.torn_tail_truncations =
+      durability_.torn_tail_truncations.load(std::memory_order_relaxed);
+  stats.txns_committed =
+      durability_.txns_committed.load(std::memory_order_relaxed);
+  stats.txns_rolled_back =
+      durability_.txns_rolled_back.load(std::memory_order_relaxed);
+  stats.txn_records_discarded =
+      durability_.txn_records_discarded.load(std::memory_order_relaxed);
+  if (wal_ != nullptr) {
+    stats.wal = wal_->stats();
+    stats.wal_next_lsn = wal_->next_lsn();
+  }
   return stats;
 }
 

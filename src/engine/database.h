@@ -1,6 +1,7 @@
 #ifndef TIP_ENGINE_DATABASE_H_
 #define TIP_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -11,6 +12,8 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "common/exec_guard.h"
 #include "common/status.h"
@@ -35,16 +38,24 @@ struct RecoveryReport {
   uint64_t wal_records_replayed = 0;
   bool torn_tail = false;        // the WAL ended mid-append and was truncated
   uint64_t torn_bytes_truncated = 0;
+  uint64_t txns_replayed = 0;    // committed transaction brackets applied
+  /// Records inside uncommitted or aborted brackets, discarded instead
+  /// of applied (the bracket records themselves included).
+  uint64_t txn_records_discarded = 0;
 };
 
 /// Durability counters, surfaced in SQL as tip_wal_stats() and in
 /// EXPLAIN output (same shape as tip_index_stats / tip_guard_stats).
 struct DurabilityStats {
   WalStatsSnapshot wal;  // append-path counters from the live WAL
+  uint64_t wal_next_lsn = 0;  // the LSN the next append gets (0: no WAL)
   uint64_t checkpoints = 0;
   uint64_t recoveries_run = 0;
   uint64_t records_replayed = 0;
   uint64_t torn_tail_truncations = 0;
+  uint64_t txns_committed = 0;
+  uint64_t txns_rolled_back = 0;  // explicit ROLLBACK and error aborts
+  uint64_t txn_records_discarded = 0;  // by recovery, uncommitted/aborted
 };
 
 /// Host parameters for a statement (`:name` placeholders).
@@ -100,7 +111,8 @@ class Database {
   // -- Session state --------------------------------------------------------
 
   /// The transaction context the next statement will evaluate under:
-  /// the NOW override if set (SET NOW '...'), else the system clock.
+  /// the open transaction's pinned NOW if one is open, else the NOW
+  /// override if set (SET NOW '...'), else the system clock.
   TxContext CurrentTx() const;
 
   /// Overrides NOW for subsequent statements (the Browser's what-if
@@ -125,6 +137,34 @@ class Database {
   /// (SET PARALLEL_MIN_ROWS n).
   void set_parallel_min_rows(size_t n) { parallel_min_rows_ = n; }
   size_t parallel_min_rows() const { return parallel_min_rows_; }
+
+  // -- Transactions ----------------------------------------------------------
+
+  /// BEGIN [WORK]: opens a multi-statement transaction. The transaction
+  /// pins one TxContext at BEGIN time — every statement inside it
+  /// evaluates under that NOW, even if SetNowOverride flips the session
+  /// override meanwhile (the override re-applies at COMMIT/ROLLBACK;
+  /// SQL `SET NOW` inside a transaction is refused outright). DML takes
+  /// an undo image of each table on first touch, and the first logged
+  /// write opens a TXN_BEGIN bracket in the WAL. DDL, SET wal_mode and
+  /// checkpoints are refused while a transaction is open.
+  Status BeginTransaction();
+
+  /// COMMIT: appends TXN_COMMIT under the session's wal_mode (the
+  /// transaction's records reach disk per that mode at the commit
+  /// point) and discards the undo log. If the commit record cannot be
+  /// written the transaction is rolled back and the error returned.
+  Status CommitTransaction();
+
+  /// ROLLBACK: restores every touched table from its undo image (heap
+  /// contents and interval indexes return to the pre-BEGIN state) and
+  /// rewinds the WAL to the pre-bracket mark, un-assigning the
+  /// transaction's LSNs.
+  Status RollbackTransaction();
+
+  /// True between BEGIN and COMMIT/ROLLBACK. Statement-thread only;
+  /// other threads observe the transaction via its pinned TxContext.
+  bool InTransaction() const { return txn_ != nullptr; }
 
   // -- Statement lifecycle ---------------------------------------------------
 
@@ -198,8 +238,16 @@ class Database {
   DurabilityStats durability_stats() const;
 
  private:
+  /// Wraps ExecuteStatement with the transaction error contract: a
+  /// statement failing with a lifecycle or I/O status inside an open
+  /// transaction aborts the whole transaction (the caller cannot know
+  /// how much of the statement ran); plain validation errors leave it
+  /// open (statement-level atomicity already restored the tables).
   Result<ResultSet> ExecuteParsed(const struct Statement& stmt,
                                   const Params* params, std::string_view sql);
+  Result<ResultSet> ExecuteStatement(const struct Statement& stmt,
+                                     const Params* params,
+                                     std::string_view sql);
 
   /// True when the statement being executed must be appended to the
   /// WAL: a log is attached, logging is on, and we are not replaying
@@ -217,6 +265,27 @@ class Database {
   void RegisterGuard(ExecGuard* guard);
   void DeregisterGuard(ExecGuard* guard);
 
+  /// State of the open transaction (statement-thread only).
+  struct TxnState {
+    TxContext tx;            // pinned at BEGIN; every statement's NOW
+    bool bracketed = false;  // TXN_BEGIN has been appended to the WAL
+    WalMark mark;            // the log tail just before the bracket
+    /// Undo images: each touched table's live rows at first touch.
+    std::map<std::string, std::vector<Row>, std::less<>> undo;
+  };
+  /// Lazily opens the WAL bracket before the transaction's first
+  /// logged write (read-only transactions never touch the log).
+  Status EnsureTxnWalBracket();
+  /// Saves `table`'s rows into the undo log at first touch.
+  void CaptureTxnUndo(Table* table);
+  /// InvalidArgument("<what> is not allowed inside a transaction") when
+  /// one is open, OK otherwise.
+  Status RefuseInTransaction(std::string_view what) const;
+  /// True for statuses that must take the open transaction down with
+  /// them (cancel/timeout/memory per the guard contract, and I/O
+  /// failures whose progress is unknowable).
+  static bool IsTxnFatal(StatusCode code);
+
   TypeRegistry types_;
   RoutineRegistry routines_;
   CastRegistry casts_;
@@ -224,27 +293,36 @@ class Database {
   Catalog catalog_;
   std::map<TypeId, IntervalKeyFn> interval_key_fns_;
 
-  /// Guards now_override_ and active_guards_: the session state other
-  /// threads may legitimately touch while queries run (the NOW-flip
-  /// scenario the segmented index is built for, and cross-thread
-  /// cancellation).
+  /// Guards now_override_, txn_pin_ and active_guards_: the session
+  /// state other threads may legitimately touch while queries run (the
+  /// NOW-flip scenario the segmented index is built for, cross-thread
+  /// cancellation, and checkpoints probing for an open transaction).
   mutable std::mutex session_mu_;
   std::optional<Chronon> now_override_;
+  /// The open transaction's pinned NOW. While set it shadows
+  /// now_override_ in CurrentTx(), so a concurrent SetNowOverride
+  /// cannot re-ground NOW-relative data mid-transaction; the override
+  /// takes effect once the transaction closes.
+  std::optional<TxContext> txn_pin_;
   /// Guards of statements currently inside ExecuteParsed, so
   /// CancelActiveStatements can reach them from another thread. Entries
   /// are stack-owned by their Execute call and deregistered on unwind.
   std::set<ExecGuard*> active_guards_;
-  int64_t statement_timeout_ms_ = 0;
-  size_t memory_limit_kb_ = 0;
+  /// Session settings are atomics (implicit relaxed-enough seq_cst
+  /// load/store keeps call sites plain): a stats poll or read-only
+  /// query on another thread arms its guard from these while the
+  /// session thread flips them via SET / the C++ setters.
+  std::atomic<int64_t> statement_timeout_ms_{0};
+  std::atomic<size_t> memory_limit_kb_{0};
   /// SET STATEMENT_GUARD OFF disables guard creation entirely — the
   /// pre-guardrail execution path, kept addressable so the guard's
   /// overhead stays measurable in-binary (bench_guard_overhead).
-  bool statement_guard_enabled_ = true;
+  std::atomic<bool> statement_guard_enabled_{true};
   GuardEvents guard_events_;
-  bool enable_hash_join_ = true;
-  bool enable_interval_join_ = true;
-  size_t parallel_workers_ = 1;
-  size_t parallel_min_rows_ = 4096;
+  std::atomic<bool> enable_hash_join_{true};
+  std::atomic<bool> enable_interval_join_{true};
+  std::atomic<size_t> parallel_workers_{1};
+  std::atomic<size_t> parallel_min_rows_{4096};
   /// Per-table counters from parallel runs, shown by EXPLAIN.
   ParallelStatsRegistry parallel_stats_;
   /// Names created via CREATE FUNCTION (the only ones DROP FUNCTION
@@ -257,15 +335,35 @@ class Database {
   mutable std::mutex checkpoint_mu_;
   std::string durable_dir_;
   std::unique_ptr<Wal> wal_;
-  WalMode wal_mode_ = WalMode::kGroup;
-  uint64_t wal_group_size_ = Wal::kDefaultGroupRecords;
+  /// Atomic for the same reason as the session settings above:
+  /// tip_wal_stats()/EXPLAIN format the mode from reader threads.
+  std::atomic<WalMode> wal_mode_{WalMode::kGroup};
+  std::atomic<uint64_t> wal_group_size_{Wal::kDefaultGroupRecords};
   /// True while AttachDurableDir restores state: suppresses re-logging
   /// of the statements being replayed.
   bool replaying_ = false;
   /// CREATE FUNCTION text by function name, carried in the checkpoint
   /// metadata because snapshots store only tables.
   std::map<std::string, std::string> sql_function_ddl_;
-  DurabilityStats durability_;
+  /// Atomics, not plain counters: tip_wal_stats() and EXPLAIN read them
+  /// from concurrent read-only sessions while tip_checkpoint() or a
+  /// commit bumps them.
+  struct DurabilityCounters {
+    std::atomic<uint64_t> checkpoints{0};
+    std::atomic<uint64_t> recoveries_run{0};
+    std::atomic<uint64_t> records_replayed{0};
+    std::atomic<uint64_t> torn_tail_truncations{0};
+    std::atomic<uint64_t> txns_committed{0};
+    std::atomic<uint64_t> txns_rolled_back{0};
+    std::atomic<uint64_t> txn_records_discarded{0};
+  };
+  DurabilityCounters durability_;
+  std::unique_ptr<TxnState> txn_;
+  /// The thread that opened txn_ (default id: none). ExecuteParsed's
+  /// auto-abort consults it so a failing concurrent read-only statement
+  /// on another thread neither aborts a transaction it is not part of
+  /// nor races the owner on txn_.
+  std::atomic<std::thread::id> txn_owner_{};
 };
 
 /// Registers the engine's builtin routines (arithmetic, string ops,

@@ -216,6 +216,9 @@ struct Statement {
     kDropIndex,
     kCreateFunction,
     kDropFunction,
+    kBegin,
+    kCommit,
+    kRollback,
   };
 
   Kind kind;

@@ -106,6 +106,7 @@ class Parser {
   Result<Statement> ParseDelete();
   Result<Statement> ParseSet();
   Result<Statement> ParseExplain();
+  Result<Statement> ParseTxnBoundary(Statement::Kind kind);
 
   // -- Expression productions (lowest to highest precedence) --------------
 
@@ -135,6 +136,13 @@ Result<Statement> Parser::ParseStatement() {
     if (PeekKeyword("delete")) return ParseDelete();
     if (PeekKeyword("set")) return ParseSet();
     if (PeekKeyword("explain")) return ParseExplain();
+    if (PeekKeyword("begin")) return ParseTxnBoundary(Statement::Kind::kBegin);
+    if (PeekKeyword("commit")) {
+      return ParseTxnBoundary(Statement::Kind::kCommit);
+    }
+    if (PeekKeyword("rollback")) {
+      return ParseTxnBoundary(Statement::Kind::kRollback);
+    }
     return Errorf("expected a SQL statement");
   }();
   if (!stmt.ok()) return stmt;
@@ -486,6 +494,16 @@ Result<Statement> Parser::ParseSet() {
       return Errorf("expected a SET value");
   }
   Advance();
+  return stmt;
+}
+
+// BEGIN [WORK | TRANSACTION] / COMMIT [WORK | TRANSACTION] /
+// ROLLBACK [WORK | TRANSACTION] — the noise word is Informix's.
+Result<Statement> Parser::ParseTxnBoundary(Statement::Kind kind) {
+  Advance();  // the dispatching keyword
+  if (!MatchKeyword("work")) (void)MatchKeyword("transaction");
+  Statement stmt;
+  stmt.kind = kind;
   return stmt;
 }
 

@@ -43,6 +43,23 @@ Status HeapTable::Update(RowId id, Row row) {
   return Status::OK();
 }
 
+std::vector<Row> HeapTable::SnapshotLiveRows() const {
+  std::vector<Row> rows;
+  rows.reserve(live_rows_);
+  Cursor cursor = Scan();
+  RowId id;
+  const Row* row;
+  while (cursor.Next(&id, &row)) rows.push_back(*row);
+  return rows;
+}
+
+void HeapTable::ResetTo(std::vector<Row> rows) {
+  pages_.clear();
+  live_rows_ = 0;
+  ++version_;  // Insert bumps it too, but rows may be empty
+  for (Row& row : rows) Insert(std::move(row));
+}
+
 const Row* HeapTable::Get(RowId id) const {
   const uint32_t page_no = RowIdPage(id);
   const uint32_t slot = RowIdSlot(id);

@@ -52,6 +52,16 @@ class HeapTable {
   /// Fetches a live row; nullptr if deleted or out of range.
   const Row* Get(RowId id) const;
 
+  /// Copies the live rows in scan order — the logical table contents,
+  /// captured as a transaction's undo image.
+  std::vector<Row> SnapshotLiveRows() const;
+
+  /// Discards everything and re-inserts `rows` as the new contents
+  /// (ROLLBACK restoring an undo image). RowIds are compacted exactly
+  /// as a snapshot restore compacts them, and the version counter keeps
+  /// advancing so indexes over the heap notice and rebuild.
+  void ResetTo(std::vector<Row> rows);
+
   /// Number of live rows.
   size_t row_count() const { return live_rows_; }
 

@@ -201,6 +201,13 @@ Status ApplyWalRecord(Database* db, const WalRecord& record) {
       Result<ResultSet> result = db->Execute(record.body);
       return result.status();
     }
+    case WalRecordKind::kTxnBegin:
+    case WalRecordKind::kTxnCommit:
+    case WalRecordKind::kTxnAbort:
+      // Brackets carry no state; the replay loop in AttachDurableDir
+      // consumes them to decide which records to apply. One reaching
+      // this applier means that loop mis-parsed the bracket structure.
+      return Status::Corruption("transaction bracket record applied as data");
   }
   return Status::Corruption("unknown WAL record kind " +
                             std::to_string(static_cast<int>(record.kind)));

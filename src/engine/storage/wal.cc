@@ -338,6 +338,51 @@ Status Wal::Rotate(uint64_t start_lsn) {
   return Status::OK();
 }
 
+WalMark Wal::Mark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalMark mark;
+  mark.next_lsn = next_lsn_;
+  mark.size = size_;
+  mark.pending_records = pending_records_;
+  return mark;
+}
+
+Status Wal::ResetToMark(const WalMark& mark) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (broken_) {
+    return Status::Internal("WAL '" + path_ +
+                            "' is poisoned by an earlier I/O error");
+  }
+  // A mark "ahead" of the current tail means it predates a rotation;
+  // rewinding through a rotation would corrupt the fresh log.
+  if (mark.size > size_ || mark.next_lsn > next_lsn_) {
+    return Status::Internal("WAL mark does not address this log epoch");
+  }
+  if (mark.size == size_) return Status::OK();  // nothing was appended
+  const Status injected = fault::MaybeFail("wal.reset");
+  if (!injected.ok() ||
+      ::ftruncate(fd_, static_cast<off_t>(mark.size)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(mark.size), SEEK_SET) < 0) {
+    // The tail may or may not still hold the discarded records; refuse
+    // further appends (they would land at an unknown offset). Reopening
+    // re-derives the durable tail, and recovery discards the unclosed
+    // bracket these records sit in.
+    broken_ = true;
+    return injected.ok() ? Status::Internal("cannot rewind WAL '" + path_ +
+                                            "': " + std::strerror(errno))
+                         : injected;
+  }
+  // The discarded records are no longer in the log, so the traffic
+  // counters (which describe the log's contents) roll back with them;
+  // fsyncs stay, they physically happened.
+  stats_.records_appended -= next_lsn_ - mark.next_lsn;
+  stats_.bytes_written -= size_ - mark.size;
+  size_ = mark.size;
+  next_lsn_ = mark.next_lsn;
+  pending_records_ = mark.pending_records;
+  return Status::OK();
+}
+
 uint64_t Wal::next_lsn() const {
   std::lock_guard<std::mutex> lock(mu_);
   return next_lsn_;

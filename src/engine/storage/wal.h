@@ -34,9 +34,12 @@ std::string_view WalModeName(WalMode mode);
 /// and statement text, not page deltas, so replay goes through the
 /// same code paths as live execution.
 enum class WalRecordKind : uint8_t {
-  kInsert = 1,  // table + appended row images
-  kMutate = 2,  // table + deleted/updated rows addressed by live ordinal
-  kDdl = 3,     // the statement's SQL text, re-executed on replay
+  kInsert = 1,     // table + appended row images
+  kMutate = 2,     // table + deleted/updated rows addressed by live ordinal
+  kDdl = 3,        // the statement's SQL text, re-executed on replay
+  kTxnBegin = 4,   // opens a transaction bracket (empty body)
+  kTxnCommit = 5,  // closes the bracket; records inside it are now real
+  kTxnAbort = 6,   // closes the bracket; records inside it never happened
 };
 
 /// One decoded log record. `body` is kind-specific and built/parsed by
@@ -58,6 +61,15 @@ struct WalStatsSnapshot {
   /// batch size actually achieved).
   uint64_t max_batch_records = 0;
   std::string ToString() const;
+};
+
+/// A point in the log that ResetToMark can rewind to. Valid only while
+/// no rotation happens between Mark and ResetToMark (transactions
+/// refuse checkpoints, which are the only rotation source).
+struct WalMark {
+  uint64_t next_lsn = 0;
+  uint64_t size = 0;
+  uint64_t pending_records = 0;
 };
 
 /// What Wal::Open found on disk.
@@ -127,6 +139,20 @@ class Wal {
   /// (checkpoint truncation). Atomic: a crash mid-rotate leaves the old
   /// log intact.
   Status Rotate(uint64_t start_lsn);
+
+  /// Captures the current end of the log, to rewind to on ROLLBACK.
+  WalMark Mark() const;
+
+  /// Physically truncates the log back to `mark`, un-assigning every
+  /// LSN appended since: the next Append reuses mark.next_lsn and the
+  /// file is byte-for-byte what it was at Mark time. Only the owner of
+  /// an open transaction may call this (appends between Mark and reset
+  /// must all belong to the aborted bracket). No fsync is needed for
+  /// correctness: if the truncation itself is lost to a crash, the
+  /// discarded records sit in an unclosed bracket and recovery drops
+  /// them anyway. A failed truncate poisons the log (the file tail is
+  /// in an unknown state). Fault point: "wal.reset".
+  Status ResetToMark(const WalMark& mark);
 
   /// The LSN the next Append will be assigned.
   uint64_t next_lsn() const;

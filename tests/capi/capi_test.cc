@@ -93,6 +93,40 @@ TEST_F(CApiTest, DmlReportsAffectedRows) {
   tip_result_free(result);
 }
 
+TEST_F(CApiTest, TransactionsCommitAndRollBack) {
+  EXPECT_EQ(tip_in_transaction(conn_), 0);
+  ASSERT_EQ(tip_begin(conn_), 0) << tip_last_error(conn_);
+  EXPECT_EQ(tip_in_transaction(conn_), 1);
+  EXPECT_EQ(tip_begin(conn_), -1);  // no nesting
+  EXPECT_NE(std::string(tip_last_error(conn_)).find("transaction"),
+            std::string::npos);
+  Must("INSERT INTO t VALUES ('c', 3, 1.5, NULL)");
+  ASSERT_EQ(tip_rollback(conn_), 0) << tip_last_error(conn_);
+  EXPECT_EQ(tip_in_transaction(conn_), 0);
+
+  tip_result* result = nullptr;
+  ASSERT_EQ(tip_exec(conn_, "SELECT count(*) FROM t", &result), 0);
+  EXPECT_EQ(tip_result_int64(result, 0, 0), 2);  // insert rolled back
+  tip_result_free(result);
+
+  ASSERT_EQ(tip_begin(conn_), 0);
+  Must("INSERT INTO t VALUES ('c', 3, 1.5, NULL)");
+  ASSERT_EQ(tip_commit(conn_), 0) << tip_last_error(conn_);
+  EXPECT_EQ(tip_in_transaction(conn_), 0);
+  ASSERT_EQ(tip_exec(conn_, "SELECT count(*) FROM t", &result), 0);
+  EXPECT_EQ(tip_result_int64(result, 0, 0), 3);
+  tip_result_free(result);
+
+  // Boundary calls without an open transaction are errors, and the
+  // handles stay NULL-safe like the rest of the API.
+  EXPECT_EQ(tip_commit(conn_), -1);
+  EXPECT_EQ(tip_rollback(conn_), -1);
+  EXPECT_EQ(tip_begin(nullptr), -1);
+  EXPECT_EQ(tip_commit(nullptr), -1);
+  EXPECT_EQ(tip_rollback(nullptr), -1);
+  EXPECT_EQ(tip_in_transaction(nullptr), -1);
+}
+
 TEST_F(CApiTest, NullSafety) {
   EXPECT_EQ(tip_exec(nullptr, "SELECT 1", nullptr), -1);
   EXPECT_EQ(tip_exec(conn_, nullptr, nullptr), -1);

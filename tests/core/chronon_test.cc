@@ -52,6 +52,29 @@ TEST(ChrononTest, ParseRejectsGarbage) {
   EXPECT_FALSE(Chronon::Parse("1999-10-31 10:00").ok());
 }
 
+TEST(ChrononTest, ParseRejectsOverlongDigitRuns) {
+  // A digit run longer than its field used to be split silently ("1999-012-01"
+  // read month 01 and left the 2 for the day parser). Every field now rejects
+  // the surplus with an explicit error instead of reinterpreting the literal.
+  const char* overlong[] = {
+      "19990-01-01",           // year takes at most 4 digits
+      "1999-012-01",           // month takes at most 2
+      "1999-01-012",           // day
+      "1999-01-01 100:00:00",  // hour
+      "1999-01-01 10:000:00",  // minute
+      "1999-01-01 10:00:000",  // second
+  };
+  for (const char* text : overlong) {
+    Result<Chronon> c = Chronon::Parse(text);
+    ASSERT_FALSE(c.ok()) << text;
+    EXPECT_NE(c.status().message().find("too many digits"), std::string::npos)
+        << text << " -> " << c.status().ToString();
+  }
+  // The stricter check must not reject well-formed literals.
+  EXPECT_TRUE(Chronon::Parse("1999-01-01").ok());
+  EXPECT_TRUE(Chronon::Parse("1999-01-01 10:00:00").ok());
+}
+
 TEST(ChrononTest, Y2KCompliant) {
   // The paper jokes about this; make it checkable.
   Result<Chronon> before = Chronon::Parse("1999-12-31 23:59:59");

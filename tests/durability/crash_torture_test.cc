@@ -5,13 +5,21 @@
 //
 // The invariant: after a kill at ANY point, the recovered database
 // equals the first k statements of the trace for some k with
-//   acked <= k <= issued
-// where `acked` is how many statements the child acknowledged to its
-// ack file before dying. k may exceed acked by the statements that
-// were durably logged but killed before the acknowledgment was
-// written; it may never be below acked (an acknowledged statement must
-// survive), and a torn tail must be truncated, never replayed as
-// garbage.
+//   floor <= k <= issued
+// where `floor` is the durable floor derived from the child's ack file
+// (see below). k may exceed the floor by statements that were durably
+// logged but killed before the acknowledgment was written; it may
+// never be below it (an acknowledged statement must survive), and a
+// torn tail must be truncated, never replayed as garbage.
+//
+// Transactions refine both sides of the bound. Only
+// transaction-consistent prefixes are admissible at all — a k that
+// lands inside a BEGIN..COMMIT block would surface a partial
+// transaction, which recovery must never do. And acknowledgments of
+// statements inside an open transaction are provisional until COMMIT
+// is acked, so the floor is the largest consistent point at or below
+// the raw ack count (with wal_mode off, where nothing is durable, the
+// floor is simply zero).
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -34,11 +42,40 @@
 namespace tip::engine {
 namespace {
 
-/// The reference trace: DDL, inserts, updates and deletes over two
+/// One reference trace plus its transaction structure: consistent[k]
+/// says whether no transaction is open after the first k statements
+/// (k ranges 0..statements.size()), checkpoint_after[i] schedules the
+/// child's checkpoints (only ever at consistent points — checkpoints
+/// inside a transaction are refused by the engine).
+struct Workload {
+  std::vector<std::string> statements;
+  std::vector<bool> consistent;
+  std::vector<bool> checkpoint_after;
+};
+
+void FinishWorkload(Workload* w, const std::vector<size_t>& checkpoints) {
+  w->consistent.assign(w->statements.size() + 1, true);
+  bool open = false;
+  for (size_t i = 0; i < w->statements.size(); ++i) {
+    const std::string& s = w->statements[i];
+    if (s.rfind("BEGIN", 0) == 0) open = true;
+    if (s.rfind("COMMIT", 0) == 0 || s.rfind("ROLLBACK", 0) == 0) {
+      open = false;
+    }
+    w->consistent[i + 1] = !open;
+  }
+  w->checkpoint_after.assign(w->statements.size(), false);
+  for (size_t i : checkpoints) {
+    w->checkpoint_after[i] = w->consistent[i + 1];
+  }
+}
+
+/// The auto-commit trace: DDL, inserts, updates and deletes over two
 /// tables (one with a TIP-typed column). Deterministic, so the parent
 /// can shadow-replay any prefix.
-std::vector<std::string> WorkloadStatements() {
-  std::vector<std::string> s;
+Workload PlainWorkload() {
+  Workload w;
+  std::vector<std::string>& s = w.statements;
   s.push_back("CREATE TABLE t (id INT, v CHAR(8))");
   s.push_back("CREATE TABLE p (id INT, valid Element)");
   for (int i = 0; i < 10; ++i) {
@@ -56,20 +93,57 @@ std::vector<std::string> WorkloadStatements() {
                   ", '{[1999-01-01, NOW]}')");
     }
   }
-  return s;
+  // After every 7th statement the child takes a checkpoint, so the
+  // kill points inside snapshot writing, metadata publication and WAL
+  // rotation all get exercised mid-trace.
+  std::vector<size_t> checkpoints;
+  for (size_t i = 4; i < s.size(); i += 7) checkpoints.push_back(i);
+  FinishWorkload(&w, checkpoints);
+  return w;
 }
 
-/// After every 7th statement the child takes a checkpoint, so the kill
-/// points inside snapshot writing, metadata publication and WAL
-/// rotation all get exercised mid-trace.
-bool CheckpointAfter(size_t statement_index) {
-  return statement_index % 7 == 4;
+/// The transactional trace: BEGIN..COMMIT blocks interleaved with
+/// auto-commit statements, plus one explicit ROLLBACK block. Kill
+/// points inside the blocks exercise recovery's bracket handling:
+/// after TXN_BEGIN, between buffered statements, and at the commit
+/// append/fsync boundary.
+Workload TxnWorkload() {
+  Workload w;
+  std::vector<std::string>& s = w.statements;
+  s.push_back("CREATE TABLE t (id INT, v CHAR(8))");
+  s.push_back("CREATE TABLE p (id INT, valid Element)");
+  s.push_back("INSERT INTO t VALUES (0, 'base')");
+  s.push_back("BEGIN WORK");
+  s.push_back("INSERT INTO t VALUES (1, 'a')");
+  s.push_back("INSERT INTO t VALUES (2, 'b')");
+  s.push_back("UPDATE t SET v = 'a2' WHERE id = 1");
+  s.push_back("COMMIT WORK");
+  s.push_back("INSERT INTO t VALUES (3, 'c')");
+  s.push_back("BEGIN");
+  s.push_back("INSERT INTO t VALUES (4, 'd')");
+  s.push_back("DELETE FROM t WHERE id = 2");
+  s.push_back("ROLLBACK");
+  s.push_back("INSERT INTO p VALUES (1, '{[1999-01-01, NOW]}')");
+  s.push_back("BEGIN");
+  s.push_back("INSERT INTO p VALUES (2, '{[1998-01-01, 1998-06-01]}')");
+  s.push_back("INSERT INTO t VALUES (5, 'e')");
+  s.push_back("COMMIT");
+  s.push_back("DELETE FROM t WHERE id = 0");
+  s.push_back("BEGIN");
+  s.push_back("INSERT INTO t VALUES (6, 'f')");
+  s.push_back("UPDATE t SET v = 'e2' WHERE id = 5");
+  s.push_back("COMMIT");
+  // Checkpoints at consistent points only: after the first committed
+  // block and between the later blocks.
+  FinishWorkload(&w, {8, 13, 18});
+  return w;
 }
 
 struct KillSpec {
   std::string point;  // fault point armed with KillAt
   uint64_t nth;       // which hit dies
   WalMode mode;       // wal_mode the child runs under
+  bool txn_trace;     // which workload the child runs
 };
 
 std::vector<KillSpec> BuildKillSpecs() {
@@ -79,12 +153,12 @@ std::vector<KillSpec> BuildKillSpecs() {
     const WalMode mode = n % 3 == 0   ? WalMode::kSync
                          : n % 3 == 1 ? WalMode::kGroup
                                       : WalMode::kAsync;
-    specs.push_back({"wal.append", n, mode});
+    specs.push_back({"wal.append", n, mode, false});
   }
   // Fsyncs only happen in sync/group mode.
   for (uint64_t n = 0; n < 8; ++n) {
-    specs.push_back(
-        {"wal.fsync", n, n % 2 == 0 ? WalMode::kSync : WalMode::kGroup});
+    specs.push_back({"wal.fsync", n,
+                     n % 2 == 0 ? WalMode::kSync : WalMode::kGroup, false});
   }
   // Checkpoint machinery: each step of snapshot save, metadata publish
   // and WAL rotation, at the first and second checkpoint.
@@ -95,8 +169,41 @@ std::vector<KillSpec> BuildKillSpecs() {
         "checkpoint.meta.write", "checkpoint.meta.rename",
         "checkpoint.meta.dirsync", "wal.rotate.write", "wal.rotate.rename",
         "wal.rotate.dirsync"}) {
-    specs.push_back({point, 0, WalMode::kGroup});
-    specs.push_back({point, 1, WalMode::kGroup});
+    specs.push_back({point, 0, WalMode::kGroup, false});
+    specs.push_back({point, 1, WalMode::kGroup, false});
+  }
+  // The transactional trace: every append (TXN_BEGIN brackets, the
+  // records inside them, TXN_COMMIT) dies once under each logging
+  // mode, and every fsync dies in sync/group mode — sync's
+  // commit-point fsync is the "commit appended but not yet durable"
+  // kill the bracket protocol exists for.
+  for (uint64_t n = 0; n < 24; ++n) {
+    const WalMode mode = n % 3 == 0   ? WalMode::kSync
+                         : n % 3 == 1 ? WalMode::kGroup
+                                      : WalMode::kAsync;
+    specs.push_back({"wal.append", n, mode, true});
+  }
+  for (uint64_t n = 0; n < 8; ++n) {
+    specs.push_back({"wal.fsync", n,
+                     n % 2 == 0 ? WalMode::kSync : WalMode::kGroup, true});
+  }
+  // With the WAL off only checkpoints persist anything; kill inside
+  // them — recovery must still never surface a partial transaction.
+  for (const char* point :
+       {"snapshot.write", "checkpoint.commit", "wal.rotate.rename"}) {
+    specs.push_back({point, 0, WalMode::kOff, true});
+    specs.push_back({point, 1, WalMode::kOff, true});
+  }
+  // The rollback path: dying inside the WAL rewind leaves the aborted
+  // bracket in the log; recovery must still discard it.
+  specs.push_back({"wal.reset", 0, WalMode::kSync, true});
+  specs.push_back({"wal.reset", 0, WalMode::kGroup, true});
+  // Checkpoints interleaved with transactions.
+  for (const char* point :
+       {"checkpoint.begin", "snapshot.write", "checkpoint.meta.rename",
+        "wal.rotate.rename"}) {
+    specs.push_back({point, 0, WalMode::kGroup, true});
+    specs.push_back({point, 1, WalMode::kGroup, true});
   }
   return specs;
 }
@@ -106,8 +213,8 @@ std::vector<KillSpec> BuildKillSpecs() {
 /// and small codes for harness bugs. No gtest machinery in here — the
 /// child must never run the parent's test teardown.
 [[noreturn]] void RunChild(const std::string& dir,
-                           const std::string& ack_path,
-                           const KillSpec& spec) {
+                           const std::string& ack_path, const KillSpec& spec,
+                           const Workload& workload) {
   fault::ClearAll();
   auto db = std::make_unique<Database>();
   if (!datablade::Install(db.get()).ok()) std::_Exit(3);
@@ -118,7 +225,7 @@ std::vector<KillSpec> BuildKillSpecs() {
   if (ack == nullptr) std::_Exit(3);
 
   fault::KillAt(spec.point, spec.nth);
-  const std::vector<std::string> statements = WorkloadStatements();
+  const std::vector<std::string>& statements = workload.statements;
   for (size_t i = 0; i < statements.size(); ++i) {
     if (!db->Execute(statements[i]).ok()) std::_Exit(4);
     // Acknowledge: a fixed-width count, flushed to the kernel, so it
@@ -129,7 +236,9 @@ std::vector<KillSpec> BuildKillSpecs() {
         std::fflush(ack) != 0) {
       std::_Exit(5);
     }
-    if (CheckpointAfter(i) && !db->Checkpoint().ok()) std::_Exit(6);
+    if (workload.checkpoint_after[i] && !db->Checkpoint().ok()) {
+      std::_Exit(6);
+    }
   }
   std::_Exit(0);
 }
@@ -174,13 +283,15 @@ class CrashTortureTest : public ::testing::Test {
   /// Runs one kill iteration: fork, die at the armed point, recover,
   /// and match against every admissible trace prefix.
   void RunIteration(const KillSpec& spec, const std::string& dir) {
+    const Workload workload =
+        spec.txn_trace ? TxnWorkload() : PlainWorkload();
     const std::string ack_path = dir + ".acks";
     std::remove(ack_path.c_str());
     std::filesystem::create_directories(dir);
 
     const pid_t pid = fork();
     ASSERT_GE(pid, 0);
-    if (pid == 0) RunChild(dir, ack_path, spec);  // never returns
+    if (pid == 0) RunChild(dir, ack_path, spec, workload);  // never returns
 
     int status = 0;
     ASSERT_EQ(waitpid(pid, &status, 0), pid);
@@ -190,7 +301,7 @@ class CrashTortureTest : public ::testing::Test {
         << "child harness error, exit code " << code;
     if (code == fault::kKillExitCode) ++kills_observed_;
 
-    const std::vector<std::string> statements = WorkloadStatements();
+    const std::vector<std::string>& statements = workload.statements;
     const uint32_t acked = ReadAckCount(ack_path);
     ASSERT_LE(acked, statements.size());
     // A completed child acked everything.
@@ -205,12 +316,25 @@ class CrashTortureTest : public ::testing::Test {
     ASSERT_TRUE(attached.ok()) << attached.ToString();
     const std::string digest = StateDigest(*recovered);
 
-    // Shadow replay: some prefix k in [acked, issued] must match. The
-    // child logs each statement before acking it, so k < acked would
-    // mean an acknowledged statement vanished.
+    // The durable floor: acks inside an open transaction are
+    // provisional until the COMMIT is acked, so drop to the last
+    // consistent point. With the WAL off, nothing is durable at all.
+    uint32_t floor = acked;
+    if (spec.mode == WalMode::kOff) {
+      floor = 0;
+    } else {
+      while (floor > 0 && !workload.consistent[floor]) --floor;
+    }
+
+    // Shadow replay: some transaction-consistent prefix k in
+    // [floor, issued] must match. The child logs each statement before
+    // acking it, so k below the floor would mean an acknowledged
+    // (and transaction-complete) statement vanished; an inconsistent k
+    // would mean recovery surfaced a partial transaction.
     bool matched = false;
     uint32_t matched_k = 0;
-    for (uint32_t k = acked; k <= statements.size() && !matched; ++k) {
+    for (uint32_t k = floor; k <= statements.size() && !matched; ++k) {
+      if (!workload.consistent[k]) continue;
       Database reference;
       ASSERT_TRUE(datablade::Install(&reference).ok());
       for (uint32_t i = 0; i < k; ++i) {
@@ -222,9 +346,13 @@ class CrashTortureTest : public ::testing::Test {
         matched_k = k;
       }
     }
-    EXPECT_TRUE(matched) << "recovered state matches no trace prefix in ["
-                         << acked << ", " << statements.size() << "]";
-    if (code == 0) {
+    EXPECT_TRUE(matched)
+        << "recovered state matches no consistent trace prefix in ["
+        << floor << ", " << statements.size() << "]";
+    // A completed child's state must be recovered in full — except
+    // with the WAL off, where by contract only the last checkpoint
+    // survives.
+    if (code == 0 && spec.mode != WalMode::kOff) {
       EXPECT_EQ(matched_k, statements.size());
     }
   }
@@ -238,21 +366,24 @@ TEST_F(CrashTortureTest, KilledAtEveryArmedPointRecoveryMatchesATracePrefix) {
   ASSERT_GE(specs.size(), 50u) << "the issue demands >= 50 kill points";
   int index = 0;
   for (const KillSpec& spec : specs) {
-    SCOPED_TRACE(spec.point + " nth=" + std::to_string(spec.nth) +
-                 " mode=" + std::string(WalModeName(spec.mode)));
+    SCOPED_TRACE(spec.point + " nth=" + std::to_string(spec.nth) + " mode=" +
+                 std::string(WalModeName(spec.mode)) +
+                 (spec.txn_trace ? " trace=txn" : " trace=plain"));
     RunIteration(spec, FreshDir("kill_" + std::to_string(index++)));
     if (HasFatalFailure()) return;
   }
   // The suite is vacuous if the kills never actually fire.
-  EXPECT_GE(kills_observed_, 50);
+  EXPECT_GE(kills_observed_, 80);
 }
 
 TEST_F(CrashTortureTest, UnarmedChildRunsToCompletion) {
   // Self-check for the harness: with a never-hit point armed, the
   // child finishes, acks everything, and recovery reproduces the full
-  // trace exactly.
-  RunIteration({"no.such.point", 0, WalMode::kGroup},
-               FreshDir("complete"));
+  // trace exactly — on both traces.
+  RunIteration({"no.such.point", 0, WalMode::kGroup, false},
+               FreshDir("complete_plain"));
+  RunIteration({"no.such.point", 0, WalMode::kGroup, true},
+               FreshDir("complete_txn"));
   EXPECT_EQ(kills_observed_, 0);
 }
 

@@ -171,6 +171,23 @@ TEST(ParserTest, SetAndExplainAndIndexes) {
   EXPECT_EQ(di.kind, Statement::Kind::kDropIndex);
 }
 
+TEST(ParserTest, TransactionBoundaries) {
+  EXPECT_EQ(MustParse("BEGIN").kind, Statement::Kind::kBegin);
+  EXPECT_EQ(MustParse("BEGIN WORK").kind, Statement::Kind::kBegin);
+  EXPECT_EQ(MustParse("BEGIN TRANSACTION").kind, Statement::Kind::kBegin);
+  EXPECT_EQ(MustParse("begin work;").kind, Statement::Kind::kBegin);
+  EXPECT_EQ(MustParse("COMMIT").kind, Statement::Kind::kCommit);
+  EXPECT_EQ(MustParse("COMMIT WORK").kind, Statement::Kind::kCommit);
+  EXPECT_EQ(MustParse("ROLLBACK").kind, Statement::Kind::kRollback);
+  EXPECT_EQ(MustParse("ROLLBACK WORK").kind, Statement::Kind::kRollback);
+  EXPECT_EQ(MustParse("ROLLBACK TRANSACTION").kind,
+            Statement::Kind::kRollback);
+  // The boundary keyword takes at most one qualifier and nothing else.
+  EXPECT_FALSE(ParseStatement("BEGIN WORK now").ok());
+  EXPECT_FALSE(ParseStatement("COMMIT WORK TRANSACTION").ok());
+  EXPECT_FALSE(ParseStatement("ROLLBACK 1").ok());
+}
+
 TEST(ParserTest, TrailingSemicolonAccepted) {
   EXPECT_EQ(MustParse("SELECT 1;").kind, Statement::Kind::kSelect);
 }

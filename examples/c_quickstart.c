@@ -76,6 +76,34 @@ int main(void) {
   }
   run(conn, "SELECT count(*) AS after_rollback FROM Prescription");
 
+  /* Prepared statements: parse and plan once, then bind/execute many
+   * times. A syntax error fails tip_prepare itself, before anything
+   * executes; rebinding :drug below reuses one cached plan. */
+  {
+    tip_stmt* stmt = NULL;
+    if (tip_prepare(conn,
+                    "SELECT patient, length(valid) AS len "
+                    "FROM Prescription WHERE drug = :drug",
+                    &stmt) != 0) {
+      printf("prepare error: %s\n", tip_last_error(conn));
+    } else {
+      const char* drugs[] = {"Diabeta", "Aspirin"};
+      for (size_t i = 0; i < 2; ++i) {
+        tip_result* result = NULL;
+        tip_stmt_bind_text(stmt, "drug", drugs[i]);
+        if (tip_stmt_execute(stmt, &result) != 0) {
+          printf("error: %s\n", tip_last_error(conn));
+          continue;
+        }
+        printf("%s -> %s for %s\n", drugs[i],
+               tip_result_text(result, 0, 1),
+               tip_result_text(result, 0, 0));
+        tip_result_free(result);
+      }
+      tip_stmt_close(stmt);
+    }
+  }
+
   tip_close(conn);
   return 0;
 }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Builds the bench binaries in Release and runs every bench_* from the
+# repository root, so the machine-readable BENCH_*.json files land next
+# to the sources that are committed with them (each bench fopen()s its
+# JSON path relative to the current directory).
+#
+# Usage: scripts/run_benches.sh [build-dir] [bench-name...]
+#   build-dir defaults to build-bench/ next to the source tree.
+#   With bench names (e.g. `run_benches.sh '' bench_plan_cache`) only
+#   those binaries run; default is every bench_* under bench/.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+dir="${1:-$repo/build-bench}"
+[ -n "$dir" ] || dir="$repo/build-bench"
+shift $(( $# > 0 ? 1 : 0 ))
+
+echo "== configure + build ($dir, Release) =="
+cmake -S "$repo" -B "$dir" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$dir" -j "$(nproc 2>/dev/null || echo 4)" >/dev/null
+
+if [ $# -gt 0 ]; then
+  benches=("$@")
+else
+  benches=()
+  for src in "$repo"/bench/bench_*.cc; do
+    benches+=("$(basename "${src%.cc}")")
+  done
+fi
+
+failed=()
+cd "$repo"
+for bench in "${benches[@]}"; do
+  echo
+  echo "== $bench =="
+  if ! "$dir/bench/$bench"; then
+    failed+=("$bench")
+  fi
+done
+
+echo
+if [ "${#failed[@]}" -gt 0 ]; then
+  echo "FAILED: ${failed[*]}" >&2
+  exit 1
+fi
+echo "all benches ran; BENCH_*.json written to $repo"

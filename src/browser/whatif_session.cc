@@ -43,6 +43,7 @@ void WhatIfSession::Begin(std::optional<Chronon> now) {
   } else {
     conn_->ClearNow();
   }
+  if (!stmt_.has_value()) stmt_.emplace(conn_->Prepare(sql_));
   ++started_;
   in_flight_ = true;
   worker_ = std::thread([this] {
@@ -52,7 +53,9 @@ void WhatIfSession::Begin(std::optional<Chronon> now) {
     // the session override mid-evaluation.
     Result<TimelineView> view = [&]() -> Result<TimelineView> {
       TIP_RETURN_IF_ERROR(conn_->Begin());
-      Result<client::ResultSet> result = conn_->Execute(sql_);
+      // The prepared handle reuses one plan across window moves; the
+      // transaction's pinned NOW re-grounds it without replanning.
+      Result<client::ResultSet> result = stmt_->Execute();
       if (!result.ok()) {
         // Fatal failures (a cancel from CancelInFlight, a timeout)
         // already aborted the transaction; close it ourselves only if

@@ -63,6 +63,11 @@ class WhatIfSession {
   client::Connection* conn_;
   std::string sql_;
   std::string temporal_column_;
+  /// The browse query, prepared once on the first Begin. Every window
+  /// move re-executes this handle: the plan is reused and only NOW is
+  /// re-grounded, so the slider never pays parse/plan again. A parse
+  /// error is carried by the handle and surfaces through Wait.
+  std::optional<client::Statement> stmt_;
 
   std::thread worker_;
   std::mutex mu_;  // guards latest_

@@ -15,6 +15,11 @@ struct tip_connection {
   std::string last_error;
 };
 
+struct tip_stmt {
+  tip_connection* conn;  // owner; carries last_error for this handle
+  tip::client::Statement impl;
+};
+
 struct tip_result {
   tip::engine::ResultSet rows;
   const tip::engine::TypeRegistry* types;
@@ -193,6 +198,71 @@ int tip_exec(tip_connection* conn, const char* sql, tip_result** out) {
   }
   return 0;
 }
+
+int tip_prepare(tip_connection* conn, const char* sql, tip_stmt** out) {
+  if (out != nullptr) *out = nullptr;
+  if (conn == nullptr || sql == nullptr || out == nullptr) return -1;
+  tip::client::Statement stmt = conn->impl->Prepare(sql);
+  if (!stmt.status().ok()) {
+    conn->last_error = stmt.status().ToString();
+    return -1;
+  }
+  conn->last_error.clear();
+  *out = new tip_stmt{conn, std::move(stmt)};
+  return 0;
+}
+
+int tip_stmt_bind_int(tip_stmt* stmt, const char* name, long long value) {
+  if (stmt == nullptr || name == nullptr) return -1;
+  stmt->impl.BindInt(name, value);
+  return 0;
+}
+
+int tip_stmt_bind_double(tip_stmt* stmt, const char* name, double value) {
+  if (stmt == nullptr || name == nullptr) return -1;
+  stmt->impl.BindDouble(name, value);
+  return 0;
+}
+
+int tip_stmt_bind_text(tip_stmt* stmt, const char* name,
+                       const char* value) {
+  if (stmt == nullptr || name == nullptr || value == nullptr) return -1;
+  stmt->impl.BindString(name, value);
+  return 0;
+}
+
+int tip_stmt_bind_null(tip_stmt* stmt, const char* name) {
+  if (stmt == nullptr || name == nullptr) return -1;
+  stmt->impl.BindNull(name);
+  return 0;
+}
+
+int tip_stmt_clear_bindings(tip_stmt* stmt) {
+  if (stmt == nullptr) return -1;
+  stmt->impl.ClearBindings();
+  return 0;
+}
+
+int tip_stmt_execute(tip_stmt* stmt, tip_result** out) {
+  if (out != nullptr) *out = nullptr;
+  if (stmt == nullptr) return -1;
+  tip_connection* conn = stmt->conn;
+  tip::Result<tip::client::ResultSet> result = stmt->impl.Execute();
+  if (!result.ok()) {
+    conn->last_error = result.status().ToString();
+    return -1;
+  }
+  conn->last_error.clear();
+  if (out != nullptr) {
+    auto* handle = new tip_result;
+    handle->rows = result->raw();
+    handle->types = &conn->impl->database().types();
+    *out = handle;
+  }
+  return 0;
+}
+
+void tip_stmt_close(tip_stmt* stmt) { delete stmt; }
 
 void tip_result_free(tip_result* result) { delete result; }
 

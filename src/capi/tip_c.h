@@ -23,6 +23,7 @@ extern "C" {
 
 typedef struct tip_connection tip_connection;
 typedef struct tip_result tip_result;
+typedef struct tip_stmt tip_stmt;
 
 /* Opens an embedded database with the TIP DataBlade installed.
  * Returns NULL on failure. */
@@ -92,6 +93,26 @@ int tip_in_transaction(const tip_connection* conn);
  * receives a result handle the caller frees with tip_result_free;
  * pass NULL to discard the result. */
 int tip_exec(tip_connection* conn, const char* sql, tip_result** out);
+
+/* Prepared statements: parse/plan once, execute many. tip_prepare
+ * parses `sql` eagerly — a malformed statement fails here (see
+ * tip_last_error) with *out set to NULL — and the handle reuses one
+ * engine plan across executions; tip_stmt_bind_* rebind the `:name`
+ * host parameters between executions without replanning. A statement
+ * handle belongs to the connection that prepared it and must be closed
+ * before that connection. */
+int tip_prepare(tip_connection* conn, const char* sql, tip_stmt** out);
+int tip_stmt_bind_int(tip_stmt* stmt, const char* name, long long value);
+int tip_stmt_bind_double(tip_stmt* stmt, const char* name, double value);
+int tip_stmt_bind_text(tip_stmt* stmt, const char* name,
+                       const char* value);
+int tip_stmt_bind_null(tip_stmt* stmt, const char* name);
+/* Removes all bindings from the statement. */
+int tip_stmt_clear_bindings(tip_stmt* stmt);
+/* Executes with the current bindings; result handling as tip_exec.
+ * Errors are reported on the owning connection's tip_last_error. */
+int tip_stmt_execute(tip_stmt* stmt, tip_result** out);
+void tip_stmt_close(tip_stmt* stmt);
 
 void tip_result_free(tip_result* result);
 

@@ -39,7 +39,13 @@ Result<ResultSet> Connection::Execute(std::string_view sql) {
 }
 
 Statement Connection::Prepare(std::string_view sql) {
-  return Statement(this, std::string(sql));
+  // Parse eagerly: a malformed statement is reported by the handle's
+  // status() before anything executes, and a well-formed one shares the
+  // engine's cached plan across every later Execute.
+  Result<std::shared_ptr<const engine::PreparedPlan>> plan =
+      db_->Prepare(sql);
+  if (!plan.ok()) return Statement(this, std::string(sql), plan.status());
+  return Statement(this, std::string(sql), std::move(*plan));
 }
 
 Status Connection::Begin() { return db_->BeginTransaction(); }
@@ -136,8 +142,14 @@ Statement& Statement::ClearBindings() {
 }
 
 Result<ResultSet> Statement::Execute() {
+  if (!prepare_status_.ok()) return prepare_status_;
   engine::Database& db = connection_->database();
-  TIP_ASSIGN_OR_RETURN(engine::ResultSet result, db.Execute(sql_, params_));
+  engine::ResultSet result;
+  if (plan_ != nullptr) {
+    TIP_ASSIGN_OR_RETURN(result, db.ExecutePrepared(*plan_, &params_));
+  } else {
+    TIP_ASSIGN_OR_RETURN(result, db.Execute(sql_, params_));
+  }
   return ResultSet(std::move(result), connection_->tip_types(),
                    &db.types());
 }

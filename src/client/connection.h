@@ -45,7 +45,12 @@ class Connection {
   /// One-shot execution without parameters.
   Result<ResultSet> Execute(std::string_view sql);
 
-  /// Prepares a statement for (repeated) parameterized execution.
+  /// Prepares a statement for (repeated) parameterized execution. The
+  /// SQL is parsed (and validated) here, once: a syntax error is
+  /// reported by the returned handle's status() — and again by its
+  /// Execute — rather than deferred to the first execution, and
+  /// repeated Execute calls reuse the engine's cached plan, rebinding
+  /// parameters without replanning.
   Statement Prepare(std::string_view sql);
 
   /// Transaction control, the client face of BEGIN/COMMIT/ROLLBACK.
@@ -105,11 +110,27 @@ class Connection {
 };
 
 /// A prepared statement with named-parameter binding. Bind* calls are
-/// chainable; Execute may be called repeatedly (rebinding in between).
+/// chainable; Execute may be called repeatedly (rebinding in between)
+/// and reuses one engine plan across executions — parse once, plan
+/// once, execute many.
 class Statement {
  public:
+  /// Unvalidated handle (legacy path): parses lazily on Execute.
+  /// Connection::Prepare constructs the validated, plan-backed form.
   Statement(Connection* connection, std::string sql)
       : connection_(connection), sql_(std::move(sql)) {}
+  Statement(Connection* connection, std::string sql,
+            std::shared_ptr<const engine::PreparedPlan> plan)
+      : connection_(connection), sql_(std::move(sql)),
+        plan_(std::move(plan)) {}
+  Statement(Connection* connection, std::string sql, Status prepare_error)
+      : connection_(connection), sql_(std::move(sql)),
+        prepare_status_(std::move(prepare_error)) {}
+
+  /// The outcome of preparation: a parse error surfaces here without
+  /// executing anything. Always OK for handles built by the legacy
+  /// constructor.
+  const Status& status() const { return prepare_status_; }
 
   Statement& BindInt(std::string_view name, int64_t value);
   Statement& BindDouble(std::string_view name, double value);
@@ -133,6 +154,9 @@ class Statement {
  private:
   Connection* connection_;
   std::string sql_;
+  /// The shared engine plan (null on the legacy lazy path).
+  std::shared_ptr<const engine::PreparedPlan> plan_;
+  Status prepare_status_;
   engine::Params params_;
 };
 

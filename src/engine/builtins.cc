@@ -632,6 +632,62 @@ Status RegisterWalStats(Database* db) {
   return Status::OK();
 }
 
+// tip_plan_stats()          -> formatted plan-cache counters
+// tip_plan_stats('counter') -> one counter as INT
+// The observability surface for the prepared-statement plan cache,
+// mirroring the other tip_*_stats routines. Note the stats query itself
+// is a SELECT: with the cache on it takes one miss of its own the first
+// time a session runs it.
+Status RegisterPlanStats(Database* db) {
+  RoutineRegistry& reg = db->routines();
+  const TypeId s = TypeId::kString;
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_plan_stats", {}, s,
+      [db](const std::vector<Datum>&, EvalContext&) -> Result<Datum> {
+        const PlanCacheStats& st = db->plan_cache_stats();
+        return Datum::String(
+            "hits=" + std::to_string(st.hits.load(std::memory_order_relaxed)) +
+            " misses=" +
+            std::to_string(st.misses.load(std::memory_order_relaxed)) +
+            " invalidations=" +
+            std::to_string(st.invalidations.load(std::memory_order_relaxed)) +
+            " evictions=" +
+            std::to_string(st.evictions.load(std::memory_order_relaxed)) +
+            " entries=" + std::to_string(db->plan_cache_entries()) +
+            " capacity=" + std::to_string(db->plan_cache_capacity()) +
+            " catalog_version=" + std::to_string(db->catalog_version()));
+      })));
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_plan_stats", {s}, TypeId::kInt,
+      [db](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        const PlanCacheStats& st = db->plan_cache_stats();
+        const std::string counter = ToLowerAscii(a[0].string_value());
+        uint64_t value;
+        if (counter == "hits") {
+          value = st.hits.load(std::memory_order_relaxed);
+        } else if (counter == "misses") {
+          value = st.misses.load(std::memory_order_relaxed);
+        } else if (counter == "invalidations") {
+          value = st.invalidations.load(std::memory_order_relaxed);
+        } else if (counter == "evictions") {
+          value = st.evictions.load(std::memory_order_relaxed);
+        } else if (counter == "entries") {
+          value = db->plan_cache_entries();
+        } else if (counter == "capacity") {
+          value = db->plan_cache_capacity();
+        } else if (counter == "catalog_version") {
+          value = db->catalog_version();
+        } else {
+          return Status::InvalidArgument("unknown plan counter '" + counter +
+                                         "'");
+        }
+        return Datum::Int(static_cast<int64_t>(value));
+      })));
+  return Status::OK();
+}
+
 }  // namespace
 
 Status RegisterBuiltins(Database* db) {
@@ -641,6 +697,7 @@ Status RegisterBuiltins(Database* db) {
   TIP_RETURN_IF_ERROR(RegisterIndexStats(db));
   TIP_RETURN_IF_ERROR(RegisterGuardStats(db));
   TIP_RETURN_IF_ERROR(RegisterWalStats(db));
+  TIP_RETURN_IF_ERROR(RegisterPlanStats(db));
   return Status::OK();
 }
 

@@ -30,6 +30,7 @@ Status AggregateRegistry::Register(AggregateDef def) {
     }
   }
   defs_.push_back(std::move(def));
+  if (on_change_) on_change_();
   return Status::OK();
 }
 

@@ -88,8 +88,17 @@ class AggregateRegistry {
   /// distinguishes aggregate calls from scalar routine calls.
   bool Exists(std::string_view name) const;
 
+  /// Invoked after every successful Register. The Database routes this
+  /// to its catalog-version bump: Resolve hands out pointers into
+  /// defs_, which a later Register may reallocate from under cached
+  /// plans.
+  void SetChangeListener(std::function<void()> fn) {
+    on_change_ = std::move(fn);
+  }
+
  private:
   std::vector<AggregateDef> defs_;
+  std::function<void()> on_change_;
 };
 
 }  // namespace tip::engine

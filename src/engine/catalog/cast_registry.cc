@@ -8,6 +8,7 @@ Status CastRegistry::Register(TypeId from, TypeId to, bool implicit,
     return Status::AlreadyExists("cast already registered");
   }
   casts_.push_back(Cast{from, to, implicit, std::move(fn)});
+  if (on_change_) on_change_();
   return Status::OK();
 }
 

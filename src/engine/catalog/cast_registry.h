@@ -46,8 +46,16 @@ class CastRegistry {
   /// All registered casts (catalog introspection, tests).
   const std::vector<Cast>& casts() const { return casts_; }
 
+  /// Invoked after every successful Register. The Database routes this
+  /// to its catalog-version bump: Find hands out pointers into casts_,
+  /// which a later Register may reallocate from under cached plans.
+  void SetChangeListener(std::function<void()> fn) {
+    on_change_ = std::move(fn);
+  }
+
  private:
   std::vector<Cast> casts_;
+  std::function<void()> on_change_;
 };
 
 }  // namespace tip::engine

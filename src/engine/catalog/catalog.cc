@@ -95,6 +95,7 @@ Result<Table*> Catalog::CreateTable(std::string_view name,
   }
   tables_.push_back(
       std::make_unique<Table>(ToLowerAscii(name), std::move(columns)));
+  NotifyChanged();
   return tables_.back().get();
 }
 
@@ -102,6 +103,7 @@ Status Catalog::DropTable(std::string_view name) {
   for (size_t i = 0; i < tables_.size(); ++i) {
     if (EqualsIgnoreCase(tables_[i]->name(), name)) {
       tables_.erase(tables_.begin() + static_cast<ptrdiff_t>(i));
+      NotifyChanged();
       return Status::OK();
     }
   }

@@ -115,8 +115,20 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Invoked after every successful CreateTable/DropTable. The Database
+  /// routes this to its catalog-version bump: cached plans hold raw
+  /// Table pointers, so every table-set change must invalidate them.
+  void SetChangeListener(std::function<void()> fn) {
+    on_change_ = std::move(fn);
+  }
+
  private:
+  void NotifyChanged() {
+    if (on_change_) on_change_();
+  }
+
   std::vector<std::unique_ptr<Table>> tables_;
+  std::function<void()> on_change_;
 };
 
 }  // namespace tip::engine

@@ -67,6 +67,7 @@ Status RoutineRegistry::Register(Routine routine) {
     }
   }
   routines_.push_back(std::move(routine));
+  NotifyChanged();
   return Status::OK();
 }
 
@@ -140,6 +141,7 @@ Status RoutineRegistry::Remove(std::string_view name) {
   if (removed == 0) {
     return Status::NotFound("no routine named '" + lower + "'");
   }
+  NotifyChanged();
   return Status::OK();
 }
 

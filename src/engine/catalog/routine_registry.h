@@ -79,11 +79,23 @@ class RoutineRegistry {
   /// Every overload registered under `name` (catalog introspection).
   std::vector<const Routine*> Overloads(std::string_view name) const;
 
+  /// Invoked after every successful Register/Remove. The Database routes
+  /// this to its catalog-version bump: cached plans hold the raw Routine
+  /// pointers Resolve handed out, and Remove erases their storage.
+  void SetChangeListener(std::function<void()> fn) {
+    on_change_ = std::move(fn);
+  }
+
  private:
+  void NotifyChanged() {
+    if (on_change_) on_change_();
+  }
+
   // A deque keeps Routine addresses stable across Register calls:
   // ResolvedRoutine hands out raw pointers that bound expressions hold
   // for the duration of a statement.
   std::deque<Routine> routines_;
+  std::function<void()> on_change_;
 };
 
 }  // namespace tip::engine

@@ -76,6 +76,16 @@ Database::Database() {
   // would be a programming error in the engine itself.
   (void)status;
   assert(status.ok());
+  // Cached plans hold raw pointers into these registries (Table*,
+  // Routine*, Cast*, AggregateDef*), so every mutation must bump the
+  // catalog version before a cached variant is trusted again. Installed
+  // for the lifetime of the database; bumps during DataBlade install or
+  // recovery replay are harmless (plans simply re-plan once).
+  auto bump = [this] { BumpCatalogVersion(); };
+  catalog_.SetChangeListener(bump);
+  routines_.SetChangeListener(bump);
+  casts_.SetChangeListener(bump);
+  aggregates_.SetChangeListener(bump);
 }
 
 Status Database::RegisterIntervalKeyFn(TypeId type, IntervalKeyFn fn) {
@@ -84,6 +94,8 @@ Status Database::RegisterIntervalKeyFn(TypeId type, IntervalKeyFn fn) {
                                  "for this type");
   }
   interval_key_fns_.emplace(type, std::move(fn));
+  // A new access method changes which plans an index scan is legal for.
+  BumpCatalogVersion();
   return Status::OK();
 }
 
@@ -118,14 +130,63 @@ void Database::DeregisterGuard(ExecGuard* guard) {
 }
 
 Result<ResultSet> Database::Execute(std::string_view sql) {
+  // With the plan cache on, repeated statement texts skip the lexer and
+  // parser and SELECTs reuse their planned operator tree.
+  if (plan_cache_enabled_) {
+    TIP_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedPlan> plan,
+                         Prepare(sql));
+    return ExecutePrepared(*plan, nullptr);
+  }
   TIP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   return ExecuteParsed(stmt, nullptr, sql);
 }
 
 Result<ResultSet> Database::Execute(std::string_view sql,
                                     const Params& params) {
+  if (plan_cache_enabled_) {
+    TIP_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedPlan> plan,
+                         Prepare(sql));
+    return ExecutePrepared(*plan, &params);
+  }
   TIP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   return ExecuteParsed(stmt, &params, sql);
+}
+
+Result<std::shared_ptr<const PreparedPlan>> Database::Prepare(
+    std::string_view sql) {
+  const bool use_cache = plan_cache_enabled_;
+  std::string key;
+  if (use_cache) {
+    // The settings fingerprint is part of the text key per the cache
+    // contract; variants re-verify it anyway, so a stale hit after SET
+    // still re-plans rather than misbehaving.
+    key = SettingsFingerprint();
+    key += '\n';
+    key += sql;
+    if (std::shared_ptr<PreparedPlan> cached = plan_cache_.Lookup(key)) {
+      return std::shared_ptr<const PreparedPlan>(std::move(cached));
+    }
+  }
+  TIP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  auto plan =
+      std::make_shared<PreparedPlan>(std::string(sql), std::move(stmt));
+  // Only SELECTs carry reusable operator trees; other kinds would just
+  // occupy cache slots to save a parse.
+  if (use_cache && plan->stmt().kind == Statement::Kind::kSelect) {
+    plan_cache_.Insert(key, plan, &plan_cache_stats_);
+  }
+  return std::shared_ptr<const PreparedPlan>(std::move(plan));
+}
+
+Result<ResultSet> Database::ExecutePrepared(const PreparedPlan& plan,
+                                            const Params* params) {
+  if (plan.stmt().kind == Statement::Kind::kSelect) {
+    return ApplyTxnErrorContract(ExecutePreparedSelect(plan, params));
+  }
+  // Non-SELECT statements reuse the parsed AST but re-plan per
+  // execution: DML binds against live table state anyway, and DDL/SET
+  // are not on any hot path.
+  return ExecuteParsed(plan.stmt(), params, plan.sql());
 }
 
 Result<ResultSet> Database::ExecuteScript(std::string_view script) {
@@ -175,7 +236,10 @@ bool Database::IsTxnFatal(StatusCode code) {
 Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
                                           const Params* params,
                                           std::string_view sql) {
-  Result<ResultSet> result = ExecuteStatement(stmt, params, sql);
+  return ApplyTxnErrorContract(ExecuteStatement(stmt, params, sql));
+}
+
+Result<ResultSet> Database::ApplyTxnErrorContract(Result<ResultSet> result) {
   // Only the transaction's own thread may trip the auto-abort: a
   // concurrent read-only statement on another thread (a stats poll that
   // got cancelled, say) must not tear down a transaction it is not part
@@ -193,9 +257,21 @@ Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
   return result;
 }
 
-Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
-                                             const Params* params,
-                                             std::string_view sql) {
+Database::GuardArm::GuardArm(Database* db, EvalContext* eval) : db_(db) {
+  if (!db->statement_guard_enabled_) return;
+  guard_.SetTimeout(db->statement_timeout_ms_);
+  guard_.SetMemoryLimit(db->memory_limit_kb_ * 1024);
+  guard_.set_events(&db->guard_events_);
+  eval->guard = &guard_;
+  db->RegisterGuard(&guard_);
+  registered_ = true;
+}
+
+Database::GuardArm::~GuardArm() {
+  if (registered_) db_->DeregisterGuard(&guard_);
+}
+
+PlannerContext Database::MakePlannerContext(const Params* params) {
   PlannerContext pctx;
   pctx.types = &types_;
   pctx.routines = &routines_;
@@ -209,6 +285,121 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
   pctx.parallel_workers = parallel_workers_;
   pctx.parallel_min_rows = parallel_min_rows_;
   pctx.parallel_stats = &parallel_stats_;
+  return pctx;
+}
+
+std::string Database::SettingsFingerprint() const {
+  // Everything the planner reads besides the catalog. The guard switch
+  // does not change plan shape, but an execution under a different
+  // guard regime is not the one the user benchmarked, so it keys too.
+  std::string fp;
+  fp += enable_hash_join_ ? "hj1 " : "hj0 ";
+  fp += enable_interval_join_ ? "ij1 " : "ij0 ";
+  fp += statement_guard_enabled_ ? "g1 " : "g0 ";
+  fp += "pw";
+  fp += std::to_string(parallel_workers_.load(std::memory_order_relaxed));
+  fp += " pm";
+  fp += std::to_string(parallel_min_rows_.load(std::memory_order_relaxed));
+  return fp;
+}
+
+Result<std::shared_ptr<PreparedPlan::Variant>> Database::PlanPreparedVariant(
+    const PreparedPlan& plan, const Params* params, uint64_t version,
+    std::string settings_fingerprint, std::string param_signature) {
+  auto variant = std::make_shared<PreparedPlan::Variant>();
+  variant->catalog_version = version;
+  variant->settings_fingerprint = std::move(settings_fingerprint);
+  variant->param_signature = std::move(param_signature);
+  PlannerContext pctx = MakePlannerContext(params);
+  // Prepared mode: `:name` placeholders bind to ordinal slots instead
+  // of folding the bound values in, so the tree survives rebinding.
+  pctx.param_slots = &variant->slot_names;
+  TIP_ASSIGN_OR_RETURN(variant->plan,
+                       PlanSelect(*plan.stmt().select, pctx, nullptr));
+  return variant;
+}
+
+Result<ResultSet> Database::ExecutePreparedSelect(const PreparedPlan& plan,
+                                                  const Params* params) {
+  const uint64_t version = catalog_version();
+  std::string settings = SettingsFingerprint();
+  std::string signature = ParamSignature(params);
+  std::shared_ptr<PreparedPlan::Variant> variant =
+      plan.FindVariant(version, settings, signature, &plan_cache_stats_);
+
+  // The cached tree carries per-run state (cursors, hash tables), so it
+  // serves one execution at a time; a concurrent execution of the same
+  // handle plans a private transient tree instead of waiting.
+  std::unique_lock<std::mutex> exec_lock;
+  if (variant != nullptr) {
+    exec_lock = std::unique_lock<std::mutex>(variant->exec_mu,
+                                             std::try_to_lock);
+    if (!exec_lock.owns_lock()) variant.reset();
+    // else: catalog_version was re-validated under FindVariant's lock;
+    // DDL is serialized externally against running statements, so the
+    // version cannot move while we execute.
+  }
+  const bool hit = variant != nullptr && exec_lock.owns_lock();
+  if (!hit) {
+    TIP_ASSIGN_OR_RETURN(
+        variant, PlanPreparedVariant(plan, params, version,
+                                     std::move(settings),
+                                     std::move(signature)));
+    // Lock before publication so no other execution can take the tree
+    // between AddVariant and our run.
+    exec_lock = std::unique_lock<std::mutex>(variant->exec_mu);
+    plan.AddVariant(variant, &plan_cache_stats_);
+    plan_cache_stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    plan_cache_stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Resolve the name→value map into the plan's ordinal slots once per
+  // execution; BoundParam indexes the vector per evaluation without
+  // touching the map again.
+  std::vector<Datum> slots;
+  slots.reserve(variant->slot_names.size());
+  for (const std::string& name : variant->slot_names) {
+    auto it = params->find(name);
+    if (it == params->end()) {
+      // Unreachable while the signature covers the whole map, but fail
+      // closed rather than executing with a hole in the slot vector.
+      return Status::InvalidArgument("unbound parameter :" + name);
+    }
+    slots.push_back(it->second);
+  }
+
+  // A fresh EvalContext per execution is what re-grounds NOW: nothing
+  // NOW-dependent was folded at plan time, so the new TxContext is the
+  // only grounding the run sees.
+  EvalContext eval(CurrentTx());
+  eval.params = &slots;
+  GuardArm guard_arm(this, &eval);
+
+  ExecState state;
+  state.eval = &eval;
+  ResultSet result;
+  for (size_t i = 0; i < variant->plan.column_names.size(); ++i) {
+    result.columns.push_back(
+        {variant->plan.column_names[i], variant->plan.column_types[i]});
+  }
+  TIP_RETURN_IF_ERROR(variant->plan.root->Open(state));
+  Row row;
+  for (;;) {
+    TIP_RETURN_IF_ERROR(eval.CheckGuard());
+    TIP_ASSIGN_OR_RETURN(bool has_row,
+                         variant->plan.root->Next(state, &row));
+    if (!has_row) break;
+    TIP_RETURN_IF_ERROR(eval.ReserveMemory(exec_util::ApproxRowBytes(row)));
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
+                                             const Params* params,
+                                             std::string_view sql) {
+  PlannerContext pctx = MakePlannerContext(params);
 
   EvalContext eval(CurrentTx());
   ExecState state;
@@ -219,21 +410,7 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
   // the EvalContext. The guard is visible to other threads (for
   // Connection::Cancel) only while registered, and RAII deregistration
   // covers every return path out of the switch below.
-  ExecGuard guard;
-  if (statement_guard_enabled_) {
-    guard.SetTimeout(statement_timeout_ms_);
-    guard.SetMemoryLimit(memory_limit_kb_ * 1024);
-    guard.set_events(&guard_events_);
-    eval.guard = &guard;
-    RegisterGuard(&guard);
-  }
-  struct GuardScope {
-    Database* db;
-    ExecGuard* guard;
-    ~GuardScope() {
-      if (guard != nullptr) db->DeregisterGuard(guard);
-    }
-  } guard_scope{this, eval.guard};
+  GuardArm guard_arm(this, &eval);
 
   switch (stmt.kind) {
     case Statement::Kind::kSelect: {
@@ -283,6 +460,22 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
             " cancels=" + std::to_string(cancels) +
             " oom=" + std::to_string(oom) +
             " parallel_fallbacks=" + std::to_string(fallbacks) + ")")});
+      }
+      // Plan-cache counters, appended only once the cache has seen
+      // traffic so plans from untouched sessions are unchanged.
+      const auto& pc = plan_cache_stats_;
+      const uint64_t pc_hits = pc.hits.load(std::memory_order_relaxed);
+      const uint64_t pc_misses = pc.misses.load(std::memory_order_relaxed);
+      const uint64_t pc_inval =
+          pc.invalidations.load(std::memory_order_relaxed);
+      const uint64_t pc_evict = pc.evictions.load(std::memory_order_relaxed);
+      if (pc_hits + pc_misses + pc_inval + pc_evict > 0) {
+        result.rows.push_back(Row{Datum::String(
+            "PlanCacheStats(hits=" + std::to_string(pc_hits) +
+            " misses=" + std::to_string(pc_misses) +
+            " invalidations=" + std::to_string(pc_inval) +
+            " evictions=" + std::to_string(pc_evict) +
+            " entries=" + std::to_string(plan_cache_entries()) + ")")});
       }
       // Durability counters, present only once a WAL is attached so
       // plans from non-durable sessions are unchanged.
@@ -591,6 +784,22 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
         result.message = "SET WAL_GROUP_SIZE " + std::to_string(n);
         return result;
       }
+      if (stmt.option == "plan_cache") {
+        TIP_ASSIGN_OR_RETURN(bool on, ParseOnOff(word));
+        set_plan_cache_enabled(on);
+        result.message = "SET PLAN_CACHE";
+        return result;
+      }
+      if (stmt.option == "plan_cache_size") {
+        TIP_ASSIGN_OR_RETURN(int64_t n, ParseCount(word));
+        if (n < 1) {
+          return Status::InvalidArgument(
+              "plan_cache_size must be at least 1");
+        }
+        set_plan_cache_size(static_cast<size_t>(n));
+        result.message = "SET PLAN_CACHE_SIZE " + std::to_string(n);
+        return result;
+      }
       if (stmt.option == "fault_inject") {
         // 'point:n[,point:every:n|point:prob:p|point:kill:n...]' arms
         // deterministic fault points; 'seed:n' reseeds prob triggers;
@@ -629,6 +838,9 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
       TIP_RETURN_IF_ERROR(LogAppliedDdl(sql, [table, &stmt] {
         (void)table->DropIndex(stmt.index_name);
       }));
+      // Index DDL happens on the Table, below the Catalog listener's
+      // sight: bump explicitly so cached scans re-plan onto the index.
+      BumpCatalogVersion();
       ResultSet result;
       result.message = "CREATE INDEX";
       return result;
@@ -745,6 +957,8 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
             AppendWal(WalRecordKind::kDdl, EncodeDdlBody(sql)));
       }
       TIP_RETURN_IF_ERROR(table->DropIndex(stmt.index_name));
+      // See kCreateIndex: the Catalog listener does not see index DDL.
+      BumpCatalogVersion();
       ResultSet result;
       result.message = "DROP INDEX";
       return result;
@@ -1030,6 +1244,10 @@ Status Database::AttachDurableDir(const std::string& dir,
   durability_.txn_records_discarded.fetch_add(report->txn_records_discarded,
                                               std::memory_order_relaxed);
   RemoveStaleSnapshots(dir, meta.has_value() ? meta->snapshot_file : "");
+  // Recovery may have restored tables/functions through paths the
+  // registry listeners already saw, but snapshot loading pokes catalog
+  // state directly — one final bump settles any plan cached pre-attach.
+  BumpCatalogVersion();
   return Status::OK();
 }
 
@@ -1052,6 +1270,9 @@ Status Database::set_wal_mode(WalMode mode) {
   // (still consistent) contract.
   if (mode == WalMode::kOff || wal_mode_ == WalMode::kOff) {
     TIP_RETURN_IF_ERROR(Checkpoint());
+    // The re-baseline rotated the log under a new contract; cached
+    // plans are conservatively re-planned at the same boundary.
+    BumpCatalogVersion();
   }
   wal_mode_ = mode;
   return Status::OK();

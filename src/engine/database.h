@@ -24,6 +24,7 @@
 #include "engine/catalog/catalog.h"
 #include "engine/catalog/routine_registry.h"
 #include "engine/exec/parallel_exec.h"
+#include "engine/exec/prepared_plan.h"
 #include "engine/exec/result_set.h"
 #include "engine/storage/wal.h"
 #include "engine/types/type.h"
@@ -102,6 +103,55 @@ class Database {
   Result<ResultSet> Execute(std::string_view sql);
   /// Executes with host parameters bound to `:name` placeholders.
   Result<ResultSet> Execute(std::string_view sql, const Params& params);
+
+  // -- Prepared statements ---------------------------------------------------
+
+  /// Parses `sql` once and returns a shared prepared handle: parse
+  /// errors surface here (eagerly), and for SELECTs the planned
+  /// operator tree is built lazily on first execution and reused by
+  /// every later one. With the plan cache enabled, SELECT handles are
+  /// shared with (and retrieved from) the text-keyed cache, so repeated
+  /// Execute(sql) calls and explicit Prepare users converge on the same
+  /// plan.
+  Result<std::shared_ptr<const PreparedPlan>> Prepare(std::string_view sql);
+
+  /// Executes a prepared handle under fresh parameter bindings. SELECTs
+  /// reuse the cached operator tree when the catalog version, session
+  /// settings and parameter types still match the plan (re-grounding
+  /// NOW through a fresh TxContext each time); otherwise they re-plan
+  /// transparently — a dropped table fails cleanly rather than touching
+  /// a dangling pointer. Other statement kinds skip the parser and
+  /// re-plan from the stored AST per execution.
+  Result<ResultSet> ExecutePrepared(const PreparedPlan& plan,
+                                    const Params* params = nullptr);
+
+  /// SET plan_cache on|off: when off, Execute(sql) parses and plans
+  /// from scratch (the pre-cache behavior) and Prepare stops consulting
+  /// the shared text cache; explicit prepared handles keep their
+  /// variants — caching is their contract.
+  void set_plan_cache_enabled(bool on) { plan_cache_enabled_ = on; }
+  bool plan_cache_enabled() const { return plan_cache_enabled_; }
+  /// SET plan_cache_size n: capacity of the text-keyed LRU cache.
+  void set_plan_cache_size(size_t n) {
+    plan_cache_.SetCapacity(n, &plan_cache_stats_);
+  }
+  const PlanCacheStats& plan_cache_stats() const { return plan_cache_stats_; }
+  size_t plan_cache_entries() const { return plan_cache_.entries(); }
+  size_t plan_cache_capacity() const { return plan_cache_.capacity(); }
+
+  /// Monotonic version of everything cached plans resolve against:
+  /// tables, indexes, routines, casts, aggregates, interval key
+  /// functions. Bumped by DDL, function/cast/aggregate registration,
+  /// ATTACH and wal_mode re-baselining; plan variants carry the version
+  /// they were planned under and are invalidated on mismatch.
+  uint64_t catalog_version() const {
+    return catalog_version_.load(std::memory_order_acquire);
+  }
+  /// Public for extension code that mutates catalog state behind the
+  /// registries' backs; harmless to call spuriously (plans re-plan).
+  void BumpCatalogVersion() {
+    catalog_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   /// Executes a ';'-separated script, stopping at the first error;
   /// returns the result of the last non-empty statement. Semicolons
@@ -248,6 +298,22 @@ class Database {
   Result<ResultSet> ExecuteStatement(const struct Statement& stmt,
                                      const Params* params,
                                      std::string_view sql);
+  /// The prepared SELECT fast path: find or build a plan variant, then
+  /// run the cached tree under a fresh EvalContext.
+  Result<ResultSet> ExecutePreparedSelect(const PreparedPlan& plan,
+                                          const Params* params);
+  /// Plans one variant of a prepared SELECT under the current catalog.
+  Result<std::shared_ptr<PreparedPlan::Variant>> PlanPreparedVariant(
+      const PreparedPlan& plan, const Params* params, uint64_t version,
+      std::string settings_fingerprint, std::string param_signature);
+  /// The session-settings half of the plan-cache key: everything the
+  /// planner reads besides the catalog (join toggles, parallel knobs,
+  /// guard switch).
+  std::string SettingsFingerprint() const;
+  PlannerContext MakePlannerContext(const Params* params);
+  /// Shared auto-abort contract for both execution paths (see
+  /// ExecuteParsed).
+  Result<ResultSet> ApplyTxnErrorContract(Result<ResultSet> result);
 
   /// True when the statement being executed must be appended to the
   /// WAL: a log is attached, logging is on, and we are not replaying
@@ -264,6 +330,23 @@ class Database {
                        const std::function<void()>& undo);
   void RegisterGuard(ExecGuard* guard);
   void DeregisterGuard(ExecGuard* guard);
+
+  /// Arms the per-statement lifecycle guard on `eval` (deadline, cancel
+  /// visibility, memory budget) and deregisters it on unwind; a no-op
+  /// when SET statement_guard off. Shared by the one-shot and prepared
+  /// execution paths so both honour the same contract.
+  class GuardArm {
+   public:
+    GuardArm(Database* db, EvalContext* eval);
+    ~GuardArm();
+    GuardArm(const GuardArm&) = delete;
+    GuardArm& operator=(const GuardArm&) = delete;
+
+   private:
+    Database* db_;
+    ExecGuard guard_;
+    bool registered_ = false;
+  };
 
   /// State of the open transaction (statement-thread only).
   struct TxnState {
@@ -325,6 +408,15 @@ class Database {
   std::atomic<size_t> parallel_min_rows_{4096};
   /// Per-table counters from parallel runs, shown by EXPLAIN.
   ParallelStatsRegistry parallel_stats_;
+  /// See catalog_version(); acq_rel so a bump from the (externally
+  /// serialized) DDL statement is visible to concurrent readers before
+  /// they trust a cached variant.
+  std::atomic<uint64_t> catalog_version_{0};
+  /// Atomic like the other session settings: read by concurrent
+  /// statements while SET flips it.
+  std::atomic<bool> plan_cache_enabled_{true};
+  PlanCache plan_cache_;
+  PlanCacheStats plan_cache_stats_;
   /// Names created via CREATE FUNCTION (the only ones DROP FUNCTION
   /// may remove).
   std::set<std::string> sql_functions_;

@@ -60,6 +60,33 @@ class BoundConstant final : public BoundExpr {
   Datum value_;
 };
 
+/// A late-bound host parameter (`:name`), resolved at plan time to an
+/// ordinal slot in the per-execution parameter vector
+/// (EvalContext::params). Unlike BoundConstant — into which the
+/// one-shot path folds the bound value — the slot is read afresh on
+/// every evaluation, so a prepared plan can be re-executed under new
+/// bindings of the same types without replanning.
+class BoundParam final : public BoundExpr {
+ public:
+  BoundParam(TypeId type, size_t slot, std::string name)
+      : BoundExpr(type), slot_(slot), name_(std::move(name)) {}
+
+  Result<Datum> Eval(const TupleCtx&, EvalContext& ctx) const override {
+    if (ctx.params == nullptr || slot_ >= ctx.params->size()) {
+      return Status::Internal("parameter :" + name_ +
+                              " has no value bound for this execution");
+    }
+    return (*ctx.params)[slot_];
+  }
+
+  size_t slot() const { return slot_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  size_t slot_;
+  std::string name_;  // for error messages only
+};
+
 /// A column of the tuple `depth` scopes out (0 = the current scope).
 class BoundColumn final : public BoundExpr {
  public:

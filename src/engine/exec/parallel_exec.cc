@@ -119,6 +119,7 @@ Status ParallelScanNode::Open(ExecState& state) {
   ExecGuard* guard = state.eval->guard;
   const TupleCtx* outer = state.outer;
   const TxContext tx = state.eval->tx;
+  const std::vector<Datum>* params = state.eval->params;
 
   std::vector<std::vector<RowId>> per_morsel(num_morsels);
   std::vector<WorkerCounters> counters;
@@ -132,6 +133,7 @@ Status ParallelScanNode::Open(ExecState& state) {
     auto body = [&](size_t w) -> Status {
       MaybeThrowWorkerFault();
       EvalContext eval(tx, guard);  // worker-private: not shared
+      eval.params = params;
       WorkerCounters& c = counters[w];
       Morsel m;
       while (!failed.load(std::memory_order_relaxed) && source.Next(&m)) {
@@ -300,6 +302,7 @@ Status ParallelAggregateNode::Open(ExecState& state) {
   ExecGuard* guard = state.eval->guard;
   const TupleCtx* outer = state.outer;
   const TxContext tx = state.eval->tx;
+  const std::vector<Datum>* params = state.eval->params;
 
   std::vector<LocalAgg> locals;
 
@@ -311,6 +314,7 @@ Status ParallelAggregateNode::Open(ExecState& state) {
     return ThreadPool::Shared().RunOnWorkers(n, [&](size_t w) -> Status {
       MaybeThrowWorkerFault();
       EvalContext eval(tx, guard);
+      eval.params = params;
       LocalAgg& local = locals[w];
       local.status = ScanWorker(local, source, failed, outer, eval);
       if (!local.status.ok()) failed.store(true, std::memory_order_relaxed);
@@ -416,6 +420,7 @@ Status ParallelIntervalJoinNode::Open(ExecState& state) {
   ExecGuard* guard = state.eval->guard;
   const TupleCtx* outer = state.outer;
   const TxContext tx = state.eval->tx;
+  const std::vector<Datum>* params = state.eval->params;
 
   std::vector<std::vector<Row>> per_morsel(num_morsels);
   std::vector<WorkerCounters> counters;
@@ -429,6 +434,7 @@ Status ParallelIntervalJoinNode::Open(ExecState& state) {
     auto body = [&](size_t w) -> Status {
       MaybeThrowWorkerFault();
       EvalContext eval(tx, guard);
+      eval.params = params;
       WorkerCounters& c = counters[w];
       std::vector<RowId> matches;
       Morsel m;

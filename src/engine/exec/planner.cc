@@ -169,6 +169,23 @@ Result<BoundExprPtr> ExprBinder::Bind(const Expr& expr) {
       if (it == ctx_.params->end()) {
         return Status::InvalidArgument("unbound parameter :" + expr.text);
       }
+      if (ctx_.param_slots != nullptr) {
+        // Prepared mode: assign (or reuse) an ordinal slot and leave
+        // the value to be supplied per execution. The plan is typed
+        // under the binding present at plan time; a later rebind with a
+        // different type gets its own plan variant.
+        std::vector<std::string>& names = *ctx_.param_slots;
+        size_t slot = names.size();
+        for (size_t i = 0; i < names.size(); ++i) {
+          if (names[i] == expr.text) {
+            slot = i;
+            break;
+          }
+        }
+        if (slot == names.size()) names.push_back(expr.text);
+        return BoundExprPtr(
+            new BoundParam(it->second.type_id(), slot, expr.text));
+      }
       return BoundExprPtr(new BoundConstant(it->second));
     }
     case ExprKind::kColumnRef:

@@ -1,0 +1,113 @@
+#include "engine/exec/prepared_plan.h"
+
+#include <algorithm>
+
+namespace tip::engine {
+
+std::shared_ptr<PreparedPlan::Variant> PreparedPlan::FindVariant(
+    uint64_t catalog_version, const std::string& settings_fingerprint,
+    const std::string& param_signature, PlanCacheStats* stats) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Prune variants planned under an older catalog: their raw catalog
+  // pointers may dangle, and the monotonic version means they can never
+  // match again.
+  size_t kept = 0;
+  for (size_t i = 0; i < variants_.size(); ++i) {
+    if (variants_[i]->catalog_version == catalog_version) {
+      if (kept != i) variants_[kept] = std::move(variants_[i]);
+      ++kept;
+    } else if (stats != nullptr) {
+      stats->invalidations.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  variants_.resize(kept);
+  for (size_t i = 0; i < variants_.size(); ++i) {
+    if (variants_[i]->settings_fingerprint == settings_fingerprint &&
+        variants_[i]->param_signature == param_signature) {
+      std::shared_ptr<Variant> found = variants_[i];
+      // Move to the back: most recently used.
+      variants_.erase(variants_.begin() + static_cast<ptrdiff_t>(i));
+      variants_.push_back(found);
+      return found;
+    }
+  }
+  return nullptr;
+}
+
+void PreparedPlan::AddVariant(std::shared_ptr<Variant> variant,
+                              PlanCacheStats* stats) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (variants_.size() >= kMaxVariants) {
+    variants_.erase(variants_.begin());
+    if (stats != nullptr) {
+      stats->evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  variants_.push_back(std::move(variant));
+}
+
+std::string ParamSignature(
+    const std::map<std::string, Datum, std::less<>>* params) {
+  if (params == nullptr) return std::string();
+  std::string sig;
+  for (const auto& [name, value] : *params) {
+    sig += name;
+    sig += ':';
+    sig += std::to_string(static_cast<int>(value.type_id()));
+    sig += ';';
+  }
+  return sig;
+}
+
+std::shared_ptr<PreparedPlan> PlanCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  // Refresh LRU position.
+  lru_.splice(lru_.end(), lru_, it->second);
+  return it->second->second;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<PreparedPlan> plan,
+                       PlanCacheStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A concurrent Prepare won the race; keep the incumbent (handles
+    // already sharing it stay coherent) and refresh its position.
+    lru_.splice(lru_.end(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_back(key, std::move(plan));
+  index_[key] = std::prev(lru_.end());
+  EvictToCapacityLocked(stats);
+}
+
+void PlanCache::SetCapacity(size_t capacity, PlanCacheStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(1, capacity);
+  EvictToCapacityLocked(stats);
+}
+
+size_t PlanCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+size_t PlanCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void PlanCache::EvictToCapacityLocked(PlanCacheStats* stats) {
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.front().first);
+    lru_.pop_front();
+    if (stats != nullptr) {
+      stats->evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace tip::engine

@@ -1,11 +1,15 @@
 #ifndef TIP_ENGINE_TYPES_EVAL_CONTEXT_H_
 #define TIP_ENGINE_TYPES_EVAL_CONTEXT_H_
 
+#include <vector>
+
 #include "common/exec_guard.h"
 #include "common/status.h"
 #include "core/tx_context.h"
 
 namespace tip::engine {
+
+class Datum;
 
 /// Per-statement evaluation state threaded through every routine, cast
 /// and aggregate invocation. The single most important field is the
@@ -21,6 +25,13 @@ struct EvalContext {
   /// helpers below degrade to no-ops then. Parallel workers building a
   /// private EvalContext must copy this pointer from the parent context.
   ExecGuard* guard = nullptr;
+
+  /// Host-parameter values for this execution, indexed by the ordinal
+  /// slots a prepared plan assigned at plan time (BoundParam reads
+  /// them). Null on the one-shot path, where `:name` placeholders fold
+  /// into constants instead. Parallel workers building a private
+  /// EvalContext must copy this pointer from the parent context.
+  const std::vector<Datum>* params = nullptr;
 
   EvalContext() = default;
   explicit EvalContext(TxContext tx_ctx) : tx(tx_ctx) {}

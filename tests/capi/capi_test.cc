@@ -127,6 +127,66 @@ TEST_F(CApiTest, TransactionsCommitAndRollBack) {
   EXPECT_EQ(tip_in_transaction(nullptr), -1);
 }
 
+TEST_F(CApiTest, PreparedStatementsBindAndExecute) {
+  tip_stmt* stmt = nullptr;
+  ASSERT_EQ(tip_prepare(conn_, "SELECT n, x FROM t WHERE name = :who",
+                        &stmt),
+            0)
+      << tip_last_error(conn_);
+  ASSERT_NE(stmt, nullptr);
+
+  ASSERT_EQ(tip_stmt_bind_text(stmt, "who", "a"), 0);
+  tip_result* result = nullptr;
+  ASSERT_EQ(tip_stmt_execute(stmt, &result), 0) << tip_last_error(conn_);
+  ASSERT_EQ(tip_result_row_count(result), 1u);
+  EXPECT_EQ(tip_result_int64(result, 0, 0), 1);
+  EXPECT_DOUBLE_EQ(tip_result_double(result, 0, 1), 0.5);
+  tip_result_free(result);
+
+  // Rebind and re-execute the same handle.
+  ASSERT_EQ(tip_stmt_bind_text(stmt, "who", "b"), 0);
+  ASSERT_EQ(tip_stmt_execute(stmt, &result), 0);
+  ASSERT_EQ(tip_result_row_count(result), 1u);
+  EXPECT_EQ(tip_result_is_null(result, 0, 0), 1);
+  tip_result_free(result);
+  tip_stmt_close(stmt);
+
+  // Numeric and NULL bindings through a computed projection.
+  ASSERT_EQ(tip_prepare(conn_, "SELECT :i, :d, :nul", &stmt), 0);
+  ASSERT_EQ(tip_stmt_bind_int(stmt, "i", 42), 0);
+  ASSERT_EQ(tip_stmt_bind_double(stmt, "d", 2.5), 0);
+  ASSERT_EQ(tip_stmt_bind_null(stmt, "nul"), 0);
+  ASSERT_EQ(tip_stmt_execute(stmt, &result), 0) << tip_last_error(conn_);
+  EXPECT_EQ(tip_result_int64(result, 0, 0), 42);
+  EXPECT_DOUBLE_EQ(tip_result_double(result, 0, 1), 2.5);
+  EXPECT_EQ(tip_result_is_null(result, 0, 2), 1);
+  tip_result_free(result);
+
+  // An unbound parameter fails the execution, not the process.
+  ASSERT_EQ(tip_stmt_clear_bindings(stmt), 0);
+  EXPECT_EQ(tip_stmt_execute(stmt, &result), -1);
+  EXPECT_EQ(result, nullptr);
+  EXPECT_NE(std::string(tip_last_error(conn_)).find(":"),
+            std::string::npos);
+  tip_stmt_close(stmt);
+}
+
+TEST_F(CApiTest, PrepareReportsSyntaxErrorsEagerly) {
+  tip_stmt* stmt = reinterpret_cast<tip_stmt*>(0x1);
+  EXPECT_EQ(tip_prepare(conn_, "SELEC 1", &stmt), -1);
+  EXPECT_EQ(stmt, nullptr);  // out param reset on failure
+  EXPECT_NE(std::string(tip_last_error(conn_)).find("ParseError"),
+            std::string::npos);
+
+  // NULL safety, like the rest of the API.
+  EXPECT_EQ(tip_prepare(nullptr, "SELECT 1", &stmt), -1);
+  EXPECT_EQ(tip_prepare(conn_, nullptr, &stmt), -1);
+  EXPECT_EQ(tip_prepare(conn_, "SELECT 1", nullptr), -1);
+  EXPECT_EQ(tip_stmt_bind_int(nullptr, "x", 1), -1);
+  EXPECT_EQ(tip_stmt_execute(nullptr, nullptr), -1);
+  tip_stmt_close(nullptr);  // no-op, like free()
+}
+
 TEST_F(CApiTest, NullSafety) {
   EXPECT_EQ(tip_exec(nullptr, "SELECT 1", nullptr), -1);
   EXPECT_EQ(tip_exec(conn_, nullptr, nullptr), -1);

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Builds the crash-torture harness under AddressSanitizer and runs the
-# durability and transactions labels: the fork/kill/recover iterations
-# of the torture test (auto-commit and transactional traces) plus the
-# WAL, recovery and transaction suites. Any sanitizer report fails
-# the run (halt_on_error), so a green exit means recovery after a kill
-# at every armed I/O point is ASan-clean.
+# durability, transactions and integrity labels: the fork/kill/recover
+# iterations of the torture test (auto-commit and transactional
+# traces), the seeded bit-flip sweep, the WAL, recovery and
+# transaction suites, and the corruption fault matrix with its salvage
+# legs. Any sanitizer report fails the run (halt_on_error), so a green
+# exit means recovery after a kill or a flipped byte at every armed
+# point is ASan-clean.
 #
 # Usage: scripts/check_crash.sh [build-root]
 #   build-root defaults to build-sanitize/ next to the source tree;
@@ -22,8 +24,8 @@ cmake -S "$repo" -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTIP_SANITIZE=address >/dev/null
 cmake --build "$dir" -j "$jobs" >/dev/null
 
-echo "== crash torture: ctest -L 'durability|transactions' under ASan =="
+echo "== crash torture: ctest -L 'durability|transactions|integrity' under ASan =="
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
-  ctest --test-dir "$dir" -L 'durability|transactions' -j "$jobs" \
+  ctest --test-dir "$dir" -L 'durability|transactions|integrity' -j "$jobs" \
   --output-on-failure
 echo "crash torture clean under ASan"

@@ -57,6 +57,19 @@ tip_connection* tip_open_dir(const char* dir) {
   return out;
 }
 
+tip_connection* tip_open_dir_recovery(const char* dir, const char* mode) {
+  if (dir == nullptr || mode == nullptr) return nullptr;
+  tip::Result<tip::engine::RecoveryMode> parsed =
+      tip::engine::ParseRecoveryMode(mode);
+  if (!parsed.ok()) return nullptr;
+  tip::Result<std::unique_ptr<tip::client::Connection>> conn =
+      tip::client::Connection::OpenDurable(dir, nullptr, *parsed);
+  if (!conn.ok()) return nullptr;
+  auto* out = new tip_connection;
+  out->impl = std::move(*conn);
+  return out;
+}
+
 void tip_close(tip_connection* conn) { delete conn; }
 
 const char* tip_last_error(const tip_connection* conn) {
@@ -137,6 +150,26 @@ int tip_sync_wal(tip_connection* conn) {
   tip::Status status = conn->impl->SyncWal();
   if (!status.ok()) {
     conn->last_error = status.ToString();
+    return -1;
+  }
+  conn->last_error.clear();
+  return 0;
+}
+
+int tip_verify(tip_connection* conn) {
+  if (conn == nullptr) return -1;
+  tip::Result<tip::client::ResultSet> result =
+      conn->impl->Execute("SELECT tip_verify()");
+  if (!result.ok()) {
+    conn->last_error = result.status().ToString();
+    return -1;
+  }
+  /* tip_verify() reports corruption as data, not as a statement error
+   * (the operator usually wants the whole damage map); fold it back
+   * into the C convention here. */
+  const std::string verdict = result->GetString(0, 0);
+  if (verdict.rfind("ok", 0) != 0) {
+    conn->last_error = "integrity check failed: " + verdict;
     return -1;
   }
   conn->last_error.clear();

@@ -35,6 +35,15 @@ tip_connection* tip_open(void);
  * truncated. Subsequent statements are logged per `SET wal_mode`
  * (off|async|group|sync; default group). Returns NULL on failure. */
 tip_connection* tip_open_dir(const char* dir);
+
+/* As tip_open_dir, but with an explicit corruption policy. `mode` is
+ * "strict" (the tip_open_dir behaviour: refuse a damaged directory) or
+ * "salvage" (quarantine corrupt tables instead of failing the open;
+ * the rest of the database recovers and is readable, quarantined
+ * tables answer every statement with a corruption error until they are
+ * dropped; tip_verify / the tip_health() builtin report the damage).
+ * Returns NULL on failure. */
+tip_connection* tip_open_dir_recovery(const char* dir, const char* mode);
 void tip_close(tip_connection* conn);
 
 /* The message of the last failed call on `conn` ("" if none). The
@@ -75,6 +84,13 @@ int tip_set_memory_limit_kb(tip_connection* conn,
 int tip_set_wal_mode(tip_connection* conn, const char* mode);
 int tip_checkpoint(tip_connection* conn);
 int tip_sync_wal(tip_connection* conn);
+
+/* Runs an online integrity scrub over every table (recomputing content
+ * checksums and cross-checking interval indexes against the heap) plus
+ * the on-disk WAL when durable — the C face of `SELECT tip_verify()`.
+ * Returns 0 when everything checks out, -1 with tip_last_error
+ * describing the damaged objects otherwise. */
+int tip_verify(tip_connection* conn);
 
 /* Transaction control, equivalent to executing BEGIN / COMMIT /
  * ROLLBACK. Statements between tip_begin and tip_commit evaluate under

@@ -13,12 +13,13 @@ Result<std::unique_ptr<Connection>> Connection::Open() {
 }
 
 Result<std::unique_ptr<Connection>> Connection::OpenDurable(
-    const std::string& dir, engine::RecoveryReport* report) {
+    const std::string& dir, engine::RecoveryReport* report,
+    engine::RecoveryMode mode) {
   auto db = std::make_unique<engine::Database>();
   // Extensions first: recovery re-executes statements that may use the
   // TIP types, and snapshots resolve types by name.
   TIP_RETURN_IF_ERROR(datablade::Install(db.get()));
-  TIP_RETURN_IF_ERROR(db->AttachDurableDir(dir, report));
+  TIP_RETURN_IF_ERROR(db->AttachDurableDir(dir, report, mode));
   TIP_ASSIGN_OR_RETURN(datablade::TipTypes types,
                        datablade::TipTypes::Lookup(*db));
   engine::Database* raw = db.get();

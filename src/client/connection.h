@@ -31,9 +31,13 @@ class Connection {
   /// then runs crash recovery (checkpoint snapshot + WAL replay; see
   /// Database::AttachDurableDir). Subsequent statements are logged
   /// according to `SET wal_mode`. `report` (optional) says what
-  /// recovery found.
+  /// recovery found. `mode` picks the corruption policy — kStrict
+  /// (default) refuses a damaged directory outright; kSalvage
+  /// quarantines the corrupt tables, fills the report's corruption
+  /// manifest, and recovers everything else.
   static Result<std::unique_ptr<Connection>> OpenDurable(
-      const std::string& dir, engine::RecoveryReport* report = nullptr);
+      const std::string& dir, engine::RecoveryReport* report = nullptr,
+      engine::RecoveryMode mode = engine::RecoveryMode::kStrict);
 
   /// Attaches to an existing TIP-enabled database (not owned). Fails if
   /// the DataBlade is not installed.

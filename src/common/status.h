@@ -152,6 +152,17 @@ class Result {
   std::optional<T> value_;
 };
 
+/// Prefixes `context` onto a non-OK status's message, preserving its
+/// code: Annotate(Corruption("checksum mismatch"), "snapshot 'x'") →
+/// Corruption("snapshot 'x': checksum mismatch"). OK passes through.
+/// Storage errors use this to accumulate file/LSN/offset context as
+/// they propagate, so a failed open is diagnosable from the message.
+inline Status Annotate(const Status& status, std::string_view context) {
+  if (status.ok()) return status;
+  return Status(status.code(),
+                std::string(context) + ": " + status.message());
+}
+
 }  // namespace tip
 
 /// Propagates a non-OK Status from `expr` out of the enclosing function.

@@ -7,6 +7,7 @@
 
 #include "common/string_util.h"
 #include "engine/database.h"
+#include "engine/storage/integrity.h"
 
 namespace tip::engine {
 
@@ -688,6 +689,144 @@ Status RegisterPlanStats(Database* db) {
   return Status::OK();
 }
 
+// tip_verify()            -> one-line online scrub verdict (all tables)
+// tip_health()            -> scrub counters + quarantine list
+// tip_health('counter')   -> one counter as INT
+// tip_verify_dir('path')  -> offline deep-scan of a durable directory
+// The observability surface for the integrity subsystem. tip_verify()
+// is the scalar twin of CHECK DATABASE; tip_verify_dir() validates a
+// directory *without* attaching it (no replay, no truncation — safe to
+// point at a directory another process owns).
+Status RegisterIntegrityStats(Database* db) {
+  RoutineRegistry& reg = db->routines();
+  const TypeId s = TypeId::kString;
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_verify", {}, s,
+      [db](const std::vector<Datum>&, EvalContext& eval) -> Result<Datum> {
+        uint64_t objects = 0;
+        uint64_t corruptions = 0;
+        std::string bad;
+        for (const std::string& name : db->catalog().TableNames()) {
+          ++objects;
+          Result<Table*> table = db->catalog().GetTable(name);
+          if (!table.ok()) {
+            if (table.status().code() != StatusCode::kCorruption) {
+              continue;  // dropped since TableNames — not corruption
+            }
+            ++corruptions;
+            if (!bad.empty()) bad += "; ";
+            bad += name + ": quarantined";
+            continue;
+          }
+          TIP_ASSIGN_OR_RETURN(CheckFinding finding,
+                               CheckTable(db, *table, &eval));
+          if (!finding.ok) {
+            ++corruptions;
+            if (!bad.empty()) bad += "; ";
+            bad += name + ": " + finding.detail;
+          }
+        }
+        for (const auto& [qname, cause] : db->catalog().QuarantineList()) {
+          Result<Table*> present = db->catalog().GetTableAnyState(qname);
+          if (present.ok()) continue;  // counted above
+          ++objects;
+          ++corruptions;
+          if (!bad.empty()) bad += "; ";
+          bad += qname + ": quarantined (no storage)";
+        }
+        if (db->durable()) {
+          ++objects;
+          OfflineVerifyReport wal_report;
+          Status scanned = VerifyWalFile(db->durable_dir() + "/wal.log",
+                                         &wal_report);
+          if (!scanned.ok() || !wal_report.clean()) {
+            ++corruptions;
+            if (!bad.empty()) bad += "; ";
+            bad += "wal: " + (scanned.ok()
+                                  ? wal_report.problems.front()
+                                  : std::string(scanned.message()));
+          }
+        }
+        db->RecordScrub(objects, corruptions);
+        if (corruptions == 0) {
+          return Datum::String("ok objects=" + std::to_string(objects));
+        }
+        return Datum::String("corrupt=" + std::to_string(corruptions) +
+                             " objects=" + std::to_string(objects) + ": " +
+                             bad);
+      })));
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_health", {}, s,
+      [db](const std::vector<Datum>&, EvalContext&) -> Result<Datum> {
+        const IntegrityStats stats = db->integrity_stats();
+        std::string out =
+            "scrubs=" + std::to_string(stats.scrubs_run) +
+            " objects_checked=" + std::to_string(stats.objects_checked) +
+            " corruptions_found=" + std::to_string(stats.corruptions_found) +
+            " quarantined=" + std::to_string(stats.tables_quarantined);
+        for (const auto& [name, cause] : db->catalog().QuarantineList()) {
+          out += " [" + name + ": " + cause + "]";
+        }
+        const auto manifest = db->corruption_manifest();
+        if (!manifest.empty()) {
+          out += " manifest=" + std::to_string(manifest.size());
+          for (const CorruptionManifestEntry& entry : manifest) {
+            out += " {" + entry.object + " @ " + entry.file;
+            if (entry.lsn != 0) out += " lsn=" + std::to_string(entry.lsn);
+            if (entry.offset != 0) {
+              out += " offset=" + std::to_string(entry.offset);
+            }
+            out += ": " + entry.cause + "}";
+          }
+        }
+        return Datum::String(out);
+      })));
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_health", {s}, TypeId::kInt,
+      [db](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        const IntegrityStats stats = db->integrity_stats();
+        const std::string counter = ToLowerAscii(a[0].string_value());
+        uint64_t value;
+        if (counter == "scrubs_run") {
+          value = stats.scrubs_run;
+        } else if (counter == "objects_checked") {
+          value = stats.objects_checked;
+        } else if (counter == "corruptions_found") {
+          value = stats.corruptions_found;
+        } else if (counter == "quarantined") {
+          value = stats.tables_quarantined;
+        } else if (counter == "manifest_entries") {
+          value = db->corruption_manifest().size();
+        } else {
+          return Status::InvalidArgument("unknown health counter '" +
+                                         counter + "'");
+        }
+        return Datum::Int(static_cast<int64_t>(value));
+      })));
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_verify_dir", {s}, s,
+      [](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        OfflineVerifyReport report;
+        TIP_RETURN_IF_ERROR(VerifyDurableDir(a[0].string_value(), &report));
+        std::string out =
+            report.clean() ? "clean" : std::string("corrupt");
+        out += " snapshot_sections=" +
+               std::to_string(report.snapshot_sections) +
+               " wal_records=" + std::to_string(report.wal_records);
+        if (report.torn_tail) out += " torn_tail";
+        if (report.open_txn_tail) out += " open_txn_tail";
+        for (const std::string& problem : report.problems) {
+          out += " [" + problem + "]";
+        }
+        return Datum::String(out);
+      })));
+  return Status::OK();
+}
+
 }  // namespace
 
 Status RegisterBuiltins(Database* db) {
@@ -698,6 +837,7 @@ Status RegisterBuiltins(Database* db) {
   TIP_RETURN_IF_ERROR(RegisterGuardStats(db));
   TIP_RETURN_IF_ERROR(RegisterWalStats(db));
   TIP_RETURN_IF_ERROR(RegisterPlanStats(db));
+  TIP_RETURN_IF_ERROR(RegisterIntegrityStats(db));
   return Status::OK();
 }
 

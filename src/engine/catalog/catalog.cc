@@ -95,11 +95,14 @@ Result<Table*> Catalog::CreateTable(std::string_view name,
   }
   tables_.push_back(
       std::make_unique<Table>(ToLowerAscii(name), std::move(columns)));
+  if (row_hasher_) tables_.back()->heap().set_row_hasher(row_hasher_);
   NotifyChanged();
   return tables_.back().get();
 }
 
 Status Catalog::DropTable(std::string_view name) {
+  const std::string lower = ToLowerAscii(name);
+  const bool was_quarantined = quarantined_.erase(lower) > 0;
   for (size_t i = 0; i < tables_.size(); ++i) {
     if (EqualsIgnoreCase(tables_[i]->name(), name)) {
       tables_.erase(tables_.begin() + static_cast<ptrdiff_t>(i));
@@ -107,23 +110,45 @@ Status Catalog::DropTable(std::string_view name) {
       return Status::OK();
     }
   }
+  if (was_quarantined) {
+    // Name-only quarantine entry: the table's storage never came back,
+    // so dropping it just forgets the damage.
+    NotifyChanged();
+    return Status::OK();
+  }
   return Status::NotFound("table '" + std::string(name) +
                           "' does not exist");
 }
 
 Result<Table*> Catalog::GetTable(std::string_view name) {
   for (const auto& table : tables_) {
-    if (EqualsIgnoreCase(table->name(), name)) return table.get();
+    if (EqualsIgnoreCase(table->name(), name)) {
+      auto it = quarantined_.find(table->name());
+      if (it != quarantined_.end()) {
+        return Status::Corruption("table '" + table->name() +
+                                  "' is quarantined: " + it->second);
+      }
+      return table.get();
+    }
+  }
+  auto it = quarantined_.find(ToLowerAscii(name));
+  if (it != quarantined_.end()) {
+    return Status::Corruption("table '" + it->first +
+                              "' is quarantined: " + it->second);
   }
   return Status::NotFound("table '" + std::string(name) +
                           "' does not exist");
 }
 
 Result<const Table*> Catalog::GetTable(std::string_view name) const {
+  TIP_ASSIGN_OR_RETURN(Table * table,
+                       const_cast<Catalog*>(this)->GetTable(name));
+  return static_cast<const Table*>(table);
+}
+
+Result<Table*> Catalog::GetTableAnyState(std::string_view name) {
   for (const auto& table : tables_) {
-    if (EqualsIgnoreCase(table->name(), name)) {
-      return static_cast<const Table*>(table.get());
-    }
+    if (EqualsIgnoreCase(table->name(), name)) return table.get();
   }
   return Status::NotFound("table '" + std::string(name) +
                           "' does not exist");
@@ -134,6 +159,27 @@ std::vector<std::string> Catalog::TableNames() const {
   out.reserve(tables_.size());
   for (const auto& table : tables_) out.push_back(table->name());
   return out;
+}
+
+void Catalog::Quarantine(std::string_view name, std::string cause) {
+  quarantined_[ToLowerAscii(name)] = std::move(cause);
+  NotifyChanged();
+}
+
+bool Catalog::IsQuarantined(std::string_view name) const {
+  return quarantined_.count(ToLowerAscii(name)) > 0;
+}
+
+std::vector<std::pair<std::string, std::string>> Catalog::QuarantineList()
+    const {
+  return {quarantined_.begin(), quarantined_.end()};
+}
+
+void Catalog::SetRowHasher(HeapTable::RowHasher hasher) {
+  row_hasher_ = std::move(hasher);
+  for (const auto& table : tables_) {
+    table->heap().set_row_hasher(row_hasher_);
+  }
 }
 
 }  // namespace tip::engine

@@ -2,6 +2,7 @@
 #define TIP_ENGINE_CATALOG_CATALOG_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -107,13 +108,40 @@ class Catalog {
   Result<Table*> CreateTable(std::string_view name,
                              std::vector<Column> columns);
 
+  /// Drops a table, or clears a name-only quarantine entry for a table
+  /// whose storage never made it back (salvaged snapshot section lost).
+  /// NotFound only when the name matches neither.
   Status DropTable(std::string_view name);
 
-  /// Case-insensitive lookup; NotFound on miss.
+  /// Case-insensitive lookup; NotFound on miss, Corruption when the
+  /// table is quarantined (the single enforcement point keeping both
+  /// the planner and DML away from damaged tables).
   Result<Table*> GetTable(std::string_view name);
   Result<const Table*> GetTable(std::string_view name) const;
 
+  /// Lookup that ignores quarantine — for integrity tooling that must
+  /// inspect a damaged table. NotFound on miss.
+  Result<Table*> GetTableAnyState(std::string_view name);
+
   std::vector<std::string> TableNames() const;
+
+  /// Marks `name` as quarantined with a human-readable cause: lookups
+  /// through GetTable return Corruption until the table is dropped. The
+  /// name need not exist in the catalog (a snapshot section can be lost
+  /// before the schema was ever readable). Fires the change listener so
+  /// cached plans holding raw Table pointers are invalidated.
+  void Quarantine(std::string_view name, std::string cause);
+
+  bool IsQuarantined(std::string_view name) const;
+
+  /// (table, cause) pairs, sorted by table name.
+  std::vector<std::pair<std::string, std::string>> QuarantineList() const;
+
+  size_t quarantine_count() const { return quarantined_.size(); }
+
+  /// Installs the per-row content hasher applied to every current and
+  /// future table's heap (reseeding their running checksums).
+  void SetRowHasher(HeapTable::RowHasher hasher);
 
   /// Invoked after every successful CreateTable/DropTable. The Database
   /// routes this to its catalog-version bump: cached plans hold raw
@@ -129,6 +157,8 @@ class Catalog {
 
   std::vector<std::unique_ptr<Table>> tables_;
   std::function<void()> on_change_;
+  std::map<std::string, std::string> quarantined_;  // lower-case name → cause
+  HeapTable::RowHasher row_hasher_;
 };
 
 }  // namespace tip::engine

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/durable_fs.h"
 #include "common/fault_injection.h"
 #include "common/string_util.h"
@@ -12,6 +13,7 @@
 #include "engine/exec/row_utils.h"
 #include "engine/sql/ast.h"
 #include "engine/sql/parser.h"
+#include "engine/storage/integrity.h"
 #include "engine/storage/recovery.h"
 #include "engine/storage/snapshot.h"
 
@@ -70,12 +72,38 @@ Result<int64_t> ParseCount(const std::string& word) {
 
 }  // namespace
 
+Result<RecoveryMode> ParseRecoveryMode(std::string_view word) {
+  if (word == "strict") return RecoveryMode::kStrict;
+  if (word == "salvage") return RecoveryMode::kSalvage;
+  return Status::InvalidArgument("unknown recovery mode '" +
+                                 std::string(word) +
+                                 "' (want strict or salvage)");
+}
+
 Database::Database() {
   Status status = RegisterBuiltins(this);
   // Builtin registration can only fail on duplicate registration, which
   // would be a programming error in the engine itself.
   (void)status;
   assert(status.ok());
+  // Per-table content checksums: every heap maintains an incremental
+  // sum of per-row hashes, where the hash is CRC-32 over the same row
+  // image the WAL logs — the write path and the log can never disagree
+  // about what bytes a row "is". The hasher declines (nullopt) while
+  // SET table_checksums off, which flags the checksum unmaintained
+  // until the next CHECK reseeds it. "integrity.rowhash" is the fault
+  // matrix's checksum corruption site: a fired fault perturbs the hash
+  // exactly as a flipped bit in the row image would.
+  catalog_.SetRowHasher([this](const Row& row) -> std::optional<uint64_t> {
+    if (!table_checksums_enabled_.load(std::memory_order_relaxed)) {
+      return std::nullopt;
+    }
+    std::string image;
+    EncodeRowImage(row, types_, &image);
+    uint64_t hash = Crc32(image);
+    if (!fault::MaybeFail("integrity.rowhash").ok()) hash ^= 1;
+    return hash;
+  });
   // Cached plans hold raw pointers into these registries (Table*,
   // Routine*, Cast*, AggregateDef*), so every mutation must bump the
   // catalog version before a cached variant is trusted again. Installed
@@ -504,6 +532,22 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
                 d.txn_records_discarded.load(std::memory_order_relaxed)) +
             ")")});
       }
+      // Integrity counters, appended only once a scrub ran or a table
+      // sits in quarantine so untroubled sessions are unchanged.
+      const uint64_t scrubs =
+          integrity_.scrubs_run.load(std::memory_order_relaxed);
+      const uint64_t checked =
+          integrity_.objects_checked.load(std::memory_order_relaxed);
+      const uint64_t found =
+          integrity_.corruptions_found.load(std::memory_order_relaxed);
+      const uint64_t quarantined = catalog_.quarantine_count();
+      if (scrubs + checked + found + quarantined > 0) {
+        result.rows.push_back(Row{Datum::String(
+            "IntegrityStats(scrubs=" + std::to_string(scrubs) +
+            " objects_checked=" + std::to_string(checked) +
+            " corruptions_found=" + std::to_string(found) +
+            " quarantined=" + std::to_string(quarantined) + ")")});
+      }
       return result;
     }
 
@@ -530,9 +574,14 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
       TIP_RETURN_IF_ERROR(RefuseInTransaction("DROP TABLE"));
       // Validate before logging: the drop itself cannot fail once the
       // table is known to exist, so log-then-apply is safe (there is no
-      // undo for a drop).
-      TIP_ASSIGN_OR_RETURN(Table * doomed, catalog_.GetTable(stmt.table));
-      (void)doomed;
+      // undo for a drop). A quarantined table (including a name-only
+      // entry whose storage never survived salvage) bypasses the
+      // corrupt-table lookup error: DROP is the repair verb that clears
+      // the quarantine.
+      if (!catalog_.IsQuarantined(stmt.table)) {
+        TIP_ASSIGN_OR_RETURN(Table * doomed, catalog_.GetTable(stmt.table));
+        (void)doomed;
+      }
       if (ShouldLogWal()) {
         TIP_RETURN_IF_ERROR(
             AppendWal(WalRecordKind::kDdl, EncodeDdlBody(sql)));
@@ -800,6 +849,12 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
         result.message = "SET PLAN_CACHE_SIZE " + std::to_string(n);
         return result;
       }
+      if (stmt.option == "table_checksums") {
+        TIP_ASSIGN_OR_RETURN(bool on, ParseOnOff(word));
+        set_table_checksums_enabled(on);
+        result.message = "SET TABLE_CHECKSUMS";
+        return result;
+      }
       if (stmt.option == "fault_inject") {
         // 'point:n[,point:every:n|point:prob:p|point:kill:n...]' arms
         // deterministic fault points; 'seed:n' reseeds prob triggers;
@@ -984,6 +1039,92 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
       result.message = "ROLLBACK";
       return result;
     }
+
+    case Statement::Kind::kCheck: {
+      // CHECK TABLE t / CHECK DATABASE: online scrub. One row per
+      // object; corruption is data, not an error status (the operator
+      // wants the whole damage map, not the first hit) — but guard
+      // trips (cancel/timeout) still abort the statement.
+      ResultSet result;
+      result.columns.push_back({"object", TypeId::kString});
+      result.columns.push_back({"status", TypeId::kString});
+      result.columns.push_back({"detail", TypeId::kString});
+      uint64_t objects = 0;
+      uint64_t corruptions = 0;
+
+      std::vector<std::string> names;
+      if (stmt.check_database) {
+        names = catalog_.TableNames();
+        // Name-only quarantine entries (tables whose storage never
+        // came back from salvage) are not in TableNames but very much
+        // part of the database's health.
+        std::set<std::string> have;
+        for (const std::string& name : names) have.insert(ToLowerAscii(name));
+        for (const auto& [qname, cause] : catalog_.QuarantineList()) {
+          if (have.count(qname) == 0) names.push_back(qname);
+        }
+      } else {
+        names.push_back(stmt.table);
+      }
+
+      for (const std::string& name : names) {
+        ++objects;
+        Result<Table*> lookup = catalog_.GetTable(name);
+        if (!lookup.ok()) {
+          if (lookup.status().code() == StatusCode::kCorruption) {
+            ++corruptions;
+            result.rows.push_back(Row{
+                Datum::String(name), Datum::String("quarantined"),
+                Datum::String(std::string(lookup.status().message()))});
+            continue;
+          }
+          return lookup.status();  // CHECK TABLE of an unknown table
+        }
+        TIP_ASSIGN_OR_RETURN(CheckFinding finding,
+                             CheckTable(this, *lookup, &eval));
+        if (!finding.ok) ++corruptions;
+        result.rows.push_back(Row{Datum::String(name),
+                                  Datum::String(finding.ok ? "ok" : "corrupt"),
+                                  Datum::String(finding.detail)});
+      }
+
+      // CHECK DATABASE on a durable database also scans the live WAL
+      // (read-only: VerifyWalFile never truncates, unlike Wal::Open).
+      if (stmt.check_database && wal_ != nullptr) {
+        ++objects;
+        TIP_RETURN_IF_ERROR(eval.CheckGuardNow());
+        OfflineVerifyReport wal_report;
+        const std::string wal_path = durable_dir_ + "/wal.log";
+        Status scanned = VerifyWalFile(wal_path, &wal_report);
+        std::string detail;
+        bool ok = true;
+        if (!scanned.ok()) {
+          ok = false;
+          detail = std::string(scanned.message());
+        } else if (!wal_report.clean()) {
+          ok = false;
+          for (const std::string& problem : wal_report.problems) {
+            if (!detail.empty()) detail += "; ";
+            detail += problem;
+          }
+        } else {
+          detail = "records=" + std::to_string(wal_report.wal_records);
+          if (wal_report.torn_tail) detail += " torn_tail";
+          if (wal_report.open_txn_tail) detail += " open_txn_tail";
+        }
+        if (!ok) ++corruptions;
+        result.rows.push_back(Row{Datum::String("wal"),
+                                  Datum::String(ok ? "ok" : "corrupt"),
+                                  Datum::String(detail)});
+      }
+
+      RecordScrub(objects, corruptions);
+      result.message = corruptions == 0
+                           ? "CHECK OK"
+                           : "CHECK FOUND " + std::to_string(corruptions) +
+                                 " CORRUPT OBJECT(S)";
+      return result;
+    }
   }
   return Status::Internal("unhandled statement kind");
 }
@@ -1102,10 +1243,16 @@ Status Database::LogAppliedDdl(std::string_view sql,
 }
 
 Status Database::AttachDurableDir(const std::string& dir,
-                                  RecoveryReport* report) {
+                                  RecoveryReport* report,
+                                  RecoveryMode mode) {
   RecoveryReport local;
   if (report == nullptr) report = &local;
   *report = RecoveryReport{};
+  report->salvage = mode == RecoveryMode::kSalvage;
+  {
+    std::lock_guard<std::mutex> lock(integrity_mu_);
+    corruption_manifest_.clear();
+  }
   if (wal_ != nullptr) {
     return Status::InvalidArgument("a durable directory is already attached");
   }
@@ -1125,17 +1272,61 @@ Status Database::AttachDurableDir(const std::string& dir,
     ~ReplayScope() { db->replaying_ = false; }
   } replay_scope{this};
 
+  // Checkpoint metadata damage is fatal in both modes: the file is
+  // tiny, CRC-guarded and atomically replaced — if it is unreadable
+  // the deployment is broken, not bit-rotted, and salvaging "around"
+  // it would mean guessing which snapshot is current.
   TIP_ASSIGN_OR_RETURN(std::optional<CheckpointMeta> meta,
                        ReadCheckpointMeta(dir));
   uint64_t checkpoint_lsn = 1;
   if (meta.has_value()) {
     checkpoint_lsn = meta->lsn;
-    TIP_RETURN_IF_ERROR(
-        LoadSnapshotFromFile(this, dir + "/" + meta->snapshot_file));
+    const std::string snap_path = dir + "/" + meta->snapshot_file;
+    if (mode == RecoveryMode::kStrict) {
+      TIP_RETURN_IF_ERROR(LoadSnapshotFromFile(this, snap_path));
+    } else {
+      // Salvage: try the strict load first (a clean file costs
+      // nothing extra); only on corruption fall back to the
+      // section-skipping salvage pass and quarantine what it lost.
+      TIP_ASSIGN_OR_RETURN(std::string snap_bytes, fs::ReadFile(snap_path));
+      Status loaded = LoadSnapshot(this, snap_bytes);
+      if (!loaded.ok()) {
+        if (loaded.code() != StatusCode::kCorruption) {
+          return Annotate(loaded, "snapshot '" + snap_path + "'");
+        }
+        SalvageReport salvage;
+        Status salvaged = SalvageSnapshot(this, snap_bytes, &salvage);
+        if (!salvaged.ok()) {
+          return Annotate(salvaged, "snapshot '" + snap_path + "'");
+        }
+        for (const SalvageReport::SkippedSection& skipped :
+             salvage.skipped) {
+          CorruptionManifestEntry entry;
+          entry.object = skipped.table.empty()
+                             ? "snapshot section " +
+                                   std::to_string(skipped.index)
+                             : skipped.table;
+          entry.file = snap_path;
+          entry.offset = skipped.offset;
+          entry.cause = skipped.cause;
+          report->manifest.push_back(entry);
+          if (!skipped.table.empty()) {
+            // The table's storage is gone; a name-only quarantine
+            // entry makes later lookups (and WAL replay below) fail
+            // with an explicit Corruption instead of NotFound.
+            catalog_.Quarantine(skipped.table,
+                                "snapshot section unrecoverable: " +
+                                    skipped.cause);
+          }
+        }
+      }
+    }
     report->snapshot_loaded = true;
     for (const std::string& ddl : meta->function_ddl) {
       Result<ResultSet> created = Execute(ddl);
       if (!created.ok()) {
+        // Fatal in both modes: the metadata's CRC held, so a failing
+        // CREATE FUNCTION is an engine/extension mismatch, not rot.
         return Status::Corruption(
             "checkpointed CREATE FUNCTION failed to replay: " +
             created.status().ToString());
@@ -1157,34 +1348,95 @@ Status Database::AttachDurableDir(const std::string& dir,
   // abort bracket — or end of log with the bracket still open (the
   // crash-before-commit case) — discards the buffer, so recovery never
   // surfaces a partial transaction.
+  // Tables already quarantined (snapshot salvage above): their replay
+  // records are skipped by name, so one lost section does not cascade
+  // into replay failures for every later write to that table.
+  std::set<std::string> dead_tables;
+  for (const auto& [qname, qcause] : catalog_.QuarantineList()) {
+    dead_tables.insert(qname);
+  }
+
+  // Applies one record under the recovery mode's corruption policy:
+  // strict refuses the open; salvage quarantines the record's table
+  // (when attributable) and keeps going. An unattributable failure —
+  // a record too damaged to even name its table, or non-table DDL —
+  // stays fatal in both modes.
+  auto apply_one = [&](const WalRecord& record) -> Status {
+    if (mode == RecoveryMode::kSalvage && !dead_tables.empty()) {
+      const std::string target = ToLowerAscii(WalRecordTableName(record));
+      if (!target.empty() && dead_tables.count(target) > 0) {
+        ++report->records_skipped;
+        return Status::OK();
+      }
+    }
+    Status applied = ApplyWalRecord(this, record);
+    if (applied.ok()) {
+      ++report->wal_records_replayed;
+      return Status::OK();
+    }
+    const std::string error = "WAL record lsn=" +
+                              std::to_string(record.lsn) + " in '" + dir +
+                              "/wal.log' failed to replay: " +
+                              applied.ToString();
+    if (mode != RecoveryMode::kSalvage) return Status::Corruption(error);
+    const std::string target = ToLowerAscii(WalRecordTableName(record));
+    if (target.empty()) return Status::Corruption(error);
+    catalog_.Quarantine(target, error);
+    dead_tables.insert(target);
+    ++report->records_skipped;
+    CorruptionManifestEntry entry;
+    entry.object = target;
+    entry.file = dir + "/wal.log";
+    entry.lsn = record.lsn;
+    entry.cause = error;
+    report->manifest.push_back(entry);
+    return Status::OK();
+  };
+
+  // Bracket-structure corruption has no single table to pin it on. In
+  // salvage mode replay stops at the damage — everything applied so
+  // far is a consistent prefix — and the manifest records where; in
+  // strict mode it refuses the open.
+  bool replay_halted = false;
+  auto bracket_corrupt = [&](uint64_t lsn, const std::string& what) -> Status {
+    const std::string error = "WAL record lsn=" + std::to_string(lsn) +
+                              " in '" + dir + "/wal.log': " + what;
+    if (mode != RecoveryMode::kSalvage) return Status::Corruption(error);
+    CorruptionManifestEntry entry;
+    entry.object = "wal";
+    entry.file = dir + "/wal.log";
+    entry.lsn = lsn;
+    entry.cause = error + " (replay stopped here)";
+    report->manifest.push_back(entry);
+    replay_halted = true;
+    return Status::OK();
+  };
+
   std::vector<const WalRecord*> txn_buffer;
   bool in_txn = false;
   for (const WalRecord& record : records) {
+    if (replay_halted) break;
     // Records the checkpoint snapshot already covers: a crash between
     // publishing the checkpoint and rotating the log leaves them behind
     // legitimately; they must be skipped, never double-applied.
     if (record.lsn < checkpoint_lsn) continue;
     if (record.kind == WalRecordKind::kTxnBegin) {
       if (in_txn) {
-        return Status::Corruption("WAL record " + std::to_string(record.lsn) +
-                                  ": TXN_BEGIN inside an open transaction");
+        TIP_RETURN_IF_ERROR(bracket_corrupt(
+            record.lsn, "TXN_BEGIN inside an open transaction"));
+        continue;
       }
       in_txn = true;
       continue;
     }
     if (record.kind == WalRecordKind::kTxnCommit) {
       if (!in_txn) {
-        return Status::Corruption("WAL record " + std::to_string(record.lsn) +
-                                  ": TXN_COMMIT without TXN_BEGIN");
+        TIP_RETURN_IF_ERROR(
+            bracket_corrupt(record.lsn, "TXN_COMMIT without TXN_BEGIN"));
+        continue;
       }
       for (const WalRecord* buffered : txn_buffer) {
-        Status applied = ApplyWalRecord(this, *buffered);
-        if (!applied.ok()) {
-          return Status::Corruption(
-              "WAL record " + std::to_string(buffered->lsn) +
-              " failed to replay: " + applied.ToString());
-        }
-        ++report->wal_records_replayed;
+        TIP_RETURN_IF_ERROR(apply_one(*buffered));
       }
       txn_buffer.clear();
       in_txn = false;
@@ -1193,8 +1445,9 @@ Status Database::AttachDurableDir(const std::string& dir,
     }
     if (record.kind == WalRecordKind::kTxnAbort) {
       if (!in_txn) {
-        return Status::Corruption("WAL record " + std::to_string(record.lsn) +
-                                  ": TXN_ABORT without TXN_BEGIN");
+        TIP_RETURN_IF_ERROR(
+            bracket_corrupt(record.lsn, "TXN_ABORT without TXN_BEGIN"));
+        continue;
       }
       report->txn_records_discarded += txn_buffer.size();
       txn_buffer.clear();
@@ -1205,12 +1458,7 @@ Status Database::AttachDurableDir(const std::string& dir,
       txn_buffer.push_back(&record);
       continue;
     }
-    Status applied = ApplyWalRecord(this, record);
-    if (!applied.ok()) {
-      return Status::Corruption("WAL record " + std::to_string(record.lsn) +
-                                " failed to replay: " + applied.ToString());
-    }
-    ++report->wal_records_replayed;
+    TIP_RETURN_IF_ERROR(apply_one(record));
   }
   if (in_txn) {
     // Uncommitted tail: the writer crashed mid-transaction. Atomicity
@@ -1243,6 +1491,11 @@ Status Database::AttachDurableDir(const std::string& dir,
   }
   durability_.txn_records_discarded.fetch_add(report->txn_records_discarded,
                                               std::memory_order_relaxed);
+  if (mode == RecoveryMode::kSalvage) {
+    report->tables_quarantined = catalog_.quarantine_count();
+    std::lock_guard<std::mutex> lock(integrity_mu_);
+    corruption_manifest_ = report->manifest;
+  }
   RemoveStaleSnapshots(dir, meta.has_value() ? meta->snapshot_file : "");
   // Recovery may have restored tables/functions through paths the
   // registry listeners already saw, but snapshot loading pokes catalog
@@ -1293,6 +1546,17 @@ Status Database::Checkpoint() {
           "CHECKPOINT is not allowed inside a transaction; "
           "COMMIT or ROLLBACK first");
     }
+  }
+  // A checkpoint while tables sit in quarantine would publish a
+  // snapshot with the damaged tables simply absent — silently turning
+  // an explicit, recoverable quarantine into permanent loss. The
+  // operator must decide first: DROP the damaged tables (accepting the
+  // loss), then checkpoint.
+  if (catalog_.quarantine_count() > 0) {
+    return Status::InvalidArgument(
+        "CHECKPOINT refused: " + std::to_string(catalog_.quarantine_count()) +
+        " table(s) quarantined; inspect tip_health(), DROP the damaged "
+        "tables to accept the loss, then retry");
   }
   std::lock_guard<std::mutex> lock(checkpoint_mu_);
   TIP_RETURN_IF_ERROR(fault::MaybeFail("checkpoint.begin"));
@@ -1350,6 +1614,31 @@ DurabilityStats Database::durability_stats() const {
     stats.wal_next_lsn = wal_->next_lsn();
   }
   return stats;
+}
+
+IntegrityStats Database::integrity_stats() const {
+  IntegrityStats stats;
+  stats.scrubs_run = integrity_.scrubs_run.load(std::memory_order_relaxed);
+  stats.objects_checked =
+      integrity_.objects_checked.load(std::memory_order_relaxed);
+  stats.corruptions_found =
+      integrity_.corruptions_found.load(std::memory_order_relaxed);
+  stats.tables_quarantined = catalog_.quarantine_count();
+  return stats;
+}
+
+std::vector<CorruptionManifestEntry> Database::corruption_manifest() const {
+  std::lock_guard<std::mutex> lock(integrity_mu_);
+  return corruption_manifest_;
+}
+
+void Database::RecordScrub(uint64_t objects_checked,
+                           uint64_t corruptions_found) {
+  integrity_.scrubs_run.fetch_add(1, std::memory_order_relaxed);
+  integrity_.objects_checked.fetch_add(objects_checked,
+                                       std::memory_order_relaxed);
+  integrity_.corruptions_found.fetch_add(corruptions_found,
+                                         std::memory_order_relaxed);
 }
 
 }  // namespace tip::engine

@@ -31,6 +31,27 @@
 
 namespace tip::engine {
 
+/// How AttachDurableDir treats corruption it finds on disk:
+///   kStrict   any corruption refuses the whole open (the default).
+///   kSalvage  tables whose snapshot section or replay records are
+///             corrupt are quarantined — served as explicit Corruption
+///             errors until dropped — and everything else is recovered.
+enum class RecoveryMode { kStrict, kSalvage };
+
+/// Parses "strict|salvage" (lower-case); InvalidArgument else.
+Result<RecoveryMode> ParseRecoveryMode(std::string_view word);
+
+/// One corrupt object a salvage-mode open could not recover: what it
+/// was, where the damage sits (file, LSN for WAL records, byte offset
+/// for snapshot sections) and why it was rejected.
+struct CorruptionManifestEntry {
+  std::string object;  // table name, or "wal"/"snapshot" for structure
+  std::string file;
+  uint64_t lsn = 0;     // 0 when the damage is not a WAL record
+  uint64_t offset = 0;  // byte offset; 0 when unknown
+  std::string cause;
+};
+
 /// What Database::AttachDurableDir found on disk and did about it.
 struct RecoveryReport {
   bool created = false;          // fresh directory: no snapshot, no WAL
@@ -43,6 +64,11 @@ struct RecoveryReport {
   /// Records inside uncommitted or aborted brackets, discarded instead
   /// of applied (the bracket records themselves included).
   uint64_t txn_records_discarded = 0;
+  // -- Salvage-mode outcomes (all zero on a strict open) ---------------
+  bool salvage = false;               // the open ran in salvage mode
+  uint64_t tables_quarantined = 0;
+  uint64_t records_skipped = 0;       // WAL records for quarantined tables
+  std::vector<CorruptionManifestEntry> manifest;
 };
 
 /// Durability counters, surfaced in SQL as tip_wal_stats() and in
@@ -57,6 +83,15 @@ struct DurabilityStats {
   uint64_t txns_committed = 0;
   uint64_t txns_rolled_back = 0;  // explicit ROLLBACK and error aborts
   uint64_t txn_records_discarded = 0;  // by recovery, uncommitted/aborted
+};
+
+/// Integrity counters, surfaced in SQL as tip_health() and in EXPLAIN
+/// as IntegrityStats(...).
+struct IntegrityStats {
+  uint64_t scrubs_run = 0;         // CHECK TABLE/DATABASE statements
+  uint64_t objects_checked = 0;    // tables + WAL scans across all scrubs
+  uint64_t corruptions_found = 0;  // non-ok findings across all scrubs
+  uint64_t tables_quarantined = 0; // currently quarantined
 };
 
 /// Host parameters for a statement (`:name` placeholders).
@@ -249,8 +284,19 @@ class Database {
   /// with no tables yet (install extensions first, then attach).
   /// Afterwards every DML/DDL statement is logged before it is
   /// acknowledged, according to wal_mode().
+  ///
+  /// `mode` picks the corruption policy: kStrict (default) refuses the
+  /// open on any damage; kSalvage quarantines the tables whose snapshot
+  /// section or replay records are corrupt, records each rejection in
+  /// the report's corruption manifest, and recovers everything else.
+  /// Damage to the checkpoint metadata itself stays fatal in both modes
+  /// (it is tiny and atomically written — damage there is not
+  /// survivable bit rot but a broken deployment). Every salvage-mode
+  /// attach bumps the catalog version, so cached plans never execute
+  /// against a quarantined or replaced table.
   Status AttachDurableDir(const std::string& dir,
-                          RecoveryReport* report = nullptr);
+                          RecoveryReport* report = nullptr,
+                          RecoveryMode mode = RecoveryMode::kStrict);
   bool durable() const { return wal_ != nullptr; }
   const std::string& durable_dir() const { return durable_dir_; }
 
@@ -286,6 +332,27 @@ class Database {
 
   /// Counters for tip_wal_stats(); `wal` is live only when durable.
   DurabilityStats durability_stats() const;
+
+  // -- Integrity -------------------------------------------------------------
+
+  /// SET TABLE_CHECKSUMS on|off: whether the per-table incremental
+  /// content checksums are maintained on the write path. Default on.
+  /// Turning them off marks every subsequently-written table's checksum
+  /// unmaintained; CHECK TABLE reseeds it once they are back on.
+  void set_table_checksums_enabled(bool on) {
+    table_checksums_enabled_ = on;
+  }
+  bool table_checksums_enabled() const { return table_checksums_enabled_; }
+
+  /// Counters for tip_health() / EXPLAIN IntegrityStats(...).
+  IntegrityStats integrity_stats() const;
+
+  /// The corruption manifest from the last salvage-mode attach (empty
+  /// after a strict or clean open).
+  std::vector<CorruptionManifestEntry> corruption_manifest() const;
+
+  /// Bumps the scrub counters; called by the CHECK executor.
+  void RecordScrub(uint64_t objects_checked, uint64_t corruptions_found);
 
  private:
   /// Wraps ExecuteStatement with the transaction error contract: a
@@ -450,6 +517,20 @@ class Database {
     std::atomic<uint64_t> txn_records_discarded{0};
   };
   DurabilityCounters durability_;
+  /// Write-path checksum switch; read by the row hasher on every
+  /// logged write, flipped by SET TABLE_CHECKSUMS.
+  std::atomic<bool> table_checksums_enabled_{true};
+  /// Scrub counters (atomics for the same stats-poll reason as above).
+  struct IntegrityCounters {
+    std::atomic<uint64_t> scrubs_run{0};
+    std::atomic<uint64_t> objects_checked{0};
+    std::atomic<uint64_t> corruptions_found{0};
+  };
+  IntegrityCounters integrity_;
+  /// Guards corruption_manifest_ (written once at attach, read by
+  /// tip_health() from any session).
+  mutable std::mutex integrity_mu_;
+  std::vector<CorruptionManifestEntry> corruption_manifest_;
   std::unique_ptr<TxnState> txn_;
   /// The thread that opened txn_ (default id: none). ExecuteParsed's
   /// auto-abort consults it so a failing concurrent read-only statement

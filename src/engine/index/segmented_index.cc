@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/fault_injection.h"
+
 namespace tip::engine {
 
 std::string IndexStatsSnapshot::ToString() const {
@@ -66,6 +68,12 @@ Result<IntervalIndexView> IntervalIndexState::GetView(
           overlay_entries.push_back(IntervalEntry{key.start, key.end, id});
         }
       } else if (!key.empty) {
+        // "integrity.indexentry" is the fault matrix's index-rot site:
+        // a fired fault records the entry under a wrong row id, so the
+        // built segment diverges from the heap exactly as a rotted
+        // index page would — CHECK's cross-check must catch both the
+        // phantom entry and the now-unindexed live row.
+        if (!fault::MaybeFail("integrity.indexentry").ok()) id = ~id;
         absolute_entries.push_back(IntervalEntry{key.start, key.end, id});
       }
     }

@@ -219,6 +219,7 @@ struct Statement {
     kBegin,
     kCommit,
     kRollback,
+    kCheck,
   };
 
   Kind kind;
@@ -245,6 +246,8 @@ struct Statement {
   std::vector<ColumnDef> function_params; // kCreateFunction
   std::string function_return;            // kCreateFunction (type name)
   std::string function_body;              // kCreateFunction (expression)
+
+  bool check_database = false;  // kCheck: CHECK DATABASE vs CHECK TABLE t
 };
 
 }  // namespace tip::engine

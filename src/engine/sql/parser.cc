@@ -107,6 +107,7 @@ class Parser {
   Result<Statement> ParseSet();
   Result<Statement> ParseExplain();
   Result<Statement> ParseTxnBoundary(Statement::Kind kind);
+  Result<Statement> ParseCheck();
 
   // -- Expression productions (lowest to highest precedence) --------------
 
@@ -143,6 +144,7 @@ Result<Statement> Parser::ParseStatement() {
     if (PeekKeyword("rollback")) {
       return ParseTxnBoundary(Statement::Kind::kRollback);
     }
+    if (PeekKeyword("check")) return ParseCheck();
     return Errorf("expected a SQL statement");
   }();
   if (!stmt.ok()) return stmt;
@@ -451,6 +453,20 @@ Result<Statement> Parser::ParseUpdate() {
   if (MatchKeyword("where")) {
     TIP_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
   }
+  return stmt;
+}
+
+// CHECK TABLE <name> / CHECK DATABASE — the online integrity scrub.
+Result<Statement> Parser::ParseCheck() {
+  TIP_RETURN_IF_ERROR(ExpectKeyword("check"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kCheck;
+  if (MatchKeyword("database")) {
+    stmt.check_database = true;
+    return stmt;
+  }
+  TIP_RETURN_IF_ERROR(ExpectKeyword("table"));
+  TIP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
   return stmt;
 }
 

@@ -12,6 +12,7 @@ RowId HeapTable::Insert(Row row) {
   const uint32_t slot = static_cast<uint32_t>(page.rows.size());
   page.rows.push_back(std::move(row));
   page.live.push_back(true);
+  AddRowHash(page.rows.back());
   ++live_rows_;
   ++version_;
   return MakeRowId(page_no, slot);
@@ -24,6 +25,7 @@ Status HeapTable::Delete(RowId id) {
       !pages_[page_no]->live[slot]) {
     return Status::NotFound("row id not found");
   }
+  SubRowHash(pages_[page_no]->rows[slot]);
   pages_[page_no]->live[slot] = false;
   pages_[page_no]->rows[slot].clear();  // release value storage eagerly
   --live_rows_;
@@ -38,7 +40,9 @@ Status HeapTable::Update(RowId id, Row row) {
       !pages_[page_no]->live[slot]) {
     return Status::NotFound("row id not found");
   }
+  SubRowHash(pages_[page_no]->rows[slot]);
   pages_[page_no]->rows[slot] = std::move(row);
+  AddRowHash(pages_[page_no]->rows[slot]);
   ++version_;
   return Status::OK();
 }
@@ -56,8 +60,45 @@ std::vector<Row> HeapTable::SnapshotLiveRows() const {
 void HeapTable::ResetTo(std::vector<Row> rows) {
   pages_.clear();
   live_rows_ = 0;
+  content_checksum_ = 0;
+  checksum_maintained_ = row_hasher_ != nullptr;
   ++version_;  // Insert bumps it too, but rows may be empty
   for (Row& row : rows) Insert(std::move(row));
+}
+
+void HeapTable::set_row_hasher(RowHasher hasher) {
+  row_hasher_ = std::move(hasher);
+  ReseedChecksum();
+}
+
+void HeapTable::ReseedChecksum() {
+  content_checksum_ = 0;
+  checksum_maintained_ = row_hasher_ != nullptr;
+  if (!checksum_maintained_) return;
+  Cursor cursor = Scan();
+  RowId id;
+  const Row* row;
+  while (checksum_maintained_ && cursor.Next(&id, &row)) AddRowHash(*row);
+}
+
+void HeapTable::AddRowHash(const Row& row) {
+  if (!checksum_maintained_) return;
+  if (std::optional<uint64_t> h = row_hasher_(row)) {
+    content_checksum_ += *h;
+  } else {
+    checksum_maintained_ = false;
+    content_checksum_ = 0;
+  }
+}
+
+void HeapTable::SubRowHash(const Row& row) {
+  if (!checksum_maintained_) return;
+  if (std::optional<uint64_t> h = row_hasher_(row)) {
+    content_checksum_ -= *h;
+  } else {
+    checksum_maintained_ = false;
+    content_checksum_ = 0;
+  }
 }
 
 const Row* HeapTable::Get(RowId id) const {

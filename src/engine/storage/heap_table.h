@@ -4,7 +4,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -99,15 +101,44 @@ class HeapTable {
   /// Indexes use it to detect staleness.
   uint64_t version() const { return version_; }
 
+  /// Hash of one row's logical content, or nullopt when hashing is
+  /// currently disabled. Installed by the owning database so the heap
+  /// stays ignorant of serialization.
+  using RowHasher = std::function<std::optional<uint64_t>(const Row&)>;
+
+  /// Installs (or replaces) the hasher and reseeds the running
+  /// checksum from the current live rows.
+  void set_row_hasher(RowHasher hasher);
+  const RowHasher& row_hasher() const { return row_hasher_; }
+
+  /// Order-independent wrapping sum of per-row hashes over the live
+  /// rows, maintained incrementally by Insert/Update/Delete/ResetTo.
+  /// Meaningful only while checksum_maintained() is true.
+  uint64_t content_checksum() const { return content_checksum_; }
+
+  /// False until a hasher is installed, and false again after any
+  /// mutation the hasher declined to hash (checksums switched off);
+  /// ReseedChecksum restores maintenance.
+  bool checksum_maintained() const { return checksum_maintained_; }
+
+  /// Recomputes the checksum from scratch over the live rows.
+  void ReseedChecksum();
+
  private:
   struct Page {
     std::vector<Row> rows;       // size() <= kRowsPerPage
     std::vector<bool> live;      // parallel validity bitmap
   };
 
+  void AddRowHash(const Row& row);
+  void SubRowHash(const Row& row);
+
   std::vector<std::unique_ptr<Page>> pages_;
   size_t live_rows_ = 0;
   uint64_t version_ = 0;
+  RowHasher row_hasher_;
+  uint64_t content_checksum_ = 0;
+  bool checksum_maintained_ = false;
 };
 
 /// One contiguous page range of a heap, claimed by a scan worker.

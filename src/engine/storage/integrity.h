@@ -1,0 +1,84 @@
+#ifndef TIP_ENGINE_STORAGE_INTEGRITY_H_
+#define TIP_ENGINE_STORAGE_INTEGRITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tip::engine {
+
+class Database;
+class Table;
+struct EvalContext;
+
+/// The online verification half of the integrity subsystem: CHECK TABLE
+/// / CHECK DATABASE run these against the live engine, and the offline
+/// half (VerifyDurableDir) deep-scans a durable directory's files
+/// without attaching them.
+
+/// One CHECK verdict for one object (a table, or the WAL).
+struct CheckFinding {
+  std::string object;
+  bool ok = true;
+  /// On success, a summary ("rows=12 checksum=0x... indexes=1"); on
+  /// failure, what exactly disagreed and where.
+  std::string detail;
+};
+
+/// Scrubs one table online:
+///   * recomputes the per-row content checksum over the live rows and
+///     compares it against the incrementally maintained one (reseeding
+///     instead when maintenance had lapsed and checksums are enabled);
+///   * cross-checks every interval index bidirectionally against the
+///     heap — each live row's key must be findable through the index,
+///     and each index entry must point at a live row.
+/// Corruption becomes an ok=false finding, not an error status; errors
+/// are reserved for the guard (cancel/timeout/memory) and for index
+/// rebuild failures. `eval` carries the statement guard, so a CHECK
+/// over a huge table stays cancellable; it may be null in tests.
+Result<CheckFinding> CheckTable(Database* db, Table* table,
+                                EvalContext* eval);
+
+/// What an offline (or online WAL) structural scan found.
+struct OfflineVerifyReport {
+  uint64_t snapshot_sections = 0;  // sections whose CRC and framing held
+  uint64_t wal_records = 0;        // frames whose CRC and framing held
+  bool torn_tail = false;  // the WAL ends mid-frame (benign: a crashed
+                           // append; recovery truncates it)
+  bool open_txn_tail = false;  // the WAL ends inside a transaction
+                               // bracket (benign: recovery discards it)
+  /// One line per integrity violation, located by file and byte offset.
+  std::vector<std::string> problems;
+
+  bool clean() const { return problems.empty(); }
+};
+
+/// Read-only structural scan of one WAL file: header magic and CRC,
+/// per-frame length and CRC, LSN monotonicity, record-kind range, and
+/// transaction-bracket pairing. Never modifies the file (unlike
+/// Wal::Open, which truncates torn tails), so it is safe both offline
+/// and against the live log of an attached database. A trailing
+/// partial frame is reported as a torn tail, not a problem; damage
+/// anywhere before the tail is a problem. Returns a non-OK status only
+/// for I/O failures reading the file; NotFound when it does not exist.
+Status VerifyWalFile(const std::string& path, OfflineVerifyReport* report);
+
+/// Read-only structural scan of v2 snapshot bytes: magic, table count,
+/// per-section length and CRC-32, and the footer's counts and CRC.
+/// Section *contents* are not decoded (that needs the type registry);
+/// the CRC covers them. `label` names the file in problem lines.
+void VerifySnapshotBytes(std::string_view bytes, const std::string& label,
+                         OfflineVerifyReport* report);
+
+/// Deep-scans a durable directory without attaching it: validates the
+/// CHECKPOINT metadata, the snapshot it points at, and the WAL —
+/// everything recovery would read, checked without side effects.
+/// Returns a non-OK status only when `dir` cannot be read at all;
+/// corruption goes into the report.
+Status VerifyDurableDir(const std::string& dir, OfflineVerifyReport* report);
+
+}  // namespace tip::engine
+
+#endif  // TIP_ENGINE_STORAGE_INTEGRITY_H_

@@ -7,7 +7,9 @@
 
 #include "common/crc32.h"
 #include "common/durable_fs.h"
+#include "common/fault_injection.h"
 #include "engine/database.h"
+#include "engine/sql/parser.h"
 #include "engine/storage/wire_format.h"
 
 namespace tip::engine {
@@ -22,37 +24,6 @@ constexpr char kCheckpointFile[] = "CHECKPOINT";
 // become a clean Corruption, never an allocation attempt.
 constexpr uint64_t kMaxRowsPerRecord = 1ull << 32;
 constexpr uint64_t kMaxFunctions = 1ull << 16;
-
-// A row image is one varint-prefixed field per column: 0 encodes NULL,
-// n+1 encodes an n-byte serialized value. The WAL pays this image per
-// logged row, so the prefix is a single byte for typical values where
-// the old flag + u64 length pair cost nine — about a third of the
-// whole record for narrow rows, and the fsync flushes every byte of
-// it.
-void AppendRowImage(const Row& row, const TypeRegistry& types,
-                    std::string* out) {
-  for (const Datum& value : row) {
-    if (value.is_null()) {
-      wire::PutVarint(0, out);
-      continue;
-    }
-    // Serialize straight into the body: this runs once per value per
-    // logged statement, and the per-value temporary Serialize would
-    // hand back is measurable. The one-byte prefix guess is patched
-    // with a memmove in the rare case the value needs a longer one.
-    const size_t prefix_pos = out->size();
-    out->push_back(0);
-    types.SerializeTo(value, out);
-    const uint64_t len = out->size() - prefix_pos - 1;
-    if (len + 1 < 0x80) {
-      (*out)[prefix_pos] = static_cast<char>(len + 1);
-    } else {
-      std::string prefix;
-      wire::PutVarint(len + 1, &prefix);
-      out->replace(prefix_pos, 1, prefix);
-    }
-  }
-}
 
 Result<Row> ReadRowImage(wire::Reader* reader, const Table& table,
                          const TypeRegistry& types) {
@@ -95,14 +66,16 @@ Status ApplyInsert(Database* db, std::string_view body) {
   TIP_ASSIGN_OR_RETURN(Table * table, db->catalog().GetTable(table_name));
   TIP_ASSIGN_OR_RETURN(uint64_t n, reader.U64());
   if (n > kMaxRowsPerRecord) {
-    return Status::Corruption("WAL insert row count is implausible");
+    return Status::Corruption("WAL insert row count is implausible for "
+                              "table '" + table->name() + "'");
   }
   for (uint64_t i = 0; i < n; ++i) {
     TIP_ASSIGN_OR_RETURN(Row row, ReadRowImage(&reader, *table, db->types()));
     table->heap().Insert(std::move(row));
   }
   if (!reader.AtEnd()) {
-    return Status::Corruption("trailing bytes in WAL insert record");
+    return Status::Corruption("trailing bytes in WAL insert record for "
+                              "table '" + table->name() + "'");
   }
   return Status::OK();
 }
@@ -133,7 +106,8 @@ Status ApplyMutate(Database* db, std::string_view body) {
     updates.emplace_back(ordinal, std::move(row));
   }
   if (!reader.AtEnd()) {
-    return Status::Corruption("trailing bytes in WAL mutate record");
+    return Status::Corruption("trailing bytes in WAL mutate record for "
+                              "table '" + table->name() + "'");
   }
 
   // Every ordinal addresses the *pre-statement* state, so resolve them
@@ -144,9 +118,10 @@ Status ApplyMutate(Database* db, std::string_view body) {
   const std::vector<RowId> live = LiveRowIds(*table);
   auto resolve = [&](uint64_t ordinal) -> Result<RowId> {
     if (ordinal >= live.size()) {
-      return Status::Corruption("WAL mutate ordinal " +
-                                std::to_string(ordinal) + " out of range (" +
-                                std::to_string(live.size()) + " live rows)");
+      return Status::Corruption(
+          "WAL mutate ordinal " + std::to_string(ordinal) +
+          " out of range (" + std::to_string(live.size()) +
+          " live rows in table '" + table->name() + "')");
     }
     return live[ordinal];
   };
@@ -163,13 +138,42 @@ Status ApplyMutate(Database* db, std::string_view body) {
 
 }  // namespace
 
+// The WAL pays this image per logged row, so the prefix is a single
+// byte for typical values where the old flag + u64 length pair cost
+// nine — about a third of the whole record for narrow rows, and the
+// fsync flushes every byte of it.
+void EncodeRowImage(const Row& row, const TypeRegistry& types,
+                    std::string* out) {
+  for (const Datum& value : row) {
+    if (value.is_null()) {
+      wire::PutVarint(0, out);
+      continue;
+    }
+    // Serialize straight into the body: this runs once per value per
+    // logged statement, and the per-value temporary Serialize would
+    // hand back is measurable. The one-byte prefix guess is patched
+    // with a memmove in the rare case the value needs a longer one.
+    const size_t prefix_pos = out->size();
+    out->push_back(0);
+    types.SerializeTo(value, out);
+    const uint64_t len = out->size() - prefix_pos - 1;
+    if (len + 1 < 0x80) {
+      (*out)[prefix_pos] = static_cast<char>(len + 1);
+    } else {
+      std::string prefix;
+      wire::PutVarint(len + 1, &prefix);
+      out->replace(prefix_pos, 1, prefix);
+    }
+  }
+}
+
 std::string EncodeInsertBody(const std::string& table,
                              const std::vector<Row>& rows,
                              const TypeRegistry& types) {
   std::string body;
   wire::PutString(table, &body);
   wire::PutU64(rows.size(), &body);
-  for (const Row& row : rows) AppendRowImage(row, types, &body);
+  for (const Row& row : rows) EncodeRowImage(row, types, &body);
   return body;
 }
 
@@ -184,7 +188,7 @@ std::string EncodeMutateBody(
   wire::PutU64(updates.size(), &body);
   for (const auto& [ordinal, row] : updates) {
     wire::PutU64(ordinal, &body);
-    AppendRowImage(*row, types, &body);
+    EncodeRowImage(*row, types, &body);
   }
   return body;
 }
@@ -194,10 +198,13 @@ std::string EncodeDdlBody(std::string_view sql) { return std::string(sql); }
 Status ApplyWalRecord(Database* db, const WalRecord& record) {
   switch (record.kind) {
     case WalRecordKind::kInsert:
+      TIP_RETURN_IF_ERROR(fault::MaybeFail("recovery.apply"));
       return ApplyInsert(db, record.body);
     case WalRecordKind::kMutate:
+      TIP_RETURN_IF_ERROR(fault::MaybeFail("recovery.apply"));
       return ApplyMutate(db, record.body);
     case WalRecordKind::kDdl: {
+      TIP_RETURN_IF_ERROR(fault::MaybeFail("recovery.apply"));
       Result<ResultSet> result = db->Execute(record.body);
       return result.status();
     }
@@ -213,9 +220,32 @@ Status ApplyWalRecord(Database* db, const WalRecord& record) {
                             std::to_string(static_cast<int>(record.kind)));
 }
 
+std::string WalRecordTableName(const WalRecord& record) {
+  switch (record.kind) {
+    case WalRecordKind::kInsert:
+    case WalRecordKind::kMutate: {
+      wire::Reader reader(record.body);
+      Result<std::string_view> name = reader.String();
+      if (!name.ok()) return "";
+      return std::string(*name);
+    }
+    case WalRecordKind::kDdl: {
+      Result<Statement> stmt = ParseStatement(record.body);
+      if (!stmt.ok()) return "";
+      return stmt->table;
+    }
+    case WalRecordKind::kTxnBegin:
+    case WalRecordKind::kTxnCommit:
+    case WalRecordKind::kTxnAbort:
+      return "";
+  }
+  return "";
+}
+
 Result<std::optional<CheckpointMeta>> ReadCheckpointMeta(
     const std::string& dir) {
-  Result<std::string> bytes = fs::ReadFile(dir + "/" + kCheckpointFile);
+  const std::string path = dir + "/" + kCheckpointFile;
+  Result<std::string> bytes = fs::ReadFile(path);
   if (!bytes.ok()) {
     if (bytes.status().code() == StatusCode::kNotFound) {
       return std::optional<CheckpointMeta>();
@@ -227,39 +257,50 @@ Result<std::optional<CheckpointMeta>> ReadCheckpointMeta(
   // short of full validation is Corruption.
   if (bytes->size() < kCheckpointMagicLen + 4 ||
       std::memcmp(bytes->data(), kCheckpointMagic, kCheckpointMagicLen) != 0) {
-    return Status::Corruption("'" + dir + "/" + kCheckpointFile +
-                              "' is not a TIP checkpoint");
+    return Status::Corruption("'" + path + "' is not a TIP checkpoint");
   }
   const std::string_view framed(*bytes);
   uint32_t crc;
   std::memcpy(&crc, bytes->data() + bytes->size() - 4, 4);
   if (Crc32(framed.substr(0, framed.size() - 4)) != crc) {
-    return Status::Corruption("checkpoint metadata checksum mismatch");
+    return Status::Corruption("checkpoint metadata checksum mismatch in '" +
+                              path + "' (" + std::to_string(bytes->size()) +
+                              " bytes)");
   }
   wire::Reader reader(framed.substr(kCheckpointMagicLen,
                                     framed.size() - kCheckpointMagicLen - 4));
-  CheckpointMeta meta;
-  TIP_ASSIGN_OR_RETURN(meta.lsn, reader.U64());
-  TIP_ASSIGN_OR_RETURN(std::string_view file, reader.String());
-  meta.snapshot_file = std::string(file);
-  TIP_ASSIGN_OR_RETURN(uint64_t n_fn, reader.U64());
-  if (n_fn > kMaxFunctions) {
-    return Status::Corruption("checkpoint function count is implausible");
+  auto parse = [&]() -> Result<CheckpointMeta> {
+    CheckpointMeta meta;
+    TIP_ASSIGN_OR_RETURN(meta.lsn, reader.U64());
+    TIP_ASSIGN_OR_RETURN(std::string_view file, reader.String());
+    meta.snapshot_file = std::string(file);
+    TIP_ASSIGN_OR_RETURN(uint64_t n_fn, reader.U64());
+    if (n_fn > kMaxFunctions) {
+      return Status::Corruption("checkpoint function count is implausible");
+    }
+    meta.function_ddl.reserve(n_fn);
+    for (uint64_t i = 0; i < n_fn; ++i) {
+      TIP_ASSIGN_OR_RETURN(std::string_view ddl, reader.String());
+      meta.function_ddl.emplace_back(ddl);
+    }
+    if (!reader.AtEnd()) {
+      return Status::Corruption("trailing bytes in checkpoint metadata");
+    }
+    if (meta.snapshot_file.empty() ||
+        meta.snapshot_file.find('/') != std::string::npos) {
+      return Status::Corruption("checkpoint names an implausible snapshot "
+                                "file '" + meta.snapshot_file + "'");
+    }
+    return meta;
+  };
+  Result<CheckpointMeta> meta = parse();
+  if (!meta.ok()) {
+    return Annotate(meta.status(),
+                    "'" + path + "' (offset " +
+                        std::to_string(kCheckpointMagicLen + reader.pos()) +
+                        ")");
   }
-  meta.function_ddl.reserve(n_fn);
-  for (uint64_t i = 0; i < n_fn; ++i) {
-    TIP_ASSIGN_OR_RETURN(std::string_view ddl, reader.String());
-    meta.function_ddl.emplace_back(ddl);
-  }
-  if (!reader.AtEnd()) {
-    return Status::Corruption("trailing bytes in checkpoint metadata");
-  }
-  if (meta.snapshot_file.empty() ||
-      meta.snapshot_file.find('/') != std::string::npos) {
-    return Status::Corruption("checkpoint names an implausible snapshot "
-                              "file '" + meta.snapshot_file + "'");
-  }
-  return std::optional<CheckpointMeta>(std::move(meta));
+  return std::optional<CheckpointMeta>(std::move(*meta));
 }
 
 Status WriteCheckpointMeta(const std::string& dir,

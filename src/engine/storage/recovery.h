@@ -31,6 +31,13 @@ class TypeRegistry;
 /// Ordinals are resolved against the pre-statement state, exactly as
 /// the live execution's phase-1/phase-2 split does.
 
+/// Appends one row's logical image (a varint-prefixed field per
+/// column: 0 for NULL, n+1 for an n-byte serialized value) to `out`.
+/// This is the WAL's row encoding, shared with the integrity
+/// subsystem's per-row checksums so both hash exactly the same bytes.
+void EncodeRowImage(const Row& row, const TypeRegistry& types,
+                    std::string* out);
+
 /// kInsert body: table | u64 n | n row images.
 std::string EncodeInsertBody(const std::string& table,
                              const std::vector<Row>& rows,
@@ -51,6 +58,14 @@ std::string EncodeDdlBody(std::string_view sql);
 /// application failure is Corruption — a WAL that survived its CRC
 /// checks must replay cleanly.
 Status ApplyWalRecord(Database* db, const WalRecord& record);
+
+/// Best-effort extraction of the table one WAL record targets: the
+/// name prefix of kInsert/kMutate bodies, the statement's target table
+/// for kDdl. Empty when the record has no single target (transaction
+/// brackets, non-table DDL) or the body is too damaged to yield a
+/// name. Salvage recovery uses this to quarantine the one affected
+/// table instead of refusing the whole open.
+std::string WalRecordTableName(const WalRecord& record);
 
 /// The checkpoint metadata file (`CHECKPOINT` in the data directory):
 /// which snapshot file is current and the LSN it covers up to

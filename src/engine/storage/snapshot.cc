@@ -1,10 +1,12 @@
 #include "engine/storage/snapshot.h"
 
+#include <cctype>
 #include <cstring>
 #include <vector>
 
 #include "common/crc32.h"
 #include "common/durable_fs.h"
+#include "common/fault_injection.h"
 #include "engine/database.h"
 #include "engine/storage/wire_format.h"
 
@@ -258,11 +260,50 @@ Status LoadSnapshotV1(Database* db, std::string_view payload,
   return Status::OK();
 }
 
+/// Best-effort table name from a (possibly corrupt) section body: the
+/// body starts with a length-prefixed name, and a single flipped byte
+/// elsewhere in the section leaves that prefix intact, so salvage can
+/// usually still say *which* table it lost. Empty when the prefix
+/// itself is implausible.
+std::string GuessSectionName(std::string_view body) {
+  Reader reader(body);
+  Result<std::string_view> name = reader.String();
+  if (!name.ok() || name->empty() || name->size() > 256) return "";
+  for (const char c : *name) {
+    if (!std::isprint(static_cast<unsigned char>(c))) return "";
+  }
+  return std::string(*name);
+}
+
+/// One CRC-verified section body, located within the snapshot stream.
+struct SectionRef {
+  std::string_view body;
+  size_t index = 0;     // position in the table-section sequence
+  uint64_t offset = 0;  // byte offset of the body in the file
+};
+
+void RecordSkip(SalvageReport* report, size_t index, std::string_view table,
+                uint64_t offset, std::string cause) {
+  if (report == nullptr) return;
+  report->tables_skipped += 1;
+  report->detail += "section " + std::to_string(index) +
+                    (table.empty() ? "" : " ('" + std::string(table) + "')") +
+                    ": " + cause + "\n";
+  SalvageReport::SkippedSection skip;
+  skip.index = index;
+  skip.table = std::string(table);
+  skip.offset = offset;
+  skip.cause = std::move(cause);
+  report->skipped.push_back(std::move(skip));
+}
+
 /// Splits a v2 stream into its CRC-verified section bodies. `strict`
 /// demands a valid footer and exact framing; salvage mode records
 /// problems in `report` and returns whatever sections survived.
+/// Fault point: "snapshot.section" (per section, fires as a checksum
+/// failure would).
 Status ReadV2Sections(std::string_view bytes,
-                      std::vector<std::string_view>* sections, bool strict,
+                      std::vector<SectionRef>* sections, bool strict,
                       SalvageReport* report) {
   Reader reader(bytes.substr(kMagicLen));
   TIP_ASSIGN_OR_RETURN(uint64_t table_count, reader.U64());
@@ -272,34 +313,39 @@ Status ReadV2Sections(std::string_view bytes,
   for (uint64_t t = 0; t < table_count; ++t) {
     Result<uint64_t> len = reader.U64();
     Result<uint32_t> crc = len.ok() ? reader.U32() : len.status();
+    const uint64_t body_offset = kMagicLen + reader.pos();
     Result<std::string_view> body =
         crc.ok() ? reader.Bytes(*len) : crc.status();
     if (!body.ok()) {
       if (strict) {
-        return Status::Corruption("truncated snapshot (table section " +
-                                  std::to_string(t) + " of " +
-                                  std::to_string(table_count) + ")");
+        return Status::Corruption(
+            "truncated snapshot (table section " + std::to_string(t) +
+            " of " + std::to_string(table_count) + ", at byte offset " +
+            std::to_string(body_offset) + ")");
       }
       if (report != nullptr) {
-        report->tables_skipped += table_count - t;
-        report->detail += "section " + std::to_string(t) +
-                          ": truncated, remaining sections lost\n";
+        RecordSkip(report, t, "", body_offset,
+                   "truncated, remaining sections lost");
+        report->tables_skipped += table_count - t - 1;
       }
       return Status::OK();
     }
-    if (Crc32(*body) != *crc) {
+    const bool injected = !fault::MaybeFail("snapshot.section").ok();
+    if (injected || Crc32(*body) != *crc) {
+      const std::string cause =
+          injected ? "injected section fault" : "checksum mismatch";
+      const std::string guessed = GuessSectionName(*body);
       if (strict) {
-        return Status::Corruption("snapshot section " + std::to_string(t) +
-                                  " checksum mismatch");
+        return Status::Corruption(
+            "snapshot section " + std::to_string(t) +
+            (guessed.empty() ? "" : " ('" + guessed + "')") + " " + cause +
+            " at byte offset " + std::to_string(body_offset) + " (" +
+            std::to_string(body->size()) + " bytes)");
       }
-      if (report != nullptr) {
-        report->tables_skipped += 1;
-        report->detail +=
-            "section " + std::to_string(t) + ": checksum mismatch\n";
-      }
+      RecordSkip(report, t, guessed, body_offset, cause);
       continue;
     }
-    sections->push_back(*body);
+    sections->push_back({*body, static_cast<size_t>(t), body_offset});
   }
   // Footer: length-prefixed so a reader can confirm the file really
   // ends where the writer intended.
@@ -393,26 +439,34 @@ Status LoadSnapshot(Database* db, std::string_view bytes) {
 
   // Phase 1: verify all framing and checksums before touching the
   // catalog, so most corrupt files fail with the database untouched.
-  std::vector<std::string_view> sections;
+  std::vector<SectionRef> sections;
   TIP_RETURN_IF_ERROR(
       ReadV2Sections(bytes, &sections, /*strict=*/true, nullptr));
 
   // Phase 2: apply. Section contents can still fail (unknown type,
   // name collision), in which case everything created so far is
   // dropped.
-  for (std::string_view body : sections) {
-    Status s = ApplyTableBody(db, body, &created);
+  for (const SectionRef& section : sections) {
+    Status s = ApplyTableBody(db, section.body, &created);
     if (!s.ok()) {
       DropCreated(db, created);
-      return s;
+      return Annotate(s, "snapshot section " +
+                             std::to_string(section.index) +
+                             " (byte offset " +
+                             std::to_string(section.offset) + ")");
     }
   }
   return Status::OK();
 }
 
 Status LoadSnapshotFromFile(Database* db, std::string_view path) {
-  TIP_ASSIGN_OR_RETURN(std::string bytes, fs::ReadFile(std::string(path)));
-  return LoadSnapshot(db, bytes);
+  Result<std::string> bytes = fs::ReadFile(std::string(path));
+  if (!bytes.ok()) {
+    return Annotate(bytes.status(), "snapshot '" + std::string(path) + "'");
+  }
+  Status s = LoadSnapshot(db, *bytes);
+  if (!s.ok()) return Annotate(s, "snapshot '" + std::string(path) + "'");
+  return s;
 }
 
 Status SalvageSnapshot(Database* db, std::string_view bytes,
@@ -424,19 +478,18 @@ Status SalvageSnapshot(Database* db, std::string_view bytes,
       std::memcmp(bytes.data(), kMagicV2, kMagicLen) != 0) {
     return Status::Corruption("not a TIP v2 snapshot");
   }
-  std::vector<std::string_view> sections;
+  std::vector<SectionRef> sections;
   TIP_RETURN_IF_ERROR(
       ReadV2Sections(bytes, &sections, /*strict=*/false, report));
-  for (size_t i = 0; i < sections.size(); ++i) {
+  for (const SectionRef& section : sections) {
     // Per-table isolation: a section that fails to apply is dropped
     // (with its half-created table) without giving up on the rest.
     std::vector<std::string> created;
-    Status s = ApplyTableBody(db, sections[i], &created);
+    Status s = ApplyTableBody(db, section.body, &created);
     if (!s.ok()) {
       DropCreated(db, created);
-      report->tables_skipped += 1;
-      report->detail += "section " + std::to_string(i) +
-                        ": " + std::string(s.message()) + "\n";
+      RecordSkip(report, section.index, GuessSectionName(section.body),
+                 section.offset, std::string(s.message()));
       continue;
     }
     report->tables_recovered += 1;

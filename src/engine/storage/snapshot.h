@@ -2,8 +2,10 @@
 #define TIP_ENGINE_STORAGE_SNAPSHOT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 
@@ -57,9 +59,22 @@ Status LoadSnapshotFromFile(Database* db, std::string_view path);
 
 /// What SalvageSnapshot managed to pull out of a damaged file.
 struct SalvageReport {
+  /// One section that could not be recovered, located precisely enough
+  /// for an operator to inspect the damage: its position in the file,
+  /// the byte offset of its body, and a best-effort table name pulled
+  /// from the (possibly corrupt) body so salvage recovery can
+  /// quarantine the right table instead of an anonymous slot.
+  struct SkippedSection {
+    size_t index = 0;
+    std::string table;    // best-effort; empty when unrecoverable
+    uint64_t offset = 0;  // byte offset of the section body
+    std::string cause;
+  };
+
   size_t tables_recovered = 0;
   size_t tables_skipped = 0;  // bad CRC, parse failure, or truncated
   std::string detail;         // one line per skipped section
+  std::vector<SkippedSection> skipped;
 };
 
 /// Best-effort recovery from a damaged v2 snapshot: loads every table

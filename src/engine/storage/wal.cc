@@ -147,7 +147,8 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
                 // A CRC-valid record with the wrong sequence number is
                 // not a crash artifact; refuse to guess.
                 return Status::Corruption(
-                    "WAL record out of sequence in '" + path + "': got " +
+                    "WAL record out of sequence in '" + path + "' at byte "
+                    "offset " + std::to_string(valid_end) + ": got LSN " +
                     std::to_string(*lsn) + ", want " +
                     std::to_string(next_lsn));
               }

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Builds the crash-torture harness under AddressSanitizer and runs the
-# durability, transactions and integrity labels: the fork/kill/recover
-# iterations of the torture test (auto-commit and transactional
-# traces), the seeded bit-flip sweep, the WAL, recovery and
-# transaction suites, and the corruption fault matrix with its salvage
-# legs. Any sanitizer report fails the run (halt_on_error), so a green
+# durability, transactions, integrity and server labels: the
+# fork/kill/recover iterations of the torture test (auto-commit and
+# transactional traces), the seeded bit-flip sweep, the WAL, recovery
+# and transaction suites, the corruption fault matrix with its salvage
+# legs, and the server-kill harness that recovers a remote client's
+# acked commits. Any sanitizer report fails the run (halt_on_error), so a green
 # exit means recovery after a kill or a flipped byte at every armed
 # point is ASan-clean.
 #
@@ -24,8 +25,8 @@ cmake -S "$repo" -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTIP_SANITIZE=address >/dev/null
 cmake --build "$dir" -j "$jobs" >/dev/null
 
-echo "== crash torture: ctest -L 'durability|transactions|integrity' under ASan =="
+echo "== crash torture: ctest -L 'durability|transactions|integrity|server' under ASan =="
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
-  ctest --test-dir "$dir" -L 'durability|transactions|integrity' -j "$jobs" \
+  ctest --test-dir "$dir" -L 'durability|transactions|integrity|server' -j "$jobs" \
   --output-on-failure
 echo "crash torture clean under ASan"

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Builds the concurrency-, robustness-, durability-, transactions-,
-# plancache- and integrity-labeled tests under AddressSanitizer and
-# ThreadSanitizer and runs them. Any sanitizer report fails the run
-# (halt_on_error), so a green exit means all six labels are ASan- and
-# TSan-clean.
+# plancache-, integrity- and server-labeled tests under
+# AddressSanitizer and ThreadSanitizer and runs them. Any sanitizer
+# report fails the run (halt_on_error), so a green exit means all
+# seven labels are ASan- and TSan-clean.
 #
 # Usage: scripts/check_sanitizers.sh [build-root]
 #   build-root defaults to build-sanitize/ next to the source tree;
@@ -12,7 +12,7 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 root="${1:-$repo/build-sanitize}"
-labels='concurrency|robustness|durability|transactions|plancache|integrity'
+labels='concurrency|robustness|durability|transactions|plancache|integrity|server'
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 run_one() {

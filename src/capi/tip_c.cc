@@ -2,22 +2,27 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "client/connection.h"
+#include "client/remote_connection.h"
 
 /// C handles wrap the C++ client objects; text cells are rendered
 /// lazily and cached so the returned pointers stay valid for the
-/// result's lifetime.
+/// result's lifetime. Exactly one of `impl` (embedded) and `remote`
+/// (network session on a tipd) is set.
 struct tip_connection {
   std::unique_ptr<tip::client::Connection> impl;
+  std::unique_ptr<tip::client::RemoteConnection> remote;
   std::string last_error;
 };
 
 struct tip_stmt {
   tip_connection* conn;  // owner; carries last_error for this handle
-  tip::client::Statement impl;
+  std::optional<tip::client::Statement> impl;
+  std::optional<tip::client::RemoteStatement> remote;
 };
 
 struct tip_result {
@@ -32,6 +37,28 @@ namespace {
 bool InRange(const tip_result* result, size_t row, size_t col) {
   return result != nullptr && row < result->rows.rows.size() &&
          col < result->rows.rows[row].size();
+}
+
+/// One-shot SQL on either flavor of connection.
+tip::Result<tip::client::ResultSet> ExecOn(tip_connection* conn,
+                                           std::string_view sql) {
+  return conn->impl != nullptr ? conn->impl->Execute(sql)
+                               : conn->remote->Execute(sql);
+}
+
+const tip::engine::TypeRegistry& TypesOf(const tip_connection* conn) {
+  return conn->impl != nullptr ? conn->impl->database().types()
+                               : conn->remote->types();
+}
+
+/// Folds a Status into the C convention (0 / -1 + last_error).
+int FoldStatus(tip_connection* conn, const tip::Status& status) {
+  if (!status.ok()) {
+    conn->last_error = status.ToString();
+    return -1;
+  }
+  conn->last_error.clear();
+  return 0;
 }
 
 }  // namespace
@@ -70,6 +97,16 @@ tip_connection* tip_open_dir_recovery(const char* dir, const char* mode) {
   return out;
 }
 
+tip_connection* tip_connect(const char* host, int port) {
+  if (host == nullptr || port <= 0 || port > 65535) return nullptr;
+  tip::Result<std::unique_ptr<tip::client::RemoteConnection>> conn =
+      tip::client::RemoteConnection::Connect(host, port);
+  if (!conn.ok()) return nullptr;
+  auto* out = new tip_connection;
+  out->remote = std::move(*conn);
+  return out;
+}
+
 void tip_close(tip_connection* conn) { delete conn; }
 
 const char* tip_last_error(const tip_connection* conn) {
@@ -83,6 +120,9 @@ int tip_set_now(tip_connection* conn, const char* chronon_literal) {
     conn->last_error = now.status().ToString();
     return -1;
   }
+  if (conn->remote != nullptr) {
+    return FoldStatus(conn, conn->remote->SetNow(*now));
+  }
   conn->impl->SetNow(*now);
   conn->last_error.clear();
   return 0;
@@ -90,6 +130,9 @@ int tip_set_now(tip_connection* conn, const char* chronon_literal) {
 
 int tip_clear_now(tip_connection* conn) {
   if (conn == nullptr) return -1;
+  if (conn->remote != nullptr) {
+    return FoldStatus(conn, conn->remote->ClearNow());
+  }
   conn->impl->ClearNow();
   conn->last_error.clear();
   return 0;
@@ -98,12 +141,18 @@ int tip_clear_now(tip_connection* conn) {
 int tip_cancel(tip_connection* conn) {
   if (conn == nullptr) return -1;
   /* No last_error write here: the racing tip_exec owns that field. */
+  if (conn->remote != nullptr) {
+    return conn->remote->Cancel().ok() ? 0 : -1;
+  }
   conn->impl->Cancel();
   return 0;
 }
 
 int tip_set_timeout_ms(tip_connection* conn, long long ms) {
   if (conn == nullptr || ms < 0) return -1;
+  if (conn->remote != nullptr) {
+    return FoldStatus(conn, conn->remote->SetStatementTimeoutMs(ms));
+  }
   conn->impl->SetStatementTimeoutMs(ms);
   conn->last_error.clear();
   return 0;
@@ -112,6 +161,11 @@ int tip_set_timeout_ms(tip_connection* conn, long long ms) {
 int tip_set_memory_limit_kb(tip_connection* conn,
                             unsigned long long kb) {
   if (conn == nullptr) return -1;
+  if (conn->remote != nullptr) {
+    return FoldStatus(conn,
+                      conn->remote->SetMemoryLimitKb(
+                          static_cast<size_t>(kb)));
+  }
   conn->impl->SetMemoryLimitKb(static_cast<size_t>(kb));
   conn->last_error.clear();
   return 0;
@@ -125,41 +179,31 @@ int tip_set_wal_mode(tip_connection* conn, const char* mode) {
     conn->last_error = parsed.status().ToString();
     return -1;
   }
-  tip::Status status = conn->impl->SetWalMode(*parsed);
-  if (!status.ok()) {
-    conn->last_error = status.ToString();
-    return -1;
-  }
-  conn->last_error.clear();
-  return 0;
+  tip::Status status = conn->remote != nullptr
+                           ? conn->remote->SetWalMode(*parsed)
+                           : conn->impl->SetWalMode(*parsed);
+  return FoldStatus(conn, status);
 }
 
 int tip_checkpoint(tip_connection* conn) {
   if (conn == nullptr) return -1;
-  tip::Status status = conn->impl->Checkpoint();
-  if (!status.ok()) {
-    conn->last_error = status.ToString();
-    return -1;
-  }
-  conn->last_error.clear();
-  return 0;
+  tip::Status status = conn->remote != nullptr
+                           ? conn->remote->Checkpoint()
+                           : conn->impl->Checkpoint();
+  return FoldStatus(conn, status);
 }
 
 int tip_sync_wal(tip_connection* conn) {
   if (conn == nullptr) return -1;
-  tip::Status status = conn->impl->SyncWal();
-  if (!status.ok()) {
-    conn->last_error = status.ToString();
-    return -1;
-  }
-  conn->last_error.clear();
-  return 0;
+  tip::Status status = conn->remote != nullptr ? conn->remote->SyncWal()
+                                               : conn->impl->SyncWal();
+  return FoldStatus(conn, status);
 }
 
 int tip_verify(tip_connection* conn) {
   if (conn == nullptr) return -1;
   tip::Result<tip::client::ResultSet> result =
-      conn->impl->Execute("SELECT tip_verify()");
+      ExecOn(conn, "SELECT tip_verify()");
   if (!result.ok()) {
     conn->last_error = result.status().ToString();
     return -1;
@@ -178,46 +222,36 @@ int tip_verify(tip_connection* conn) {
 
 int tip_begin(tip_connection* conn) {
   if (conn == nullptr) return -1;
-  tip::Status status = conn->impl->Begin();
-  if (!status.ok()) {
-    conn->last_error = status.ToString();
-    return -1;
-  }
-  conn->last_error.clear();
-  return 0;
+  tip::Status status = conn->remote != nullptr ? conn->remote->Begin()
+                                               : conn->impl->Begin();
+  return FoldStatus(conn, status);
 }
 
 int tip_commit(tip_connection* conn) {
   if (conn == nullptr) return -1;
-  tip::Status status = conn->impl->Commit();
-  if (!status.ok()) {
-    conn->last_error = status.ToString();
-    return -1;
-  }
-  conn->last_error.clear();
-  return 0;
+  tip::Status status = conn->remote != nullptr ? conn->remote->Commit()
+                                               : conn->impl->Commit();
+  return FoldStatus(conn, status);
 }
 
 int tip_rollback(tip_connection* conn) {
   if (conn == nullptr) return -1;
-  tip::Status status = conn->impl->Rollback();
-  if (!status.ok()) {
-    conn->last_error = status.ToString();
-    return -1;
-  }
-  conn->last_error.clear();
-  return 0;
+  tip::Status status = conn->remote != nullptr ? conn->remote->Rollback()
+                                               : conn->impl->Rollback();
+  return FoldStatus(conn, status);
 }
 
 int tip_in_transaction(const tip_connection* conn) {
   if (conn == nullptr) return -1;
-  return conn->impl->in_transaction() ? 1 : 0;
+  bool in_txn = conn->remote != nullptr ? conn->remote->in_transaction()
+                                        : conn->impl->in_transaction();
+  return in_txn ? 1 : 0;
 }
 
 int tip_exec(tip_connection* conn, const char* sql, tip_result** out) {
   if (out != nullptr) *out = nullptr;
   if (conn == nullptr || sql == nullptr) return -1;
-  tip::Result<tip::client::ResultSet> result = conn->impl->Execute(sql);
+  tip::Result<tip::client::ResultSet> result = ExecOn(conn, sql);
   if (!result.ok()) {
     conn->last_error = result.status().ToString();
     return -1;
@@ -226,7 +260,7 @@ int tip_exec(tip_connection* conn, const char* sql, tip_result** out) {
   if (out != nullptr) {
     auto* handle = new tip_result;
     handle->rows = result->raw();
-    handle->types = &conn->impl->database().types();
+    handle->types = &TypesOf(conn);
     *out = handle;
   }
   return 0;
@@ -235,44 +269,76 @@ int tip_exec(tip_connection* conn, const char* sql, tip_result** out) {
 int tip_prepare(tip_connection* conn, const char* sql, tip_stmt** out) {
   if (out != nullptr) *out = nullptr;
   if (conn == nullptr || sql == nullptr || out == nullptr) return -1;
-  tip::client::Statement stmt = conn->impl->Prepare(sql);
-  if (!stmt.status().ok()) {
-    conn->last_error = stmt.status().ToString();
-    return -1;
+  auto* handle = new tip_stmt;
+  handle->conn = conn;
+  if (conn->remote != nullptr) {
+    handle->remote.emplace(conn->remote->Prepare(sql));
+    if (!handle->remote->status().ok()) {
+      conn->last_error = handle->remote->status().ToString();
+      delete handle;
+      return -1;
+    }
+  } else {
+    handle->impl.emplace(conn->impl->Prepare(sql));
+    if (!handle->impl->status().ok()) {
+      conn->last_error = handle->impl->status().ToString();
+      delete handle;
+      return -1;
+    }
   }
   conn->last_error.clear();
-  *out = new tip_stmt{conn, std::move(stmt)};
+  *out = handle;
   return 0;
 }
 
 int tip_stmt_bind_int(tip_stmt* stmt, const char* name, long long value) {
   if (stmt == nullptr || name == nullptr) return -1;
-  stmt->impl.BindInt(name, value);
+  if (stmt->remote) {
+    stmt->remote->BindInt(name, value);
+  } else {
+    stmt->impl->BindInt(name, value);
+  }
   return 0;
 }
 
 int tip_stmt_bind_double(tip_stmt* stmt, const char* name, double value) {
   if (stmt == nullptr || name == nullptr) return -1;
-  stmt->impl.BindDouble(name, value);
+  if (stmt->remote) {
+    stmt->remote->BindDouble(name, value);
+  } else {
+    stmt->impl->BindDouble(name, value);
+  }
   return 0;
 }
 
 int tip_stmt_bind_text(tip_stmt* stmt, const char* name,
                        const char* value) {
   if (stmt == nullptr || name == nullptr || value == nullptr) return -1;
-  stmt->impl.BindString(name, value);
+  if (stmt->remote) {
+    stmt->remote->BindString(name, value);
+  } else {
+    stmt->impl->BindString(name, value);
+  }
   return 0;
 }
 
 int tip_stmt_bind_null(tip_stmt* stmt, const char* name) {
   if (stmt == nullptr || name == nullptr) return -1;
-  stmt->impl.BindNull(name);
+  if (stmt->remote) {
+    stmt->remote->BindNull(name);
+  } else {
+    stmt->impl->BindNull(name);
+  }
   return 0;
 }
 
 int tip_stmt_clear_bindings(tip_stmt* stmt) {
   if (stmt == nullptr) return -1;
-  stmt->impl.ClearBindings();
+  if (stmt->remote) {
+    stmt->remote->ClearBindings();
+  } else {
+    stmt->impl->ClearBindings();
+  }
   return 0;
 }
 
@@ -280,7 +346,8 @@ int tip_stmt_execute(tip_stmt* stmt, tip_result** out) {
   if (out != nullptr) *out = nullptr;
   if (stmt == nullptr) return -1;
   tip_connection* conn = stmt->conn;
-  tip::Result<tip::client::ResultSet> result = stmt->impl.Execute();
+  tip::Result<tip::client::ResultSet> result =
+      stmt->remote ? stmt->remote->Execute() : stmt->impl->Execute();
   if (!result.ok()) {
     conn->last_error = result.status().ToString();
     return -1;
@@ -289,7 +356,7 @@ int tip_stmt_execute(tip_stmt* stmt, tip_result** out) {
   if (out != nullptr) {
     auto* handle = new tip_result;
     handle->rows = result->raw();
-    handle->types = &conn->impl->database().types();
+    handle->types = &TypesOf(conn);
     *out = handle;
   }
   return 0;

@@ -3,9 +3,10 @@
 
 /* The TIP C client library — the paper ships "both C and Java
  * libraries for client applications to access a TIP-enabled database";
- * this is the C one. A connection owns an embedded TIP-enabled engine;
- * statements are SQL text; results are addressed by (row, column) with
- * text rendering through each type's output function plus int64/double
+ * this is the C one. A connection owns an embedded TIP-enabled engine
+ * (tip_open*) or a session on a remote tipd (tip_connect); statements
+ * are SQL text; results are addressed by (row, column) with text
+ * rendering through each type's output function plus int64/double
  * fast paths for the builtin scalars.
  *
  * Every fallible call returns 0 on success and -1 on failure;
@@ -44,6 +45,16 @@ tip_connection* tip_open_dir(const char* dir);
  * dropped; tip_verify / the tip_health() builtin report the damage).
  * Returns NULL on failure. */
 tip_connection* tip_open_dir_recovery(const char* dir, const char* mode);
+
+/* Connects to a running `tipd` at host:port over the TIP wire protocol.
+ * The returned connection has the same API surface as an embedded one —
+ * every tip_* call below works unchanged — but statements execute in
+ * the server process and the session is subject to its admission
+ * control, per-session guardrails, and idle/drain policies. NOW
+ * overrides and guardrail settings are scoped to this session. Returns
+ * NULL on failure (connection refused, handshake error, or an explicit
+ * server rejection such as "server at capacity"). */
+tip_connection* tip_connect(const char* host, int port);
 void tip_close(tip_connection* conn);
 
 /* The message of the last failed call on `conn` ("" if none). The

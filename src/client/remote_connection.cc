@@ -1,0 +1,343 @@
+#include "client/remote_connection.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "engine/storage/wal.h"
+
+namespace tip::client {
+
+namespace wire = tip::server::wire;
+
+RemoteConnection::RemoteConnection(std::string host, int port, int fd,
+                                   std::unique_ptr<engine::Database> type_db,
+                                   datablade::TipTypes types)
+    : host_(std::move(host)), port_(port), fd_(fd),
+      type_db_(std::move(type_db)), types_(types) {}
+
+Result<std::unique_ptr<RemoteConnection>> RemoteConnection::Connect(
+    const std::string& host, int port, int connect_timeout_ms) {
+  // The local engine is a type registry, nothing more: it never holds
+  // tables and never executes statements.
+  auto type_db = std::make_unique<engine::Database>();
+  TIP_RETURN_IF_ERROR(datablade::Install(type_db.get()));
+  TIP_ASSIGN_OR_RETURN(datablade::TipTypes types,
+                       datablade::TipTypes::Lookup(*type_db));
+
+  TIP_ASSIGN_OR_RETURN(int fd,
+                       wire::DialTcp(host, port, connect_timeout_ms));
+  auto conn = std::unique_ptr<RemoteConnection>(new RemoteConnection(
+      host, port, fd, std::move(type_db), types));
+
+  Status sent = wire::WriteFrame(fd, wire::FrameType::kHello,
+                                 wire::BuildHello(), connect_timeout_ms);
+  if (!sent.ok()) return sent;
+  // The admission queue may hold us up to the server's admission_wait
+  // before HelloOk (or the explicit rejection) arrives; wait patiently.
+  Result<wire::Frame> reply = wire::ReadFrame(fd, -1, conn->io_timeout_ms_);
+  if (!reply.ok()) {
+    if (wire::IsCleanEof(reply.status())) {
+      return Status::ResourceExhausted(
+          "server closed the connection during handshake");
+    }
+    return reply.status();
+  }
+  if (reply->type == wire::FrameType::kError) {
+    TIP_ASSIGN_OR_RETURN(wire::WireError err,
+                         wire::ParseError(reply->payload));
+    return err.status;
+  }
+  if (reply->type != wire::FrameType::kHelloOk) {
+    return Status::Corruption("unexpected handshake reply");
+  }
+  TIP_ASSIGN_OR_RETURN(wire::HelloOk hello,
+                       wire::ParseHelloOk(reply->payload));
+  if (hello.protocol_version != wire::kProtocolVersion) {
+    return Status::InvalidArgument(
+        "protocol version mismatch: server speaks " +
+        std::to_string(hello.protocol_version));
+  }
+  conn->session_id_ = hello.session_id;
+  conn->cancel_key_ = hello.cancel_key;
+  return conn;
+}
+
+RemoteConnection::~RemoteConnection() {
+  if (fd_ >= 0) {
+    (void)wire::WriteFrame(fd_, wire::FrameType::kGoodbye, "", 1000);
+    CloseSocket();
+  }
+}
+
+void RemoteConnection::CloseSocket() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<ResultSet> RemoteConnection::RoundTrip(wire::FrameType type,
+                                              std::string_view payload) {
+  if (fd_ < 0) {
+    return Status::Internal("connection is closed (previous wire failure)");
+  }
+  Status sent = wire::WriteFrame(fd_, type, payload, io_timeout_ms_);
+  if (!sent.ok()) {
+    CloseSocket();
+    return sent;
+  }
+  engine::ResultSet raw;
+  std::vector<engine::TypeId> column_types;
+  bool have_header = false;
+  for (;;) {
+    Result<wire::Frame> frame = wire::ReadFrame(fd_, -1, io_timeout_ms_);
+    if (!frame.ok()) {
+      CloseSocket();
+      if (wire::IsCleanEof(frame.status())) {
+        return Status::Internal(
+            "server closed the connection mid-statement");
+      }
+      return frame.status();
+    }
+    switch (frame->type) {
+      case wire::FrameType::kError: {
+        TIP_ASSIGN_OR_RETURN(wire::WireError err,
+                             wire::ParseError(frame->payload));
+        in_txn_ = err.in_txn;
+        return err.status;
+      }
+      case wire::FrameType::kResultHeader: {
+        TIP_ASSIGN_OR_RETURN(wire::ResultHeader header,
+                             wire::ParseResultHeader(frame->payload));
+        in_txn_ = header.in_txn;
+        TIP_ASSIGN_OR_RETURN(
+            column_types,
+            wire::ResolveColumnTypes(header, type_db_->types()));
+        raw.affected_rows = header.affected_rows;
+        raw.message = std::move(header.message);
+        raw.columns.reserve(header.column_names.size());
+        for (size_t i = 0; i < header.column_names.size(); ++i) {
+          raw.columns.push_back(
+              {std::move(header.column_names[i]), column_types[i]});
+        }
+        have_header = true;
+        break;
+      }
+      case wire::FrameType::kResultRows: {
+        if (!have_header) {
+          CloseSocket();
+          return Status::Corruption("rows before result header");
+        }
+        TIP_ASSIGN_OR_RETURN(
+            std::vector<engine::Row> rows,
+            wire::ParseRowsChunk(frame->payload, column_types,
+                                 type_db_->types()));
+        for (engine::Row& row : rows) raw.rows.push_back(std::move(row));
+        break;
+      }
+      case wire::FrameType::kResultDone:
+        if (!have_header) {
+          CloseSocket();
+          return Status::Corruption("done before result header");
+        }
+        return ResultSet(std::move(raw), types_, &type_db_->types());
+      case wire::FrameType::kPong:
+        break;  // stray liveness reply; ignore
+      default:
+        CloseSocket();
+        return Status::Corruption("unexpected frame in result stream");
+    }
+  }
+}
+
+Result<ResultSet> RemoteConnection::Execute(std::string_view sql) {
+  return Execute(sql, engine::Params());
+}
+
+Result<ResultSet> RemoteConnection::Execute(std::string_view sql,
+                                            const engine::Params& params) {
+  return RoundTrip(wire::FrameType::kExec,
+                   wire::BuildExec(sql, params, type_db_->types()));
+}
+
+RemoteStatement RemoteConnection::Prepare(std::string_view sql) {
+  if (fd_ < 0) {
+    return RemoteStatement(
+        this, std::string(sql),
+        Status::Internal("connection is closed (previous wire failure)"));
+  }
+  Status sent = wire::WriteFrame(fd_, wire::FrameType::kPrepare,
+                                 wire::BuildPrepare(sql), io_timeout_ms_);
+  if (!sent.ok()) {
+    CloseSocket();
+    return RemoteStatement(this, std::string(sql), sent);
+  }
+  Result<wire::Frame> reply = wire::ReadFrame(fd_, -1, io_timeout_ms_);
+  if (!reply.ok()) {
+    CloseSocket();
+    return RemoteStatement(this, std::string(sql), reply.status());
+  }
+  if (reply->type == wire::FrameType::kError) {
+    Result<wire::WireError> err = wire::ParseError(reply->payload);
+    if (!err.ok()) {
+      CloseSocket();
+      return RemoteStatement(this, std::string(sql), err.status());
+    }
+    in_txn_ = err->in_txn;
+    return RemoteStatement(this, std::string(sql), err->status);
+  }
+  if (reply->type != wire::FrameType::kPrepareOk) {
+    CloseSocket();
+    return RemoteStatement(this, std::string(sql),
+                           Status::Corruption("unexpected prepare reply"));
+  }
+  return RemoteStatement(this, std::string(sql), Status::OK());
+}
+
+Status RemoteConnection::Run(std::string_view sql) {
+  Result<ResultSet> result = Execute(sql);
+  return result.ok() ? Status::OK() : result.status();
+}
+
+Status RemoteConnection::Begin() { return Run("BEGIN"); }
+Status RemoteConnection::Commit() { return Run("COMMIT"); }
+Status RemoteConnection::Rollback() { return Run("ROLLBACK"); }
+
+Status RemoteConnection::SetNow(Chronon now) {
+  TIP_RETURN_IF_ERROR(Run("SET NOW '" + now.ToString() + "'"));
+  now_ = now;
+  return Status::OK();
+}
+
+Status RemoteConnection::ClearNow() {
+  TIP_RETURN_IF_ERROR(Run("SET NOW DEFAULT"));
+  now_ = std::nullopt;
+  return Status::OK();
+}
+
+Status RemoteConnection::Cancel() {
+  // The session's own socket is busy carrying the statement to cancel,
+  // so cancellation travels out-of-band: a throwaway connection that
+  // presents the handshake's cancel credentials and hangs up.
+  TIP_ASSIGN_OR_RETURN(int fd, wire::DialTcp(host_, port_, io_timeout_ms_));
+  wire::CancelRequest request;
+  request.session_id = session_id_;
+  request.cancel_key = cancel_key_;
+  Status sent = wire::WriteFrame(fd, wire::FrameType::kCancel,
+                                 wire::BuildCancel(request), io_timeout_ms_);
+  close(fd);
+  return sent;
+}
+
+Status RemoteConnection::SetStatementTimeoutMs(int64_t ms) {
+  return Run("SET statement_timeout_ms " + std::to_string(ms));
+}
+
+Status RemoteConnection::SetMemoryLimitKb(size_t kb) {
+  return Run("SET memory_limit_kb " + std::to_string(kb));
+}
+
+Status RemoteConnection::SetWalMode(engine::WalMode mode) {
+  return Run("SET wal_mode " + std::string(engine::WalModeName(mode)));
+}
+
+Status RemoteConnection::Checkpoint() {
+  return Run("SELECT tip_checkpoint()");
+}
+
+Status RemoteConnection::SyncWal() { return Run("SELECT tip_sync_wal()"); }
+
+Status RemoteConnection::Ping() {
+  if (fd_ < 0) {
+    return Status::Internal("connection is closed (previous wire failure)");
+  }
+  Status sent = wire::WriteFrame(fd_, wire::FrameType::kPing, "",
+                                 io_timeout_ms_);
+  if (!sent.ok()) {
+    CloseSocket();
+    return sent;
+  }
+  Result<wire::Frame> reply = wire::ReadFrame(fd_, io_timeout_ms_,
+                                              io_timeout_ms_);
+  if (!reply.ok()) {
+    CloseSocket();
+    return reply.status();
+  }
+  if (reply->type != wire::FrameType::kPong) {
+    CloseSocket();
+    return Status::Corruption("unexpected ping reply");
+  }
+  return Status::OK();
+}
+
+RemoteStatement& RemoteStatement::BindInt(std::string_view name,
+                                          int64_t value) {
+  params_[std::string(name)] = engine::Datum::Int(value);
+  return *this;
+}
+RemoteStatement& RemoteStatement::BindDouble(std::string_view name,
+                                             double value) {
+  params_[std::string(name)] = engine::Datum::Double(value);
+  return *this;
+}
+RemoteStatement& RemoteStatement::BindBool(std::string_view name,
+                                           bool value) {
+  params_[std::string(name)] = engine::Datum::Bool(value);
+  return *this;
+}
+RemoteStatement& RemoteStatement::BindString(std::string_view name,
+                                             std::string value) {
+  params_[std::string(name)] = engine::Datum::String(std::move(value));
+  return *this;
+}
+RemoteStatement& RemoteStatement::BindNull(std::string_view name) {
+  params_[std::string(name)] = engine::Datum::Null();
+  return *this;
+}
+RemoteStatement& RemoteStatement::BindChronon(std::string_view name,
+                                              const Chronon& value) {
+  params_[std::string(name)] =
+      datablade::MakeChronon(connection_->tip_types(), value);
+  return *this;
+}
+RemoteStatement& RemoteStatement::BindSpan(std::string_view name,
+                                           const Span& value) {
+  params_[std::string(name)] =
+      datablade::MakeSpan(connection_->tip_types(), value);
+  return *this;
+}
+RemoteStatement& RemoteStatement::BindInstant(std::string_view name,
+                                              const Instant& value) {
+  params_[std::string(name)] =
+      datablade::MakeInstant(connection_->tip_types(), value);
+  return *this;
+}
+RemoteStatement& RemoteStatement::BindPeriod(std::string_view name,
+                                             const Period& value) {
+  params_[std::string(name)] =
+      datablade::MakePeriod(connection_->tip_types(), value);
+  return *this;
+}
+RemoteStatement& RemoteStatement::BindElement(std::string_view name,
+                                              const Element& value) {
+  params_[std::string(name)] =
+      datablade::MakeElement(connection_->tip_types(), value);
+  return *this;
+}
+RemoteStatement& RemoteStatement::BindDatum(std::string_view name,
+                                            engine::Datum value) {
+  params_[std::string(name)] = std::move(value);
+  return *this;
+}
+RemoteStatement& RemoteStatement::ClearBindings() {
+  params_.clear();
+  return *this;
+}
+
+Result<ResultSet> RemoteStatement::Execute() {
+  if (!prepare_status_.ok()) return prepare_status_;
+  return connection_->Execute(sql_, params_);
+}
+
+}  // namespace tip::client

@@ -630,6 +630,15 @@ Status RegisterWalStats(Database* db) {
         return Datum::Int(
             static_cast<int64_t>(db->durability_stats().checkpoints));
       })));
+
+  // tip_sync_wal() forces the WAL to stable storage. Remote sessions
+  // need it because RemoteConnection has no direct Database handle.
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_sync_wal", {}, TypeId::kInt,
+      [db](const std::vector<Datum>&, EvalContext&) -> Result<Datum> {
+        TIP_RETURN_IF_ERROR(db->SyncWal());
+        return Datum::Int(0);
+      })));
   return Status::OK();
 }
 
@@ -765,7 +774,8 @@ Status RegisterIntegrityStats(Database* db) {
             "scrubs=" + std::to_string(stats.scrubs_run) +
             " objects_checked=" + std::to_string(stats.objects_checked) +
             " corruptions_found=" + std::to_string(stats.corruptions_found) +
-            " quarantined=" + std::to_string(stats.tables_quarantined);
+            " quarantined=" + std::to_string(stats.tables_quarantined) +
+            " scrub_ticks=" + std::to_string(stats.scrub_ticks);
         for (const auto& [name, cause] : db->catalog().QuarantineList()) {
           out += " [" + name + ": " + cause + "]";
         }
@@ -798,6 +808,8 @@ Status RegisterIntegrityStats(Database* db) {
           value = stats.corruptions_found;
         } else if (counter == "quarantined") {
           value = stats.tables_quarantined;
+        } else if (counter == "scrub_ticks") {
+          value = stats.scrub_ticks;
         } else if (counter == "manifest_entries") {
           value = db->corruption_manifest().size();
         } else {
@@ -827,6 +839,90 @@ Status RegisterIntegrityStats(Database* db) {
   return Status::OK();
 }
 
+// tip_server_stats()          -> formatted server front-end counters
+// tip_server_stats('counter') -> one counter as INT
+// The observability surface for the TCP server front-end: session
+// admission traffic, wire volume, drains, and fail-stop session
+// deaths. Queryable from any session, remote or embedded.
+Status RegisterServerStats(Database* db) {
+  RoutineRegistry& reg = db->routines();
+  const TypeId s = TypeId::kString;
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_server_stats", {}, s,
+      [db](const std::vector<Datum>&, EvalContext&) -> Result<Datum> {
+        const ServerStatsCounters& sv = db->server_stats();
+        return Datum::String(
+            "active=" +
+            std::to_string(
+                sv.sessions_active.load(std::memory_order_relaxed)) +
+            " peak=" +
+            std::to_string(sv.sessions_peak.load(std::memory_order_relaxed)) +
+            " total=" +
+            std::to_string(sv.sessions_total.load(std::memory_order_relaxed)) +
+            " rejected=" +
+            std::to_string(
+                sv.sessions_rejected.load(std::memory_order_relaxed)) +
+            " statements=" +
+            std::to_string(
+                sv.statements_served.load(std::memory_order_relaxed)) +
+            " bytes_in=" +
+            std::to_string(sv.bytes_in.load(std::memory_order_relaxed)) +
+            " bytes_out=" +
+            std::to_string(sv.bytes_out.load(std::memory_order_relaxed)) +
+            " drains=" +
+            std::to_string(sv.drains.load(std::memory_order_relaxed)) +
+            " session_aborts=" +
+            std::to_string(
+                sv.session_aborts.load(std::memory_order_relaxed)) +
+            " cancels=" +
+            std::to_string(
+                sv.cancels_received.load(std::memory_order_relaxed)) +
+            " idle_timeouts=" +
+            std::to_string(sv.idle_timeouts.load(std::memory_order_relaxed)) +
+            " wire_faults=" +
+            std::to_string(sv.wire_faults.load(std::memory_order_relaxed)));
+      })));
+
+  TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
+      "tip_server_stats", {s}, TypeId::kInt,
+      [db](const std::vector<Datum>& a, EvalContext&) -> Result<Datum> {
+        const ServerStatsCounters& sv = db->server_stats();
+        const std::string counter = ToLowerAscii(a[0].string_value());
+        uint64_t value;
+        if (counter == "sessions_active") {
+          value = sv.sessions_active.load(std::memory_order_relaxed);
+        } else if (counter == "sessions_peak") {
+          value = sv.sessions_peak.load(std::memory_order_relaxed);
+        } else if (counter == "sessions_total") {
+          value = sv.sessions_total.load(std::memory_order_relaxed);
+        } else if (counter == "sessions_rejected") {
+          value = sv.sessions_rejected.load(std::memory_order_relaxed);
+        } else if (counter == "statements_served") {
+          value = sv.statements_served.load(std::memory_order_relaxed);
+        } else if (counter == "bytes_in") {
+          value = sv.bytes_in.load(std::memory_order_relaxed);
+        } else if (counter == "bytes_out") {
+          value = sv.bytes_out.load(std::memory_order_relaxed);
+        } else if (counter == "drains") {
+          value = sv.drains.load(std::memory_order_relaxed);
+        } else if (counter == "session_aborts") {
+          value = sv.session_aborts.load(std::memory_order_relaxed);
+        } else if (counter == "cancels_received") {
+          value = sv.cancels_received.load(std::memory_order_relaxed);
+        } else if (counter == "idle_timeouts") {
+          value = sv.idle_timeouts.load(std::memory_order_relaxed);
+        } else if (counter == "wire_faults") {
+          value = sv.wire_faults.load(std::memory_order_relaxed);
+        } else {
+          return Status::InvalidArgument("unknown server counter '" + counter +
+                                         "'");
+        }
+        return Datum::Int(static_cast<int64_t>(value));
+      })));
+  return Status::OK();
+}
+
 }  // namespace
 
 Status RegisterBuiltins(Database* db) {
@@ -838,6 +934,7 @@ Status RegisterBuiltins(Database* db) {
   TIP_RETURN_IF_ERROR(RegisterWalStats(db));
   TIP_RETURN_IF_ERROR(RegisterPlanStats(db));
   TIP_RETURN_IF_ERROR(RegisterIntegrityStats(db));
+  TIP_RETURN_IF_ERROR(RegisterServerStats(db));
   return Status::OK();
 }
 

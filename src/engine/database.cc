@@ -1,5 +1,6 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 #include <vector>
@@ -541,12 +542,43 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
       const uint64_t found =
           integrity_.corruptions_found.load(std::memory_order_relaxed);
       const uint64_t quarantined = catalog_.quarantine_count();
-      if (scrubs + checked + found + quarantined > 0) {
+      const uint64_t ticks =
+          integrity_.scrub_ticks.load(std::memory_order_relaxed);
+      if (scrubs + checked + found + quarantined + ticks > 0) {
         result.rows.push_back(Row{Datum::String(
             "IntegrityStats(scrubs=" + std::to_string(scrubs) +
             " objects_checked=" + std::to_string(checked) +
             " corruptions_found=" + std::to_string(found) +
-            " quarantined=" + std::to_string(quarantined) + ")")});
+            " quarantined=" + std::to_string(quarantined) +
+            " scrub_ticks=" + std::to_string(ticks) + ")")});
+      }
+      // Server front-end counters, appended only once the TCP server
+      // has seen traffic so embedded-only sessions are unchanged.
+      const ServerStatsCounters& sv = server_stats_;
+      if (sv.total() > 0) {
+        result.rows.push_back(Row{Datum::String(
+            "ServerStats(active=" +
+            std::to_string(
+                sv.sessions_active.load(std::memory_order_relaxed)) +
+            " peak=" +
+            std::to_string(sv.sessions_peak.load(std::memory_order_relaxed)) +
+            " total=" +
+            std::to_string(sv.sessions_total.load(std::memory_order_relaxed)) +
+            " rejected=" +
+            std::to_string(
+                sv.sessions_rejected.load(std::memory_order_relaxed)) +
+            " statements=" +
+            std::to_string(
+                sv.statements_served.load(std::memory_order_relaxed)) +
+            " bytes_in=" +
+            std::to_string(sv.bytes_in.load(std::memory_order_relaxed)) +
+            " bytes_out=" +
+            std::to_string(sv.bytes_out.load(std::memory_order_relaxed)) +
+            " drains=" +
+            std::to_string(sv.drains.load(std::memory_order_relaxed)) +
+            " session_aborts=" +
+            std::to_string(
+                sv.session_aborts.load(std::memory_order_relaxed)) + ")")});
       }
       return result;
     }
@@ -853,6 +885,14 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
         TIP_ASSIGN_OR_RETURN(bool on, ParseOnOff(word));
         set_table_checksums_enabled(on);
         result.message = "SET TABLE_CHECKSUMS";
+        return result;
+      }
+      if (stmt.option == "scrub") {
+        // Background scrub scheduling: while on, every checkpoint also
+        // CHECKs one table round-robin (see ScrubTick).
+        TIP_ASSIGN_OR_RETURN(bool on, ParseOnOff(word));
+        set_scrub_enabled(on);
+        result.message = on ? "SET SCRUB ON" : "SET SCRUB OFF";
         return result;
       }
       if (stmt.option == "fault_inject") {
@@ -1581,7 +1621,53 @@ Status Database::Checkpoint() {
   // log's records sit below `lsn` and recovery skips them.
   Status rotated = wal_->Rotate(lsn);
   RemoveStaleSnapshots(durable_dir_, file);
+  if (rotated.ok() && scrub_enabled_.load(std::memory_order_relaxed)) {
+    // Background scrub: one table's CHECK per checkpoint interval. The
+    // checkpoint has already published, so a scrub error (an index
+    // rebuild failure, say) must not retroactively fail it; corrupt
+    // findings land in the health counters and manifest instead.
+    (void)ScrubTick();
+  }
   return rotated;
+}
+
+Result<std::string> Database::ScrubTick() {
+  std::vector<std::string> names = catalog_.TableNames();
+  if (names.empty()) return std::string();
+  std::sort(names.begin(), names.end());
+  // The next table strictly after the cursor, wrapping to the front —
+  // a stable round-robin walk even as tables come and go between ticks.
+  std::string target;
+  for (const std::string& name : names) {
+    if (name > scrub_cursor_) {
+      target = name;
+      break;
+    }
+  }
+  if (target.empty()) target = names.front();
+  scrub_cursor_ = target;
+  integrity_.scrub_ticks.fetch_add(1, std::memory_order_relaxed);
+
+  Result<Table*> lookup = catalog_.GetTable(target);
+  if (!lookup.ok()) {
+    if (lookup.status().code() == StatusCode::kCorruption) {
+      // Quarantined: already-known damage, still worth counting so
+      // tip_health() shows the scrubber is revisiting it.
+      RecordScrub(1, 1);
+      return target;
+    }
+    // Dropped between TableNames and the lookup — nothing to scrub.
+    return target;
+  }
+  TIP_ASSIGN_OR_RETURN(CheckFinding finding, CheckTable(this, *lookup,
+                                                        nullptr));
+  RecordScrub(1, finding.ok ? 0 : 1);
+  if (!finding.ok) {
+    std::lock_guard<std::mutex> lock(integrity_mu_);
+    corruption_manifest_.push_back(
+        {target, "(online scrub)", 0, 0, finding.detail});
+  }
+  return target;
 }
 
 Status Database::SyncWal() {
@@ -1624,6 +1710,7 @@ IntegrityStats Database::integrity_stats() const {
   stats.corruptions_found =
       integrity_.corruptions_found.load(std::memory_order_relaxed);
   stats.tables_quarantined = catalog_.quarantine_count();
+  stats.scrub_ticks = integrity_.scrub_ticks.load(std::memory_order_relaxed);
   return stats;
 }
 

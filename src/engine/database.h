@@ -92,6 +92,34 @@ struct IntegrityStats {
   uint64_t objects_checked = 0;    // tables + WAL scans across all scrubs
   uint64_t corruptions_found = 0;  // non-ok findings across all scrubs
   uint64_t tables_quarantined = 0; // currently quarantined
+  uint64_t scrub_ticks = 0;        // background scrub steps (SET scrub on)
+};
+
+/// Counters for the multi-session server front-end (src/server), owned
+/// by the Database so the SQL observability surface — tip_server_stats()
+/// and EXPLAIN's ServerStats row — works identically whether the
+/// statement arrives embedded or over the wire. The server (tipd) bumps
+/// them; any session may read them concurrently, hence atomics.
+struct ServerStatsCounters {
+  std::atomic<uint64_t> sessions_active{0};
+  std::atomic<uint64_t> sessions_peak{0};
+  std::atomic<uint64_t> sessions_total{0};    // ever admitted
+  std::atomic<uint64_t> sessions_rejected{0}; // admission refusals
+  std::atomic<uint64_t> statements_served{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> drains{0};            // graceful shutdowns
+  std::atomic<uint64_t> session_aborts{0};    // fail-stop session deaths
+  std::atomic<uint64_t> cancels_received{0};  // remote tip_cancel frames
+  std::atomic<uint64_t> idle_timeouts{0};     // sessions reaped idle
+  std::atomic<uint64_t> wire_faults{0};       // injected/real wire errors
+
+  uint64_t total() const {
+    return sessions_total.load(std::memory_order_relaxed) +
+           sessions_rejected.load(std::memory_order_relaxed) +
+           statements_served.load(std::memory_order_relaxed) +
+           drains.load(std::memory_order_relaxed);
+  }
 };
 
 /// Host parameters for a statement (`:name` placeholders).
@@ -344,8 +372,32 @@ class Database {
   }
   bool table_checksums_enabled() const { return table_checksums_enabled_; }
 
+  /// SET SCRUB on|off: background scrub scheduling. While on, every
+  /// successful Checkpoint() also walks ONE table's online CHECK
+  /// (round-robin over the catalog, one table per checkpoint interval),
+  /// feeding the tip_health() counters and — on a corrupt finding — the
+  /// corruption manifest, so rot surfaces without waiting for an
+  /// on-demand CHECK DATABASE. Default off.
+  void set_scrub_enabled(bool on) { scrub_enabled_ = on; }
+  bool scrub_enabled() const { return scrub_enabled_; }
+
+  /// One background-scrub step: CHECKs the next table in round-robin
+  /// order (no-op when the catalog is empty or every table is
+  /// quarantined). Returns the name of the table scrubbed, "" when
+  /// there was nothing to scrub. Exposed so the server's housekeeping
+  /// (and tests) can drive scrubbing without a checkpoint; Checkpoint()
+  /// calls it automatically while SET scrub is on. Must be serialized
+  /// with writers, like any statement.
+  Result<std::string> ScrubTick();
+
   /// Counters for tip_health() / EXPLAIN IntegrityStats(...).
   IntegrityStats integrity_stats() const;
+
+  /// Counters for tip_server_stats() / EXPLAIN ServerStats(...). The
+  /// mutable overload is the server front-end's hook; everything else
+  /// should treat them as read-only.
+  ServerStatsCounters& server_stats() { return server_stats_; }
+  const ServerStatsCounters& server_stats() const { return server_stats_; }
 
   /// The corruption manifest from the last salvage-mode attach (empty
   /// after a strict or clean open).
@@ -525,8 +577,15 @@ class Database {
     std::atomic<uint64_t> scrubs_run{0};
     std::atomic<uint64_t> objects_checked{0};
     std::atomic<uint64_t> corruptions_found{0};
+    std::atomic<uint64_t> scrub_ticks{0};
   };
   IntegrityCounters integrity_;
+  /// Background scrub scheduling (SET scrub on|off) and its round-robin
+  /// position: the last table name scrubbed, "" before the first tick.
+  std::atomic<bool> scrub_enabled_{false};
+  std::string scrub_cursor_;
+  /// Server front-end counters; bumped by tip::server, read anywhere.
+  ServerStatsCounters server_stats_;
   /// Guards corruption_manifest_ (written once at attach, read by
   /// tip_health() from any session).
   mutable std::mutex integrity_mu_;

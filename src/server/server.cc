@@ -1,0 +1,706 @@
+#include "server/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <random>
+
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+#include "engine/storage/wire_format.h"
+
+namespace tip::server {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Short deadline for frames the accept thread writes (rejections,
+/// handshake errors): these are tiny and a peer that cannot take them
+/// promptly is not worth stalling admission for.
+constexpr int kAcceptWriteTimeoutMs = 1000;
+
+}  // namespace
+
+Server::Server(engine::Database* db, ServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+Result<std::unique_ptr<Server>> Server::Start(engine::Database* db,
+                                              ServerOptions options) {
+  auto server = std::unique_ptr<Server>(new Server(db, std::move(options)));
+  TIP_ASSIGN_OR_RETURN(
+      server->listen_fd_,
+      wire::ListenTcp(server->options_.host, server->options_.port,
+                      &server->port_));
+  if (pipe(server->wake_pipe_) != 0) {
+    return Status::Internal("pipe: " + std::string(std::strerror(errno)));
+  }
+  // Non-blocking on both ends: session threads must never block waking
+  // the accept thread, and the accept thread drains opportunistically.
+  for (const int fd : server->wake_pipe_) {
+    const int flags = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  std::random_device rd;
+  server->cancel_key_seed_ =
+      (static_cast<uint64_t>(rd()) << 32) ^ static_cast<uint64_t>(rd());
+  server->accept_thread_ = std::thread(&Server::AcceptLoop, server.get());
+  return server;
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::WakeAcceptThread() {
+  const char byte = 1;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  (void)!write(wake_pipe_[1], &byte, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Accept thread: listener + handshakes + admission queue.
+// ---------------------------------------------------------------------------
+
+void Server::AcceptLoop() {
+  for (;;) {
+    if (draining_.load(std::memory_order_acquire)) break;
+
+    std::vector<struct pollfd> fds;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const Pending& p : handshaking_) {
+      fds.push_back({p.fd, POLLIN, 0});
+    }
+
+    // Poll until the nearest handshake/admission deadline.
+    int64_t next_deadline = -1;
+    for (const Pending& p : handshaking_) {
+      if (next_deadline < 0 || p.deadline_ms < next_deadline) {
+        next_deadline = p.deadline_ms;
+      }
+    }
+    for (const Pending& p : admission_queue_) {
+      if (next_deadline < 0 || p.deadline_ms < next_deadline) {
+        next_deadline = p.deadline_ms;
+      }
+    }
+    int wait = -1;
+    if (next_deadline >= 0) {
+      wait = static_cast<int>(std::max<int64_t>(0, next_deadline - NowMs()));
+    }
+    const int rc = poll(fds.data(), fds.size(), wait);
+    if (rc < 0 && errno != EINTR) break;  // unrecoverable; Shutdown joins
+
+    if (draining_.load(std::memory_order_acquire)) break;
+
+    // Drain wakeups.
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    // Progress handshakes that have bytes (fds[2+j] maps to the j-th
+    // tracked connection; new accepts are added only after this loop).
+    // Reads are strictly non-blocking: a slow client costs nothing but
+    // its own deadline.
+    size_t poll_index = 2;
+    for (auto it = handshaking_.begin(); it != handshaking_.end();
+         ++poll_index) {
+      Pending& p = *it;
+      bool dead = false;
+      bool complete = false;
+      if (fds[poll_index].revents & (POLLIN | POLLHUP | POLLERR)) {
+        for (;;) {
+          char buf[512];
+          const ssize_t n = recv(p.fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            p.buffer.append(buf, static_cast<size_t>(n));
+            if (p.buffer.size() >
+                wire::kFrameHeaderSize + wire::kMaxFramePayload) {
+              dead = true;
+            }
+            continue;
+          }
+          if (n == 0) dead = true;  // EOF before a full handshake frame
+          break;  // EAGAIN — or EOF/err handled above
+        }
+        if (p.buffer.size() >= wire::kFrameHeaderSize) {
+          uint32_t len;
+          std::memcpy(&len, p.buffer.data(), 4);
+          if (len > wire::kMaxFramePayload) {
+            dead = true;
+          } else if (p.buffer.size() >= wire::kFrameHeaderSize + len) {
+            // A complete frame outranks a trailing EOF: a cancel
+            // client legitimately writes its one frame and hangs up.
+            complete = true;
+            dead = false;
+          }
+        }
+      }
+      if (!dead && !complete && NowMs() >= p.deadline_ms) dead = true;
+      if (dead) {
+        close(p.fd);
+        it = handshaking_.erase(it);
+        continue;
+      }
+      if (!complete) {
+        ++it;
+        continue;
+      }
+      // Full first frame in hand: Hello starts admission, Cancel is
+      // serviced inline (it deliberately consumes no session slot, so
+      // a saturated server can still be cancelled into liveness).
+      // Keep the frame bytes alive past the erase: `payload` views into
+      // this string, and the Pending (and its buffer) dies with the
+      // list node.
+      const std::string frame_bytes = std::move(p.buffer);
+      uint32_t len, crc;
+      std::memcpy(&len, frame_bytes.data(), 4);
+      const uint8_t type = static_cast<uint8_t>(frame_bytes[4]);
+      std::memcpy(&crc, frame_bytes.data() + 5, 4);
+      const std::string_view payload(
+          frame_bytes.data() + wire::kFrameHeaderSize, len);
+      const int fd = p.fd;
+      it = handshaking_.erase(it);
+      if (Crc32(payload) != crc) {
+        close(fd);
+        continue;
+      }
+      if (static_cast<wire::FrameType>(type) == wire::FrameType::kCancel) {
+        Result<wire::CancelRequest> cancel = wire::ParseCancel(payload);
+        if (cancel.ok()) CancelSession(cancel->session_id, cancel->cancel_key);
+        close(fd);
+        continue;
+      }
+      if (static_cast<wire::FrameType>(type) != wire::FrameType::kHello) {
+        close(fd);
+        continue;
+      }
+      Result<uint32_t> version = wire::ParseHello(payload);
+      if (!version.ok() || *version != wire::kProtocolVersion) {
+        RejectConnection(
+            fd, Status::InvalidArgument(
+                    "protocol version mismatch: server speaks " +
+                    std::to_string(wire::kProtocolVersion)));
+        continue;
+      }
+      if (active_.load(std::memory_order_relaxed) < options_.max_sessions) {
+        Admit(fd);
+      } else if (admission_queue_.size() <
+                 static_cast<size_t>(options_.admission_queue_limit)) {
+        Pending queued;
+        queued.fd = fd;
+        queued.hello_done = true;
+        queued.deadline_ms = NowMs() + options_.admission_wait_ms;
+        admission_queue_.push_back(std::move(queued));
+      } else {
+        RejectConnection(fd, Status::ResourceExhausted(
+                                 "server at capacity (max_sessions=" +
+                                 std::to_string(options_.max_sessions) +
+                                 ", queue full)"));
+      }
+    }
+
+    // New connections -> handshake tracking (first polled next round).
+    if (fds[1].revents & POLLIN) {
+      for (;;) {
+        const int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;  // EAGAIN or transient — poll again
+        const Status accepted = fault::MaybeFail("server.accept");
+        if (!accepted.ok()) {
+          // An accept-path fault costs exactly this connection; the
+          // listener keeps serving.
+          db_->server_stats().wire_faults.fetch_add(
+              1, std::memory_order_relaxed);
+          close(fd);
+          continue;
+        }
+        const int flags = fcntl(fd, F_GETFL, 0);
+        fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+        // Request/response with small frames: without TCP_NODELAY,
+        // Nagle + delayed ACK costs ~40ms per statement round trip.
+        const int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        Pending p;
+        p.fd = fd;
+        p.deadline_ms = NowMs() + options_.hello_timeout_ms;
+        handshaking_.push_back(std::move(p));
+      }
+    }
+
+    // Admit from the queue while slots are free; expire the rest. The
+    // deadline path is the "never silently dropped" guarantee: a
+    // refused client always gets an explicit error frame.
+    while (!admission_queue_.empty() &&
+           active_.load(std::memory_order_relaxed) < options_.max_sessions) {
+      const int fd = admission_queue_.front().fd;
+      admission_queue_.pop_front();
+      Admit(fd);
+    }
+    for (auto it = admission_queue_.begin(); it != admission_queue_.end();) {
+      if (NowMs() >= it->deadline_ms) {
+        RejectConnection(
+            it->fd, Status::ResourceExhausted(
+                        "server at capacity: no session slot within " +
+                        std::to_string(options_.admission_wait_ms) + "ms"));
+        it = admission_queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    ReapDoneSessions();
+  }
+
+  // Draining: refuse everything still at the door, close the listener.
+  for (const Pending& p : handshaking_) close(p.fd);
+  handshaking_.clear();
+  for (const Pending& p : admission_queue_) {
+    RejectConnection(p.fd,
+                     Status::ResourceExhausted("server shutting down"));
+  }
+  admission_queue_.clear();
+  close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::RejectConnection(int fd, const Status& reason) {
+  db_->server_stats().sessions_rejected.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  (void)wire::WriteFrame(fd, wire::FrameType::kError,
+                         wire::BuildError(reason, false),
+                         kAcceptWriteTimeoutMs,
+                         &db_->server_stats().bytes_out);
+  close(fd);
+}
+
+void Server::Admit(int fd) {
+  auto session = std::make_unique<Session>();
+  session->fd = fd;
+  session->settings.statement_timeout_ms =
+      options_.default_statement_timeout_ms;
+  session->settings.memory_limit_kb = options_.default_memory_limit_kb;
+  // splitmix64 over a random seed: unguessable enough for a loopback
+  // cancel key without burning a random_device read per session.
+  cancel_key_seed_ += 0x9E3779B97F4A7C15ull;
+  uint64_t key = cancel_key_seed_;
+  key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ull;
+  key = (key ^ (key >> 27)) * 0x94D049BB133111EBull;
+  session->cancel_key = key ^ (key >> 31);
+
+  engine::ServerStatsCounters& stats = db_->server_stats();
+  const int now_active = active_.fetch_add(1, std::memory_order_relaxed) + 1;
+  stats.sessions_active.store(static_cast<uint64_t>(now_active),
+                              std::memory_order_relaxed);
+  uint64_t peak = stats.sessions_peak.load(std::memory_order_relaxed);
+  while (static_cast<uint64_t>(now_active) > peak &&
+         !stats.sessions_peak.compare_exchange_weak(
+             peak, static_cast<uint64_t>(now_active),
+             std::memory_order_relaxed)) {
+  }
+  stats.sessions_total.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  session->id = next_session_id_++;
+  Session* raw = session.get();
+  raw->thread = std::thread(&Server::SessionLoop, this, raw);
+  sessions_.push_back(std::move(session));
+}
+
+void Server::ReapDoneSessions() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution gate.
+// ---------------------------------------------------------------------------
+
+Status Server::AcquireGate(uint64_t session_id, int wait_ms) {
+  std::unique_lock<std::mutex> lock(gate_mu_);
+  const bool got = gate_cv_.wait_for(
+      lock, std::chrono::milliseconds(wait_ms),
+      [this] { return gate_owner_ == 0; });
+  if (!got) {
+    return Status::ResourceExhausted(
+        "server busy: statement slot not free within " +
+        std::to_string(wait_ms) + "ms (another session holds a "
+        "transaction or long statement)");
+  }
+  gate_owner_ = session_id;
+  return Status::OK();
+}
+
+void Server::ReleaseGate(uint64_t session_id) {
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    if (gate_owner_ != session_id) return;
+    gate_owner_ = 0;
+  }
+  gate_cv_.notify_all();
+}
+
+void Server::CancelSession(uint64_t session_id, uint64_t cancel_key) {
+  bool key_ok = false;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& session : sessions_) {
+      if (session->id == session_id && !session->done.load()) {
+        key_ok = session->cancel_key == cancel_key;
+        break;
+      }
+    }
+  }
+  if (!key_ok) return;
+  db_->server_stats().cancels_received.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  // Holding gate_mu_ across the cancel pins the ownership check: the
+  // gate serializes execution, so while the target owns the gate the
+  // only active statement in the engine is the target's.
+  std::lock_guard<std::mutex> lock(gate_mu_);
+  if (gate_owner_ == session_id) db_->CancelActiveStatements();
+}
+
+// ---------------------------------------------------------------------------
+// Session threads.
+// ---------------------------------------------------------------------------
+
+Status Server::WriteChecked(Session* session, wire::FrameType type,
+                            std::string_view payload) {
+  Status injected = fault::MaybeFail("server.write");
+  if (!injected.ok()) {
+    db_->server_stats().wire_faults.fetch_add(1, std::memory_order_relaxed);
+    return injected;
+  }
+  Status written =
+      wire::WriteFrame(session->fd, type, payload, options_.write_timeout_ms,
+                       &db_->server_stats().bytes_out);
+  if (!written.ok()) {
+    db_->server_stats().wire_faults.fetch_add(1, std::memory_order_relaxed);
+  }
+  return written;
+}
+
+Result<wire::Frame> Server::ReadChecked(Session* session,
+                                        int first_timeout_ms) {
+  Status injected = fault::MaybeFail("server.read");
+  if (!injected.ok()) {
+    db_->server_stats().wire_faults.fetch_add(1, std::memory_order_relaxed);
+    return injected;
+  }
+  Result<wire::Frame> frame =
+      wire::ReadFrame(session->fd, first_timeout_ms, options_.write_timeout_ms,
+                      &db_->server_stats().bytes_in);
+  if (frame.ok()) {
+    // A CRC-site fault models a torn frame that passed transport but
+    // fails validation — indistinguishable from real bit rot.
+    injected = fault::MaybeFail("server.frame_crc");
+    if (!injected.ok()) {
+      db_->server_stats().wire_faults.fetch_add(1, std::memory_order_relaxed);
+      return Status::Corruption("frame crc mismatch (injected)");
+    }
+    return frame;
+  }
+  if (!wire::IsCleanEof(frame.status()) &&
+      !wire::IsIdleTimeout(frame.status())) {
+    db_->server_stats().wire_faults.fetch_add(1, std::memory_order_relaxed);
+  }
+  return frame;
+}
+
+void Server::SessionLoop(Session* session) {
+  wire::HelloOk hello;
+  hello.protocol_version = wire::kProtocolVersion;
+  hello.session_id = session->id;
+  hello.cancel_key = session->cancel_key;
+  if (WriteChecked(session, wire::FrameType::kHelloOk,
+                   wire::BuildHelloOk(hello))
+          .ok()) {
+    const int idle =
+        options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms : -1;
+    for (;;) {
+      Result<wire::Frame> frame = ReadChecked(session, idle);
+      if (!frame.ok()) {
+        if (wire::IsIdleTimeout(frame.status())) {
+          db_->server_stats().idle_timeouts.fetch_add(
+              1, std::memory_order_relaxed);
+          session->aborted = true;
+          // Best-effort goodbye so a live-but-quiet client learns why.
+          (void)WriteChecked(
+              session, wire::FrameType::kError,
+              wire::BuildError(Status::DeadlineExceeded(
+                                   "session idle timeout"),
+                               db_->InTransaction() && session->holds_gate));
+        } else if (!wire::IsCleanEof(frame.status())) {
+          session->aborted = true;  // torn frame / injected fault / error
+        }
+        break;
+      }
+      bool keep = true;
+      switch (frame->type) {
+        case wire::FrameType::kPing:
+          keep = WriteChecked(session, wire::FrameType::kPong, "").ok();
+          break;
+        case wire::FrameType::kGoodbye:
+          keep = false;
+          break;
+        case wire::FrameType::kExec:
+          keep = HandleExec(session, *frame);
+          break;
+        case wire::FrameType::kPrepare:
+          keep = HandlePrepare(session, *frame);
+          break;
+        default:
+          // Unknown frame type after a valid CRC: protocol confusion;
+          // fail-stop rather than guess.
+          session->aborted = true;
+          (void)WriteChecked(
+              session, wire::FrameType::kError,
+              wire::BuildError(
+                  Status::InvalidArgument("unexpected frame type"), false));
+          keep = false;
+          break;
+      }
+      if (!keep) break;
+    }
+  } else {
+    session->aborted = true;
+  }
+  FinishSession(session);
+}
+
+bool Server::HandleExec(Session* session, const wire::Frame& frame) {
+  Result<wire::ExecRequest> request =
+      wire::ParseExec(frame.payload, db_->types());
+  if (!request.ok()) {
+    // A request that fails to decode is a torn frame, not a SQL error:
+    // the stream can no longer be trusted, so fail-stop.
+    db_->server_stats().wire_faults.fetch_add(1, std::memory_order_relaxed);
+    session->aborted = true;
+    return false;
+  }
+  if (!session->holds_gate) {
+    Status gate = AcquireGate(session->id, options_.lock_wait_ms);
+    if (!gate.ok()) return SendError(session, gate, false);
+    session->holds_gate = true;
+    // Swap this session's engine-level state in. Safe precisely
+    // because the gate is held: nobody else executes until release.
+    db_->SetNowOverride(session->settings.now);
+    db_->set_statement_timeout_ms(session->settings.statement_timeout_ms);
+    db_->set_memory_limit_kb(session->settings.memory_limit_kb);
+  }
+  session->executing.store(true, std::memory_order_release);
+  Result<engine::ResultSet> result =
+      db_->Execute(request->sql, request->params);
+  session->executing.store(false, std::memory_order_release);
+  db_->server_stats().statements_served.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  // Read the session state back: SQL-level SET NOW / SET
+  // statement_timeout_ms / SET memory_limit_kb become session-scoped.
+  session->settings.now = db_->now_override();
+  session->settings.statement_timeout_ms = db_->statement_timeout_ms();
+  session->settings.memory_limit_kb = db_->memory_limit_kb();
+  const bool in_txn = db_->InTransaction();
+  if (!in_txn && session->holds_gate) {
+    ReleaseGate(session->id);
+    session->holds_gate = false;
+  }
+  // Stream after releasing the gate: the rows are materialized values,
+  // so a slow client stalls only its own connection, never the engine.
+  if (!result.ok()) return SendError(session, result.status(), in_txn);
+  return StreamResult(session, *result, in_txn);
+}
+
+bool Server::HandlePrepare(Session* session, const wire::Frame& frame) {
+  Result<std::string> sql = wire::ParsePrepare(frame.payload);
+  if (!sql.ok()) {
+    db_->server_stats().wire_faults.fetch_add(1, std::memory_order_relaxed);
+    session->aborted = true;
+    return false;
+  }
+  const bool had_gate = session->holds_gate;
+  if (!had_gate) {
+    Status gate = AcquireGate(session->id, options_.lock_wait_ms);
+    if (!gate.ok()) return SendError(session, gate, false);
+  }
+  Result<std::shared_ptr<const engine::PreparedPlan>> plan =
+      db_->Prepare(*sql);
+  if (!had_gate) ReleaseGate(session->id);
+  if (!plan.ok()) {
+    return SendError(session, plan.status(),
+                     session->holds_gate && db_->InTransaction());
+  }
+  return WriteChecked(session, wire::FrameType::kPrepareOk, "").ok();
+}
+
+bool Server::SendError(Session* session, const Status& status, bool in_txn) {
+  return WriteChecked(session, wire::FrameType::kError,
+                      wire::BuildError(status, in_txn))
+      .ok();
+}
+
+bool Server::StreamResult(Session* session, const engine::ResultSet& result,
+                          bool in_txn) {
+  if (!WriteChecked(session, wire::FrameType::kResultHeader,
+                    wire::BuildResultHeader(result, in_txn, db_->types()))
+           .ok()) {
+    session->aborted = true;
+    return false;
+  }
+  // Chunked rows: each frame's payload stays near max_rows_frame_bytes
+  // and every write is deadline-bounded — the outbound buffer for one
+  // statement is one chunk, regardless of result size.
+  size_t i = 0;
+  const size_t n = result.rows.size();
+  std::string rows_bytes;
+  while (i < n) {
+    rows_bytes.clear();
+    uint32_t count = 0;
+    while (i < n && rows_bytes.size() < options_.max_rows_frame_bytes) {
+      wire::AppendRowImage(result.rows[i], db_->types(), &rows_bytes);
+      ++i;
+      ++count;
+    }
+    std::string payload;
+    payload.reserve(4 + rows_bytes.size());
+    engine::wire::PutU32(count, &payload);
+    payload.append(rows_bytes);
+    if (!WriteChecked(session, wire::FrameType::kResultRows, payload).ok()) {
+      session->aborted = true;
+      return false;
+    }
+  }
+  if (!WriteChecked(session, wire::FrameType::kResultDone, "").ok()) {
+    session->aborted = true;
+    return false;
+  }
+  return true;
+}
+
+void Server::FinishSession(Session* session) {
+  if (session->holds_gate) {
+    // The session died owning the gate — mid-transaction or between a
+    // transaction's statements. Its thread is the transaction's owner
+    // thread, so the rollback is the ordinary engine path.
+    if (db_->InTransaction()) {
+      (void)db_->RollbackTransaction();
+    }
+    ReleaseGate(session->id);
+    session->holds_gate = false;
+    session->aborted = true;
+  }
+  {
+    // Under sessions_mu_ so the drain path never races shutdown(2) on
+    // a just-closed (possibly reused) descriptor.
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    close(session->fd);
+    session->fd = -1;
+  }
+  engine::ServerStatsCounters& stats = db_->server_stats();
+  if (session->aborted) {
+    stats.session_aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+  const int now_active = active_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  stats.sessions_active.store(static_cast<uint64_t>(now_active),
+                              std::memory_order_relaxed);
+  session->done.store(true, std::memory_order_release);
+  WakeAcceptThread();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain.
+// ---------------------------------------------------------------------------
+
+void Server::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (stopped_.load(std::memory_order_acquire)) return;
+
+  draining_.store(true, std::memory_order_release);
+  WakeAcceptThread();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {  // accept thread never ran (failed Start)
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Phase 1: close the *read* side of every session. Idle sessions wake
+  // from poll with EOF and exit (rolling back open transactions);
+  // sessions mid-statement keep executing and can still deliver their
+  // results — drain finishes in-flight work, it does not discard it.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& session : sessions_) {
+      if (!session->done.load(std::memory_order_acquire)) {
+        shutdown(session->fd, SHUT_RD);
+      }
+    }
+  }
+
+  // Phase 2: wait out the grace period.
+  const int64_t deadline = NowMs() + options_.drain_timeout_ms;
+  auto all_done = [this] {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& session : sessions_) {
+      if (!session->done.load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  };
+  while (!all_done() && NowMs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Phase 3: deadline-abort stragglers — cancel whatever statement is
+  // running and break their sockets until every thread exits. The
+  // ExecGuard makes cancellation prompt, so this terminates.
+  while (!all_done()) {
+    db_->CancelActiveStatements();
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (const auto& session : sessions_) {
+        if (!session->done.load(std::memory_order_acquire)) {
+          shutdown(session->fd, SHUT_RDWR);
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& session : sessions_) {
+      if (session->thread.joinable()) session->thread.join();
+    }
+    sessions_.clear();
+  }
+
+  if (wake_pipe_[0] >= 0) close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+
+  // Final checkpoint: a drained durable directory should re-attach
+  // strictly (no replay surprises). Failure is logged via the status
+  // only — the drain itself must complete.
+  if (db_->durable()) (void)db_->Checkpoint();
+  db_->server_stats().drains.fetch_add(1, std::memory_order_relaxed);
+  stopped_.store(true, std::memory_order_release);
+}
+
+}  // namespace tip::server

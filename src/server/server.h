@@ -1,0 +1,218 @@
+#ifndef TIP_SERVER_SERVER_H_
+#define TIP_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/chronon.h"
+#include "engine/database.h"
+#include "server/wire.h"
+
+/// The TIP network front-end: `Server` multiplexes many remote sessions
+/// onto one embedded `engine::Database` — the reproduction's answer to
+/// the paper's TIP-inside-a-multi-user-Informix-server deployment.
+///
+/// Concurrency model. The engine has exactly one transaction slot and
+/// requires writers to be externally serialized, so the server owns an
+/// *execution gate*: every statement runs under it, and a session that
+/// opens a transaction holds the gate from BEGIN until COMMIT/ROLLBACK.
+/// Other sessions wait up to `lock_wait_ms` for the gate, then get an
+/// explicit ResourceExhausted ("server busy") — never an indefinite
+/// stall, never interleaved transactions. Because the gate admits one
+/// statement at a time, per-session state (NOW override, statement
+/// timeout, memory budget) is swapped into the engine before each
+/// statement and read back after, which is what makes SQL `SET NOW` /
+/// `SET statement_timeout_ms` *session-scoped* over the wire.
+///
+/// Robustness properties (enforced, and tested by tests/server/):
+///  - Admission control: at most `max_sessions` concurrent sessions;
+///    excess connections queue up to `admission_wait_ms` and are then
+///    rejected with an explicit ResourceExhausted error frame — a
+///    refused client always learns it was refused.
+///  - Fail-stop sessions: any wire failure (torn frame, CRC mismatch,
+///    mid-result disconnect, write timeout to a stalled client, or an
+///    injected `server.accept/read/write/frame_crc` fault) kills only
+///    that session; its open transaction auto-rolls back and its slot
+///    frees while every other session keeps serving.
+///  - Backpressure: results stream in bounded kResultRows chunks
+///    (`max_rows_frame_bytes`) with poll-bounded writes
+///    (`write_timeout_ms`); the engine-side memory budget
+///    (`memory_limit_kb`) bounds materialization. A client that stops
+///    reading is fail-stopped, not buffered without bound.
+///  - Graceful drain: Shutdown() stops accepting, rejects the queue,
+///    lets in-flight statements finish up to `drain_timeout_ms` (then
+///    cancels them), rolls back abandoned transactions, takes a final
+///    checkpoint on durable databases, and joins every thread.
+namespace tip::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = pick an ephemeral port; Server::port() reports the choice.
+  int port = 0;
+  /// Concurrent admitted sessions (the bounded session pool).
+  int max_sessions = 32;
+  /// Connections allowed to wait for a slot beyond max_sessions;
+  /// further connects are rejected immediately.
+  int admission_queue_limit = 64;
+  /// How long a queued connection may wait for a slot before the
+  /// explicit ResourceExhausted rejection.
+  int admission_wait_ms = 1000;
+  /// Handshake deadline: a connection that does not complete Hello in
+  /// time is dropped (slowloris defense).
+  int hello_timeout_ms = 2000;
+  /// 0 = no idle timeout; otherwise a session that sends nothing for
+  /// this long is reaped (its transaction rolls back).
+  int idle_timeout_ms = 0;
+  /// Max wait for the execution gate before "server busy".
+  int lock_wait_ms = 10000;
+  /// Per-poll deadline for writes to (and mid-frame reads from) a
+  /// client; a peer stalled longer is fail-stopped.
+  int write_timeout_ms = 10000;
+  /// Drain: grace period for in-flight statements at Shutdown.
+  int drain_timeout_ms = 5000;
+  /// Initial per-session ExecGuard defaults (0 = unlimited), applied
+  /// at admission; sessions adjust their own via SET.
+  int64_t default_statement_timeout_ms = 0;
+  size_t default_memory_limit_kb = 0;
+  /// Target payload size of one kResultRows chunk.
+  size_t max_rows_frame_bytes = 256 * 1024;
+};
+
+class Server {
+ public:
+  /// Starts listening and serving `db` (not owned; must outlive the
+  /// server and have the TIP DataBlade installed). The database's
+  /// server_stats() counters are live from here on.
+  static Result<std::unique_ptr<Server>> Start(engine::Database* db,
+                                               ServerOptions options);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (useful with options.port == 0).
+  int port() const { return port_; }
+
+  /// Graceful drain; idempotent, safe from signal-driven shutdown
+  /// paths' *main thread* (not async-signal-safe itself — signal
+  /// handlers should write a self-pipe and let the main thread call
+  /// this, as tipd does).
+  void Shutdown();
+
+ private:
+  /// Per-session engine settings, swapped in under the gate before each
+  /// statement and read back after.
+  struct SessionSettings {
+    std::optional<Chronon> now;
+    int64_t statement_timeout_ms = 0;
+    size_t memory_limit_kb = 0;
+  };
+
+  struct Session {
+    uint64_t id = 0;
+    uint64_t cancel_key = 0;
+    int fd = -1;
+    std::thread thread;
+    SessionSettings settings;
+    /// True between BEGIN and COMMIT/ROLLBACK: this session owns the
+    /// execution gate continuously. Touched only by the session thread.
+    bool holds_gate = false;
+    /// Abnormal-exit marker for the session_aborts counter.
+    bool aborted = false;
+    /// True while this session's thread is inside db->Execute.
+    std::atomic<bool> executing{false};
+    /// Set when the session thread has fully cleaned up (slot freed,
+    /// fd closed); the accept thread reaps the std::thread.
+    std::atomic<bool> done{false};
+  };
+
+  /// A connection between accept() and admission: waiting for its
+  /// Hello frame, then possibly queued for a session slot.
+  struct Pending {
+    int fd = -1;
+    int64_t deadline_ms = 0;  // hello or admission deadline
+    bool hello_done = false;
+    std::string buffer;  // partial inbound frame bytes
+  };
+
+  Server(engine::Database* db, ServerOptions options);
+
+  void AcceptLoop();
+  void SessionLoop(Session* session);
+
+  /// One statement (or prepare) on a session: gate, settings swap,
+  /// execute, stream. Returns false when the session must fail-stop.
+  bool HandleExec(Session* session, const wire::Frame& frame);
+  bool HandlePrepare(Session* session, const wire::Frame& frame);
+  bool StreamResult(Session* session, const engine::ResultSet& result,
+                    bool in_txn);
+  bool SendError(Session* session, const Status& status, bool in_txn);
+
+  /// Session-side frame I/O with the `server.read` / `server.write` /
+  /// `server.frame_crc` fault sites and the stats byte counters.
+  Status WriteChecked(Session* session, wire::FrameType type,
+                      std::string_view payload);
+  Result<wire::Frame> ReadChecked(Session* session, int first_timeout_ms);
+
+  /// Gate acquire/release (see class comment). Acquire returns
+  /// ResourceExhausted after lock_wait_ms.
+  Status AcquireGate(uint64_t session_id, int wait_ms);
+  void ReleaseGate(uint64_t session_id);
+
+  /// Remote cancel: if `session_id`+`cancel_key` name the current gate
+  /// owner, cancel its active statement.
+  void CancelSession(uint64_t session_id, uint64_t cancel_key);
+
+  /// Admits `fd` as a new session (slot already reserved) or hands it
+  /// to the admission queue / rejection path.
+  void Admit(int fd);
+  void RejectConnection(int fd, const Status& reason);
+  /// Session-thread cleanup: rollback if gate owner, close, free slot.
+  void FinishSession(Session* session);
+
+  void WakeAcceptThread();
+  void ReapDoneSessions();
+
+  engine::Database* const db_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::thread accept_thread_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::mutex shutdown_mu_;  // serializes Shutdown callers
+
+  // Execution gate.
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  uint64_t gate_owner_ = 0;  // session id; 0 = free
+
+  // Live sessions. Guarded by sessions_mu_ for structural changes; the
+  // Session objects themselves are stable (unique_ptr) so session
+  // threads and the cancel path may read them without the lock.
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+  uint64_t cancel_key_seed_ = 0;
+  std::atomic<int> active_{0};
+
+  // Accept-side state (owned by the accept thread).
+  std::deque<Pending> handshaking_;
+  std::deque<Pending> admission_queue_;
+};
+
+}  // namespace tip::server
+
+#endif  // TIP_SERVER_SERVER_H_

@@ -1,0 +1,134 @@
+// tipd — the TIP network daemon. Serves one database directory over
+// the TIP wire protocol until SIGTERM/SIGINT, then drains gracefully:
+// stops accepting, finishes or deadline-aborts in-flight statements,
+// rolls back abandoned transactions, takes a final checkpoint, exits.
+//
+//   tipd --dir=/var/lib/tip [--host=127.0.0.1] [--port=5432]
+//        [--max-sessions=32] [--idle-timeout-ms=0] [--salvage]
+//
+// With no --dir it serves a fresh in-memory database (demos, benches).
+// The chosen port is announced on stdout as "tipd: listening port=N"
+// so scripts can parse it when --port=0 picks an ephemeral one.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "client/connection.h"
+#include "server/server.h"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  const char byte = 1;
+  // Async-signal-safe: one write, errors ignored (a full pipe already
+  // guarantees a pending shutdown).
+  (void)!write(g_signal_pipe[1], &byte, 1);
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--dir=PATH] [--host=ADDR] [--port=N] [--max-sessions=N]\n"
+      "          [--idle-timeout-ms=N] [--statement-timeout-ms=N]\n"
+      "          [--memory-limit-kb=N] [--drain-timeout-ms=N] [--salvage]\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  bool salvage = false;
+  tip::server::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--dir", &value)) {
+      dir = value;
+    } else if (ParseFlag(argv[i], "--host", &value)) {
+      options.host = value;
+    } else if (ParseFlag(argv[i], "--port", &value)) {
+      options.port = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--max-sessions", &value)) {
+      options.max_sessions = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--idle-timeout-ms", &value)) {
+      options.idle_timeout_ms = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--statement-timeout-ms", &value)) {
+      options.default_statement_timeout_ms = std::atoll(value.c_str());
+    } else if (ParseFlag(argv[i], "--memory-limit-kb", &value)) {
+      options.default_memory_limit_kb =
+          static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--drain-timeout-ms", &value)) {
+      options.drain_timeout_ms = std::atoi(value.c_str());
+    } else if (std::strcmp(argv[i], "--salvage") == 0) {
+      salvage = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "tipd: unknown flag '%s'\n", argv[i]);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  tip::Result<std::unique_ptr<tip::client::Connection>> conn =
+      tip::Status::Internal("unopened");
+  tip::engine::RecoveryReport report;
+  if (dir.empty()) {
+    conn = tip::client::Connection::Open();
+  } else {
+    conn = tip::client::Connection::OpenDurable(
+        dir, &report,
+        salvage ? tip::engine::RecoveryMode::kSalvage
+                : tip::engine::RecoveryMode::kStrict);
+  }
+  if (!conn.ok()) {
+    std::fprintf(stderr, "tipd: open failed: %s\n",
+                 conn.status().ToString().c_str());
+    return 1;
+  }
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::perror("tipd: pipe");
+    return 1;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  tip::Result<std::unique_ptr<tip::server::Server>> server =
+      tip::server::Server::Start(&(*conn)->database(), options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "tipd: start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("tipd: listening port=%d\n", (*server)->port());
+  std::fflush(stdout);
+
+  // Park until a signal lands, then drain.
+  char byte;
+  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "tipd: draining\n");
+  (*server)->Shutdown();
+  std::fprintf(stderr, "tipd: stopped\n");
+  return 0;
+}

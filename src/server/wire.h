@@ -1,0 +1,190 @@
+#ifndef TIP_SERVER_WIRE_H_
+#define TIP_SERVER_WIRE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/exec/result_set.h"
+#include "engine/types/type.h"
+
+/// The TIP remote wire protocol: length-prefixed, CRC-framed messages
+/// over TCP, shared by `tipd` (src/server/server.cc) and the thin
+/// client (src/client/remote_connection.cc).
+///
+/// Frame layout (all integers little-endian, like the storage formats):
+///
+///   u32 payload_len | u8 frame_type | u32 crc32(payload) | payload
+///
+/// The CRC covers the payload only; the length and type are implicitly
+/// validated by the CRC failing when they are torn. A frame whose CRC
+/// does not match, whose length exceeds kMaxFramePayload, or whose type
+/// is unknown is a protocol error — the session is fail-stop from that
+/// point (Corruption), never resynchronized.
+///
+/// Values cross the wire in their binary send/receive format, addressed
+/// by *type name* (not TypeId): ids are minted per-process, names are
+/// stable because both ends install the same DataBlade. Rows use the
+/// WAL's row-image grammar (varint prefix 0 = NULL, n+1 = n payload
+/// bytes per column) so the encoding is exercised by every durability
+/// test too.
+namespace tip::server::wire {
+
+/// Protocol revision. Bumped on any incompatible frame change; the
+/// server refuses a Hello carrying anything else.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Hard cap on one frame's payload. Bigger results are chunked into
+/// multiple kResultRows frames by the server; a length field above this
+/// is treated as a torn frame.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/// Fixed header size: u32 len + u8 type + u32 crc.
+inline constexpr size_t kFrameHeaderSize = 9;
+
+enum class FrameType : uint8_t {
+  // client -> server
+  kHello = 1,    // u32 protocol_version
+  kExec = 2,     // string sql | u32 nparams | nparams * (name|type|datum)
+  kPrepare = 3,  // string sql (validate only; plan cache does the rest)
+  kCancel = 4,   // u64 session_id | u64 cancel_key (on a fresh conn)
+  kPing = 5,     // empty
+  kGoodbye = 6,  // empty; polite close
+  // server -> client
+  kHelloOk = 16,       // u32 proto | u64 session_id | u64 cancel_key
+  kResultHeader = 17,  // u64 affected | string msg | u8 in_txn | columns
+  kResultRows = 18,    // u32 nrows | nrows row images
+  kResultDone = 19,    // empty; result complete
+  kError = 20,         // u32 status_code | string message | u8 in_txn
+  kPong = 21,          // empty
+  kPrepareOk = 22,     // empty; statement parsed and planned
+};
+
+struct Frame {
+  FrameType type;
+  std::string payload;
+};
+
+/// True for the status ReadFrame returns when the peer closed the
+/// connection cleanly at a frame boundary (recv == 0 before any header
+/// byte). Everything else non-OK is a real wire failure.
+bool IsCleanEof(const Status& status);
+
+/// True for the status ReadFrame returns when `first_byte_timeout_ms`
+/// expired with no frame started — the session idle timeout. A
+/// deadline hit *mid-frame* is a wire failure, not idleness.
+bool IsIdleTimeout(const Status& status);
+
+// ---------------------------------------------------------------------------
+// Socket plumbing. All fds produced here are non-blocking; every recv
+// and send is gated by poll() with a deadline so a stalled peer can
+// never wedge a server thread. timeout_ms < 0 blocks indefinitely.
+// ---------------------------------------------------------------------------
+
+/// Connects to host:port (numeric or resolvable name). The timeout
+/// bounds the TCP connect itself.
+Result<int> DialTcp(const std::string& host, int port, int timeout_ms);
+
+/// Binds and listens on host:port. port 0 picks an ephemeral port;
+/// *bound_port reports the actual one.
+Result<int> ListenTcp(const std::string& host, int port, int* bound_port);
+
+/// Writes one frame (header + payload). `bytes_counter`, when non-null,
+/// accumulates bytes actually written (tip_server_stats bytes_out).
+Status WriteFrame(int fd, FrameType type, std::string_view payload,
+                  int timeout_ms,
+                  std::atomic<uint64_t>* bytes_counter = nullptr);
+
+/// Reads one frame. `first_byte_timeout_ms` bounds the wait for the
+/// start of the header (the session idle timeout); `body_timeout_ms`
+/// bounds each subsequent poll (a peer that started a frame must finish
+/// it). Clean EOF before any header byte -> NotFound (IsCleanEof);
+/// EOF or timeout mid-frame -> Corruption / DeadlineExceeded.
+Result<Frame> ReadFrame(int fd, int first_byte_timeout_ms,
+                        int body_timeout_ms,
+                        std::atomic<uint64_t>* bytes_counter = nullptr);
+
+// ---------------------------------------------------------------------------
+// Payload grammar. Builders return the payload bytes; parsers are
+// bounds-checked and fail with Corruption on truncation.
+// ---------------------------------------------------------------------------
+
+std::string BuildHello();
+Result<uint32_t> ParseHello(std::string_view payload);
+
+struct HelloOk {
+  uint32_t protocol_version = 0;
+  uint64_t session_id = 0;
+  uint64_t cancel_key = 0;
+};
+std::string BuildHelloOk(const HelloOk& hello);
+Result<HelloOk> ParseHelloOk(std::string_view payload);
+
+/// Exec carries the SQL plus bound parameters, each as
+/// (name | type name | row-image field).
+std::string BuildExec(std::string_view sql, const engine::Params& params,
+                      const engine::TypeRegistry& types);
+struct ExecRequest {
+  std::string sql;
+  engine::Params params;
+};
+Result<ExecRequest> ParseExec(std::string_view payload,
+                              const engine::TypeRegistry& types);
+
+std::string BuildPrepare(std::string_view sql);
+Result<std::string> ParsePrepare(std::string_view payload);
+
+struct CancelRequest {
+  uint64_t session_id = 0;
+  uint64_t cancel_key = 0;
+};
+std::string BuildCancel(const CancelRequest& req);
+Result<CancelRequest> ParseCancel(std::string_view payload);
+
+/// ResultHeader describes everything about a ResultSet except the rows:
+/// affected count, DDL/SET message, whether the session is now inside a
+/// transaction, and the column schema (names + type names).
+std::string BuildResultHeader(const engine::ResultSet& result, bool in_txn,
+                              const engine::TypeRegistry& types);
+struct ResultHeader {
+  int64_t affected_rows = 0;
+  std::string message;
+  bool in_txn = false;
+  std::vector<std::string> column_names;
+  std::vector<std::string> column_types;
+};
+Result<ResultHeader> ParseResultHeader(std::string_view payload);
+
+/// One chunk of rows: u32 nrows | nrows row images over the result's
+/// columns. `first`/`last` index into result.rows (half-open).
+std::string BuildRowsChunk(const engine::ResultSet& result, size_t first,
+                           size_t last, const engine::TypeRegistry& types);
+/// Appends one row's image (the chunk grammar without the count
+/// prefix); the server uses it to cut size-bounded chunks.
+void AppendRowImage(const engine::Row& row, const engine::TypeRegistry& types,
+                    std::string* out);
+/// Decodes a chunk against the column types resolved from the header
+/// (one TypeId per column, client-side registry).
+Result<std::vector<engine::Row>> ParseRowsChunk(
+    std::string_view payload, const std::vector<engine::TypeId>& columns,
+    const engine::TypeRegistry& types);
+
+std::string BuildError(const Status& status, bool in_txn);
+struct WireError {
+  Status status;   // reconstructed with the original code + message
+  bool in_txn = false;
+};
+Result<WireError> ParseError(std::string_view payload);
+
+/// Resolves the header's type names against a local registry.
+Result<std::vector<engine::TypeId>> ResolveColumnTypes(
+    const ResultHeader& header, const engine::TypeRegistry& types);
+
+}  // namespace tip::server::wire
+
+#endif  // TIP_SERVER_WIRE_H_

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+
+#include "datablade/datablade.h"
+#include "engine/database.h"
+#include "server/server.h"
 
 namespace {
 
@@ -203,6 +208,142 @@ TEST_F(CApiTest, NullSafety) {
   EXPECT_EQ(tip_result_column_name(result, 9), nullptr);
   EXPECT_EQ(tip_result_int64(result, 0, 9), 0);
   tip_result_free(result);
+}
+
+/// tip_connect: the same C surface, served by a real tipd over
+/// loopback. One in-process server per fixture; everything below must
+/// behave exactly like the embedded handles above.
+class CApiRemoteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<tip::engine::Database>();
+    ASSERT_TRUE(tip::datablade::Install(db_.get()).ok());
+    tip::Result<std::unique_ptr<tip::server::Server>> started =
+        tip::server::Server::Start(db_.get(), tip::server::ServerOptions());
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    server_ = std::move(*started);
+    conn_ = tip_connect("127.0.0.1", server_->port());
+    ASSERT_NE(conn_, nullptr);
+  }
+
+  void TearDown() override {
+    tip_close(conn_);
+    if (server_ != nullptr) server_->Shutdown();
+  }
+
+  void Must(const char* sql) {
+    ASSERT_EQ(tip_exec(conn_, sql, nullptr), 0) << tip_last_error(conn_);
+  }
+
+  std::unique_ptr<tip::engine::Database> db_;
+  std::unique_ptr<tip::server::Server> server_;
+  tip_connection* conn_ = nullptr;
+};
+
+TEST_F(CApiRemoteTest, ConnectExecAndMetadataOverTheWire) {
+  Must("CREATE TABLE t (name CHAR(8), n INT, v Element)");
+  Must("INSERT INTO t VALUES ('a', 1, '{[1999-01-01, 1999-06-01]}'), "
+       "('b', NULL, NULL)");
+
+  tip_result* result = nullptr;
+  ASSERT_EQ(tip_exec(conn_, "SELECT name, n, v FROM t ORDER BY name",
+                     &result),
+            0)
+      << tip_last_error(conn_);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(tip_result_row_count(result), 2u);
+  EXPECT_EQ(tip_result_column_count(result), 3u);
+  EXPECT_STREQ(tip_result_column_name(result, 0), "name");
+  EXPECT_STREQ(tip_result_column_type(result, 1), "int");
+  EXPECT_STREQ(tip_result_text(result, 0, 0), "a");
+  EXPECT_EQ(tip_result_int64(result, 0, 1), 1);
+  EXPECT_EQ(tip_result_is_null(result, 1, 1), 1);
+  // The Element column survives the wire as its typed rendering.
+  EXPECT_NE(std::string(tip_result_text(result, 0, 2)).find("1999-01-01"),
+            std::string::npos);
+  tip_result_free(result);
+
+  // Errors carry the engine's status text into tip_last_error.
+  EXPECT_EQ(tip_exec(conn_, "SELECT * FROM missing", nullptr), -1);
+  EXPECT_NE(std::string(tip_last_error(conn_)).find("missing"),
+            std::string::npos);
+}
+
+TEST_F(CApiRemoteTest, SessionStateAndTransactionsOverTheWire) {
+  Must("CREATE TABLE p (id INT, valid Element)");
+  Must("INSERT INTO p VALUES (1, '{[1990-01-01, 1991-01-01]}')");
+
+  // SET NOW is session state on the server, reachable through the
+  // same C call as embedded.
+  ASSERT_EQ(tip_set_now(conn_, "1990-06-01"), 0) << tip_last_error(conn_);
+  tip_result* result = nullptr;
+  ASSERT_EQ(tip_exec(conn_,
+                     "SELECT count(*) FROM p WHERE "
+                     "contains(valid, transaction_time())",
+                     &result),
+            0);
+  EXPECT_EQ(tip_result_int64(result, 0, 0), 1);
+  tip_result_free(result);
+  ASSERT_EQ(tip_clear_now(conn_), 0);
+
+  // A transaction: begin, insert, rollback leaves the table unchanged.
+  EXPECT_EQ(tip_in_transaction(conn_), 0);
+  ASSERT_EQ(tip_begin(conn_), 0) << tip_last_error(conn_);
+  EXPECT_EQ(tip_in_transaction(conn_), 1);
+  Must("INSERT INTO p VALUES (2, NULL)");
+  ASSERT_EQ(tip_rollback(conn_), 0);
+  EXPECT_EQ(tip_in_transaction(conn_), 0);
+  ASSERT_EQ(tip_exec(conn_, "SELECT count(*) FROM p", &result), 0);
+  EXPECT_EQ(tip_result_int64(result, 0, 0), 1);
+  tip_result_free(result);
+
+  // And a committed one sticks — visible to the embedded side too.
+  ASSERT_EQ(tip_begin(conn_), 0);
+  Must("INSERT INTO p VALUES (3, NULL)");
+  ASSERT_EQ(tip_commit(conn_), 0);
+  tip::Result<tip::engine::ResultSet> embedded =
+      db_->Execute("SELECT count(*) FROM p");
+  ASSERT_TRUE(embedded.ok());
+  EXPECT_EQ(embedded->rows[0][0].int_value(), 2);
+}
+
+TEST_F(CApiRemoteTest, PreparedStatementsBindOverTheWire) {
+  Must("CREATE TABLE t (id INT, who CHAR(8))");
+
+  tip_stmt* stmt = nullptr;
+  ASSERT_EQ(tip_prepare(conn_, "INSERT INTO t VALUES (:id, :who)", &stmt),
+            0)
+      << tip_last_error(conn_);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(tip_stmt_bind_int(stmt, "id", i), 0);
+    ASSERT_EQ(tip_stmt_bind_text(stmt, "who", i % 2 == 0 ? "even" : "odd"),
+              0);
+    ASSERT_EQ(tip_stmt_execute(stmt, nullptr), 0) << tip_last_error(conn_);
+  }
+  tip_stmt_close(stmt);
+
+  ASSERT_EQ(tip_prepare(conn_, "SELECT count(*) FROM t WHERE who = :w",
+                        &stmt),
+            0);
+  ASSERT_EQ(tip_stmt_bind_text(stmt, "w", "even"), 0);
+  tip_result* result = nullptr;
+  ASSERT_EQ(tip_stmt_execute(stmt, &result), 0) << tip_last_error(conn_);
+  EXPECT_EQ(tip_result_int64(result, 0, 0), 2);
+  tip_result_free(result);
+  tip_stmt_close(stmt);
+
+  // A bad prepare fails eagerly, same contract as embedded.
+  stmt = reinterpret_cast<tip_stmt*>(0x1);
+  EXPECT_EQ(tip_prepare(conn_, "SELEC 1", &stmt), -1);
+  EXPECT_EQ(stmt, nullptr);
+}
+
+TEST_F(CApiRemoteTest, ConnectValidatesItsArguments) {
+  EXPECT_EQ(tip_connect(nullptr, 1234), nullptr);
+  EXPECT_EQ(tip_connect("127.0.0.1", 0), nullptr);
+  EXPECT_EQ(tip_connect("127.0.0.1", -1), nullptr);
+  // A refused port yields NULL, not a half-open handle.
+  EXPECT_EQ(tip_connect("127.0.0.1", 1), nullptr);
 }
 
 }  // namespace

@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/fault_injection.h"
 #include "datablade/datablade.h"
@@ -262,6 +264,80 @@ TEST_F(IntegrityCheckTest, CachedPlanNeverExecutesAgainstAQuarantinedTable) {
   Result<ResultSet> third = db_.ExecutePrepared(**plan);
   ASSERT_TRUE(third.ok()) << third.status().ToString();
   EXPECT_EQ(third->rows[0][0].int_value(), 1);
+}
+
+TEST_F(IntegrityCheckTest, ScrubTickWalksTablesRoundRobin) {
+  Exec("CREATE TABLE a (id INT)");
+  Exec("CREATE TABLE b (id INT)");
+  Exec("CREATE TABLE c (id INT)");
+  Exec("INSERT INTO a VALUES (1)");
+
+  // Four ticks over three tables: the cursor wraps back to the front.
+  std::vector<std::string> visited;
+  for (int i = 0; i < 4; ++i) {
+    Result<std::string> target = db_.ScrubTick();
+    ASSERT_TRUE(target.ok()) << target.status().ToString();
+    visited.push_back(*target);
+  }
+  EXPECT_EQ(visited, (std::vector<std::string>{"a", "b", "c", "a"}));
+  EXPECT_EQ(Exec("SELECT tip_health('scrub_ticks')").rows[0][0].int_value(),
+            4);
+  EXPECT_EQ(Exec("SELECT tip_health('scrubs_run')").rows[0][0].int_value(),
+            4);
+  std::string health = Scalar("SELECT tip_health()");
+  EXPECT_NE(health.find("scrub_ticks=4"), std::string::npos) << health;
+}
+
+TEST_F(IntegrityCheckTest, ScrubRunsOnCheckpointOnlyWhileEnabled) {
+  const std::string dir =
+      ::testing::TempDir() + "/tip_integrity_scrub_checkpoint";
+  std::error_code ignored;
+  std::filesystem::remove_all(dir, ignored);
+  std::filesystem::create_directories(dir);
+
+  ASSERT_TRUE(db_.AttachDurableDir(dir).ok());
+  Exec("CREATE TABLE t (id INT)");
+  Exec("INSERT INTO t VALUES (1)");
+
+  // Off by default: checkpoints do not scrub.
+  ASSERT_TRUE(db_.Checkpoint().ok());
+  EXPECT_EQ(Exec("SELECT tip_health('scrub_ticks')").rows[0][0].int_value(),
+            0);
+
+  Exec("SET scrub on");
+  EXPECT_TRUE(db_.scrub_enabled());
+  ASSERT_TRUE(db_.Checkpoint().ok());
+  ASSERT_TRUE(db_.Checkpoint().ok());
+  EXPECT_EQ(Exec("SELECT tip_health('scrub_ticks')").rows[0][0].int_value(),
+            2);
+
+  Exec("SET scrub off");
+  ASSERT_TRUE(db_.Checkpoint().ok());
+  EXPECT_EQ(Exec("SELECT tip_health('scrub_ticks')").rows[0][0].int_value(),
+            2);
+
+  std::filesystem::remove_all(dir, ignored);
+}
+
+TEST_F(IntegrityCheckTest, ScrubFindingLandsInTheCorruptionManifest) {
+  Exec("CREATE TABLE t (id INT, v CHAR(8))");
+  fault::InjectAt("integrity.rowhash", 0);
+  Exec("INSERT INTO t VALUES (1, 'a'), (2, 'b')");
+
+  Result<std::string> target = db_.ScrubTick();
+  ASSERT_TRUE(target.ok()) << target.status().ToString();
+  EXPECT_EQ(*target, "t");
+
+  EXPECT_GE(
+      Exec("SELECT tip_health('corruptions_found')").rows[0][0].int_value(),
+      1);
+  EXPECT_GE(
+      Exec("SELECT tip_health('manifest_entries')").rows[0][0].int_value(),
+      1);
+  // The manifest names the scrubber, not a client statement, as the
+  // discoverer.
+  std::string health = Scalar("SELECT tip_health()");
+  EXPECT_NE(health.find("(online scrub)"), std::string::npos) << health;
 }
 
 }  // namespace

@@ -1,0 +1,601 @@
+// Functional coverage for the network front-end: one in-process tipd
+// (`server::Server`) serving remote sessions over real TCP sockets on
+// the loopback interface. The properties under test are the tentpole's
+// contract: full SQL round-trips with TIP-typed values, per-session
+// settings isolation, admission control with explicit rejection,
+// busy-gate backpressure, idle reaping, out-of-band cancel, chunked
+// result streaming, protocol hygiene (version/garbage/CRC), and the
+// tip_server_stats observability surface.
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/remote_connection.h"
+#include "common/fault_injection.h"
+#include "datablade/datablade.h"
+#include "engine/database.h"
+#include "engine/storage/wire_format.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+namespace tip::server {
+namespace {
+
+using client::RemoteConnection;
+using client::RemoteStatement;
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::ClearAll(); }
+  void TearDown() override {
+    fault::ClearAll();
+    if (server_ != nullptr) server_->Shutdown();
+  }
+
+  /// Starts the server over a fresh in-memory database.
+  void StartServer(ServerOptions options = ServerOptions()) {
+    db_ = std::make_unique<engine::Database>();
+    ASSERT_TRUE(datablade::Install(db_.get()).ok());
+    Result<std::unique_ptr<Server>> server =
+        Server::Start(db_.get(), options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(*server);
+  }
+
+  std::unique_ptr<RemoteConnection> Connect() {
+    Result<std::unique_ptr<RemoteConnection>> conn =
+        RemoteConnection::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+    return conn.ok() ? std::move(*conn) : nullptr;
+  }
+
+  static client::ResultSet Exec(RemoteConnection* conn,
+                                const std::string& sql) {
+    Result<client::ResultSet> r = conn->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r)
+                  : client::ResultSet(engine::ResultSet{}, conn->tip_types(),
+                                      &conn->types());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<Server> server_;
+};
+
+// ---- Round trips -----------------------------------------------------------
+
+TEST_F(ServerTest, BasicStatementsRoundTrip) {
+  StartServer();
+  std::unique_ptr<RemoteConnection> conn = Connect();
+  ASSERT_NE(conn, nullptr);
+
+  Exec(conn.get(), "CREATE TABLE emp (id INT, name CHAR(16), valid Element)");
+  client::ResultSet ins = Exec(
+      conn.get(),
+      "INSERT INTO emp VALUES (1, 'ada', '{[1999-01-01, NOW]}'), "
+      "(2, 'grace', '{[1995-06-01, 1997-06-01]}')");
+  EXPECT_EQ(ins.affected_rows(), 2);
+
+  client::ResultSet rs =
+      Exec(conn.get(), "SELECT id, name, valid FROM emp ORDER BY id");
+  ASSERT_EQ(rs.row_count(), 2u);
+  ASSERT_EQ(rs.column_count(), 3u);
+  EXPECT_EQ(rs.column_name(0), "id");
+  EXPECT_EQ(rs.GetInt(0, 0), 1);
+  EXPECT_EQ(rs.GetString(0, 1), "ada");
+  // The TIP-typed column crosses the wire in binary and lands as the
+  // native C++ class — the paper's customized type mapping, remotely.
+  const Element& valid = rs.GetElement(0, 2);
+  EXPECT_TRUE(valid.ToString().find("NOW") != std::string::npos)
+      << valid.ToString();
+  EXPECT_EQ(rs.GetElement(1, 2).ToString(), "{[1995-06-01, 1997-06-01]}");
+}
+
+TEST_F(ServerTest, NullsAndAffectedRowsRoundTrip) {
+  StartServer();
+  std::unique_ptr<RemoteConnection> conn = Connect();
+  ASSERT_NE(conn, nullptr);
+  Exec(conn.get(), "CREATE TABLE t (id INT, v CHAR(8))");
+  Exec(conn.get(), "INSERT INTO t VALUES (1, NULL)");
+  client::ResultSet rs = Exec(conn.get(), "SELECT id, v FROM t");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_FALSE(rs.IsNull(0, 0));
+  EXPECT_TRUE(rs.IsNull(0, 1));
+  client::ResultSet upd =
+      Exec(conn.get(), "UPDATE t SET v = 'x' WHERE id = 1");
+  EXPECT_EQ(upd.affected_rows(), 1);
+}
+
+TEST_F(ServerTest, PreparedStatementBindsOverTheWire) {
+  StartServer();
+  std::unique_ptr<RemoteConnection> conn = Connect();
+  ASSERT_NE(conn, nullptr);
+  Exec(conn.get(), "CREATE TABLE t (id INT, name CHAR(16), seen Chronon)");
+
+  RemoteStatement stmt =
+      conn->Prepare("INSERT INTO t VALUES (:id, :name, :seen)");
+  ASSERT_TRUE(stmt.status().ok()) << stmt.status().ToString();
+  Result<Chronon> day = Chronon::Parse("1999-11-15");
+  ASSERT_TRUE(day.ok());
+  for (int i = 0; i < 3; ++i) {
+    stmt.ClearBindings();
+    stmt.BindInt("id", i).BindString("name", "n" + std::to_string(i));
+    if (i == 2) {
+      stmt.BindNull("seen");
+    } else {
+      stmt.BindChronon("seen", *day);
+    }
+    Result<client::ResultSet> r = stmt.Execute();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  client::ResultSet rs =
+      Exec(conn.get(), "SELECT id, name, seen FROM t ORDER BY id");
+  ASSERT_EQ(rs.row_count(), 3u);
+  EXPECT_EQ(rs.GetString(1, 1), "n1");
+  EXPECT_EQ(rs.GetChronon(0, 2).ToString(), "1999-11-15");
+  EXPECT_TRUE(rs.IsNull(2, 2));
+
+  // Eager validation: a malformed statement fails at Prepare time.
+  RemoteStatement bad = conn->Prepare("SELEC nothing");
+  EXPECT_FALSE(bad.status().ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError)
+      << bad.status().ToString();
+}
+
+TEST_F(ServerTest, ErrorsKeepTheirStatusCodes) {
+  StartServer();
+  std::unique_ptr<RemoteConnection> conn = Connect();
+  ASSERT_NE(conn, nullptr);
+
+  Result<client::ResultSet> syntax = conn->Execute("SELEC 1");
+  ASSERT_FALSE(syntax.ok());
+  EXPECT_EQ(syntax.status().code(), StatusCode::kParseError)
+      << syntax.status().ToString();
+
+  Result<client::ResultSet> missing =
+      conn->Execute("SELECT * FROM no_such_table");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound)
+      << missing.status().ToString();
+
+  // An error does not fail-stop the session: SQL keeps working.
+  Exec(conn.get(), "CREATE TABLE t (id INT)");
+  EXPECT_TRUE(conn->alive());
+}
+
+TEST_F(ServerTest, TransactionsSpanStatements) {
+  StartServer();
+  std::unique_ptr<RemoteConnection> conn = Connect();
+  ASSERT_NE(conn, nullptr);
+  Exec(conn.get(), "CREATE TABLE t (id INT)");
+
+  ASSERT_TRUE(conn->Begin().ok());
+  EXPECT_TRUE(conn->in_transaction());
+  Exec(conn.get(), "INSERT INTO t VALUES (1)");
+  ASSERT_TRUE(conn->Rollback().ok());
+  EXPECT_FALSE(conn->in_transaction());
+  EXPECT_EQ(Exec(conn.get(), "SELECT count(*) FROM t").GetInt(0, 0), 0);
+
+  ASSERT_TRUE(conn->Begin().ok());
+  Exec(conn.get(), "INSERT INTO t VALUES (2)");
+  ASSERT_TRUE(conn->Commit().ok());
+  EXPECT_EQ(Exec(conn.get(), "SELECT count(*) FROM t").GetInt(0, 0), 1);
+}
+
+// ---- Per-session state -----------------------------------------------------
+
+TEST_F(ServerTest, NowOverrideIsScopedToTheSession) {
+  StartServer();
+  std::unique_ptr<RemoteConnection> a = Connect();
+  std::unique_ptr<RemoteConnection> b = Connect();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  Exec(a.get(), "CREATE TABLE p (id INT, valid Element)");
+  Exec(a.get(), "INSERT INTO p VALUES (1, '{[1990-01-01, 1991-01-01]}')");
+
+  // Session A rewinds NOW into the interval; session B stays on the
+  // system clock. The same currency predicate must answer differently
+  // per session — the what-if override is session state, not engine
+  // state.
+  const char* current =
+      "SELECT count(*) FROM p WHERE contains(valid, transaction_time())";
+  Result<Chronon> past = Chronon::Parse("1990-06-01");
+  ASSERT_TRUE(past.ok());
+  ASSERT_TRUE(a->SetNow(*past).ok());
+  EXPECT_EQ(Exec(a.get(), current).GetInt(0, 0), 1);
+  EXPECT_EQ(Exec(b.get(), current).GetInt(0, 0), 0);
+  ASSERT_TRUE(a->ClearNow().ok());
+  EXPECT_EQ(Exec(a.get(), current).GetInt(0, 0), 0);
+}
+
+TEST_F(ServerTest, StatementTimeoutIsScopedToTheSession) {
+  StartServer();
+  std::unique_ptr<RemoteConnection> a = Connect();
+  std::unique_ptr<RemoteConnection> b = Connect();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  ASSERT_TRUE(a->SetStatementTimeoutMs(30).ok());
+  Result<client::ResultSet> timed_out =
+      a->Execute("SELECT tip_sleep_ms(2000)");
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded)
+      << timed_out.status().ToString();
+  // The tripped guard is a statement error, not a session failure.
+  EXPECT_TRUE(a->alive());
+
+  // B never set a timeout; the same statement completes there.
+  Result<client::ResultSet> fine = b->Execute("SELECT tip_sleep_ms(50)");
+  EXPECT_TRUE(fine.ok()) << fine.status().ToString();
+}
+
+TEST_F(ServerTest, ServerDefaultTimeoutAppliesToNewSessions) {
+  ServerOptions options;
+  options.default_statement_timeout_ms = 30;
+  StartServer(options);
+  std::unique_ptr<RemoteConnection> conn = Connect();
+  ASSERT_NE(conn, nullptr);
+  Result<client::ResultSet> r = conn->Execute("SELECT tip_sleep_ms(2000)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  // The session can lift its own guardrail.
+  ASSERT_TRUE(conn->SetStatementTimeoutMs(0).ok());
+  EXPECT_TRUE(conn->Execute("SELECT tip_sleep_ms(50)").ok());
+}
+
+// ---- Admission control and backpressure ------------------------------------
+
+TEST_F(ServerTest, FullServerRejectsWithResourceExhausted) {
+  ServerOptions options;
+  options.max_sessions = 1;
+  options.admission_wait_ms = 100;
+  StartServer(options);
+
+  std::unique_ptr<RemoteConnection> first = Connect();
+  ASSERT_NE(first, nullptr);
+  Result<std::unique_ptr<RemoteConnection>> second =
+      RemoteConnection::Connect("127.0.0.1", server_->port());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted)
+      << second.status().ToString();
+}
+
+TEST_F(ServerTest, QueuedConnectionIsAdmittedWhenASlotFrees) {
+  ServerOptions options;
+  options.max_sessions = 1;
+  options.admission_wait_ms = 5000;
+  StartServer(options);
+
+  std::unique_ptr<RemoteConnection> first = Connect();
+  ASSERT_NE(first, nullptr);
+  Exec(first.get(), "CREATE TABLE t (id INT)");
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    Result<std::unique_ptr<RemoteConnection>> conn =
+        RemoteConnection::Connect("127.0.0.1", server_->port());
+    if (conn.ok()) {
+      admitted = true;
+      (void)(*conn)->Execute("INSERT INTO t VALUES (1)");
+    }
+  });
+  // Give the waiter time to join the admission queue, then free the
+  // slot; the queued connection must be promoted, not rejected.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  first.reset();
+  waiter.join();
+  EXPECT_TRUE(admitted);
+
+  std::unique_ptr<RemoteConnection> check = Connect();
+  ASSERT_NE(check, nullptr);
+  EXPECT_EQ(Exec(check.get(), "SELECT count(*) FROM t").GetInt(0, 0), 1);
+}
+
+TEST_F(ServerTest, BusyGateAnswersServerBusy) {
+  ServerOptions options;
+  options.lock_wait_ms = 50;
+  StartServer(options);
+  std::unique_ptr<RemoteConnection> a = Connect();
+  std::unique_ptr<RemoteConnection> b = Connect();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  Exec(a.get(), "CREATE TABLE t (id INT)");
+
+  // A transaction holds the statement gate; B's statement must get an
+  // explicit "server busy" within lock_wait_ms, never a silent stall.
+  ASSERT_TRUE(a->Begin().ok());
+  Result<client::ResultSet> busy = b->Execute("INSERT INTO t VALUES (9)");
+  ASSERT_FALSE(busy.ok());
+  EXPECT_EQ(busy.status().code(), StatusCode::kResourceExhausted)
+      << busy.status().ToString();
+  EXPECT_NE(busy.status().message().find("busy"), std::string::npos);
+
+  ASSERT_TRUE(a->Commit().ok());
+  EXPECT_TRUE(b->Execute("INSERT INTO t VALUES (10)").ok());
+}
+
+TEST_F(ServerTest, BigResultsStreamInBoundedChunks) {
+  ServerOptions options;
+  options.max_rows_frame_bytes = 512;  // force many kResultRows frames
+  StartServer(options);
+  std::unique_ptr<RemoteConnection> conn = Connect();
+  ASSERT_NE(conn, nullptr);
+  Exec(conn.get(), "CREATE TABLE t (id INT, pad CHAR(64))");
+  ASSERT_TRUE(conn->Begin().ok());
+  for (int i = 0; i < 400; ++i) {
+    Exec(conn.get(), "INSERT INTO t VALUES (" + std::to_string(i) +
+                         ", 'xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx')");
+  }
+  ASSERT_TRUE(conn->Commit().ok());
+  client::ResultSet rs = Exec(conn.get(), "SELECT id FROM t ORDER BY id");
+  ASSERT_EQ(rs.row_count(), 400u);
+  EXPECT_EQ(rs.GetInt(0, 0), 0);
+  EXPECT_EQ(rs.GetInt(399, 0), 399);
+}
+
+// ---- Idle, cancel, disconnect ----------------------------------------------
+
+TEST_F(ServerTest, IdleSessionIsReaped) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  StartServer(options);
+  std::unique_ptr<RemoteConnection> conn = Connect();
+  ASSERT_NE(conn, nullptr);
+  Exec(conn.get(), "CREATE TABLE t (id INT)");
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  Result<client::ResultSet> r = conn->Execute("SELECT count(*) FROM t");
+  EXPECT_FALSE(r.ok());
+  // The first statement may surface the server's buffered idle-timeout
+  // error frame as an ordinary statement error; the next operation hits
+  // the closed socket for certain.
+  if (conn->alive()) EXPECT_FALSE(conn->Ping().ok());
+  EXPECT_FALSE(conn->alive());
+  EXPECT_GE(db_->server_stats().idle_timeouts.load(), 1u);
+  // The reaped slot is free again.
+  std::unique_ptr<RemoteConnection> again = Connect();
+  ASSERT_NE(again, nullptr);
+  EXPECT_TRUE(again->Ping().ok());
+}
+
+TEST_F(ServerTest, RemoteCancelInterruptsARunningStatement) {
+  StartServer();
+  std::unique_ptr<RemoteConnection> conn = Connect();
+  ASSERT_NE(conn, nullptr);
+
+  std::atomic<bool> done{false};
+  Result<client::ResultSet> outcome = Status::Internal("not run");
+  std::thread runner([&] {
+    outcome = conn->Execute("SELECT tip_sleep_ms(20000)");
+    done = true;
+  });
+  // Cancels race the statement's arrival; keep presenting the cancel
+  // key until the statement reports in.
+  for (int i = 0; i < 500 && !done; ++i) {
+    ASSERT_TRUE(conn->Cancel().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  runner.join();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled)
+      << outcome.status().ToString();
+  // Cancellation is a statement error; the session survives it.
+  EXPECT_TRUE(conn->alive());
+  EXPECT_TRUE(conn->Ping().ok());
+  EXPECT_GE(db_->server_stats().cancels_received.load(), 1u);
+}
+
+TEST_F(ServerTest, CancelWithWrongKeyIsIgnored) {
+  StartServer();
+  std::unique_ptr<RemoteConnection> conn = Connect();
+  ASSERT_NE(conn, nullptr);
+
+  // A forged cancel (right session, wrong key) must not interrupt.
+  wire::CancelRequest forged;
+  forged.session_id = conn->session_id();
+  forged.cancel_key = conn->cancel_key() ^ 0xdeadbeef;
+  Result<int> fd = wire::DialTcp("127.0.0.1", server_->port(), 1000);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(wire::WriteFrame(*fd, wire::FrameType::kCancel,
+                               wire::BuildCancel(forged), 1000)
+                  .ok());
+  close(*fd);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Result<client::ResultSet> r = conn->Execute("SELECT tip_sleep_ms(20)");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST_F(ServerTest, AbruptDisconnectRollsBackTheOpenTransaction) {
+  ServerOptions options;
+  options.max_sessions = 1;  // the freed slot is part of the assertion
+  StartServer(options);
+  {
+    std::unique_ptr<RemoteConnection> conn = Connect();
+    ASSERT_NE(conn, nullptr);
+    Exec(conn.get(), "CREATE TABLE t (id INT)");
+    Exec(conn.get(), "INSERT INTO t VALUES (1)");
+    ASSERT_TRUE(conn->Begin().ok());
+    Exec(conn.get(), "INSERT INTO t VALUES (2)");
+    // Dead client: the connection object goes away mid-transaction.
+  }
+  // The server must roll the abandoned transaction back and release
+  // the (only) session slot.
+  std::unique_ptr<RemoteConnection> conn;
+  for (int i = 0; i < 100 && conn == nullptr; ++i) {
+    Result<std::unique_ptr<RemoteConnection>> attempt =
+        RemoteConnection::Connect("127.0.0.1", server_->port());
+    if (attempt.ok()) {
+      conn = std::move(*attempt);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  ASSERT_NE(conn, nullptr) << "dead client's slot was never released";
+  EXPECT_EQ(Exec(conn.get(), "SELECT count(*) FROM t").GetInt(0, 0), 1);
+}
+
+// ---- Protocol hygiene ------------------------------------------------------
+
+TEST_F(ServerTest, ProtocolVersionMismatchIsRefused) {
+  StartServer();
+  Result<int> fd = wire::DialTcp("127.0.0.1", server_->port(), 1000);
+  ASSERT_TRUE(fd.ok());
+  std::string hello;
+  engine::wire::PutU32(wire::kProtocolVersion + 7, &hello);
+  ASSERT_TRUE(
+      wire::WriteFrame(*fd, wire::FrameType::kHello, hello, 1000).ok());
+  Result<wire::Frame> reply = wire::ReadFrame(*fd, 2000, 2000);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, wire::FrameType::kError);
+  Result<wire::WireError> err = wire::ParseError(reply->payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->status.code(), StatusCode::kInvalidArgument)
+      << err->status.ToString();
+  close(*fd);
+}
+
+TEST_F(ServerTest, CorruptFrameFailStopsOnlyThatSession) {
+  StartServer();
+  std::unique_ptr<RemoteConnection> bystander = Connect();
+  ASSERT_NE(bystander, nullptr);
+  Exec(bystander.get(), "CREATE TABLE t (id INT)");
+
+  // A hand-rolled session that sends a frame whose CRC does not match.
+  Result<int> fd = wire::DialTcp("127.0.0.1", server_->port(), 1000);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(wire::WriteFrame(*fd, wire::FrameType::kHello,
+                               wire::BuildHello(), 1000)
+                  .ok());
+  Result<wire::Frame> ok = wire::ReadFrame(*fd, 5000, 5000);
+  ASSERT_TRUE(ok.ok());
+  ASSERT_EQ(ok->type, wire::FrameType::kHelloOk);
+
+  std::string frame;
+  std::string payload = "SELECT 1";
+  engine::wire::PutU32(static_cast<uint32_t>(payload.size()), &frame);
+  engine::wire::PutU8(static_cast<uint8_t>(wire::FrameType::kExec), &frame);
+  engine::wire::PutU32(0xbad0bad0, &frame);  // wrong CRC
+  frame += payload;
+  ssize_t wrote = write(*fd, frame.data(), frame.size());
+  ASSERT_EQ(wrote, static_cast<ssize_t>(frame.size()));
+  // Fail-stop: the server hangs up on this session without replying.
+  Result<wire::Frame> gone = wire::ReadFrame(*fd, 5000, 5000);
+  EXPECT_FALSE(gone.ok());
+  close(*fd);
+
+  // ...and the bystander session never noticed.
+  EXPECT_TRUE(bystander->Ping().ok());
+  EXPECT_EQ(Exec(bystander.get(), "SELECT count(*) FROM t").GetInt(0, 0), 0);
+  EXPECT_GE(db_->server_stats().wire_faults.load(), 1u);
+}
+
+TEST_F(ServerTest, SlowHandshakeIsDropped) {
+  ServerOptions options;
+  options.hello_timeout_ms = 100;
+  StartServer(options);
+  // Connect but never say Hello: the slot must not be consumed.
+  Result<int> fd = wire::DialTcp("127.0.0.1", server_->port(), 1000);
+  ASSERT_TRUE(fd.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  // A well-behaved client still gets in afterwards.
+  std::unique_ptr<RemoteConnection> conn = Connect();
+  ASSERT_NE(conn, nullptr);
+  EXPECT_TRUE(conn->Ping().ok());
+  close(*fd);
+}
+
+// ---- Observability ---------------------------------------------------------
+
+TEST_F(ServerTest, ServerStatsCountTheTraffic) {
+  StartServer();
+  std::unique_ptr<RemoteConnection> a = Connect();
+  std::unique_ptr<RemoteConnection> b = Connect();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  Exec(a.get(), "CREATE TABLE t (id INT)");
+  Exec(b.get(), "INSERT INTO t VALUES (1)");
+
+  client::ResultSet sessions =
+      Exec(a.get(), "SELECT tip_server_stats('sessions_total')");
+  EXPECT_GE(sessions.GetInt(0, 0), 2);
+  client::ResultSet active =
+      Exec(a.get(), "SELECT tip_server_stats('sessions_active')");
+  EXPECT_EQ(active.GetInt(0, 0), 2);
+  client::ResultSet served =
+      Exec(a.get(), "SELECT tip_server_stats('statements_served')");
+  EXPECT_GE(served.GetInt(0, 0), 2);
+  EXPECT_GT(Exec(a.get(), "SELECT tip_server_stats('bytes_in')").GetInt(0, 0),
+            0);
+  EXPECT_GT(
+      Exec(a.get(), "SELECT tip_server_stats('bytes_out')").GetInt(0, 0), 0);
+
+  client::ResultSet formatted = Exec(a.get(), "SELECT tip_server_stats()");
+  EXPECT_NE(formatted.GetString(0, 0).find("active=2"),
+            std::string::npos)
+      << formatted.GetString(0, 0);
+
+  // Once the server has traffic, EXPLAIN's stats block reports it too.
+  client::ResultSet explain = Exec(a.get(), "EXPLAIN SELECT * FROM t");
+  bool found = false;
+  for (size_t i = 0; i < explain.row_count(); ++i) {
+    if (explain.GetText(i, 0).find("ServerStats(") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  Result<client::ResultSet> unknown =
+      a->Execute("SELECT tip_server_stats('no_such_counter')");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerTest, RejectionsShowUpInStats) {
+  ServerOptions options;
+  options.max_sessions = 1;
+  options.admission_wait_ms = 50;
+  StartServer(options);
+  std::unique_ptr<RemoteConnection> keeper = Connect();
+  ASSERT_NE(keeper, nullptr);
+  for (int i = 0; i < 3; ++i) {
+    Result<std::unique_ptr<RemoteConnection>> refused =
+        RemoteConnection::Connect("127.0.0.1", server_->port());
+    EXPECT_FALSE(refused.ok());
+  }
+  client::ResultSet rejected =
+      Exec(keeper.get(), "SELECT tip_server_stats('sessions_rejected')");
+  EXPECT_GE(rejected.GetInt(0, 0), 3);
+}
+
+// ---- Shutdown --------------------------------------------------------------
+
+TEST_F(ServerTest, ShutdownDrainsAndCountsIt) {
+  StartServer();
+  std::unique_ptr<RemoteConnection> conn = Connect();
+  ASSERT_NE(conn, nullptr);
+  Exec(conn.get(), "CREATE TABLE t (id INT)");
+  Exec(conn.get(), "INSERT INTO t VALUES (1)");
+
+  server_->Shutdown();
+  EXPECT_EQ(db_->server_stats().drains.load(), 1u);
+  EXPECT_EQ(db_->server_stats().sessions_active.load(), 0u);
+  // The engine survives its server: embedded access still works.
+  Result<engine::ResultSet> direct = db_->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct->rows[0][0].int_value(), 1);
+  // New connections are refused after shutdown.
+  Result<std::unique_ptr<RemoteConnection>> late =
+      RemoteConnection::Connect("127.0.0.1", server_->port());
+  EXPECT_FALSE(late.ok());
+  server_.reset();
+}
+
+}  // namespace
+}  // namespace tip::server

@@ -13,11 +13,22 @@
 // overhead; the acceptance budget is <= 25us per statement for the
 // point SELECT on loopback. Results are also written to
 // BENCH_server.json.
+//
+// --sessions N runs the multi-client variant: N connections issue the
+// point SELECT concurrently (through the shared gate) and the
+// per-statement cost is aggregate wall time over total statements. The
+// budget must hold at N=4 — concurrent readers may not tax each other
+// on uncontended point reads. The default run includes the N=4 row.
 
 #include <cinttypes>
+#include <cstdlib>
+#include <cstring>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -31,10 +42,50 @@ namespace {
 constexpr int kIterations = 5000;
 constexpr int kPointRows = 16;
 
+using namespace tip;
+
+/// Aggregate per-statement cost (us) of `sessions` concurrent clients
+/// each running `per_session` point SELECTs; median of three passes,
+/// like every other regime here.
+double MultiSessionUs(server::Server* srv, int sessions, int per_session) {
+  std::vector<std::unique_ptr<client::RemoteConnection>> conns;
+  for (int i = 0; i < sessions; ++i) {
+    conns.push_back(bench::CheckResult(
+        client::RemoteConnection::Connect("127.0.0.1", srv->port()),
+        "connect"));
+  }
+  const double ms = bench::MedianTimeMs([&] {
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(sessions);
+    for (int i = 0; i < sessions; ++i) {
+      threads.emplace_back([&, i] {
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        for (int n = 0; n < per_session; ++n) {
+          (void)bench::CheckResult(
+              conns[i]->Execute("SELECT bal FROM acct WHERE id = " +
+                                std::to_string((i + n) % kPointRows)),
+              "multi select");
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (std::thread& t : threads) t.join();
+  });
+  return ms * 1000.0 / (static_cast<double>(sessions) * per_session);
+}
+
 }  // namespace
 
-int main() {
-  using namespace tip;
+int main(int argc, char** argv) {
+  int sessions_flag = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--sessions") == 0) {
+      sessions_flag = std::atoi(argv[i + 1]);
+    }
+  }
   auto db = std::make_unique<engine::Database>();
   bench::Check(datablade::Install(db.get()), "install");
 
@@ -50,6 +101,30 @@ int main() {
     bench::MustExec(db.get(), "INSERT INTO acct VALUES (" +
                                   std::to_string(i) + ", " +
                                   std::to_string(100 * i) + ")");
+  }
+
+  if (sessions_flag > 0) {
+    // Multi-client mode: aggregate cost per statement across N
+    // concurrent sessions, judged against the same embedded floor.
+    const double embedded_ms = bench::MedianTimeMs([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        (void)bench::CheckResult(
+            db->Execute("SELECT bal FROM acct WHERE id = " +
+                        std::to_string(i % kPointRows)),
+            "embedded");
+      }
+    });
+    const double embedded_us = embedded_ms * 1000.0 / kIterations;
+    const int per_session = kIterations / sessions_flag;
+    const double multi_us =
+        MultiSessionUs(srv.get(), sessions_flag, per_session);
+    const double wire_us = multi_us - embedded_us;
+    std::printf("EXP-SERVER-ECHO --sessions %d: aggregate %.2f us/stmt, "
+                "embedded %.2f us/stmt, wire overhead %.2f us (budget 25)\n",
+                sessions_flag, multi_us, embedded_us, wire_us);
+    remote.reset();
+    srv->Shutdown();
+    return wire_us <= 25.0 ? 0 : 1;
   }
 
   struct Experiment {
@@ -135,6 +210,17 @@ int main() {
                                prepared_us, wire_us, agree});
   }
 
+  // The N=4 concurrent-reader row: four sessions through the shared
+  // gate must not tax each other's point reads beyond the wire budget.
+  double point_embedded_us = 0;
+  for (const ReportRow& r : report) {
+    if (r.name == "point_select") point_embedded_us = r.embedded_us;
+  }
+  const double multi4_us = MultiSessionUs(srv.get(), 4, kIterations / 4);
+  const double multi4_wire_us = multi4_us - point_embedded_us;
+  std::printf("%14s %12.2f %10.2f %10s %10.2f\n", "point_select_x4",
+              point_embedded_us, multi4_us, "-", multi4_wire_us);
+
   const engine::ServerStatsCounters& stats = db->server_stats();
   std::printf("\nserver counters: statements=%" PRIu64 " bytes_in=%" PRIu64
               " bytes_out=%" PRIu64 "\n",
@@ -161,14 +247,18 @@ int main() {
                  r.wire_us, r.agree ? "true" : "false",
                  i + 1 < report.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json,
+               "  \"multi_session\": {\"sessions\": 4, \"aggregate_us\": "
+               "%.3f, \"wire_us\": %.3f}\n}\n",
+               multi4_us, multi4_wire_us);
   std::fclose(json);
   std::printf("\nwrote %s\n", json_path);
 
   remote.reset();
   srv->Shutdown();
 
-  bool ok = true;
+  bool ok = multi4_wire_us <= 25.0;
   for (const ReportRow& r : report) {
     ok = ok && r.agree;
     if (r.name == "point_select") ok = ok && r.wire_us <= 25.0;

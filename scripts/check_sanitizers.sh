@@ -26,6 +26,13 @@ run_one() {
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "$dir" -L "$labels" -j "$jobs" --output-on-failure
+  # The shared-gate overlap must survive under the sanitizer too: two
+  # think-time browsers beating the serialized baseline is the smallest
+  # observable form of the session-concurrency contract.
+  echo "== TIP_SANITIZE=$sanitizer: bench_concurrent_reads --smoke =="
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  TSAN_OPTIONS="halt_on_error=1" \
+    "$dir/bench/bench_concurrent_reads" --smoke
 }
 
 run_one address

@@ -881,7 +881,27 @@ Status RegisterServerStats(Database* db) {
             " idle_timeouts=" +
             std::to_string(sv.idle_timeouts.load(std::memory_order_relaxed)) +
             " wire_faults=" +
-            std::to_string(sv.wire_faults.load(std::memory_order_relaxed)));
+            std::to_string(sv.wire_faults.load(std::memory_order_relaxed)) +
+            " gate_shared=" +
+            std::to_string(sv.gate_shared.load(std::memory_order_relaxed)) +
+            " gate_exclusive=" +
+            std::to_string(
+                sv.gate_exclusive.load(std::memory_order_relaxed)) +
+            " gate_upgrades=" +
+            std::to_string(
+                sv.gate_upgrades.load(std::memory_order_relaxed)) +
+            " gate_wait_shared_ms=" +
+            std::to_string(
+                sv.gate_wait_shared_ms.load(std::memory_order_relaxed)) +
+            " gate_wait_exclusive_ms=" +
+            std::to_string(
+                sv.gate_wait_exclusive_ms.load(std::memory_order_relaxed)) +
+            " gate_busy_shared=" +
+            std::to_string(
+                sv.gate_busy_shared.load(std::memory_order_relaxed)) +
+            " gate_busy_exclusive=" +
+            std::to_string(
+                sv.gate_busy_exclusive.load(std::memory_order_relaxed)));
       })));
 
   TIP_RETURN_IF_ERROR(reg.Register(MakeRoutine(
@@ -914,6 +934,20 @@ Status RegisterServerStats(Database* db) {
           value = sv.idle_timeouts.load(std::memory_order_relaxed);
         } else if (counter == "wire_faults") {
           value = sv.wire_faults.load(std::memory_order_relaxed);
+        } else if (counter == "gate_shared") {
+          value = sv.gate_shared.load(std::memory_order_relaxed);
+        } else if (counter == "gate_exclusive") {
+          value = sv.gate_exclusive.load(std::memory_order_relaxed);
+        } else if (counter == "gate_upgrades") {
+          value = sv.gate_upgrades.load(std::memory_order_relaxed);
+        } else if (counter == "gate_wait_shared_ms") {
+          value = sv.gate_wait_shared_ms.load(std::memory_order_relaxed);
+        } else if (counter == "gate_wait_exclusive_ms") {
+          value = sv.gate_wait_exclusive_ms.load(std::memory_order_relaxed);
+        } else if (counter == "gate_busy_shared") {
+          value = sv.gate_busy_shared.load(std::memory_order_relaxed);
+        } else if (counter == "gate_busy_exclusive") {
+          value = sv.gate_busy_exclusive.load(std::memory_order_relaxed);
         } else {
           return Status::InvalidArgument("unknown server counter '" + counter +
                                          "'");

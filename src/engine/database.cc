@@ -128,29 +128,40 @@ Status Database::RegisterIntervalKeyFn(TypeId type, IntervalKeyFn fn) {
   return Status::OK();
 }
 
-TxContext Database::CurrentTx() const {
+TxContext Database::CurrentTx(const SessionContext* session) const {
   std::lock_guard<std::mutex> lock(session_mu_);
-  // The paper grounds NOW against the *transaction* time: while a
-  // transaction is open its pinned context is authoritative, and a NOW
-  // override flipped meanwhile waits for the transaction to close.
-  if (txn_pin_.has_value()) return *txn_pin_;
-  if (now_override_.has_value()) return TxContext(*now_override_);
+  const SessionContext* s = Sess(session);
+  // The paper grounds NOW against the *transaction* time: while the
+  // session's transaction is open its pinned context is authoritative,
+  // and a NOW override flipped meanwhile waits for it to close.
+  if (s->txn_pin.has_value()) return *s->txn_pin;
+  if (s->now.has_value()) return TxContext(*s->now);
   return TxContext::FromSystemClock();
 }
 
-void Database::SetNowOverride(std::optional<Chronon> now) {
+void Database::SetNowOverride(std::optional<Chronon> now,
+                              SessionContext* session) {
   std::lock_guard<std::mutex> lock(session_mu_);
-  now_override_ = now;
+  Sess(session)->now = now;
 }
 
 void Database::CancelActiveStatements() {
   std::lock_guard<std::mutex> lock(session_mu_);
-  for (ExecGuard* guard : active_guards_) guard->Cancel();
+  for (auto& entry : active_guards_) entry.first->Cancel();
 }
 
-void Database::RegisterGuard(ExecGuard* guard) {
+void Database::CancelSessionStatements(const SessionContext* session) {
+  const SessionContext* s = Sess(session);
   std::lock_guard<std::mutex> lock(session_mu_);
-  active_guards_.insert(guard);
+  for (auto& [guard, owner] : active_guards_) {
+    if (owner == s) guard->Cancel();
+  }
+}
+
+void Database::RegisterGuard(ExecGuard* guard,
+                             const SessionContext* session) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  active_guards_.emplace(guard, session);
 }
 
 void Database::DeregisterGuard(ExecGuard* guard) {
@@ -159,37 +170,37 @@ void Database::DeregisterGuard(ExecGuard* guard) {
 }
 
 Result<ResultSet> Database::Execute(std::string_view sql) {
-  // With the plan cache on, repeated statement texts skip the lexer and
-  // parser and SELECTs reuse their planned operator tree.
-  if (plan_cache_enabled_) {
-    TIP_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedPlan> plan,
-                         Prepare(sql));
-    return ExecutePrepared(*plan, nullptr);
-  }
-  TIP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  return ExecuteParsed(stmt, nullptr, sql);
+  return Execute(sql, nullptr, nullptr);
 }
 
 Result<ResultSet> Database::Execute(std::string_view sql,
                                     const Params& params) {
+  return Execute(sql, &params, nullptr);
+}
+
+Result<ResultSet> Database::Execute(std::string_view sql,
+                                    const Params* params,
+                                    SessionContext* session) {
+  // With the plan cache on, repeated statement texts skip the lexer and
+  // parser and SELECTs reuse their planned operator tree.
   if (plan_cache_enabled_) {
     TIP_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedPlan> plan,
-                         Prepare(sql));
-    return ExecutePrepared(*plan, &params);
+                         Prepare(sql, session));
+    return ExecutePrepared(*plan, params, session);
   }
   TIP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  return ExecuteParsed(stmt, &params, sql);
+  return ExecuteParsed(stmt, params, sql, session);
 }
 
 Result<std::shared_ptr<const PreparedPlan>> Database::Prepare(
-    std::string_view sql) {
+    std::string_view sql, SessionContext* session) {
   const bool use_cache = plan_cache_enabled_;
   std::string key;
   if (use_cache) {
     // The settings fingerprint is part of the text key per the cache
     // contract; variants re-verify it anyway, so a stale hit after SET
     // still re-plans rather than misbehaving.
-    key = SettingsFingerprint();
+    key = SettingsFingerprint(session);
     key += '\n';
     key += sql;
     if (std::shared_ptr<PreparedPlan> cached = plan_cache_.Lookup(key)) {
@@ -208,14 +219,16 @@ Result<std::shared_ptr<const PreparedPlan>> Database::Prepare(
 }
 
 Result<ResultSet> Database::ExecutePrepared(const PreparedPlan& plan,
-                                            const Params* params) {
+                                            const Params* params,
+                                            SessionContext* session) {
   if (plan.stmt().kind == Statement::Kind::kSelect) {
-    return ApplyTxnErrorContract(ExecutePreparedSelect(plan, params));
+    return ApplyTxnErrorContract(
+        ExecutePreparedSelect(plan, params, session), session);
   }
   // Non-SELECT statements reuse the parsed AST but re-plan per
   // execution: DML binds against live table state anyway, and DDL/SET
   // are not on any hot path.
-  return ExecuteParsed(plan.stmt(), params, plan.sql());
+  return ExecuteParsed(plan.stmt(), params, plan.sql(), session);
 }
 
 Result<ResultSet> Database::ExecuteScript(std::string_view script) {
@@ -238,6 +251,52 @@ Result<ResultSet> Database::ExecuteScript(std::string_view script) {
     return Status::InvalidArgument("empty script");
   }
   return last;
+}
+
+StatementClass Database::Classify(const Statement& stmt,
+                                  std::string_view sql) {
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+    case Statement::Kind::kExplain: {
+      // A SELECT is a reader unless it invokes one of the
+      // side-effectful admin routines: tip_checkpoint() rotates the
+      // WAL, tip_sync_wal() flushes the group-commit tail and
+      // tip_verify() reseeds table checksums — all mutations a shared
+      // holder must not make. Substring scan over the lowered text:
+      // conservative (a string literal naming the routine also
+      // upgrades), which errs toward exclusivity, never toward a
+      // racing writer.
+      const std::string lowered = ToLowerAscii(sql);
+      for (std::string_view routine :
+           {"tip_checkpoint", "tip_sync_wal", "tip_verify"}) {
+        if (lowered.find(routine) != std::string::npos) {
+          return StatementClass::kWriter;
+        }
+      }
+      return StatementClass::kReader;
+    }
+    // Transaction control only moves this session's own pin; the
+    // writer slot is claimed (under the exclusive gate) by the first
+    // write statement, not by BEGIN.
+    case Statement::Kind::kBegin:
+    case Statement::Kind::kCommit:
+    case Statement::Kind::kRollback:
+      return StatementClass::kReader;
+    case Statement::Kind::kSet:
+      // Session-scoped options touch only the caller's SessionContext;
+      // everything else (wal_mode, plan_cache, fault_inject, the join
+      // toggles...) flips state every session reads.
+      if (stmt.option == "now" || stmt.option == "statement_timeout_ms" ||
+          stmt.option == "memory_limit_kb" ||
+          stmt.option == "parallel_workers" ||
+          stmt.option == "parallel_min_rows") {
+        return StatementClass::kReader;
+      }
+      return StatementClass::kWriter;
+    default:
+      // DML, DDL, CHECK (it may reseed checksums and rebuild indexes).
+      return StatementClass::kWriter;
+  }
 }
 
 bool Database::IsTxnFatal(StatusCode code) {
@@ -264,35 +323,43 @@ bool Database::IsTxnFatal(StatusCode code) {
 
 Result<ResultSet> Database::ExecuteParsed(const Statement& stmt,
                                           const Params* params,
-                                          std::string_view sql) {
-  return ApplyTxnErrorContract(ExecuteStatement(stmt, params, sql));
+                                          std::string_view sql,
+                                          SessionContext* session) {
+  return ApplyTxnErrorContract(ExecuteStatement(stmt, params, sql, session),
+                               session);
 }
 
-Result<ResultSet> Database::ApplyTxnErrorContract(Result<ResultSet> result) {
+Result<ResultSet> Database::ApplyTxnErrorContract(Result<ResultSet> result,
+                                                  SessionContext* session) {
+  SessionContext* s = Sess(session);
   // Only the transaction's own thread may trip the auto-abort: a
   // concurrent read-only statement on another thread (a stats poll that
   // got cancelled, say) must not tear down a transaction it is not part
-  // of — and must not touch txn_ at all, which belongs to the owner.
+  // of — and must not touch the writer slot, which belongs to the
+  // owner's thread.
   if (!result.ok() && IsTxnFatal(result.status().code()) &&
-      txn_owner_.load(std::memory_order_acquire) ==
+      s->txn_thread.load(std::memory_order_acquire) ==
           std::this_thread::get_id() &&
-      txn_ != nullptr) {
+      InTransaction(s)) {
     // Roll the whole transaction back; the statement's own error stays
     // the one reported (the rollback is a consequence, and its only
     // failure mode — a WAL rewind error — poisons the log, which later
     // statements will surface).
-    (void)RollbackTransaction();
+    (void)RollbackTransaction(s);
   }
   return result;
 }
 
-Database::GuardArm::GuardArm(Database* db, EvalContext* eval) : db_(db) {
+Database::GuardArm::GuardArm(Database* db, EvalContext* eval,
+                             SessionContext* session)
+    : db_(db) {
   if (!db->statement_guard_enabled_) return;
-  guard_.SetTimeout(db->statement_timeout_ms_);
-  guard_.SetMemoryLimit(db->memory_limit_kb_ * 1024);
+  SessionContext* s = db->Sess(session);
+  guard_.SetTimeout(s->statement_timeout_ms.load());
+  guard_.SetMemoryLimit(s->memory_limit_kb.load() * 1024);
   guard_.set_events(&db->guard_events_);
   eval->guard = &guard_;
-  db->RegisterGuard(&guard_);
+  db->RegisterGuard(&guard_, s);
   registered_ = true;
 }
 
@@ -300,7 +367,9 @@ Database::GuardArm::~GuardArm() {
   if (registered_) db_->DeregisterGuard(&guard_);
 }
 
-PlannerContext Database::MakePlannerContext(const Params* params) {
+PlannerContext Database::MakePlannerContext(const Params* params,
+                                            SessionContext* session) {
+  SessionContext* s = Sess(session);
   PlannerContext pctx;
   pctx.types = &types_;
   pctx.routines = &routines_;
@@ -311,35 +380,40 @@ PlannerContext Database::MakePlannerContext(const Params* params) {
   pctx.interval_key_fns = &interval_key_fns_;
   pctx.enable_hash_join = enable_hash_join_;
   pctx.enable_interval_join = enable_interval_join_;
-  pctx.parallel_workers = parallel_workers_;
-  pctx.parallel_min_rows = parallel_min_rows_;
+  pctx.parallel_workers = s->parallel_workers.load();
+  pctx.parallel_min_rows = s->parallel_min_rows.load();
   pctx.parallel_stats = &parallel_stats_;
   return pctx;
 }
 
-std::string Database::SettingsFingerprint() const {
+std::string Database::SettingsFingerprint(
+    const SessionContext* session) const {
+  const SessionContext* s = Sess(session);
   // Everything the planner reads besides the catalog. The guard switch
   // does not change plan shape, but an execution under a different
   // guard regime is not the one the user benchmarked, so it keys too.
+  // The parallel knobs are per-session, so sessions with different
+  // settings key (and plan) separately.
   std::string fp;
   fp += enable_hash_join_ ? "hj1 " : "hj0 ";
   fp += enable_interval_join_ ? "ij1 " : "ij0 ";
   fp += statement_guard_enabled_ ? "g1 " : "g0 ";
   fp += "pw";
-  fp += std::to_string(parallel_workers_.load(std::memory_order_relaxed));
+  fp += std::to_string(s->parallel_workers.load(std::memory_order_relaxed));
   fp += " pm";
-  fp += std::to_string(parallel_min_rows_.load(std::memory_order_relaxed));
+  fp += std::to_string(s->parallel_min_rows.load(std::memory_order_relaxed));
   return fp;
 }
 
 Result<std::shared_ptr<PreparedPlan::Variant>> Database::PlanPreparedVariant(
     const PreparedPlan& plan, const Params* params, uint64_t version,
-    std::string settings_fingerprint, std::string param_signature) {
+    std::string settings_fingerprint, std::string param_signature,
+    SessionContext* session) {
   auto variant = std::make_shared<PreparedPlan::Variant>();
   variant->catalog_version = version;
   variant->settings_fingerprint = std::move(settings_fingerprint);
   variant->param_signature = std::move(param_signature);
-  PlannerContext pctx = MakePlannerContext(params);
+  PlannerContext pctx = MakePlannerContext(params, session);
   // Prepared mode: `:name` placeholders bind to ordinal slots instead
   // of folding the bound values in, so the tree survives rebinding.
   pctx.param_slots = &variant->slot_names;
@@ -349,9 +423,11 @@ Result<std::shared_ptr<PreparedPlan::Variant>> Database::PlanPreparedVariant(
 }
 
 Result<ResultSet> Database::ExecutePreparedSelect(const PreparedPlan& plan,
-                                                  const Params* params) {
+                                                  const Params* params,
+                                                  SessionContext* session) {
+  SessionContext* s = Sess(session);
   const uint64_t version = catalog_version();
-  std::string settings = SettingsFingerprint();
+  std::string settings = SettingsFingerprint(s);
   std::string signature = ParamSignature(params);
   std::shared_ptr<PreparedPlan::Variant> variant =
       plan.FindVariant(version, settings, signature, &plan_cache_stats_);
@@ -373,7 +449,7 @@ Result<ResultSet> Database::ExecutePreparedSelect(const PreparedPlan& plan,
     TIP_ASSIGN_OR_RETURN(
         variant, PlanPreparedVariant(plan, params, version,
                                      std::move(settings),
-                                     std::move(signature)));
+                                     std::move(signature), s));
     // Lock before publication so no other execution can take the tree
     // between AddVariant and our run.
     exec_lock = std::unique_lock<std::mutex>(variant->exec_mu);
@@ -399,11 +475,14 @@ Result<ResultSet> Database::ExecutePreparedSelect(const PreparedPlan& plan,
   }
 
   // A fresh EvalContext per execution is what re-grounds NOW: nothing
-  // NOW-dependent was folded at plan time, so the new TxContext is the
-  // only grounding the run sees.
-  EvalContext eval(CurrentTx());
+  // NOW-dependent was folded at plan time, so the new TxContext — from
+  // this session, not a global field — is the only grounding the run
+  // sees. Two sessions with different SET NOW values can execute the
+  // same cached plan concurrently and read different groundings.
+  EvalContext eval(CurrentTx(s));
   eval.params = &slots;
-  GuardArm guard_arm(this, &eval);
+  eval.session = s;
+  GuardArm guard_arm(this, &eval, s);
 
   ExecState state;
   state.eval = &eval;
@@ -427,19 +506,35 @@ Result<ResultSet> Database::ExecutePreparedSelect(const PreparedPlan& plan,
 
 Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
                                              const Params* params,
-                                             std::string_view sql) {
-  PlannerContext pctx = MakePlannerContext(params);
+                                             std::string_view sql,
+                                             SessionContext* session) {
+  SessionContext* s = Sess(session);
+  PlannerContext pctx = MakePlannerContext(params, s);
 
-  EvalContext eval(CurrentTx());
+  EvalContext eval(CurrentTx(s));
+  eval.session = s;
   ExecState state;
   state.eval = &eval;
+
+  // A write statement inside this session's transaction materializes
+  // the single writer slot (undo log + WAL bracket) before touching
+  // anything; the caller has serialized writers, so claiming is safe.
+  switch (stmt.kind) {
+    case Statement::Kind::kInsert:
+    case Statement::Kind::kUpdate:
+    case Statement::Kind::kDelete:
+      TIP_RETURN_IF_ERROR(ClaimWriterTxn(s));
+      break;
+    default:
+      break;
+  }
 
   // Every statement executes under a stack-owned lifecycle guard:
   // deadline, cancel flag and memory budget travel to the operators via
   // the EvalContext. The guard is visible to other threads (for
   // Connection::Cancel) only while registered, and RAII deregistration
   // covers every return path out of the switch below.
-  GuardArm guard_arm(this, &eval);
+  GuardArm guard_arm(this, &eval, s);
 
   switch (stmt.kind) {
     case Statement::Kind::kSelect: {
@@ -578,7 +673,22 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
             std::to_string(sv.drains.load(std::memory_order_relaxed)) +
             " session_aborts=" +
             std::to_string(
-                sv.session_aborts.load(std::memory_order_relaxed)) + ")")});
+                sv.session_aborts.load(std::memory_order_relaxed)) +
+            " gate_shared=" +
+            std::to_string(sv.gate_shared.load(std::memory_order_relaxed)) +
+            " gate_exclusive=" +
+            std::to_string(
+                sv.gate_exclusive.load(std::memory_order_relaxed)) +
+            " gate_upgrades=" +
+            std::to_string(
+                sv.gate_upgrades.load(std::memory_order_relaxed)) +
+            " gate_busy_shared=" +
+            std::to_string(
+                sv.gate_busy_shared.load(std::memory_order_relaxed)) +
+            " gate_busy_exclusive=" +
+            std::to_string(
+                sv.gate_busy_exclusive.load(std::memory_order_relaxed)) +
+            ")")});
       }
       return result;
     }
@@ -789,15 +899,22 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
       if (stmt.option == "now") {
         // The pinned TxContext is authoritative mid-transaction:
         // re-grounding NOW here would silently make the transaction's
-        // remaining statements disagree with its earlier ones.
-        TIP_RETURN_IF_ERROR(RefuseInTransaction("SET NOW"));
+        // remaining statements disagree with its earlier ones. Only
+        // *this* session's transaction matters — SET NOW is
+        // session-scoped, so another session's open transaction is
+        // none of its business.
+        if (InTransaction(s)) {
+          return Status::InvalidArgument(
+              "SET NOW is not allowed inside a transaction; "
+              "COMMIT or ROLLBACK first");
+        }
         if (word == "default" || word == "system") {
-          SetNowOverride(std::nullopt);
+          SetNowOverride(std::nullopt, s);
           result.message = "SET NOW DEFAULT";
           return result;
         }
         TIP_ASSIGN_OR_RETURN(Chronon now, Chronon::Parse(word));
-        SetNowOverride(now);
+        SetNowOverride(now, s);
         result.message = "SET NOW " + now.ToString();
         return result;
       }
@@ -818,25 +935,25 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
           return Status::InvalidArgument(
               "parallel_workers must be at least 1");
         }
-        parallel_workers_ = static_cast<size_t>(n);
+        s->parallel_workers = static_cast<size_t>(n);
         result.message = "SET PARALLEL_WORKERS " + std::to_string(n);
         return result;
       }
       if (stmt.option == "parallel_min_rows") {
         TIP_ASSIGN_OR_RETURN(int64_t n, ParseCount(word));
-        parallel_min_rows_ = static_cast<size_t>(n);
+        s->parallel_min_rows = static_cast<size_t>(n);
         result.message = "SET PARALLEL_MIN_ROWS " + std::to_string(n);
         return result;
       }
       if (stmt.option == "statement_timeout_ms") {
         TIP_ASSIGN_OR_RETURN(int64_t n, ParseCount(word));
-        statement_timeout_ms_ = n;
+        s->statement_timeout_ms = n;
         result.message = "SET STATEMENT_TIMEOUT_MS " + std::to_string(n);
         return result;
       }
       if (stmt.option == "memory_limit_kb") {
         TIP_ASSIGN_OR_RETURN(int64_t n, ParseCount(word));
-        memory_limit_kb_ = static_cast<size_t>(n);
+        s->memory_limit_kb = static_cast<size_t>(n);
         result.message = "SET MEMORY_LIMIT_KB " + std::to_string(n);
         return result;
       }
@@ -1060,21 +1177,21 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
     }
 
     case Statement::Kind::kBegin: {
-      TIP_RETURN_IF_ERROR(BeginTransaction());
+      TIP_RETURN_IF_ERROR(BeginTransaction(s));
       ResultSet result;
       result.message = "BEGIN";
       return result;
     }
 
     case Statement::Kind::kCommit: {
-      TIP_RETURN_IF_ERROR(CommitTransaction());
+      TIP_RETURN_IF_ERROR(CommitTransaction(s));
       ResultSet result;
       result.message = "COMMIT";
       return result;
     }
 
     case Statement::Kind::kRollback: {
-      TIP_RETURN_IF_ERROR(RollbackTransaction());
+      TIP_RETURN_IF_ERROR(RollbackTransaction(s));
       ResultSet result;
       result.message = "ROLLBACK";
       return result;
@@ -1180,7 +1297,11 @@ Status Database::AppendWal(WalRecordKind kind, std::string_view body) {
 }
 
 Status Database::RefuseInTransaction(std::string_view what) const {
-  if (txn_ == nullptr) return Status::OK();
+  // Any session's open transaction refuses these statements, read-only
+  // pins included: a DDL or re-baseline under an open read transaction
+  // would still yank state out from under its pinned view. The callers
+  // run exclusively gated, so the count is stable across the check.
+  if (open_txns_.load(std::memory_order_acquire) == 0) return Status::OK();
   return Status::InvalidArgument(std::string(what) +
                                  " is not allowed inside a transaction; "
                                  "COMMIT or ROLLBACK first");
@@ -1204,72 +1325,115 @@ void Database::CaptureTxnUndo(Table* table) {
   txn_->undo.emplace(table->name(), table->heap().SnapshotLiveRows());
 }
 
-Status Database::BeginTransaction() {
-  if (txn_ != nullptr) {
-    return Status::InvalidArgument("a transaction is already open");
-  }
-  auto txn = std::make_unique<TxnState>();
-  txn->tx = CurrentTx();  // pin NOW for the whole transaction
+Status Database::ClaimWriterTxn(SessionContext* session) {
+  SessionContext* s = Sess(session);
+  std::optional<TxContext> pin;
   {
     std::lock_guard<std::mutex> lock(session_mu_);
-    txn_pin_ = txn->tx;
+    pin = s->txn_pin;
   }
+  // Auto-commit write: no transaction, nothing to claim.
+  if (!pin.has_value()) return Status::OK();
+  if (txn_ != nullptr) {
+    if (txn_session_.load(std::memory_order_acquire) == s) {
+      return Status::OK();
+    }
+    // Unreachable under a correctly-gated server — writers run
+    // exclusively — but refuse rather than attribute this write to
+    // another session's undo log.
+    return Status::Internal(
+        "another session's transaction holds the write slot");
+  }
+  auto txn = std::make_unique<TxnState>();
+  txn->tx = *pin;
   txn_ = std::move(txn);
-  txn_owner_.store(std::this_thread::get_id(), std::memory_order_release);
+  txn_session_.store(s, std::memory_order_release);
   return Status::OK();
 }
 
-Status Database::CommitTransaction() {
-  if (txn_ == nullptr) {
-    return Status::InvalidArgument("no transaction is open");
-  }
-  if (txn_->bracketed) {
-    // The commit record is appended under the session's wal_mode: this
-    // is the point where the whole transaction reaches disk (sync) or
-    // joins the group-commit batch. A commit that cannot be logged is
-    // a rollback — the bracket must never be left dangling.
-    Status logged =
-        wal_->Append(WalRecordKind::kTxnCommit, "", wal_mode_).status();
-    if (!logged.ok()) {
-      (void)RollbackTransaction();
-      return logged;
-    }
-  }
-  txn_.reset();
-  txn_owner_.store(std::thread::id(), std::memory_order_release);
+Status Database::BeginTransaction(SessionContext* session) {
+  SessionContext* s = Sess(session);
   {
     std::lock_guard<std::mutex> lock(session_mu_);
-    txn_pin_.reset();
+    if (s->txn_pin.has_value()) {
+      return Status::InvalidArgument("a transaction is already open");
+    }
+    // Pin NOW for the whole transaction. Inlined CurrentTx (which
+    // would re-take session_mu_): the pin is not set yet, so the
+    // override-or-clock arm is the one that applies.
+    s->txn_pin = s->now.has_value() ? TxContext(*s->now)
+                                    : TxContext::FromSystemClock();
   }
+  s->txn_thread.store(std::this_thread::get_id(), std::memory_order_release);
+  open_txns_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status Database::CommitTransaction(SessionContext* session) {
+  SessionContext* s = Sess(session);
+  if (!InTransaction(s)) {
+    return Status::InvalidArgument("no transaction is open");
+  }
+  if (txn_ != nullptr && txn_session_.load(std::memory_order_acquire) == s) {
+    if (txn_->bracketed) {
+      // The commit record is appended under the session's wal_mode:
+      // this is the point where the whole transaction reaches disk
+      // (sync) or joins the group-commit batch. A commit that cannot
+      // be logged is a rollback — the bracket must never be left
+      // dangling.
+      Status logged =
+          wal_->Append(WalRecordKind::kTxnCommit, "", wal_mode_).status();
+      if (!logged.ok()) {
+        (void)RollbackTransaction(s);
+        return logged;
+      }
+    }
+    txn_.reset();
+    txn_session_.store(nullptr, std::memory_order_release);
+  }
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    s->txn_pin.reset();
+  }
+  s->txn_thread.store(std::thread::id(), std::memory_order_release);
+  open_txns_.fetch_sub(1, std::memory_order_acq_rel);
   durability_.txns_committed.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Status Database::RollbackTransaction() {
-  if (txn_ == nullptr) {
+Status Database::RollbackTransaction(SessionContext* session) {
+  SessionContext* s = Sess(session);
+  if (!InTransaction(s)) {
     return Status::InvalidArgument("no transaction is open");
   }
-  // Memory first: restore every touched table's undo image. The heap
-  // version counter advances, so interval indexes over these tables
-  // lazily rebuild to the restored (pre-BEGIN) contents.
-  for (auto& [name, rows] : txn_->undo) {
-    Result<Table*> table = catalog_.GetTable(name);
-    // DDL is refused inside transactions, so the table must still
-    // exist; a miss here would be an engine bug, not a user error.
-    if (table.ok()) (*table)->heap().ResetTo(std::move(rows));
-  }
-  // Then the log: rewind to the pre-bracket mark, un-assigning the
-  // transaction's LSNs — tip_wal_stats() reads exactly as it did
-  // before BEGIN. On failure the log is poisoned (fail-stop); the
-  // in-memory rollback above already succeeded either way.
   Status rewound = Status::OK();
-  if (txn_->bracketed) rewound = wal_->ResetToMark(txn_->mark);
-  txn_.reset();
-  txn_owner_.store(std::thread::id(), std::memory_order_release);
+  // Read-only transactions (the writer slot was never claimed, or
+  // belongs to another session) have nothing to undo — dropping the
+  // pin is the whole rollback.
+  if (txn_ != nullptr && txn_session_.load(std::memory_order_acquire) == s) {
+    // Memory first: restore every touched table's undo image. The heap
+    // version counter advances, so interval indexes over these tables
+    // lazily rebuild to the restored (pre-BEGIN) contents.
+    for (auto& [name, rows] : txn_->undo) {
+      Result<Table*> table = catalog_.GetTable(name);
+      // DDL is refused inside transactions, so the table must still
+      // exist; a miss here would be an engine bug, not a user error.
+      if (table.ok()) (*table)->heap().ResetTo(std::move(rows));
+    }
+    // Then the log: rewind to the pre-bracket mark, un-assigning the
+    // transaction's LSNs — tip_wal_stats() reads exactly as it did
+    // before BEGIN. On failure the log is poisoned (fail-stop); the
+    // in-memory rollback above already succeeded either way.
+    if (txn_->bracketed) rewound = wal_->ResetToMark(txn_->mark);
+    txn_.reset();
+    txn_session_.store(nullptr, std::memory_order_release);
+  }
   {
     std::lock_guard<std::mutex> lock(session_mu_);
-    txn_pin_.reset();
+    s->txn_pin.reset();
   }
+  s->txn_thread.store(std::thread::id(), std::memory_order_release);
+  open_txns_.fetch_sub(1, std::memory_order_acq_rel);
   durability_.txns_rolled_back.fetch_add(1, std::memory_order_relaxed);
   return rewound;
 }
@@ -1575,17 +1739,13 @@ Status Database::Checkpoint() {
   if (wal_ == nullptr) {
     return Status::InvalidArgument("no durable directory attached");
   }
-  {
-    // Probe via the pin, not txn_: tip_checkpoint() may run from a
-    // worker thread and the pin is the one piece of transaction state
-    // published under a lock. A checkpoint taken mid-transaction would
-    // snapshot uncommitted rows and rotate away the open bracket.
-    std::lock_guard<std::mutex> session_lock(session_mu_);
-    if (txn_pin_.has_value()) {
-      return Status::InvalidArgument(
-          "CHECKPOINT is not allowed inside a transaction; "
-          "COMMIT or ROLLBACK first");
-    }
+  // Any session's open transaction refuses the checkpoint: snapshotting
+  // uncommitted rows — or rotating away an open bracket — would tear
+  // it, and even a read-only pin deserves a stable view of the tables.
+  if (open_txns_.load(std::memory_order_acquire) > 0) {
+    return Status::InvalidArgument(
+        "CHECKPOINT is not allowed inside a transaction; "
+        "COMMIT or ROLLBACK first");
   }
   // A checkpoint while tables sit in quarantine would publish a
   // snapshot with the damaged tables simply absent — silently turning

@@ -26,6 +26,7 @@
 #include "engine/exec/parallel_exec.h"
 #include "engine/exec/prepared_plan.h"
 #include "engine/exec/result_set.h"
+#include "engine/session_context.h"
 #include "engine/storage/wal.h"
 #include "engine/types/type.h"
 
@@ -113,7 +114,17 @@ struct ServerStatsCounters {
   std::atomic<uint64_t> cancels_received{0};  // remote tip_cancel frames
   std::atomic<uint64_t> idle_timeouts{0};     // sessions reaped idle
   std::atomic<uint64_t> wire_faults{0};       // injected/real wire errors
+  // -- Shared/exclusive gate counters (PR 10) --------------------------
+  std::atomic<uint64_t> gate_shared{0};       // shared acquisitions
+  std::atomic<uint64_t> gate_exclusive{0};    // exclusive acquisitions
+  std::atomic<uint64_t> gate_upgrades{0};     // shared→exclusive upgrades
+  std::atomic<uint64_t> gate_wait_shared_ms{0};
+  std::atomic<uint64_t> gate_wait_exclusive_ms{0};
+  std::atomic<uint64_t> gate_busy_shared{0};     // "server busy" (shared)
+  std::atomic<uint64_t> gate_busy_exclusive{0};  // "server busy" (excl.)
 
+  /// Gates the EXPLAIN ServerStats row on "a server has ever touched
+  /// this database" — deliberately not a sum over every counter.
   uint64_t total() const {
     return sessions_total.load(std::memory_order_relaxed) +
            sessions_rejected.load(std::memory_order_relaxed) +
@@ -125,6 +136,13 @@ struct ServerStatsCounters {
 /// Host parameters for a statement (`:name` placeholders).
 using Params = std::map<std::string, Datum, std::less<>>;
 
+struct Statement;
+
+/// How a statement interacts with shared state, from the server gate's
+/// point of view: readers may run concurrently with each other, writers
+/// need the database to themselves.
+enum class StatementClass { kReader, kWriter };
+
 /// An embedded extensible relational database instance — the stand-in
 /// for the Informix server TIP extends. A fresh Database knows only the
 /// classic scalar types, operators and aggregates; installing the TIP
@@ -133,13 +151,20 @@ using Params = std::map<std::string, Datum, std::less<>>;
 /// statements can use them as if they were built in.
 ///
 /// Thread-safety: concurrent Execute calls running read-only statements
-/// (SELECT / EXPLAIN) are safe against each other and against SET NOW
-/// from another thread — the NOW override sits behind a mutex and each
-/// statement captures a single TxContext up front, so a query sees one
-/// consistent NOW even if the override flips mid-run. Statements that
-/// write (INSERT / UPDATE / DELETE / DDL) and changes to the other
-/// session options must be serialized externally against all other
-/// statements on the same Database.
+/// (SELECT / EXPLAIN, per Classify) are safe against each other and
+/// against SET NOW from another thread — each statement captures a
+/// single TxContext up front from its SessionContext, so a query sees
+/// one consistent NOW even if another session's override differs or
+/// flips mid-run. Statements that write (INSERT / UPDATE / DELETE /
+/// DDL) and changes to the non-session-scoped options must be
+/// serialized externally against ALL other statements on the same
+/// Database — that is the server gate's job (DESIGN.md §13). Sessions:
+/// every entry point takes an optional SessionContext*; passing null
+/// uses the built-in global session, which keeps the embedded
+/// single-threaded API exactly as before. Many sessions may hold open
+/// read-only transactions at once; at most one transaction may write
+/// (the single writer slot is claimed at the first write statement,
+/// which the caller must have serialized exclusively).
 class Database {
  public:
   Database();
@@ -166,6 +191,19 @@ class Database {
   Result<ResultSet> Execute(std::string_view sql);
   /// Executes with host parameters bound to `:name` placeholders.
   Result<ResultSet> Execute(std::string_view sql, const Params& params);
+  /// Master overload: executes on behalf of `session` (null = the
+  /// global session). The server passes its per-connection context
+  /// here so concurrent readers ground NOW and arm guards from their
+  /// own session, not shared fields.
+  Result<ResultSet> Execute(std::string_view sql, const Params* params,
+                            SessionContext* session);
+
+  /// Classifies a parsed statement for the server's shared/exclusive
+  /// gate. SELECT/EXPLAIN are readers unless the text invokes a
+  /// side-effectful routine (tip_checkpoint, tip_sync_wal, tip_verify);
+  /// BEGIN/COMMIT/ROLLBACK and session-scoped SETs are readers; all DML,
+  /// DDL, CHECK and global SETs are writers.
+  static StatementClass Classify(const Statement& stmt, std::string_view sql);
 
   // -- Prepared statements ---------------------------------------------------
 
@@ -176,7 +214,8 @@ class Database {
   /// shared with (and retrieved from) the text-keyed cache, so repeated
   /// Execute(sql) calls and explicit Prepare users converge on the same
   /// plan.
-  Result<std::shared_ptr<const PreparedPlan>> Prepare(std::string_view sql);
+  Result<std::shared_ptr<const PreparedPlan>> Prepare(
+      std::string_view sql, SessionContext* session = nullptr);
 
   /// Executes a prepared handle under fresh parameter bindings. SELECTs
   /// reuse the cached operator tree when the catalog version, session
@@ -186,7 +225,8 @@ class Database {
   /// a dangling pointer. Other statement kinds skip the parser and
   /// re-plan from the stored AST per execution.
   Result<ResultSet> ExecutePrepared(const PreparedPlan& plan,
-                                    const Params* params = nullptr);
+                                    const Params* params = nullptr,
+                                    SessionContext* session = nullptr);
 
   /// SET plan_cache on|off: when off, Execute(sql) parses and plans
   /// from scratch (the pre-cache behavior) and Prepare stops consulting
@@ -223,18 +263,21 @@ class Database {
 
   // -- Session state --------------------------------------------------------
 
-  /// The transaction context the next statement will evaluate under:
-  /// the open transaction's pinned NOW if one is open, else the NOW
-  /// override if set (SET NOW '...'), else the system clock.
-  TxContext CurrentTx() const;
+  /// The transaction context the next statement on `session` (null =
+  /// the global session) will evaluate under: the session's open
+  /// transaction's pinned NOW if one is open, else its NOW override if
+  /// set (SET NOW '...'), else the system clock.
+  TxContext CurrentTx(const SessionContext* session = nullptr) const;
 
-  /// Overrides NOW for subsequent statements (the Browser's what-if
-  /// mechanism); nullopt restores the system clock. Safe to call while
-  /// other threads run read-only statements.
-  void SetNowOverride(std::optional<Chronon> now);
-  std::optional<Chronon> now_override() const {
+  /// Overrides NOW for subsequent statements on `session` (the
+  /// Browser's what-if mechanism); nullopt restores the system clock.
+  /// Safe to call while other threads run read-only statements.
+  void SetNowOverride(std::optional<Chronon> now,
+                      SessionContext* session = nullptr);
+  std::optional<Chronon> now_override(
+      const SessionContext* session = nullptr) const {
     std::lock_guard<std::mutex> lock(session_mu_);
-    return now_override_;
+    return Sess(session)->now;
   }
 
   void set_hash_join_enabled(bool on) { enable_hash_join_ = on; }
@@ -244,12 +287,18 @@ class Database {
 
   /// Degree of parallelism for eligible scans/aggregations/joins
   /// (SET PARALLEL_WORKERS n). 1 = serial plans only (the default).
-  void set_parallel_workers(size_t n) { parallel_workers_ = n; }
-  size_t parallel_workers() const { return parallel_workers_; }
+  void set_parallel_workers(size_t n) { global_session_.parallel_workers = n; }
+  size_t parallel_workers() const {
+    return global_session_.parallel_workers.load();
+  }
   /// Minimum estimated scan input before a parallel plan is considered
   /// (SET PARALLEL_MIN_ROWS n).
-  void set_parallel_min_rows(size_t n) { parallel_min_rows_ = n; }
-  size_t parallel_min_rows() const { return parallel_min_rows_; }
+  void set_parallel_min_rows(size_t n) {
+    global_session_.parallel_min_rows = n;
+  }
+  size_t parallel_min_rows() const {
+    return global_session_.parallel_min_rows.load();
+  }
 
   // -- Transactions ----------------------------------------------------------
 
@@ -260,36 +309,54 @@ class Database {
   /// SQL `SET NOW` inside a transaction is refused outright). DML takes
   /// an undo image of each table on first touch, and the first logged
   /// write opens a TXN_BEGIN bracket in the WAL. DDL, SET wal_mode and
-  /// checkpoints are refused while a transaction is open.
-  Status BeginTransaction();
+  /// checkpoints are refused while any transaction is open.
+  ///
+  /// Any number of sessions may hold open transactions concurrently as
+  /// long as at most one of them writes: the undo/WAL machinery (the
+  /// single writer slot) is claimed lazily at the transaction's first
+  /// write statement, which the server runs under the exclusive gate.
+  Status BeginTransaction(SessionContext* session = nullptr);
 
   /// COMMIT: appends TXN_COMMIT under the session's wal_mode (the
   /// transaction's records reach disk per that mode at the commit
   /// point) and discards the undo log. If the commit record cannot be
   /// written the transaction is rolled back and the error returned.
-  Status CommitTransaction();
+  /// Read-only transactions (writer slot never claimed) just drop
+  /// their pin.
+  Status CommitTransaction(SessionContext* session = nullptr);
 
   /// ROLLBACK: restores every touched table from its undo image (heap
   /// contents and interval indexes return to the pre-BEGIN state) and
   /// rewinds the WAL to the pre-bracket mark, un-assigning the
   /// transaction's LSNs.
-  Status RollbackTransaction();
+  Status RollbackTransaction(SessionContext* session = nullptr);
 
-  /// True between BEGIN and COMMIT/ROLLBACK. Statement-thread only;
-  /// other threads observe the transaction via its pinned TxContext.
-  bool InTransaction() const { return txn_ != nullptr; }
+  /// True between BEGIN and COMMIT/ROLLBACK on `session`. Thread-safe:
+  /// reads the session's pin under the session mutex.
+  bool InTransaction(const SessionContext* session = nullptr) const {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    return Sess(session)->txn_pin.has_value();
+  }
 
   // -- Statement lifecycle ---------------------------------------------------
 
   /// Wall-clock budget for each subsequent statement
   /// (SET STATEMENT_TIMEOUT_MS n). 0 = unlimited (the default).
-  void set_statement_timeout_ms(int64_t ms) { statement_timeout_ms_ = ms; }
-  int64_t statement_timeout_ms() const { return statement_timeout_ms_; }
+  void set_statement_timeout_ms(int64_t ms) {
+    global_session_.statement_timeout_ms = ms;
+  }
+  int64_t statement_timeout_ms() const {
+    return global_session_.statement_timeout_ms.load();
+  }
 
   /// Approximate memory budget for each subsequent statement's buffering
   /// (SET MEMORY_LIMIT_KB n). 0 = unlimited (the default).
-  void set_memory_limit_kb(size_t kb) { memory_limit_kb_ = kb; }
-  size_t memory_limit_kb() const { return memory_limit_kb_; }
+  void set_memory_limit_kb(size_t kb) {
+    global_session_.memory_limit_kb = kb;
+  }
+  size_t memory_limit_kb() const {
+    return global_session_.memory_limit_kb.load();
+  }
 
   /// Requests cancellation of every statement currently executing on
   /// this Database. Thread-safe (the point of it: it is called from a
@@ -297,6 +364,11 @@ class Database {
   /// abort at their next cooperative check with Status::Cancelled;
   /// statements that start after this call are unaffected.
   void CancelActiveStatements();
+
+  /// Like CancelActiveStatements, but only statements executing on
+  /// behalf of `session` — the server's remote-cancel targets one
+  /// connection, not the whole fleet.
+  void CancelSessionStatements(const SessionContext* session);
 
   /// Session-lifetime lifecycle event counters (timeouts, cancels, oom,
   /// parallel fallbacks), surfaced in SQL as tip_guard_stats().
@@ -412,27 +484,42 @@ class Database {
   /// transaction aborts the whole transaction (the caller cannot know
   /// how much of the statement ran); plain validation errors leave it
   /// open (statement-level atomicity already restored the tables).
-  Result<ResultSet> ExecuteParsed(const struct Statement& stmt,
-                                  const Params* params, std::string_view sql);
-  Result<ResultSet> ExecuteStatement(const struct Statement& stmt,
+  Result<ResultSet> ExecuteParsed(const Statement& stmt, const Params* params,
+                                  std::string_view sql,
+                                  SessionContext* session);
+  Result<ResultSet> ExecuteStatement(const Statement& stmt,
                                      const Params* params,
-                                     std::string_view sql);
+                                     std::string_view sql,
+                                     SessionContext* session);
   /// The prepared SELECT fast path: find or build a plan variant, then
   /// run the cached tree under a fresh EvalContext.
   Result<ResultSet> ExecutePreparedSelect(const PreparedPlan& plan,
-                                          const Params* params);
+                                          const Params* params,
+                                          SessionContext* session);
   /// Plans one variant of a prepared SELECT under the current catalog.
   Result<std::shared_ptr<PreparedPlan::Variant>> PlanPreparedVariant(
       const PreparedPlan& plan, const Params* params, uint64_t version,
-      std::string settings_fingerprint, std::string param_signature);
+      std::string settings_fingerprint, std::string param_signature,
+      SessionContext* session);
   /// The session-settings half of the plan-cache key: everything the
   /// planner reads besides the catalog (join toggles, parallel knobs,
   /// guard switch).
-  std::string SettingsFingerprint() const;
-  PlannerContext MakePlannerContext(const Params* params);
+  std::string SettingsFingerprint(const SessionContext* session) const;
+  PlannerContext MakePlannerContext(const Params* params,
+                                    SessionContext* session);
   /// Shared auto-abort contract for both execution paths (see
   /// ExecuteParsed).
-  Result<ResultSet> ApplyTxnErrorContract(Result<ResultSet> result);
+  Result<ResultSet> ApplyTxnErrorContract(Result<ResultSet> result,
+                                          SessionContext* session);
+
+  /// Maps null to the built-in global session (the embedded client and
+  /// the C API never construct a SessionContext of their own).
+  SessionContext* Sess(SessionContext* s) {
+    return s != nullptr ? s : &global_session_;
+  }
+  const SessionContext* Sess(const SessionContext* s) const {
+    return s != nullptr ? s : &global_session_;
+  }
 
   /// True when the statement being executed must be appended to the
   /// WAL: a log is attached, logging is on, and we are not replaying
@@ -447,7 +534,7 @@ class Database {
   /// replay diverge from the acknowledged history).
   Status LogAppliedDdl(std::string_view sql,
                        const std::function<void()>& undo);
-  void RegisterGuard(ExecGuard* guard);
+  void RegisterGuard(ExecGuard* guard, const SessionContext* session);
   void DeregisterGuard(ExecGuard* guard);
 
   /// Arms the per-statement lifecycle guard on `eval` (deadline, cancel
@@ -456,7 +543,7 @@ class Database {
   /// execution paths so both honour the same contract.
   class GuardArm {
    public:
-    GuardArm(Database* db, EvalContext* eval);
+    GuardArm(Database* db, EvalContext* eval, SessionContext* session);
     ~GuardArm();
     GuardArm(const GuardArm&) = delete;
     GuardArm& operator=(const GuardArm&) = delete;
@@ -467,7 +554,11 @@ class Database {
     bool registered_ = false;
   };
 
-  /// State of the open transaction (statement-thread only).
+  /// Undo/WAL state of the writing transaction — the single writer
+  /// slot. Owned by whichever session first writes inside its
+  /// transaction (ClaimWriterTxn); read-only transactions never
+  /// materialize one. Touched only by the writing statement's thread,
+  /// which the server serializes under the exclusive gate.
   struct TxnState {
     TxContext tx;            // pinned at BEGIN; every statement's NOW
     bool bracketed = false;  // TXN_BEGIN has been appended to the WAL
@@ -475,13 +566,22 @@ class Database {
     /// Undo images: each touched table's live rows at first touch.
     std::map<std::string, std::vector<Row>, std::less<>> undo;
   };
+  /// Materializes the writer slot for `session`'s open transaction (a
+  /// no-op when this session already owns it, or when no transaction
+  /// is open). Called at the top of every write statement; refuses
+  /// when a different session's transaction already owns the slot —
+  /// callers are expected to have serialized writers so this never
+  /// fires in a correctly-gated server.
+  Status ClaimWriterTxn(SessionContext* session);
   /// Lazily opens the WAL bracket before the transaction's first
   /// logged write (read-only transactions never touch the log).
   Status EnsureTxnWalBracket();
   /// Saves `table`'s rows into the undo log at first touch.
   void CaptureTxnUndo(Table* table);
   /// InvalidArgument("<what> is not allowed inside a transaction") when
-  /// one is open, OK otherwise.
+  /// any session's transaction is open, OK otherwise. Accurate for the
+  /// statements that use it (DDL, wal_mode, checkpoint): they run under
+  /// the exclusive gate, so the open-txn count cannot change mid-check.
   Status RefuseInTransaction(std::string_view what) const;
   /// True for statuses that must take the open transaction down with
   /// them (cancel/timeout/memory per the guard contract, and I/O
@@ -495,27 +595,27 @@ class Database {
   Catalog catalog_;
   std::map<TypeId, IntervalKeyFn> interval_key_fns_;
 
-  /// Guards now_override_, txn_pin_ and active_guards_: the session
-  /// state other threads may legitimately touch while queries run (the
-  /// NOW-flip scenario the segmented index is built for, cross-thread
-  /// cancellation, and checkpoints probing for an open transaction).
+  /// Guards every SessionContext's mutex-class fields (NOW override,
+  /// txn pin) and active_guards_: the session state other threads may
+  /// legitimately touch while queries run (the NOW-flip scenario the
+  /// segmented index is built for, cross-thread cancellation, and
+  /// checkpoints probing for open transactions). One mutex for all
+  /// sessions — these fields change once per statement, not per row.
   mutable std::mutex session_mu_;
-  std::optional<Chronon> now_override_;
-  /// The open transaction's pinned NOW. While set it shadows
-  /// now_override_ in CurrentTx(), so a concurrent SetNowOverride
-  /// cannot re-ground NOW-relative data mid-transaction; the override
-  /// takes effect once the transaction closes.
-  std::optional<TxContext> txn_pin_;
-  /// Guards of statements currently inside ExecuteParsed, so
-  /// CancelActiveStatements can reach them from another thread. Entries
-  /// are stack-owned by their Execute call and deregistered on unwind.
-  std::set<ExecGuard*> active_guards_;
-  /// Session settings are atomics (implicit relaxed-enough seq_cst
-  /// load/store keeps call sites plain): a stats poll or read-only
-  /// query on another thread arms its guard from these while the
-  /// session thread flips them via SET / the C++ setters.
-  std::atomic<int64_t> statement_timeout_ms_{0};
-  std::atomic<size_t> memory_limit_kb_{0};
+  /// The built-in session that null-session entry points act on: the
+  /// embedded client, the C API and most tests. Mutable so const
+  /// accessors (CurrentTx) can lock-read it like any other session.
+  mutable SessionContext global_session_;
+  /// Guards of statements currently inside ExecuteParsed, tagged with
+  /// the session they run for, so CancelActiveStatements (all) and
+  /// CancelSessionStatements (one session) can reach them from another
+  /// thread. Entries are stack-owned by their Execute call and
+  /// deregistered on unwind.
+  std::map<ExecGuard*, const SessionContext*> active_guards_;
+  /// Count of sessions currently between BEGIN and COMMIT/ROLLBACK —
+  /// the multi-session replacement for "is txn_ set" in the global
+  /// refusal checks (DDL / wal_mode / checkpoint / ATTACH).
+  std::atomic<int> open_txns_{0};
   /// SET STATEMENT_GUARD OFF disables guard creation entirely — the
   /// pre-guardrail execution path, kept addressable so the guard's
   /// overhead stays measurable in-binary (bench_guard_overhead).
@@ -523,8 +623,6 @@ class Database {
   GuardEvents guard_events_;
   std::atomic<bool> enable_hash_join_{true};
   std::atomic<bool> enable_interval_join_{true};
-  std::atomic<size_t> parallel_workers_{1};
-  std::atomic<size_t> parallel_min_rows_{4096};
   /// Per-table counters from parallel runs, shown by EXPLAIN.
   ParallelStatsRegistry parallel_stats_;
   /// See catalog_version(); acq_rel so a bump from the (externally
@@ -590,12 +688,11 @@ class Database {
   /// tip_health() from any session).
   mutable std::mutex integrity_mu_;
   std::vector<CorruptionManifestEntry> corruption_manifest_;
+  /// The writer slot (see TxnState). txn_session_ names the session
+  /// whose transaction owns it; atomic so AppendWal and ClaimWriterTxn
+  /// can compare identities without the session mutex.
   std::unique_ptr<TxnState> txn_;
-  /// The thread that opened txn_ (default id: none). ExecuteParsed's
-  /// auto-abort consults it so a failing concurrent read-only statement
-  /// on another thread neither aborts a transaction it is not part of
-  /// nor races the owner on txn_.
-  std::atomic<std::thread::id> txn_owner_{};
+  std::atomic<const SessionContext*> txn_session_{nullptr};
 };
 
 /// Registers the engine's builtin routines (arithmetic, string ops,

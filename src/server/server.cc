@@ -289,9 +289,10 @@ void Server::RejectConnection(int fd, const Status& reason) {
 void Server::Admit(int fd) {
   auto session = std::make_unique<Session>();
   session->fd = fd;
-  session->settings.statement_timeout_ms =
-      options_.default_statement_timeout_ms;
-  session->settings.memory_limit_kb = options_.default_memory_limit_kb;
+  session->engine_session.statement_timeout_ms.store(
+      options_.default_statement_timeout_ms, std::memory_order_relaxed);
+  session->engine_session.memory_limit_kb.store(
+      options_.default_memory_limit_kb, std::memory_order_relaxed);
   // splitmix64 over a random seed: unguessable enough for a loopback
   // cancel key without burning a random_device read per session.
   cancel_key_seed_ += 0x9E3779B97F4A7C15ull;
@@ -332,52 +333,142 @@ void Server::ReapDoneSessions() {
 }
 
 // ---------------------------------------------------------------------------
-// Execution gate.
+// Shared/exclusive execution gate.
 // ---------------------------------------------------------------------------
 
-Status Server::AcquireGate(uint64_t session_id, int wait_ms) {
+namespace {
+
+uint64_t ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+Status GateBusy(const char* mode, int wait_ms) {
+  return Status::ResourceExhausted(
+      std::string("server busy: ") + mode + " statement slot not free "
+      "within " + std::to_string(wait_ms) + "ms (another session holds "
+      "a conflicting lock or long statement)");
+}
+
+}  // namespace
+
+Status Server::AcquireShared(Session* session, int wait_ms) {
+  engine::ServerStatsCounters& stats = db_->server_stats();
+  const auto start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(gate_mu_);
+  // Writer preference: a waiting writer blocks new shared admissions,
+  // so a read-heavy fleet cannot starve its writers.
   const bool got = gate_cv_.wait_for(
       lock, std::chrono::milliseconds(wait_ms),
-      [this] { return gate_owner_ == 0; });
+      [this] { return writer_ == 0 && writers_waiting_ == 0; });
   if (!got) {
-    return Status::ResourceExhausted(
-        "server busy: statement slot not free within " +
-        std::to_string(wait_ms) + "ms (another session holds a "
-        "transaction or long statement)");
+    stats.gate_busy_shared.fetch_add(1, std::memory_order_relaxed);
+    return GateBusy("shared", wait_ms);
   }
-  gate_owner_ = session_id;
+  ++readers_;
+  lock.unlock();
+  stats.gate_shared.fetch_add(1, std::memory_order_relaxed);
+  stats.gate_wait_shared_ms.fetch_add(ElapsedMs(start),
+                                      std::memory_order_relaxed);
+  session->gate_mode = GateMode::kShared;
   return Status::OK();
 }
 
-void Server::ReleaseGate(uint64_t session_id) {
+Status Server::AcquireExclusive(Session* session, int wait_ms) {
+  engine::ServerStatsCounters& stats = db_->server_stats();
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(gate_mu_);
+  ++writers_waiting_;
+  const bool got = gate_cv_.wait_for(
+      lock, std::chrono::milliseconds(wait_ms),
+      [this] { return writer_ == 0 && readers_ == 0; });
+  --writers_waiting_;
+  if (!got) {
+    lock.unlock();
+    // Our queued claim was holding new readers out; let them back in.
+    gate_cv_.notify_all();
+    stats.gate_busy_exclusive.fetch_add(1, std::memory_order_relaxed);
+    return GateBusy("exclusive", wait_ms);
+  }
+  writer_ = session->id;
+  lock.unlock();
+  stats.gate_exclusive.fetch_add(1, std::memory_order_relaxed);
+  stats.gate_wait_exclusive_ms.fetch_add(ElapsedMs(start),
+                                         std::memory_order_relaxed);
+  session->gate_mode = GateMode::kExclusive;
+  return Status::OK();
+}
+
+Status Server::UpgradeToExclusive(Session* session, int wait_ms) {
+  engine::ServerStatsCounters& stats = db_->server_stats();
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(gate_mu_);
+  if (upgrader_ != 0) {
+    // Two shared transactions racing to upgrade would each wait for the
+    // other's shared hold, which only their COMMIT/ROLLBACK releases —
+    // a deadlock. Refuse the second immediately; its transaction stays
+    // open and usable read-only.
+    return Status::InvalidArgument(
+        "upgrade would deadlock: another read transaction is already "
+        "upgrading to write; COMMIT or ROLLBACK and retry");
+  }
+  upgrader_ = session->id;
+  ++writers_waiting_;
+  const bool got = gate_cv_.wait_for(
+      lock, std::chrono::milliseconds(wait_ms),
+      [this] { return writer_ == 0 && readers_ == 1; });
+  --writers_waiting_;
+  upgrader_ = 0;
+  if (!got) {
+    lock.unlock();
+    gate_cv_.notify_all();
+    stats.gate_busy_exclusive.fetch_add(1, std::memory_order_relaxed);
+    return GateBusy("upgrade", wait_ms);
+  }
+  // The last shared hold standing is our own: trade it for exclusive.
+  readers_ = 0;
+  writer_ = session->id;
+  lock.unlock();
+  stats.gate_upgrades.fetch_add(1, std::memory_order_relaxed);
+  stats.gate_exclusive.fetch_add(1, std::memory_order_relaxed);
+  stats.gate_wait_exclusive_ms.fetch_add(ElapsedMs(start),
+                                         std::memory_order_relaxed);
+  session->gate_mode = GateMode::kExclusive;
+  return Status::OK();
+}
+
+void Server::ReleaseGate(Session* session) {
+  if (session->gate_mode == GateMode::kNone) return;
   {
     std::lock_guard<std::mutex> lock(gate_mu_);
-    if (gate_owner_ != session_id) return;
-    gate_owner_ = 0;
+    if (session->gate_mode == GateMode::kShared) {
+      --readers_;
+    } else if (writer_ == session->id) {
+      writer_ = 0;
+    }
   }
+  session->gate_mode = GateMode::kNone;
   gate_cv_.notify_all();
 }
 
 void Server::CancelSession(uint64_t session_id, uint64_t cancel_key) {
-  bool key_ok = false;
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (const auto& session : sessions_) {
-      if (session->id == session_id && !session->done.load()) {
-        key_ok = session->cancel_key == cancel_key;
-        break;
-      }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (const auto& session : sessions_) {
+    if (session->id == session_id &&
+        !session->done.load(std::memory_order_acquire)) {
+      if (session->cancel_key != cancel_key) return;
+      db_->server_stats().cancels_received.fetch_add(
+          1, std::memory_order_relaxed);
+      // Per-session cancellation: only guards registered under the
+      // target's SessionContext trip, so readers running concurrently
+      // on other sessions are untouched. sessions_mu_ pins the Session
+      // (and with it the SessionContext) alive across the call.
+      db_->CancelSessionStatements(&session->engine_session);
+      return;
     }
   }
-  if (!key_ok) return;
-  db_->server_stats().cancels_received.fetch_add(1,
-                                                 std::memory_order_relaxed);
-  // Holding gate_mu_ across the cancel pins the ownership check: the
-  // gate serializes execution, so while the target owns the gate the
-  // only active statement in the engine is the target's.
-  std::lock_guard<std::mutex> lock(gate_mu_);
-  if (gate_owner_ == session_id) db_->CancelActiveStatements();
 }
 
 // ---------------------------------------------------------------------------
@@ -447,9 +538,9 @@ void Server::SessionLoop(Session* session) {
           // Best-effort goodbye so a live-but-quiet client learns why.
           (void)WriteChecked(
               session, wire::FrameType::kError,
-              wire::BuildError(Status::DeadlineExceeded(
-                                   "session idle timeout"),
-                               db_->InTransaction() && session->holds_gate));
+              wire::BuildError(
+                  Status::DeadlineExceeded("session idle timeout"),
+                  db_->InTransaction(&session->engine_session)));
         } else if (!wire::IsCleanEof(frame.status())) {
           session->aborted = true;  // torn frame / injected fault / error
         }
@@ -498,32 +589,43 @@ bool Server::HandleExec(Session* session, const wire::Frame& frame) {
     session->aborted = true;
     return false;
   }
-  if (!session->holds_gate) {
-    Status gate = AcquireGate(session->id, options_.lock_wait_ms);
+  engine::SessionContext* engine_session = &session->engine_session;
+  // Parse (or fetch the cached plan) before taking the gate: the gate
+  // decision needs the statement's class, and parsing serializes on
+  // nothing — it must not cost other sessions their overlap.
+  Result<std::shared_ptr<const engine::PreparedPlan>> plan =
+      db_->Prepare(request->sql, engine_session);
+  if (!plan.ok()) {
+    db_->server_stats().statements_served.fetch_add(
+        1, std::memory_order_relaxed);
+    return SendError(session, plan.status(),
+                     db_->InTransaction(engine_session));
+  }
+  const bool writer =
+      options_.exclusive_gate ||
+      engine::Database::Classify((*plan)->stmt(), request->sql) ==
+          engine::StatementClass::kWriter;
+  if (session->gate_mode == GateMode::kNone) {
+    Status gate = writer ? AcquireExclusive(session, options_.lock_wait_ms)
+                         : AcquireShared(session, options_.lock_wait_ms);
     if (!gate.ok()) return SendError(session, gate, false);
-    session->holds_gate = true;
-    // Swap this session's engine-level state in. Safe precisely
-    // because the gate is held: nobody else executes until release.
-    db_->SetNowOverride(session->settings.now);
-    db_->set_statement_timeout_ms(session->settings.statement_timeout_ms);
-    db_->set_memory_limit_kb(session->settings.memory_limit_kb);
+  } else if (writer && session->gate_mode == GateMode::kShared) {
+    // First write inside a so-far-read-only transaction: upgrade in
+    // place. On refusal (timeout, or the symmetric-upgrade deadlock)
+    // the statement fails but the transaction survives, still readable.
+    Status gate = UpgradeToExclusive(session, options_.lock_wait_ms);
+    if (!gate.ok()) return SendError(session, gate, true);
   }
   session->executing.store(true, std::memory_order_release);
   Result<engine::ResultSet> result =
-      db_->Execute(request->sql, request->params);
+      db_->ExecutePrepared(**plan, &request->params, engine_session);
   session->executing.store(false, std::memory_order_release);
   db_->server_stats().statements_served.fetch_add(1,
                                                   std::memory_order_relaxed);
-  // Read the session state back: SQL-level SET NOW / SET
-  // statement_timeout_ms / SET memory_limit_kb become session-scoped.
-  session->settings.now = db_->now_override();
-  session->settings.statement_timeout_ms = db_->statement_timeout_ms();
-  session->settings.memory_limit_kb = db_->memory_limit_kb();
-  const bool in_txn = db_->InTransaction();
-  if (!in_txn && session->holds_gate) {
-    ReleaseGate(session->id);
-    session->holds_gate = false;
-  }
+  const bool in_txn = db_->InTransaction(engine_session);
+  // A transaction holds the gate across its statements (shared until
+  // its first write); between transactions it drops per statement.
+  if (!in_txn) ReleaseGate(session);
   // Stream after releasing the gate: the rows are materialized values,
   // so a slow client stalls only its own connection, never the engine.
   if (!result.ok()) return SendError(session, result.status(), in_txn);
@@ -537,17 +639,13 @@ bool Server::HandlePrepare(Session* session, const wire::Frame& frame) {
     session->aborted = true;
     return false;
   }
-  const bool had_gate = session->holds_gate;
-  if (!had_gate) {
-    Status gate = AcquireGate(session->id, options_.lock_wait_ms);
-    if (!gate.ok()) return SendError(session, gate, false);
-  }
+  // Prepare is gate-free: parsing and plan-cache maintenance are
+  // internally synchronized and touch no table data.
   Result<std::shared_ptr<const engine::PreparedPlan>> plan =
-      db_->Prepare(*sql);
-  if (!had_gate) ReleaseGate(session->id);
+      db_->Prepare(*sql, &session->engine_session);
   if (!plan.ok()) {
     return SendError(session, plan.status(),
-                     session->holds_gate && db_->InTransaction());
+                     db_->InTransaction(&session->engine_session));
   }
   return WriteChecked(session, wire::FrameType::kPrepareOk, "").ok();
 }
@@ -597,15 +695,14 @@ bool Server::StreamResult(Session* session, const engine::ResultSet& result,
 }
 
 void Server::FinishSession(Session* session) {
-  if (session->holds_gate) {
-    // The session died owning the gate — mid-transaction or between a
-    // transaction's statements. Its thread is the transaction's owner
-    // thread, so the rollback is the ordinary engine path.
-    if (db_->InTransaction()) {
-      (void)db_->RollbackTransaction();
-    }
-    ReleaseGate(session->id);
-    session->holds_gate = false;
+  if (db_->InTransaction(&session->engine_session)) {
+    // The session died mid-transaction. Its thread is the transaction's
+    // owner thread, so the rollback is the ordinary engine path.
+    (void)db_->RollbackTransaction(&session->engine_session);
+    session->aborted = true;
+  }
+  if (session->gate_mode != GateMode::kNone) {
+    ReleaseGate(session);
     session->aborted = true;
   }
   {

@@ -21,17 +21,27 @@
 /// onto one embedded `engine::Database` — the reproduction's answer to
 /// the paper's TIP-inside-a-multi-user-Informix-server deployment.
 ///
-/// Concurrency model. The engine has exactly one transaction slot and
-/// requires writers to be externally serialized, so the server owns an
-/// *execution gate*: every statement runs under it, and a session that
-/// opens a transaction holds the gate from BEGIN until COMMIT/ROLLBACK.
-/// Other sessions wait up to `lock_wait_ms` for the gate, then get an
-/// explicit ResourceExhausted ("server busy") — never an indefinite
-/// stall, never interleaved transactions. Because the gate admits one
-/// statement at a time, per-session state (NOW override, statement
-/// timeout, memory budget) is swapped into the engine before each
-/// statement and read back after, which is what makes SQL `SET NOW` /
-/// `SET statement_timeout_ms` *session-scoped* over the wire.
+/// Concurrency model (DESIGN.md §13). The server owns a fair
+/// *shared/exclusive execution gate*: each statement is classified by
+/// `engine::Database::Classify` — readers (SELECT/EXPLAIN, transaction
+/// control, session-scoped SET) acquire the gate shared and run
+/// concurrently; writers (DML, DDL, CHECK, global SET, side-effectful
+/// routines) acquire it exclusively. Fairness is writer-preference: a
+/// waiting writer blocks new shared admissions, so a read-heavy fleet
+/// cannot starve its writers. A transaction holds the gate from BEGIN
+/// to COMMIT/ROLLBACK — *shared* while it only reads (so browsing
+/// transactions overlap), upgrading to exclusive at its first write;
+/// when two shared transactions race to upgrade, the second is refused
+/// with an explicit "upgrade would deadlock" error instead of
+/// deadlocking, and stays usable read-only. Waits are bounded: any
+/// acquisition (either mode) gives up after `lock_wait_ms` with an
+/// explicit ResourceExhausted ("server busy"). Per-session state (NOW
+/// override, statement timeout, memory budget, parallel knobs) lives
+/// in an `engine::SessionContext` carried through every engine call,
+/// which is what lets two sessions with different `SET NOW` values
+/// read different groundings concurrently. `ServerOptions::
+/// exclusive_gate` forces every statement exclusive — the PR 9
+/// behavior, kept as the benchmark baseline.
 ///
 /// Robustness properties (enforced, and tested by tests/server/):
 ///  - Admission control: at most `max_sessions` concurrent sessions;
@@ -85,6 +95,10 @@ struct ServerOptions {
   size_t default_memory_limit_kb = 0;
   /// Target payload size of one kResultRows chunk.
   size_t max_rows_frame_bytes = 256 * 1024;
+  /// Force every statement to take the gate exclusively — the PR 9
+  /// serialized behavior. Kept as the measurable baseline for
+  /// bench_concurrent_reads (and an escape hatch).
+  bool exclusive_gate = false;
 };
 
 class Server {
@@ -109,23 +123,23 @@ class Server {
   void Shutdown();
 
  private:
-  /// Per-session engine settings, swapped in under the gate before each
-  /// statement and read back after.
-  struct SessionSettings {
-    std::optional<Chronon> now;
-    int64_t statement_timeout_ms = 0;
-    size_t memory_limit_kb = 0;
-  };
+  /// How a session currently holds the execution gate. Touched only by
+  /// the session thread (and FinishSession, which runs on it).
+  enum class GateMode { kNone, kShared, kExclusive };
 
   struct Session {
     uint64_t id = 0;
     uint64_t cancel_key = 0;
     int fd = -1;
     std::thread thread;
-    SessionSettings settings;
-    /// True between BEGIN and COMMIT/ROLLBACK: this session owns the
-    /// execution gate continuously. Touched only by the session thread.
-    bool holds_gate = false;
+    /// The engine-side session state (NOW override, resource budgets,
+    /// parallel knobs, transaction pin), threaded through every
+    /// Execute/Prepare call instead of being swapped into global
+    /// Database fields — that swap is impossible once readers overlap.
+    engine::SessionContext engine_session;
+    /// kNone between statements; kShared/kExclusive while a
+    /// transaction holds the gate across statements.
+    GateMode gate_mode = GateMode::kNone;
     /// Abnormal-exit marker for the session_aborts counter.
     bool aborted = false;
     /// True while this session's thread is inside db->Execute.
@@ -149,8 +163,9 @@ class Server {
   void AcceptLoop();
   void SessionLoop(Session* session);
 
-  /// One statement (or prepare) on a session: gate, settings swap,
-  /// execute, stream. Returns false when the session must fail-stop.
+  /// One statement (or prepare) on a session: classify, gate, execute
+  /// under the session's engine context, stream. Returns false when
+  /// the session must fail-stop.
   bool HandleExec(Session* session, const wire::Frame& frame);
   bool HandlePrepare(Session* session, const wire::Frame& frame);
   bool StreamResult(Session* session, const engine::ResultSet& result,
@@ -163,13 +178,19 @@ class Server {
                       std::string_view payload);
   Result<wire::Frame> ReadChecked(Session* session, int first_timeout_ms);
 
-  /// Gate acquire/release (see class comment). Acquire returns
-  /// ResourceExhausted after lock_wait_ms.
-  Status AcquireGate(uint64_t session_id, int wait_ms);
-  void ReleaseGate(uint64_t session_id);
+  /// Gate acquire/release (see class comment). Every acquire returns
+  /// ResourceExhausted ("server busy") after `wait_ms`; Upgrade can
+  /// also return InvalidArgument ("upgrade would deadlock") when a
+  /// second shared transaction is already upgrading. On success the
+  /// session's gate_mode is updated; the stats counters are bumped
+  /// either way.
+  Status AcquireShared(Session* session, int wait_ms);
+  Status AcquireExclusive(Session* session, int wait_ms);
+  Status UpgradeToExclusive(Session* session, int wait_ms);
+  void ReleaseGate(Session* session);
 
-  /// Remote cancel: if `session_id`+`cancel_key` name the current gate
-  /// owner, cancel its active statement.
+  /// Remote cancel: if `session_id`+`cancel_key` name a live session,
+  /// cancel its active statements.
   void CancelSession(uint64_t session_id, uint64_t cancel_key);
 
   /// Admits `fd` as a new session (slot already reserved) or hands it
@@ -194,10 +215,16 @@ class Server {
   std::atomic<bool> stopped_{false};
   std::mutex shutdown_mu_;  // serializes Shutdown callers
 
-  // Execution gate.
+  // Shared/exclusive execution gate. Writer preference: readers admit
+  // only while no writer holds or waits; an upgrader additionally
+  // claims the single upgrade slot (`upgrader_`) so a symmetric
+  // upgrade race resolves to an explicit refusal, not a deadlock.
   std::mutex gate_mu_;
   std::condition_variable gate_cv_;
-  uint64_t gate_owner_ = 0;  // session id; 0 = free
+  int readers_ = 0;            // sessions holding shared
+  uint64_t writer_ = 0;        // session id holding exclusive; 0 = none
+  int writers_waiting_ = 0;    // writers (and upgraders) in the queue
+  uint64_t upgrader_ = 0;      // session id mid-upgrade; 0 = none
 
   // Live sessions. Guarded by sessions_mu_ for structural changes; the
   // Session objects themselves are stable (unique_ptr) so session

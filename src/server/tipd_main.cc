@@ -44,7 +44,8 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--dir=PATH] [--host=ADDR] [--port=N] [--max-sessions=N]\n"
       "          [--idle-timeout-ms=N] [--statement-timeout-ms=N]\n"
-      "          [--memory-limit-kb=N] [--drain-timeout-ms=N] [--salvage]\n",
+      "          [--memory-limit-kb=N] [--drain-timeout-ms=N] [--salvage]\n"
+      "          [--exclusive-gate]\n",
       argv0);
 }
 
@@ -75,6 +76,10 @@ int main(int argc, char** argv) {
       options.drain_timeout_ms = std::atoi(value.c_str());
     } else if (std::strcmp(argv[i], "--salvage") == 0) {
       salvage = true;
+    } else if (std::strcmp(argv[i], "--exclusive-gate") == 0) {
+      // Serialize every statement (the pre-shared-gate behavior); kept
+      // as a benchmark baseline and an escape hatch.
+      options.exclusive_gate = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage(argv[0]);
       return 0;
